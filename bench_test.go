@@ -1,0 +1,286 @@
+package trustmap
+
+// Benchmarks regenerating the paper's evaluation (Section 5 and
+// Appendix B.5), one benchmark family per figure. cmd/experiments prints
+// the same series as tables with log-log slopes; these benchmarks provide
+// the `go test -bench` view with allocation counts.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/bulk"
+	"trustmap/internal/lp"
+	"trustmap/internal/resolve"
+	"trustmap/internal/skeptic"
+	"trustmap/internal/tn"
+	"trustmap/internal/workload"
+)
+
+// BenchmarkFig5_LPSolver measures the logic-programming baseline (the DLV
+// substitute) on chains of k oscillators: exponential in k, the cliff of
+// Figure 5.
+func BenchmarkFig5_LPSolver(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		n := workload.OscillatorClusters(k)
+		b.Run(fmt.Sprintf("size=%d", n.Size()), func(b *testing.B) {
+			prog, _ := lp.TranslateBinary(n, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lp.StableModels(prog, lp.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8a_RA measures Algorithm 1 on the many-cycles data set:
+// quasi-linear in the network size (Figure 8a, RA curve).
+func BenchmarkFig8a_RA(b *testing.B) {
+	for _, k := range []int{10, 100, 1000, 10000} {
+		n := workload.OscillatorClusters(k)
+		b.Run(fmt.Sprintf("size=%d", n.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				resolve.Resolve(n)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8a_LP is the baseline curve of Figure 8a (small sizes only:
+// it is exponential).
+func BenchmarkFig8a_LP(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		n := workload.OscillatorClusters(k)
+		b.Run(fmt.Sprintf("size=%d", n.Size()), func(b *testing.B) {
+			prog, _ := lp.TranslateBinary(n, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lp.StableModels(prog, lp.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8b_RA measures Algorithm 1 on scale-free networks (the
+// web-crawl substitute of Figure 8b).
+func BenchmarkFig8b_RA(b *testing.B) {
+	for _, users := range []int{100, 1000, 10000} {
+		n := workload.PowerLaw(rand.New(rand.NewSource(42)), users, 3, 0.1, []tn.Value{"v", "w", "u"})
+		bin := tn.Binarize(n)
+		b.Run(fmt.Sprintf("size=%d", n.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				resolve.Resolve(bin)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8b_LP is the logic-programming baseline on the scale-free
+// data set (few cycles on average, still expensive).
+func BenchmarkFig8b_LP(b *testing.B) {
+	for _, users := range []int{10, 15} {
+		n := workload.PowerLaw(rand.New(rand.NewSource(42)), users, 3, 0.1, []tn.Value{"v", "w", "u"})
+		bin := tn.Binarize(n)
+		b.Run(fmt.Sprintf("size=%d", n.Size()), func(b *testing.B) {
+			prog, _ := lp.TranslateBinary(bin, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lp.StableModels(prog, lp.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8c_BulkSQL measures bulk resolution over the Figure 19
+// network with a growing number of objects: linear in the object count and
+// independent of the number of conflicts.
+func BenchmarkFig8c_BulkSQL(b *testing.B) {
+	net, roots := workload.Fig19()
+	bin := tn.Binarize(net)
+	for _, count := range []int{100, 1000, 10000} {
+		objs := workload.BulkObjects(rand.New(rand.NewSource(7)), roots, count)
+		b.Run(fmt.Sprintf("objects=%d", count), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				plan, err := bulk.NewPlan(bin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				store := bulk.NewStore(plan)
+				if err := store.LoadObjects(objs); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := store.Resolve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8c_LPPerObject is the Figure 8c baseline: solving one logic
+// program per object; with ~half the objects conflicting this grows much
+// faster than the bulk path.
+func BenchmarkFig8c_LPPerObject(b *testing.B) {
+	net, roots := workload.Fig19()
+	bin := tn.Binarize(net)
+	for _, count := range []int{1, 2, 4} {
+		objs := workload.BulkObjects(rand.New(rand.NewSource(7)), roots, count)
+		b.Run(fmt.Sprintf("objects=%d", count), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, bs := range objs {
+					per := bin.Clone()
+					for x, v := range bs {
+						per.SetExplicit(x, v)
+					}
+					prog, _ := lp.TranslateBinary(per, nil)
+					if _, err := lp.StableModels(prog, lp.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig15_QuadraticWorstCase measures Algorithm 1 on the nested-SCC
+// family (Figure 14a): the quadratic worst case of Theorem 2.12.
+func BenchmarkFig15_QuadraticWorstCase(b *testing.B) {
+	for _, k := range []int{50, 100, 200, 400} {
+		n := workload.NestedSCC(k)
+		b.Run(fmt.Sprintf("size=%d", n.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				resolve.Resolve(n)
+			}
+		})
+	}
+}
+
+// BenchmarkBinarize measures the Proposition 2.8 transformation on
+// non-binary power-law networks (an ablation: binarization is a
+// preprocessing cost of every other benchmark on non-binary input).
+func BenchmarkBinarize(b *testing.B) {
+	for _, users := range []int{1000, 10000} {
+		n := workload.PowerLaw(rand.New(rand.NewSource(9)), users, 5, 0.1, []tn.Value{"v", "w"})
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tn.Binarize(n)
+			}
+		})
+	}
+}
+
+// BenchmarkSkepticResolution measures Algorithm 2 on oscillator chains
+// with constraints sprinkled in: the constraint-aware analogue of
+// Figure 8a.
+func BenchmarkSkepticResolution(b *testing.B) {
+	for _, k := range []int{10, 100, 1000} {
+		n := workload.OscillatorClusters(k)
+		c := skeptic.FromTN(n)
+		b.Run(fmt.Sprintf("size=%d", n.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				skeptic.ResolveSkeptic(c)
+			}
+		})
+	}
+}
+
+// BenchmarkPossiblePairs measures the O(n^4) pairwise extension
+// (Proposition 2.13) — usable on analysis-sized networks only.
+func BenchmarkPossiblePairs(b *testing.B) {
+	for _, k := range []int{2, 8, 16} {
+		n := workload.OscillatorClusters(k)
+		b.Run(fmt.Sprintf("size=%d", n.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				resolve.ResolvePairs(n)
+			}
+		})
+	}
+}
+
+// BenchmarkFacadeResolve measures the end-to-end public API on a mid-size
+// community network, including binarization.
+func BenchmarkFacadeResolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := New()
+	for i := 0; i < 2000; i++ {
+		user := fmt.Sprintf("u%d", i)
+		seen := map[int]bool{}
+		for e := 0; e < 2 && i > 0; e++ {
+			z := rng.Intn(i)
+			if seen[z] {
+				continue
+			}
+			seen[z] = true
+			n.AddTrust(user, fmt.Sprintf("u%d", z), 1+rng.Intn(100))
+		}
+		if rng.Float64() < 0.1 {
+			n.SetBelief(user, []string{"v", "w"}[rng.Intn(2)])
+		}
+	}
+	n.SetBelief("u0", "v")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Resolve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLPDecomposition contrasts the monolithic stable-model
+// enumeration with component-decomposed brave answering on oscillator
+// chains (DESIGN.md §5.7): the first is exponential in k, the second
+// linear.
+func BenchmarkAblationLPDecomposition(b *testing.B) {
+	for _, k := range []int{4, 8} {
+		n := workload.OscillatorClusters(k)
+		prog, _ := lp.TranslateBinary(n, nil)
+		b.Run(fmt.Sprintf("monolithic/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lp.Brave(prog, lp.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("decomposed/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lp.BraveDecomposed(prog, lp.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBulkSkeptic measures the reusable-plan bulk Skeptic resolver
+// (the Section 4 extension for Algorithm 2).
+func BenchmarkBulkSkeptic(b *testing.B) {
+	net, roots := workload.Fig19()
+	bin := tn.Binarize(net)
+	plan, err := bulk.NewSkepticPlan(bin, rootsOf(bin, roots), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, count := range []int{10, 100} {
+		objs := workload.BulkObjects(rand.New(rand.NewSource(5)), rootsOf(bin, roots), count)
+		b.Run(fmt.Sprintf("objects=%d", count), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.ResolveObjects(objs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// rootsOf maps original root IDs into the binarized network (roots keep
+// their IDs when they have no parents, as in Figure 19).
+func rootsOf(bin *tn.Network, roots []int) []int { return roots }

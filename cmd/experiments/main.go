@@ -1,0 +1,110 @@
+// Command experiments regenerates the figures of the paper's evaluation
+// (Section 5 and Appendix B.5) and prints each series as a table:
+//
+//	experiments -fig 5      # LP solver exponential on oscillator chains
+//	experiments -fig 8a     # RA vs LP on many-cycle networks
+//	experiments -fig 8b     # RA vs LP on power-law (web-like) networks
+//	experiments -fig 8c     # bulk SQL resolution vs per-object LP
+//	experiments -fig 15     # RA quadratic worst case (nested SCCs)
+//	experiments -fig all
+//
+// -quick shrinks the sweeps for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trustmap/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8a, 8b, 8c, 15, all")
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	runs := map[string]func(bool, int64){
+		"5":  fig5,
+		"8a": fig8a,
+		"8b": fig8b,
+		"8c": fig8c,
+		"15": fig15,
+	}
+	if *fig == "all" {
+		for _, name := range []string{"5", "8a", "8b", "8c", "15"} {
+			runs[name](*quick, *seed)
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := runs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	f(*quick, *seed)
+}
+
+func fig5(quick bool, _ int64) {
+	ks := []int{2, 4, 6, 8, 10, 12, 14, 16}
+	if quick {
+		ks = []int{2, 4, 6, 8}
+	}
+	s := bench.Fig5(ks)
+	s.Fprint(os.Stdout)
+	fmt.Printf("(exponential: each oscillator doubles the stable-model count)\n")
+}
+
+func fig8a(quick bool, _ int64) {
+	raKs := []int{10, 100, 1000, 10000, 50000}
+	lpKs := []int{2, 4, 6, 8, 10, 12, 14}
+	if quick {
+		raKs = []int{10, 100, 1000}
+		lpKs = []int{2, 4, 6}
+	}
+	ra := bench.Fig8aRA(raKs, 3)
+	ra.Fprint(os.Stdout)
+	fmt.Printf("(log-log slope %.2f; ~1 is linear)\n\n", bench.FitSlope(ra))
+	lp := bench.Fig8aLP(lpKs)
+	lp.Fprint(os.Stdout)
+}
+
+func fig8b(quick bool, seed int64) {
+	raUsers := []int{100, 1000, 10000, 50000}
+	lpUsers := []int{25, 50, 100, 200}
+	if quick {
+		raUsers = []int{100, 1000}
+		lpUsers = []int{25, 50}
+	}
+	ra := bench.Fig8bRA(raUsers, 3, seed)
+	ra.Fprint(os.Stdout)
+	fmt.Printf("(log-log slope %.2f; ~1 is linear)\n\n", bench.FitSlope(ra))
+	lp := bench.Fig8bLP(lpUsers, seed)
+	lp.Fprint(os.Stdout)
+}
+
+func fig8c(quick bool, seed int64) {
+	counts := []int{100, 1000, 10000, 100000}
+	lpCounts := []int{4, 8, 16, 32}
+	if quick {
+		counts = []int{100, 1000}
+		lpCounts = []int{4, 8}
+	}
+	s := bench.Fig8c(counts, seed)
+	s.Fprint(os.Stdout)
+	fmt.Printf("(log-log slope %.2f; ~1 is linear in the number of objects)\n\n", bench.FitSlope(s))
+	l := bench.Fig8cLP(lpCounts, seed)
+	l.Fprint(os.Stdout)
+}
+
+func fig15(quick bool, _ int64) {
+	ks := []int{100, 200, 400, 800, 1600, 3200}
+	if quick {
+		ks = []int{50, 100, 200}
+	}
+	s := bench.Fig15(ks, 3)
+	s.Fprint(os.Stdout)
+	fmt.Printf("(log-log slope %.2f; ~2 is the quadratic worst case of Theorem 2.12)\n", bench.FitSlope(s))
+}

@@ -1,0 +1,92 @@
+// Command lpsolve is a DLV-style solver for normal logic programs under
+// the stable model semantics, as used by the paper's baseline (Section 2.3,
+// Appendix B.4). It reads a program in the paper's syntax and either
+// enumerates stable models or answers a brave/cautious query:
+//
+//	lpsolve -brave program.txt query.txt      # like "dlv.bin -brave"
+//	lpsolve -cautious program.txt query.txt
+//	lpsolve -models program.txt               # print all stable models
+//
+// A query file holds one atom followed by '?', e.g. "poss(X,U) ?".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"trustmap/internal/lp"
+)
+
+func main() {
+	brave := flag.Bool("brave", false, "answer the query under brave semantics (some stable model)")
+	cautious := flag.Bool("cautious", false, "answer the query under cautious semantics (every stable model)")
+	models := flag.Bool("models", false, "enumerate all stable models")
+	budget := flag.Int("budget", 1<<22, "search budget (leaf evaluations); 0 = unlimited")
+	flag.Parse()
+	if err := run(os.Stdout, *brave, *cautious, *models, *budget, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "lpsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, brave, cautious, models bool, budget int, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lpsolve [-brave|-cautious|-models] program.txt [query.txt]")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	prog, err := lp.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	opt := lp.Options{Budget: budget}
+	switch {
+	case models:
+		ms, err := lp.StableModels(prog, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d stable model(s)\n", len(ms))
+		for i, m := range ms {
+			atoms := make([]string, 0, len(m))
+			for a := range m {
+				atoms = append(atoms, a)
+			}
+			sort.Strings(atoms)
+			fmt.Fprintf(w, "M%d = {%s}\n", i+1, strings.Join(atoms, ", "))
+		}
+		return nil
+	case brave || cautious:
+		if len(args) < 2 {
+			return fmt.Errorf("brave/cautious queries need a query file")
+		}
+		qsrc, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		query, err := lp.ParseQuery(strings.TrimSpace(string(qsrc)))
+		if err != nil {
+			return err
+		}
+		var atoms []string
+		if brave {
+			atoms, err = lp.Brave(prog, opt)
+		} else {
+			atoms, err = lp.Cautious(prog, opt)
+		}
+		if err != nil {
+			return err
+		}
+		for _, a := range lp.MatchQuery(query, atoms) {
+			fmt.Fprintln(w, a)
+		}
+		return nil
+	}
+	return fmt.Errorf("pick one of -brave, -cautious, -models")
+}

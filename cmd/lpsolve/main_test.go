@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// oscillatorLP is the program of Example B.1 / Example 2.10.
+const oscillatorLP = `
+poss(u3,v).
+poss(u4,w).
+poss(u1,X) :- poss(u2,X).
+conf(u1,u3,X) :- poss(u3,X), poss(u1,Y), Y!=X.
+poss(u1,X) :- poss(u3,X), not conf(u1,u3,X).
+poss(u2,X) :- poss(u1,X).
+conf(u2,u4,X) :- poss(u4,X), poss(u2,Y), Y!=X.
+poss(u2,X) :- poss(u4,X), not conf(u2,u4,X).
+`
+
+func write(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestModels(t *testing.T) {
+	prog := write(t, "p.txt", oscillatorLP)
+	var out strings.Builder
+	if err := run(&out, false, false, true, 0, []string{prog}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 stable model(s)") {
+		t.Errorf("expected 2 models:\n%s", out.String())
+	}
+}
+
+func TestBraveQuery(t *testing.T) {
+	prog := write(t, "p.txt", oscillatorLP)
+	query := write(t, "q.txt", "poss(u1,U) ?")
+	var out strings.Builder
+	if err := run(&out, true, false, false, 0, []string{prog, query}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "poss(u1,v)") || !strings.Contains(s, "poss(u1,w)") {
+		t.Errorf("brave answers wrong:\n%s", s)
+	}
+}
+
+func TestCautiousQuery(t *testing.T) {
+	prog := write(t, "p.txt", oscillatorLP)
+	query := write(t, "q.txt", "poss(X,U) ?")
+	var out strings.Builder
+	if err := run(&out, false, true, false, 0, []string{prog, query}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "poss(u1,") {
+		t.Errorf("u1 must have no cautious value:\n%s", s)
+	}
+	if !strings.Contains(s, "poss(u3,v)") {
+		t.Errorf("root fact missing from cautious answers:\n%s", s)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, false, false, false, 0, nil); err == nil {
+		t.Error("no args must error")
+	}
+	prog := write(t, "p.txt", oscillatorLP)
+	if err := run(&out, false, false, false, 0, []string{prog}); err == nil {
+		t.Error("no mode must error")
+	}
+	if err := run(&out, true, false, false, 0, []string{prog}); err == nil {
+		t.Error("brave without query must error")
+	}
+	bad := write(t, "bad.txt", "p(x")
+	if err := run(&out, false, false, true, 0, []string{bad}); err == nil {
+		t.Error("unparsable program must error")
+	}
+}

@@ -1,0 +1,137 @@
+// Command trustctl resolves a trust network described in a JSON file and
+// prints every user's possible and certain values, with optional lineage,
+// agreement analysis, and constraint-aware (Skeptic) resolution.
+//
+// Usage:
+//
+//	trustctl -f network.json [-skeptic] [-pairs] [-lineage user=value]
+//
+// Network file format:
+//
+//	{
+//	  "trust":       [{"truster": "Alice", "trusted": "Bob", "priority": 100}],
+//	  "beliefs":     {"Bob": "fish", "Charlie": "knot"},
+//	  "constraints": {"Dan": ["cow", "jar"]}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"trustmap"
+)
+
+type networkFile struct {
+	Trust []struct {
+		Truster  string `json:"truster"`
+		Trusted  string `json:"trusted"`
+		Priority int    `json:"priority"`
+	} `json:"trust"`
+	Beliefs     map[string]string   `json:"beliefs"`
+	Constraints map[string][]string `json:"constraints"`
+}
+
+func main() {
+	file := flag.String("f", "", "network JSON file (required)")
+	skeptic := flag.Bool("skeptic", false, "resolve with constraints under the Skeptic paradigm")
+	pairs := flag.Bool("pairs", false, "print agreement analysis (possible pairs)")
+	lineage := flag.String("lineage", "", "explain a value: user=value")
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *file, *skeptic, *pairs, *lineage); err != nil {
+		fmt.Fprintln(os.Stderr, "trustctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, file string, skeptic, pairs bool, lineage string) error {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	var nf networkFile
+	if err := json.Unmarshal(raw, &nf); err != nil {
+		return fmt.Errorf("parsing %s: %w", file, err)
+	}
+	n := trustmap.New()
+	for _, t := range nf.Trust {
+		n.AddTrust(t.Truster, t.Trusted, t.Priority)
+	}
+	for user, v := range nf.Beliefs {
+		n.SetBelief(user, v)
+	}
+	for user, rejected := range nf.Constraints {
+		n.SetConstraint(user, rejected...)
+	}
+
+	if skeptic {
+		s, err := n.ResolveSkeptic()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-16s %-24s %-12s %s\n", "user", "possible+", "certain+", "belief sets")
+		for _, u := range n.Users() {
+			cert, _ := s.Certain(u)
+			fmt.Fprintf(w, "%-16s %-24s %-12s %s\n", u,
+				strings.Join(s.Possible(u), ","), orDash(cert),
+				strings.Join(s.Describe(u), " | "))
+		}
+		return nil
+	}
+
+	r, err := n.Resolve()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %-24s %s\n", "user", "possible", "certain")
+	for _, u := range n.Users() {
+		cert, _ := r.Certain(u)
+		fmt.Fprintf(w, "%-16s %-24s %s\n", u, strings.Join(r.Possible(u), ","), orDash(cert))
+	}
+
+	if lineage != "" {
+		parts := strings.SplitN(lineage, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-lineage wants user=value, got %q", lineage)
+		}
+		path, ok := r.Lineage(parts[0], parts[1])
+		if !ok {
+			fmt.Fprintf(w, "\n%q is not a possible value for %s\n", parts[1], parts[0])
+		} else {
+			fmt.Fprintf(w, "\nlineage of %s=%s: %s\n", parts[0], parts[1], strings.Join(path, " -> "))
+		}
+	}
+
+	if pairs {
+		c, err := n.AnalyzeConflicts()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\nagreeing pairs (equal in every stable solution):")
+		agr := c.AgreeingPairs()
+		sort.Slice(agr, func(i, j int) bool { return agr[i][0]+agr[i][1] < agr[j][0]+agr[j][1] })
+		for _, p := range agr {
+			fmt.Fprintf(w, "  %s == %s\n", p[0], p[1])
+		}
+		if len(agr) == 0 {
+			fmt.Fprintln(w, "  (none)")
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeNet(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const indusJSON = `{
+  "trust": [
+    {"truster": "Alice", "trusted": "Bob", "priority": 100},
+    {"truster": "Alice", "trusted": "Charlie", "priority": 50},
+    {"truster": "Bob", "trusted": "Alice", "priority": 80}
+  ],
+  "beliefs": {"Bob": "fish", "Charlie": "knot"}
+}`
+
+func TestRunBasic(t *testing.T) {
+	path := writeNet(t, indusJSON)
+	var out strings.Builder
+	if err := run(&out, path, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Alice") || !strings.Contains(s, "fish") {
+		t.Errorf("output missing expected content:\n%s", s)
+	}
+}
+
+func TestRunLineage(t *testing.T) {
+	path := writeNet(t, indusJSON)
+	var out strings.Builder
+	if err := run(&out, path, false, false, "Alice=fish"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lineage of Alice=fish: Bob -> Alice") {
+		t.Errorf("lineage output wrong:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(&out, path, false, false, "Alice=cow"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "not a possible value") {
+		t.Errorf("impossible lineage not reported:\n%s", out.String())
+	}
+}
+
+func TestRunPairs(t *testing.T) {
+	path := writeNet(t, `{
+	  "trust": [
+	    {"truster": "x1", "trusted": "x2", "priority": 100},
+	    {"truster": "x1", "trusted": "x3", "priority": 50},
+	    {"truster": "x2", "trusted": "x1", "priority": 80},
+	    {"truster": "x2", "trusted": "x4", "priority": 40}
+	  ],
+	  "beliefs": {"x3": "v", "x4": "w"}
+	}`)
+	var out strings.Builder
+	if err := run(&out, path, false, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "x1 == x2") {
+		t.Errorf("agreeing pair missing:\n%s", out.String())
+	}
+}
+
+func TestRunSkeptic(t *testing.T) {
+	path := writeNet(t, `{
+	  "trust": [
+	    {"truster": "x3", "trusted": "x2", "priority": 2},
+	    {"truster": "x3", "trusted": "x1", "priority": 1}
+	  ],
+	  "beliefs": {"x2": "a"},
+	  "constraints": {"x1": ["b"]}
+	}`)
+	var out strings.Builder
+	if err := run(&out, path, true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "a") {
+		t.Errorf("skeptic output missing value:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "/nonexistent.json", false, false, ""); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := writeNet(t, "{not json")
+	if err := run(&out, bad, false, false, ""); err == nil {
+		t.Error("bad JSON must error")
+	}
+	path := writeNet(t, indusJSON)
+	if err := run(&out, path, false, false, "malformed"); err == nil {
+		t.Error("malformed -lineage must error")
+	}
+}

@@ -1,0 +1,100 @@
+// Audit demo: constraints as data validation (Section 3's motivation — "the
+// value of the carbon-date attribute is between 1,200 and 40,000"). A lab
+// imports measurements from two field teams; a reviewer applies a range
+// constraint modelled as negative beliefs over the observed domain. Many
+// samples are audited in bulk under the Skeptic paradigm with a reusable
+// plan.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"trustmap/internal/bulk"
+	"trustmap/internal/tn"
+)
+
+func main() {
+	// Trust structure: the lab prefers the reviewer (who only filters) and
+	// falls back to team A; the reviewer prefers team A over team B.
+	n := tn.New()
+	teamA := n.AddUser("teamA")
+	teamB := n.AddUser("teamB")
+	reviewer := n.AddUser("reviewer")
+	lab := n.AddUser("lab")
+	n.AddMapping(teamA, reviewer, 2)
+	n.AddMapping(teamB, reviewer, 1)
+	n.AddMapping(reviewer, lab, 2)
+	n.AddMapping(teamA, lab, 1)
+
+	// Generate carbon-date readings; some are out of the plausible range.
+	rng := rand.New(rand.NewSource(4))
+	objects := map[string]map[int]tn.Value{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("sample%03d", i)
+		a := 1200 + rng.Intn(40000)
+		b := a
+		if rng.Float64() < 0.3 { // teams occasionally disagree
+			b = 300 + rng.Intn(45000)
+		}
+		objects[k] = map[int]tn.Value{
+			teamA: tn.Value(strconv.Itoa(a)),
+			teamB: tn.Value(strconv.Itoa(b)),
+		}
+	}
+	// The reviewer's range constraint, compiled to negative beliefs over
+	// the values that actually occur (the paper's finite representation of
+	// a range predicate).
+	rejected := map[string]bool{}
+	for _, bs := range objects {
+		for _, v := range bs {
+			year, _ := strconv.Atoi(string(v))
+			if year < 1200 || year > 40000 {
+				rejected[string(v)] = true
+			}
+		}
+	}
+	var rejectedList []string
+	for v := range rejected {
+		rejectedList = append(rejectedList, v)
+	}
+	sort.Strings(rejectedList)
+
+	plan, err := bulk.NewSkepticPlan(n, []int{teamA, teamB}, map[int][]string{
+		reviewer: rejectedList,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := plan.ResolveObjects(objects)
+	if err != nil {
+		panic(err)
+	}
+
+	accepted, contested, blocked := 0, 0, 0
+	for k := range objects {
+		switch {
+		case res.CertainPositive(lab, k) != "":
+			accepted++
+		case res.HasBottom(lab, k) && len(res.PossiblePositives(lab, k)) == 0:
+			blocked++
+		default:
+			contested++
+		}
+	}
+	fmt.Printf("audited %d samples with %d distinct out-of-range readings\n",
+		len(objects), len(rejectedList))
+	fmt.Printf("lab's snapshot: %d accepted, %d contested, %d fully rejected\n",
+		accepted, contested, blocked)
+	for k := range objects {
+		if res.HasBottom(lab, k) && len(res.PossiblePositives(lab, k)) == 0 {
+			fmt.Printf("\nexample rejection: %s teamA=%s teamB=%s -> lab rejects every value (⊥)\n",
+				k, objects[k][teamA], objects[k][teamB])
+			fmt.Println("(under Skeptic, an accepted value carries the maximal constraint;")
+			fmt.Println(" when the reviewer blocks it, nothing downstream can be believed)")
+			break
+		}
+	}
+}

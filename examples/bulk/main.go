@@ -1,0 +1,72 @@
+// Bulk resolution demo (Section 4): a scientific community curates many
+// objects (glyphs) under one set of trust mappings. All objects are
+// resolved together by translating the resolution plan into SQL over a
+// POSS(X,K,V) relation — one pass over the network, set-at-a-time over the
+// objects.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"trustmap"
+)
+
+func main() {
+	n := trustmap.New()
+	// A small curation team: two senior curators (the explicit-belief
+	// users), a moderator cycle, and readers.
+	n.AddTrust("moderatorA", "curator1", 10)
+	n.AddTrust("moderatorA", "moderatorB", 20)
+	n.AddTrust("moderatorB", "curator2", 10)
+	n.AddTrust("moderatorB", "moderatorA", 20)
+	n.AddTrust("reader", "moderatorA", 5)
+
+	rng := rand.New(rand.NewSource(1))
+	motifs := []string{"fish", "jar", "arrow", "cow", "knot"}
+	objects := make(map[string]map[string]string)
+	conflicts := 0
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("glyph%04d", i)
+		v1 := motifs[rng.Intn(len(motifs))]
+		v2 := v1
+		if rng.Float64() < 0.5 {
+			v2 = motifs[rng.Intn(len(motifs))]
+		}
+		if v1 != v2 {
+			conflicts++
+		}
+		objects[k] = map[string]string{"curator1": v1, "curator2": v2}
+	}
+
+	start := time.Now()
+	r, err := n.BulkResolve(objects)
+	if err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+
+	certain, open := 0, 0
+	for k := range objects {
+		if _, ok := r.Certain("reader", k); ok {
+			certain++
+		} else {
+			open++
+		}
+	}
+	fmt.Printf("resolved %d objects (%d with conflicting curators) in %v\n",
+		len(objects), conflicts, elapsed.Round(time.Millisecond))
+	fmt.Printf("reader's snapshot: %d certain values, %d still contested\n", certain, open)
+
+	// Drill into one contested object.
+	for k, bs := range objects {
+		if bs["curator1"] != bs["curator2"] {
+			fmt.Printf("\nexample: %s  curator1=%s curator2=%s\n", k, bs["curator1"], bs["curator2"])
+			fmt.Printf("  moderatorA sees %v, moderatorB sees %v (mutual-trust cycle => both views possible)\n",
+				r.Possible("moderatorA", k), r.Possible("moderatorB", k))
+			fmt.Printf("  reader sees %v\n", r.Possible("reader", k))
+			break
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: the Indus-script example of Figure 1 and Figure 2. Three
+// archeologists disagree on glyph origins; Alice's trust mappings (Bob at
+// priority 100, Charlie at 50) determine her consistent snapshot.
+package main
+
+import (
+	"fmt"
+
+	"trustmap"
+)
+
+func main() {
+	glyphs := []struct {
+		name    string
+		beliefs map[string]string
+	}{
+		{"glyph1 (ship hull/cow/jar)", map[string]string{
+			"Alice": "ship hull", "Bob": "cow", "Charlie": "jar"}},
+		{"glyph2 (fish/knot)", map[string]string{
+			"Bob": "fish", "Charlie": "knot"}},
+		{"glyph3 (arrow)", map[string]string{
+			"Bob": "arrow", "Charlie": "arrow"}},
+	}
+
+	fmt.Println("Alice's view after applying her trust mappings (Figure 1b):")
+	for _, g := range glyphs {
+		n := trustmap.New()
+		n.AddTrust("Alice", "Bob", 100)
+		n.AddTrust("Alice", "Charlie", 50)
+		n.AddTrust("Bob", "Alice", 80)
+		for user, v := range g.beliefs {
+			n.SetBelief(user, v)
+		}
+		r, err := n.Resolve()
+		if err != nil {
+			panic(err)
+		}
+		v, _ := r.Certain("Alice")
+		fmt.Printf("  %-28s -> %s\n", g.name, v)
+		if path, ok := r.Lineage("Alice", v); ok {
+			fmt.Printf("  %-28s    (lineage: %v)\n", "", path)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package belief implements the signed-belief machinery of Section 3:
+// positive and negative beliefs, consistent belief sets with a finite or
+// co-finite negative part, the three paradigms (Agnostic, Eclectic,
+// Skeptic), their normal forms, and the preferred union (Definition 3.2)
+// plus its paradigm-specialized variant (Equation 1).
+//
+// Sets are values: operations return new sets and never mutate receivers.
+// The value universe is open-ended (strings); the co-finite representation
+// encodes sets like ⊥ = {v- | v ∈ D} and {v+} ∪ (⊥ − {v−}) exactly.
+package belief
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Paradigm selects how constraints interact with data values during
+// conflict resolution (Section 3.1).
+type Paradigm int
+
+const (
+	// Agnostic keeps only the data value once one is known; constraints are
+	// local filters and are not propagated past an accepted value.
+	Agnostic Paradigm = iota
+	// Eclectic propagates constraints and data values together; any
+	// consistent set is in normal form.
+	Eclectic
+	// Skeptic augments an accepted value v+ with the maximal constraint
+	// ruling out every other value: {v+} ∪ (⊥ − {v−}).
+	Skeptic
+)
+
+func (p Paradigm) String() string {
+	switch p {
+	case Agnostic:
+		return "agnostic"
+	case Eclectic:
+		return "eclectic"
+	case Skeptic:
+		return "skeptic"
+	}
+	return fmt.Sprintf("paradigm(%d)", int(p))
+}
+
+// Set is a consistent set of signed beliefs: at most one positive value and
+// a negative part that is either a finite set of values or co-finite (all
+// values except listed exceptions). The zero value is the empty set.
+type Set struct {
+	pos    string
+	hasPos bool
+	coNeg  bool            // negative part is co-finite
+	neg    map[string]bool // finite negatives, or exceptions when coNeg
+}
+
+// Empty returns the empty belief set.
+func Empty() Set { return Set{} }
+
+// Positive returns the singleton positive set {v+}.
+func Positive(v string) Set { return Set{pos: v, hasPos: true} }
+
+// Negatives returns the finite negative set {v1-, v2-, ...}.
+func Negatives(vs ...string) Set {
+	s := Set{neg: make(map[string]bool, len(vs))}
+	for _, v := range vs {
+		s.neg[v] = true
+	}
+	return s
+}
+
+// Bottom returns ⊥, the set of all negative beliefs (an inconsistent
+// constraint rejecting any value).
+func Bottom() Set { return Set{coNeg: true} }
+
+// SkepticPositive returns {v+} ∪ (⊥ − {v−}), the Skeptic normal form of a
+// positive belief.
+func SkepticPositive(v string) Set {
+	return Set{pos: v, hasPos: true, coNeg: true, neg: map[string]bool{v: true}}
+}
+
+// Pos returns the positive value, if any.
+func (s Set) Pos() (string, bool) { return s.pos, s.hasPos }
+
+// HasNeg reports whether v- belongs to the set.
+func (s Set) HasNeg(v string) bool {
+	if s.coNeg {
+		return !s.neg[v]
+	}
+	return s.neg[v]
+}
+
+// CoNegative reports whether the negative part is co-finite (contains v-
+// for all but finitely many values, like ⊥).
+func (s Set) CoNegative() bool { return s.coNeg }
+
+// IsBottom reports whether the set is exactly ⊥: all negatives, no
+// positive.
+func (s Set) IsBottom() bool { return s.coNeg && !s.hasPos && len(s.neg) == 0 }
+
+// IsEmpty reports whether the set has no beliefs at all.
+func (s Set) IsEmpty() bool { return !s.hasPos && !s.coNeg && len(s.neg) == 0 }
+
+// OnlyNegatives reports whether the set has no positive belief (it may
+// still be empty).
+func (s Set) OnlyNegatives() bool { return !s.hasPos }
+
+// FiniteNegs returns the finite negative values (only meaningful when
+// !CoNegative()), sorted.
+func (s Set) FiniteNegs() []string {
+	if s.coNeg {
+		panic("belief: FiniteNegs on co-finite set")
+	}
+	out := make([]string, 0, len(s.neg))
+	for v := range s.neg {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Exceptions returns the values NOT negatively believed in a co-finite set,
+// sorted.
+func (s Set) Exceptions() []string {
+	if !s.coNeg {
+		panic("belief: Exceptions on finite set")
+	}
+	out := make([]string, 0, len(s.neg))
+	for v := range s.neg {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Consistent reports whether the set is internally consistent
+// (Definition 3.1): the positive value, if any, is not also negative.
+func (s Set) Consistent() bool {
+	if !s.hasPos {
+		return true
+	}
+	return !s.HasNeg(s.pos)
+}
+
+// Equal reports set equality.
+func (s Set) Equal(t Set) bool {
+	if s.hasPos != t.hasPos || s.coNeg != t.coNeg {
+		return false
+	}
+	if s.hasPos && s.pos != t.pos {
+		return false
+	}
+	if len(s.neg) != len(t.neg) {
+		return false
+	}
+	for v := range s.neg {
+		if !t.neg[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set in the paper's notation.
+func (s Set) String() string {
+	var parts []string
+	if s.hasPos {
+		parts = append(parts, s.pos+"+")
+	}
+	if s.coNeg {
+		if len(s.neg) == 0 {
+			parts = append(parts, "⊥")
+		} else {
+			parts = append(parts, "⊥−{"+strings.Join(s.Exceptions(), "−,")+"−}")
+		}
+	} else {
+		for _, v := range s.FiniteNegs() {
+			parts = append(parts, v+"-")
+		}
+	}
+	if len(parts) == 0 {
+		return "{}"
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// clone returns a deep copy of the neg map.
+func cloneNeg(m map[string]bool) map[string]bool {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Norm returns the normal form of s under paradigm p (Section 3.1):
+//
+//	NormA(B) = {v+}            if v+ ∈ B, else B
+//	NormE(B) = B
+//	NormS(B) = {v+} ∪ (⊥−{v−}) if v+ ∈ B, else B
+func Norm(p Paradigm, s Set) Set {
+	if !s.hasPos {
+		return s
+	}
+	switch p {
+	case Agnostic:
+		return Positive(s.pos)
+	case Eclectic:
+		return s
+	case Skeptic:
+		return SkepticPositive(s.pos)
+	}
+	panic("belief: unknown paradigm")
+}
+
+// PreferredUnion computes B1 ~∪ B2 (Definition 3.2): all of B1 plus every
+// belief of B2 consistent with all of B1. Both inputs must be consistent.
+func PreferredUnion(b1, b2 Set) Set {
+	out := Set{pos: b1.pos, hasPos: b1.hasPos, coNeg: b1.coNeg, neg: cloneNeg(b1.neg)}
+	// Adopt B2's positive if B1 has none and it does not clash with B1's
+	// negatives (two distinct positives also clash).
+	if !b1.hasPos && b2.hasPos && !b1.HasNeg(b2.pos) {
+		out.pos, out.hasPos = b2.pos, true
+	}
+	// Add B2's negatives except the one clashing with B1's positive.
+	// Negative parts: finite sets or co-finite sets; four cases.
+	excluded := ""
+	if b1.hasPos {
+		excluded = b1.pos
+	}
+	switch {
+	case !b2.coNeg:
+		// Finite additions.
+		if out.neg == nil && len(b2.neg) > 0 {
+			out.neg = make(map[string]bool)
+		}
+		if out.coNeg {
+			// out negatives are co-finite: adding v- removes the exception.
+			for v := range b2.neg {
+				if b1.hasPos && v == excluded {
+					continue
+				}
+				delete(out.neg, v)
+			}
+		} else {
+			for v := range b2.neg {
+				if b1.hasPos && v == excluded {
+					continue
+				}
+				out.neg[v] = true
+			}
+		}
+	case b2.coNeg && !out.coNeg:
+		// Result becomes co-finite: exceptions are b2's exceptions minus
+		// out's finite negatives, plus the excluded clash value.
+		exc := make(map[string]bool)
+		for v := range b2.neg { // b2 exceptions stay exceptions...
+			if !out.neg[v] { // ...unless b1 already negates them
+				exc[v] = true
+			}
+		}
+		if b1.hasPos && !out.neg[excluded] {
+			// b2 would contribute excluded- (it is co-finite), but that
+			// clashes with b1's positive; keep it excepted.
+			if !b2.neg[excluded] {
+				exc[excluded] = true
+			}
+			// If excluded was already a b2 exception it is in exc above.
+		}
+		out.coNeg = true
+		out.neg = exc
+	default: // both co-finite
+		exc := make(map[string]bool)
+		for v := range out.neg {
+			if b2.neg[v] {
+				exc[v] = true // exception in both stays an exception
+			}
+		}
+		if b1.hasPos && out.neg[excluded] && !b2.neg[excluded] {
+			// b2 contributes excluded-, clashing with b1's positive.
+			exc[excluded] = true
+		}
+		out.neg = exc
+	}
+	if len(out.neg) == 0 {
+		out.neg = nil
+	}
+	return out
+}
+
+// PreferredUnionP computes the paradigm-specialized preferred union of
+// Equation 1: Normσ(Normσ(B1) ~∪ Normσ(B2)).
+func PreferredUnionP(p Paradigm, b1, b2 Set) Set {
+	return Norm(p, PreferredUnion(Norm(p, b1), Norm(p, b2)))
+}

@@ -1,0 +1,276 @@
+package belief
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConstructorsAndPredicates(t *testing.T) {
+	if !Empty().IsEmpty() || Empty().CoNegative() {
+		t.Error("Empty misbehaves")
+	}
+	p := Positive("a")
+	if v, ok := p.Pos(); !ok || v != "a" {
+		t.Error("Positive misbehaves")
+	}
+	n := Negatives("a", "b")
+	if !n.HasNeg("a") || !n.HasNeg("b") || n.HasNeg("c") {
+		t.Error("Negatives misbehaves")
+	}
+	bot := Bottom()
+	if !bot.IsBottom() || !bot.HasNeg("anything") {
+		t.Error("Bottom misbehaves")
+	}
+	sp := SkepticPositive("v")
+	if v, ok := sp.Pos(); !ok || v != "v" {
+		t.Error("SkepticPositive positive part wrong")
+	}
+	if sp.HasNeg("v") {
+		t.Error("SkepticPositive must except v-")
+	}
+	if !sp.HasNeg("w") || !sp.HasNeg("zzz") {
+		t.Error("SkepticPositive must contain all other negatives")
+	}
+	if !sp.Consistent() {
+		t.Error("SkepticPositive must be consistent")
+	}
+	bad := Set{pos: "a", hasPos: true, neg: map[string]bool{"a": true}}
+	if bad.Consistent() {
+		t.Error("a+ with a- must be inconsistent")
+	}
+}
+
+func TestNormalForms(t *testing.T) {
+	mixed := PreferredUnion(Negatives("b"), Positive("a")) // {a+, b-}
+	if got := Norm(Agnostic, mixed); !got.Equal(Positive("a")) {
+		t.Errorf("NormA = %v, want {a+}", got)
+	}
+	if got := Norm(Eclectic, mixed); !got.Equal(mixed) {
+		t.Errorf("NormE = %v, want %v", got, mixed)
+	}
+	if got := Norm(Skeptic, mixed); !got.Equal(SkepticPositive("a")) {
+		t.Errorf("NormS = %v, want skeptic a+", got)
+	}
+	negOnly := Negatives("x")
+	for _, p := range []Paradigm{Agnostic, Eclectic, Skeptic} {
+		if got := Norm(p, negOnly); !got.Equal(negOnly) {
+			t.Errorf("Norm%v of negative-only set must be identity, got %v", p, got)
+		}
+	}
+}
+
+// TestPaperExamples checks the four worked examples below Equation 1.
+func TestPaperExamples(t *testing.T) {
+	aNeg := Negatives("a")
+	bPos := Positive("b")
+	// {a−} ~∪A {b+} = {b+}
+	if got := PreferredUnionP(Agnostic, aNeg, bPos); !got.Equal(Positive("b")) {
+		t.Errorf("agnostic: got %v want {b+}", got)
+	}
+	// {a−} ~∪E {b+} = {b+, a−}
+	wantE := PreferredUnion(Positive("b"), Negatives("a"))
+	if got := PreferredUnionP(Eclectic, aNeg, bPos); !got.Equal(wantE) {
+		t.Errorf("eclectic: got %v want %v", got, wantE)
+	}
+	// {a−} ~∪S {b+} = {b+, a−, c−, d−, ...} = skeptic b+.
+	if got := PreferredUnionP(Skeptic, aNeg, bPos); !got.Equal(SkepticPositive("b")) {
+		t.Errorf("skeptic: got %v want %v", got, SkepticPositive("b"))
+	}
+	// {b−} ~∪S {b+} = ⊥
+	if got := PreferredUnionP(Skeptic, Negatives("b"), bPos); !got.IsBottom() {
+		t.Errorf("skeptic blocked: got %v want ⊥", got)
+	}
+}
+
+func TestPreferredUnionBasics(t *testing.T) {
+	// Positive of B1 wins over conflicting positive of B2.
+	got := PreferredUnion(Positive("a"), Positive("b"))
+	if v, _ := got.Pos(); v != "a" {
+		t.Errorf("B1 positive must win: %v", got)
+	}
+	// B2's negative clashing with B1's positive is dropped.
+	got = PreferredUnion(Positive("a"), Negatives("a", "b"))
+	if got.HasNeg("a") || !got.HasNeg("b") {
+		t.Errorf("clash filtering wrong: %v", got)
+	}
+	// Equal positives merge.
+	got = PreferredUnion(Positive("a"), Positive("a"))
+	if v, ok := got.Pos(); !ok || v != "a" {
+		t.Errorf("equal positives: %v", got)
+	}
+	// Bottom absorbs.
+	got = PreferredUnion(Bottom(), Positive("a"))
+	if !got.IsBottom() {
+		t.Errorf("bottom ~∪ a+ = %v want ⊥", got)
+	}
+	// Empty identity.
+	if got := PreferredUnion(Empty(), Negatives("z")); !got.Equal(Negatives("z")) {
+		t.Errorf("empty left identity broken: %v", got)
+	}
+	if got := PreferredUnion(Negatives("z"), Empty()); !got.Equal(Negatives("z")) {
+		t.Errorf("empty right identity broken: %v", got)
+	}
+}
+
+func TestPreferredUnionCoFinite(t *testing.T) {
+	// skeptic a+ ~∪ skeptic b+: keep a+, add all b-negatives except a-.
+	got := PreferredUnion(SkepticPositive("a"), SkepticPositive("b"))
+	if v, _ := got.Pos(); v != "a" {
+		t.Errorf("pos wrong: %v", got)
+	}
+	if !got.CoNegative() || got.HasNeg("a") || !got.HasNeg("b") || !got.HasNeg("c") {
+		t.Errorf("negatives wrong: %v", got)
+	}
+	// Finite ∪ co-finite.
+	got = PreferredUnion(Negatives("x"), SkepticPositive("x"))
+	if !got.IsBottom() {
+		t.Errorf("{x-} ~∪ skeptic x+ = %v want ⊥", got)
+	}
+	got = PreferredUnion(Negatives("y"), SkepticPositive("x"))
+	if v, _ := got.Pos(); v != "x" || got.HasNeg("x") || !got.HasNeg("y") {
+		t.Errorf("{y-} ~∪ skeptic x+ wrong: %v", got)
+	}
+}
+
+// TestAssociativityCounterexample reproduces the Section 3.3 discussion:
+// ~∪ is associative for Skeptic but not for Agnostic or Eclectic.
+func TestAssociativityCounterexample(t *testing.T) {
+	aNeg, aPos, bPos := Negatives("a"), Positive("a"), Positive("b")
+	for _, p := range []Paradigm{Agnostic, Eclectic} {
+		b1 := PreferredUnionP(p, aNeg, PreferredUnionP(p, aPos, bPos))
+		b2 := PreferredUnionP(p, PreferredUnionP(p, aNeg, aPos), bPos)
+		if b1.Equal(b2) {
+			t.Errorf("%v: expected non-associativity, both = %v", p, b1)
+		}
+		if !b1.Equal(Negatives("a")) {
+			t.Errorf("%v: B1 = %v want {a-}", p, b1)
+		}
+	}
+	// Paper: B2 = {b+} for Agnostic, {a-, b+} for Eclectic.
+	b2a := PreferredUnionP(Agnostic, PreferredUnionP(Agnostic, aNeg, aPos), bPos)
+	if !b2a.Equal(Positive("b")) {
+		t.Errorf("agnostic B2 = %v want {b+}", b2a)
+	}
+	b2e := PreferredUnionP(Eclectic, PreferredUnionP(Eclectic, aNeg, aPos), bPos)
+	wantE := PreferredUnion(Positive("b"), Negatives("a"))
+	if !b2e.Equal(wantE) {
+		t.Errorf("eclectic B2 = %v want %v", b2e, wantE)
+	}
+}
+
+// randomSet builds a random consistent set over a tiny universe, sometimes
+// co-finite.
+func randomSet(rng *rand.Rand) Set {
+	univ := []string{"a", "b", "c"}
+	var s Set
+	if rng.Float64() < 0.5 {
+		s = Positive(univ[rng.Intn(len(univ))])
+	}
+	if rng.Float64() < 0.5 {
+		// co-finite negative part
+		exc := map[string]bool{}
+		if s.hasPos {
+			exc[s.pos] = true
+		}
+		for _, v := range univ {
+			if rng.Float64() < 0.3 {
+				exc[v] = true
+			}
+		}
+		s.coNeg = true
+		s.neg = exc
+	} else {
+		negs := map[string]bool{}
+		for _, v := range univ {
+			if v != s.pos && rng.Float64() < 0.4 {
+				negs[v] = true
+			}
+		}
+		if len(negs) > 0 {
+			s.neg = negs
+		}
+	}
+	if !s.Consistent() {
+		panic("generator produced inconsistent set")
+	}
+	return s
+}
+
+// TestSkepticAssociativityProperty: ~∪S is associative (Section 3.3).
+func TestSkepticAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		b1, b2, b3 := randomSet(rng), randomSet(rng), randomSet(rng)
+		l := PreferredUnionP(Skeptic, b1, PreferredUnionP(Skeptic, b2, b3))
+		r := PreferredUnionP(Skeptic, PreferredUnionP(Skeptic, b1, b2), b3)
+		if !l.Equal(r) {
+			t.Fatalf("skeptic not associative: %v, %v, %v -> %v vs %v", b1, b2, b3, l, r)
+		}
+	}
+}
+
+// TestPreferredUnionConsistency: the preferred union of consistent sets is
+// consistent and contains all of B1.
+func TestPreferredUnionConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	univ := []string{"a", "b", "c", "zzz"}
+	for i := 0; i < 3000; i++ {
+		b1, b2 := randomSet(rng), randomSet(rng)
+		u := PreferredUnion(b1, b2)
+		if !u.Consistent() {
+			t.Fatalf("inconsistent union: %v ~∪ %v = %v", b1, b2, u)
+		}
+		// B1 ⊆ result.
+		if p, ok := b1.Pos(); ok {
+			if q, ok2 := u.Pos(); !ok2 || q != p {
+				t.Fatalf("lost B1 positive: %v ~∪ %v = %v", b1, b2, u)
+			}
+		}
+		for _, v := range univ {
+			if b1.HasNeg(v) && !u.HasNeg(v) {
+				t.Fatalf("lost B1 negative %s-: %v ~∪ %v = %v", v, b1, b2, u)
+			}
+		}
+		// Nothing outside B1 ∪ B2 appears.
+		for _, v := range univ {
+			if u.HasNeg(v) && !b1.HasNeg(v) && !b2.HasNeg(v) {
+				t.Fatalf("invented negative %s-: %v ~∪ %v = %v", v, b1, b2, u)
+			}
+		}
+	}
+}
+
+// TestNormIdempotent: Normσ is idempotent for every paradigm.
+func TestNormIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 1000; i++ {
+		s := randomSet(rng)
+		for _, p := range []Paradigm{Agnostic, Eclectic, Skeptic} {
+			once := Norm(p, s)
+			twice := Norm(p, once)
+			if !once.Equal(twice) {
+				t.Fatalf("%v norm not idempotent on %v: %v vs %v", p, s, once, twice)
+			}
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Set{
+		"{}":       Empty(),
+		"{a+}":     Positive("a"),
+		"{a-, b-}": Negatives("b", "a"),
+		"{⊥}":      Bottom(),
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String(%#v) = %q want %q", s, got, want)
+		}
+	}
+}
+
+func TestParadigmString(t *testing.T) {
+	if Agnostic.String() != "agnostic" || Eclectic.String() != "eclectic" || Skeptic.String() != "skeptic" {
+		t.Error("paradigm names wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package belief
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genSet makes Set implement quick.Generator so testing/quick can drive
+// properties over random consistent belief sets directly.
+type genSet struct{ Set }
+
+func (genSet) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genSet{randomSet(rng)})
+}
+
+// TestQuickPreferredUnionIdempotent: B ~∪ B = B.
+func TestQuickPreferredUnionIdempotent(t *testing.T) {
+	f := func(b genSet) bool {
+		return PreferredUnion(b.Set, b.Set).Equal(b.Set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPreferredUnionLeftBias: the left argument always survives
+// intact (B1 ⊆ B1 ~∪ B2 over the test universe).
+func TestQuickPreferredUnionLeftBias(t *testing.T) {
+	univ := []string{"a", "b", "c", "zz"}
+	f := func(b1, b2 genSet) bool {
+		u := PreferredUnion(b1.Set, b2.Set)
+		if p, ok := b1.Pos(); ok {
+			if q, ok2 := u.Pos(); !ok2 || q != p {
+				return false
+			}
+		}
+		for _, v := range univ {
+			if b1.HasNeg(v) && !u.HasNeg(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSkepticAssociative: ~∪S is associative (Section 3.3).
+func TestQuickSkepticAssociative(t *testing.T) {
+	f := func(a, b, c genSet) bool {
+		l := PreferredUnionP(Skeptic, a.Set, PreferredUnionP(Skeptic, b.Set, c.Set))
+		r := PreferredUnionP(Skeptic, PreferredUnionP(Skeptic, a.Set, b.Set), c.Set)
+		return l.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNormPreservesNegOnly: normal forms never change negative-only
+// sets, under any paradigm.
+func TestQuickNormPreservesNegOnly(t *testing.T) {
+	f := func(b genSet) bool {
+		if _, ok := b.Pos(); ok {
+			return true // only negative-only sets are in scope
+		}
+		for _, p := range []Paradigm{Agnostic, Eclectic, Skeptic} {
+			if !Norm(p, b.Set).Equal(b.Set) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEmptyIsIdentity: the empty set is a two-sided identity of the
+// plain preferred union.
+func TestQuickEmptyIsIdentity(t *testing.T) {
+	f := func(b genSet) bool {
+		return PreferredUnion(Empty(), b.Set).Equal(b.Set) &&
+			PreferredUnion(b.Set, Empty()).Equal(b.Set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package bench is the experiment harness regenerating the figures of the
+// paper's evaluation (Section 5, Appendix B.5): it builds the workloads,
+// times the Resolution Algorithm (RA), the logic-programming baseline (the
+// DLV substitute), and the bulk SQL path, and renders the series the paper
+// plots. Absolute numbers differ from the paper's 2009 Java/SQL-Server
+// testbed; the shapes (exponential LP vs quasi-linear RA, linear bulk
+// scaling, quadratic worst case) are what the harness demonstrates.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"trustmap/internal/bulk"
+	"trustmap/internal/lp"
+	"trustmap/internal/resolve"
+	"trustmap/internal/tn"
+	"trustmap/internal/workload"
+)
+
+// Point is one measurement: problem size (the paper's x axis) and seconds.
+type Point struct {
+	X       int
+	Seconds float64
+	Note    string // e.g. "DNF (budget)" when the LP search is cut off
+}
+
+// Series is a named measurement curve.
+type Series struct {
+	Name   string
+	XLabel string
+	Points []Point
+}
+
+// Fprint renders the series as an aligned two-column table.
+func (s Series) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", s.Name)
+	fmt.Fprintf(w, "%-14s %-14s %s\n", s.XLabel, "time[sec]", "note")
+	for _, p := range s.Points {
+		note := p.Note
+		sec := fmt.Sprintf("%.6f", p.Seconds)
+		if note != "" && p.Seconds == 0 {
+			sec = "-"
+		}
+		fmt.Fprintf(w, "%-14d %-14s %s\n", p.X, sec, note)
+	}
+}
+
+// String renders the series as text.
+func (s Series) String() string {
+	var b strings.Builder
+	s.Fprint(&b)
+	return b.String()
+}
+
+// timeIt measures f averaged over reps runs.
+func timeIt(reps int, f func()) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start).Seconds() / float64(reps)
+}
+
+// LPBudget caps the stable-model search per instance; beyond it the point
+// is reported as DNF, mirroring the cliff in the paper's Figure 5.
+const LPBudget = 1 << 20
+
+// solveLP translates a BTN and enumerates its stable models, returning the
+// time and whether the budget was exhausted.
+func solveLP(n *tn.Network) (float64, bool) {
+	prog, _ := lp.TranslateBinary(n, nil)
+	start := time.Now()
+	_, err := lp.StableModels(prog, lp.Options{Budget: LPBudget})
+	return time.Since(start).Seconds(), err == lp.ErrBudget
+}
+
+// Fig5 measures the logic-programming baseline on chains of k oscillators
+// (network size |U|+|E| = 8k), reproducing the exponential curve of
+// Figure 5.
+func Fig5(ks []int) Series {
+	s := Series{Name: "Fig 5: LP solver on oscillator chains", XLabel: "size(|U|+|E|)"}
+	for _, k := range ks {
+		n := workload.OscillatorClusters(k)
+		sec, dnf := solveLP(n)
+		p := Point{X: n.Size(), Seconds: sec}
+		if dnf {
+			p.Note = "DNF (budget)"
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// Fig8aRA measures the Resolution Algorithm on oscillator chains
+// (Figure 8a, "network with many cycles").
+func Fig8aRA(ks []int, reps int) Series {
+	s := Series{Name: "Fig 8a: RA on oscillator chains", XLabel: "size(|U|+|E|)"}
+	for _, k := range ks {
+		n := workload.OscillatorClusters(k)
+		sec := timeIt(reps, func() { resolve.Resolve(n) })
+		s.Points = append(s.Points, Point{X: n.Size(), Seconds: sec})
+	}
+	return s
+}
+
+// Fig8aLP is the baseline curve of Figure 8a.
+func Fig8aLP(ks []int) Series {
+	s := Fig5(ks)
+	s.Name = "Fig 8a: LP solver on oscillator chains"
+	return s
+}
+
+// Fig8bRA measures the Resolution Algorithm on scale-free networks (the
+// web-crawl substitute of Figure 8b). Sizes are user counts; edge count is
+// about 3x users.
+func Fig8bRA(users []int, reps int, seed int64) Series {
+	s := Series{Name: "Fig 8b: RA on power-law networks", XLabel: "size(|U|+|E|)"}
+	for _, u := range users {
+		n := workload.PowerLaw(rand.New(rand.NewSource(seed)), u, 3, 0.1, []tn.Value{"v", "w", "u"})
+		b := tn.Binarize(n)
+		sec := timeIt(reps, func() { resolve.Resolve(b) })
+		s.Points = append(s.Points, Point{X: n.Size(), Seconds: sec})
+	}
+	return s
+}
+
+// Fig8bLP is the baseline on the scale-free data set.
+func Fig8bLP(users []int, seed int64) Series {
+	s := Series{Name: "Fig 8b: LP solver on power-law networks", XLabel: "size(|U|+|E|)"}
+	for _, u := range users {
+		n := workload.PowerLaw(rand.New(rand.NewSource(seed)), u, 3, 0.1, []tn.Value{"v", "w", "u"})
+		b := tn.Binarize(n)
+		sec, dnf := solveLP(b)
+		p := Point{X: n.Size(), Seconds: sec}
+		if dnf {
+			p.Note = "DNF (budget)"
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// Fig8c measures bulk SQL resolution over the Figure 19 network with a
+// growing number of objects (half of them conflicting).
+func Fig8c(objectCounts []int, seed int64) Series {
+	s := Series{Name: "Fig 8c: bulk SQL resolution (7 users, 12 mappings)", XLabel: "objects"}
+	net, roots := workload.Fig19()
+	b := tn.Binarize(net)
+	for _, count := range objectCounts {
+		objs := workload.BulkObjects(rand.New(rand.NewSource(seed)), roots, count)
+		plan, err := bulk.NewPlan(b)
+		if err != nil {
+			panic(err)
+		}
+		store := bulk.NewStore(plan)
+		if err := store.LoadObjects(objs); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if err := store.Resolve(); err != nil {
+			panic(err)
+		}
+		s.Points = append(s.Points, Point{X: count, Seconds: time.Since(start).Seconds()})
+	}
+	return s
+}
+
+// Fig8cLP is the per-object logic-programming baseline of Figure 8c: one
+// LP per object, exponential in the number of conflicting objects.
+func Fig8cLP(objectCounts []int, seed int64) Series {
+	s := Series{Name: "Fig 8c: LP solver per object", XLabel: "objects"}
+	net, roots := workload.Fig19()
+	b := tn.Binarize(net)
+	for _, count := range objectCounts {
+		objs := workload.BulkObjects(rand.New(rand.NewSource(seed)), roots, count)
+		start := time.Now()
+		dnf := false
+		for _, bs := range objs {
+			per := b.Clone()
+			for x, v := range bs {
+				per.SetExplicit(x, v)
+			}
+			prog, _ := lp.TranslateBinary(per, nil)
+			if _, err := lp.StableModels(prog, lp.Options{Budget: LPBudget}); err == lp.ErrBudget {
+				dnf = true
+				break
+			}
+		}
+		p := Point{X: count, Seconds: time.Since(start).Seconds()}
+		if dnf {
+			p.Note = "DNF (budget)"
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// Fig15 measures the Resolution Algorithm on the nested-SCC worst case
+// (Figure 14a / Figure 15): quadratic in the network size.
+func Fig15(ks []int, reps int) Series {
+	s := Series{Name: "Fig 15: RA on nested-SCC worst case", XLabel: "size(|U|+|E|)"}
+	for _, k := range ks {
+		n := workload.NestedSCC(k)
+		sec := timeIt(reps, func() { resolve.Resolve(n) })
+		s.Points = append(s.Points, Point{X: n.Size(), Seconds: sec})
+	}
+	return s
+}
+
+// FitSlope estimates the log-log slope between the first and last timed
+// points of a series: ~1 for linear scaling, ~2 for quadratic.
+func FitSlope(s Series) float64 {
+	var pts []Point
+	for _, p := range s.Points {
+		if p.Seconds > 0 && p.Note == "" {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) < 2 {
+		return 0
+	}
+	a, b := pts[0], pts[len(pts)-1]
+	return math.Log(b.Seconds/a.Seconds) / math.Log(float64(b.X)/float64(a.X))
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig5SmokeAndShape(t *testing.T) {
+	s := Fig5([]int{1, 2, 3, 4, 5, 6})
+	if len(s.Points) != 6 {
+		t.Fatalf("points=%d", len(s.Points))
+	}
+	// Exponential shape: each added oscillator roughly doubles the model
+	// count; the last timed point must be much slower than the first.
+	first, last := s.Points[0].Seconds, s.Points[len(s.Points)-1].Seconds
+	if last < 4*first {
+		t.Errorf("expected super-linear growth: first %.6fs last %.6fs", first, last)
+	}
+}
+
+func TestFig8aRASmoke(t *testing.T) {
+	s := Fig8aRA([]int{10, 100, 500}, 2)
+	if len(s.Points) != 3 {
+		t.Fatal("missing points")
+	}
+	for _, p := range s.Points {
+		if p.Seconds <= 0 {
+			t.Errorf("non-positive timing at %d", p.X)
+		}
+	}
+}
+
+func TestFig8bSmoke(t *testing.T) {
+	ra := Fig8bRA([]int{100, 1000}, 2, 42)
+	if len(ra.Points) != 2 {
+		t.Fatal("missing RA points")
+	}
+	lps := Fig8bLP([]int{20}, 42)
+	if len(lps.Points) != 1 {
+		t.Fatal("missing LP point")
+	}
+}
+
+func TestFig8cSmokeLinear(t *testing.T) {
+	s := Fig8c([]int{100, 1000}, 7)
+	if len(s.Points) != 2 {
+		t.Fatal("missing points")
+	}
+	// Bulk resolution must be roughly linear in object count: 10x objects
+	// should cost far less than 100x time.
+	ratio := s.Points[1].Seconds / s.Points[0].Seconds
+	if ratio > 100 {
+		t.Errorf("bulk scaling looks super-linear: ratio %.1f for 10x objects", ratio)
+	}
+}
+
+func TestFig15QuadraticShape(t *testing.T) {
+	s := Fig15([]int{50, 100, 200, 400}, 2)
+	slope := FitSlope(s)
+	// The worst-case family must scale clearly super-linearly (the
+	// theoretical slope is 2; allow measurement noise).
+	if slope < 1.3 {
+		t.Errorf("nested-SCC slope %.2f; expected clearly super-linear (~2)", slope)
+	}
+}
+
+func TestSeriesFormatting(t *testing.T) {
+	s := Series{Name: "test", XLabel: "n", Points: []Point{{X: 10, Seconds: 0.5}, {X: 20, Note: "DNF (budget)"}}}
+	out := s.String()
+	if !strings.Contains(out, "# test") || !strings.Contains(out, "DNF") {
+		t.Errorf("format wrong:\n%s", out)
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	lin := Series{Points: []Point{{X: 10, Seconds: 0.1}, {X: 100, Seconds: 1.0}}}
+	if s := FitSlope(lin); s < 0.9 || s > 1.1 {
+		t.Errorf("linear slope=%f", s)
+	}
+	quad := Series{Points: []Point{{X: 10, Seconds: 0.1}, {X: 100, Seconds: 10}}}
+	if s := FitSlope(quad); s < 1.9 || s > 2.1 {
+		t.Errorf("quadratic slope=%f", s)
+	}
+	if FitSlope(Series{}) != 0 {
+		t.Error("empty series slope must be 0")
+	}
+}

@@ -1,0 +1,264 @@
+// Package bulk implements bulk conflict resolution (Section 4 and
+// Appendix B.10): resolving a large set of objects that share one trust
+// network by translating the Resolution Algorithm into SQL executed against
+// a relational POSS(X,K,V) table.
+//
+// The two assumptions of Section 4 make this possible:
+//
+//	(i)  the trust mappings are the same for every object, and
+//	(ii) a user with an explicit belief for one object has explicit
+//	     beliefs for all objects.
+//
+// Under them, Algorithm 1 visits nodes in the same order for every object,
+// so the sequence of Step-1 copies and Step-2 floods (the *plan*) is
+// computed once on the network structure and then applied to all objects
+// at once with set-oriented INSERT ... SELECT statements.
+package bulk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trustmap/internal/sqlmem"
+	"trustmap/internal/tn"
+)
+
+// StepKind discriminates plan steps.
+type StepKind int
+
+const (
+	// StepCopy is Step 1 of Algorithm 1: copy the preferred parent's
+	// possible values to the child.
+	StepCopy StepKind = iota
+	// StepFlood is Step 2: flood a strongly connected component with the
+	// union of its closed parents' possible values.
+	StepFlood
+)
+
+// Step is one resolution step of the plan.
+type Step struct {
+	Kind    StepKind
+	Target  int   // StepCopy: the node being closed
+	Source  int   // StepCopy: its preferred parent
+	Members []int // StepFlood: the component being closed
+	Sources []int // StepFlood: closed nodes with edges into the component
+}
+
+// Plan is the object-independent resolution order for a network.
+type Plan struct {
+	Net   *tn.Network
+	Roots []int // users with explicit beliefs
+	Steps []Step
+}
+
+// NewPlan computes the resolution plan by running the control flow of
+// Algorithm 1 once. The network must be binary; explicit beliefs mark which
+// users are roots (their values are irrelevant to the plan).
+func NewPlan(network *tn.Network) (*Plan, error) {
+	if !network.IsBinary() {
+		return nil, fmt.Errorf("bulk: network is not binary; apply tn.Binarize first")
+	}
+	nu := network.NumUsers()
+	p := &Plan{Net: network}
+	reach := network.ReachableFromRoots()
+	closed := make([]bool, nu)
+	nClosed := 0
+	for x := 0; x < nu; x++ {
+		if network.HasExplicit(x) {
+			p.Roots = append(p.Roots, x)
+			closed[x] = true
+			nClosed++
+		} else if !reach[x] {
+			closed[x] = true
+			nClosed++
+		}
+	}
+	effPref := func(x int) (int, bool) {
+		var in []tn.Mapping
+		for _, m := range network.In(x) {
+			if reach[m.Parent] {
+				in = append(in, m)
+			}
+		}
+		if len(in) == 0 {
+			return -1, false
+		}
+		if len(in) > 1 && in[1].Priority == in[0].Priority {
+			return -1, false
+		}
+		return in[0].Parent, true
+	}
+	g := network.Graph()
+	for nClosed < nu {
+		progressed := false
+		for x := 0; x < nu; x++ {
+			if closed[x] {
+				continue
+			}
+			if z, ok := effPref(x); ok && closed[z] {
+				p.Steps = append(p.Steps, Step{Kind: StepCopy, Target: x, Source: z})
+				closed[x] = true
+				nClosed++
+				progressed = true
+			}
+		}
+		if progressed || nClosed == nu {
+			continue
+		}
+		open := func(v int) bool { return !closed[v] }
+		comp, ncomp := g.SCC(open)
+		if ncomp == 0 {
+			break
+		}
+		// Close every minimal component of this Tarjan pass (see
+		// resolve.Resolve for why this keeps many-cycle networks linear).
+		hasIncoming := make([]bool, ncomp)
+		memberList := make([][]int, ncomp)
+		for v := 0; v < nu; v++ {
+			if comp[v] < 0 {
+				continue
+			}
+			memberList[comp[v]] = append(memberList[comp[v]], v)
+			for _, m := range network.In(v) {
+				if cp := comp[m.Parent]; cp >= 0 && cp != comp[v] {
+					hasIncoming[comp[v]] = true
+				}
+			}
+		}
+		for c := 0; c < ncomp; c++ {
+			if hasIncoming[c] {
+				continue
+			}
+			members := memberList[c]
+			srcSet := map[int]bool{}
+			for _, x := range members {
+				for _, m := range network.In(x) {
+					if closed[m.Parent] && reach[m.Parent] {
+						srcSet[m.Parent] = true
+					}
+				}
+			}
+			var sources []int
+			for z := range srcSet {
+				sources = append(sources, z)
+			}
+			sort.Ints(sources)
+			p.Steps = append(p.Steps, Step{Kind: StepFlood, Members: members, Sources: sources})
+			for _, x := range members {
+				closed[x] = true
+				nClosed++
+			}
+		}
+	}
+	return p, nil
+}
+
+// userConst is the SQL encoding of user IDs in the X column.
+func userConst(x int) string { return fmt.Sprintf("u%d", x) }
+
+// SQL renders the plan as the INSERT ... SELECT statements of Section 4
+// against the given table (schema X, K, V).
+func (p *Plan) SQL(tableName string) []string {
+	var out []string
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case StepCopy:
+			out = append(out, fmt.Sprintf(
+				"INSERT INTO %s SELECT '%s' AS X, t.K, t.V FROM %s t WHERE t.X = '%s'",
+				tableName, userConst(s.Target), tableName, userConst(s.Source)))
+		case StepFlood:
+			if len(s.Sources) == 0 {
+				continue
+			}
+			var conds []string
+			for _, z := range s.Sources {
+				conds = append(conds, fmt.Sprintf("t.X = '%s'", userConst(z)))
+			}
+			where := strings.Join(conds, " OR ")
+			for _, x := range s.Members {
+				out = append(out, fmt.Sprintf(
+					"INSERT INTO %s SELECT DISTINCT '%s' AS X, t.K, t.V FROM %s t WHERE %s",
+					tableName, userConst(x), tableName, where))
+			}
+		}
+	}
+	return out
+}
+
+// Store couples a plan with a sqlmem database holding POSS(X,K,V).
+type Store struct {
+	Plan *Plan
+	DB   *sqlmem.DB
+	tbl  string
+}
+
+// NewStore creates the POSS table (with an index on X) for the plan.
+func NewStore(p *Plan) *Store {
+	db := sqlmem.New()
+	db.MustExec("CREATE TABLE POSS (X VARCHAR, K VARCHAR, V VARCHAR)")
+	db.MustExec("CREATE INDEX POSS_X ON POSS (X)")
+	return &Store{Plan: p, DB: db, tbl: "POSS"}
+}
+
+// LoadObjects seeds the explicit beliefs: beliefs[k][x] must assign a value
+// to every root user x of the plan, for every object key k (assumption ii).
+func (s *Store) LoadObjects(beliefs map[string]map[int]tn.Value) error {
+	var rows []string
+	keys := make([]string, 0, len(beliefs))
+	for k := range beliefs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bs := beliefs[k]
+		for _, x := range s.Plan.Roots {
+			v, ok := bs[x]
+			if !ok {
+				return fmt.Errorf("bulk: object %q misses a belief for root user %s (assumption ii)", k, s.Plan.Net.Name(x))
+			}
+			rows = append(rows, fmt.Sprintf("('%s','%s','%s')", userConst(x), sqlEscape(k), sqlEscape(string(v))))
+			if len(rows) >= 500 {
+				s.DB.MustExec("INSERT INTO POSS VALUES " + strings.Join(rows, ", "))
+				rows = rows[:0]
+			}
+		}
+	}
+	if len(rows) > 0 {
+		s.DB.MustExec("INSERT INTO POSS VALUES " + strings.Join(rows, ", "))
+	}
+	return nil
+}
+
+// Resolve executes the plan's SQL against the store.
+func (s *Store) Resolve() error {
+	for _, stmt := range s.Plan.SQL(s.tbl) {
+		if _, err := s.DB.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Possible returns poss(x, k): the values user x can believe for object k.
+func (s *Store) Possible(x int, k string) []tn.Value {
+	res := s.DB.MustExec(fmt.Sprintf(
+		"SELECT DISTINCT V FROM POSS WHERE X = '%s' AND K = '%s' ORDER BY V",
+		userConst(x), sqlEscape(k)))
+	out := make([]tn.Value, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, tn.Value(r[0]))
+	}
+	return out
+}
+
+// Certain returns cert(x, k): the single possible value, or NoValue.
+func (s *Store) Certain(x int, k string) tn.Value {
+	poss := s.Possible(x, k)
+	if len(poss) == 1 {
+		return poss[0]
+	}
+	return tn.NoValue
+}
+
+func sqlEscape(s string) string { return strings.ReplaceAll(s, "'", "''") }

@@ -1,0 +1,226 @@
+package bulk
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"trustmap/internal/resolve"
+	"trustmap/internal/tn"
+)
+
+// buildOscillator returns the Figure 4b network (binary, two roots).
+func buildOscillator() *tn.Network {
+	n := tn.New()
+	x1 := n.AddUser("x1")
+	x2 := n.AddUser("x2")
+	x3 := n.AddUser("x3")
+	x4 := n.AddUser("x4")
+	n.AddMapping(x2, x1, 100)
+	n.AddMapping(x3, x1, 50)
+	n.AddMapping(x1, x2, 80)
+	n.AddMapping(x4, x2, 40)
+	n.SetExplicit(x3, "seed")
+	n.SetExplicit(x4, "seed")
+	return n
+}
+
+func TestPlanShape(t *testing.T) {
+	n := buildOscillator()
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Roots) != 2 {
+		t.Fatalf("roots=%v want 2", p.Roots)
+	}
+	// The oscillator resolves with a single flood of {x1,x2}.
+	if len(p.Steps) != 1 || p.Steps[0].Kind != StepFlood {
+		t.Fatalf("steps=%v want one flood", p.Steps)
+	}
+	if len(p.Steps[0].Members) != 2 || len(p.Steps[0].Sources) != 2 {
+		t.Errorf("flood shape wrong: %+v", p.Steps[0])
+	}
+}
+
+func TestPlanRejectsNonBinary(t *testing.T) {
+	n := tn.New()
+	x := n.AddUser("x")
+	for i := 0; i < 3; i++ {
+		z := n.AddUser(fmt.Sprintf("z%d", i))
+		n.AddMapping(z, x, i+1)
+	}
+	if _, err := NewPlan(n); err == nil {
+		t.Error("non-binary network must be rejected")
+	}
+}
+
+func TestSQLShapeMatchesPaper(t *testing.T) {
+	n := buildOscillator()
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := p.SQL("POSS")
+	if len(stmts) != 2 { // one DISTINCT insert per flooded member
+		t.Fatalf("want 2 statements, got %d: %v", len(stmts), stmts)
+	}
+	for _, s := range stmts {
+		if !strings.Contains(s, "SELECT DISTINCT") || !strings.Contains(s, " OR ") {
+			t.Errorf("flood statement shape wrong: %s", s)
+		}
+	}
+}
+
+func TestBulkMatchesPerObjectResolve(t *testing.T) {
+	n := buildOscillator()
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(p)
+	x3, x4 := n.UserID("x3"), n.UserID("x4")
+	beliefs := map[string]map[int]tn.Value{
+		"k1": {x3: "jar", x4: "cow"}, // conflict
+		"k2": {x3: "urn", x4: "urn"}, // agreement
+		"k3": {x3: "a", x4: "b"},     // conflict
+	}
+	if err := s.LoadObjects(beliefs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	for k, bs := range beliefs {
+		per := n.Clone()
+		for x, v := range bs {
+			per.SetExplicit(x, v)
+		}
+		r := resolve.Resolve(per)
+		for x := 0; x < n.NumUsers(); x++ {
+			want := r.Possible(x)
+			got := s.Possible(x, k)
+			if len(got) != len(want) {
+				t.Fatalf("object %s poss(%s): bulk %v vs per-object %v", k, n.Name(x), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("object %s poss(%s): bulk %v vs per-object %v", k, n.Name(x), got, want)
+				}
+			}
+			if s.Certain(x, k) != r.Certain(x) {
+				t.Fatalf("object %s cert(%s): bulk %q vs per-object %q", k, n.Name(x), s.Certain(x, k), r.Certain(x))
+			}
+		}
+	}
+}
+
+// randomRootedBTN builds a random binary network with all explicit-belief
+// users fixed (values set later per object).
+func randomRootedBTN(rng *rand.Rand, maxUsers int) *tn.Network {
+	n := tn.New()
+	nu := 3 + rng.Intn(maxUsers-2)
+	for i := 0; i < nu; i++ {
+		n.AddUser(fmt.Sprintf("u%c", 'A'+i))
+	}
+	nRoots := 1 + rng.Intn(2)
+	for i := 0; i < nRoots; i++ {
+		n.SetExplicit(i, "seed")
+	}
+	for x := nRoots; x < nu; x++ {
+		k := 1 + rng.Intn(2)
+		perm := rng.Perm(nu)
+		added := 0
+		for _, z := range perm {
+			if added >= k || z == x {
+				continue
+			}
+			n.AddMapping(z, x, 1+rng.Intn(5))
+			added++
+		}
+	}
+	return n
+}
+
+// TestBulkMatchesPerObjectRandom cross-checks bulk SQL resolution against
+// Algorithm 1 on random networks and random object sets.
+func TestBulkMatchesPerObjectRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	values := []tn.Value{"v", "w", "u"}
+	for iter := 0; iter < 40; iter++ {
+		n := randomRootedBTN(rng, 7)
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewStore(p)
+		beliefs := map[string]map[int]tn.Value{}
+		numObjects := 1 + rng.Intn(6)
+		for o := 0; o < numObjects; o++ {
+			k := fmt.Sprintf("k%d", o)
+			bs := map[int]tn.Value{}
+			for _, root := range p.Roots {
+				bs[root] = values[rng.Intn(len(values))]
+			}
+			beliefs[k] = bs
+		}
+		if err := s.LoadObjects(beliefs); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Resolve(); err != nil {
+			t.Fatal(err)
+		}
+		for k, bs := range beliefs {
+			per := n.Clone()
+			for x, v := range bs {
+				per.SetExplicit(x, v)
+			}
+			r := resolve.Resolve(per)
+			for x := 0; x < n.NumUsers(); x++ {
+				want := r.Possible(x)
+				got := s.Possible(x, k)
+				if len(got) != len(want) {
+					t.Fatalf("iter %d object %s poss(%s): bulk %v vs %v", iter, k, n.Name(x), got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("iter %d object %s poss(%s): bulk %v vs %v", iter, k, n.Name(x), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLoadObjectsMissingRootBelief(t *testing.T) {
+	n := buildOscillator()
+	p, _ := NewPlan(n)
+	s := NewStore(p)
+	err := s.LoadObjects(map[string]map[int]tn.Value{
+		"k1": {n.UserID("x3"): "jar"}, // x4 missing: violates assumption ii
+	})
+	if err == nil {
+		t.Error("missing root belief must be rejected")
+	}
+}
+
+func TestSQLEscaping(t *testing.T) {
+	n := buildOscillator()
+	p, _ := NewPlan(n)
+	s := NewStore(p)
+	x3, x4 := n.UserID("x3"), n.UserID("x4")
+	err := s.LoadObjects(map[string]map[int]tn.Value{
+		"key'quote": {x3: "it's", x4: "ship hull"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Possible(n.UserID("x1"), "key'quote")
+	if len(got) != 2 {
+		t.Errorf("quoted keys/values mishandled: %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package bulk
+
+// Bulk resolution with constraints (the Section 4 extension the paper
+// sketches for Algorithm 2: "we need to modify some of the insert
+// statements to insert the appropriate representation of ⊥"). This file
+// provides a direct (non-SQL) bulk Skeptic resolver: the object-independent
+// parts of Algorithm 2 — the static Type-1/Type-2 partition, the negative
+// closures, and the resolution order — are computed once per network shape
+// and reused across all objects, under the two Section-4 assumptions
+// (shared mappings; positive-belief users have beliefs for every object).
+// Constraints (negative beliefs) are per-user and shared by all objects,
+// matching the paper's model of constraints as value filters.
+
+import (
+	"fmt"
+	"sort"
+
+	"trustmap/internal/belief"
+	"trustmap/internal/skeptic"
+	"trustmap/internal/tn"
+)
+
+// SkepticPlan is the reusable, object-independent state for bulk Skeptic
+// resolution.
+type SkepticPlan struct {
+	shape *skeptic.Network
+	roots []int // users whose positive belief varies per object
+}
+
+// NewSkepticPlan prepares bulk Skeptic resolution for a network shape:
+// roots lists the users with per-object positive beliefs; constraints maps
+// users to their (object-independent) rejected values. The network must be
+// binary and tie-free (Section 3).
+func NewSkepticPlan(network *tn.Network, roots []int, constraints map[int][]string) (*SkepticPlan, error) {
+	shape := skeptic.FromTN(network.Clone())
+	for user, rejected := range constraints {
+		if network.HasExplicit(user) {
+			return nil, fmt.Errorf("bulk: user %s has both beliefs and constraints", network.Name(user))
+		}
+		shape.SetBelief(user, belief.Negatives(rejected...))
+	}
+	for _, r := range roots {
+		// Placeholder positive: the Type partition depends only on WHICH
+		// users hold positives, not on their values (assumption ii).
+		shape.SetBelief(r, belief.Positive("seed"))
+	}
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	rs := append([]int(nil), roots...)
+	sort.Ints(rs)
+	return &SkepticPlan{shape: shape, roots: rs}, nil
+}
+
+// SkepticResult holds per-object Skeptic resolutions.
+type SkepticResult struct {
+	plan    *SkepticPlan
+	results map[string]*skeptic.Result
+}
+
+// ResolveObjects resolves every object: beliefs[k][x] gives root x's
+// positive value for object k and must cover every plan root.
+func (p *SkepticPlan) ResolveObjects(beliefs map[string]map[int]tn.Value) (*SkepticResult, error) {
+	out := &SkepticResult{plan: p, results: make(map[string]*skeptic.Result, len(beliefs))}
+	keys := make([]string, 0, len(beliefs))
+	for k := range beliefs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bs := beliefs[k]
+		per := p.shape
+		// Swap in the object's values; the structure, constraints, and
+		// derived partition inputs are shared.
+		for _, r := range p.roots {
+			v, ok := bs[r]
+			if !ok {
+				return nil, fmt.Errorf("bulk: object %q misses a belief for root %d (assumption ii)", k, r)
+			}
+			per.SetBelief(r, belief.Positive(string(v)))
+		}
+		out.results[k] = skeptic.ResolveSkeptic(per)
+	}
+	// Restore placeholders so the plan stays reusable.
+	for _, r := range p.roots {
+		p.shape.SetBelief(r, belief.Positive("seed"))
+	}
+	return out, nil
+}
+
+// PossiblePositives returns the possible positive values of user x for
+// object k.
+func (r *SkepticResult) PossiblePositives(x int, k string) []string {
+	res := r.results[k]
+	if res == nil {
+		return nil
+	}
+	return res.PossiblePositives(x)
+}
+
+// CertainPositive returns the certain positive value of user x for object
+// k, or "".
+func (r *SkepticResult) CertainPositive(x int, k string) string {
+	res := r.results[k]
+	if res == nil {
+		return ""
+	}
+	return res.CertainPositive(x)
+}
+
+// HasBottom reports whether user x can reject every value for object k.
+func (r *SkepticResult) HasBottom(x int, k string) bool {
+	res := r.results[k]
+	return res != nil && res.HasBottom(x)
+}

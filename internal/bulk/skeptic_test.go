@@ -1,0 +1,129 @@
+package bulk
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/belief"
+	"trustmap/internal/skeptic"
+	"trustmap/internal/tn"
+)
+
+// buildFilteredOscillator: an oscillator whose x1 carries a constraint.
+func buildFilteredOscillator() (*tn.Network, []int, map[int][]string) {
+	n := tn.New()
+	x1 := n.AddUser("x1")
+	x2 := n.AddUser("x2")
+	x3 := n.AddUser("x3")
+	x4 := n.AddUser("x4")
+	n.AddMapping(x2, x1, 100)
+	n.AddMapping(x3, x1, 50)
+	n.AddMapping(x1, x2, 80)
+	n.AddMapping(x4, x2, 40)
+	return n, []int{x3, x4}, map[int][]string{x1: {"w"}}
+}
+
+func TestSkepticPlanMatchesPerObject(t *testing.T) {
+	n, roots, constraints := buildFilteredOscillator()
+	plan, err := NewSkepticPlan(n, roots, constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	values := []tn.Value{"v", "w", "u"}
+	beliefs := map[string]map[int]tn.Value{}
+	for o := 0; o < 12; o++ {
+		bs := map[int]tn.Value{}
+		for _, r := range roots {
+			bs[r] = values[rng.Intn(len(values))]
+		}
+		beliefs[fmt.Sprintf("k%d", o)] = bs
+	}
+	res, err := plan.ResolveObjects(beliefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, bs := range beliefs {
+		per := skeptic.FromTN(n.Clone())
+		for user, rejected := range constraints {
+			per.SetBelief(user, belief.Negatives(rejected...))
+		}
+		for r, v := range bs {
+			per.SetBelief(r, belief.Positive(string(v)))
+		}
+		want := skeptic.ResolveSkeptic(per)
+		for x := 0; x < n.NumUsers(); x++ {
+			gotP := res.PossiblePositives(x, k)
+			wantP := want.PossiblePositives(x)
+			if len(gotP) != len(wantP) {
+				t.Fatalf("object %s poss+(%s): bulk %v vs per-object %v", k, n.Name(x), gotP, wantP)
+			}
+			for i := range gotP {
+				if gotP[i] != wantP[i] {
+					t.Fatalf("object %s poss+(%s): bulk %v vs per-object %v", k, n.Name(x), gotP, wantP)
+				}
+			}
+			if res.CertainPositive(x, k) != want.CertainPositive(x) {
+				t.Fatalf("object %s cert+(%s) differs", k, n.Name(x))
+			}
+			if res.HasBottom(x, k) != want.HasBottom(x) {
+				t.Fatalf("object %s bottom(%s) differs", k, n.Name(x))
+			}
+		}
+	}
+}
+
+func TestSkepticPlanReusable(t *testing.T) {
+	n, roots, constraints := buildFilteredOscillator()
+	plan, err := NewSkepticPlan(n, roots, constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := map[string]map[int]tn.Value{"k": {roots[0]: "v", roots[1]: "v"}}
+	b2 := map[string]map[int]tn.Value{"k": {roots[0]: "u", roots[1]: "u"}}
+	r1, err := plan.ResolveObjects(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := plan.ResolveObjects(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := n.UserID("x1")
+	if got := r1.CertainPositive(x1, "k"); got != "v" {
+		t.Errorf("first batch: x1=%q want v", got)
+	}
+	if got := r2.CertainPositive(x1, "k"); got != "u" {
+		t.Errorf("second batch: x1=%q want u (plan must be reusable)", got)
+	}
+}
+
+func TestSkepticPlanErrors(t *testing.T) {
+	n, roots, _ := buildFilteredOscillator()
+	// Beliefs and constraints on the same user.
+	n2 := n.Clone()
+	n2.SetExplicit(roots[0], "v")
+	if _, err := NewSkepticPlan(n2, roots, map[int][]string{roots[0]: {"w"}}); err == nil {
+		t.Error("belief+constraint user must be rejected")
+	}
+	// Missing root belief for an object.
+	plan, err := NewSkepticPlan(n, roots, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = plan.ResolveObjects(map[string]map[int]tn.Value{"k": {roots[0]: "v"}})
+	if err == nil {
+		t.Error("missing root belief must be rejected (assumption ii)")
+	}
+	// Ties are rejected.
+	n3 := tn.New()
+	a := n3.AddUser("a")
+	b := n3.AddUser("b")
+	x := n3.AddUser("x")
+	n3.AddMapping(a, x, 1)
+	n3.AddMapping(b, x, 1)
+	if _, err := NewSkepticPlan(n3, []int{a, b}, nil); err == nil {
+		t.Error("tied priorities must be rejected")
+	}
+}

@@ -1,0 +1,207 @@
+// Package gadgets implements the hardness machinery of Theorem 3.4: CNF
+// formulas with a DPLL satisfiability solver (the reference oracle for the
+// reduction), and the encoding of CNF SAT into binary trust networks with
+// constraints using the oscillator, NOT, PASS-THROUGH, OR, and AND gates of
+// Figures 7 and 16. The encoding demonstrates why computing possible
+// beliefs under the Agnostic and Eclectic paradigms is NP-hard.
+package gadgets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Literal is a CNF literal: variable index (0-based) and polarity.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+func (l Literal) String() string {
+	if l.Neg {
+		return fmt.Sprintf("!x%d", l.Var)
+	}
+	return fmt.Sprintf("x%d", l.Var)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a conjunction of clauses over variables 0..NumVars-1.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+func (f CNF) String() string {
+	var cs []string
+	for _, c := range f.Clauses {
+		var ls []string
+		for _, l := range c {
+			ls = append(ls, l.String())
+		}
+		cs = append(cs, "("+strings.Join(ls, " | ")+")")
+	}
+	return strings.Join(cs, " & ")
+}
+
+// Eval evaluates the formula under a total assignment.
+func (f CNF) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if assign[l.Var] != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve decides satisfiability with DPLL (unit propagation + branching) and
+// returns a satisfying assignment if one exists.
+func (f CNF) Solve() ([]bool, bool) {
+	const (
+		unset = 0
+		tru   = 1
+		fls   = 2
+	)
+	assign := make([]int8, f.NumVars)
+	var dpll func() bool
+	dpll = func() bool {
+		// Unit propagation.
+		var trail []int
+		for {
+			unit := -1
+			var unitVal int8
+			for _, c := range f.Clauses {
+				unassigned := 0
+				var lastLit Literal
+				sat := false
+				for _, l := range c {
+					switch assign[l.Var] {
+					case unset:
+						unassigned++
+						lastLit = l
+					case tru:
+						if !l.Neg {
+							sat = true
+						}
+					case fls:
+						if l.Neg {
+							sat = true
+						}
+					}
+					if sat {
+						break
+					}
+				}
+				if sat {
+					continue
+				}
+				if unassigned == 0 {
+					// Conflict: undo trail.
+					for _, v := range trail {
+						assign[v] = unset
+					}
+					return false
+				}
+				if unassigned == 1 {
+					unit = lastLit.Var
+					if lastLit.Neg {
+						unitVal = fls
+					} else {
+						unitVal = tru
+					}
+					break
+				}
+			}
+			if unit < 0 {
+				break
+			}
+			assign[unit] = unitVal
+			trail = append(trail, unit)
+		}
+		// Pick a branching variable.
+		branch := -1
+		for v := 0; v < f.NumVars; v++ {
+			if assign[v] == unset {
+				branch = v
+				break
+			}
+		}
+		if branch < 0 {
+			ok := true
+			for _, c := range f.Clauses {
+				sat := false
+				for _, l := range c {
+					if (assign[l.Var] == tru) != l.Neg {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+			for _, v := range trail {
+				assign[v] = unset
+			}
+			return false
+		}
+		for _, val := range []int8{tru, fls} {
+			assign[branch] = val
+			if dpll() {
+				return true
+			}
+		}
+		assign[branch] = unset
+		for _, v := range trail {
+			assign[v] = unset
+		}
+		return false
+	}
+	if !dpll() {
+		return nil, false
+	}
+	out := make([]bool, f.NumVars)
+	for v := range out {
+		out[v] = assign[v] == tru
+	}
+	if !f.Eval(out) {
+		panic("gadgets: DPLL returned a non-satisfying assignment")
+	}
+	return out, true
+}
+
+// RandomCNF generates a random k-CNF with the given shape. Clauses hold
+// distinct variables, so their length is capped at numVars.
+func RandomCNF(rng *rand.Rand, numVars, numClauses, clauseLen int) CNF {
+	if clauseLen > numVars {
+		clauseLen = numVars
+	}
+	f := CNF{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		var c Clause
+		used := map[int]bool{}
+		for len(c) < clauseLen {
+			v := rng.Intn(numVars)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			c = append(c, Literal{Var: v, Neg: rng.Float64() < 0.5})
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}

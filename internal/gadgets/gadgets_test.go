@@ -1,0 +1,254 @@
+package gadgets
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/belief"
+	"trustmap/internal/skeptic"
+)
+
+func TestDPLLBasics(t *testing.T) {
+	// (x0) & (!x0) unsat.
+	f := CNF{NumVars: 1, Clauses: []Clause{{{0, false}}, {{0, true}}}}
+	if _, ok := f.Solve(); ok {
+		t.Error("x & !x must be unsat")
+	}
+	// (x0 | x1) & (!x0 | x1) => x1 true.
+	f = CNF{NumVars: 2, Clauses: []Clause{
+		{{0, false}, {1, false}},
+		{{0, true}, {1, false}},
+	}}
+	a, ok := f.Solve()
+	if !ok || !a[1] {
+		t.Errorf("want sat with x1=true, got %v ok=%v", a, ok)
+	}
+	// Empty formula is satisfiable.
+	f = CNF{NumVars: 2}
+	if _, ok := f.Solve(); !ok {
+		t.Error("empty CNF must be sat")
+	}
+}
+
+func TestDPLLMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		f := RandomCNF(rng, 2+rng.Intn(4), 1+rng.Intn(6), 1+rng.Intn(3))
+		_, got := f.Solve()
+		want := false
+		n := f.NumVars
+		for mask := 0; mask < 1<<n && !want; mask++ {
+			assign := make([]bool, n)
+			for v := 0; v < n; v++ {
+				assign[v] = mask&(1<<v) != 0
+			}
+			want = f.Eval(assign)
+		}
+		if got != want {
+			t.Fatalf("formula %v: DPLL=%v brute=%v", f, got, want)
+		}
+	}
+}
+
+// evalGate pins a single input value and solves the gate acyclically.
+func evalGate(t *testing.T, build func(g *gateBuilder, in int) int, p belief.Paradigm, inVal string) belief.Set {
+	t.Helper()
+	c := skeptic.New()
+	g := &gateBuilder{c: c}
+	in := g.root("in", belief.Positive(inVal))
+	out := build(g, in)
+	sol, err := skeptic.SolveAcyclic(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol[out]
+}
+
+// TestNotGateTruthTable checks Figure 16b: b+/a+ -> c+/d+.
+func TestNotGateTruthTable(t *testing.T) {
+	for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic} {
+		got := evalGate(t, func(g *gateBuilder, in int) int { return g.notGate("not", in) }, p, "b")
+		if v, ok := got.Pos(); !ok || v != "c" {
+			t.Errorf("%v NOT(1): got %v want c+ (0)", p, got)
+		}
+		got = evalGate(t, func(g *gateBuilder, in int) int { return g.notGate("not", in) }, p, "a")
+		if v, ok := got.Pos(); !ok || v != "d" {
+			t.Errorf("%v NOT(0): got %v want d+ (1)", p, got)
+		}
+	}
+}
+
+// TestPassGateTruthTable checks Figure 16c: b+/a+ -> d+/c+.
+func TestPassGateTruthTable(t *testing.T) {
+	for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic} {
+		got := evalGate(t, func(g *gateBuilder, in int) int { return g.passGate("p", in) }, p, "b")
+		if v, ok := got.Pos(); !ok || v != "d" {
+			t.Errorf("%v PASS(1): got %v want d+", p, got)
+		}
+		got = evalGate(t, func(g *gateBuilder, in int) int { return g.passGate("p", in) }, p, "a")
+		if v, ok := got.Pos(); !ok || v != "c" {
+			t.Errorf("%v PASS(0): got %v want c+", p, got)
+		}
+	}
+}
+
+// TestOrGateTruthTable checks Figure 16d over all 3-input combinations:
+// inputs d+/c+ (1/0), output d+/e+ (1/0).
+func TestOrGateTruthTable(t *testing.T) {
+	for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic} {
+		for mask := 0; mask < 8; mask++ {
+			c := skeptic.New()
+			g := &gateBuilder{c: c}
+			var ins []int
+			want := false
+			for i := 0; i < 3; i++ {
+				bit := mask&(1<<i) != 0
+				want = want || bit
+				v := "c"
+				if bit {
+					v = "d"
+				}
+				ins = append(ins, g.root("in", belief.Positive(v)))
+			}
+			out := g.orGate("or", ins)
+			sol, err := skeptic.SolveAcyclic(c, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, ok := sol[out].Pos()
+			if !ok {
+				t.Fatalf("%v OR mask %03b: no positive output: %v", p, mask, sol[out])
+			}
+			wantV := "e"
+			if want {
+				wantV = "d"
+			}
+			if v != wantV {
+				t.Errorf("%v OR mask %03b: got %s+ want %s+", p, mask, v, wantV)
+			}
+		}
+	}
+}
+
+// TestAndGateTruthTable checks Figure 16e: inputs d+/e+ (1/0), output
+// f+/e+ (1/0).
+func TestAndGateTruthTable(t *testing.T) {
+	for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic} {
+		for mask := 0; mask < 4; mask++ {
+			c := skeptic.New()
+			g := &gateBuilder{c: c}
+			var ins []int
+			want := true
+			for i := 0; i < 2; i++ {
+				bit := mask&(1<<i) != 0
+				want = want && bit
+				v := "e"
+				if bit {
+					v = "d"
+				}
+				ins = append(ins, g.root("in", belief.Positive(v)))
+			}
+			out := g.andGate("and", ins)
+			sol, err := skeptic.SolveAcyclic(c, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, ok := sol[out].Pos()
+			if !ok {
+				t.Fatalf("%v AND mask %02b: no positive output: %v", p, mask, sol[out])
+			}
+			wantV := "e"
+			if want {
+				wantV = "f"
+			}
+			if v != wantV {
+				t.Errorf("%v AND mask %02b: got %s+ want %s+", p, mask, v, wantV)
+			}
+		}
+	}
+}
+
+// TestPaperFormula encodes (X1 ∨ ¬X2) ∧ (X2 ∨ X3) (Figure 16f) and checks
+// satisfiability through the gadget.
+func TestPaperFormula(t *testing.T) {
+	f := CNF{NumVars: 3, Clauses: []Clause{
+		{{0, false}, {1, true}},
+		{{1, false}, {2, false}},
+	}}
+	if _, ok := f.Solve(); !ok {
+		t.Fatal("paper formula must be satisfiable")
+	}
+	enc := EncodeCNF(f)
+	for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic} {
+		if !enc.SatisfiableViaGadget(p, f.NumVars) {
+			t.Errorf("%v: f+ must be possible at Z for a satisfiable formula", p)
+		}
+	}
+}
+
+// TestReductionMatchesDPLL is the Theorem 3.4 equivalence: the CNF is
+// satisfiable iff f+ ∈ poss(Z) in the encoded network, for both hard
+// paradigms, over random formulas.
+func TestReductionMatchesDPLL(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 40; i++ {
+		f := RandomCNF(rng, 2+rng.Intn(3), 2+rng.Intn(4), 1+rng.Intn(3))
+		_, want := f.Solve()
+		enc := EncodeCNF(f)
+		for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic} {
+			got := enc.SatisfiableViaGadget(p, f.NumVars)
+			if got != want {
+				t.Fatalf("formula %d %v (%v): gadget=%v dpll=%v", i, f, p, got, want)
+			}
+		}
+	}
+}
+
+// TestUnsatisfiableFormulaCertainE: for an unsatisfiable formula the output
+// is e+ (0) under every phase, i.e. e+ is certain at Z (the coNP-hardness
+// direction of Theorem 3.4).
+func TestUnsatisfiableFormulaCertainE(t *testing.T) {
+	f := CNF{NumVars: 1, Clauses: []Clause{{{0, false}}, {{0, true}}}}
+	enc := EncodeCNF(f)
+	for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic} {
+		for _, phase := range [][]bool{{false}, {true}} {
+			b := enc.EvalPhase(p, phase)
+			if v, ok := b.Pos(); !ok || v != "e" {
+				t.Errorf("%v phase %v: got %v want e+", p, phase, b)
+			}
+		}
+	}
+}
+
+// TestEncodingSize: the encoding is polynomial in the formula size.
+func TestEncodingSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := RandomCNF(rng, 10, 20, 3)
+	enc := EncodeCNF(f)
+	n := enc.Net.NumUsers()
+	// Rough budget: <= 30 nodes per variable + 40 per clause.
+	if n > 30*f.NumVars+40*len(f.Clauses) {
+		t.Errorf("encoding too large: %d nodes", n)
+	}
+	if err := enc.Net.Validate(); err != nil {
+		t.Errorf("encoding must be a valid binary tie-free network: %v", err)
+	}
+}
+
+// TestOscillatorBistable: the variable gadget alone has exactly the two
+// expected stable solutions.
+func TestOscillatorBistable(t *testing.T) {
+	c := skeptic.New()
+	g := &gateBuilder{c: c}
+	out, _, _ := g.oscillator(0)
+	sols := skeptic.EnumerateStableSolutions(c, belief.Agnostic, 0)
+	seen := map[string]bool{}
+	for _, s := range sols {
+		if v, ok := s[out].Pos(); ok {
+			seen[v] = true
+		}
+	}
+	if len(sols) != 2 || !seen["a"] || !seen["b"] {
+		t.Errorf("oscillator: want 2 solutions covering a+ and b+, got %d (%v)", len(sols), seen)
+	}
+}

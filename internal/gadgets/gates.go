@@ -1,0 +1,242 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"trustmap/internal/belief"
+	"trustmap/internal/skeptic"
+)
+
+// This file builds the trust-network gates of Figure 16 and composes them
+// into the CNF SAT encoding of Theorem 3.4. The Boolean values are encoded
+// differently at each level (Figure 17):
+//
+//	level 1 (variables):  1 = b+,  0 = a+   (oscillator outputs)
+//	level 2 (literals):   1 = d+,  0 = c+   (PASS/NOT outputs)
+//	level 3 (clauses):    1 = d+,  0 = e+   (OR outputs)
+//	level 4 (formula):    1 = f+,  0 = e+   (AND output)
+
+// Encoding is a CNF formula compiled to a binary trust network with
+// constraints. The formula is satisfiable iff f+ is a possible belief at
+// node Z under the Agnostic (or Eclectic) paradigm.
+type Encoding struct {
+	Net *skeptic.Network
+	// VarNodes[i] is the oscillator output node for variable i; its
+	// possible positive beliefs are "b" (true) and "a" (false).
+	VarNodes []int
+	// OscRootTrue[i] / OscRootFalse[i] are the oscillator's explicit roots.
+	OscRootTrue  []int
+	OscRootFalse []int
+	// Z is the output node; f+ at Z means satisfiable.
+	Z int
+}
+
+// gateBuilder numbers helper nodes uniquely.
+type gateBuilder struct {
+	c *skeptic.Network
+	n int
+}
+
+func (g *gateBuilder) node(prefix string) int {
+	g.n++
+	return g.c.AddUser(fmt.Sprintf("%s_%d", prefix, g.n))
+}
+
+// root adds a fresh root with the given explicit belief.
+func (g *gateBuilder) root(prefix string, b belief.Set) int {
+	x := g.node(prefix)
+	g.c.SetBelief(x, b)
+	return x
+}
+
+// guarded adds a node with preferred parent pref and non-preferred parent
+// nonPref.
+func (g *gateBuilder) guarded(prefix string, pref, nonPref int) int {
+	x := g.node(prefix)
+	g.c.AddMapping(pref, x, 2)
+	g.c.AddMapping(nonPref, x, 1)
+	return x
+}
+
+// oscillator builds the Figure 16a variable gadget: output possible beliefs
+// b+ (true) and a+ (false).
+func (g *gateBuilder) oscillator(i int) (out, rootTrue, rootFalse int) {
+	rb := g.root(fmt.Sprintf("x%d_rt", i), belief.Positive("b"))
+	ra := g.root(fmt.Sprintf("x%d_rf", i), belief.Positive("a"))
+	o1 := g.node(fmt.Sprintf("x%d_o1", i))
+	o2 := g.node(fmt.Sprintf("x%d_o2", i))
+	g.c.AddMapping(o2, o1, 2)
+	g.c.AddMapping(rb, o1, 1)
+	g.c.AddMapping(o1, o2, 2)
+	g.c.AddMapping(ra, o2, 1)
+	return o1, rb, ra
+}
+
+// unary builds the shared NOT / PASS-THROUGH shape of Figures 16b and 16c:
+// a chain of four guarded nodes with constant roots. With outLow="c",
+// outHigh="d" it is a NOT gate (b+/a+ -> c+/d+); swapped it is a
+// PASS-THROUGH (b+/a+ -> d+/c+).
+func (g *gateBuilder) unary(name string, in int, outLow, outHigh string) int {
+	n1 := g.guarded(name+"_n1", g.root(name+"_aNeg", belief.Negatives("a")), in)
+	n2 := g.guarded(name+"_n2", n1, g.root(name+"_hi", belief.Positive(outHigh)))
+	n3 := g.guarded(name+"_n3", g.root(name+"_bNeg", belief.Negatives("b")), n2)
+	return g.guarded(name+"_out", n3, g.root(name+"_lo", belief.Positive(outLow)))
+}
+
+// notGate maps b+/a+ (1/0) to c+/d+ (0/1).
+func (g *gateBuilder) notGate(name string, in int) int {
+	return g.unary(name, in, "c", "d")
+}
+
+// passGate maps b+/a+ (1/0) to d+/c+ (1/0).
+func (g *gateBuilder) passGate(name string, in int) int {
+	return g.unary(name, in, "d", "c")
+}
+
+// orGate builds the Figure 16d clause gadget over level-2 inputs
+// (d+ = 1, c+ = 0), producing d+ = 1 / e+ = 0.
+func (g *gateBuilder) orGate(name string, ins []int) int {
+	var filtered []int
+	for i, in := range ins {
+		cNeg := g.root(fmt.Sprintf("%s_cNeg%d", name, i), belief.Negatives("c"))
+		filtered = append(filtered, g.guarded(fmt.Sprintf("%s_g%d", name, i), cNeg, in))
+	}
+	acc := filtered[0]
+	for i := 1; i < len(filtered); i++ {
+		acc = g.guarded(fmt.Sprintf("%s_m%d", name, i), acc, filtered[i])
+	}
+	ePos := g.root(name+"_e", belief.Positive("e"))
+	return g.guarded(name+"_out", acc, ePos)
+}
+
+// andGate builds the Figure 16e output gadget over level-3 inputs
+// (d+ = 1, e+ = 0), producing f+ = 1 / e+ = 0.
+func (g *gateBuilder) andGate(name string, ins []int) int {
+	var filtered []int
+	for i, in := range ins {
+		dNeg := g.root(fmt.Sprintf("%s_dNeg%d", name, i), belief.Negatives("d"))
+		filtered = append(filtered, g.guarded(fmt.Sprintf("%s_g%d", name, i), dNeg, in))
+	}
+	acc := filtered[0]
+	for i := 1; i < len(filtered); i++ {
+		acc = g.guarded(fmt.Sprintf("%s_m%d", name, i), acc, filtered[i])
+	}
+	fPos := g.root(name+"_f", belief.Positive("f"))
+	return g.guarded(name+"_out", acc, fPos)
+}
+
+// EncodeCNF compiles a CNF formula into the Theorem 3.4 trust network.
+func EncodeCNF(f CNF) *Encoding {
+	enc := &Encoding{Net: skeptic.New()}
+	g := &gateBuilder{c: enc.Net}
+	enc.VarNodes = make([]int, f.NumVars)
+	enc.OscRootTrue = make([]int, f.NumVars)
+	enc.OscRootFalse = make([]int, f.NumVars)
+	for i := 0; i < f.NumVars; i++ {
+		enc.VarNodes[i], enc.OscRootTrue[i], enc.OscRootFalse[i] = g.oscillator(i)
+	}
+	// Level 2: one PASS per positive occurrence polarity, one NOT per
+	// negative polarity (shared across clauses).
+	pass := make(map[int]int)
+	not := make(map[int]int)
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if l.Neg {
+				if _, ok := not[l.Var]; !ok {
+					not[l.Var] = g.notGate(fmt.Sprintf("not%d", l.Var), enc.VarNodes[l.Var])
+				}
+			} else {
+				if _, ok := pass[l.Var]; !ok {
+					pass[l.Var] = g.passGate(fmt.Sprintf("pass%d", l.Var), enc.VarNodes[l.Var])
+				}
+			}
+		}
+	}
+	// Level 3: one OR per clause.
+	var clauseOuts []int
+	for ci, c := range f.Clauses {
+		var ins []int
+		for _, l := range c {
+			if l.Neg {
+				ins = append(ins, not[l.Var])
+			} else {
+				ins = append(ins, pass[l.Var])
+			}
+		}
+		clauseOuts = append(clauseOuts, g.orGate(fmt.Sprintf("or%d", ci), ins))
+	}
+	// Level 4: a single AND.
+	enc.Z = g.andGate("and", clauseOuts)
+	return enc
+}
+
+// EvalPhase evaluates the encoding under a fixed oscillator phase
+// assignment (true = b+, the encoding of 1) by replacing each oscillator
+// with an explicit root and solving the remaining acyclic network under
+// paradigm p. It returns the belief set at Z.
+//
+// Each phase assignment corresponds to one stable solution of the cyclic
+// network (the oscillators are the only cycles), so iterating EvalPhase
+// over all phases enumerates poss(Z).
+func (e *Encoding) EvalPhase(p belief.Paradigm, phase []bool) belief.Set {
+	c := skeptic.New()
+	// Clone structure.
+	for x := 0; x < e.Net.NumUsers(); x++ {
+		c.AddUser(e.Net.TN.Name(x))
+	}
+	osc := make(map[int]bool) // oscillator internal nodes to cut
+	fixed := make(map[int]belief.Set)
+	for i, out := range e.VarNodes {
+		v := "a"
+		if phase[i] {
+			v = "b"
+		}
+		fixed[out] = belief.Positive(v)
+		osc[out] = true
+	}
+	for x := 0; x < e.Net.NumUsers(); x++ {
+		if b, ok := fixed[x]; ok {
+			c.SetBelief(x, b)
+			continue // drop incoming edges: the oscillator output is pinned
+		}
+		c.SetBelief(x, e.Net.B0[x])
+	}
+	for x := 0; x < e.Net.NumUsers(); x++ {
+		if osc[x] {
+			continue
+		}
+		for _, m := range e.Net.TN.In(x) {
+			// Skip edges into the other oscillator half (o2): it has no
+			// outgoing edges we keep, so just keep the graph acyclic by
+			// dropping edges into any pinned node.
+			c.AddMapping(m.Parent, x, m.Priority)
+		}
+	}
+	sol, err := skeptic.SolveAcyclic(c, p)
+	if err != nil {
+		panic("gadgets: phase-pinned encoding must be acyclic: " + err.Error())
+	}
+	return sol[e.Z]
+}
+
+// SatisfiableViaGadget checks whether f+ is a possible belief at Z by
+// evaluating all oscillator phases (exponential, like any exact procedure
+// for an NP-hard problem). Paradigm p must be Agnostic or Eclectic.
+func (e *Encoding) SatisfiableViaGadget(p belief.Paradigm, numVars int) bool {
+	phase := make([]bool, numVars)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == numVars {
+			b := e.EvalPhase(p, phase)
+			v, ok := b.Pos()
+			return ok && v == "f"
+		}
+		phase[i] = false
+		if rec(i + 1) {
+			return true
+		}
+		phase[i] = true
+		return rec(i + 1)
+	}
+	return rec(0)
+}

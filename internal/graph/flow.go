@@ -1,0 +1,169 @@
+package graph
+
+// This file implements the network-flow machinery used by the
+// possible-pairs extension (Proposition 2.13): checking whether two
+// vertex-disjoint paths connect given sources to given targets inside a
+// strongly connected component whose preferred edges have been collapsed.
+
+// maxFlowUnit computes the max flow from s to t in a unit-capacity network
+// built from g with node splitting (every node has capacity 1 except s and
+// t), using Edmonds-Karp. It stops as soon as the flow reaches limit.
+func maxFlowUnit(g *Digraph, s, t, limit int) int {
+	// Node splitting: node v becomes v_in = 2v and v_out = 2v+1 with a
+	// capacity-1 arc v_in -> v_out (infinite for s and t, modelled as
+	// capacity = limit). Every original edge u->v becomes u_out -> v_in.
+	n := g.n
+	type arc struct {
+		to, rev, cap int
+	}
+	adj := make([][]arc, 2*n)
+	addArc := func(u, v, c int) {
+		adj[u] = append(adj[u], arc{to: v, rev: len(adj[v]), cap: c})
+		adj[v] = append(adj[v], arc{to: u, rev: len(adj[u]) - 1, cap: 0})
+	}
+	for v := 0; v < n; v++ {
+		c := 1
+		if v == s || v == t {
+			c = limit
+		}
+		addArc(2*v, 2*v+1, c)
+	}
+	seen := make(map[[2]int]bool)
+	for u := 0; u < n; u++ {
+		for _, v := range g.adj[u] {
+			k := [2]int{u, v}
+			if seen[k] || u == v {
+				continue
+			}
+			seen[k] = true
+			addArc(2*u+1, 2*v, 1)
+		}
+	}
+	src, dst := 2*s+1, 2*t
+	flow := 0
+	prevNode := make([]int, 2*n)
+	prevArc := make([]int, 2*n)
+	for flow < limit {
+		for i := range prevNode {
+			prevNode[i] = -1
+		}
+		prevNode[src] = src
+		queue := []int{src}
+		for len(queue) > 0 && prevNode[dst] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for i, a := range adj[u] {
+				if a.cap > 0 && prevNode[a.to] == -1 {
+					prevNode[a.to] = u
+					prevArc[a.to] = i
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		if prevNode[dst] == -1 {
+			break
+		}
+		// Unit capacities: augment by 1.
+		for v := dst; v != src; {
+			u := prevNode[v]
+			a := &adj[u][prevArc[v]]
+			a.cap--
+			adj[v][a.rev].cap++
+			v = u
+		}
+		flow++
+	}
+	return flow
+}
+
+// TwoDisjointPathsUnpaired reports whether there exist two internally
+// vertex-disjoint paths from {s1, s2} to {t1, t2} in some pairing, that is,
+// either (s1->t1, s2->t2) or (s1->t2, s2->t1) with no shared vertex. This is
+// a unit max-flow computation from a super-source over {s1,s2} to a
+// super-sink over {t1,t2}. All four endpoints must be distinct.
+func (g *Digraph) TwoDisjointPathsUnpaired(s1, s2, t1, t2 int) bool {
+	n := g.n
+	h := New(n + 2)
+	for u := 0; u < n; u++ {
+		for _, v := range g.adj[u] {
+			h.AddEdge(u, v)
+		}
+	}
+	superS, superT := n, n+1
+	h.AddEdge(superS, s1)
+	h.AddEdge(superS, s2)
+	h.AddEdge(t1, superT)
+	h.AddEdge(t2, superT)
+	return maxFlowUnit(h, superS, superT, 2) >= 2
+}
+
+// TwoDisjointPathsPaired reports whether there exist two vertex-disjoint
+// paths, one from s1 to t1 and one from s2 to t2 (the paired version used
+// by Proposition 2.13: route value v along s1->t1 and value w along
+// s2->t2). The paired two-disjoint-paths problem is NP-hard on general
+// digraphs (Fortune–Hopcroft–Wyllie), but the components it is invoked on
+// are small collapsed SCCs, so an exact search is practical: enumerate
+// simple paths s1->t1 by DFS and test whether t2 remains reachable from s2
+// when the first path's vertices are removed. The search is pruned by a
+// flow-based necessary condition. active restricts the graph (nil = all).
+//
+// Endpoints may coincide across the two pairs; a shared endpoint makes the
+// answer false (the paths could not be disjoint) unless the corresponding
+// pair is degenerate (s==t counts as a zero-length path occupying s only).
+func (g *Digraph) TwoDisjointPathsPaired(s1, t1, s2, t2 int, active func(int) bool) bool {
+	act := func(v int) bool { return active == nil || active(v) }
+	if !act(s1) || !act(t1) || !act(s2) || !act(t2) {
+		return false
+	}
+	// Degenerate zero-length paths.
+	if s1 == t1 {
+		if s1 == s2 || s1 == t2 {
+			return false
+		}
+		blocked := func(v int) bool { return v != s1 && act(v) }
+		return g.Reachable([]int{s2}, blocked)[t2]
+	}
+	if s2 == t2 {
+		return g.TwoDisjointPathsPaired(s2, t2, s1, t1, active)
+	}
+	if s1 == s2 || s1 == t2 || t1 == s2 || t1 == t2 {
+		return false
+	}
+	// Necessary condition via flow on the active subgraph.
+	sub := New(g.n)
+	for u := 0; u < g.n; u++ {
+		if !act(u) {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if act(v) {
+				sub.AddEdge(u, v)
+			}
+		}
+	}
+	if !sub.TwoDisjointPathsUnpaired(s1, s2, t1, t2) {
+		return false
+	}
+	// Exact search: DFS over simple paths s1 -> t1.
+	used := make([]bool, g.n)
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		if v == t1 {
+			notUsed := func(w int) bool { return !used[w] }
+			return sub.Reachable([]int{s2}, notUsed)[t2]
+		}
+		for _, w := range sub.adj[v] {
+			if used[w] || w == s2 || w == t2 {
+				continue
+			}
+			used[w] = true
+			if dfs(w) {
+				return true
+			}
+			used[w] = false
+		}
+		return false
+	}
+	used[s1] = true
+	return dfs(s1)
+}

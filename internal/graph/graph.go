@@ -1,0 +1,257 @@
+// Package graph provides the directed-graph algorithms that the conflict
+// resolution algorithms of the paper are built on: Tarjan's strongly
+// connected components (used by Algorithms 1 and 2 on every iteration of
+// their Step 2), condensation, reachability, topological order, and the
+// max-flow based disjoint-path checks used by the possible-pairs extension
+// (Proposition 2.13).
+//
+// Graphs are dense: nodes are the integers 0..N-1. All algorithms are
+// deterministic: neighbours are visited in insertion order.
+package graph
+
+import "fmt"
+
+// Digraph is a directed graph over nodes 0..N-1 with parallel edges allowed.
+type Digraph struct {
+	n   int
+	adj [][]int // adj[u] lists v for every edge u->v, in insertion order
+	m   int
+}
+
+// New returns an empty digraph with n nodes and no edges.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Digraph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Digraph) M() int { return g.m }
+
+// AddEdge inserts the directed edge u->v.
+func (g *Digraph) AddEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.m++
+}
+
+// Out returns the out-neighbours of u. The returned slice is shared with the
+// graph and must not be modified.
+func (g *Digraph) Out(u int) []int { return g.adj[u] }
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.n)
+	for u, vs := range g.adj {
+		for _, v := range vs {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := New(g.n)
+	for u, vs := range g.adj {
+		c.adj[u] = append([]int(nil), vs...)
+	}
+	c.m = g.m
+	return c
+}
+
+// SCC computes the strongly connected components of the subgraph of g
+// induced by the nodes for which active returns true (pass nil for the whole
+// graph). It returns comp, where comp[v] is the component index of v (or -1
+// for inactive nodes), and the number of components. Components are numbered
+// in reverse topological order of the condensation: if there is an edge from
+// component a to component b (a != b) then comp value of a is greater than
+// that of b. Consequently component 0 is always a sink (minimal in the
+// paper's orientation: no outgoing edges to other components).
+//
+// The implementation is Tarjan's algorithm with an explicit stack so that
+// deep graphs (long chains) do not overflow the goroutine stack.
+func (g *Digraph) SCC(active func(int) bool) (comp []int, ncomp int) {
+	const unvisited = -1
+	n := g.n
+	comp = make([]int, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range comp {
+		comp[i] = -1
+		index[i] = unvisited
+	}
+	next := 0
+	var stack []int // Tarjan stack
+	// Explicit DFS state: frame holds the node and the next out-edge index.
+	type frame struct {
+		v  int
+		ei int
+	}
+	var dfs []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited || (active != nil && !active(root)) {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(g.adj[v]) {
+				w := g.adj[v][f.ei]
+				f.ei++
+				if active != nil && !active(w) {
+					continue
+				}
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// Condense builds the condensation of g given a component labelling (as
+// produced by SCC): one node per component, with duplicate inter-component
+// edges removed. Nodes with comp[v] < 0 are ignored.
+func (g *Digraph) Condense(comp []int, ncomp int) *Digraph {
+	c := New(ncomp)
+	seen := make(map[[2]int]bool)
+	for u, vs := range g.adj {
+		cu := comp[u]
+		if cu < 0 {
+			continue
+		}
+		for _, v := range vs {
+			cv := comp[v]
+			if cv < 0 || cv == cu {
+				continue
+			}
+			k := [2]int{cu, cv}
+			if !seen[k] {
+				seen[k] = true
+				c.AddEdge(cu, cv)
+			}
+		}
+	}
+	return c
+}
+
+// Reachable returns the set of nodes reachable from any node in from,
+// restricted to nodes for which active returns true (nil means all nodes).
+// Source nodes are included if active.
+func (g *Digraph) Reachable(from []int, active func(int) bool) []bool {
+	seen := make([]bool, g.n)
+	var queue []int
+	for _, s := range from {
+		if s < 0 || s >= g.n {
+			continue
+		}
+		if active != nil && !active(s) {
+			continue
+		}
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if seen[v] || (active != nil && !active(v)) {
+				continue
+			}
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	return seen
+}
+
+// TopoOrder returns a topological order of g (Kahn's algorithm) and true,
+// or nil and false if g has a cycle.
+func (g *Digraph) TopoOrder() ([]int, bool) {
+	indeg := make([]int, g.n)
+	for _, vs := range g.adj {
+		for _, v := range vs {
+			indeg[v]++
+		}
+	}
+	var queue []int
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsAcyclic reports whether g has no directed cycle.
+func (g *Digraph) IsAcyclic() bool {
+	_, ok := g.TopoOrder()
+	return ok
+}

@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	comp, n := g.SCC(nil)
+	if n != 2 {
+		t.Fatalf("want 2 components, got %d", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("0,1,2 should share a component: %v", comp)
+	}
+	if comp[3] == comp[0] {
+		t.Errorf("3 should be its own component: %v", comp)
+	}
+	// Reverse topological numbering: edge comp[2]->comp[3] means comp[2] > comp[3].
+	if comp[2] <= comp[3] {
+		t.Errorf("component numbering not reverse-topological: %v", comp)
+	}
+}
+
+func TestSCCSingletons(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	comp, n := g.SCC(nil)
+	if n != 3 {
+		t.Fatalf("want 3 components, got %d (%v)", n, comp)
+	}
+	if !(comp[2] < comp[1] && comp[1] < comp[0]) {
+		t.Errorf("chain should number sinks first: %v", comp)
+	}
+}
+
+func TestSCCSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	comp, n := g.SCC(nil)
+	if n != 2 || comp[0] == comp[1] {
+		t.Fatalf("self loop should not merge nodes: n=%d comp=%v", n, comp)
+	}
+}
+
+func TestSCCActiveFilter(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(2, 3)
+	active := func(v int) bool { return v != 1 }
+	comp, n := g.SCC(active)
+	if comp[1] != -1 {
+		t.Errorf("inactive node labelled: %v", comp)
+	}
+	if n != 3 {
+		t.Errorf("want 3 components without node 1, got %d (%v)", n, comp)
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// 200k-node path exercises the explicit-stack DFS.
+	n := 200000
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	_, ncomp := g.SCC(nil)
+	if ncomp != n {
+		t.Fatalf("want %d components, got %d", n, ncomp)
+	}
+}
+
+// naiveSCC computes components by mutual reachability, O(n^2) reference.
+func naiveSCC(g *Digraph) []int {
+	n := g.N()
+	reach := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		reach[v] = g.Reachable([]int{v}, nil)
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for v := 0; v < n; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		for w := v; w < n; w++ {
+			if comp[w] < 0 && reach[v][w] && reach[w][v] {
+				comp[w] = next
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+func TestSCCMatchesNaiveOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		g := New(n)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		comp, _ := g.SCC(nil)
+		ref := naiveSCC(g)
+		// Same partition: comp[a]==comp[b] iff ref[a]==ref[b].
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if (comp[a] == comp[b]) != (ref[a] == ref[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCNumberingIsReverseTopological(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		g := New(n)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		comp, _ := g.SCC(nil)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				if comp[u] != comp[v] && comp[u] <= comp[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondense(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(0, 2) // duplicate inter-component edge after condensation
+	g.AddEdge(2, 4)
+	comp, n := g.SCC(nil)
+	c := g.Condense(comp, n)
+	if c.N() != 3 {
+		t.Fatalf("want 3 condensed nodes, got %d", c.N())
+	}
+	if c.M() != 2 {
+		t.Fatalf("want 2 condensed edges (dedup), got %d", c.M())
+	}
+	if !c.IsAcyclic() {
+		t.Error("condensation must be acyclic")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	r := g.Reachable([]int{0}, nil)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("Reachable[%d]=%v want %v", i, r[i], want[i])
+		}
+	}
+	// Filter blocks node 1.
+	r = g.Reachable([]int{0}, func(v int) bool { return v != 1 })
+	if r[2] {
+		t.Error("node 2 should be unreachable when 1 is blocked")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	order, ok := g.TopoOrder()
+	if !ok {
+		t.Fatal("DAG reported cyclic")
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for u := 0; u < 4; u++ {
+		for _, v := range g.Out(u) {
+			if pos[u] >= pos[v] {
+				t.Errorf("topo violation %d before %d", u, v)
+			}
+		}
+	}
+	g.AddEdge(3, 0)
+	if _, ok := g.TopoOrder(); ok {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestReverseClone(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := g.Reverse()
+	if len(r.Out(1)) != 1 || r.Out(1)[0] != 0 {
+		t.Errorf("reverse edge wrong: %v", r.Out(1))
+	}
+	c := g.Clone()
+	c.AddEdge(2, 0)
+	if g.M() != 2 || c.M() != 3 {
+		t.Errorf("clone not independent: g.M=%d c.M=%d", g.M(), c.M())
+	}
+}
+
+func TestTwoDisjointPathsUnpaired(t *testing.T) {
+	// Two parallel tracks: 0->2->4, 1->3->5.
+	g := New(6)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 4)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 5)
+	if !g.TwoDisjointPathsUnpaired(0, 1, 4, 5) {
+		t.Error("parallel tracks should have disjoint paths")
+	}
+	// Funnel through a single cut vertex.
+	h := New(6)
+	h.AddEdge(0, 2)
+	h.AddEdge(1, 2)
+	h.AddEdge(2, 3)
+	h.AddEdge(3, 4)
+	h.AddEdge(3, 5)
+	if h.TwoDisjointPathsUnpaired(0, 1, 4, 5) {
+		t.Error("single cut vertex cannot carry two disjoint paths")
+	}
+}
+
+func TestTwoDisjointPathsPaired(t *testing.T) {
+	// Crossed-only case: s1 reaches t2 and s2 reaches t1 disjointly, but the
+	// demanded pairing s1->t1, s2->t2 requires crossing through shared nodes.
+	g := New(4)
+	g.AddEdge(0, 3) // s1 -> t2
+	g.AddEdge(1, 2) // s2 -> t1
+	if g.TwoDisjointPathsPaired(0, 2, 1, 3, nil) {
+		t.Error("paired check must reject crossed-only configuration")
+	}
+	if !g.TwoDisjointPathsUnpaired(0, 1, 2, 3) {
+		t.Error("unpaired check should accept crossed configuration")
+	}
+	// Straight configuration.
+	h := New(4)
+	h.AddEdge(0, 2)
+	h.AddEdge(1, 3)
+	if !h.TwoDisjointPathsPaired(0, 2, 1, 3, nil) {
+		t.Error("paired straight paths should be found")
+	}
+	// Degenerate zero-length pair.
+	if !h.TwoDisjointPathsPaired(0, 0, 1, 3, nil) {
+		t.Error("zero-length first path with disjoint second should pass")
+	}
+	if h.TwoDisjointPathsPaired(0, 0, 0, 3, nil) {
+		t.Error("shared endpoint with zero-length path must fail")
+	}
+}
+
+func TestTwoDisjointPathsPairedActiveFilter(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 4)
+	g.AddEdge(1, 3)
+	// Without filter, 1 can reach 3 directly.
+	if !g.TwoDisjointPathsPaired(0, 2, 1, 3, nil) {
+		t.Fatal("expected paired paths")
+	}
+	// Deactivating node 3 kills the second path.
+	if g.TwoDisjointPathsPaired(0, 2, 1, 3, func(v int) bool { return v != 3 }) {
+		t.Error("inactive target should fail")
+	}
+}
+
+func TestEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range edge")
+		}
+	}()
+	g := New(2)
+	g.AddEdge(0, 5)
+}

@@ -1,0 +1,125 @@
+package lp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"trustmap/internal/tn"
+	"trustmap/internal/workload"
+)
+
+// TestDecomposedMatchesMonolithic: brave/cautious answers agree with the
+// monolithic solver on random binary trust network programs.
+func TestDecomposedMatchesMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 60; i++ {
+		n := randomBTN(rng, 7)
+		prog, _ := TranslateBinary(n, nil)
+		wantB, err := Brave(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, err := BraveDecomposed(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(wantB, "|") != strings.Join(gotB, "|") {
+			t.Fatalf("net %d brave: %v vs %v", i, wantB, gotB)
+		}
+		wantC, err := Cautious(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC, err := CautiousDecomposed(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(wantC, "|") != strings.Join(gotC, "|") {
+			t.Fatalf("net %d cautious: %v vs %v", i, wantC, gotC)
+		}
+	}
+}
+
+// TestCountStableModels: k independent oscillators have exactly 2^k
+// stable models, counted without enumeration.
+func TestCountStableModels(t *testing.T) {
+	for _, k := range []int{1, 3, 5, 30} {
+		n := workload.OscillatorClusters(k)
+		prog, _ := TranslateBinary(n, nil)
+		count, err := CountStableModels(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count.BitLen() != k+1 || count.Bit(k) != 1 {
+			t.Fatalf("k=%d: count=%s want 2^%d", k, count, k)
+		}
+	}
+}
+
+// TestDecomposedNoModel: a component without stable models voids the whole
+// program's answers.
+func TestDecomposedNoModel(t *testing.T) {
+	prog, err := Parse(`
+a(x).
+p(x) :- a(x), not p(x).
+q(y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brave, err := BraveDecomposed(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brave) != 0 {
+		t.Errorf("program without stable models must have no brave atoms: %v", brave)
+	}
+	caut, err := CautiousDecomposed(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caut) != 0 {
+		t.Errorf("no cautious atoms expected: %v", caut)
+	}
+	count, err := CountStableModels(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Sign() != 0 {
+		t.Errorf("count=%s want 0", count)
+	}
+}
+
+// TestDecompositionScalesOnOscillatorChains: the ablation claim — the
+// decomposed brave query handles a chain size that would take the
+// monolithic solver ~2^25 leaf evaluations.
+func TestDecompositionScalesOnOscillatorChains(t *testing.T) {
+	n := workload.OscillatorClusters(25)
+	prog, nm := TranslateBinary(n, nil)
+	start := time.Now()
+	brave, err := BraveDecomposed(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatalf("decomposed solve too slow: %v", time.Since(start))
+	}
+	// Every oscillator node has both values brave.
+	want := nm.PossAtom(n.UserID("c0_x1"), tn.Value("v"))
+	found := false
+	for _, a := range brave {
+		if a == want {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("expected %s among brave atoms", want)
+	}
+	// The monolithic solver must hit a tiny budget on the same instance.
+	if _, err := StableModels(prog, Options{Budget: 1 << 12}); err != ErrBudget {
+		t.Errorf("monolithic solver should exhaust the budget, got %v", err)
+	}
+}

@@ -1,0 +1,596 @@
+// Package lp implements normal logic programs with negation under the
+// stable model semantics (Gelfond-Lifschitz), as reviewed in Section 2.3 and
+// Appendix B.2 of the paper. It is the repository's substitute for DLV, the
+// solver the paper benchmarks against: it parses the same rule syntax the
+// paper uses, grounds programs over their active domain, enumerates stable
+// models by branching over negative atoms with a Gelfond-Lifschitz check at
+// the leaves, and answers brave and cautious queries.
+//
+// Deciding stable-model existence is NP-hard even for very restricted
+// programs (Section 2.3), so this engine is intentionally a worst-case
+// exponential search - exactly the behaviour Figure 5 and Figure 8 measure.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a constant or a variable. Variables start with an upper-case
+// letter, as in DLV.
+type Term struct {
+	Name string
+	Var  bool
+}
+
+// Const returns a constant term.
+func Const(name string) Term { return Term{Name: name} }
+
+// Var returns a variable term.
+func Var(name string) Term { return Term{Name: name, Var: true} }
+
+func (t Term) String() string { return t.Name }
+
+// Atom is a predicate applied to terms, e.g. poss(x, V).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+func (a Atom) String() string {
+	if len(a.Args) == 0 {
+		return a.Pred
+	}
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Literal is an atom or its negation-as-failure.
+type Literal struct {
+	Atom Atom
+	Neg  bool // "not atom"
+}
+
+func (l Literal) String() string {
+	if l.Neg {
+		return "not " + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Builtin is a comparison between two terms: X != Y or X = Y.
+type Builtin struct {
+	L, R Term
+	Eq   bool // true for '=', false for '!='
+}
+
+func (b Builtin) String() string {
+	op := "!="
+	if b.Eq {
+		op = "="
+	}
+	return b.L.String() + op + b.R.String()
+}
+
+// Rule is head :- body. A rule with an empty body is a fact.
+type Rule struct {
+	Head     Atom
+	Body     []Literal
+	Builtins []Builtin
+}
+
+func (r Rule) String() string {
+	if len(r.Body) == 0 && len(r.Builtins) == 0 {
+		return r.Head.String() + "."
+	}
+	var parts []string
+	for _, l := range r.Body {
+		parts = append(parts, l.String())
+	}
+	for _, b := range r.Builtins {
+		parts = append(parts, b.String())
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Program is a normal logic program.
+type Program struct {
+	Rules []Rule
+}
+
+// AddFact appends a ground fact.
+func (p *Program) AddFact(a Atom) { p.Rules = append(p.Rules, Rule{Head: a}) }
+
+// AddRule appends a rule.
+func (p *Program) AddRule(r Rule) { p.Rules = append(p.Rules, r) }
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---- Grounding ----
+
+// groundRule is a fully instantiated rule over interned atom IDs.
+type groundRule struct {
+	head int
+	pos  []int
+	neg  []int
+}
+
+// grounder interns ground atoms and instantiates rules.
+type grounder struct {
+	ids   map[string]int
+	names []string
+}
+
+func (g *grounder) intern(a Atom) int {
+	k := a.String()
+	if id, ok := g.ids[k]; ok {
+		return id
+	}
+	id := len(g.names)
+	g.ids[k] = id
+	g.names = append(g.names, k)
+	return id
+}
+
+// Ground instantiates the rules of p by bottom-up "intelligent grounding":
+// positive body literals are joined against the set of atoms derivable when
+// negation is ignored (a sound over-approximation: atoms outside that set
+// are false in every stable model, and rules mentioning them positively can
+// never fire). This is how practical solvers like DLV keep ground programs
+// small. Unsafe rules (a head, negative, or builtin variable not bound by a
+// positive body literal) are rejected.
+func ground(p *Program) (*grounder, []groundRule, error) {
+	g := &grounder{ids: make(map[string]int)}
+	for ri := range p.Rules {
+		if _, err := ruleVars(&p.Rules[ri]); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Derivable atoms, indexed by predicate; args decoded per atom.
+	// Interning records the decoded args for every atom; only derived
+	// atoms (facts and rule heads) join positive bodies.
+	var atomArgs [][]string
+	byPred := make(map[string][]int)
+	derived := make(map[int]bool)
+	internArgs := func(a Atom, args []string) int {
+		id := g.intern(a)
+		if id == len(atomArgs) {
+			atomArgs = append(atomArgs, args)
+		}
+		return id
+	}
+	derive := func(a Atom, args []string) (int, bool) {
+		id := internArgs(a, args)
+		if derived[id] {
+			return id, false
+		}
+		derived[id] = true
+		byPred[a.Pred] = append(byPred[a.Pred], id)
+		return id, true
+	}
+	makeAtom := func(a Atom, sub map[string]string) (Atom, []string) {
+		args := make([]string, len(a.Args))
+		terms := make([]Term, len(a.Args))
+		for i, t := range a.Args {
+			v := t.Name
+			if t.Var {
+				v = sub[t.Name]
+			}
+			args[i] = v
+			terms[i] = Const(v)
+		}
+		return Atom{Pred: a.Pred, Args: terms}, args
+	}
+	var out []groundRule
+	seenRule := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for ri := range p.Rules {
+			r := &p.Rules[ri]
+			var pos, neg []Literal
+			for _, l := range r.Body {
+				if l.Neg {
+					neg = append(neg, l)
+				} else {
+					pos = append(pos, l)
+				}
+			}
+			sub := make(map[string]string)
+			var rec func(i int)
+			rec = func(i int) {
+				if i == len(pos) {
+					for _, b := range r.Builtins {
+						l, rr := b.L.Name, b.R.Name
+						if b.L.Var {
+							l = sub[b.L.Name]
+						}
+						if b.R.Var {
+							rr = sub[b.R.Name]
+						}
+						if b.Eq != (l == rr) {
+							return
+						}
+					}
+					gr := groundRule{}
+					headAtom, headArgs := makeAtom(r.Head, sub)
+					key := headAtom.String() + ":-"
+					for _, l := range pos {
+						a, aArgs := makeAtom(l.Atom, sub)
+						gr.pos = append(gr.pos, internArgs(a, aArgs))
+						key += "," + a.String()
+					}
+					for _, l := range neg {
+						a, aArgs := makeAtom(l.Atom, sub)
+						gr.neg = append(gr.neg, internArgs(a, aArgs))
+						key += ",not " + a.String()
+					}
+					hid, fresh := derive(headAtom, headArgs)
+					gr.head = hid
+					if fresh {
+						changed = true
+					}
+					if !seenRule[key] {
+						seenRule[key] = true
+						out = append(out, gr)
+					}
+					return
+				}
+				lit := pos[i]
+				for _, id := range byPred[lit.Atom.Pred] {
+					args := atomArgs[id]
+					if len(args) != len(lit.Atom.Args) {
+						continue
+					}
+					var bound []string
+					ok := true
+					for j, t := range lit.Atom.Args {
+						if !t.Var {
+							if t.Name != args[j] {
+								ok = false
+								break
+							}
+							continue
+						}
+						if v, have := sub[t.Name]; have {
+							if v != args[j] {
+								ok = false
+								break
+							}
+							continue
+						}
+						sub[t.Name] = args[j]
+						bound = append(bound, t.Name)
+					}
+					if ok {
+						rec(i + 1)
+					}
+					for _, v := range bound {
+						delete(sub, v)
+					}
+				}
+			}
+			rec(0)
+		}
+	}
+	return g, out, nil
+}
+
+// activeDomain returns the sorted set of constants appearing in p.
+func activeDomain(p *Program) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(t Term) {
+		if !t.Var && !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	for _, r := range p.Rules {
+		for _, t := range r.Head.Args {
+			add(t)
+		}
+		for _, l := range r.Body {
+			for _, t := range l.Atom.Args {
+				add(t)
+			}
+		}
+		for _, b := range r.Builtins {
+			add(b.L)
+			add(b.R)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ruleVars returns the variables of r and checks safety: every variable in
+// the head, in a negative literal, or in a builtin must occur in a positive
+// body literal.
+func ruleVars(r *Rule) ([]string, error) {
+	posVars := make(map[string]bool)
+	for _, l := range r.Body {
+		if !l.Neg {
+			for _, t := range l.Atom.Args {
+				if t.Var {
+					posVars[t.Var2name()] = true
+				}
+			}
+		}
+	}
+	check := func(t Term, where string) error {
+		if t.Var && !posVars[t.Name] {
+			return fmt.Errorf("lp: unsafe rule %s: variable %s in %s not bound positively", r, t.Name, where)
+		}
+		return nil
+	}
+	for _, t := range r.Head.Args {
+		if err := check(t, "head"); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range r.Body {
+		if l.Neg {
+			for _, t := range l.Atom.Args {
+				if err := check(t, "negative literal"); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, b := range r.Builtins {
+		if err := check(b.L, "builtin"); err != nil {
+			return nil, err
+		}
+		if err := check(b.R, "builtin"); err != nil {
+			return nil, err
+		}
+	}
+	vars := make([]string, 0, len(posVars))
+	for v := range posVars {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars, nil
+}
+
+// Var2name exists to keep Term small; it returns the variable name.
+func (t Term) Var2name() string { return t.Name }
+
+// instantiate applies the substitution and evaluates builtins; ok=false if a
+// builtin fails.
+func instantiate(g *grounder, r *Rule, sub map[string]string) (groundRule, bool) {
+	apply := func(t Term) string {
+		if t.Var {
+			return sub[t.Name]
+		}
+		return t.Name
+	}
+	for _, b := range r.Builtins {
+		l, rr := apply(b.L), apply(b.R)
+		if b.Eq != (l == rr) {
+			return groundRule{}, false
+		}
+	}
+	inst := func(a Atom) int {
+		args := make([]Term, len(a.Args))
+		for i, t := range a.Args {
+			args[i] = Const(apply(t))
+		}
+		return g.intern(Atom{Pred: a.Pred, Args: args})
+	}
+	gr := groundRule{head: inst(r.Head)}
+	for _, l := range r.Body {
+		id := inst(l.Atom)
+		if l.Neg {
+			gr.neg = append(gr.neg, id)
+		} else {
+			gr.pos = append(gr.pos, id)
+		}
+	}
+	return gr, true
+}
+
+// ---- Stable model search ----
+
+// Model is a stable model: the set of true ground atoms, as strings.
+type Model map[string]bool
+
+// Options controls the stable model search.
+type Options struct {
+	MaxModels int // stop after this many models (0 = all)
+	Budget    int // max leaf evaluations (0 = unlimited); exceeded => ErrBudget
+}
+
+// ErrBudget is returned when the search exceeded Options.Budget leaf
+// evaluations, signalling the exponential cliff the paper's Figure 5 shows.
+var ErrBudget = errors.New("lp: search budget exhausted")
+
+// StableModels enumerates the stable models of p.
+func StableModels(p *Program, opt Options) ([]Model, error) {
+	g, rules, err := ground(p)
+	if err != nil {
+		return nil, err
+	}
+	return searchStable(g.names, rules, opt)
+}
+
+// searchStable enumerates the stable models of a ground program given by
+// interned atom names and rules.
+func searchStable(names []string, rules []groundRule, opt Options) ([]Model, error) {
+	n := len(names)
+	// Negative atoms: the only choice points.
+	negSet := make(map[int]bool)
+	for _, r := range rules {
+		for _, a := range r.neg {
+			negSet[a] = true
+		}
+	}
+	negAtoms := make([]int, 0, len(negSet))
+	for a := range negSet {
+		negAtoms = append(negAtoms, a)
+	}
+	sort.Ints(negAtoms)
+
+	const (
+		unknown = 0
+		in      = 1
+		out     = 2
+	)
+	assign := make([]int8, n)
+	var models []Model
+	leaves := 0
+
+	// leastModel computes the least model of the reduct of the rules under
+	// the (possibly partial) assignment. optimistic=true keeps rules whose
+	// negative atoms are unknown (upper bound); optimistic=false is only
+	// used with total assignments.
+	derived := make([]bool, n)
+	leastModel := func(optimistic bool) []bool {
+		for i := range derived {
+			derived[i] = false
+		}
+		for changed := true; changed; {
+			changed = false
+		ruleLoop:
+			for _, r := range rules {
+				if derived[r.head] {
+					continue
+				}
+				for _, a := range r.neg {
+					switch assign[a] {
+					case in:
+						continue ruleLoop
+					case unknown:
+						if !optimistic {
+							continue ruleLoop
+						}
+					}
+				}
+				for _, a := range r.pos {
+					if !derived[a] {
+						continue ruleLoop
+					}
+				}
+				derived[r.head] = true
+				changed = true
+			}
+		}
+		return derived
+	}
+
+	var search func(i int) error
+	search = func(i int) error {
+		// Prune: under the optimistic bound, every atom assigned "in" must
+		// still be derivable.
+		up := leastModel(true)
+		for _, a := range negAtoms[:i] {
+			if assign[a] == in && !up[a] {
+				return nil
+			}
+		}
+		if i == len(negAtoms) {
+			leaves++
+			if opt.Budget > 0 && leaves > opt.Budget {
+				return ErrBudget
+			}
+			lm := leastModel(false)
+			// Gelfond-Lifschitz check: the least model of the reduct must
+			// reproduce the guess on the negative atoms.
+			for _, a := range negAtoms {
+				if (assign[a] == in) != lm[a] {
+					return nil
+				}
+			}
+			m := make(Model)
+			for a := 0; a < n; a++ {
+				if lm[a] {
+					m[names[a]] = true
+				}
+			}
+			models = append(models, m)
+			if opt.MaxModels > 0 && len(models) >= opt.MaxModels {
+				return errStop
+			}
+			return nil
+		}
+		a := negAtoms[i]
+		for _, v := range []int8{out, in} {
+			assign[a] = v
+			if err := search(i + 1); err != nil {
+				assign[a] = unknown
+				return err
+			}
+		}
+		assign[a] = unknown
+		return nil
+	}
+	err := search(0)
+	if err == errStop {
+		err = nil
+	}
+	return models, err
+}
+
+var errStop = errors.New("lp: enough models")
+
+// Brave reports the atoms matching pred that belong to at least one stable
+// model (DLV's -brave). Atom strings are returned sorted.
+func Brave(p *Program, opt Options) ([]string, error) {
+	models, err := StableModels(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	for _, m := range models {
+		for a := range m {
+			set[a] = true
+		}
+	}
+	return sortedKeys(set), nil
+}
+
+// Cautious reports the atoms that belong to every stable model (DLV's
+// -cautious). With no stable models, the result is empty (the paper's
+// networks always have at least one, by the Forward Lemma).
+func Cautious(p *Program, opt Options) ([]string, error) {
+	models, err := StableModels(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(models) == 0 {
+		return nil, nil
+	}
+	set := make(map[string]bool)
+	for a := range models[0] {
+		set[a] = true
+	}
+	for _, m := range models[1:] {
+		for a := range set {
+			if !m[a] {
+				delete(set, a)
+			}
+		}
+	}
+	return sortedKeys(set), nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,396 @@
+package lp
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"trustmap/internal/resolve"
+	"trustmap/internal/tn"
+)
+
+// TestOscillatorProgram replays Example 2.10 / Example B.1: the oscillator
+// LP has exactly two stable models.
+func TestOscillatorProgram(t *testing.T) {
+	src := `
+poss(u3,v).
+poss(u4,w).
+poss(u1,X) :- poss(u2,X).
+conf(u1,u3,X) :- poss(u3,X), poss(u1,Y), Y!=X.
+poss(u1,X) :- poss(u3,X), not conf(u1,u3,X).
+poss(u2,X) :- poss(u1,X).
+conf(u2,u4,X) :- poss(u4,X), poss(u2,Y), Y!=X.
+poss(u2,X) :- poss(u4,X), not conf(u2,u4,X).
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := StableModels(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("want 2 stable models, got %d", len(models))
+	}
+	// One model has u1=u2=v, the other u1=u2=w.
+	seen := map[string]bool{}
+	for _, m := range models {
+		switch {
+		case m["poss(u1,v)"] && m["poss(u2,v)"] && !m["poss(u1,w)"]:
+			seen["v"] = true
+		case m["poss(u1,w)"] && m["poss(u2,w)"] && !m["poss(u1,v)"]:
+			seen["w"] = true
+		default:
+			t.Errorf("unexpected model %v", m)
+		}
+	}
+	if !seen["v"] || !seen["w"] {
+		t.Error("models should cover both oscillator phases")
+	}
+}
+
+// TestExampleB1 replays the two DLV runs of Example B.1.
+func TestExampleB1(t *testing.T) {
+	// Preferred/non-preferred parents (Fig 13c): unique model, x=v.
+	src1 := `
+poss(z1,v).
+poss(z2,w).
+poss(x,X) :- poss(z2,X).
+conf(x,z1,X) :- poss(z1,X), poss(x,Y), Y!=X.
+poss(x,X) :- poss(z1,X), not conf(x,z1,X).
+`
+	p1, err := Parse(src1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brave, err := Brave(p1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(filterPrefix(brave, "poss("), " ")
+	want := "poss(x,w) poss(z1,v) poss(z2,w)"
+	if got != want {
+		t.Errorf("brave=%q want %q", got, want)
+	}
+	// Two tied parents (Fig 13d): x has two possible values.
+	src2 := `
+poss(z1,v).
+poss(z2,w).
+conf(x,z1,X) :- poss(z1,X), poss(x,Y), Y!=X.
+poss(x,X) :- poss(z1,X), not conf(x,z1,X).
+conf(x,z2,X) :- poss(z2,X), poss(x,Y), Y!=X.
+poss(x,X) :- poss(z2,X), not conf(x,z2,X).
+`
+	p2, err := Parse(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brave2, err := Brave(p2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := strings.Join(filterPrefix(brave2, "poss("), " ")
+	want2 := "poss(x,v) poss(x,w) poss(z1,v) poss(z2,w)"
+	if got2 != want2 {
+		t.Errorf("brave=%q want %q", got2, want2)
+	}
+	// Under cautious semantics x has no certain value.
+	caut, err := Cautious(p2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range caut {
+		if strings.HasPrefix(a, "poss(x,") {
+			t.Errorf("x must have no cautious value, got %s", a)
+		}
+	}
+}
+
+func filterPrefix(xs []string, prefix string) []string {
+	var out []string
+	for _, x := range xs {
+		if strings.HasPrefix(x, prefix) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"poss(x,",        // unclosed atom
+		"poss(x,v)",      // missing period
+		"poss(x,'v).",    // unterminated quote
+		"poss(x,v) :- .", // empty body
+		"@foo.",          // bad rune
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseQuotedAndComments(t *testing.T) {
+	p, err := Parse("% a comment\nposs(u1,'ship hull'). % trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 || p.Rules[0].Head.Args[1].Name != "ship hull" {
+		t.Errorf("quoted constant mishandled: %v", p.Rules)
+	}
+}
+
+func TestUnsafeRuleRejected(t *testing.T) {
+	p, err := Parse("poss(x,X) :- not conf(x,X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StableModels(p, Options{}); err == nil {
+		t.Error("unsafe rule must be rejected at grounding")
+	}
+}
+
+func TestNoStableModel(t *testing.T) {
+	// p :- not p. has no stable model.
+	p, err := Parse("q(a).\np(a) :- q(a), not p(a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := StableModels(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 0 {
+		t.Errorf("want no stable model, got %v", models)
+	}
+}
+
+func TestStratifiedUniqueModel(t *testing.T) {
+	p, err := Parse(`
+edge(a,b).
+edge(b,c).
+reach(a,a).
+reach(a,Y) :- reach(a,X), edge(X,Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := StableModels(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 {
+		t.Fatalf("stratified program must have a unique stable model, got %d", len(models))
+	}
+	m := models[0]
+	for _, a := range []string{"reach(a,a)", "reach(a,b)", "reach(a,c)"} {
+		if !m[a] {
+			t.Errorf("missing %s", a)
+		}
+	}
+	if m["reach(a,d)"] {
+		t.Error("spurious derivation")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	// A chain of independent oscillators doubles the model count each time;
+	// a tiny budget must trip.
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		u := string(rune('a' + i))
+		b.WriteString("p" + u + "(v) :- not q" + u + "(v).\n")
+		b.WriteString("q" + u + "(v) :- not p" + u + "(v).\n")
+	}
+	// Ground the choice with a domain fact.
+	b.WriteString("dom(v).\n")
+	p, err := Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StableModels(p, Options{Budget: 10}); err != ErrBudget {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestMatchQuery(t *testing.T) {
+	q, err := ParseQuery("poss(X,U) ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := []string{"poss(u1,v)", "poss(u2,w)", "conf(u1,u2,v)"}
+	got := MatchQuery(q, atoms)
+	if len(got) != 2 {
+		t.Errorf("want 2 matches, got %v", got)
+	}
+	q2, _ := ParseQuery("poss(u1,U) ?")
+	if got := MatchQuery(q2, atoms); len(got) != 1 || got[0] != "poss(u1,v)" {
+		t.Errorf("bound query wrong: %v", got)
+	}
+	// Repeated variables require equal arguments.
+	q3, _ := ParseQuery("pair(X,X) ?")
+	pairs := []string{"pair(a,a)", "pair(a,b)"}
+	if got := MatchQuery(q3, pairs); len(got) != 1 || got[0] != "pair(a,a)" {
+		t.Errorf("repeated-variable match wrong: %v", got)
+	}
+}
+
+// ---- Theorem 2.9: translation equivalence ----
+
+func randomBTN(rng *rand.Rand, maxUsers int) *tn.Network {
+	n := tn.New()
+	nu := 2 + rng.Intn(maxUsers-1)
+	for i := 0; i < nu; i++ {
+		n.AddUser("u" + string(rune('A'+i)))
+	}
+	values := []tn.Value{"v", "w"}
+	nRoots := 1 + rng.Intn(2)
+	for i := 0; i < nRoots && i < nu; i++ {
+		n.SetExplicit(i, values[rng.Intn(len(values))])
+	}
+	for x := nRoots; x < nu; x++ {
+		k := rng.Intn(3)
+		perm := rng.Perm(nu)
+		added := 0
+		for _, z := range perm {
+			if added >= k || z == x {
+				continue
+			}
+			var prio int
+			if added == 1 && rng.Float64() < 0.25 {
+				prio = n.In(x)[0].Priority
+			} else {
+				prio = 1 + rng.Intn(4)
+			}
+			n.AddMapping(z, x, prio)
+			added++
+		}
+	}
+	return n
+}
+
+// TestTranslateBinaryMatchesResolve verifies Theorem 2.9: brave/cautious
+// answers of the translated LP equal Algorithm 1's possible/certain values.
+func TestTranslateBinaryMatchesResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 120; i++ {
+		n := randomBTN(rng, 7)
+		prog, nm := TranslateBinary(n, nil)
+		models, err := StableModels(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpPoss := PossibleFromModels(n, nm, models)
+		lpCert := CertainFromModels(n, nm, models)
+		r := resolve.Resolve(n)
+		for x := 0; x < n.NumUsers(); x++ {
+			raPoss := r.Possible(x)
+			if len(raPoss) != len(lpPoss[x]) {
+				t.Fatalf("net %d poss(%s): RA %v vs LP %v", i, n.Name(x), raPoss, lpPoss[x])
+			}
+			for _, v := range raPoss {
+				if !lpPoss[x][v] {
+					t.Fatalf("net %d poss(%s): RA has %q, LP misses it", i, n.Name(x), v)
+				}
+			}
+			if r.Certain(x) != lpCert[x] {
+				t.Fatalf("net %d cert(%s): RA %q vs LP %q", i, n.Name(x), r.Certain(x), lpCert[x])
+			}
+		}
+	}
+}
+
+// TestTranslateDirectMatchesOracle verifies the non-binary direct
+// translation (Appendix B.4 Remark 2) against the Definition 2.4 oracle.
+func TestTranslateDirectMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	values := []tn.Value{"v", "w"}
+	for i := 0; i < 80; i++ {
+		n := tn.New()
+		nu := 3 + rng.Intn(3)
+		for j := 0; j < nu; j++ {
+			n.AddUser("u" + string(rune('A'+j)))
+		}
+		for x := 0; x < nu; x++ {
+			perm := rng.Perm(nu)
+			k := rng.Intn(4)
+			added := 0
+			for _, z := range perm {
+				if added >= k || z == x {
+					continue
+				}
+				n.AddMapping(z, x, 1+rng.Intn(3))
+				added++
+			}
+		}
+		n.SetExplicit(0, values[rng.Intn(2)])
+		if rng.Float64() < 0.5 && nu > 1 {
+			n.SetExplicit(1, values[rng.Intn(2)])
+		}
+		prog, nm := TranslateDirect(n, nil)
+		models, err := StableModels(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpPoss := PossibleFromModels(n, nm, models)
+		sols := tn.EnumerateStableSolutions(n, 0)
+		wantPoss := tn.PossibleFromSolutions(n, sols)
+		for x := 0; x < nu; x++ {
+			if len(lpPoss[x]) != len(wantPoss[x]) {
+				t.Fatalf("net %d poss(%s): LP %v vs oracle %v\nprogram:\n%s", i, n.Name(x), lpPoss[x], wantPoss[x], prog)
+			}
+			for v := range lpPoss[x] {
+				if !wantPoss[x][v] {
+					t.Fatalf("net %d poss(%s): LP spurious %q", i, n.Name(x), v)
+				}
+			}
+		}
+	}
+}
+
+// TestModelCountMatchesSolutionCount: stable models and stable solutions
+// correspond 1:1 for binary networks (Theorem 2.9).
+func TestModelCountMatchesSolutionCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 60; i++ {
+		n := randomBTN(rng, 6)
+		prog, _ := TranslateBinary(n, nil)
+		models, err := StableModels(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sols := tn.EnumerateStableSolutions(n, 0)
+		if len(models) != len(sols) {
+			t.Fatalf("net %d: %d models vs %d solutions", i, len(models), len(sols))
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	src := "poss(z1,v).\nposs(x,X) :- poss(z1,X), not conf(x,z1,X).\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("String() output does not re-parse: %v\n%s", err, p.String())
+	}
+	if len(round.Rules) != len(p.Rules) {
+		t.Error("round trip lost rules")
+	}
+}
+
+func TestBraveSorted(t *testing.T) {
+	p, _ := Parse("b(x).\na(y).\n")
+	brave, err := Brave(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(brave) {
+		t.Error("brave output must be sorted")
+	}
+}

@@ -1,0 +1,275 @@
+package lp
+
+// Parser for the DLV-style syntax used throughout the paper (Appendix B.4):
+//
+//	poss(z1,v).
+//	poss(x,X) :- poss(z2,X).
+//	conf(x,z1,X) :- poss(z1,X), poss(x,Y), Y!=X.
+//	poss(x,X) :- poss(z1,X), not conf(x,z1,X).
+//
+// Identifiers starting with a lower-case letter (or digit) are constants;
+// upper-case identifiers are variables. Single-quoted strings are constants
+// too ('ship hull'). '%' starts a line comment. A query "poss(X,U) ?" is
+// parsed by ParseQuery.
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type token struct {
+	kind string // ident, var, str, punct, eof
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	i    int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		switch {
+		case c == '%':
+			for l.i < len(l.src) && l.src[l.i] != '\n' {
+				l.i++
+			}
+		case unicode.IsSpace(rune(c)):
+			l.i++
+		case c == '\'':
+			start := l.i + 1
+			j := start
+			for j < len(l.src) && l.src[j] != '\'' {
+				j++
+			}
+			if j >= len(l.src) {
+				return nil, fmt.Errorf("lp: unterminated quoted constant at offset %d", l.i)
+			}
+			l.toks = append(l.toks, token{"str", l.src[start:j], l.i})
+			l.i = j + 1
+		case c == ':' && l.i+1 < len(l.src) && l.src[l.i+1] == '-':
+			l.toks = append(l.toks, token{"punct", ":-", l.i})
+			l.i += 2
+		case c == '!' && l.i+1 < len(l.src) && l.src[l.i+1] == '=':
+			l.toks = append(l.toks, token{"punct", "!=", l.i})
+			l.i += 2
+		case strings.ContainsRune("(),.?=", rune(c)):
+			l.toks = append(l.toks, token{"punct", string(c), l.i})
+			l.i++
+		case isIdentRune(rune(c)):
+			j := l.i
+			for j < len(l.src) && isIdentRune(rune(l.src[j])) {
+				j++
+			}
+			word := l.src[l.i:j]
+			kind := "ident"
+			if unicode.IsUpper(rune(word[0])) || word[0] == '_' {
+				kind = "var"
+			}
+			l.toks = append(l.toks, token{kind, word, l.i})
+			l.i = j
+		default:
+			return nil, fmt.Errorf("lp: unexpected character %q at offset %d", c, l.i)
+		}
+	}
+	l.toks = append(l.toks, token{kind: "eof", pos: len(src)})
+	return l.toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(text string) bool {
+	return p.toks[p.i].kind == "punct" && p.toks[p.i].text == text
+}
+func (p *parser) expect(text string) error {
+	if !p.at(text) {
+		return fmt.Errorf("lp: expected %q at offset %d, got %q", text, p.peek().pos, p.peek().text)
+	}
+	p.i++
+	return nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case "ident", "str":
+		return Const(t.text), nil
+	case "var":
+		return Var(t.text), nil
+	}
+	return Term{}, fmt.Errorf("lp: expected term at offset %d, got %q", t.pos, t.text)
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	t := p.next()
+	if t.kind != "ident" && t.kind != "str" {
+		return Atom{}, fmt.Errorf("lp: expected predicate at offset %d, got %q", t.pos, t.text)
+	}
+	a := Atom{Pred: t.text}
+	if !p.at("(") {
+		return a, nil
+	}
+	p.i++
+	for {
+		term, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, term)
+		if p.at(",") {
+			p.i++
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+// parseBodyItem parses a literal or builtin.
+func (p *parser) parseBodyItem(r *Rule) error {
+	// Negation.
+	if t := p.peek(); t.kind == "ident" && t.text == "not" {
+		p.i++
+		a, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		r.Body = append(r.Body, Literal{Atom: a, Neg: true})
+		return nil
+	}
+	// Could be an atom or a builtin comparison "X != Y" / "X = Y".
+	save := p.i
+	left, err := p.parseTerm()
+	if err == nil && (p.at("!=") || p.at("=")) {
+		eq := p.next().text == "="
+		right, err := p.parseTerm()
+		if err != nil {
+			return err
+		}
+		r.Builtins = append(r.Builtins, Builtin{L: left, R: right, Eq: eq})
+		return nil
+	}
+	p.i = save
+	a, err := p.parseAtom()
+	if err != nil {
+		return err
+	}
+	r.Body = append(r.Body, Literal{Atom: a})
+	return nil
+}
+
+// Parse parses a program in DLV syntax.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().kind != "eof" {
+		head, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Head: head}
+		if p.at(":-") {
+			p.i++
+			for {
+				if err := p.parseBodyItem(&r); err != nil {
+					return nil, err
+				}
+				if p.at(",") {
+					p.i++
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// ParseQuery parses a query of the form "poss(X,U) ?" and returns the atom.
+func ParseQuery(src string) (Atom, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Atom{}, err
+	}
+	p := &parser{toks: toks}
+	a, err := p.parseAtom()
+	if err != nil {
+		return Atom{}, err
+	}
+	if err := p.expect("?"); err != nil {
+		return Atom{}, err
+	}
+	if p.peek().kind != "eof" {
+		return Atom{}, fmt.Errorf("lp: trailing input after query")
+	}
+	return a, nil
+}
+
+// MatchQuery returns the substitution-instances of query among the atom
+// strings in atoms (each "pred(c1,c2)"). Variables match any constant;
+// repeated variables must match equal constants.
+func MatchQuery(query Atom, atoms []string) []string {
+	var out []string
+	for _, s := range atoms {
+		if matchAtomString(query, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func matchAtomString(q Atom, s string) bool {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return len(q.Args) == 0 && q.Pred == s
+	}
+	if s[:open] != q.Pred || !strings.HasSuffix(s, ")") {
+		return false
+	}
+	args := strings.Split(s[open+1:len(s)-1], ",")
+	if len(args) != len(q.Args) {
+		return false
+	}
+	bind := make(map[string]string)
+	for i, t := range q.Args {
+		if !t.Var {
+			if t.Name != args[i] {
+				return false
+			}
+			continue
+		}
+		if prev, ok := bind[t.Name]; ok {
+			if prev != args[i] {
+				return false
+			}
+		} else {
+			bind[t.Name] = args[i]
+		}
+	}
+	return true
+}

@@ -1,0 +1,208 @@
+package lp
+
+// Translation of trust networks into logic programs (Theorem 2.9,
+// Appendix B.4). Binary networks use the five-case translation of the
+// equivalence proof; arbitrary networks can also be translated directly
+// without binarization (Appendix B.4, Remark 2 and Example B.2), at the
+// cost of a quadratic number of blocking rules.
+
+import (
+	"fmt"
+
+	"trustmap/internal/tn"
+)
+
+// Naming maps network entities to LP constants and back.
+type Naming struct {
+	UserConst  []string // node id -> constant
+	ValueConst map[tn.Value]string
+	ConstValue map[string]tn.Value
+}
+
+func newNaming(n *tn.Network) *Naming {
+	nm := &Naming{
+		UserConst:  make([]string, n.NumUsers()),
+		ValueConst: make(map[tn.Value]string),
+		ConstValue: make(map[string]tn.Value),
+	}
+	for x := 0; x < n.NumUsers(); x++ {
+		nm.UserConst[x] = fmt.Sprintf("u%d", x)
+	}
+	for i, v := range n.Domain() {
+		c := fmt.Sprintf("val%d", i)
+		nm.ValueConst[v] = c
+		nm.ConstValue[c] = v
+	}
+	return nm
+}
+
+// PossAtom returns the ground atom string "poss(ux,valy)" for (x, v).
+func (nm *Naming) PossAtom(x int, v tn.Value) string {
+	return fmt.Sprintf("poss(%s,%s)", nm.UserConst[x], nm.ValueConst[v])
+}
+
+// TranslateBinary converts a binary trust network into the logic program of
+// Theorem 2.9 / Appendix B.4: per node, one of the five cases (a)-(e).
+// Stable models of the program correspond 1:1 to stable solutions of the
+// network.
+func TranslateBinary(n *tn.Network, nm *Naming) (*Program, *Naming) {
+	if !n.IsBinary() {
+		panic("lp: TranslateBinary requires a binary trust network")
+	}
+	if nm == nil {
+		nm = newNaming(n)
+	}
+	p := &Program{}
+	X, Y := Var("X"), Var("Y")
+	poss := func(u string, t Term) Atom { return Atom{Pred: "poss", Args: []Term{Const(u), t}} }
+	conf := func(u, z string, t Term) Atom {
+		return Atom{Pred: "conf", Args: []Term{Const(u), Const(z), t}}
+	}
+	for x := 0; x < n.NumUsers(); x++ {
+		ux := nm.UserConst[x]
+		// Case (e): explicit belief - a single extensional fact.
+		if v := n.Explicit(x); v != tn.NoValue {
+			p.AddFact(poss(ux, Const(nm.ValueConst[v])))
+			continue
+		}
+		in := n.In(x) // sorted by priority desc
+		switch len(in) {
+		case 0: // case (a): no rules
+		case 1: // case (b): single parent import
+			uz := nm.UserConst[in[0].Parent]
+			p.AddRule(Rule{Head: poss(ux, X), Body: []Literal{{Atom: poss(uz, X)}}})
+		case 2:
+			z2, z1 := in[0].Parent, in[1].Parent // z2 higher (or tied) priority
+			u2, u1 := nm.UserConst[z2], nm.UserConst[z1]
+			guarded := func(uz string) {
+				p.AddRule(Rule{
+					Head:     conf(ux, uz, X),
+					Body:     []Literal{{Atom: poss(uz, X)}, {Atom: poss(ux, Y)}},
+					Builtins: []Builtin{{L: Y, R: X}},
+				})
+				p.AddRule(Rule{
+					Head: poss(ux, X),
+					Body: []Literal{{Atom: poss(uz, X)}, {Atom: conf(ux, uz, X), Neg: true}},
+				})
+			}
+			if in[0].Priority > in[1].Priority {
+				// Case (c): preferred z2, non-preferred z1.
+				p.AddRule(Rule{Head: poss(ux, X), Body: []Literal{{Atom: poss(u2, X)}}})
+				guarded(u1)
+			} else {
+				// Case (d): two non-preferred parents.
+				guarded(u1)
+				guarded(u2)
+			}
+		}
+	}
+	return p, nm
+}
+
+// TranslateDirect converts an arbitrary (possibly non-binary) trust network
+// into a logic program without binarization (Appendix B.4, Remark 2;
+// Example B.2). A parent z of x is blocked by every strictly
+// higher-priority parent; parents sharing their priority with another
+// parent additionally get a self-blocking rule so that only one of the tied
+// values is adopted per stable model.
+func TranslateDirect(n *tn.Network, nm *Naming) (*Program, *Naming) {
+	if nm == nil {
+		nm = newNaming(n)
+	}
+	p := &Program{}
+	X, Y := Var("X"), Var("Y")
+	poss := func(u string, t Term) Atom { return Atom{Pred: "poss", Args: []Term{Const(u), t}} }
+	conf := func(u, z string, t Term) Atom {
+		return Atom{Pred: "conf", Args: []Term{Const(u), Const(z), t}}
+	}
+	for x := 0; x < n.NumUsers(); x++ {
+		ux := nm.UserConst[x]
+		if v := n.Explicit(x); v != tn.NoValue {
+			p.AddFact(poss(ux, Const(nm.ValueConst[v])))
+			continue
+		}
+		in := n.In(x) // priority desc
+		for i, m := range in {
+			uz := nm.UserConst[m.Parent]
+			tied := (i > 0 && in[i-1].Priority == m.Priority) ||
+				(i+1 < len(in) && in[i+1].Priority == m.Priority)
+			if i == 0 && !tied {
+				// Unique top-priority parent: plain import rule.
+				p.AddRule(Rule{Head: poss(ux, X), Body: []Literal{{Atom: poss(uz, X)}}})
+				continue
+			}
+			// One blocking rule per strictly higher-priority parent.
+			for j := 0; j < i; j++ {
+				if in[j].Priority == m.Priority {
+					continue
+				}
+				p.AddRule(Rule{
+					Head: conf(ux, uz, X),
+					Body: []Literal{
+						{Atom: poss(uz, X)},
+						{Atom: poss(nm.UserConst[in[j].Parent], Y)},
+					},
+					Builtins: []Builtin{{L: Y, R: X}},
+				})
+			}
+			if tied {
+				// Tie within the priority group: block against x's own
+				// (already chosen) value.
+				p.AddRule(Rule{
+					Head:     conf(ux, uz, X),
+					Body:     []Literal{{Atom: poss(uz, X)}, {Atom: poss(ux, Y)}},
+					Builtins: []Builtin{{L: Y, R: X}},
+				})
+			}
+			p.AddRule(Rule{
+				Head: poss(ux, X),
+				Body: []Literal{{Atom: poss(uz, X)}, {Atom: conf(ux, uz, X), Neg: true}},
+			})
+		}
+	}
+	return p, nm
+}
+
+// PossibleFromModels extracts poss(x) per node from the union of stable
+// models (brave semantics).
+func PossibleFromModels(n *tn.Network, nm *Naming, models []Model) []map[tn.Value]bool {
+	out := make([]map[tn.Value]bool, n.NumUsers())
+	for x := range out {
+		out[x] = make(map[tn.Value]bool)
+	}
+	for _, m := range models {
+		for x := 0; x < n.NumUsers(); x++ {
+			for v := range nm.ValueConst {
+				if m[nm.PossAtom(x, v)] {
+					out[x][v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CertainFromModels extracts cert(x) per node: atoms in every stable model
+// (cautious semantics). With no models the result is all-undefined.
+func CertainFromModels(n *tn.Network, nm *Naming, models []Model) []tn.Value {
+	cert := make([]tn.Value, n.NumUsers())
+	if len(models) == 0 {
+		return cert
+	}
+	for x := 0; x < n.NumUsers(); x++ {
+		for v := range nm.ValueConst {
+			inAll := true
+			for _, m := range models {
+				if !m[nm.PossAtom(x, v)] {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				cert[x] = v
+				break
+			}
+		}
+	}
+	return cert
+}

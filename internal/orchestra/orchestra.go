@@ -1,0 +1,115 @@
+// Package orchestra is a minimal re-implementation of the update-exchange
+// baseline the paper contrasts against (the Orchestra system, discussed in
+// Section 1 and Example 1.2): updates are processed one at a time, First-In
+// First-Out; when a user publishes a value it propagates along trust
+// mappings, but a user who already holds a value acquired at an earlier
+// timestamp keeps it. The package exists to demonstrate the two anomalies
+// of Example 1.2 - order dependence and stale values after updates or
+// revocations - that the stable-solution semantics eliminates.
+package orchestra
+
+import (
+	"trustmap/internal/tn"
+)
+
+// entry is a user's current value for one object.
+type entry struct {
+	value    tn.Value
+	stamp    int // acquisition timestamp
+	explicit bool
+}
+
+// System is a FIFO update-exchange engine over a trust network.
+type System struct {
+	net   *tn.Network
+	state []map[string]entry // per user: object -> entry
+	clock int
+	// children[z] lists (child, priority) pairs for propagation.
+	children [][]tn.Mapping
+}
+
+// New builds an update-exchange system over the network's mappings. The
+// network's explicit beliefs are ignored: state is built from updates.
+func New(network *tn.Network) *System {
+	s := &System{
+		net:      network,
+		state:    make([]map[string]entry, network.NumUsers()),
+		children: make([][]tn.Mapping, network.NumUsers()),
+	}
+	for x := 0; x < network.NumUsers(); x++ {
+		s.state[x] = make(map[string]entry)
+		for _, m := range network.In(x) {
+			s.children[m.Parent] = append(s.children[m.Parent], m)
+		}
+	}
+	return s
+}
+
+// Insert publishes an explicit value for (user, object) and propagates it.
+func (s *System) Insert(user int, object string, v tn.Value) {
+	s.clock++
+	s.state[user][object] = entry{value: v, stamp: s.clock, explicit: true}
+	s.propagate(user, object)
+}
+
+// Update changes a user's explicit value. Like the system the paper
+// describes, downstream users who imported the old value keep it: update
+// propagation cannot fix them (Example 1.2, second sequence).
+func (s *System) Update(user int, object string, v tn.Value) {
+	s.clock++
+	s.state[user][object] = entry{value: v, stamp: s.clock, explicit: true}
+	s.propagate(user, object)
+}
+
+// Revoke removes a user's explicit value. Stale imported copies remain
+// downstream.
+func (s *System) Revoke(user int, object string) {
+	delete(s.state[user], object)
+}
+
+// propagate pushes the value at (src, object) to children that do not yet
+// hold a value for the object (earlier timestamps win, per Example 1.2).
+func (s *System) propagate(src int, object string) {
+	queue := []int{src}
+	for len(queue) > 0 {
+		z := queue[0]
+		queue = queue[1:]
+		v := s.state[z][object].value
+		for _, m := range s.children[z] {
+			x := m.Child
+			if _, has := s.state[x][object]; has {
+				continue // already acquired at an earlier timestamp
+			}
+			s.clock++
+			s.state[x][object] = entry{value: v, stamp: s.clock}
+			queue = append(queue, x)
+		}
+	}
+}
+
+// Belief returns the user's current value for the object, or tn.NoValue.
+func (s *System) Belief(user int, object string) tn.Value {
+	return s.state[user][object].value
+}
+
+// Snapshot returns all users' values for an object.
+func (s *System) Snapshot(object string) []tn.Value {
+	out := make([]tn.Value, s.net.NumUsers())
+	for x := range out {
+		out[x] = s.state[x][object].value
+	}
+	return out
+}
+
+// AsNetwork converts the current explicit beliefs for one object back into
+// a trust network, for comparison with the stable-solution semantics.
+func (s *System) AsNetwork(object string) *tn.Network {
+	n := s.net.Clone()
+	for x := 0; x < n.NumUsers(); x++ {
+		n.SetExplicit(x, tn.NoValue)
+		if e, ok := s.state[x][object]; ok && e.explicit {
+			n.SetExplicit(x, e.value)
+		}
+	}
+	return n
+}

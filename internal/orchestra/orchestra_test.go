@@ -1,0 +1,196 @@
+package orchestra
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/resolve"
+	"trustmap/internal/tn"
+)
+
+// figure2 builds the Alice/Bob/Charlie network of Figure 2.
+func figure2() (*tn.Network, int, int, int) {
+	n := tn.New()
+	alice := n.AddUser("Alice")
+	bob := n.AddUser("Bob")
+	charlie := n.AddUser("Charlie")
+	n.AddMapping(bob, alice, 100)
+	n.AddMapping(charlie, alice, 50)
+	n.AddMapping(alice, bob, 80)
+	return n, alice, bob, charlie
+}
+
+// TestExample12FirstSequence replays the first anomaly of Example 1.2:
+// Charlie inserts jar, then Bob inserts cow; Alice keeps jar even though
+// she trusts Bob more.
+func TestExample12FirstSequence(t *testing.T) {
+	n, alice, bob, charlie := figure2()
+	s := New(n)
+	s.Insert(charlie, "glyph", "jar")
+	if s.Belief(alice, "glyph") != "jar" || s.Belief(bob, "glyph") != "jar" {
+		t.Fatal("jar must propagate to Alice and Bob")
+	}
+	s.Insert(bob, "glyph", "cow")
+	if got := s.Belief(alice, "glyph"); got != "jar" {
+		t.Fatalf("FIFO baseline: Alice should be stuck at jar, got %q", got)
+	}
+	// The stable-solution semantics resolves it correctly.
+	r := resolve.Resolve(tn.Binarize(s.AsNetwork("glyph")))
+	if got := r.Certain(alice); got != "cow" {
+		t.Fatalf("RA: Alice must see cow (trusts Bob most), got %q", got)
+	}
+}
+
+// TestExample12OrderDependence: reversing the insert order changes the
+// FIFO outcome but not the stable-solution outcome.
+func TestExample12OrderDependence(t *testing.T) {
+	n, alice, bob, charlie := figure2()
+
+	s1 := New(n)
+	s1.Insert(charlie, "glyph", "jar")
+	s1.Insert(bob, "glyph", "cow")
+
+	s2 := New(n)
+	s2.Insert(bob, "glyph", "cow")
+	s2.Insert(charlie, "glyph", "jar")
+
+	if s1.Belief(alice, "glyph") == s2.Belief(alice, "glyph") {
+		t.Fatalf("FIFO baseline should be order dependent; both give %q",
+			s1.Belief(alice, "glyph"))
+	}
+	r1 := resolve.Resolve(tn.Binarize(s1.AsNetwork("glyph")))
+	r2 := resolve.Resolve(tn.Binarize(s2.AsNetwork("glyph")))
+	if r1.Certain(alice) != r2.Certain(alice) {
+		t.Fatal("stable-solution semantics must be order invariant")
+	}
+	if r1.Certain(alice) != "cow" {
+		t.Fatalf("Alice must certainly see cow, got %q", r1.Certain(alice))
+	}
+}
+
+// TestExample12UpdateAnomaly replays the second anomaly: Charlie updates
+// jar -> cow but Alice and Bob hold each other's stale jar.
+func TestExample12UpdateAnomaly(t *testing.T) {
+	n, alice, bob, charlie := figure2()
+	s := New(n)
+	s.Insert(charlie, "glyph", "jar")
+	s.Update(charlie, "glyph", "cow")
+	if got := s.Belief(alice, "glyph"); got != "jar" {
+		t.Fatalf("FIFO baseline: Alice should hold stale jar, got %q", got)
+	}
+	if got := s.Belief(bob, "glyph"); got != "jar" {
+		t.Fatalf("FIFO baseline: Bob should hold stale jar, got %q", got)
+	}
+	// Re-running the Resolution Algorithm gives the consistent snapshot.
+	r := resolve.Resolve(tn.Binarize(s.AsNetwork("glyph")))
+	if got := r.Certain(alice); got != "cow" {
+		t.Fatalf("RA after update: Alice must see cow, got %q", got)
+	}
+	if got := r.Certain(bob); got != "cow" {
+		t.Fatalf("RA after update: Bob must see cow, got %q", got)
+	}
+}
+
+// TestRevocation: after Charlie revokes, the FIFO system has stale values;
+// re-resolving the network yields no value at all.
+func TestRevocation(t *testing.T) {
+	n, alice, _, charlie := figure2()
+	s := New(n)
+	s.Insert(charlie, "glyph", "jar")
+	s.Revoke(charlie, "glyph")
+	if got := s.Belief(alice, "glyph"); got != "jar" {
+		t.Fatalf("FIFO baseline keeps stale value, got %q", got)
+	}
+	r := resolve.Resolve(tn.Binarize(s.AsNetwork("glyph")))
+	if got := r.Possible(alice); len(got) != 0 {
+		t.Fatalf("after revocation no value should be derivable, got %v", got)
+	}
+}
+
+// TestResolutionOrderInvariantRandom: for random networks and random
+// insertion orders, the stable-solution possible sets never depend on the
+// order, while the FIFO baseline frequently does.
+func TestResolutionOrderInvariantRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	fifoDiffers := 0
+	for iter := 0; iter < 60; iter++ {
+		n := tn.New()
+		nu := 3 + rng.Intn(4)
+		for i := 0; i < nu; i++ {
+			n.AddUser(string(rune('A' + i)))
+		}
+		for x := 0; x < nu; x++ {
+			k := rng.Intn(3)
+			perm := rng.Perm(nu)
+			added := 0
+			for _, z := range perm {
+				if added >= k || z == x {
+					continue
+				}
+				n.AddMapping(z, x, 1+rng.Intn(5))
+				added++
+			}
+		}
+		if !n.IsBinary() {
+			continue
+		}
+		// Random explicit beliefs to publish.
+		type upd struct {
+			user int
+			val  tn.Value
+		}
+		var updates []upd
+		for x := 0; x < nu; x++ {
+			if rng.Float64() < 0.5 {
+				updates = append(updates, upd{x, tn.Value([]string{"v", "w"}[rng.Intn(2)])})
+			}
+		}
+		if len(updates) < 2 {
+			continue
+		}
+		apply := func(order []int) (*System, *tn.Network) {
+			s := New(n)
+			for _, i := range order {
+				s.Insert(updates[i].user, "k", updates[i].val)
+			}
+			return s, s.AsNetwork("k")
+		}
+		fwd := make([]int, len(updates))
+		rev := make([]int, len(updates))
+		for i := range updates {
+			fwd[i] = i
+			rev[len(updates)-1-i] = i
+		}
+		s1, n1 := apply(fwd)
+		s2, n2 := apply(rev)
+		r1 := resolve.Resolve(tn.Binarize(n1))
+		r2 := resolve.Resolve(tn.Binarize(n2))
+		for x := 0; x < nu; x++ {
+			p1, p2 := r1.Possible(x), r2.Possible(x)
+			if len(p1) != len(p2) {
+				t.Fatalf("iter %d: RA order dependent at %s: %v vs %v", iter, n.Name(x), p1, p2)
+			}
+			for i := range p1 {
+				if p1[i] != p2[i] {
+					t.Fatalf("iter %d: RA order dependent at %s: %v vs %v", iter, n.Name(x), p1, p2)
+				}
+			}
+			if s1.Belief(x, "k") != s2.Belief(x, "k") {
+				fifoDiffers++
+			}
+		}
+	}
+	if fifoDiffers == 0 {
+		t.Error("expected the FIFO baseline to disagree across orders at least once")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	n, alice, bob, charlie := figure2()
+	s := New(n)
+	s.Insert(charlie, "g", "jar")
+	snap := s.Snapshot("g")
+	if snap[alice] != "jar" || snap[bob] != "jar" || snap[charlie] != "jar" {
+		t.Errorf("snapshot wrong: %v", snap)
+	}
+}

@@ -1,0 +1,390 @@
+package resolve
+
+import (
+	"trustmap/internal/graph"
+	"trustmap/internal/tn"
+)
+
+// ValuePair is an ordered pair of values (v, w) jointly possible for two
+// users: some stable solution b has b(x)=v and b(y)=w.
+type ValuePair [2]tn.Value
+
+// PairsResult extends Result with the sets poss(x,y) of Proposition 2.13.
+type PairsResult struct {
+	*Result
+	pairs map[[2]int]map[ValuePair]bool // keyed by (min,max) node pair
+}
+
+// pairKey normalizes a node pair and reports whether the values must be
+// swapped when reading/writing.
+func pairKey(x, y int) (k [2]int, swap bool) {
+	if x <= y {
+		return [2]int{x, y}, false
+	}
+	return [2]int{y, x}, true
+}
+
+func (p *PairsResult) addPair(x, y int, v, w tn.Value) {
+	k, swap := pairKey(x, y)
+	if swap {
+		v, w = w, v
+	}
+	m := p.pairs[k]
+	if m == nil {
+		m = make(map[ValuePair]bool)
+		p.pairs[k] = m
+	}
+	m[ValuePair{v, w}] = true
+}
+
+// PossiblePairs returns poss(x,y): all value pairs (v,w) such that some
+// stable solution assigns v to x and w to y (Proposition 2.13).
+func (p *PairsResult) PossiblePairs(x, y int) map[ValuePair]bool {
+	k, swap := pairKey(x, y)
+	src := p.pairs[k]
+	out := make(map[ValuePair]bool, len(src))
+	for vp := range src {
+		if swap {
+			out[ValuePair{vp[1], vp[0]}] = true
+		} else {
+			out[vp] = true
+		}
+	}
+	return out
+}
+
+// Agree reports whether x and y agree in every stable solution where both
+// are defined: all pairs in poss(x,y) are diagonal (Section 2.1, 2.5).
+func (p *PairsResult) Agree(x, y int) bool {
+	k, _ := pairKey(x, y)
+	for vp := range p.pairs[k] {
+		if vp[0] != vp[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// AgreeingPairs returns all user pairs (x < y) that agree in every stable
+// solution and are both defined in at least one (the agreement-checking
+// query of Section 2.1).
+func (p *PairsResult) AgreeingPairs() [][2]int {
+	var out [][2]int
+	nu := p.n.NumUsers()
+	for x := 0; x < nu; x++ {
+		for y := x + 1; y < nu; y++ {
+			if len(p.pairs[[2]int{x, y}]) > 0 && p.Agree(x, y) {
+				out = append(out, [2]int{x, y})
+			}
+		}
+	}
+	return out
+}
+
+// Consensus returns the consensus values for (x, y): all v such that in
+// every stable solution b, b(x)=v iff b(y)=v (Section 2.1).
+func (p *PairsResult) Consensus(x, y int) []tn.Value {
+	bad := make(map[tn.Value]bool)
+	k, _ := pairKey(x, y)
+	for vp := range p.pairs[k] {
+		if vp[0] != vp[1] {
+			bad[vp[0]] = true
+			bad[vp[1]] = true
+		}
+	}
+	// A value possible at only one of the two sides (because the other is
+	// never defined) also breaks the equivalence.
+	if len(p.poss[x]) == 0 || len(p.poss[y]) == 0 {
+		for _, v := range p.poss[x] {
+			bad[v] = true
+		}
+		for _, v := range p.poss[y] {
+			bad[v] = true
+		}
+	}
+	var out []tn.Value
+	for _, v := range p.n.Domain() {
+		if !bad[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ResolvePairs runs the extended Resolution Algorithm of Proposition 2.13,
+// maintaining poss(x,y) for every pair of users. It runs in O(n^4) and is
+// meant for moderate networks and conflict-analysis queries.
+func ResolvePairs(network *tn.Network) *PairsResult {
+	if !network.IsBinary() {
+		panic("resolve: network is not binary; apply tn.Binarize first")
+	}
+	nu := network.NumUsers()
+	p := &PairsResult{
+		Result: &Result{
+			n:     network,
+			poss:  make([]valueSet, nu),
+			prov:  make([]map[tn.Value]provenance, nu),
+			reach: network.ReachableFromRoots(),
+		},
+		pairs: make(map[[2]int]map[ValuePair]bool),
+	}
+	for i := range p.prov {
+		p.prov[i] = make(map[tn.Value]provenance)
+	}
+	closed := make([]bool, nu)
+	var closedList []int
+	nClosed := 0
+	close := func(x int) {
+		closed[x] = true
+		closedList = append(closedList, x)
+		nClosed++
+	}
+
+	effIn := func(x int) []tn.Mapping {
+		var out []tn.Mapping
+		for _, m := range network.In(x) {
+			if p.reach[m.Parent] {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	prefParent := func(x int) (int, bool) {
+		in := effIn(x)
+		if len(in) == 0 {
+			return -1, false
+		}
+		if len(in) > 1 && in[1].Priority == in[0].Priority {
+			return -1, false
+		}
+		return in[0].Parent, true
+	}
+
+	// (I) Initialization: roots with explicit beliefs, plus all root pairs
+	// (roots hold their values independently in every stable solution).
+	for x := 0; x < nu; x++ {
+		if v := network.Explicit(x); v != tn.NoValue {
+			p.poss[x] = valueSet{v}
+			p.prov[x][v] = provenance{root: true}
+			close(x)
+		} else if !p.reach[x] {
+			close(x)
+		}
+	}
+	for i, x := range closedList {
+		for _, y := range closedList[:i+1] {
+			vx, vy := network.Explicit(x), network.Explicit(y)
+			if vx != tn.NoValue && vy != tn.NoValue {
+				p.addPair(x, y, vx, vy)
+				if x != y {
+					p.addPair(y, x, vy, vx)
+				}
+			}
+		}
+	}
+
+	g := network.Graph()
+	for nClosed < nu {
+		// (S1) A preferred edge z -> x with z closed, x open.
+		stepped := false
+		for x := 0; x < nu && !stepped; x++ {
+			if closed[x] {
+				continue
+			}
+			z, ok := prefParent(x)
+			if !ok || !closed[z] {
+				continue
+			}
+			stepped = true
+			p.poss[x] = append(valueSet(nil), p.poss[z]...)
+			for _, v := range p.poss[x] {
+				p.prov[x][v] = provenance{sources: []int{z}}
+			}
+			// poss(u,x) = poss(u,z) for closed u; poss(z,x) diagonal;
+			// poss(x,x) diagonal.
+			for _, u := range closedList {
+				if u == z {
+					continue
+				}
+				for vp := range p.PossiblePairs(u, z) {
+					p.addPair(u, x, vp[0], vp[1])
+				}
+			}
+			for _, v := range p.poss[z] {
+				p.addPair(z, x, v, v)
+				p.addPair(x, x, v, v)
+			}
+			close(x)
+		}
+		if stepped {
+			continue
+		}
+		// (S2) Flood a minimal SCC of the open nodes.
+		open := func(v int) bool { return !closed[v] }
+		comp, ncomp := g.SCC(open)
+		if ncomp == 0 {
+			break
+		}
+		minimal := ncomp - 1
+		var members []int
+		inS := make(map[int]bool)
+		for v := 0; v < nu; v++ {
+			if comp[v] == minimal {
+				members = append(members, v)
+				inS[v] = true
+			}
+		}
+		// Entry edges from closed nodes: z_i -> x_i.
+		type entry struct{ z, x int }
+		var entries []entry
+		var flood valueSet
+		for _, x := range members {
+			for _, m := range network.In(x) {
+				if closed[m.Parent] {
+					entries = append(entries, entry{m.Parent, x})
+					for _, v := range p.poss[m.Parent] {
+						flood = flood.add(v)
+					}
+				}
+			}
+		}
+		// Collapse preferred edges inside S (all nodes joined by preferred
+		// edges take equal values in every stable solution).
+		collapsed := collapsePreferred(network, members, inS, effIn)
+		sPrime, nodeOf := buildCollapsedGraph(network, members, inS, collapsed)
+
+		// poss(u,x) for u closed, x in S.
+		for _, x := range members {
+			p.poss[x] = append(valueSet(nil), flood...)
+			for _, v := range flood {
+				pr := provenance{scc: members}
+				for _, e := range entries {
+					if p.poss[e.z].has(v) {
+						pr.sources = append(pr.sources, e.z)
+						pr.entries = append(pr.entries, e.x)
+					}
+				}
+				p.prov[x][v] = pr
+			}
+			for _, u := range closedList {
+				seen := make(map[ValuePair]bool)
+				for _, e := range entries {
+					for vp := range p.PossiblePairs(u, e.z) {
+						if !seen[vp] {
+							seen[vp] = true
+							p.addPair(u, x, vp[0], vp[1])
+						}
+					}
+				}
+			}
+			// Diagonal pairs within S (whole-component floods).
+			for _, v := range flood {
+				p.addPair(x, x, v, v)
+			}
+		}
+		// poss(x,y) for x,y in S: diagonal floods always; off-diagonal via
+		// vertex-disjoint paths in the collapsed graph S'.
+		for ai, x := range members {
+			for _, y := range members[ai+1:] {
+				for _, v := range flood {
+					p.addPair(x, y, v, v)
+					p.addPair(y, x, v, v)
+				}
+				if collapsed[x] == collapsed[y] {
+					continue // preferred-connected: always equal
+				}
+				for i := range entries {
+					for j := range entries {
+						if i == j {
+							continue
+						}
+						si := nodeOf[collapsed[entries[i].x]]
+						sj := nodeOf[collapsed[entries[j].x]]
+						tx := nodeOf[collapsed[x]]
+						ty := nodeOf[collapsed[y]]
+						if si == sj {
+							continue
+						}
+						if !sPrime.TwoDisjointPathsPaired(si, tx, sj, ty, nil) {
+							continue
+						}
+						for vp := range p.PossiblePairs(entries[i].z, entries[j].z) {
+							p.addPair(x, y, vp[0], vp[1])
+							p.addPair(y, x, vp[1], vp[0])
+						}
+					}
+				}
+			}
+		}
+		for _, x := range members {
+			close(x)
+		}
+	}
+	return p
+}
+
+// collapsePreferred unions the members of S that are connected through
+// preferred edges (both endpoints in S). Returns a representative map.
+func collapsePreferred(network *tn.Network, members []int, inS map[int]bool, effIn func(int) []tn.Mapping) map[int]int {
+	parent := make(map[int]int, len(members))
+	for _, x := range members {
+		parent[x] = x
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, x := range members {
+		in := effIn(x)
+		if len(in) == 0 {
+			continue
+		}
+		if len(in) > 1 && in[1].Priority == in[0].Priority {
+			continue // no preferred parent
+		}
+		z := in[0].Parent
+		if inS[z] {
+			parent[find(x)] = find(z)
+		}
+	}
+	out := make(map[int]int, len(members))
+	for _, x := range members {
+		out[x] = find(x)
+	}
+	return out
+}
+
+// buildCollapsedGraph builds S' over the collapsed representatives with all
+// S-internal edges, returning the graph and the dense index of each
+// representative.
+func buildCollapsedGraph(network *tn.Network, members []int, inS map[int]bool, collapsed map[int]int) (*graph.Digraph, map[int]int) {
+	nodeOf := make(map[int]int)
+	for _, x := range members {
+		r := collapsed[x]
+		if _, ok := nodeOf[r]; !ok {
+			nodeOf[r] = len(nodeOf)
+		}
+	}
+	g := graph.New(len(nodeOf))
+	seen := make(map[[2]int]bool)
+	for _, x := range members {
+		for _, m := range network.In(x) {
+			if !inS[m.Parent] {
+				continue
+			}
+			a, b := nodeOf[collapsed[m.Parent]], nodeOf[collapsed[x]]
+			if a == b {
+				continue
+			}
+			k := [2]int{a, b}
+			if !seen[k] {
+				seen[k] = true
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g, nodeOf
+}

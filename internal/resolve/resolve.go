@@ -1,0 +1,385 @@
+// Package resolve implements the paper's core contribution: the Resolution
+// Algorithm (Algorithm 1, Theorem 2.12) computing the possible and certain
+// values of every user of a binary trust network in O(n^2) worst-case time,
+// together with the extensions of Section 2.5: lineage retrieval, possible
+// pairs (Proposition 2.13), agreement checking, and consensus values.
+package resolve
+
+import (
+	"fmt"
+	"sort"
+
+	"trustmap/internal/tn"
+)
+
+// Result holds the output of the Resolution Algorithm for a network.
+type Result struct {
+	n     *tn.Network
+	poss  []valueSet // poss(x) per node
+	prov  []map[tn.Value]provenance
+	reach []bool // nodes reachable from an explicit belief
+}
+
+// valueSet is a small ordered set of values. Networks typically carry very
+// few distinct values per object, so a sorted slice beats a map.
+type valueSet []tn.Value
+
+func (s valueSet) has(v tn.Value) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (s valueSet) add(v tn.Value) valueSet {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// provenance records where a possible value at a node came from, for
+// lineage retrieval (Section 2.5 "Retrieving lineage").
+type provenance struct {
+	root    bool  // value is the node's own explicit belief
+	sources []int // parent nodes the value was imported from
+	entries []int // for flooded SCCs: the in-component endpoints of the edges
+	scc     []int // members of the flooded component, if any
+}
+
+// Resolve runs Algorithm 1 on a binary trust network and returns the
+// possible values for every node. It panics if the network is not binary
+// (callers binarize first with tn.Binarize).
+//
+// Nodes not reachable from any explicit belief have an undefined belief in
+// every stable solution (Section 2.2); Resolve treats them as removed: they
+// get an empty possible set and their outgoing edges carry nothing.
+func Resolve(network *tn.Network) *Result {
+	if !network.IsBinary() {
+		panic("resolve: network is not binary; apply tn.Binarize first")
+	}
+	nu := network.NumUsers()
+	r := &Result{
+		n:     network,
+		poss:  make([]valueSet, nu),
+		prov:  make([]map[tn.Value]provenance, nu),
+		reach: network.ReachableFromRoots(),
+	}
+	for i := range r.prov {
+		r.prov[i] = make(map[tn.Value]provenance)
+	}
+	closed := make([]bool, nu)
+	nClosed := 0
+
+	// effIn(x): incoming mappings from reachable parents only. Removing
+	// unreachable nodes can promote a node's remaining parent to preferred.
+	effIn := func(x int) []tn.Mapping {
+		in := network.In(x)
+		ok := true
+		for _, m := range in {
+			if !r.reach[m.Parent] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return in
+		}
+		var out []tn.Mapping
+		for _, m := range in {
+			if r.reach[m.Parent] {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	prefParent := func(x int) (int, bool) {
+		in := effIn(x)
+		if len(in) == 0 {
+			return -1, false
+		}
+		if len(in) > 1 && in[1].Priority == in[0].Priority {
+			return -1, false
+		}
+		return in[0].Parent, true
+	}
+
+	// (I) Initialization: close all root nodes with explicit beliefs, and
+	// close unreachable nodes with empty possible sets.
+	for x := 0; x < nu; x++ {
+		if v := network.Explicit(x); v != tn.NoValue {
+			r.poss[x] = valueSet{v}
+			r.prov[x][v] = provenance{root: true}
+			closed[x] = true
+			nClosed++
+		} else if !r.reach[x] {
+			closed[x] = true
+			nClosed++
+		}
+	}
+
+	// preferredChildren[z] lists nodes x for which z is the (effective)
+	// preferred parent, enabling O(1) discovery of applicable Step-1 edges.
+	preferredChildren := make([][]int, nu)
+	for x := 0; x < nu; x++ {
+		if closed[x] {
+			continue
+		}
+		if z, ok := prefParent(x); ok {
+			preferredChildren[z] = append(preferredChildren[z], x)
+		}
+	}
+	g := network.Graph()
+
+	// Step-1 work queue: open nodes whose preferred parent is closed.
+	var s1queue []int
+	enqueueChildren := func(z int) {
+		for _, x := range preferredChildren[z] {
+			if !closed[x] {
+				s1queue = append(s1queue, x)
+			}
+		}
+	}
+	for z := 0; z < nu; z++ {
+		if closed[z] {
+			enqueueChildren(z)
+		}
+	}
+
+	// (M) Main loop.
+	for nClosed < nu {
+		// (S1) Propagate along preferred edges greedily.
+		progressed := false
+		for len(s1queue) > 0 {
+			x := s1queue[0]
+			s1queue = s1queue[1:]
+			if closed[x] {
+				continue
+			}
+			z, _ := prefParent(x)
+			r.poss[x] = append(valueSet(nil), r.poss[z]...)
+			for _, v := range r.poss[x] {
+				r.prov[x][v] = provenance{sources: []int{z}}
+			}
+			closed[x] = true
+			nClosed++
+			progressed = true
+			enqueueChildren(x)
+		}
+		if nClosed == nu {
+			break
+		}
+		if progressed {
+			continue
+		}
+		// (S2) No preferred edge applies: find the minimal SCCs of the open
+		// nodes (no incoming edges from other open components) and flood
+		// each with the union of the possible values of its closed parents.
+		// Closing every minimal component per Tarjan pass (instead of one)
+		// is what makes the algorithm quasi-linear on networks with many
+		// independent cycles (Figure 8a) while remaining quadratic on
+		// nested components (Figure 15).
+		open := func(v int) bool { return !closed[v] }
+		comp, ncomp := g.SCC(open)
+		if ncomp == 0 {
+			break
+		}
+		// A component is minimal iff it has no incoming edge from another
+		// open component.
+		hasIncoming := make([]bool, ncomp)
+		memberList := make([][]int, ncomp)
+		for v := 0; v < nu; v++ {
+			if comp[v] < 0 {
+				continue
+			}
+			memberList[comp[v]] = append(memberList[comp[v]], v)
+			for _, m := range network.In(v) {
+				if cp := comp[m.Parent]; cp >= 0 && cp != comp[v] {
+					hasIncoming[comp[v]] = true
+				}
+			}
+		}
+		for c := 0; c < ncomp; c++ {
+			if hasIncoming[c] {
+				continue
+			}
+			members := memberList[c]
+			var flood valueSet
+			type entryPoint struct{ z, x int }
+			var entries []entryPoint
+			for _, x := range members {
+				for _, m := range network.In(x) {
+					if closed[m.Parent] {
+						entries = append(entries, entryPoint{m.Parent, x})
+						for _, v := range r.poss[m.Parent] {
+							flood = flood.add(v)
+						}
+					}
+				}
+			}
+			for _, x := range members {
+				r.poss[x] = append(valueSet(nil), flood...)
+				for _, v := range flood {
+					p := provenance{scc: members}
+					for _, e := range entries {
+						if r.poss[e.z].has(v) {
+							p.sources = append(p.sources, e.z)
+							p.entries = append(p.entries, e.x)
+						}
+					}
+					r.prov[x][v] = p
+				}
+				closed[x] = true
+				nClosed++
+				enqueueChildren(x)
+			}
+		}
+	}
+	return r
+}
+
+// Possible returns poss(x): the values x takes in some stable solution
+// (Definition 2.7). The returned slice is sorted and must not be modified.
+func (r *Result) Possible(x int) []tn.Value { return r.poss[x] }
+
+// Certain returns cert(x): the value x takes in every stable solution, or
+// tn.NoValue if there is none. Per Section 2.4, cert(x) = {a} iff
+// poss(x) = {a}.
+func (r *Result) Certain(x int) tn.Value {
+	if len(r.poss[x]) == 1 {
+		return r.poss[x][0]
+	}
+	return tn.NoValue
+}
+
+// PossibleMap returns poss(x) as a set, for all x.
+func (r *Result) PossibleMap() []map[tn.Value]bool {
+	out := make([]map[tn.Value]bool, len(r.poss))
+	for x, s := range r.poss {
+		out[x] = make(map[tn.Value]bool, len(s))
+		for _, v := range s {
+			out[x][v] = true
+		}
+	}
+	return out
+}
+
+// Lineage returns one lineage of the possible value v at node x: a sequence
+// of users starting at a node with an explicit belief equal to v and ending
+// at x, such that the value was propagated along network edges
+// (Section 2.5). ok is false if v is not possible at x.
+func (r *Result) Lineage(x int, v tn.Value) (path []int, ok bool) {
+	if !r.poss[x].has(v) {
+		return nil, false
+	}
+	seen := make(map[int]bool)
+	var build func(x int) ([]int, bool)
+	build = func(x int) ([]int, bool) {
+		if seen[x] {
+			return nil, false
+		}
+		seen[x] = true
+		p, have := r.prov[x][v]
+		if !have {
+			return nil, false
+		}
+		if p.root {
+			return []int{x}, true
+		}
+		for i, z := range p.sources {
+			prefix, ok := build(z)
+			if !ok {
+				continue
+			}
+			if p.scc == nil {
+				return append(prefix, x), true
+			}
+			// Flooded component: expand the hop from the entry node to x
+			// with a concrete path inside the component.
+			entry := p.entries[i]
+			inner := r.pathWithin(p.scc, entry, x)
+			if inner == nil {
+				continue
+			}
+			return append(prefix, inner...), true
+		}
+		return nil, false
+	}
+	return build(x)
+}
+
+// pathWithin finds a path from src to dst using only edges between members
+// (both endpoints in the member set). Returns the node sequence including
+// src and dst, or nil.
+func (r *Result) pathWithin(members []int, src, dst int) []int {
+	in := make(map[int]bool, len(members))
+	for _, m := range members {
+		in[m] = true
+	}
+	prev := map[int]int{src: src}
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			var rev []int
+			for v := dst; ; v = prev[v] {
+				rev = append(rev, v)
+				if v == src {
+					break
+				}
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev
+		}
+		// Children of u inside the member set.
+		for x := range in {
+			if _, have := prev[x]; have {
+				continue
+			}
+			for _, m := range r.n.In(x) {
+				if m.Parent == u {
+					prev[x] = u
+					queue = append(queue, x)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyLineage checks that path is a valid lineage for value v at node x:
+// it starts at an explicit belief v, follows network edges, and ends at x.
+func (r *Result) VerifyLineage(x int, v tn.Value, path []int) error {
+	if len(path) == 0 {
+		return fmt.Errorf("resolve: empty lineage")
+	}
+	if r.n.Explicit(path[0]) != v {
+		return fmt.Errorf("resolve: lineage does not start at an explicit belief of %q", v)
+	}
+	if path[len(path)-1] != x {
+		return fmt.Errorf("resolve: lineage does not end at node %d", x)
+	}
+	for i := 1; i < len(path); i++ {
+		found := false
+		for _, m := range r.n.In(path[i]) {
+			if m.Parent == path[i-1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("resolve: no mapping %d -> %d", path[i-1], path[i])
+		}
+	}
+	return nil
+}

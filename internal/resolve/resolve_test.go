@@ -1,0 +1,407 @@
+package resolve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/tn"
+)
+
+func buildOscillator() (*tn.Network, [4]int) {
+	n := tn.New()
+	x1 := n.AddUser("x1")
+	x2 := n.AddUser("x2")
+	x3 := n.AddUser("x3")
+	x4 := n.AddUser("x4")
+	n.AddMapping(x2, x1, 100)
+	n.AddMapping(x3, x1, 50)
+	n.AddMapping(x1, x2, 80)
+	n.AddMapping(x4, x2, 40)
+	n.SetExplicit(x3, "v")
+	n.SetExplicit(x4, "w")
+	return n, [4]int{x1, x2, x3, x4}
+}
+
+func TestResolveSimpleTN(t *testing.T) {
+	n := tn.New()
+	x1 := n.AddUser("x1")
+	x2 := n.AddUser("x2")
+	x3 := n.AddUser("x3")
+	n.AddMapping(x2, x1, 100)
+	n.AddMapping(x3, x1, 50)
+	n.SetExplicit(x2, "v")
+	n.SetExplicit(x3, "w")
+	r := Resolve(n)
+	if got := r.Certain(x1); got != "v" {
+		t.Errorf("cert(x1)=%q want v", got)
+	}
+	if got := r.Certain(x2); got != "v" {
+		t.Errorf("cert(x2)=%q want v", got)
+	}
+	if got := r.Certain(x3); got != "w" {
+		t.Errorf("cert(x3)=%q want w", got)
+	}
+}
+
+func TestResolveOscillator(t *testing.T) {
+	n, xs := buildOscillator()
+	r := Resolve(n)
+	for _, x := range xs[:2] {
+		poss := r.Possible(x)
+		if len(poss) != 2 || poss[0] != "v" || poss[1] != "w" {
+			t.Errorf("poss(%d)=%v want [v w]", x, poss)
+		}
+		if r.Certain(x) != tn.NoValue {
+			t.Errorf("cert(%d) should be empty", x)
+		}
+	}
+	if r.Certain(xs[2]) != "v" || r.Certain(xs[3]) != "w" {
+		t.Error("roots must be certain")
+	}
+}
+
+func TestResolveEmptyPreferredParentFallsThrough(t *testing.T) {
+	// x's preferred parent is unreachable: x must take the non-preferred
+	// parent's value (the unreachable node is treated as removed).
+	n := tn.New()
+	x := n.AddUser("x")
+	dead := n.AddUser("dead")
+	alive := n.AddUser("alive")
+	n.AddMapping(dead, x, 10) // would be preferred, but carries nothing
+	n.AddMapping(alive, x, 5)
+	n.SetExplicit(alive, "v")
+	r := Resolve(n)
+	if got := r.Certain(x); got != "v" {
+		t.Errorf("cert(x)=%q want v", got)
+	}
+	if len(r.Possible(dead)) != 0 {
+		t.Error("unreachable node must have empty poss")
+	}
+}
+
+func TestResolveMatchesEnumeratorFixed(t *testing.T) {
+	n, _ := buildOscillator()
+	compareWithOracle(t, n)
+}
+
+// randomBTN builds a random binary trust network.
+func randomBTN(rng *rand.Rand, maxUsers int) *tn.Network {
+	n := tn.New()
+	nu := 2 + rng.Intn(maxUsers-1)
+	for i := 0; i < nu; i++ {
+		n.AddUser("u" + string(rune('A'+i)))
+	}
+	values := []tn.Value{"v", "w", "u"}
+	nRoots := 1 + rng.Intn(2)
+	for i := 0; i < nRoots && i < nu; i++ {
+		n.SetExplicit(i, values[rng.Intn(len(values))])
+	}
+	for x := nRoots; x < nu; x++ {
+		k := rng.Intn(3) // 0, 1 or 2 parents
+		perm := rng.Perm(nu)
+		added := 0
+		for _, z := range perm {
+			if added >= k || z == x {
+				continue
+			}
+			var prio int
+			if rng.Float64() < 0.2 && added == 1 {
+				prio = n.In(x)[0].Priority // create a tie
+			} else {
+				prio = 1 + rng.Intn(5)
+			}
+			n.AddMapping(z, x, prio)
+			added++
+		}
+	}
+	return n
+}
+
+func compareWithOracle(t *testing.T, n *tn.Network) {
+	t.Helper()
+	sols := tn.EnumerateStableSolutions(n, 0)
+	wantPoss := tn.PossibleFromSolutions(n, sols)
+	wantCert := tn.CertainFromSolutions(n, sols)
+	r := Resolve(n)
+	for x := 0; x < n.NumUsers(); x++ {
+		got := r.Possible(x)
+		if len(got) != len(wantPoss[x]) {
+			t.Errorf("poss(%s): got %v want %v", n.Name(x), got, wantPoss[x])
+			continue
+		}
+		for _, v := range got {
+			if !wantPoss[x][v] {
+				t.Errorf("poss(%s): spurious %q", n.Name(x), v)
+			}
+		}
+		if got := r.Certain(x); got != wantCert[x] {
+			t.Errorf("cert(%s): got %q want %q", n.Name(x), got, wantCert[x])
+		}
+	}
+}
+
+// TestResolveMatchesEnumeratorRandom is the paper's Theorem 2.12
+// correctness claim, checked against the Definition 2.4 oracle.
+func TestResolveMatchesEnumeratorRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 300; i++ {
+		n := randomBTN(rng, 8)
+		compareWithOracle(t, n)
+		if t.Failed() {
+			t.Fatalf("failed at random network %d", i)
+		}
+	}
+}
+
+// TestResolveBinarizedRandom resolves binarized versions of random
+// non-binary networks and compares with the oracle on the original.
+func TestResolveBinarizedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	values := []tn.Value{"v", "w"}
+	for i := 0; i < 120; i++ {
+		n := tn.New()
+		nu := 3 + rng.Intn(3)
+		for j := 0; j < nu; j++ {
+			n.AddUser("u" + string(rune('A'+j)))
+		}
+		for x := 0; x < nu; x++ {
+			perm := rng.Perm(nu)
+			k := rng.Intn(4)
+			added := 0
+			for _, z := range perm {
+				if added >= k || z == x {
+					continue
+				}
+				n.AddMapping(z, x, 1+rng.Intn(3))
+				added++
+			}
+		}
+		n.SetExplicit(0, values[rng.Intn(2)])
+		if rng.Float64() < 0.5 {
+			n.SetExplicit(1, values[rng.Intn(2)])
+		}
+		b := tn.Binarize(n)
+		sols := tn.EnumerateStableSolutions(n, 0)
+		wantPoss := tn.PossibleFromSolutions(n, sols)
+		wantCert := tn.CertainFromSolutions(n, sols)
+		r := Resolve(b)
+		for x := 0; x < n.NumUsers(); x++ {
+			got := r.Possible(x)
+			if len(got) != len(wantPoss[x]) {
+				t.Fatalf("net %d poss(%s): got %v want %v", i, n.Name(x), got, wantPoss[x])
+			}
+			for _, v := range got {
+				if !wantPoss[x][v] {
+					t.Fatalf("net %d poss(%s): spurious %q", i, n.Name(x), v)
+				}
+			}
+			if got := r.Certain(x); got != wantCert[x] {
+				t.Fatalf("net %d cert(%s): got %q want %q", i, n.Name(x), got, wantCert[x])
+			}
+		}
+	}
+}
+
+func TestLineage(t *testing.T) {
+	n, xs := buildOscillator()
+	r := Resolve(n)
+	for _, x := range xs[:2] {
+		for _, v := range []tn.Value{"v", "w"} {
+			path, ok := r.Lineage(x, v)
+			if !ok {
+				t.Fatalf("lineage(%d,%q) missing", x, v)
+			}
+			if err := r.VerifyLineage(x, v, path); err != nil {
+				t.Errorf("lineage(%d,%q)=%v invalid: %v", x, v, path, err)
+			}
+		}
+	}
+	if _, ok := r.Lineage(xs[2], "w"); ok {
+		t.Error("w is not possible at x3; lineage must fail")
+	}
+}
+
+func TestLineageRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 150; i++ {
+		n := randomBTN(rng, 8)
+		r := Resolve(n)
+		for x := 0; x < n.NumUsers(); x++ {
+			for _, v := range r.Possible(x) {
+				path, ok := r.Lineage(x, v)
+				if !ok {
+					t.Fatalf("net %d: lineage(%s,%q) missing", i, n.Name(x), v)
+				}
+				if err := r.VerifyLineage(x, v, path); err != nil {
+					t.Fatalf("net %d: invalid lineage: %v", i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestPossiblePairsOscillator(t *testing.T) {
+	n, xs := buildOscillator()
+	p := ResolvePairs(n)
+	pairs := p.PossiblePairs(xs[0], xs[1])
+	// Per Section 2.5: poss(x1,x2) contains (v,v) and (w,w) but not (v,w)
+	// or (w,v).
+	if !pairs[ValuePair{"v", "v"}] || !pairs[ValuePair{"w", "w"}] {
+		t.Errorf("diagonal pairs missing: %v", pairs)
+	}
+	if pairs[ValuePair{"v", "w"}] || pairs[ValuePair{"w", "v"}] {
+		t.Errorf("off-diagonal pairs must be absent: %v", pairs)
+	}
+	if !p.Agree(xs[0], xs[1]) {
+		t.Error("x1 and x2 agree in every stable solution")
+	}
+	if p.Agree(xs[2], xs[3]) {
+		t.Error("x3 and x4 never agree")
+	}
+}
+
+func TestPossiblePairsMatchEnumerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for i := 0; i < 150; i++ {
+		n := randomBTN(rng, 7)
+		sols := tn.EnumerateStableSolutions(n, 0)
+		p := ResolvePairs(n)
+		for x := 0; x < n.NumUsers(); x++ {
+			for y := 0; y < n.NumUsers(); y++ {
+				want := tn.PossiblePairsFromSolutions(sols, x, y)
+				got := p.PossiblePairs(x, y)
+				if len(got) != len(want) {
+					t.Fatalf("net %d pairs(%s,%s): got %v want %v", i, n.Name(x), n.Name(y), got, want)
+				}
+				for vp := range got {
+					if !want[[2]tn.Value{vp[0], vp[1]}] {
+						t.Fatalf("net %d pairs(%s,%s): spurious %v (want %v)", i, n.Name(x), n.Name(y), vp, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConsensusOscillator(t *testing.T) {
+	n, xs := buildOscillator()
+	p := ResolvePairs(n)
+	// x1 and x2 always hold the same value, so every domain value is a
+	// consensus value for the pair.
+	cons := p.Consensus(xs[0], xs[1])
+	if len(cons) != 2 {
+		t.Errorf("consensus(x1,x2)=%v want both values", cons)
+	}
+	// x3 always holds v and x4 always holds w: v fails (x3=v but x4!=v)...
+	cons = p.Consensus(xs[2], xs[3])
+	if len(cons) != 0 {
+		t.Errorf("consensus(x3,x4)=%v want empty", cons)
+	}
+}
+
+func TestAgreeingPairs(t *testing.T) {
+	n, xs := buildOscillator()
+	p := ResolvePairs(n)
+	agree := p.AgreeingPairs()
+	found := false
+	for _, pr := range agree {
+		if pr == [2]int{xs[0], xs[1]} {
+			found = true
+		}
+		if pr == [2]int{xs[2], xs[3]} {
+			t.Error("x3,x4 must not agree")
+		}
+	}
+	if !found {
+		t.Error("x1,x2 must be reported as agreeing")
+	}
+}
+
+func TestResolveNonBinaryPanics(t *testing.T) {
+	n := tn.New()
+	x := n.AddUser("x")
+	a := n.AddUser("a")
+	b := n.AddUser("b")
+	c := n.AddUser("c")
+	n.AddMapping(a, x, 1)
+	n.AddMapping(b, x, 2)
+	n.AddMapping(c, x, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-binary network")
+		}
+	}()
+	Resolve(n)
+}
+
+// TestResolveEmptyNetwork and other degenerate shapes.
+func TestResolveDegenerateShapes(t *testing.T) {
+	// Empty network.
+	r := Resolve(tn.New())
+	_ = r
+	// Single root.
+	n := tn.New()
+	a := n.AddUser("a")
+	n.SetExplicit(a, "v")
+	r = Resolve(n)
+	if r.Certain(a) != "v" {
+		t.Error("single root must be certain")
+	}
+	// Single isolated node without belief.
+	n2 := tn.New()
+	b := n2.AddUser("b")
+	r = Resolve(n2)
+	if len(r.Possible(b)) != 0 {
+		t.Error("isolated node must have no possible values")
+	}
+	// Long chain: values propagate end to end.
+	n3 := tn.New()
+	prev := n3.AddUser("n0")
+	n3.SetExplicit(prev, "v")
+	var last int
+	for i := 1; i < 500; i++ {
+		last = n3.AddUser(fmt.Sprintf("n%d", i))
+		n3.AddMapping(prev, last, 1)
+		prev = last
+	}
+	r = Resolve(n3)
+	if r.Certain(last) != "v" {
+		t.Error("chain propagation failed")
+	}
+}
+
+// TestPairsWithUnreachableNodes: pairs involving unreachable nodes are
+// empty.
+func TestPairsWithUnreachableNodes(t *testing.T) {
+	n := tn.New()
+	a := n.AddUser("a")
+	b := n.AddUser("b")
+	dead := n.AddUser("dead")
+	n.AddMapping(a, b, 1)
+	n.AddMapping(dead, b, 2) // preferred but unreachable
+	n.SetExplicit(a, "v")
+	p := ResolvePairs(n)
+	if len(p.PossiblePairs(a, dead)) != 0 {
+		t.Error("pairs with unreachable node must be empty")
+	}
+	if got := p.PossiblePairs(a, b); len(got) != 1 || !got[ValuePair{"v", "v"}] {
+		t.Errorf("pairs(a,b) = %v want {(v,v)}", got)
+	}
+}
+
+// TestSelfPairsAreDiagonal: poss(x,x) is always diagonal.
+func TestSelfPairsAreDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for i := 0; i < 40; i++ {
+		n := randomBTN(rng, 6)
+		p := ResolvePairs(n)
+		for x := 0; x < n.NumUsers(); x++ {
+			for vp := range p.PossiblePairs(x, x) {
+				if vp[0] != vp[1] {
+					t.Fatalf("net %d: poss(%d,%d) off-diagonal %v", i, x, x, vp)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package skeptic
+
+import (
+	"errors"
+
+	"trustmap/internal/belief"
+)
+
+// ErrCyclic is returned by SolveAcyclic on cyclic networks.
+var ErrCyclic = errors.New("skeptic: network is cyclic")
+
+// SolveAcyclic computes the unique stable solution of an acyclic binary
+// trust network with constraints under any paradigm, in polynomial time, by
+// applying the preferred-union equation of Definition 3.3 in topological
+// order (Proposition 3.6).
+func SolveAcyclic(c *Network, p belief.Paradigm) (Solution, error) {
+	g := c.TN.Graph()
+	order, ok := g.TopoOrder()
+	if !ok {
+		return nil, ErrCyclic
+	}
+	sol := make(Solution, c.NumUsers())
+	for _, x := range order {
+		sol[x] = c.applyEquation(p, sol, x)
+	}
+	return sol, nil
+}

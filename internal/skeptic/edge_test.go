@@ -1,0 +1,152 @@
+package skeptic
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/belief"
+)
+
+// TestSkepticAlgorithmThreeValues widens the oracle comparison to a
+// three-value domain (smaller networks keep the enumeration tractable).
+func TestSkepticAlgorithmThreeValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	values := []string{"v", "w", "u"}
+	for i := 0; i < 60; i++ {
+		c := randomConstraintNet(rng, 5, values)
+		sols := EnumerateStableSolutions(c, belief.Skeptic, 0)
+		if len(sols) == 0 {
+			t.Fatalf("net %d: no stable solution", i)
+		}
+		wantPoss := PossiblePositives(c, sols)
+		wantCert := CertainPositives(c, sols)
+		r := ResolveSkeptic(c)
+		for x := 0; x < c.NumUsers(); x++ {
+			got := r.PossiblePositives(x)
+			if len(got) != len(wantPoss[x]) {
+				t.Fatalf("net %d poss+(%s): got %v want %v", i, c.TN.Name(x), got, wantPoss[x])
+			}
+			for _, v := range got {
+				if !wantPoss[x][v] {
+					t.Fatalf("net %d poss+(%s): spurious %q", i, c.TN.Name(x), v)
+				}
+			}
+			if got := r.CertainPositive(x); got != wantCert[x] {
+				t.Fatalf("net %d cert+(%s): got %q want %q", i, c.TN.Name(x), got, wantCert[x])
+			}
+		}
+	}
+}
+
+// TestAllConstraintNetwork: a network with only negative beliefs has a
+// unique stable solution where every node holds its negative closure.
+func TestAllConstraintNetwork(t *testing.T) {
+	c := New()
+	a := c.AddUser("a")
+	b := c.AddUser("b")
+	x := c.AddUser("x")
+	c.AddMapping(a, x, 2)
+	c.AddMapping(b, x, 1)
+	c.SetBelief(a, belief.Negatives("v"))
+	c.SetBelief(b, belief.Negatives("w"))
+	sols := EnumerateStableSolutions(c, belief.Skeptic, 0)
+	if len(sols) != 1 {
+		t.Fatalf("want unique solution, got %d", len(sols))
+	}
+	want := belief.Negatives("v", "w")
+	if !sols[0][x].Equal(want) {
+		t.Errorf("x = %v want %v", sols[0][x], want)
+	}
+	r := ResolveSkeptic(c)
+	got, isT1 := r.Type1(x)
+	if !isT1 || !got.Equal(want) {
+		t.Errorf("algorithm: x = %v (type1=%v) want %v", got, isT1, want)
+	}
+	if len(r.PossiblePositives(x)) != 0 || r.HasBottom(x) {
+		t.Error("no positives or bottom expected in a constraint-only network")
+	}
+}
+
+// TestConstraintBelowPositive: negatives arriving from a low-priority
+// parent never block the preferred positive.
+func TestConstraintBelowPositive(t *testing.T) {
+	c := New()
+	pos := c.AddUser("pos")
+	neg := c.AddUser("neg")
+	x := c.AddUser("x")
+	c.AddMapping(pos, x, 2) // preferred: a+
+	c.AddMapping(neg, x, 1) // non-preferred: a-
+	c.SetBelief(pos, belief.Positive("a"))
+	c.SetBelief(neg, belief.Negatives("a"))
+	r := ResolveSkeptic(c)
+	if got := r.CertainPositive(x); got != "a" {
+		t.Errorf("x = %q want a (preferred positive wins over later constraint)", got)
+	}
+	// Reversed priorities: the constraint now dominates and blocks a+.
+	c2 := New()
+	pos2 := c2.AddUser("pos")
+	neg2 := c2.AddUser("neg")
+	x2 := c2.AddUser("x")
+	c2.AddMapping(pos2, x2, 1)
+	c2.AddMapping(neg2, x2, 2)
+	c2.SetBelief(pos2, belief.Positive("a"))
+	c2.SetBelief(neg2, belief.Negatives("a"))
+	r2 := ResolveSkeptic(c2)
+	if len(r2.PossiblePositives(x2)) != 0 || !r2.HasBottom(x2) {
+		t.Errorf("x should be ⊥, states %v", r2.States(x2))
+	}
+	// Oracle agrees.
+	sols := EnumerateStableSolutions(c2, belief.Skeptic, 0)
+	if len(sols) != 1 || !sols[0][x2].IsBottom() {
+		t.Errorf("oracle: %v", sols)
+	}
+}
+
+// TestDeepPreferredNegChain: negatives travel down long preferred chains
+// and keep blocking (the prefNeg preprocessing of Algorithm 2).
+func TestDeepPreferredNegChain(t *testing.T) {
+	c := New()
+	src := c.AddUser("src")
+	c.SetBelief(src, belief.Negatives("v"))
+	prev := src
+	var chain []int
+	for i := 0; i < 6; i++ {
+		x := c.AddUser(string(rune('a' + i)))
+		c.AddMapping(prev, x, 2)
+		chain = append(chain, x)
+		prev = x
+	}
+	feeder := c.AddUser("feeder")
+	c.SetBelief(feeder, belief.Positive("v"))
+	c.AddMapping(feeder, chain[len(chain)-1], 1)
+	r := ResolveSkeptic(c)
+	last := chain[len(chain)-1]
+	if len(r.PossiblePositives(last)) != 0 || !r.HasBottom(last) {
+		t.Errorf("v must be blocked by the chain constraint: states %v", r.States(last))
+	}
+	sols := EnumerateStableSolutions(c, belief.Skeptic, 0)
+	if len(sols) != 1 || !sols[0][last].IsBottom() {
+		t.Errorf("oracle disagrees: %v", sols[0][last])
+	}
+}
+
+// TestStatesAccessors exercises the Result accessors.
+func TestStatesAccessors(t *testing.T) {
+	c := New()
+	a := c.AddUser("a")
+	x := c.AddUser("x")
+	c.AddMapping(a, x, 1)
+	c.SetBelief(a, belief.Positive("v"))
+	r := ResolveSkeptic(c)
+	states := r.States(x)
+	if len(states) != 1 || states[0].Kind != StatePos || states[0].V != "v" {
+		t.Errorf("states = %v", states)
+	}
+	sets := r.PossibleBeliefSets(x)
+	if len(sets) != 1 || !sets[0].Equal(belief.SkepticPositive("v")) {
+		t.Errorf("belief sets = %v", sets)
+	}
+	if _, isT1 := r.Type1(x); isT1 {
+		t.Error("x is Type 2")
+	}
+}

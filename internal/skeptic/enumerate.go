@@ -1,0 +1,237 @@
+package skeptic
+
+import "trustmap/internal/belief"
+
+// This file implements the exact enumerator of stable solutions with
+// constraints (Definition 3.3), for all three paradigms. It is exponential
+// and serves two purposes: it is the ground-truth oracle for Algorithm 2,
+// and it is the exact solver for the Agnostic and Eclectic paradigms,
+// whose possible/certain problems are NP-hard / coNP-hard (Theorem 3.4) so
+// no polynomial algorithm is expected to exist.
+
+// EnumerateStableSolutions returns all stable solutions of the network
+// under paradigm p (limit > 0 caps the count; 0 = all).
+func EnumerateStableSolutions(c *Network, p belief.Paradigm, limit int) []Solution {
+	nu := c.NumUsers()
+	cands := candidateSets(c, p)
+	// For early pruning: node x's equation can be checked as soon as x and
+	// all its parents are assigned.
+	checkAt := make([][]int, nu) // step index -> nodes to verify
+	for x := 0; x < nu; x++ {
+		last := x
+		for _, m := range c.TN.In(x) {
+			if m.Parent > last {
+				last = m.Parent
+			}
+		}
+		checkAt[last] = append(checkAt[last], x)
+	}
+	normB0 := make([]belief.Set, nu)
+	for x := 0; x < nu; x++ {
+		normB0[x] = belief.Norm(p, c.B0[x])
+	}
+	cur := make(Solution, nu)
+	var out []Solution
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == nu {
+			if founded(c, cur, normB0) {
+				cp := make(Solution, nu)
+				copy(cp, cur)
+				out = append(out, cp)
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+			}
+			return true
+		}
+		for _, b := range cands {
+			cur[i] = b
+			ok := true
+			for _, x := range checkAt[i] {
+				if !c.applyEquation(p, cur, x).Equal(cur[x]) {
+					ok = false
+					break
+				}
+			}
+			if ok && !rec(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// candidateSets enumerates the belief sets a node can possibly hold under
+// paradigm p, given the network's value domain D. All solutions are in the
+// paradigm's normal form (the equations normalize), and all contents are
+// drawn from D (negatives can also be co-finite under Skeptic):
+//
+//	Agnostic: {}, {v+}, nonempty finite negative subsets of D.
+//	Eclectic: {}, finite negative subsets, {v+} ∪ finite negatives.
+//	Skeptic:  {}, finite negative subsets, {v+} ∪ (⊥−{v−}), ⊥.
+func candidateSets(c *Network, p belief.Paradigm) []belief.Set {
+	d := c.Domain()
+	var out []belief.Set
+	out = append(out, belief.Empty())
+	// All nonempty finite negative subsets of D.
+	var negSubsets [][]string
+	n := len(d)
+	for mask := 1; mask < (1 << n); mask++ {
+		var sub []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, d[i])
+			}
+		}
+		negSubsets = append(negSubsets, sub)
+	}
+	for _, sub := range negSubsets {
+		out = append(out, belief.Negatives(sub...))
+	}
+	switch p {
+	case belief.Agnostic:
+		for _, v := range d {
+			out = append(out, belief.Positive(v))
+		}
+	case belief.Eclectic:
+		for _, v := range d {
+			out = append(out, belief.Positive(v))
+			for _, sub := range negSubsets {
+				ok := true
+				for _, w := range sub {
+					if w == v {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, belief.PreferredUnion(belief.Positive(v), belief.Negatives(sub...)))
+				}
+			}
+		}
+	case belief.Skeptic:
+		for _, v := range d {
+			out = append(out, belief.SkepticPositive(v))
+		}
+		out = append(out, belief.Bottom())
+	}
+	return out
+}
+
+// founded checks condition (2) of Definition 3.3: every belief b in B(x)
+// has a path x0 -> ... -> x with b in Norm(B0(x0)) and b in B(xi) along the
+// whole path. Beliefs range over v+ and v- for v in the domain, plus the
+// "omega" negative standing for all values outside the domain (present
+// exactly in co-finite sets).
+func founded(c *Network, sol Solution, normB0 []belief.Set) bool {
+	nu := c.NumUsers()
+	d := c.Domain()
+	type check struct {
+		inSet func(belief.Set) bool
+	}
+	var checks []check
+	for _, v := range d {
+		v := v
+		checks = append(checks, check{func(s belief.Set) bool {
+			p, ok := s.Pos()
+			return ok && p == v
+		}})
+		checks = append(checks, check{func(s belief.Set) bool { return s.HasNeg(v) }})
+	}
+	// The omega negative: in the set iff the negative part is co-finite.
+	checks = append(checks, check{func(s belief.Set) bool { return s.CoNegative() }})
+
+	for _, ch := range checks {
+		// Nodes currently holding the belief.
+		holds := make([]bool, nu)
+		anyHolds := false
+		for x := 0; x < nu; x++ {
+			if ch.inSet(sol[x]) {
+				holds[x] = true
+				anyHolds = true
+			}
+		}
+		if !anyHolds {
+			continue
+		}
+		// BFS from source nodes (belief in Norm(B0)) through holding nodes.
+		reach := make([]bool, nu)
+		var queue []int
+		for x := 0; x < nu; x++ {
+			if holds[x] && ch.inSet(normB0[x]) {
+				reach[x] = true
+				queue = append(queue, x)
+			}
+		}
+		for len(queue) > 0 {
+			z := queue[0]
+			queue = queue[1:]
+			for x := 0; x < nu; x++ {
+				if reach[x] || !holds[x] {
+					continue
+				}
+				for _, m := range c.TN.In(x) {
+					if m.Parent == z {
+						reach[x] = true
+						queue = append(queue, x)
+						break
+					}
+				}
+			}
+		}
+		for x := 0; x < nu; x++ {
+			if holds[x] && !reach[x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PossiblePositives computes, from enumerated solutions, the possible
+// positive beliefs per node (Section 3.1: "compute the possible and the
+// certain positive beliefs").
+func PossiblePositives(c *Network, sols []Solution) []map[string]bool {
+	out := make([]map[string]bool, c.NumUsers())
+	for x := range out {
+		out[x] = make(map[string]bool)
+	}
+	for _, s := range sols {
+		for x, b := range s {
+			if v, ok := b.Pos(); ok {
+				out[x][v] = true
+			}
+		}
+	}
+	return out
+}
+
+// CertainPositives computes the certain positive belief per node ("" if
+// none): v+ must belong to B(x) in every stable solution.
+func CertainPositives(c *Network, sols []Solution) []string {
+	nu := c.NumUsers()
+	out := make([]string, nu)
+	if len(sols) == 0 {
+		return out
+	}
+	for x := 0; x < nu; x++ {
+		v, ok := sols[0][x].Pos()
+		if !ok {
+			continue
+		}
+		certain := true
+		for _, s := range sols[1:] {
+			if w, ok := s[x].Pos(); !ok || w != v {
+				certain = false
+				break
+			}
+		}
+		if certain {
+			out[x] = v
+		}
+	}
+	return out
+}

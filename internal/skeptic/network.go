@@ -1,0 +1,165 @@
+// Package skeptic implements conflict resolution with constraints
+// (Section 3 of the paper): binary trust networks whose explicit beliefs
+// may be positive values or sets of negative beliefs (constraints), the
+// stable solutions of Definition 3.3 for the three paradigms, the exact
+// (exponential) solver used both as the test oracle and as the only exact
+// option for the NP-hard Agnostic and Eclectic paradigms (Theorem 3.4),
+// the PTIME solver for acyclic networks (Proposition 3.6), and the
+// quadratic Skeptic Resolution Algorithm (Algorithm 2, Theorem 3.5).
+package skeptic
+
+import (
+	"fmt"
+
+	"trustmap/internal/belief"
+	"trustmap/internal/tn"
+)
+
+// Network is a binary trust network with constraints: the graph structure
+// of a tn.Network plus per-node explicit belief sets B0 that are either a
+// single positive belief, a set of negative beliefs, or empty
+// (Definition 3.3). Ties between priorities of a node's parents are
+// disallowed, as in Section 3.1.
+type Network struct {
+	TN *tn.Network
+	B0 []belief.Set
+}
+
+// New returns an empty constraint network.
+func New() *Network {
+	return &Network{TN: tn.New()}
+}
+
+// FromTN builds a constraint network from a Section-2 trust network: every
+// explicit value becomes a positive belief. The structure is shared.
+func FromTN(n *tn.Network) *Network {
+	c := &Network{TN: n, B0: make([]belief.Set, n.NumUsers())}
+	for x := 0; x < n.NumUsers(); x++ {
+		if v := n.Explicit(x); v != tn.NoValue {
+			c.B0[x] = belief.Positive(string(v))
+		}
+	}
+	return c
+}
+
+// AddUser adds a user and returns its ID.
+func (c *Network) AddUser(name string) int {
+	id := c.TN.AddUser(name)
+	for len(c.B0) <= id {
+		c.B0 = append(c.B0, belief.Empty())
+	}
+	return id
+}
+
+// AddMapping adds the trust mapping (parent, priority, child).
+func (c *Network) AddMapping(parent, child, priority int) {
+	c.TN.AddMapping(parent, child, priority)
+}
+
+// SetBelief sets B0(x) = b. b must be a positive singleton, a finite set of
+// negatives, or empty.
+func (c *Network) SetBelief(x int, b belief.Set) {
+	if _, hasPos := b.Pos(); hasPos && b.CoNegative() {
+		panic("skeptic: B0 must be a plain positive belief or negatives")
+	}
+	c.B0[x] = b
+}
+
+// NumUsers returns |U|.
+func (c *Network) NumUsers() int { return c.TN.NumUsers() }
+
+// Validate checks the Section-3 restrictions: binary in-degree, distinct
+// priorities per node (no ties), and well-formed B0 sets.
+func (c *Network) Validate() error {
+	if err := c.TN.Validate(); err != nil {
+		return err
+	}
+	for x := 0; x < c.NumUsers(); x++ {
+		in := c.TN.In(x)
+		if len(in) > 2 {
+			return fmt.Errorf("skeptic: node %q has %d parents; networks must be binary", c.TN.Name(x), len(in))
+		}
+		if len(in) == 2 && in[0].Priority == in[1].Priority {
+			return fmt.Errorf("skeptic: node %q has tied priorities; ties are disallowed with constraints", c.TN.Name(x))
+		}
+		b := c.B0[x]
+		if v, ok := b.Pos(); ok {
+			if b.CoNegative() || b.HasNeg(v) {
+				return fmt.Errorf("skeptic: B0(%q) mixes a positive with negatives", c.TN.Name(x))
+			}
+			// A positive B0 must be exactly {v+}.
+			if len(b.FiniteNegs()) > 0 {
+				return fmt.Errorf("skeptic: B0(%q) mixes a positive with negatives", c.TN.Name(x))
+			}
+		}
+		if b.CoNegative() {
+			return fmt.Errorf("skeptic: B0(%q) must be finitely representable negatives", c.TN.Name(x))
+		}
+	}
+	return nil
+}
+
+// Domain returns the sorted distinct values mentioned in any B0, positive
+// or negative.
+func (c *Network) Domain() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, b := range c.B0 {
+		if v, ok := b.Pos(); ok {
+			add(v)
+		}
+		if !b.CoNegative() {
+			for _, v := range b.FiniteNegs() {
+				add(v)
+			}
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// parents returns (preferred, nonPreferred, count): count is 0, 1 or 2;
+// with count 1, preferred is the single parent.
+func (c *Network) parents(x int) (pref, nonPref int, count int) {
+	in := c.TN.In(x) // priority descending
+	switch len(in) {
+	case 0:
+		return -1, -1, 0
+	case 1:
+		return in[0].Parent, -1, 1
+	default:
+		return in[0].Parent, in[1].Parent, 2
+	}
+}
+
+// Solution assigns a belief set to every user.
+type Solution []belief.Set
+
+// applyEquation computes the right-hand side of Definition 3.3 (1) for
+// node x given the parents' belief sets in sol.
+func (c *Network) applyEquation(p belief.Paradigm, sol Solution, x int) belief.Set {
+	pref, nonPref, count := c.parents(x)
+	switch count {
+	case 0:
+		return belief.Norm(p, c.B0[x])
+	case 1:
+		return belief.PreferredUnionP(p, c.B0[x], sol[pref])
+	default:
+		inner := belief.PreferredUnionP(p, sol[pref], sol[nonPref])
+		return belief.PreferredUnionP(p, c.B0[x], inner)
+	}
+}

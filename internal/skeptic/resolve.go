@@ -1,0 +1,534 @@
+package skeptic
+
+import (
+	"sort"
+
+	"trustmap/internal/belief"
+)
+
+// This file implements the Skeptic Resolution Algorithm (Algorithm 2,
+// Theorem 3.5). The implementation follows the paper's structure -
+// preprocessing of preferred-side negatives, then the Step 1 / Step 2 loop
+// of Algorithm 1 lifted to belief states - but tightens the pseudocode in
+// places where the published version under-specifies blocking. The key
+// structural facts it exploits, both consequences of Definition 3.3 under
+// the Skeptic paradigm:
+//
+//  1. Static type partition. A node reachable (in the trust graph) from a
+//     node with an explicit positive belief holds a maximal belief set in
+//     EVERY stable solution: either a full positive state
+//     {v+} ∪ (⊥ − {v−}) or ⊥ ("Type 2" in the paper's terminology). All
+//     other nodes hold, in every stable solution, the same fixed set of
+//     negative beliefs ("Type 1"): the union of the explicit negatives of
+//     their ancestors. The partition does not depend on the solution.
+//
+//  2. Because Type-2 belief sets are maximal under the preferred union,
+//     a node's belief is determined by its preferred side whenever that
+//     side is Type 2, and the negatives blocking an incoming positive v+
+//     are exactly the node's own explicit negatives plus - when the
+//     preferred parent is Type 1 - that parent's fixed negative set. The
+//     paper's prefNeg preprocessing computes a subset of this (explicit
+//     negatives along preferred chains); using the full Type-1 closure is
+//     required for correctness when Type-1 nodes inherit negatives through
+//     non-preferred edges.
+//
+// The algorithm runs in O(n^2) like Algorithm 1 (SCCs may be recomputed at
+// each round; each per-component flood is linear in the component size per
+// entering value).
+
+// StateKind distinguishes the three belief shapes of a Skeptic solution.
+type StateKind int
+
+const (
+	// StateNeg is a Type-1 state: a fixed, solution-independent set of
+	// negative beliefs.
+	StateNeg StateKind = iota
+	// StatePos is a maximal positive state {v+} ∪ (⊥ − {v−}).
+	StatePos
+	// StateBot is ⊥: every value rejected.
+	StateBot
+)
+
+// State is one possible belief shape of a node in a stable solution.
+type State struct {
+	Kind StateKind
+	V    string // value for StatePos
+}
+
+// Result holds the output of the Skeptic Resolution Algorithm.
+type Result struct {
+	c      *Network
+	type1  []bool           // fixed negative-only nodes
+	negSet []belief.Set     // Type-1 fixed belief per node
+	states []map[State]bool // possible states of Type-2 nodes
+}
+
+// ResolveSkeptic runs the Skeptic Resolution Algorithm on a validated
+// constraint network and returns the possible states of every node.
+func ResolveSkeptic(c *Network) *Result {
+	if err := c.Validate(); err != nil {
+		panic("skeptic: " + err.Error())
+	}
+	nu := c.NumUsers()
+	r := &Result{
+		c:      c,
+		type1:  make([]bool, nu),
+		negSet: make([]belief.Set, nu),
+		states: make([]map[State]bool, nu),
+	}
+	for x := 0; x < nu; x++ {
+		r.states[x] = make(map[State]bool)
+	}
+	g := c.TN.Graph()
+
+	// Static type partition: Type 2 = reachable from an explicit positive.
+	var posRoots []int
+	for x := 0; x < nu; x++ {
+		if _, ok := c.B0[x].Pos(); ok {
+			posRoots = append(posRoots, x)
+		}
+	}
+	type2 := g.Reachable(posRoots, nil)
+	for x := 0; x < nu; x++ {
+		r.type1[x] = !type2[x]
+	}
+
+	// Fixed negative closure of Type-1 nodes: the union of explicit
+	// negatives over all ancestors (including the node itself). Negatives
+	// flow unblocked through the positive-free region.
+	negClosure := make([]belief.Set, nu)
+	for x := 0; x < nu; x++ {
+		negClosure[x] = belief.Empty()
+	}
+	for src := 0; src < nu; src++ {
+		b := c.B0[src]
+		if _, ok := b.Pos(); ok {
+			continue
+		}
+		if b.IsEmpty() {
+			continue
+		}
+		reach := g.Reachable([]int{src}, nil)
+		for x := 0; x < nu; x++ {
+			if reach[x] && r.type1[x] {
+				negClosure[x] = belief.PreferredUnion(negClosure[x], b)
+			}
+		}
+	}
+	for x := 0; x < nu; x++ {
+		if r.type1[x] {
+			r.negSet[x] = negClosure[x]
+			r.states[x][State{Kind: StateNeg}] = true
+		}
+	}
+
+	// blockedBy reports whether v+ is blocked when it arrives at node m via
+	// a non-preferred edge (or an entry edge): by m's explicit negatives,
+	// and by the fixed negatives of a Type-1 preferred parent.
+	prefOf := make([]int, nu)
+	for x := 0; x < nu; x++ {
+		if pref, _, cnt := c.parents(x); cnt > 0 {
+			prefOf[x] = pref
+		} else {
+			prefOf[x] = -1
+		}
+	}
+	blockedNonPref := func(m int, v string) bool {
+		if c.B0[m].HasNeg(v) {
+			return true
+		}
+		if p := prefOf[m]; p >= 0 && r.type1[p] && r.negSet[p].HasNeg(v) {
+			return true
+		}
+		return false
+	}
+
+	closed := make([]bool, nu)
+	nClosed := 0
+	closeNode := func(x int) { closed[x] = true; nClosed++ }
+
+	// (I) Type-1 nodes are fully determined; Type-2 nodes with an explicit
+	// positive always hold it (B0 comes first in the preferred union).
+	for x := 0; x < nu; x++ {
+		if r.type1[x] {
+			closeNode(x)
+			continue
+		}
+		if v, ok := c.B0[x].Pos(); ok {
+			r.states[x][State{Kind: StatePos, V: v}] = true
+			closeNode(x)
+		}
+	}
+
+	// applyVia computes x's state when a parent state s arrives via the
+	// preferred edge (viaPref) or via the non-preferred edge with a Type-1
+	// preferred side.
+	applyVia := func(x int, s State, viaPref bool) State {
+		if s.Kind == StateBot {
+			return State{Kind: StateBot}
+		}
+		// s is StatePos (Type-2 parents never carry StateNeg).
+		if c.B0[x].HasNeg(s.V) {
+			return State{Kind: StateBot}
+		}
+		if !viaPref && blockedNonPref(x, s.V) {
+			return State{Kind: StateBot}
+		}
+		return State{Kind: StatePos, V: s.V}
+	}
+
+	// (M) Main loop.
+	for nClosed < nu {
+		// (S1) Close nodes whose state is determined by one closed parent:
+		// either the preferred parent is Type 2 and closed (its maximal
+		// states decide), or the preferred parent is Type 1 (fixed
+		// negatives) and the non-preferred parent is closed.
+		progressed := false
+		for x := 0; x < nu; x++ {
+			if closed[x] {
+				continue
+			}
+			pref, nonPref, cnt := c.parents(x)
+			switch {
+			case cnt >= 1 && !r.type1[pref] && closed[pref]:
+				for s := range r.states[pref] {
+					r.states[x][applyVia(x, s, true)] = true
+				}
+				closeNode(x)
+				progressed = true
+			case cnt == 2 && r.type1[pref] && closed[nonPref]:
+				// nonPref is Type 2 here: a Type-1 non-preferred parent
+				// with a Type-1 preferred parent would make x Type 1.
+				for s := range r.states[nonPref] {
+					r.states[x][applyVia(x, s, false)] = true
+				}
+				closeNode(x)
+				progressed = true
+			}
+		}
+		if progressed || nClosed == nu {
+			continue
+		}
+		// (S2) Flood the minimal SCCs of the open nodes. Every minimal
+		// component of this Tarjan pass is closed (see resolve.Resolve for
+		// why this keeps many-cycle networks quasi-linear).
+		open := func(v int) bool { return !closed[v] }
+		comp, ncomp := g.SCC(open)
+		if ncomp == 0 {
+			break
+		}
+		hasIncoming := make([]bool, ncomp)
+		memberList := make([][]int, ncomp)
+		for v := 0; v < nu; v++ {
+			if comp[v] < 0 {
+				continue
+			}
+			memberList[comp[v]] = append(memberList[comp[v]], v)
+			for _, m := range c.TN.In(v) {
+				if cp := comp[m.Parent]; cp >= 0 && cp != comp[v] {
+					hasIncoming[comp[v]] = true
+				}
+			}
+		}
+		for cc := 0; cc < ncomp; cc++ {
+			if hasIncoming[cc] {
+				continue
+			}
+			members := memberList[cc]
+			inS := make(map[int]bool)
+			for _, v := range members {
+				inS[v] = true
+			}
+			sort.Ints(members)
+			// Entry edges from closed Type-2 nodes (Type-1 entries
+			// contribute only static blocking, already in blockedNonPref).
+			var entries []entryEdge
+			floodVals := map[string]bool{}
+			anyBotEntry := false
+			for _, x := range members {
+				for _, m := range c.TN.In(x) {
+					z := m.Parent
+					if !closed[z] || r.type1[z] {
+						continue
+					}
+					entries = append(entries, entryEdge{z, x})
+					for s := range r.states[z] {
+						switch s.Kind {
+						case StatePos:
+							floodVals[s.V] = true
+						case StateBot:
+							anyBotEntry = true
+						}
+					}
+				}
+			}
+			vals := make([]string, 0, len(floodVals))
+			for v := range floodVals {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				f := floodRegion(c, r, members, inS, entries, prefOf, blockedNonPref, v)
+				for _, m := range members {
+					if f[m] {
+						r.states[m][State{Kind: StatePos, V: v}] = true
+					} else {
+						r.states[m][State{Kind: StateBot}] = true
+					}
+				}
+			}
+			// All-⊥ assignment: valid when every negative belief that ⊥
+			// contains can be founded from the component's surroundings: the
+			// union of entering states, Type-1 preferred parents, and
+			// members' own explicit negatives. A ⊥ entry founds everything.
+			if anyBotEntry || allBotFounded(c, r, members, entries, prefOf) {
+				for _, m := range members {
+					r.states[m][State{Kind: StateBot}] = true
+				}
+			}
+			for _, m := range members {
+				closeNode(m)
+			}
+		}
+	}
+	return r
+}
+
+// entryEdge is an edge from a closed Type-2 node z into component member x.
+type entryEdge struct{ z, x int }
+
+// floodRegion computes the maximal set F of members that can hold the
+// positive state v+ simultaneously in a stable solution fed by the entry
+// nodes. Membership must satisfy the preferred-union equations (a member
+// follows its "designated" in-component parent: the preferred parent when
+// it is in the component, otherwise its in-component non-preferred parent)
+// and every member must have a lineage for v+ from an entry carrying v.
+func floodRegion(c *Network, r *Result, members []int, inS map[int]bool,
+	entries []entryEdge, prefOf []int,
+	blockedNonPref func(int, string) bool, v string) map[int]bool {
+
+	f := make(map[int]bool, len(members))
+	// Start from everything that passes its local blocking test.
+	for _, m := range members {
+		pref := prefOf[m]
+		if pref >= 0 && inS[pref] {
+			// v arrives via the preferred edge: only B0(m) can block.
+			if !c.B0[m].HasNeg(v) {
+				f[m] = true
+			}
+		} else {
+			// v arrives via the non-preferred in-component edge (or an
+			// entry edge): the Type-1 preferred side blocks too.
+			if !blockedNonPref(m, v) {
+				f[m] = true
+			}
+		}
+	}
+	// Entry points carrying v.
+	entryPts := make(map[int]bool)
+	for _, e := range entries {
+		if r.states[e.z][State{Kind: StatePos, V: v}] {
+			entryPts[e.x] = true
+		}
+	}
+	for {
+		changed := false
+		// Greatest fixpoint of designated support: a member's designated
+		// in-component parent must also hold v+.
+		for _, m := range members {
+			if !f[m] {
+				continue
+			}
+			desig := -1
+			if p := prefOf[m]; p >= 0 && inS[p] {
+				desig = p
+			} else {
+				// Find the in-component parent (non-preferred).
+				for _, mm := range c.TN.In(m) {
+					if inS[mm.Parent] {
+						desig = mm.Parent
+						break
+					}
+				}
+			}
+			if desig >= 0 && !f[desig] {
+				delete(f, m)
+				changed = true
+			}
+		}
+		// Foundedness: every member of F must be reachable from an entry
+		// point through F (any edge type carries the belief's lineage).
+		reach := make(map[int]bool)
+		var queue []int
+		for x := range entryPts {
+			if f[x] {
+				reach[x] = true
+				queue = append(queue, x)
+			}
+		}
+		for len(queue) > 0 {
+			z := queue[0]
+			queue = queue[1:]
+			for _, m := range members {
+				if reach[m] || !f[m] {
+					continue
+				}
+				for _, mm := range c.TN.In(m) {
+					if mm.Parent == z {
+						reach[m] = true
+						queue = append(queue, m)
+						break
+					}
+				}
+			}
+		}
+		for _, m := range members {
+			if f[m] && !reach[m] {
+				delete(f, m)
+				changed = true
+			}
+		}
+		if !changed {
+			return f
+		}
+	}
+}
+
+// allBotFounded checks whether the all-⊥ assignment of the component is
+// foundable: for every value in the domain (and for the open-ended rest of
+// the universe), some surrounding source supplies the corresponding
+// negative belief.
+func allBotFounded(c *Network, r *Result, members []int,
+	entries []entryEdge, prefOf []int) bool {
+	if len(entries) == 0 && !anyType1Feed(c, r, members, prefOf) {
+		return false
+	}
+	domain := c.Domain()
+	// covered(v) = some source supplies v-.
+	covered := func(v string) bool {
+		for _, e := range entries {
+			for s := range r.states[e.z] {
+				switch s.Kind {
+				case StateBot:
+					return true
+				case StatePos:
+					if s.V != v {
+						return true // {u+} ∪ (⊥−{u−}) contains v− for v≠u
+					}
+				}
+			}
+		}
+		for _, m := range members {
+			if c.B0[m].HasNeg(v) {
+				return true
+			}
+			if p := prefOf[m]; p >= 0 && r.type1[p] && r.negSet[p].HasNeg(v) {
+				return true
+			}
+			for _, mm := range c.TN.In(m) {
+				if r.type1[mm.Parent] && r.negSet[mm.Parent].HasNeg(v) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, v := range domain {
+		if !covered(v) {
+			return false
+		}
+	}
+	// The "omega" negative (values outside the domain): only maximal sets
+	// supply it.
+	for _, e := range entries {
+		if len(r.states[e.z]) > 0 {
+			return true // any Type-2 state is maximal and supplies omega
+		}
+	}
+	return false
+}
+
+func anyType1Feed(c *Network, r *Result, members []int, prefOf []int) bool {
+	for _, m := range members {
+		for _, mm := range c.TN.In(m) {
+			if r.type1[mm.Parent] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Type1 reports whether x holds a fixed negative-only belief in every
+// stable solution, and returns that belief.
+func (r *Result) Type1(x int) (belief.Set, bool) {
+	if r.type1[x] {
+		return r.negSet[x], true
+	}
+	return belief.Set{}, false
+}
+
+// States returns the possible states of x (for Type-1 nodes, the single
+// StateNeg state).
+func (r *Result) States(x int) []State {
+	out := make([]State, 0, len(r.states[x]))
+	for s := range r.states[x] {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// PossiblePositives returns the positive values x can hold in some stable
+// solution.
+func (r *Result) PossiblePositives(x int) []string {
+	var out []string
+	for s := range r.states[x] {
+		if s.Kind == StatePos {
+			out = append(out, s.V)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CertainPositive returns the positive value x holds in every stable
+// solution, or "" if none.
+func (r *Result) CertainPositive(x int) string {
+	if len(r.states[x]) != 1 {
+		return ""
+	}
+	for s := range r.states[x] {
+		if s.Kind == StatePos {
+			return s.V
+		}
+	}
+	return ""
+}
+
+// HasBottom reports whether ⊥ is a possible belief of x.
+func (r *Result) HasBottom(x int) bool {
+	return r.states[x][State{Kind: StateBot}]
+}
+
+// PossibleBeliefSets decodes the states into concrete belief sets
+// (the Figure 18 representation).
+func (r *Result) PossibleBeliefSets(x int) []belief.Set {
+	var out []belief.Set
+	for _, s := range r.States(x) {
+		switch s.Kind {
+		case StateNeg:
+			out = append(out, r.negSet[x])
+		case StatePos:
+			out = append(out, belief.SkepticPositive(s.V))
+		case StateBot:
+			out = append(out, belief.Bottom())
+		}
+	}
+	return out
+}

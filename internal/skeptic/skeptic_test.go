@@ -1,0 +1,421 @@
+package skeptic
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/belief"
+	"trustmap/internal/tn"
+)
+
+// buildFig6 builds the binary trust network of Figure 6a: a chain
+// x9 <- x7 <- x5 <- x3 with preferred parents x7, x5, x4, x2 and
+// non-preferred side inputs x8, x6, x3's chain, x1.
+func buildFig6() (*Network, map[string]int) {
+	c := New()
+	ids := map[string]int{}
+	for _, name := range []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"} {
+		ids[name] = c.AddUser(name)
+	}
+	c.SetBelief(ids["x1"], belief.Negatives("b"))
+	c.SetBelief(ids["x2"], belief.Positive("a"))
+	c.SetBelief(ids["x4"], belief.Negatives("a"))
+	c.SetBelief(ids["x6"], belief.Positive("b"))
+	c.SetBelief(ids["x8"], belief.Positive("c"))
+	// x3: preferred x2, non-preferred x1.
+	c.AddMapping(ids["x2"], ids["x3"], 2)
+	c.AddMapping(ids["x1"], ids["x3"], 1)
+	// x5: preferred x4, non-preferred x3.
+	c.AddMapping(ids["x4"], ids["x5"], 2)
+	c.AddMapping(ids["x3"], ids["x5"], 1)
+	// x7: preferred x5, non-preferred x6.
+	c.AddMapping(ids["x5"], ids["x7"], 2)
+	c.AddMapping(ids["x6"], ids["x7"], 1)
+	// x9: preferred x7, non-preferred x8.
+	c.AddMapping(ids["x7"], ids["x9"], 2)
+	c.AddMapping(ids["x8"], ids["x9"], 1)
+	return c, ids
+}
+
+// TestFig6Paradigms checks the three solutions of Figures 6b-6d.
+func TestFig6Paradigms(t *testing.T) {
+	c, ids := buildFig6()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Agnostic (Figure 6b).
+	sol, err := SolveAcyclic(c, belief.Agnostic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := map[string]belief.Set{
+		"x3": belief.Positive("a"),
+		"x5": belief.Negatives("a"),
+		"x7": belief.Positive("b"),
+		"x9": belief.Positive("b"),
+	}
+	for name, want := range wantA {
+		if got := sol[ids[name]]; !got.Equal(want) {
+			t.Errorf("agnostic %s = %v want %v", name, got, want)
+		}
+	}
+	// Eclectic (Figure 6c).
+	sol, err = SolveAcyclic(c, belief.Eclectic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantE := map[string]belief.Set{
+		"x3": belief.PreferredUnion(belief.Positive("a"), belief.Negatives("b")),
+		"x5": belief.Negatives("a", "b"),
+		"x7": belief.Negatives("a", "b"),
+		"x9": belief.PreferredUnion(belief.Positive("c"), belief.Negatives("a", "b")),
+	}
+	for name, want := range wantE {
+		if got := sol[ids[name]]; !got.Equal(want) {
+			t.Errorf("eclectic %s = %v want %v", name, got, want)
+		}
+	}
+	// Skeptic (Figure 6d).
+	sol, err = SolveAcyclic(c, belief.Skeptic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol[ids["x3"]]; !got.Equal(belief.SkepticPositive("a")) {
+		t.Errorf("skeptic x3 = %v want skeptic a+", got)
+	}
+	for _, name := range []string{"x5", "x7", "x9"} {
+		if got := sol[ids[name]]; !got.IsBottom() {
+			t.Errorf("skeptic %s = %v want ⊥", name, got)
+		}
+	}
+}
+
+// TestFig6SkepticAlgorithm runs Algorithm 2 on Figure 6a.
+func TestFig6SkepticAlgorithm(t *testing.T) {
+	c, ids := buildFig6()
+	r := ResolveSkeptic(c)
+	if got := r.CertainPositive(ids["x3"]); got != "a" {
+		t.Errorf("cert+(x3) = %q want a", got)
+	}
+	for _, name := range []string{"x5", "x7", "x9"} {
+		x := ids[name]
+		if len(r.PossiblePositives(x)) != 0 || !r.HasBottom(x) {
+			t.Errorf("%s: want only ⊥, got states %v", name, r.States(x))
+		}
+	}
+	if s, ok := r.Type1(ids["x1"]); !ok || !s.Equal(belief.Negatives("b")) {
+		t.Errorf("x1 must be Type 1 {b-}, got %v ok=%v", s, ok)
+	}
+	if s, ok := r.Type1(ids["x4"]); !ok || !s.Equal(belief.Negatives("a")) {
+		t.Errorf("x4 must be Type 1 {a-}, got %v", s)
+	}
+}
+
+// TestEnumerateFig6 cross-checks the oracle against the acyclic solver:
+// acyclic networks have exactly one stable solution per paradigm
+// (Proposition 3.6).
+func TestEnumerateFig6(t *testing.T) {
+	c, _ := buildFig6()
+	for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic, belief.Skeptic} {
+		sols := EnumerateStableSolutions(c, p, 0)
+		if len(sols) != 1 {
+			t.Fatalf("%v: want 1 stable solution, got %d", p, len(sols))
+		}
+		want, err := SolveAcyclic(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < c.NumUsers(); x++ {
+			if !sols[0][x].Equal(want[x]) {
+				t.Errorf("%v: node %s: enum %v vs acyclic %v", p, c.TN.Name(x), sols[0][x], want[x])
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New()
+	a := c.AddUser("a")
+	b := c.AddUser("b")
+	x := c.AddUser("x")
+	c.AddMapping(a, x, 1)
+	c.AddMapping(b, x, 1) // tie
+	if err := c.Validate(); err == nil {
+		t.Error("ties must be rejected")
+	}
+	c2 := New()
+	a2 := c2.AddUser("a")
+	b2 := c2.AddUser("b")
+	x2 := c2.AddUser("x")
+	y2 := c2.AddUser("y")
+	c2.AddMapping(a2, x2, 1)
+	c2.AddMapping(b2, x2, 2)
+	c2.AddMapping(y2, x2, 3)
+	if err := c2.Validate(); err == nil {
+		t.Error("three parents must be rejected")
+	}
+}
+
+func TestFromTN(t *testing.T) {
+	n := tn.New()
+	a := n.AddUser("a")
+	b := n.AddUser("b")
+	n.AddMapping(a, b, 1)
+	n.SetExplicit(a, "v")
+	c := FromTN(n)
+	if v, ok := c.B0[a].Pos(); !ok || v != "v" {
+		t.Errorf("FromTN lost explicit belief: %v", c.B0[a])
+	}
+	if !c.B0[b].IsEmpty() {
+		t.Errorf("FromTN invented belief: %v", c.B0[b])
+	}
+}
+
+// randomConstraintNet builds a random binary, tie-free constraint network.
+func randomConstraintNet(rng *rand.Rand, maxUsers int, values []string) *Network {
+	c := New()
+	nu := 2 + rng.Intn(maxUsers-1)
+	for i := 0; i < nu; i++ {
+		c.AddUser("u" + string(rune('A'+i)))
+	}
+	for x := 0; x < nu; x++ {
+		k := rng.Intn(3)
+		perm := rng.Perm(nu)
+		added := 0
+		prio := 1
+		for _, z := range perm {
+			if added >= k || z == x {
+				continue
+			}
+			c.AddMapping(z, x, prio)
+			prio++
+			added++
+		}
+	}
+	for x := 0; x < nu; x++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.SetBelief(x, belief.Positive(values[rng.Intn(len(values))]))
+		case 1:
+			var negs []string
+			for _, v := range values {
+				if rng.Float64() < 0.5 {
+					negs = append(negs, v)
+				}
+			}
+			if len(negs) > 0 {
+				c.SetBelief(x, belief.Negatives(negs...))
+			}
+		}
+	}
+	// Ensure at least one positive somewhere so floods exist.
+	hasPos := false
+	for _, b := range c.B0 {
+		if _, ok := b.Pos(); ok {
+			hasPos = true
+		}
+	}
+	if !hasPos {
+		c.SetBelief(rng.Intn(nu), belief.Positive(values[rng.Intn(len(values))]))
+	}
+	return c
+}
+
+// TestSkepticAlgorithmMatchesOracle is the Theorem 3.5 correctness check:
+// Algorithm 2's possible/certain positives and possible ⊥ must match the
+// Definition 3.3 enumeration on random (cyclic) networks.
+func TestSkepticAlgorithmMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	values := []string{"v", "w"}
+	for i := 0; i < 200; i++ {
+		c := randomConstraintNet(rng, 6, values)
+		sols := EnumerateStableSolutions(c, belief.Skeptic, 0)
+		if len(sols) == 0 {
+			t.Fatalf("net %d: no stable solution found by oracle", i)
+		}
+		wantPoss := PossiblePositives(c, sols)
+		wantCert := CertainPositives(c, sols)
+		wantBot := make([]bool, c.NumUsers())
+		for _, s := range sols {
+			for x, b := range s {
+				if b.IsBottom() {
+					wantBot[x] = true
+				}
+			}
+		}
+		r := ResolveSkeptic(c)
+		for x := 0; x < c.NumUsers(); x++ {
+			got := r.PossiblePositives(x)
+			if len(got) != len(wantPoss[x]) {
+				t.Fatalf("net %d poss+(%s): got %v want %v", i, c.TN.Name(x), got, wantPoss[x])
+			}
+			for _, v := range got {
+				if !wantPoss[x][v] {
+					t.Fatalf("net %d poss+(%s): spurious %q (want %v)", i, c.TN.Name(x), v, wantPoss[x])
+				}
+			}
+			if got := r.CertainPositive(x); got != wantCert[x] {
+				t.Fatalf("net %d cert+(%s): got %q want %q", i, c.TN.Name(x), got, wantCert[x])
+			}
+			if got := r.HasBottom(x); got != wantBot[x] {
+				t.Fatalf("net %d bottom(%s): got %v want %v (states %v)", i, c.TN.Name(x), got, wantBot[x], r.States(x))
+			}
+		}
+	}
+}
+
+// TestType1MatchesOracle: Type-1 nodes hold the same fixed negative set in
+// every stable solution.
+func TestType1MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	values := []string{"v", "w"}
+	for i := 0; i < 120; i++ {
+		c := randomConstraintNet(rng, 6, values)
+		sols := EnumerateStableSolutions(c, belief.Skeptic, 0)
+		r := ResolveSkeptic(c)
+		for x := 0; x < c.NumUsers(); x++ {
+			fixed, isT1 := r.Type1(x)
+			if !isT1 {
+				continue
+			}
+			for _, s := range sols {
+				if !s[x].Equal(fixed) {
+					t.Fatalf("net %d: Type-1 node %s varies: %v vs %v", i, c.TN.Name(x), s[x], fixed)
+				}
+			}
+		}
+	}
+}
+
+// TestCollapseWithoutConstraints: with no negative beliefs, the possible
+// and certain positive values under every paradigm equal the Section 2
+// semantics (Section 3.3).
+func TestCollapseWithoutConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	values := []tn.Value{"v", "w"}
+	for i := 0; i < 80; i++ {
+		n := tn.New()
+		nu := 2 + rng.Intn(4)
+		for j := 0; j < nu; j++ {
+			n.AddUser("u" + string(rune('A'+j)))
+		}
+		for x := 0; x < nu; x++ {
+			k := rng.Intn(3)
+			perm := rng.Perm(nu)
+			added := 0
+			prio := 1
+			for _, z := range perm {
+				if added >= k || z == x {
+					continue
+				}
+				n.AddMapping(z, x, prio)
+				prio++
+				added++
+			}
+		}
+		n.SetExplicit(0, values[rng.Intn(2)])
+		if nu > 1 && rng.Float64() < 0.6 {
+			n.SetExplicit(1, values[rng.Intn(2)])
+		}
+		sols := tn.EnumerateStableSolutions(n, 0)
+		wantPoss := tn.PossibleFromSolutions(n, sols)
+
+		c := FromTN(n)
+		for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic, belief.Skeptic} {
+			csols := EnumerateStableSolutions(c, p, 0)
+			gotPoss := PossiblePositives(c, csols)
+			for x := 0; x < nu; x++ {
+				if len(gotPoss[x]) != len(wantPoss[x]) {
+					t.Fatalf("net %d %v poss+(%s): got %v want %v", i, p, n.Name(x), gotPoss[x], wantPoss[x])
+				}
+				for v := range gotPoss[x] {
+					if !wantPoss[x][tn.Value(v)] {
+						t.Fatalf("net %d %v poss+(%s): spurious %q", i, p, n.Name(x), v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAcyclicUniqueSolution (Proposition 3.6): random acyclic networks have
+// exactly one stable solution under each paradigm, equal to the
+// topological evaluation.
+func TestAcyclicUniqueSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	values := []string{"v", "w"}
+	for i := 0; i < 80; i++ {
+		c := New()
+		nu := 2 + rng.Intn(4)
+		for j := 0; j < nu; j++ {
+			c.AddUser("u" + string(rune('A'+j)))
+		}
+		// Edges only from lower to higher index: acyclic by construction.
+		for x := 1; x < nu; x++ {
+			k := rng.Intn(3)
+			prio := 1
+			for z := 0; z < x && k > 0; z++ {
+				if rng.Float64() < 0.5 {
+					c.AddMapping(z, x, prio)
+					prio++
+					k--
+				}
+			}
+		}
+		for x := 0; x < nu; x++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.SetBelief(x, belief.Positive(values[rng.Intn(2)]))
+			case 1:
+				c.SetBelief(x, belief.Negatives(values[rng.Intn(2)]))
+			}
+		}
+		for _, p := range []belief.Paradigm{belief.Agnostic, belief.Eclectic, belief.Skeptic} {
+			sols := EnumerateStableSolutions(c, p, 0)
+			if len(sols) != 1 {
+				t.Fatalf("net %d %v: want 1 solution, got %d", i, p, len(sols))
+			}
+			want, err := SolveAcyclic(c, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := 0; x < nu; x++ {
+				if !sols[0][x].Equal(want[x]) {
+					t.Fatalf("net %d %v node %d: %v vs %v", i, p, x, sols[0][x], want[x])
+				}
+			}
+		}
+	}
+}
+
+// TestSkepticOscillatorWithConstraint: an oscillator whose one branch is
+// filtered by a constraint.
+func TestSkepticOscillatorWithConstraint(t *testing.T) {
+	c := New()
+	x1 := c.AddUser("x1")
+	x2 := c.AddUser("x2")
+	x3 := c.AddUser("x3")
+	x4 := c.AddUser("x4")
+	c.AddMapping(x2, x1, 100)
+	c.AddMapping(x3, x1, 50)
+	c.AddMapping(x1, x2, 80)
+	c.AddMapping(x4, x2, 40)
+	c.SetBelief(x3, belief.Positive("v"))
+	c.SetBelief(x4, belief.Positive("w"))
+	// x1 rejects w: the w-flood turns x1 (and its dependents) to ⊥.
+	c.SetBelief(x1, belief.Negatives("w"))
+	sols := EnumerateStableSolutions(c, belief.Skeptic, 0)
+	wantPoss := PossiblePositives(c, sols)
+	r := ResolveSkeptic(c)
+	for x := 0; x < c.NumUsers(); x++ {
+		got := r.PossiblePositives(x)
+		if len(got) != len(wantPoss[x]) {
+			t.Fatalf("poss+(%s): got %v want %v", c.TN.Name(x), got, wantPoss[x])
+		}
+		for _, v := range got {
+			if !wantPoss[x][v] {
+				t.Fatalf("poss+(%s): spurious %q", c.TN.Name(x), v)
+			}
+		}
+	}
+}

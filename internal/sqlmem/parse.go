@@ -1,0 +1,385 @@
+package sqlmem
+
+// Tokenizer and expression parser for the SQL subset.
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type sqlTok struct {
+	kind string // word, str, punct
+	text string
+	pos  int
+}
+
+func tokenize(src string) ([]sqlTok, error) {
+	var toks []sqlTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) {
+				if src[j] == '\'' {
+					// '' escapes a quote.
+					if j+1 < len(src) && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sqlmem: unterminated string at offset %d", i)
+			}
+			toks = append(toks, sqlTok{"str", sb.String(), i})
+			i = j + 1
+		case c == '!' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, sqlTok{"punct", "!=", i})
+			i += 2
+		case c == '<' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, sqlTok{"punct", "!=", i})
+			i += 2
+		case strings.ContainsRune("(),=*.", rune(c)):
+			toks = append(toks, sqlTok{"punct", string(c), i})
+			i++
+		case c == ';':
+			i++ // statement terminator, ignored
+		case unicode.IsLetter(rune(c)) || c == '_' || unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, sqlTok{"word", src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlmem: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "ON": true, "DELETE": true, "DISTINCT": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "ORDER": true,
+	"BY": true, "DESC": true, "ASC": true, "DROP": true, "COUNT": true,
+}
+
+func isKeyword(w string) bool { return keywords[strings.ToUpper(w)] }
+
+type sqlParser struct {
+	toks []sqlTok
+	pos  int
+}
+
+func (p *sqlParser) atEnd() bool { return p.pos >= len(p.toks) }
+
+func (p *sqlParser) errf(format string, args ...interface{}) error {
+	off := -1
+	near := "end of input"
+	if p.pos < len(p.toks) {
+		off = p.toks[p.pos].pos
+		near = p.toks[p.pos].text
+	}
+	return fmt.Errorf("sqlmem: %s (near %q, offset %d)", fmt.Sprintf(format, args...), near, off)
+}
+
+func (p *sqlParser) matchWord(w string) bool {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == "word" && strings.EqualFold(p.toks[p.pos].text, w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) matchAnyWord() bool {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == "word" && !isKeyword(p.toks[p.pos].text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) matchPunct(t string) bool {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == "punct" && p.toks[p.pos].text == t {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) ident() (string, error) {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == "word" {
+		w := p.toks[p.pos].text
+		p.pos++
+		return w, nil
+	}
+	return "", p.errf("expected identifier")
+}
+
+func (p *sqlParser) peekIdent() (string, bool) {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == "word" {
+		return p.toks[p.pos].text, true
+	}
+	return "", false
+}
+
+func (p *sqlParser) str() (string, bool) {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == "str" {
+		s := p.toks[p.pos].text
+		p.pos++
+		return s, true
+	}
+	return "", false
+}
+
+// columnRef parses col or alias.col, returning the upper-cased column name
+// (the alias is informational: only one table per query).
+func (p *sqlParser) columnRef() (string, error) {
+	first, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.matchPunct(".") {
+		col, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return strings.ToUpper(col), nil
+	}
+	return strings.ToUpper(first), nil
+}
+
+// ---- WHERE expressions ----
+
+type exprKind int
+
+const (
+	exprCmp exprKind = iota
+	exprAnd
+	exprOr
+	exprNot
+)
+
+type operand struct {
+	isLit bool
+	lit   string
+	col   string
+	ci    int // bound column index
+}
+
+type expr struct {
+	kind exprKind
+	eq   bool // for exprCmp: '=' vs '!='
+	l, r operand
+	kids []*expr
+}
+
+func (p *sqlParser) parseOr() (*expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*expr{left}
+	for p.matchWord("OR") {
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &expr{kind: exprOr, kids: kids}, nil
+}
+
+func (p *sqlParser) parseAnd() (*expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*expr{left}
+	for p.matchWord("AND") {
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &expr{kind: exprAnd, kids: kids}, nil
+}
+
+func (p *sqlParser) parseUnary() (*expr, error) {
+	if p.matchWord("NOT") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{kind: exprNot, kids: []*expr{e}}, nil
+	}
+	if p.matchPunct("(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.matchPunct(")") {
+			return nil, p.errf("expected )")
+		}
+		return e, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *sqlParser) parseOperand() (operand, error) {
+	if s, ok := p.str(); ok {
+		return operand{isLit: true, lit: s}, nil
+	}
+	col, err := p.columnRef()
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{col: col}, nil
+}
+
+func (p *sqlParser) parseCmp() (*expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	var eq bool
+	switch {
+	case p.matchPunct("="):
+		eq = true
+	case p.matchPunct("!="):
+		eq = false
+	default:
+		return nil, p.errf("expected = or !=")
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &expr{kind: exprCmp, eq: eq, l: l, r: r}, nil
+}
+
+// bind resolves column references against the table schema.
+func (e *expr) bind(t *table) error {
+	bindOp := func(o *operand) error {
+		if o.isLit {
+			return nil
+		}
+		ci, ok := t.colIdx[o.col]
+		if !ok {
+			return fmt.Errorf("sqlmem: unknown column %s", o.col)
+		}
+		o.ci = ci
+		return nil
+	}
+	if e.kind == exprCmp {
+		if err := bindOp(&e.l); err != nil {
+			return err
+		}
+		return bindOp(&e.r)
+	}
+	for _, k := range e.kids {
+		if err := k.bind(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o operand) value(row []string) string {
+	if o.isLit {
+		return o.lit
+	}
+	return row[o.ci]
+}
+
+func (e *expr) eval(row []string) (bool, error) {
+	switch e.kind {
+	case exprCmp:
+		equal := e.l.value(row) == e.r.value(row)
+		return equal == e.eq, nil
+	case exprAnd:
+		for _, k := range e.kids {
+			ok, err := k.eval(row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case exprOr:
+		for _, k := range e.kids {
+			ok, err := k.eval(row)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case exprNot:
+		ok, err := e.kids[0].eval(row)
+		return !ok, err
+	}
+	return false, fmt.Errorf("sqlmem: bad expression")
+}
+
+// orEqChain recognizes col='a' OR col='b' OR ... (or a single equality)
+// over one column, enabling index lookups.
+func (e *expr) orEqChain() (col string, vals []string, ok bool) {
+	collect := func(c *expr) bool {
+		if c.kind != exprCmp || !c.eq {
+			return false
+		}
+		var cref operand
+		var lit operand
+		switch {
+		case !c.l.isLit && c.r.isLit:
+			cref, lit = c.l, c.r
+		case c.l.isLit && !c.r.isLit:
+			cref, lit = c.r, c.l
+		default:
+			return false
+		}
+		if col == "" {
+			col = cref.col
+		} else if col != cref.col {
+			return false
+		}
+		vals = append(vals, lit.lit)
+		return true
+	}
+	if e.kind == exprCmp {
+		if collect(e) {
+			return col, vals, true
+		}
+		return "", nil, false
+	}
+	if e.kind != exprOr {
+		return "", nil, false
+	}
+	for _, k := range e.kids {
+		if !collect(k) {
+			return "", nil, false
+		}
+	}
+	return col, vals, true
+}

@@ -1,0 +1,521 @@
+// Package sqlmem is a small in-memory relational engine executing the SQL
+// subset that the paper's bulk conflict resolution emits (Section 4,
+// Appendix B.10). It is this repository's substitute for the Microsoft SQL
+// Server 2005 instance used in the paper's Figure 8c experiment.
+//
+// Supported statements:
+//
+//	CREATE TABLE t (col1 VARCHAR, col2 VARCHAR, ...)
+//	CREATE INDEX name ON t (col)
+//	INSERT INTO t VALUES ('a','b'), ('c','d')
+//	INSERT INTO t SELECT [DISTINCT] 'x' AS X, s.K, s.V FROM t2 s WHERE ...
+//	SELECT [DISTINCT] cols FROM t [alias] [WHERE expr] [ORDER BY col [DESC]]
+//	SELECT COUNT(*) FROM t [alias] [WHERE expr]
+//	DELETE FROM t [WHERE expr]
+//	DROP TABLE t
+//
+// Expressions combine =, != and <> comparisons between columns and string
+// literals with AND, OR, NOT and parentheses. All values are strings, as in
+// the paper's POSS(X,K,V) relation. Equality predicates against indexed
+// columns (including OR-chains over one column, the shape the bulk
+// algorithm generates) use hash indexes instead of scanning.
+package sqlmem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DB is an in-memory database. It is not safe for concurrent use; wrap it
+// if multiple goroutines share one instance.
+type DB struct {
+	tables map[string]*table
+}
+
+type table struct {
+	name    string
+	cols    []string
+	colIdx  map[string]int
+	rows    [][]string
+	indexes map[string]map[string][]int // col -> value -> row numbers
+}
+
+// Result is the outcome of a statement: rows for SELECT, affected count for
+// writes.
+type Result struct {
+	Cols     []string
+	Rows     [][]string
+	Affected int
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{tables: make(map[string]*table)} }
+
+// MustExec runs a statement and panics on error (tests, fixtures).
+func (db *DB) MustExec(sql string) *Result {
+	r, err := db.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("sqlmem: %v\nstatement: %s", err, sql))
+	}
+	return r
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	toks, err := tokenize(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	defer func() {}()
+	switch {
+	case p.matchWord("CREATE"):
+		if p.matchWord("TABLE") {
+			return db.createTable(p)
+		}
+		if p.matchWord("INDEX") {
+			return db.createIndex(p)
+		}
+		return nil, p.errf("expected TABLE or INDEX after CREATE")
+	case p.matchWord("INSERT"):
+		return db.insert(p)
+	case p.matchWord("SELECT"):
+		return db.selectStmt(p)
+	case p.matchWord("DELETE"):
+		return db.deleteStmt(p)
+	case p.matchWord("DROP"):
+		if !p.matchWord("TABLE") {
+			return nil, p.errf("expected TABLE after DROP")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := db.tables[strings.ToUpper(name)]; !ok {
+			return nil, fmt.Errorf("sqlmem: unknown table %s", name)
+		}
+		delete(db.tables, strings.ToUpper(name))
+		return &Result{}, nil
+	}
+	return nil, p.errf("unsupported statement")
+}
+
+// Table returns the number of rows in a table (testing convenience).
+func (db *DB) NumRows(name string) int {
+	t := db.tables[strings.ToUpper(name)]
+	if t == nil {
+		return -1
+	}
+	return len(t.rows)
+}
+
+func (db *DB) createTable(p *sqlParser) (*Result, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	key := strings.ToUpper(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("sqlmem: table %s already exists", name)
+	}
+	if !p.matchPunct("(") {
+		return nil, p.errf("expected ( in CREATE TABLE")
+	}
+	t := &table{name: key, colIdx: make(map[string]int), indexes: make(map[string]map[string][]int)}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cu := strings.ToUpper(col)
+		if _, dup := t.colIdx[cu]; dup {
+			return nil, fmt.Errorf("sqlmem: duplicate column %s", col)
+		}
+		t.colIdx[cu] = len(t.cols)
+		t.cols = append(t.cols, cu)
+		// Optional type name, ignored (all strings).
+		p.matchAnyWord()
+		if p.matchPunct(",") {
+			continue
+		}
+		break
+	}
+	if !p.matchPunct(")") {
+		return nil, p.errf("expected ) in CREATE TABLE")
+	}
+	db.tables[key] = t
+	return &Result{}, nil
+}
+
+func (db *DB) createIndex(p *sqlParser) (*Result, error) {
+	if _, err := p.ident(); err != nil { // index name, unused
+		return nil, err
+	}
+	if !p.matchWord("ON") {
+		return nil, p.errf("expected ON in CREATE INDEX")
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := db.tables[strings.ToUpper(tname)]
+	if t == nil {
+		return nil, fmt.Errorf("sqlmem: unknown table %s", tname)
+	}
+	if !p.matchPunct("(") {
+		return nil, p.errf("expected ( in CREATE INDEX")
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if !p.matchPunct(")") {
+		return nil, p.errf("expected ) in CREATE INDEX")
+	}
+	cu := strings.ToUpper(col)
+	ci, ok := t.colIdx[cu]
+	if !ok {
+		return nil, fmt.Errorf("sqlmem: unknown column %s", col)
+	}
+	idx := make(map[string][]int)
+	for i, row := range t.rows {
+		idx[row[ci]] = append(idx[row[ci]], i)
+	}
+	t.indexes[cu] = idx
+	return &Result{}, nil
+}
+
+func (t *table) appendRow(row []string) {
+	n := len(t.rows)
+	t.rows = append(t.rows, row)
+	for col, idx := range t.indexes {
+		v := row[t.colIdx[col]]
+		idx[v] = append(idx[v], n)
+	}
+}
+
+func (db *DB) insert(p *sqlParser) (*Result, error) {
+	if !p.matchWord("INTO") {
+		return nil, p.errf("expected INTO")
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := db.tables[strings.ToUpper(name)]
+	if t == nil {
+		return nil, fmt.Errorf("sqlmem: unknown table %s", name)
+	}
+	switch {
+	case p.matchWord("VALUES"):
+		n := 0
+		for {
+			if !p.matchPunct("(") {
+				return nil, p.errf("expected ( in VALUES")
+			}
+			var row []string
+			for {
+				v, ok := p.str()
+				if !ok {
+					return nil, p.errf("expected string literal in VALUES")
+				}
+				row = append(row, v)
+				if p.matchPunct(",") {
+					continue
+				}
+				break
+			}
+			if !p.matchPunct(")") {
+				return nil, p.errf("expected ) in VALUES")
+			}
+			if len(row) != len(t.cols) {
+				return nil, fmt.Errorf("sqlmem: %d values for %d columns", len(row), len(t.cols))
+			}
+			t.appendRow(row)
+			n++
+			if p.matchPunct(",") {
+				continue
+			}
+			break
+		}
+		return &Result{Affected: n}, nil
+	case p.matchWord("SELECT"):
+		res, err := db.runSelect(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Cols) != len(t.cols) {
+			return nil, fmt.Errorf("sqlmem: select yields %d columns, table has %d", len(res.Cols), len(t.cols))
+		}
+		for _, row := range res.Rows {
+			t.appendRow(append([]string(nil), row...))
+		}
+		return &Result{Affected: len(res.Rows)}, nil
+	}
+	return nil, p.errf("expected VALUES or SELECT")
+}
+
+func (db *DB) selectStmt(p *sqlParser) (*Result, error) {
+	return db.runSelect(p)
+}
+
+// selectItem is one projection: a literal or a column reference.
+type selectItem struct {
+	isLit   bool
+	lit     string
+	col     string // upper-case, alias stripped
+	outName string
+}
+
+func (db *DB) runSelect(p *sqlParser) (*Result, error) {
+	distinct := p.matchWord("DISTINCT")
+	// COUNT(*)
+	if p.matchWord("COUNT") {
+		if !p.matchPunct("(") || !p.matchPunct("*") || !p.matchPunct(")") {
+			return nil, p.errf("expected COUNT(*)")
+		}
+		t, alias, err := db.fromClause(p)
+		if err != nil {
+			return nil, err
+		}
+		match, err := db.whereClause(p, t, alias)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, ri := range match {
+			_ = ri
+			n++
+		}
+		return &Result{Cols: []string{"COUNT"}, Rows: [][]string{{fmt.Sprint(n)}}}, nil
+	}
+	// Projection list.
+	var items []selectItem
+	star := false
+	if p.matchPunct("*") {
+		star = true
+	} else {
+		for {
+			it := selectItem{}
+			if s, ok := p.str(); ok {
+				it.isLit = true
+				it.lit = s
+				it.outName = "LIT"
+			} else {
+				ref, err := p.columnRef()
+				if err != nil {
+					return nil, err
+				}
+				it.col = ref
+				it.outName = ref
+			}
+			if p.matchWord("AS") {
+				name, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				it.outName = strings.ToUpper(name)
+			}
+			items = append(items, it)
+			if p.matchPunct(",") {
+				continue
+			}
+			break
+		}
+	}
+	t, alias, err := db.fromClause(p)
+	if err != nil {
+		return nil, err
+	}
+	match, err := db.whereClause(p, t, alias)
+	if err != nil {
+		return nil, err
+	}
+	// ORDER BY (optional, single column).
+	orderCol := -1
+	orderDesc := false
+	if p.matchWord("ORDER") {
+		if !p.matchWord("BY") {
+			return nil, p.errf("expected BY")
+		}
+		ref, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		ci, ok := t.colIdx[ref]
+		if !ok {
+			return nil, fmt.Errorf("sqlmem: unknown column %s", ref)
+		}
+		orderCol = ci
+		if p.matchWord("DESC") {
+			orderDesc = true
+		} else {
+			p.matchWord("ASC")
+		}
+	}
+	if !p.atEnd() {
+		return nil, p.errf("trailing input")
+	}
+	if star {
+		for _, c := range t.cols {
+			items = append(items, selectItem{col: c, outName: c})
+		}
+	}
+	cols := make([]string, len(items))
+	proj := make([]int, len(items))
+	for i, it := range items {
+		cols[i] = it.outName
+		if it.isLit {
+			proj[i] = -1
+			continue
+		}
+		ci, ok := t.colIdx[it.col]
+		if !ok {
+			return nil, fmt.Errorf("sqlmem: unknown column %s", it.col)
+		}
+		proj[i] = ci
+	}
+	if orderCol >= 0 {
+		sort.SliceStable(match, func(a, b int) bool {
+			va, vb := t.rows[match[a]][orderCol], t.rows[match[b]][orderCol]
+			if orderDesc {
+				return va > vb
+			}
+			return va < vb
+		})
+	}
+	res := &Result{Cols: cols}
+	var seen map[string]bool
+	if distinct {
+		seen = make(map[string]bool)
+	}
+	for _, ri := range match {
+		row := make([]string, len(items))
+		for i, it := range items {
+			if it.isLit {
+				row[i] = it.lit
+			} else {
+				row[i] = t.rows[ri][proj[i]]
+			}
+		}
+		if distinct {
+			key := strings.Join(row, "\x00")
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (db *DB) fromClause(p *sqlParser) (*table, string, error) {
+	if !p.matchWord("FROM") {
+		return nil, "", p.errf("expected FROM")
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, "", err
+	}
+	t := db.tables[strings.ToUpper(name)]
+	if t == nil {
+		return nil, "", fmt.Errorf("sqlmem: unknown table %s", name)
+	}
+	alias := ""
+	if w, ok := p.peekIdent(); ok && !isKeyword(w) {
+		p.pos++
+		alias = strings.ToUpper(w)
+	}
+	return t, alias, nil
+}
+
+// whereClause parses the optional WHERE and returns matching row numbers.
+func (db *DB) whereClause(p *sqlParser, t *table, alias string) ([]int, error) {
+	if !p.matchWord("WHERE") {
+		all := make([]int, len(t.rows))
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.bind(t); err != nil {
+		return nil, err
+	}
+	// Index fast path: a pure OR-chain of equality tests on one indexed
+	// column (the shape the bulk algorithm emits).
+	if col, vals, ok := e.orEqChain(); ok {
+		if idx, have := t.indexes[col]; have {
+			var out []int
+			seen := make(map[int]bool)
+			for _, v := range vals {
+				for _, ri := range idx[v] {
+					if !seen[ri] {
+						seen[ri] = true
+						out = append(out, ri)
+					}
+				}
+			}
+			sort.Ints(out)
+			return out, nil
+		}
+	}
+	var out []int
+	for ri, row := range t.rows {
+		ok, err := e.eval(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, ri)
+		}
+	}
+	return out, nil
+}
+
+func (db *DB) deleteStmt(p *sqlParser) (*Result, error) {
+	if !p.matchWord("FROM") {
+		return nil, p.errf("expected FROM")
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := db.tables[strings.ToUpper(name)]
+	if t == nil {
+		return nil, fmt.Errorf("sqlmem: unknown table %s", name)
+	}
+	match, err := db.whereClause(p, t, "")
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, p.errf("trailing input")
+	}
+	drop := make(map[int]bool, len(match))
+	for _, ri := range match {
+		drop[ri] = true
+	}
+	kept := t.rows[:0]
+	for ri, row := range t.rows {
+		if !drop[ri] {
+			kept = append(kept, row)
+		}
+	}
+	t.rows = kept
+	// Rebuild indexes.
+	for col := range t.indexes {
+		idx := make(map[string][]int)
+		ci := t.colIdx[col]
+		for i, row := range t.rows {
+			idx[row[ci]] = append(idx[row[ci]], i)
+		}
+		t.indexes[col] = idx
+	}
+	return &Result{Affected: len(match)}, nil
+}

@@ -1,0 +1,216 @@
+package sqlmem
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newPoss(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustExec("CREATE TABLE POSS (X VARCHAR, K VARCHAR, V VARCHAR)")
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := newPoss(t)
+	r := db.MustExec("INSERT INTO POSS VALUES ('x1','k1','v'), ('x2','k1','w')")
+	if r.Affected != 2 {
+		t.Fatalf("affected=%d want 2", r.Affected)
+	}
+	res := db.MustExec("SELECT X, V FROM POSS WHERE K = 'k1' ORDER BY X")
+	if len(res.Rows) != 2 || res.Rows[0][0] != "x1" || res.Rows[1][1] != "w" {
+		t.Errorf("unexpected rows %v", res.Rows)
+	}
+	if res.Cols[0] != "X" || res.Cols[1] != "V" {
+		t.Errorf("unexpected cols %v", res.Cols)
+	}
+}
+
+func TestPaperStep1Statement(t *testing.T) {
+	// The exact Step-1 bulk insertion of Section 4.
+	db := newPoss(t)
+	db.MustExec("INSERT INTO POSS VALUES ('z','k1','v'), ('z','k2','w'), ('other','k1','u')")
+	r := db.MustExec("insert into POSS select 'x' AS X, t.K, t.V from POSS t where t.X = 'z'")
+	if r.Affected != 2 {
+		t.Fatalf("affected=%d want 2", r.Affected)
+	}
+	res := db.MustExec("SELECT K, V FROM POSS WHERE X = 'x' ORDER BY K")
+	if len(res.Rows) != 2 || res.Rows[0][1] != "v" || res.Rows[1][1] != "w" {
+		t.Errorf("step 1 copy wrong: %v", res.Rows)
+	}
+}
+
+func TestPaperStep2Statement(t *testing.T) {
+	// The Step-2 flooding insertion with OR and DISTINCT.
+	db := newPoss(t)
+	db.MustExec("INSERT INTO POSS VALUES ('z1','k1','v'), ('z2','k1','v'), ('z2','k1','w')")
+	r := db.MustExec("insert into POSS select distinct 'xi' AS X, t.K, t.V from POSS t where t.X = 'z1' or t.X = 'z2'")
+	if r.Affected != 2 { // (k1,v) deduplicated, (k1,w)
+		t.Fatalf("affected=%d want 2", r.Affected)
+	}
+	res := db.MustExec("SELECT V FROM POSS WHERE X = 'xi' ORDER BY V")
+	if len(res.Rows) != 2 || res.Rows[0][0] != "v" || res.Rows[1][0] != "w" {
+		t.Errorf("step 2 flood wrong: %v", res.Rows)
+	}
+}
+
+func TestIndexFastPathMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dbIdx := newPoss(t)
+	dbScan := newPoss(t)
+	dbIdx.MustExec("CREATE INDEX ix ON POSS (X)")
+	var values []string
+	for i := 0; i < 500; i++ {
+		x := fmt.Sprintf("x%d", rng.Intn(10))
+		k := fmt.Sprintf("k%d", rng.Intn(50))
+		v := fmt.Sprintf("v%d", rng.Intn(3))
+		values = append(values, fmt.Sprintf("('%s','%s','%s')", x, k, v))
+	}
+	stmt := "INSERT INTO POSS VALUES " + strings.Join(values, ", ")
+	dbIdx.MustExec(stmt)
+	dbScan.MustExec(stmt)
+	for _, where := range []string{
+		"X = 'x1'",
+		"X = 'x1' OR X = 'x2'",
+		"X = 'x0' OR X = 'x5' OR X = 'x9'",
+		"X = 'missing'",
+	} {
+		a := dbIdx.MustExec("SELECT X, K, V FROM POSS WHERE " + where + " ORDER BY K")
+		b := dbScan.MustExec("SELECT X, K, V FROM POSS WHERE " + where + " ORDER BY K")
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("where %q: index %d rows vs scan %d", where, len(a.Rows), len(b.Rows))
+		}
+	}
+}
+
+func TestIndexMaintainedOnInsert(t *testing.T) {
+	db := newPoss(t)
+	db.MustExec("CREATE INDEX ix ON POSS (X)")
+	db.MustExec("INSERT INTO POSS VALUES ('a','k','v')")
+	db.MustExec("INSERT INTO POSS SELECT 'b' AS X, t.K, t.V FROM POSS t WHERE t.X = 'a'")
+	res := db.MustExec("SELECT K FROM POSS WHERE X = 'b'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("index stale after insert-select: %v", res.Rows)
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	db := newPoss(t)
+	db.MustExec("INSERT INTO POSS VALUES ('a','k1','v'), ('a','k2','w'), ('b','k1','v')")
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"X = 'a' AND V = 'v'", 1},
+		{"X != 'a'", 1},
+		{"X <> 'a'", 1},
+		{"NOT X = 'a'", 1},
+		{"(X = 'a' OR X = 'b') AND K = 'k1'", 2},
+		{"X = K", 0},
+		{"V = 'v' AND (K = 'k1' OR K = 'k2')", 2},
+	}
+	for _, c := range cases {
+		res := db.MustExec("SELECT X FROM POSS WHERE " + c.where)
+		if len(res.Rows) != c.want {
+			t.Errorf("WHERE %s: got %d rows want %d", c.where, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	db := newPoss(t)
+	db.MustExec("INSERT INTO POSS VALUES ('a','k1','v'), ('b','k1','w')")
+	res := db.MustExec("SELECT COUNT(*) FROM POSS WHERE X = 'a'")
+	if res.Rows[0][0] != "1" {
+		t.Errorf("count = %s want 1", res.Rows[0][0])
+	}
+	res = db.MustExec("SELECT COUNT(*) FROM POSS")
+	if res.Rows[0][0] != "2" {
+		t.Errorf("count = %s want 2", res.Rows[0][0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newPoss(t)
+	db.MustExec("CREATE INDEX ix ON POSS (X)")
+	db.MustExec("INSERT INTO POSS VALUES ('a','k1','v'), ('b','k1','w'), ('a','k2','u')")
+	r := db.MustExec("DELETE FROM POSS WHERE X = 'a'")
+	if r.Affected != 2 {
+		t.Fatalf("deleted %d want 2", r.Affected)
+	}
+	if db.NumRows("POSS") != 1 {
+		t.Fatalf("rows left %d want 1", db.NumRows("POSS"))
+	}
+	// Index must be rebuilt.
+	res := db.MustExec("SELECT X FROM POSS WHERE X = 'b'")
+	if len(res.Rows) != 1 {
+		t.Errorf("index stale after delete: %v", res.Rows)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := newPoss(t)
+	db.MustExec("DROP TABLE POSS")
+	if _, err := db.Exec("SELECT * FROM POSS"); err == nil {
+		t.Error("select from dropped table must fail")
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := newPoss(t)
+	db.MustExec("INSERT INTO POSS VALUES ('a','k','v')")
+	res := db.MustExec("SELECT * FROM POSS")
+	if len(res.Cols) != 3 || len(res.Rows) != 1 || res.Rows[0][2] != "v" {
+		t.Errorf("select star wrong: %v %v", res.Cols, res.Rows)
+	}
+}
+
+func TestQuotedEscapes(t *testing.T) {
+	db := newPoss(t)
+	db.MustExec("INSERT INTO POSS VALUES ('it''s','k','ship hull')")
+	res := db.MustExec("SELECT X, V FROM POSS WHERE X = 'it''s'")
+	if len(res.Rows) != 1 || res.Rows[0][1] != "ship hull" {
+		t.Errorf("escape handling wrong: %v", res.Rows)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := newPoss(t)
+	bad := []string{
+		"SELEC X FROM POSS",
+		"SELECT X FROM NOPE",
+		"SELECT NOPE FROM POSS",
+		"INSERT INTO POSS VALUES ('a','b')", // arity
+		"CREATE TABLE POSS (A VARCHAR)",     // duplicate
+		"SELECT X FROM POSS WHERE X LIKE 'a'",
+		"DELETE FROM POSS WHERE",
+		"INSERT INTO POSS SELECT 'a' AS X FROM POSS t", // arity
+		"SELECT X FROM POSS WHERE X = 'a' EXTRA",
+	}
+	for _, s := range bad {
+		if _, err := db.Exec(s); err == nil {
+			t.Errorf("statement %q should fail", s)
+		}
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	db := newPoss(t)
+	db.MustExec("INSERT INTO POSS VALUES ('a','1','v'), ('b','2','v'), ('c','3','v')")
+	res := db.MustExec("SELECT K FROM POSS ORDER BY K DESC")
+	if res.Rows[0][0] != "3" || res.Rows[2][0] != "1" {
+		t.Errorf("order by desc wrong: %v", res.Rows)
+	}
+}
+
+func TestDistinctWithoutInsert(t *testing.T) {
+	db := newPoss(t)
+	db.MustExec("INSERT INTO POSS VALUES ('a','k','v'), ('a','k','v'), ('a','k','w')")
+	res := db.MustExec("SELECT DISTINCT X, K, V FROM POSS")
+	if len(res.Rows) != 2 {
+		t.Errorf("distinct rows = %d want 2", len(res.Rows))
+	}
+}

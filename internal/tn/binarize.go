@@ -1,0 +1,139 @@
+package tn
+
+import "fmt"
+
+// Binarize transforms an arbitrary trust network into an equivalent Binary
+// Trust Network (Proposition 2.8, construction of Appendix B.3). The result
+// has the same stable solutions when restricted to the original nodes. The
+// original users keep their IDs (0..NumUsers()-1 of the input network);
+// helper nodes are appended after them.
+//
+// Two transformations are applied:
+//
+//  1. Every node x with an explicit belief and at least one parent gets a
+//     fresh root x0 carrying the belief, connected to x with a priority
+//     strictly above all of x's existing mappings.
+//  2. Every node x with k > 2 parents is cascaded into a chain of binary
+//     steps y_2 .. y_{k-1} following rules (a)-(e) of Figure 9, ordered
+//     from lowest to highest priority so that equal-priority groups form
+//     subtrees (Figure 10).
+//
+// In the output, binary nodes use priority 2 for a preferred edge and 1 for
+// non-preferred edges, as in the paper.
+func Binarize(n *Network) *Network {
+	b := New()
+	for _, name := range n.names {
+		b.AddUser(name)
+	}
+	// Step 1: hoist explicit beliefs off internal nodes.
+	// We record, per node, the full parent list (possibly extended with the
+	// hoisted root) before cascading.
+	parents := make([][]edge, n.NumUsers())
+	for x := 0; x < n.NumUsers(); x++ {
+		in := n.in[x]                       // sorted by priority desc
+		for i := len(in) - 1; i >= 0; i-- { // ascending priority
+			parents[x] = append(parents[x], edge{in[i].Parent, in[i].Priority})
+		}
+		v := n.explicit[x]
+		if v == NoValue {
+			continue
+		}
+		if len(in) == 0 {
+			b.SetExplicit(x, v)
+			continue
+		}
+		x0 := b.AddUser(fmt.Sprintf("%s#b0", n.names[x]))
+		b.SetExplicit(x0, v)
+		top := in[0].Priority
+		parents[x] = append(parents[x], edge{x0, top + 1})
+	}
+	// Step 2: emit mappings, cascading where k > 2.
+	for x := 0; x < n.NumUsers(); x++ {
+		ps := parents[x] // ascending priority: p1 <= p2 <= ... <= pk
+		k := len(ps)
+		switch {
+		case k == 0:
+			// root; nothing to do
+		case k == 1:
+			b.AddMapping(ps[0].parent, x, 2)
+		case k == 2:
+			if ps[0].priority == ps[1].priority {
+				b.AddMapping(ps[0].parent, x, 1)
+				b.AddMapping(ps[1].parent, x, 1)
+			} else {
+				b.AddMapping(ps[0].parent, x, 1)
+				b.AddMapping(ps[1].parent, x, 2)
+			}
+		default:
+			cascade(b, n.names[x], x, ps)
+		}
+	}
+	return b
+}
+
+// cascade emits the binary cascade for node x with parents ps (ascending
+// priority, k >= 3), following rules (a)-(e) of Figure 9. Notation matches
+// the paper: z_i = ps[i-1].parent, y_1 = z_1, y_k = x, and y_2..y_{k-1} are
+// fresh nodes. Priorities in the binarized graph are 2 (preferred) and 1
+// (non-preferred).
+// edge is a (parent, priority) pair used while building the cascade.
+type edge struct {
+	parent, priority int
+}
+
+func cascade(b *Network, xname string, x int, ps []edge) {
+	k := len(ps)
+	pr := func(i int) int { return ps[i-1].priority } // p_i, 1-based
+	z := func(i int) int { return ps[i-1].parent }    // z_i, 1-based
+	y := make([]int, k+1)                             // y_1..y_k, 1-based
+	y[1] = z(1)
+	for i := 2; i < k; i++ {
+		y[i] = b.AddUser(fmt.Sprintf("%s#y%d", xname, i))
+	}
+	y[k] = x
+	// groupStart[i] = minimal j with p_j == p_i within the maximal run of
+	// equal priorities containing i.
+	groupStart := make([]int, k+1)
+	for i := 1; i <= k; i++ {
+		if i > 1 && pr(i-1) == pr(i) {
+			groupStart[i] = groupStart[i-1]
+		} else {
+			groupStart[i] = i
+		}
+	}
+	for i := 2; i <= k; i++ {
+		prev := pr(i - 1)
+		cur := pr(i)
+		// "as if p_k < p_{k+1}" for the final node.
+		next := cur + 1
+		if i < k {
+			next = pr(i + 1)
+		}
+		switch {
+		case pr(1) == prev && prev == cur:
+			// (a): the leading group of lowest priority.
+			b.AddMapping(y[i-1], y[i], 1)
+			b.AddMapping(z(i), y[i], 1)
+		case prev < cur && cur == next:
+			// (b): first chain node of a later equal-priority group.
+			b.AddMapping(z(i), y[i], 1)
+			b.AddMapping(z(i+1), y[i], 1)
+		case pr(1) < prev && prev == cur && cur == next:
+			// (c): interior chain node of a later equal-priority group.
+			b.AddMapping(y[i-1], y[i], 1)
+			b.AddMapping(z(i+1), y[i], 1)
+		case pr(1) < prev && prev == cur && cur < next:
+			// (d): closing node of a later equal-priority group; merges the
+			// group subtree (preferred) with the lower-priority accumulation.
+			j := groupStart[i]
+			b.AddMapping(y[j-1], y[i], 1)
+			b.AddMapping(y[i-1], y[i], 2)
+		case prev < cur && cur < next:
+			// (e): singleton group; its parent dominates the accumulation.
+			b.AddMapping(y[i-1], y[i], 1)
+			b.AddMapping(z(i), y[i], 2)
+		default:
+			panic("tn: unreachable cascade case")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package tn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the network in Graphviz dot format, in the paper's visual
+// convention: edges point from trusted parent to trusting child, labelled
+// with the priority; users with explicit beliefs are filled and labelled
+// with their value.
+func DOT(n *Network) string {
+	var b strings.Builder
+	b.WriteString("digraph trustnetwork {\n  rankdir=BT;\n  node [shape=ellipse];\n")
+	for x := 0; x < n.NumUsers(); x++ {
+		name := n.Name(x)
+		if v := n.Explicit(x); v != NoValue {
+			fmt.Fprintf(&b, "  %q [label=%q, style=filled, fillcolor=lightgray];\n",
+				name, fmt.Sprintf("%s\\nb0=%s", name, v))
+		} else {
+			fmt.Fprintf(&b, "  %q;\n", name)
+		}
+	}
+	type edge struct {
+		parent, child string
+		prio          int
+	}
+	var edges []edge
+	for x := 0; x < n.NumUsers(); x++ {
+		for _, m := range n.In(x) {
+			edges = append(edges, edge{n.Name(m.Parent), n.Name(x), m.Priority})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].parent != edges[j].parent {
+			return edges[i].parent < edges[j].parent
+		}
+		if edges[i].child != edges[j].child {
+			return edges[i].child < edges[j].child
+		}
+		return edges[i].prio < edges[j].prio
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%d\"];\n", e.parent, e.child, e.prio)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

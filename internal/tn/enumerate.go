@@ -1,0 +1,202 @@
+package tn
+
+// This file implements an exact enumerator of stable solutions
+// (Definition 2.4). It is exponential in the number of users and exists as
+// the ground-truth oracle for the efficient algorithms (Algorithm 1 in
+// package resolve, the LP translation in package lp) and for small exact
+// queries. It works on arbitrary (not necessarily binary) trust networks.
+
+// Solution is a total assignment from users to values; NoValue marks an
+// undefined belief b(x).
+type Solution []Value
+
+// Equal reports whether two solutions agree on every user.
+func (s Solution) Equal(t Solution) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumerateStableSolutions returns all stable solutions of the network per
+// Definition 2.4. limit > 0 caps the number of solutions returned (0 means
+// unbounded). The enumeration is exponential: intended for small networks
+// (testing, exact baselines).
+//
+// A candidate assignment b is a stable solution iff:
+//
+//	(s1) b(x) = b0(x) wherever b0 is defined;
+//	(s2) b(x) is undefined only if x has no explicit belief and no parent
+//	     of x has a defined belief;
+//	(s3) every defined b(x) is founded: reachable from an explicit belief
+//	     through a path of equal values where each step uses a mapping not
+//	     dominated by a higher-priority mapping with a conflicting defined
+//	     parent belief (conditions (1)-(3) of Definition 2.4).
+func EnumerateStableSolutions(n *Network, limit int) []Solution {
+	domain := n.Domain()
+	nu := n.NumUsers()
+	// Candidate values per node: the explicit value if defined, otherwise
+	// domain plus NoValue.
+	cands := make([][]Value, nu)
+	for x := 0; x < nu; x++ {
+		if v := n.Explicit(x); v != NoValue {
+			cands[x] = []Value{v}
+		} else {
+			cands[x] = append([]Value{NoValue}, domain...)
+		}
+	}
+	cur := make(Solution, nu)
+	var out []Solution
+	var rec func(x int) bool // returns false to stop (limit reached)
+	rec = func(x int) bool {
+		if x == nu {
+			if isStable(n, cur) {
+				cp := make(Solution, nu)
+				copy(cp, cur)
+				out = append(out, cp)
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+			}
+			return true
+		}
+		for _, v := range cands[x] {
+			cur[x] = v
+			// Local pruning: a defined value needs a locally supporting,
+			// non-dominated mapping among already-assigned parents unless
+			// explicit; we can only prune when all parents are assigned,
+			// which node order does not guarantee, so we check fully at the
+			// leaf and prune just the cheap (s2) violations we can see.
+			if !rec(x + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// isStable checks conditions (s1)-(s3) above for the assignment b.
+func isStable(n *Network, b Solution) bool {
+	nu := n.NumUsers()
+	for x := 0; x < nu; x++ {
+		if v := n.Explicit(x); v != NoValue {
+			if b[x] != v {
+				return false
+			}
+			continue
+		}
+		if b[x] == NoValue {
+			// (s2): undefined only if no parent has a belief.
+			for _, m := range n.In(x) {
+				if b[m.Parent] != NoValue {
+					return false
+				}
+			}
+		}
+	}
+	// (s3): foundedness. founded[x] means b(x) has a valid lineage.
+	founded := make([]bool, nu)
+	queue := make([]int, 0, nu)
+	for x := 0; x < nu; x++ {
+		if n.Explicit(x) != NoValue {
+			founded[x] = true
+			queue = append(queue, x)
+		}
+	}
+	// supports(m) holds if mapping m can carry b(parent) to its child:
+	// values match and no strictly higher-priority mapping into the child
+	// has a conflicting defined parent belief.
+	supports := func(m Mapping) bool {
+		if b[m.Parent] == NoValue || b[m.Parent] != b[m.Child] {
+			return false
+		}
+		for _, m2 := range n.In(m.Child) {
+			if m2.Priority <= m.Priority {
+				break // sorted descending
+			}
+			if b[m2.Parent] != NoValue && b[m2.Parent] != b[m.Child] {
+				return false
+			}
+		}
+		return true
+	}
+	// Propagate foundedness. O(n * e) worst case; fine for oracle sizes.
+	for len(queue) > 0 {
+		z := queue[0]
+		queue = queue[1:]
+		for x := 0; x < nu; x++ {
+			if founded[x] {
+				continue
+			}
+			for _, m := range n.In(x) {
+				if m.Parent == z && supports(m) {
+					founded[x] = true
+					queue = append(queue, x)
+					break
+				}
+			}
+		}
+	}
+	for x := 0; x < nu; x++ {
+		if b[x] != NoValue && !founded[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// PossibleFromSolutions computes poss(x) for every x from an enumerated
+// solution set: the set of values v with b(x)=v in some stable solution
+// (Definition 2.7). The result maps each user to a set of values.
+func PossibleFromSolutions(n *Network, sols []Solution) []map[Value]bool {
+	poss := make([]map[Value]bool, n.NumUsers())
+	for i := range poss {
+		poss[i] = make(map[Value]bool)
+	}
+	for _, s := range sols {
+		for x, v := range s {
+			if v != NoValue {
+				poss[x][v] = true
+			}
+		}
+	}
+	return poss
+}
+
+// CertainFromSolutions computes cert(x): the value believed by x in every
+// stable solution, or NoValue if none (Definition 2.7).
+func CertainFromSolutions(n *Network, sols []Solution) []Value {
+	nu := n.NumUsers()
+	cert := make([]Value, nu)
+	if len(sols) == 0 {
+		return cert
+	}
+	copy(cert, sols[0])
+	for _, s := range sols[1:] {
+		for x, v := range s {
+			if cert[x] != v {
+				cert[x] = NoValue
+			}
+		}
+	}
+	return cert
+}
+
+// PossiblePairsFromSolutions computes poss(x,y) = {(v,w) | some stable b has
+// b(x)=v, b(y)=w, both defined} for the given pair (Section 2.5).
+func PossiblePairsFromSolutions(sols []Solution, x, y int) map[[2]Value]bool {
+	out := make(map[[2]Value]bool)
+	for _, s := range sols {
+		if s[x] != NoValue && s[y] != NoValue {
+			out[[2]Value{s[x], s[y]}] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package tn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickBinarizationSizeBounds: the Appendix B.3 bounds hold for every
+// network: binarization at most doubles the number of mappings and at most
+// triples |U| + |E| (Figure 11 shows the clique is the worst case).
+func TestQuickBinarizationSizeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomTN(rng, 7, 6)
+		b := Binarize(n)
+		if !b.IsBinary() {
+			return false
+		}
+		if b.NumMappings() > 2*n.NumMappings()+n.NumUsers() {
+			// +NumUsers allows for hoisted-belief edges, which the clique
+			// bound of Figure 11 does not include.
+			return false
+		}
+		return b.Size() <= 3*n.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStableSolutionsRelabelingInvariant: stable solutions do not
+// depend on user IDs — rebuilding the network with permuted user insertion
+// order yields the same solutions up to renaming.
+func TestQuickStableSolutionsRelabelingInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomTN(rng, 6, 3)
+		perm := rng.Perm(n.NumUsers())
+		m := New()
+		for _, x := range perm {
+			m.AddUser(n.Name(x))
+		}
+		for x := 0; x < n.NumUsers(); x++ {
+			for _, e := range n.In(x) {
+				m.AddMapping(m.UserID(n.Name(e.Parent)), m.UserID(n.Name(x)), e.Priority)
+			}
+			m.SetExplicit(m.UserID(n.Name(x)), n.Explicit(x))
+		}
+		canon := func(net *Network, sols []Solution) map[string]bool {
+			set := map[string]bool{}
+			for _, s := range sols {
+				pairs := make([]string, net.NumUsers())
+				for x := 0; x < net.NumUsers(); x++ {
+					pairs[x] = net.Name(x) + "=" + string(s[x])
+				}
+				sortStrings(pairs)
+				set[strings.Join(pairs, "|")] = true
+			}
+			return set
+		}
+		a := canon(n, EnumerateStableSolutions(n, 0))
+		b := canon(m, EnumerateStableSolutions(m, 0))
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TestQuickEveryBeliefHasLineageSource: every value appearing in a stable
+// solution is some user's explicit belief (the lineage requirement of
+// Definition 2.4 in property form).
+func TestQuickEveryBeliefHasLineageSource(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomTN(rng, 6, 3)
+		explicit := map[Value]bool{}
+		for x := 0; x < n.NumUsers(); x++ {
+			if v := n.Explicit(x); v != NoValue {
+				explicit[v] = true
+			}
+		}
+		for _, s := range EnumerateStableSolutions(n, 0) {
+			for _, v := range s {
+				if v != NoValue && !explicit[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	n, _ := buildOscillator()
+	dot := DOT(n)
+	for _, want := range []string{
+		"digraph trustnetwork",
+		`"x2" -> "x1" [label="100"]`,
+		`b0=v`,
+		"fillcolor=lightgray",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if DOT(n) != dot {
+		t.Error("DOT must be deterministic")
+	}
+}

@@ -1,0 +1,485 @@
+package tn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildSimpleTN builds the network of Figure 4a: x1 trusts x2 (prio 100)
+// and x3 (prio 50); b0(x2)=v, b0(x3)=w.
+func buildSimpleTN() (*Network, int, int, int) {
+	n := New()
+	x1 := n.AddUser("x1")
+	x2 := n.AddUser("x2")
+	x3 := n.AddUser("x3")
+	n.AddMapping(x2, x1, 100)
+	n.AddMapping(x3, x1, 50)
+	n.SetExplicit(x2, "v")
+	n.SetExplicit(x3, "w")
+	return n, x1, x2, x3
+}
+
+// buildOscillator builds the network of Figure 4b (Example 2.6): x1 and x2
+// trust each other with high priority; x3 feeds x1 and x4 feeds x2 with low
+// priority; b0(x3)=v, b0(x4)=w.
+func buildOscillator() (*Network, [4]int) {
+	n := New()
+	x1 := n.AddUser("x1")
+	x2 := n.AddUser("x2")
+	x3 := n.AddUser("x3")
+	x4 := n.AddUser("x4")
+	n.AddMapping(x2, x1, 100)
+	n.AddMapping(x3, x1, 50)
+	n.AddMapping(x1, x2, 80)
+	n.AddMapping(x4, x2, 40)
+	n.SetExplicit(x3, "v")
+	n.SetExplicit(x4, "w")
+	return n, [4]int{x1, x2, x3, x4}
+}
+
+func TestSimpleTNSingleStableSolution(t *testing.T) {
+	n, x1, x2, x3 := buildSimpleTN()
+	sols := EnumerateStableSolutions(n, 0)
+	if len(sols) != 1 {
+		t.Fatalf("want 1 stable solution, got %d: %v", len(sols), sols)
+	}
+	s := sols[0]
+	if s[x1] != "v" || s[x2] != "v" || s[x3] != "w" {
+		t.Errorf("unexpected solution %v", s)
+	}
+}
+
+func TestOscillatorTwoStableSolutions(t *testing.T) {
+	n, xs := buildOscillator()
+	sols := EnumerateStableSolutions(n, 0)
+	if len(sols) != 2 {
+		t.Fatalf("want 2 stable solutions, got %d: %v", len(sols), sols)
+	}
+	// One solution has x1=x2=v, the other x1=x2=w (Example 2.6).
+	seen := map[Value]bool{}
+	for _, s := range sols {
+		if s[xs[0]] != s[xs[1]] {
+			t.Errorf("x1 and x2 must agree in each solution: %v", s)
+		}
+		seen[s[xs[0]]] = true
+		if s[xs[2]] != "v" || s[xs[3]] != "w" {
+			t.Errorf("roots must keep explicit beliefs: %v", s)
+		}
+	}
+	if !seen["v"] || !seen["w"] {
+		t.Errorf("solutions should cover both v and w: %v", sols)
+	}
+	cert := CertainFromSolutions(n, sols)
+	if cert[xs[0]] != NoValue || cert[xs[1]] != NoValue {
+		t.Errorf("x1, x2 must have no certain value: %v", cert)
+	}
+	if cert[xs[2]] != "v" || cert[xs[3]] != "w" {
+		t.Errorf("roots must be certain: %v", cert)
+	}
+}
+
+// TestIndusExample replays Figure 1/Figure 2: Alice trusts Bob (100) and
+// Charlie (50); Bob trusts Alice (80).
+func TestIndusExample(t *testing.T) {
+	build := func() (*Network, int, int, int) {
+		n := New()
+		alice := n.AddUser("Alice")
+		bob := n.AddUser("Bob")
+		charlie := n.AddUser("Charlie")
+		n.AddMapping(bob, alice, 100)
+		n.AddMapping(charlie, alice, 50)
+		n.AddMapping(alice, bob, 80)
+		return n, alice, bob, charlie
+	}
+	// Case 1 (Example 2.5): only Charlie has a belief => everyone jar.
+	n, alice, bob, charlie := build()
+	n.SetExplicit(charlie, "jar")
+	sols := EnumerateStableSolutions(n, 0)
+	if len(sols) != 1 {
+		t.Fatalf("case1: want unique solution, got %d", len(sols))
+	}
+	if sols[0][alice] != "jar" || sols[0][bob] != "jar" {
+		t.Errorf("case1: want alice=bob=jar, got %v", sols[0])
+	}
+	// Case 2: Charlie=jar, Bob=cow => Alice=cow.
+	n, alice, bob, charlie = build()
+	n.SetExplicit(charlie, "jar")
+	n.SetExplicit(bob, "cow")
+	sols = EnumerateStableSolutions(n, 0)
+	if len(sols) != 1 {
+		t.Fatalf("case2: want unique solution, got %d", len(sols))
+	}
+	if sols[0][alice] != "cow" {
+		t.Errorf("case2: want alice=cow, got %v", sols[0])
+	}
+	// Glyph 2 of Figure 1: Bob=fish (prio 100 for Alice), Charlie=knot.
+	n, alice, bob, charlie = build()
+	n.SetExplicit(bob, "fish")
+	n.SetExplicit(charlie, "knot")
+	sols = EnumerateStableSolutions(n, 0)
+	if len(sols) != 1 || sols[0][alice] != "fish" {
+		t.Errorf("glyph2: want alice=fish, got %v", sols)
+	}
+}
+
+func TestExplicitBeliefOnInternalNodeWins(t *testing.T) {
+	// Bob has an explicit belief and a parent with a conflicting belief:
+	// his explicit belief must win (Definition 2.4 / Definition 2.1).
+	n := New()
+	a := n.AddUser("a")
+	b := n.AddUser("b")
+	n.AddMapping(a, b, 10)
+	n.SetExplicit(a, "v")
+	n.SetExplicit(b, "w")
+	sols := EnumerateStableSolutions(n, 0)
+	if len(sols) != 1 || sols[0][b] != "w" {
+		t.Fatalf("explicit belief must win: %v", sols)
+	}
+}
+
+func TestUnreachableNodeUndefined(t *testing.T) {
+	n := New()
+	a := n.AddUser("a")
+	b := n.AddUser("b")
+	c := n.AddUser("c") // no parents, no explicit belief
+	n.AddMapping(a, b, 1)
+	n.SetExplicit(a, "v")
+	_ = c
+	sols := EnumerateStableSolutions(n, 0)
+	if len(sols) != 1 {
+		t.Fatalf("want 1 solution, got %d", len(sols))
+	}
+	if sols[0][c] != NoValue {
+		t.Errorf("unreachable node must stay undefined: %v", sols[0])
+	}
+	reach := n.ReachableFromRoots()
+	if !reach[a] || !reach[b] || reach[c] {
+		t.Errorf("reachability wrong: %v", reach)
+	}
+}
+
+func TestTieBreakingGivesTwoSolutions(t *testing.T) {
+	// x has two parents with EQUAL priority and conflicting beliefs:
+	// ties are broken arbitrarily, so both values are possible.
+	n := New()
+	x := n.AddUser("x")
+	p := n.AddUser("p")
+	q := n.AddUser("q")
+	n.AddMapping(p, x, 5)
+	n.AddMapping(q, x, 5)
+	n.SetExplicit(p, "v")
+	n.SetExplicit(q, "w")
+	sols := EnumerateStableSolutions(n, 0)
+	if len(sols) != 2 {
+		t.Fatalf("want 2 solutions under a tie, got %d: %v", len(sols), sols)
+	}
+	poss := PossibleFromSolutions(n, sols)
+	if !poss[x]["v"] || !poss[x]["w"] {
+		t.Errorf("both values must be possible: %v", poss[x])
+	}
+}
+
+func TestPreferredParent(t *testing.T) {
+	n := New()
+	x := n.AddUser("x")
+	p := n.AddUser("p")
+	q := n.AddUser("q")
+	if _, ok := n.PreferredParent(x); ok {
+		t.Error("no parents: no preferred parent")
+	}
+	n.AddMapping(p, x, 5)
+	if pp, ok := n.PreferredParent(x); !ok || pp != p {
+		t.Error("single parent must be preferred")
+	}
+	n.AddMapping(q, x, 9)
+	if pp, ok := n.PreferredParent(x); !ok || pp != q {
+		t.Error("higher priority parent must be preferred")
+	}
+	n2 := New()
+	x2 := n2.AddUser("x")
+	p2 := n2.AddUser("p")
+	q2 := n2.AddUser("q")
+	n2.AddMapping(p2, x2, 5)
+	n2.AddMapping(q2, x2, 5)
+	if _, ok := n2.PreferredParent(x2); ok {
+		t.Error("tied priorities: no preferred parent")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := New()
+	a := n.AddUser("a")
+	b := n.AddUser("b")
+	n.AddMapping(a, b, 1)
+	if err := n.Validate(); err != nil {
+		t.Errorf("valid network rejected: %v", err)
+	}
+	n.AddMapping(a, b, 2)
+	if err := n.Validate(); err == nil {
+		t.Error("duplicate parent-child pair not rejected")
+	}
+	n2 := New()
+	c := n2.AddUser("c")
+	n2.AddMapping(c, c, 1)
+	if err := n2.Validate(); err == nil {
+		t.Error("self mapping not rejected")
+	}
+}
+
+func TestAddUserIdempotent(t *testing.T) {
+	n := New()
+	a := n.AddUser("a")
+	if n.AddUser("a") != a {
+		t.Error("AddUser must be idempotent per name")
+	}
+	if n.UserID("a") != a || n.UserID("zz") != -1 {
+		t.Error("UserID lookup wrong")
+	}
+	if n.Name(a) != "a" {
+		t.Error("Name lookup wrong")
+	}
+}
+
+func TestDomain(t *testing.T) {
+	n := New()
+	a := n.AddUser("a")
+	b := n.AddUser("b")
+	c := n.AddUser("c")
+	n.SetExplicit(a, "w")
+	n.SetExplicit(b, "v")
+	n.SetExplicit(c, "w")
+	d := n.Domain()
+	if len(d) != 2 || d[0] != "v" || d[1] != "w" {
+		t.Errorf("domain wrong: %v", d)
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	n := New()
+	a := n.AddUser("a")
+	n.SetExplicit(a, "v")
+	if !n.HasExplicit(a) {
+		t.Fatal("explicit belief not set")
+	}
+	n.SetExplicit(a, NoValue)
+	if n.HasExplicit(a) {
+		t.Fatal("revocation failed")
+	}
+}
+
+func TestClone(t *testing.T) {
+	n, xs := buildOscillator()
+	c := n.Clone()
+	c.SetExplicit(xs[0], "z")
+	c.AddMapping(xs[3], xs[0], 7)
+	if n.HasExplicit(xs[0]) || n.NumMappings() != 4 {
+		t.Error("clone not independent")
+	}
+	if c.NumMappings() != 5 {
+		t.Error("clone mapping count wrong")
+	}
+}
+
+// ---- Binarization ----
+
+func TestBinarizeAlreadyBinary(t *testing.T) {
+	n, _ := buildOscillator()
+	b := Binarize(n)
+	if !b.IsBinary() {
+		t.Fatal("binarized network must be binary")
+	}
+	if b.NumUsers() != n.NumUsers() {
+		t.Errorf("no new nodes expected, got %d users", b.NumUsers())
+	}
+	// Stable solutions restricted to original nodes must match.
+	checkBinarizationEquivalence(t, n)
+}
+
+func TestBinarizeHoistsExplicitBeliefs(t *testing.T) {
+	n := New()
+	a := n.AddUser("a")
+	b := n.AddUser("b")
+	n.AddMapping(a, b, 10)
+	n.SetExplicit(a, "v")
+	n.SetExplicit(b, "w") // internal node with explicit belief
+	bn := Binarize(n)
+	if !bn.IsBinary() {
+		t.Fatal("not binary after hoisting")
+	}
+	if bn.NumUsers() != 3 {
+		t.Fatalf("want 1 hoisted root, got %d users", bn.NumUsers())
+	}
+	checkBinarizationEquivalence(t, n)
+}
+
+func TestBinarizeCascadePriorities(t *testing.T) {
+	// Seven parents with priorities of Figure 10a: p1=p2 < p3=p4=p5 < p6 < p7.
+	n := New()
+	x := n.AddUser("x")
+	var zs []int
+	prios := []int{1, 1, 3, 3, 3, 6, 7}
+	for i, p := range prios {
+		z := n.AddUser("z" + string(rune('1'+i)))
+		zs = append(zs, z)
+		n.AddMapping(z, x, p)
+	}
+	for i, z := range zs {
+		n.SetExplicit(z, Value(rune('a'+i)))
+	}
+	b := Binarize(n)
+	if !b.IsBinary() {
+		t.Fatal("cascade output not binary")
+	}
+	// k=7 parents: k-2 = 5 new nodes.
+	if got := b.NumUsers() - n.NumUsers(); got != 5 {
+		t.Errorf("want 5 new nodes, got %d", got)
+	}
+	// 2(k-1) = 12 edges.
+	if b.NumMappings() != 12 {
+		t.Errorf("want 12 mappings, got %d", b.NumMappings())
+	}
+	checkBinarizationEquivalence(t, n)
+}
+
+// checkBinarizationEquivalence verifies Proposition 2.8: the stable
+// solutions of Binarize(n) restricted to the original nodes are exactly the
+// stable solutions of n.
+func checkBinarizationEquivalence(t *testing.T, n *Network) {
+	t.Helper()
+	b := Binarize(n)
+	if !b.IsBinary() {
+		t.Fatal("Binarize result not binary")
+	}
+	orig := EnumerateStableSolutions(n, 0)
+	bin := EnumerateStableSolutions(b, 0)
+	restrict := func(s Solution) string {
+		key := ""
+		for x := 0; x < n.NumUsers(); x++ {
+			key += string(s[x]) + "|"
+		}
+		return key
+	}
+	oset := map[string]bool{}
+	for _, s := range orig {
+		oset[restrict(s)] = true
+	}
+	bset := map[string]bool{}
+	for _, s := range bin {
+		bset[restrict(s)] = true
+	}
+	for k := range oset {
+		if !bset[k] {
+			t.Errorf("solution %q of TN missing in BTN", k)
+		}
+	}
+	for k := range bset {
+		if !oset[k] {
+			t.Errorf("solution %q of BTN not a TN solution", k)
+		}
+	}
+}
+
+// randomTN builds a random small trust network for property tests.
+func randomTN(rng *rand.Rand, maxUsers, maxParents int) *Network {
+	n := New()
+	nu := 2 + rng.Intn(maxUsers-1)
+	for i := 0; i < nu; i++ {
+		n.AddUser("u" + string(rune('A'+i)))
+	}
+	values := []Value{"v", "w", "u"}
+	for x := 0; x < nu; x++ {
+		// Each node trusts a random subset of other nodes.
+		perm := rng.Perm(nu)
+		k := rng.Intn(maxParents + 1)
+		added := 0
+		for _, z := range perm {
+			if added >= k {
+				break
+			}
+			if z == x {
+				continue
+			}
+			n.AddMapping(z, x, 1+rng.Intn(4))
+			added++
+		}
+	}
+	// Random explicit beliefs on ~40% of nodes, at least one.
+	any := false
+	for x := 0; x < nu; x++ {
+		if rng.Float64() < 0.4 {
+			n.SetExplicit(x, values[rng.Intn(len(values))])
+			any = true
+		}
+	}
+	if !any {
+		n.SetExplicit(rng.Intn(nu), values[rng.Intn(len(values))])
+	}
+	return n
+}
+
+func TestBinarizationEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 60; i++ {
+		n := randomTN(rng, 5, 4)
+		checkBinarizationEquivalence(t, n)
+		if t.Failed() {
+			t.Fatalf("failed on random network %d", i)
+		}
+	}
+}
+
+func TestEveryBTNHasAStableSolution(t *testing.T) {
+	// Corollary of the Forward Lemma (Lemma A.1): every BTN has at least
+	// one stable solution (contrast with general logic programs).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 80; i++ {
+		n := randomTN(rng, 5, 2)
+		b := Binarize(n)
+		if len(EnumerateStableSolutions(b, 1)) == 0 {
+			t.Fatalf("BTN without stable solution (iteration %d)", i)
+		}
+	}
+}
+
+// TestBinarizationCliqueBounds checks the size bounds of Figure 11: for an
+// n-clique (n >= 4), the binarized network has n(n-2) nodes and 2n(n-2)
+// edges.
+func TestBinarizationCliqueBounds(t *testing.T) {
+	for _, nn := range []int{4, 5, 6, 8} {
+		n := New()
+		for i := 0; i < nn; i++ {
+			n.AddUser("c" + string(rune('0'+i)))
+		}
+		for x := 0; x < nn; x++ {
+			p := 1
+			for z := 0; z < nn; z++ {
+				if z == x {
+					continue
+				}
+				n.AddMapping(z, x, p)
+				p++
+			}
+		}
+		b := Binarize(n)
+		if got, want := b.NumUsers(), nn*(nn-2); got != want {
+			t.Errorf("n=%d: users %d want %d", nn, got, want)
+		}
+		if got, want := b.NumMappings(), 2*nn*(nn-2); got != want {
+			t.Errorf("n=%d: mappings %d want %d", nn, got, want)
+		}
+	}
+}
+
+func TestIsBinary(t *testing.T) {
+	n, _ := buildOscillator()
+	if !n.IsBinary() {
+		t.Error("oscillator is binary")
+	}
+	x5 := n.AddUser("x5")
+	n.AddMapping(0, x5, 1)
+	n.AddMapping(1, x5, 2)
+	n.AddMapping(2, x5, 3)
+	if n.IsBinary() {
+		t.Error("3 parents is not binary")
+	}
+}
