@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: compile and run every benchmark exactly once so they can
+# never bit-rot; full measurement runs drop -benchtime=1x.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt vet race bench

@@ -6,11 +6,15 @@ package trustmap
 // the `go test -bench` view with allocation counts.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
+	"trustmap/internal/bench"
 	"trustmap/internal/bulk"
+	"trustmap/internal/engine"
 	"trustmap/internal/lp"
 	"trustmap/internal/resolve"
 	"trustmap/internal/skeptic"
@@ -145,6 +149,60 @@ func BenchmarkFig8c_LPPerObject(b *testing.B) {
 					if _, err := lp.StableModels(prog, lp.Options{}); err != nil {
 						b.Fatal(err)
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBulkResolve contrasts the bulk execution strategies on a
+// 1000-object power-law workload (1000 users): the legacy sequential SQL
+// path of Section 4 against the compiled concurrent engine at several
+// worker counts. Compilation (plan construction) is excluded from the
+// timed region for every strategy: the point of the engine is that the
+// per-network analysis is paid once and the per-object scan parallelizes.
+func BenchmarkBulkResolve(b *testing.B) {
+	bin, objs := bench.BulkWorkload(1000, 1000, 42)
+	b.Run("sequential-sql", func(b *testing.B) {
+		plan, err := bulk.NewPlan(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store := bulk.NewStore(plan)
+			if err := store.LoadObjects(objs); err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Resolve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	c, err := engine.Compile(bin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("engine/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Resolve(context.Background(), objs, engine.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCompile measures the one-time per-network compilation the
+// engine amortizes over all objects.
+func BenchmarkEngineCompile(b *testing.B) {
+	for _, users := range []int{1000, 10000} {
+		bin, _ := bench.BulkWorkload(users, 1, 42)
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Compile(bin); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

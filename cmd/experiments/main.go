@@ -6,6 +6,7 @@
 //	experiments -fig 8b     # RA vs LP on power-law (web-like) networks
 //	experiments -fig 8c     # bulk SQL resolution vs per-object LP
 //	experiments -fig 15     # RA quadratic worst case (nested SCCs)
+//	experiments -fig bulk   # sequential SQL vs compiled concurrent engine
 //	experiments -fig all
 //
 // -quick shrinks the sweeps for a fast smoke run.
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"trustmap/internal/bench"
 )
@@ -26,14 +28,15 @@ func main() {
 	flag.Parse()
 
 	runs := map[string]func(bool, int64){
-		"5":  fig5,
-		"8a": fig8a,
-		"8b": fig8b,
-		"8c": fig8c,
-		"15": fig15,
+		"5":    fig5,
+		"8a":   fig8a,
+		"8b":   fig8b,
+		"8c":   fig8c,
+		"15":   fig15,
+		"bulk": figBulk,
 	}
 	if *fig == "all" {
-		for _, name := range []string{"5", "8a", "8b", "8c", "15"} {
+		for _, name := range []string{"5", "8a", "8b", "8c", "15", "bulk"} {
 			runs[name](*quick, *seed)
 			fmt.Println()
 		}
@@ -107,4 +110,19 @@ func fig15(quick bool, _ int64) {
 	s := bench.Fig15(ks, 3)
 	s.Fprint(os.Stdout)
 	fmt.Printf("(log-log slope %.2f; ~2 is the quadratic worst case of Theorem 2.12)\n", bench.FitSlope(s))
+}
+
+func figBulk(quick bool, seed int64) {
+	counts := []int{100, 1000, 10000}
+	users := 1000
+	if quick {
+		counts = []int{100, 1000}
+		users = 200
+	}
+	workers := runtime.GOMAXPROCS(0)
+	for _, s := range bench.BulkSeqVsPar(users, counts, workers, seed) {
+		s.Fprint(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Printf("(power-law network, %d users; the engine compiles the plan once per call)\n", users)
 }

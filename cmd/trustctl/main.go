@@ -5,6 +5,7 @@
 // Usage:
 //
 //	trustctl -f network.json [-skeptic] [-pairs] [-lineage user=value]
+//	trustctl bulk-par -f network.json -objects objects.json [-workers N] [-users a,b]
 //
 // Network file format:
 //
@@ -13,9 +14,19 @@
 //	  "beliefs":     {"Bob": "fish", "Charlie": "knot"},
 //	  "constraints": {"Dan": ["cow", "jar"]}
 //	}
+//
+// The bulk-par subcommand resolves many objects over one network on the
+// compiled concurrent engine (Section 4). Its objects file maps object
+// keys to the root users' explicit beliefs:
+//
+//	{
+//	  "obj1": {"Bob": "fish", "Charlie": "knot"},
+//	  "obj2": {"Bob": "cow",  "Charlie": "cow"}
+//	}
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,6 +49,23 @@ type networkFile struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bulk-par" {
+		fs := flag.NewFlagSet("bulk-par", flag.ExitOnError)
+		file := fs.String("f", "", "network JSON file (required)")
+		objects := fs.String("objects", "", "objects JSON file (required)")
+		workers := fs.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS)")
+		users := fs.String("users", "", "comma-separated users to report (default: all)")
+		fs.Parse(os.Args[2:])
+		if *file == "" || *objects == "" {
+			fs.Usage()
+			os.Exit(2)
+		}
+		if err := runBulkPar(os.Stdout, *file, *objects, *workers, *users); err != nil {
+			fmt.Fprintln(os.Stderr, "trustctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	file := flag.String("f", "", "network JSON file (required)")
 	skeptic := flag.Bool("skeptic", false, "resolve with constraints under the Skeptic paradigm")
 	pairs := flag.Bool("pairs", false, "print agreement analysis (possible pairs)")
@@ -53,14 +81,65 @@ func main() {
 	}
 }
 
-func run(w io.Writer, file string, skeptic, pairs bool, lineage string) error {
-	raw, err := os.ReadFile(file)
+// runBulkPar resolves the objects file over the network file on the
+// compiled concurrent engine and prints one row per (object, user).
+func runBulkPar(w io.Writer, netFile, objFile string, workers int, users string) error {
+	n, err := loadNetwork(netFile)
 	if err != nil {
 		return err
 	}
+	raw, err := os.ReadFile(objFile)
+	if err != nil {
+		return err
+	}
+	var objects map[string]map[string]string
+	if err := json.Unmarshal(raw, &objects); err != nil {
+		return fmt.Errorf("parsing %s: %w", objFile, err)
+	}
+	r, err := n.BulkResolveWith(context.Background(), objects, trustmap.BulkOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	report := n.Users()
+	if users != "" {
+		known := make(map[string]bool, len(report))
+		for _, u := range report {
+			known[u] = true
+		}
+		report = nil
+		for _, u := range strings.Split(users, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			if !known[u] {
+				return fmt.Errorf("-users: unknown user %q", u)
+			}
+			report = append(report, u)
+		}
+		if len(report) == 0 {
+			return fmt.Errorf("-users: no user names in %q", users)
+		}
+	}
+	fmt.Fprintf(w, "%-16s %-16s %-24s %s\n", "object", "user", "possible", "certain")
+	for _, k := range r.Keys() {
+		for _, u := range report {
+			cert, _ := r.Certain(u, k)
+			fmt.Fprintf(w, "%-16s %-16s %-24s %s\n", k, u, strings.Join(r.Possible(u, k), ","), orDash(cert))
+		}
+	}
+	return nil
+}
+
+// loadNetwork builds a trustmap.Network from a network JSON file.
+func loadNetwork(file string) (*trustmap.Network, error) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
 	var nf networkFile
 	if err := json.Unmarshal(raw, &nf); err != nil {
-		return fmt.Errorf("parsing %s: %w", file, err)
+		return nil, fmt.Errorf("parsing %s: %w", file, err)
 	}
 	n := trustmap.New()
 	for _, t := range nf.Trust {
@@ -71,6 +150,14 @@ func run(w io.Writer, file string, skeptic, pairs bool, lineage string) error {
 	}
 	for user, rejected := range nf.Constraints {
 		n.SetConstraint(user, rejected...)
+	}
+	return n, nil
+}
+
+func run(w io.Writer, file string, skeptic, pairs bool, lineage string) error {
+	n, err := loadNetwork(file)
+	if err != nil {
+		return err
 	}
 
 	if skeptic {

@@ -92,6 +92,47 @@ func TestRunSkeptic(t *testing.T) {
 	}
 }
 
+func TestRunBulkPar(t *testing.T) {
+	netPath := writeNet(t, indusJSON)
+	objPath := filepath.Join(t.TempDir(), "objects.json")
+	objects := `{
+	  "glyph1": {"Bob": "cow",  "Charlie": "jar"},
+	  "glyph2": {"Bob": "fish", "Charlie": "fish"}
+	}`
+	if err := os.WriteFile(objPath, []byte(objects), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4} {
+		var out strings.Builder
+		if err := runBulkPar(&out, netPath, objPath, workers, ""); err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		// Bob outranks Charlie for Alice, so Alice follows Bob per object.
+		if !strings.Contains(s, "glyph1           Alice            cow") {
+			t.Errorf("workers=%d: missing glyph1 row for Alice:\n%s", workers, s)
+		}
+		if !strings.Contains(s, "glyph2           Alice            fish") {
+			t.Errorf("workers=%d: missing glyph2 row for Alice:\n%s", workers, s)
+		}
+	}
+	// Restricting -users filters rows; whitespace around names is fine.
+	var out strings.Builder
+	if err := runBulkPar(&out, netPath, objPath, 2, "Bob, Charlie"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Alice") {
+		t.Errorf("-users filter leaked other users:\n%s", out.String())
+	}
+	// Unknown users in -users must error instead of printing empty rows.
+	if err := runBulkPar(&out, netPath, objPath, 1, "Zed"); err == nil {
+		t.Error("unknown -users name must error")
+	}
+	if err := runBulkPar(&out, netPath, "/nonexistent.json", 1, ""); err == nil {
+		t.Error("missing objects file must error")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run(&out, "/nonexistent.json", false, false, ""); err == nil {

@@ -47,8 +47,9 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	keys := r.Keys() // sorted object keys: deterministic iteration
 	certain, open := 0, 0
-	for k := range objects {
+	for _, k := range keys {
 		if _, ok := r.Certain("reader", k); ok {
 			certain++
 		} else {
@@ -59,8 +60,9 @@ func main() {
 		len(objects), conflicts, elapsed.Round(time.Millisecond))
 	fmt.Printf("reader's snapshot: %d certain values, %d still contested\n", certain, open)
 
-	// Drill into one contested object.
-	for k, bs := range objects {
+	// Drill into one contested object (sorted scan: same pick every run).
+	for _, k := range keys {
+		bs := objects[k]
 		if bs["curator1"] != bs["curator2"] {
 			fmt.Printf("\nexample: %s  curator1=%s curator2=%s\n", k, bs["curator1"], bs["curator2"])
 			fmt.Printf("  moderatorA sees %v, moderatorB sees %v (mutual-trust cycle => both views possible)\n",

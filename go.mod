@@ -1,0 +1,3 @@
+module trustmap
+
+go 1.24

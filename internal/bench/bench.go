@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"trustmap/internal/bulk"
+	"trustmap/internal/engine"
 	"trustmap/internal/lp"
 	"trustmap/internal/resolve"
 	"trustmap/internal/tn"
@@ -183,9 +185,10 @@ func Fig8cLP(objectCounts []int, seed int64) Series {
 		objs := workload.BulkObjects(rand.New(rand.NewSource(seed)), roots, count)
 		start := time.Now()
 		dnf := false
-		for _, bs := range objs {
+		// Sorted iteration keeps the budget cutoff point deterministic.
+		for _, k := range workload.ObjectKeys(objs) {
 			per := b.Clone()
-			for x, v := range bs {
+			for x, v := range objs[k] {
 				per.SetExplicit(x, v)
 			}
 			prog, _ := lp.TranslateBinary(per, nil)
@@ -201,6 +204,65 @@ func Fig8cLP(objectCounts []int, seed int64) Series {
 		s.Points = append(s.Points, p)
 	}
 	return s
+}
+
+// BulkWorkload builds the bulk comparison workload: a binarized power-law
+// trust network with `users` users and per-object root beliefs for
+// `objects` objects (half of them conflicting), deterministic in seed.
+func BulkWorkload(users, objects int, seed int64) (*tn.Network, map[string]map[int]tn.Value) {
+	n := workload.PowerLaw(rand.New(rand.NewSource(seed)), users, 3, 0.1, []tn.Value{"v", "w", "u", "z"})
+	bin := tn.Binarize(n)
+	var roots []int
+	for x := 0; x < bin.NumUsers(); x++ {
+		if bin.HasExplicit(x) {
+			roots = append(roots, x)
+		}
+	}
+	objs := workload.BulkObjects(rand.New(rand.NewSource(seed+1)), roots, objects)
+	return bin, objs
+}
+
+// BulkSeqVsPar contrasts the three bulk execution strategies on the same
+// power-law workload: the sequential SQL path of Section 4, the compiled
+// engine on one worker, and the compiled engine on `workers` workers.
+// Engine timings include per-call compilation, mirroring the SQL path
+// which re-plans per call.
+func BulkSeqVsPar(users int, objectCounts []int, workers int, seed int64) []Series {
+	sql := Series{Name: "bulk: sequential SQL path", XLabel: "objects"}
+	seq := Series{Name: "bulk: compiled engine, 1 worker", XLabel: "objects"}
+	par := Series{Name: fmt.Sprintf("bulk: compiled engine, %d workers", workers), XLabel: "objects"}
+	for _, count := range objectCounts {
+		bin, objs := BulkWorkload(users, count, seed)
+		start := time.Now()
+		plan, err := bulk.NewPlan(bin)
+		if err != nil {
+			panic(err)
+		}
+		store := bulk.NewStore(plan)
+		if err := store.LoadObjects(objs); err != nil {
+			panic(err)
+		}
+		if err := store.Resolve(); err != nil {
+			panic(err)
+		}
+		sql.Points = append(sql.Points, Point{X: count, Seconds: time.Since(start).Seconds()})
+
+		for _, run := range []struct {
+			s *Series
+			w int
+		}{{&seq, 1}, {&par, workers}} {
+			start = time.Now()
+			c, err := engine.Compile(bin)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := c.Resolve(context.Background(), objs, engine.Options{Workers: run.w}); err != nil {
+				panic(err)
+			}
+			run.s.Points = append(run.s.Points, Point{X: count, Seconds: time.Since(start).Seconds()})
+		}
+	}
+	return []Series{sql, seq, par}
 }
 
 // Fig15 measures the Resolution Algorithm on the nested-SCC worst case

@@ -64,6 +64,23 @@ func TestFig15QuadraticShape(t *testing.T) {
 	}
 }
 
+func TestBulkSeqVsParSmoke(t *testing.T) {
+	series := BulkSeqVsPar(100, []int{20, 50}, 4, 11)
+	if len(series) != 3 {
+		t.Fatalf("series=%d want 3", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: points=%d want 2", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Seconds <= 0 {
+				t.Errorf("%s: non-positive timing at %d", s.Name, p.X)
+			}
+		}
+	}
+}
+
 func TestSeriesFormatting(t *testing.T) {
 	s := Series{Name: "test", XLabel: "n", Points: []Point{{X: 10, Seconds: 0.5}, {X: 20, Note: "DNF (budget)"}}}
 	out := s.String()

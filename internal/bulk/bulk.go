@@ -20,138 +20,51 @@ import (
 	"sort"
 	"strings"
 
+	"trustmap/internal/engine"
 	"trustmap/internal/sqlmem"
 	"trustmap/internal/tn"
 )
 
-// StepKind discriminates plan steps.
-type StepKind int
+// The plan itself is compiled by package engine; this package only lowers
+// it to SQL, so the step types are aliases, not copies.
+type (
+	// StepKind discriminates plan steps.
+	StepKind = engine.StepKind
+	// Step is one resolution step of the plan. Its Members/Sources slices
+	// are shared with the compiled engine plan; do not modify.
+	Step = engine.Step
+)
 
 const (
 	// StepCopy is Step 1 of Algorithm 1: copy the preferred parent's
 	// possible values to the child.
-	StepCopy StepKind = iota
+	StepCopy = engine.StepCopy
 	// StepFlood is Step 2: flood a strongly connected component with the
 	// union of its closed parents' possible values.
-	StepFlood
+	StepFlood = engine.StepFlood
 )
 
-// Step is one resolution step of the plan.
-type Step struct {
-	Kind    StepKind
-	Target  int   // StepCopy: the node being closed
-	Source  int   // StepCopy: its preferred parent
-	Members []int // StepFlood: the component being closed
-	Sources []int // StepFlood: closed nodes with edges into the component
-}
-
-// Plan is the object-independent resolution order for a network.
+// Plan is the object-independent resolution order for a network, obtained
+// from the compiled engine plan.
 type Plan struct {
 	Net   *tn.Network
 	Roots []int // users with explicit beliefs
 	Steps []Step
 }
 
-// NewPlan computes the resolution plan by running the control flow of
-// Algorithm 1 once. The network must be binary; explicit beliefs mark which
-// users are roots (their values are irrelevant to the plan).
+// NewPlan compiles the resolution plan once via engine.Compile. The
+// network must be binary; explicit beliefs mark which users are roots
+// (their values are irrelevant to the plan).
 func NewPlan(network *tn.Network) (*Plan, error) {
-	if !network.IsBinary() {
-		return nil, fmt.Errorf("bulk: network is not binary; apply tn.Binarize first")
+	c, err := engine.Compile(network)
+	if err != nil {
+		return nil, fmt.Errorf("bulk: %w", err)
 	}
-	nu := network.NumUsers()
-	p := &Plan{Net: network}
-	reach := network.ReachableFromRoots()
-	closed := make([]bool, nu)
-	nClosed := 0
-	for x := 0; x < nu; x++ {
-		if network.HasExplicit(x) {
-			p.Roots = append(p.Roots, x)
-			closed[x] = true
-			nClosed++
-		} else if !reach[x] {
-			closed[x] = true
-			nClosed++
-		}
-	}
-	effPref := func(x int) (int, bool) {
-		var in []tn.Mapping
-		for _, m := range network.In(x) {
-			if reach[m.Parent] {
-				in = append(in, m)
-			}
-		}
-		if len(in) == 0 {
-			return -1, false
-		}
-		if len(in) > 1 && in[1].Priority == in[0].Priority {
-			return -1, false
-		}
-		return in[0].Parent, true
-	}
-	g := network.Graph()
-	for nClosed < nu {
-		progressed := false
-		for x := 0; x < nu; x++ {
-			if closed[x] {
-				continue
-			}
-			if z, ok := effPref(x); ok && closed[z] {
-				p.Steps = append(p.Steps, Step{Kind: StepCopy, Target: x, Source: z})
-				closed[x] = true
-				nClosed++
-				progressed = true
-			}
-		}
-		if progressed || nClosed == nu {
-			continue
-		}
-		open := func(v int) bool { return !closed[v] }
-		comp, ncomp := g.SCC(open)
-		if ncomp == 0 {
-			break
-		}
-		// Close every minimal component of this Tarjan pass (see
-		// resolve.Resolve for why this keeps many-cycle networks linear).
-		hasIncoming := make([]bool, ncomp)
-		memberList := make([][]int, ncomp)
-		for v := 0; v < nu; v++ {
-			if comp[v] < 0 {
-				continue
-			}
-			memberList[comp[v]] = append(memberList[comp[v]], v)
-			for _, m := range network.In(v) {
-				if cp := comp[m.Parent]; cp >= 0 && cp != comp[v] {
-					hasIncoming[comp[v]] = true
-				}
-			}
-		}
-		for c := 0; c < ncomp; c++ {
-			if hasIncoming[c] {
-				continue
-			}
-			members := memberList[c]
-			srcSet := map[int]bool{}
-			for _, x := range members {
-				for _, m := range network.In(x) {
-					if closed[m.Parent] && reach[m.Parent] {
-						srcSet[m.Parent] = true
-					}
-				}
-			}
-			var sources []int
-			for z := range srcSet {
-				sources = append(sources, z)
-			}
-			sort.Ints(sources)
-			p.Steps = append(p.Steps, Step{Kind: StepFlood, Members: members, Sources: sources})
-			for _, x := range members {
-				closed[x] = true
-				nClosed++
-			}
-		}
-	}
-	return p, nil
+	return &Plan{
+		Net:   network,
+		Roots: append([]int(nil), c.Roots()...),
+		Steps: c.Steps(),
+	}, nil
 }
 
 // userConst is the SQL encoding of user IDs in the X column.

@@ -1,0 +1,482 @@
+// Package engine compiles the object-independent structure of a binary
+// trust network into a reusable plan and resolves arbitrarily many objects
+// against it concurrently.
+//
+// The paper's bulk setting (Section 4) fixes the trust mappings across all
+// objects; only the root beliefs vary per object. Under its two
+// assumptions, the control flow of Algorithm 1 — which node closes by a
+// Step-1 copy from its preferred parent and which strongly connected
+// component closes by a Step-2 flood — is the same for every object.
+// Compile runs that control flow exactly once and records it as a step
+// list (the plan), together with the structures the planner itself needs:
+// the SCC condensation of the reachable subgraph, a topological order of
+// the condensation DAG, per-SCC member and entry-edge slices, and
+// priority-bucketed incoming-trust tables.
+//
+// Compilation goes one step further than recording the plan. Every step is
+// either a copy (poss(x) := poss(z)) or a flood (poss of a component :=
+// the union of its closed parents' poss), and every root starts with a
+// singleton set, so by induction poss(x) for any node is the union of the
+// beliefs of a *fixed* subset of roots — its root support. Compile replays
+// the plan symbolically over root-index bitsets and deduplicates the
+// resulting supports, after which resolving one object is a trivial
+// gather: for each distinct support, collect the object's root values and
+// sort them. (The supports are derived on first use, so plan-only
+// consumers such as the SQL lowering skip that cost.) No graph traversal,
+// no shared mutable state — an embarrassingly parallel scan that
+// CompiledNetwork.Resolve distributes over a worker pool.
+//
+// Unlike the iterated global Tarjan passes of resolve.Resolve (quadratic
+// on the nested-SCC family of Figure 14a), the planner here localizes each
+// Tarjan pass to one condensation component, so compilation stays
+// quasi-linear even on that worst case.
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"trustmap/internal/tn"
+)
+
+// StepKind discriminates plan steps.
+type StepKind int
+
+const (
+	// StepCopy is Step 1 of Algorithm 1: copy the preferred parent's
+	// possible values to the child.
+	StepCopy StepKind = iota
+	// StepFlood is Step 2: flood a strongly connected component with the
+	// union of its closed parents' possible values.
+	StepFlood
+)
+
+// Step is one replayable resolution step of the compiled plan.
+type Step struct {
+	Kind    StepKind
+	Target  int   // StepCopy: the node being closed
+	Source  int   // StepCopy: its preferred parent
+	Members []int // StepFlood: the component being closed, ascending
+	Sources []int // StepFlood: closed nodes with edges into the component, ascending
+}
+
+// PriorityBucket groups one node's incoming trust mappings that share a
+// priority. A node's buckets are ordered by priority descending; parents
+// within a bucket ascend. Only mappings from reachable parents appear:
+// removing unreachable nodes can promote a node's remaining parent to
+// preferred (Section 2.2), and bucketing makes that promotion — and tie
+// detection — a single slice lookup.
+type PriorityBucket struct {
+	Priority int
+	Parents  []int
+}
+
+// CompiledNetwork is the immutable per-network artifact shared by all
+// object resolutions. Compile once, Resolve many times, from any number
+// of goroutines.
+type CompiledNetwork struct {
+	net   *tn.Network
+	reach []bool
+	roots []int // nodes with explicit beliefs, ascending; bitset index = position
+
+	incoming [][]PriorityBucket // effective incoming-trust table per node
+
+	comp       []int   // SCC index per reachable node, -1 outside
+	ncomp      int     // number of SCCs of the reachable subgraph
+	sccMembers [][]int // per SCC: member nodes, ascending
+	sccOrder   []int   // topological order of the condensation DAG
+
+	steps []Step
+
+	// Root supports are derived from the steps lazily (sync.Once): plan-only
+	// consumers like the SQL lowering never pay for them.
+	supportsOnce sync.Once
+	supports     []bitset // distinct root supports, indexed by support ID
+	nodeSupport  []int32  // node -> support ID, -1 when poss is empty
+}
+
+// Stats summarizes a compiled network for diagnostics.
+type Stats struct {
+	Users            int
+	Mappings         int
+	Roots            int
+	Reachable        int
+	SCCs             int
+	NontrivialSCCs   int
+	CopySteps        int
+	FloodSteps       int
+	DistinctSupports int
+}
+
+// Compile precomputes the resolution plan for a binary trust network.
+// Explicit beliefs mark which users are roots; their values are irrelevant
+// to the plan. The network must not be mutated afterwards.
+func Compile(network *tn.Network) (*CompiledNetwork, error) {
+	if !network.IsBinary() {
+		return nil, fmt.Errorf("engine: network is not binary; apply tn.Binarize first")
+	}
+	nu := network.NumUsers()
+	c := &CompiledNetwork{
+		net:   network,
+		reach: network.ReachableFromRoots(),
+	}
+	for x := 0; x < nu; x++ {
+		if network.HasExplicit(x) {
+			c.roots = append(c.roots, x)
+		}
+	}
+	c.buildIncoming()
+	c.buildCondensation()
+	c.buildPlan()
+	return c, nil
+}
+
+// ensureSupports builds the root supports on first use.
+func (c *CompiledNetwork) ensureSupports() { c.supportsOnce.Do(c.buildSupports) }
+
+// buildIncoming fills the priority-bucketed incoming-trust tables.
+func (c *CompiledNetwork) buildIncoming() {
+	nu := c.net.NumUsers()
+	c.incoming = make([][]PriorityBucket, nu)
+	for x := 0; x < nu; x++ {
+		var buckets []PriorityBucket
+		for _, m := range c.net.In(x) { // sorted: priority desc, parent asc
+			if !c.reach[m.Parent] {
+				continue
+			}
+			if k := len(buckets); k > 0 && buckets[k-1].Priority == m.Priority {
+				buckets[k-1].Parents = append(buckets[k-1].Parents, m.Parent)
+			} else {
+				buckets = append(buckets, PriorityBucket{Priority: m.Priority, Parents: []int{m.Parent}})
+			}
+		}
+		c.incoming[x] = buckets
+	}
+}
+
+// preferredParent returns x's effective preferred parent: the sole member
+// of its top priority bucket. ok is false on a tie or when x has no
+// reachable parents.
+func (c *CompiledNetwork) preferredParent(x int) (int, bool) {
+	b := c.incoming[x]
+	if len(b) == 0 || len(b[0].Parents) != 1 {
+		return -1, false
+	}
+	return b[0].Parents[0], true
+}
+
+// buildCondensation computes the SCCs of the reachable subgraph, the
+// per-SCC member slices, and a topological order of the condensation DAG.
+func (c *CompiledNetwork) buildCondensation() {
+	g := c.net.Graph()
+	active := func(v int) bool { return c.reach[v] }
+	c.comp, c.ncomp = g.SCC(active)
+	c.sccMembers = make([][]int, c.ncomp)
+	for v := 0; v < c.net.NumUsers(); v++ {
+		if cv := c.comp[v]; cv >= 0 {
+			c.sccMembers[cv] = append(c.sccMembers[cv], v)
+		}
+	}
+	cond := g.Condense(c.comp, c.ncomp)
+	order, ok := cond.TopoOrder()
+	if !ok {
+		// Cannot happen: a condensation is acyclic by construction.
+		panic("engine: condensation has a cycle")
+	}
+	c.sccOrder = order
+}
+
+// buildPlan records the control flow of Algorithm 1 as a step list,
+// visiting condensation components in topological order so that every
+// Tarjan pass is local to one component.
+func (c *CompiledNetwork) buildPlan() {
+	nu := c.net.NumUsers()
+	closed := make([]bool, nu)
+	for x := 0; x < nu; x++ {
+		if c.net.HasExplicit(x) || !c.reach[x] {
+			closed[x] = true
+		}
+	}
+	// preferredChildren[z] lists open nodes whose effective preferred
+	// parent is z, for O(1) discovery of applicable Step-1 copies.
+	preferredChildren := make([][]int, nu)
+	for x := 0; x < nu; x++ {
+		if closed[x] {
+			continue
+		}
+		if z, ok := c.preferredParent(x); ok {
+			preferredChildren[z] = append(preferredChildren[z], x)
+		}
+	}
+	g := c.net.Graph()
+
+	for _, comp := range c.sccOrder {
+		members := c.sccMembers[comp]
+		// Step-1 queue, local to this component. Parents outside the
+		// component are already closed (topological order), so the initial
+		// scan plus enqueues on close find every applicable copy.
+		var queue []int
+		enqueue := func(z int) {
+			for _, x := range preferredChildren[z] {
+				if !closed[x] && c.comp[x] == comp {
+					queue = append(queue, x)
+				}
+			}
+		}
+		nOpen := 0
+		for _, x := range members {
+			if closed[x] {
+				continue
+			}
+			nOpen++
+			if z, ok := c.preferredParent(x); ok && closed[z] {
+				queue = append(queue, x)
+			}
+		}
+		for nOpen > 0 {
+			// (S1) Drain preferred-edge copies.
+			for len(queue) > 0 {
+				x := queue[0]
+				queue = queue[1:]
+				if closed[x] {
+					continue
+				}
+				z, _ := c.preferredParent(x)
+				c.steps = append(c.steps, Step{Kind: StepCopy, Target: x, Source: z})
+				closed[x] = true
+				nOpen--
+				enqueue(x)
+			}
+			if nOpen == 0 {
+				break
+			}
+			// (S2) Flood the minimal SCCs of the remaining open members.
+			// Restricting Tarjan to this component is equivalent to the
+			// global pass of resolve.Resolve: all nodes outside it are
+			// either closed (earlier components) or unreachable from here
+			// (later components), so sub-component minimality within the
+			// member slice equals global minimality.
+			inComp := func(v int) bool { return c.comp[v] == comp && !closed[v] }
+			sub, nsub := g.SCC(inComp)
+			if nsub == 0 {
+				break
+			}
+			hasIncoming := make([]bool, nsub)
+			memberList := make([][]int, nsub)
+			for _, v := range members {
+				if sub[v] < 0 {
+					continue
+				}
+				memberList[sub[v]] = append(memberList[sub[v]], v)
+				for _, m := range c.net.In(v) {
+					if cp := sub[m.Parent]; cp >= 0 && cp != sub[v] {
+						hasIncoming[sub[v]] = true
+					}
+				}
+			}
+			for s := 0; s < nsub; s++ {
+				if hasIncoming[s] {
+					continue
+				}
+				flood := memberList[s]
+				srcSet := map[int]bool{}
+				for _, x := range flood {
+					for _, m := range c.net.In(x) {
+						if closed[m.Parent] && c.reach[m.Parent] {
+							srcSet[m.Parent] = true
+						}
+					}
+				}
+				sources := make([]int, 0, len(srcSet))
+				for z := range srcSet {
+					sources = append(sources, z)
+				}
+				sort.Ints(sources)
+				c.steps = append(c.steps, Step{Kind: StepFlood, Members: flood, Sources: sources})
+				for _, x := range flood {
+					closed[x] = true
+					nOpen--
+				}
+				for _, x := range flood {
+					enqueue(x)
+				}
+			}
+		}
+	}
+}
+
+// buildSupports replays the plan symbolically over root-index bitsets:
+// after it, nodeSupport[x] identifies the fixed set of roots whose beliefs
+// make up poss(x) for every object, deduplicated across nodes.
+func (c *CompiledNetwork) buildSupports() {
+	nu := c.net.NumUsers()
+	words := (len(c.roots) + 63) / 64
+	byNode := make([]bitset, nu)
+	for i, r := range c.roots {
+		b := newBitset(words)
+		b.set(i)
+		byNode[r] = b
+	}
+	for _, s := range c.steps {
+		switch s.Kind {
+		case StepCopy:
+			byNode[s.Target] = byNode[s.Source] // alias: supports are immutable
+		case StepFlood:
+			u := newBitset(words)
+			for _, z := range s.Sources {
+				u.or(byNode[z])
+			}
+			for _, x := range s.Members {
+				byNode[x] = u
+			}
+		}
+	}
+	c.nodeSupport = make([]int32, nu)
+	ids := make(map[string]int32)
+	for x := 0; x < nu; x++ {
+		b := byNode[x]
+		if b == nil || b.empty() {
+			c.nodeSupport[x] = -1
+			continue
+		}
+		k := b.key()
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(c.supports))
+			ids[k] = id
+			c.supports = append(c.supports, b)
+		}
+		c.nodeSupport[x] = id
+	}
+}
+
+// Net returns the compiled network's underlying trust network. It must not
+// be mutated.
+func (c *CompiledNetwork) Net() *tn.Network { return c.net }
+
+// Roots returns the root nodes (users with explicit beliefs), ascending.
+// The slice is shared; do not modify.
+func (c *CompiledNetwork) Roots() []int { return c.roots }
+
+// Steps returns the compiled plan. The slice is shared; do not modify.
+func (c *CompiledNetwork) Steps() []Step { return c.steps }
+
+// Incoming returns the priority-bucketed effective incoming-trust table of
+// node x. The slice is shared; do not modify.
+func (c *CompiledNetwork) Incoming(x int) []PriorityBucket { return c.incoming[x] }
+
+// NumSCCs returns the number of strongly connected components of the
+// reachable subgraph.
+func (c *CompiledNetwork) NumSCCs() int { return c.ncomp }
+
+// SCCMembers returns the member slice of condensation component i,
+// ascending. The slice is shared; do not modify.
+func (c *CompiledNetwork) SCCMembers(i int) []int { return c.sccMembers[i] }
+
+// SCCEntries returns the trust mappings entering condensation component i
+// from other components: the edges along which flooded values arrive.
+// Derived on demand — it is diagnostic, not on the resolution path.
+func (c *CompiledNetwork) SCCEntries(i int) []tn.Mapping {
+	var out []tn.Mapping
+	for _, v := range c.sccMembers[i] {
+		for _, m := range c.net.In(v) {
+			if cp := c.comp[m.Parent]; cp >= 0 && cp != i {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// SCCOrder returns a topological order of the condensation DAG: the order
+// in which the planner visits components. The slice is shared; do not
+// modify.
+func (c *CompiledNetwork) SCCOrder() []int { return c.sccOrder }
+
+// Support returns the root nodes whose beliefs constitute poss(x) for
+// every object, ascending; nil when poss(x) is always empty.
+func (c *CompiledNetwork) Support(x int) []int {
+	c.ensureSupports()
+	id := c.nodeSupport[x]
+	if id < 0 {
+		return nil
+	}
+	var out []int
+	c.supports[id].each(func(i int) { out = append(out, c.roots[i]) })
+	return out
+}
+
+// Stats summarizes the compiled artifact.
+func (c *CompiledNetwork) Stats() Stats {
+	c.ensureSupports()
+	st := Stats{
+		Users:            c.net.NumUsers(),
+		Mappings:         c.net.NumMappings(),
+		Roots:            len(c.roots),
+		SCCs:             c.ncomp,
+		DistinctSupports: len(c.supports),
+	}
+	for _, r := range c.reach {
+		if r {
+			st.Reachable++
+		}
+	}
+	for _, m := range c.sccMembers {
+		if len(m) > 1 {
+			st.NontrivialSCCs++
+		}
+	}
+	for _, s := range c.steps {
+		if s.Kind == StepCopy {
+			st.CopySteps++
+		} else {
+			st.FloodSteps++
+		}
+	}
+	return st
+}
+
+// bitset is a fixed-width set of root indices.
+type bitset []uint64
+
+func newBitset(words int) bitset { return make(bitset, words) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (i % 64) }
+
+func (b bitset) or(o bitset) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// key returns a map key identifying the set.
+func (b bitset) key() string {
+	buf := make([]byte, 0, len(b)*8)
+	for _, w := range b {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>s))
+		}
+	}
+	return string(buf)
+}
+
+// each calls f with every set index, ascending.
+func (b bitset) each(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			f(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

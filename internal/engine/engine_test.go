@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"trustmap/internal/tn"
+)
+
+// buildOscillator returns the Figure 4b network (binary, two roots).
+func buildOscillator() *tn.Network {
+	n := tn.New()
+	x1 := n.AddUser("x1")
+	x2 := n.AddUser("x2")
+	x3 := n.AddUser("x3")
+	x4 := n.AddUser("x4")
+	n.AddMapping(x2, x1, 100)
+	n.AddMapping(x3, x1, 50)
+	n.AddMapping(x1, x2, 80)
+	n.AddMapping(x4, x2, 40)
+	n.SetExplicit(x3, "seed")
+	n.SetExplicit(x4, "seed")
+	return n
+}
+
+func TestCompileOscillator(t *testing.T) {
+	n := buildOscillator()
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Roots(); len(got) != 2 {
+		t.Fatalf("roots=%v want 2", got)
+	}
+	steps := c.Steps()
+	if len(steps) != 1 || steps[0].Kind != StepFlood {
+		t.Fatalf("steps=%+v want one flood", steps)
+	}
+	if len(steps[0].Members) != 2 || len(steps[0].Sources) != 2 {
+		t.Errorf("flood shape wrong: %+v", steps[0])
+	}
+	st := c.Stats()
+	if st.FloodSteps != 1 || st.CopySteps != 0 || st.NontrivialSCCs != 1 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	// x1 and x2 are flooded from both roots; they share one support.
+	x1, x2 := n.UserID("x1"), n.UserID("x2")
+	if c.nodeSupport[x1] != c.nodeSupport[x2] {
+		t.Errorf("flooded members must share a support: %d vs %d", c.nodeSupport[x1], c.nodeSupport[x2])
+	}
+	sup := c.Support(x1)
+	if len(sup) != 2 || sup[0] != n.UserID("x3") || sup[1] != n.UserID("x4") {
+		t.Errorf("support of x1 = %v, want [x3 x4]", sup)
+	}
+	// Condensation introspection: 3 SCCs ({x3}, {x4}, {x1,x2}); the
+	// nontrivial one has two members and two entry edges, and the roots
+	// precede it in the planner's topological order.
+	if c.NumSCCs() != 3 {
+		t.Fatalf("SCCs=%d want 3", c.NumSCCs())
+	}
+	order := c.SCCOrder()
+	pos := make(map[int]int, len(order))
+	for i, comp := range order {
+		pos[comp] = i
+	}
+	for i := 0; i < c.NumSCCs(); i++ {
+		m := c.SCCMembers(i)
+		if len(m) != 2 {
+			continue
+		}
+		if len(c.SCCEntries(i)) != 2 {
+			t.Errorf("entry edges of {x1,x2} = %v, want 2", c.SCCEntries(i))
+		}
+		for j := 0; j < c.NumSCCs(); j++ {
+			if j != i && pos[j] > pos[i] {
+				t.Errorf("root component %d ordered after its dependent %d", j, i)
+			}
+		}
+	}
+}
+
+func TestCompileRejectsNonBinary(t *testing.T) {
+	n := tn.New()
+	x := n.AddUser("x")
+	for _, name := range []string{"a", "b", "c"} {
+		z := n.AddUser(name)
+		n.AddMapping(z, x, 1+z)
+	}
+	if _, err := Compile(n); err == nil {
+		t.Error("non-binary network must be rejected")
+	}
+}
+
+func TestResolveOscillator(t *testing.T) {
+	n := buildOscillator()
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, x3, x4 := n.UserID("x1"), n.UserID("x3"), n.UserID("x4")
+	objects := map[string]map[int]tn.Value{
+		"conflict": {x3: "v", x4: "w"},
+		"agree":    {x3: "u", x4: "u"},
+	}
+	for _, workers := range []int{1, 4} {
+		r, err := c.Resolve(context.Background(), objects, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Possible(x1, "conflict"); len(got) != 2 || got[0] != "v" || got[1] != "w" {
+			t.Errorf("workers=%d poss(x1, conflict)=%v want [v w]", workers, got)
+		}
+		if got := r.Certain(x1, "agree"); got != "u" {
+			t.Errorf("workers=%d cert(x1, agree)=%q want u", workers, got)
+		}
+		if got := r.Certain(x1, "conflict"); got != tn.NoValue {
+			t.Errorf("workers=%d cert(x1, conflict)=%q want none", workers, got)
+		}
+		keys := r.Keys()
+		if len(keys) != 2 || keys[0] != "agree" || keys[1] != "conflict" {
+			t.Errorf("keys not sorted: %v", keys)
+		}
+	}
+}
+
+func TestResolveMissingRootBelief(t *testing.T) {
+	n := buildOscillator()
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects := map[string]map[int]tn.Value{
+		"k1": {n.UserID("x3"): "v", n.UserID("x4"): "w"},
+		"k2": {n.UserID("x3"): "v"}, // x4 missing: violates assumption ii
+	}
+	for _, workers := range []int{1, 3} {
+		if _, err := c.Resolve(context.Background(), objects, Options{Workers: workers}); err == nil {
+			t.Errorf("workers=%d: missing root belief must be rejected", workers)
+		}
+	}
+}
+
+func TestResolveCancelledContext(t *testing.T) {
+	n := buildOscillator()
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	objects := map[string]map[int]tn.Value{
+		"k1": {n.UserID("x3"): "v", n.UserID("x4"): "w"},
+	}
+	if _, err := c.Resolve(ctx, objects, Options{Workers: 1}); err != context.Canceled {
+		t.Errorf("cancelled resolve returned %v, want context.Canceled", err)
+	}
+}
+
+func TestResolveEmptyObjects(t *testing.T) {
+	c, err := Compile(buildOscillator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Resolve(context.Background(), nil, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Keys()) != 0 {
+		t.Errorf("keys=%v want none", r.Keys())
+	}
+}
+
+func TestUnreachableNodeHasEmptyPoss(t *testing.T) {
+	n := tn.New()
+	r := n.AddUser("root")
+	a := n.AddUser("a")
+	b := n.AddUser("b") // not reachable from root
+	n.SetExplicit(r, "seed")
+	n.AddMapping(r, a, 2)
+	_ = b
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Resolve(context.Background(), map[string]map[int]tn.Value{"k": {r: "v"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Possible(b, "k"); got != nil {
+		t.Errorf("unreachable node poss=%v want nil", got)
+	}
+	if got := res.Possible(a, "k"); len(got) != 1 || got[0] != "v" {
+		t.Errorf("poss(a)=%v want [v]", got)
+	}
+	if sup := c.Support(b); sup != nil {
+		t.Errorf("unreachable support=%v want nil", sup)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(3)
+	if !b.empty() {
+		t.Error("fresh bitset must be empty")
+	}
+	for _, i := range []int{0, 63, 64, 130} {
+		b.set(i)
+	}
+	var got []int
+	b.each(func(i int) { got = append(got, i) })
+	want := []int{0, 63, 64, 130}
+	if len(got) != len(want) {
+		t.Fatalf("each=%v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("each=%v want %v", got, want)
+		}
+	}
+	o := newBitset(3)
+	o.set(5)
+	o.or(b)
+	if o.empty() || o.key() == b.key() {
+		t.Error("or/key broken")
+	}
+}

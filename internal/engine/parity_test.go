@@ -1,0 +1,219 @@
+package engine_test
+
+// Parity tests: the concurrent compiled engine must return byte-identical
+// possible/certain sets to the sequential SQL bulk path and to per-object
+// Algorithm 1, for every worker count.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/bulk"
+	"trustmap/internal/engine"
+	"trustmap/internal/resolve"
+	"trustmap/internal/tn"
+	"trustmap/internal/workload"
+)
+
+// rootsOf lists the explicit-belief users of a (binarized) network.
+func rootsOf(n *tn.Network) []int {
+	var roots []int
+	for x := 0; x < n.NumUsers(); x++ {
+		if n.HasExplicit(x) {
+			roots = append(roots, x)
+		}
+	}
+	return roots
+}
+
+// assertSameAsStore checks poss/cert equality between the engine result and
+// the SQL store for every node and object.
+func assertSameAsStore(t *testing.T, label string, n *tn.Network, objs map[string]map[int]tn.Value, r *engine.BulkResult, s *bulk.Store) {
+	t.Helper()
+	for k := range objs {
+		for x := 0; x < n.NumUsers(); x++ {
+			want := s.Possible(x, k)
+			got := r.Possible(x, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s: poss(%s, %s): engine %v vs store %v", label, n.Name(x), k, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: poss(%s, %s): engine %v vs store %v", label, n.Name(x), k, got, want)
+				}
+			}
+			if r.Certain(x, k) != s.Certain(x, k) {
+				t.Fatalf("%s: cert(%s, %s): engine %q vs store %q", label, n.Name(x), k, r.Certain(x, k), s.Certain(x, k))
+			}
+		}
+	}
+}
+
+// runStore resolves the objects through the legacy sequential SQL path.
+func runStore(t *testing.T, n *tn.Network, objs map[string]map[int]tn.Value) *bulk.Store {
+	t.Helper()
+	plan, err := bulk.NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bulk.NewStore(plan)
+	if err := s.LoadObjects(objs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// parityCase is the matrix of the parity satellite: one workload family
+// crossed with worker counts including 1. The single-worker result is
+// checked byte-for-byte against the sequential SQL store; the other worker
+// counts are checked byte-for-byte against the single-worker result
+// (querying the store once keeps the SQL round-trips linear).
+func parityCase(t *testing.T, label string, bin *tn.Network, objs map[string]map[int]tn.Value) {
+	t.Helper()
+	c, err := engine.Compile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := runStore(t, bin, objs)
+	base, err := c.Resolve(context.Background(), objs, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAsStore(t, label+"/workers=1", bin, objs, base, store)
+	for _, workers := range []int{2, 4, 8} {
+		r, err := c.Resolve(context.Background(), objs, engine.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range objs {
+			for x := 0; x < bin.NumUsers(); x++ {
+				want := base.Possible(x, k)
+				got := r.Possible(x, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s/workers=%d: poss(%s, %s): %v vs %v", label, workers, bin.Name(x), k, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s/workers=%d: poss(%s, %s): %v vs %v", label, workers, bin.Name(x), k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParityPowerLaw(t *testing.T) {
+	n := workload.PowerLaw(rand.New(rand.NewSource(42)), 200, 3, 0.1, []tn.Value{"v", "w", "u"})
+	bin := tn.Binarize(n)
+	objs := workload.BulkObjects(rand.New(rand.NewSource(7)), rootsOf(bin), 25)
+	parityCase(t, "powerlaw", bin, objs)
+}
+
+func TestParityNestedSCC(t *testing.T) {
+	bin := tn.Binarize(workload.NestedSCC(30))
+	objs := workload.BulkObjects(rand.New(rand.NewSource(8)), rootsOf(bin), 25)
+	parityCase(t, "nestedSCC", bin, objs)
+}
+
+func TestParityFig19BulkObjects(t *testing.T) {
+	net, roots := workload.Fig19()
+	bin := tn.Binarize(net)
+	objs := workload.BulkObjects(rand.New(rand.NewSource(9)), roots, 50)
+	parityCase(t, "fig19", bin, objs)
+}
+
+// TestParityOscillatorClusters exercises many disconnected flooded SCCs.
+func TestParityOscillatorClusters(t *testing.T) {
+	bin := tn.Binarize(workload.OscillatorClusters(12))
+	objs := workload.BulkObjects(rand.New(rand.NewSource(10)), rootsOf(bin), 20)
+	parityCase(t, "oscillators", bin, objs)
+}
+
+// TestEngineMatchesPerObjectResolve cross-checks the engine against
+// Algorithm 1 run per object on random binary networks: the same oracle
+// the SQL path is tested against.
+func TestEngineMatchesPerObjectResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	values := []tn.Value{"v", "w", "u"}
+	for iter := 0; iter < 60; iter++ {
+		n := workload.RandomBTN(rng, 3+rng.Intn(10), 0.3, values)
+		bin := tn.Binarize(n)
+		c, err := engine.Compile(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs := map[string]map[int]tn.Value{}
+		for o := 0; o < 1+rng.Intn(5); o++ {
+			bs := map[int]tn.Value{}
+			for _, r := range c.Roots() {
+				bs[r] = values[rng.Intn(len(values))]
+			}
+			objs[fmt.Sprintf("k%d", o)] = bs
+		}
+		workers := 1 + rng.Intn(4)
+		r, err := c.Resolve(context.Background(), objs, engine.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, bs := range objs {
+			per := bin.Clone()
+			for x, v := range bs {
+				per.SetExplicit(x, v)
+			}
+			oracle := resolve.Resolve(per)
+			for x := 0; x < bin.NumUsers(); x++ {
+				want := oracle.Possible(x)
+				got := r.Possible(x, k)
+				if len(got) != len(want) {
+					t.Fatalf("iter %d obj %s poss(%s): engine %v vs oracle %v", iter, k, bin.Name(x), got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("iter %d obj %s poss(%s): engine %v vs oracle %v", iter, k, bin.Name(x), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestResolveDeterministicAcrossWorkerCounts resolves the same input at
+// several worker counts and requires byte-identical outputs.
+func TestResolveDeterministicAcrossWorkerCounts(t *testing.T) {
+	n := workload.PowerLaw(rand.New(rand.NewSource(5)), 120, 3, 0.15, []tn.Value{"a", "b", "c", "d"})
+	bin := tn.Binarize(n)
+	c, err := engine.Compile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := workload.BulkObjects(rand.New(rand.NewSource(6)), rootsOf(bin), 40)
+	base, err := c.Resolve(context.Background(), objs, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		r, err := c.Resolve(context.Background(), objs, engine.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range base.Keys() {
+			for x := 0; x < bin.NumUsers(); x++ {
+				want := base.Possible(x, k)
+				got := r.Possible(x, k)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d obj %s node %s: %v vs %v", workers, k, bin.Name(x), got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d obj %s node %s: %v vs %v", workers, k, bin.Name(x), got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"trustmap/internal/tn"
+)
+
+// Options configures a bulk resolution run.
+type Options struct {
+	// Workers is the number of concurrent resolution goroutines. Zero or
+	// negative means runtime.GOMAXPROCS(0). One worker runs the whole scan
+	// inline, with no goroutines — the sequential engine path.
+	Workers int
+}
+
+// BulkResult holds poss(x, k) for every node x and object k of one Resolve
+// call. Results are independent of the worker count and of map iteration
+// order: objects are processed and reported in sorted key order, and every
+// possible-value set is sorted.
+type BulkResult struct {
+	c    *CompiledNetwork
+	keys []string
+	idx  map[string]int
+	// poss[objIdx][supportID] is the sorted distinct values of the roots in
+	// that support. Nodes sharing a support share the slice.
+	poss [][][]tn.Value
+}
+
+// Resolve computes the possible values of every node for every object.
+// objects maps object keys to the root beliefs of that object; every root
+// of the compiled network must have a value in every object (assumption
+// (ii) of Section 4). Extra entries for non-root users are ignored, as in
+// the SQL path.
+//
+// Objects are distributed over opts.Workers goroutines; each works on
+// per-object state only (the compiled plan is shared immutably), so no
+// locks are taken on the hot path. Cancelling ctx stops the scan early.
+func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[int]tn.Value, opts Options) (*BulkResult, error) {
+	c.ensureSupports()
+	keys := make([]string, 0, len(objects))
+	for k := range objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	r := &BulkResult{
+		c:    c,
+		keys: keys,
+		idx:  make(map[string]int, len(keys)),
+		poss: make([][][]tn.Value, len(keys)),
+	}
+	for i, k := range keys {
+		r.idx[k] = i
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers <= 1 {
+		for i, k := range keys {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			poss, err := c.resolveObject(k, objects[k])
+			if err != nil {
+				return nil, err
+			}
+			r.poss[i] = poss
+		}
+		return r, nil
+	}
+
+	// Deterministic error reporting under concurrency: every worker keeps
+	// the error of the smallest object index it failed on; the minimum
+	// across workers is the error the sequential path would return first.
+	type firstErr struct {
+		idx int
+		err error
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		fail *firstErr
+		next int
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(keys) || fail != nil {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := claim()
+				if i < 0 {
+					return
+				}
+				poss, err := c.resolveObject(keys[i], objects[keys[i]])
+				if err != nil {
+					mu.Lock()
+					if fail == nil || i < fail.idx {
+						fail = &firstErr{idx: i, err: err}
+					}
+					mu.Unlock()
+					return
+				}
+				r.poss[i] = poss
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if fail != nil {
+		return nil, fail.err
+	}
+	return r, nil
+}
+
+// resolveObject materializes the per-support value sets for one object: a
+// pure function of the compiled supports and the object's root beliefs.
+func (c *CompiledNetwork) resolveObject(key string, beliefs map[int]tn.Value) ([][]tn.Value, error) {
+	rootVals := make([]tn.Value, len(c.roots))
+	for i, root := range c.roots {
+		v, ok := beliefs[root]
+		if !ok {
+			return nil, fmt.Errorf("engine: object %q misses a belief for root user %s (assumption ii)", key, c.net.Name(root))
+		}
+		rootVals[i] = v
+	}
+	out := make([][]tn.Value, len(c.supports))
+	var buf []tn.Value
+	for si, sup := range c.supports {
+		buf = buf[:0]
+		sup.each(func(i int) { buf = append(buf, rootVals[i]) })
+		sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+		vals := make([]tn.Value, 0, len(buf))
+		for _, v := range buf {
+			if len(vals) == 0 || vals[len(vals)-1] != v {
+				vals = append(vals, v)
+			}
+		}
+		out[si] = vals
+	}
+	return out, nil
+}
+
+// Keys returns the resolved object keys, sorted.
+func (r *BulkResult) Keys() []string { return append([]string(nil), r.keys...) }
+
+// Possible returns poss(x, k), sorted. The slice is shared; do not modify.
+func (r *BulkResult) Possible(x int, key string) []tn.Value {
+	i, ok := r.idx[key]
+	if !ok || x < 0 || x >= len(r.c.nodeSupport) {
+		return nil
+	}
+	id := r.c.nodeSupport[x]
+	if id < 0 {
+		return nil
+	}
+	return r.poss[i][id]
+}
+
+// Certain returns cert(x, k): the single possible value, or tn.NoValue.
+func (r *BulkResult) Certain(x int, key string) tn.Value {
+	poss := r.Possible(x, key)
+	if len(poss) == 1 {
+		return poss[0]
+	}
+	return tn.NoValue
+}

@@ -17,6 +17,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"trustmap/internal/tn"
 )
@@ -151,7 +152,10 @@ func Fig19() (*tn.Network, []int) {
 
 // BulkObjects generates explicit beliefs for numObjects objects over the
 // given root users: each object's roots agree or conflict with probability
-// 1/2, as in the Figure 8c experiment.
+// 1/2, as in the Figure 8c experiment. Generation draws from rng in object
+// index order and never iterates a map, so the result is identical across
+// runs for a given seed; iterate it via ObjectKeys for deterministic
+// consumption.
 func BulkObjects(rng *rand.Rand, roots []int, numObjects int) map[string]map[int]tn.Value {
 	out := make(map[string]map[int]tn.Value, numObjects)
 	for i := 0; i < numObjects; i++ {
@@ -172,6 +176,19 @@ func BulkObjects(rng *rand.Rand, roots []int, numObjects int) map[string]map[int
 		out[k] = bs
 	}
 	return out
+}
+
+// ObjectKeys returns the keys of a BulkObjects result, sorted. Consumers
+// that process objects one at a time (or stop early on a budget) must
+// iterate in this order to stay deterministic across runs: ranging over
+// the map directly visits objects in a different order every run.
+func ObjectKeys(objs map[string]map[int]tn.Value) []string {
+	keys := make([]string, 0, len(objs))
+	for k := range objs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // RandomBTN builds a random binary trust network with nUsers users, edge

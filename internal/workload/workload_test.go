@@ -2,6 +2,8 @@ package workload
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"trustmap/internal/bulk"
@@ -210,5 +212,18 @@ func TestRandomBTNIsBinary(t *testing.T) {
 			t.Fatal(err)
 		}
 		resolve.Resolve(n) // must not panic
+	}
+}
+
+func TestBulkObjectsDeterministic(t *testing.T) {
+	roots := []int{3, 7, 11}
+	a := BulkObjects(rand.New(rand.NewSource(21)), roots, 50)
+	b := BulkObjects(rand.New(rand.NewSource(21)), roots, 50)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("BulkObjects must be identical across runs for one seed")
+	}
+	keys := ObjectKeys(a)
+	if len(keys) != 50 || !sort.StringsAreSorted(keys) {
+		t.Fatalf("ObjectKeys wrong: %d keys, sorted=%v", len(keys), sort.StringsAreSorted(keys))
 	}
 }

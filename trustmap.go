@@ -24,11 +24,13 @@
 package trustmap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"trustmap/internal/belief"
 	"trustmap/internal/bulk"
+	"trustmap/internal/engine"
 	"trustmap/internal/resolve"
 	"trustmap/internal/skeptic"
 	"trustmap/internal/tn"
@@ -397,15 +399,37 @@ func (n *Network) ExactParadigm(p Paradigm) (map[string][]string, error) {
 // BulkResolution gives access to bulk per-object results (Section 4).
 type BulkResolution struct {
 	src   *tn.Network
-	store *bulk.Store
+	keys  []string           // object keys, sorted
+	store *bulk.Store        // legacy sequential SQL path
+	eng   *engine.BulkResult // compiled concurrent engine path
+}
+
+// BulkOptions configures BulkResolve's execution strategy.
+type BulkOptions struct {
+	// Workers is the number of concurrent resolution goroutines for the
+	// engine path. Zero or negative means GOMAXPROCS.
+	Workers int
+	// UseSQL selects the legacy sequential SQL path of Section 4
+	// (INSERT ... SELECT over a POSS(X,K,V) relation) instead of the
+	// compiled concurrent engine. Kept for parity testing and for callers
+	// that want the relational trace.
+	UseSQL bool
 }
 
 // BulkResolve resolves many objects sharing this network's trust mappings
-// through the SQL path of Section 4. objects maps object keys to the
-// explicit beliefs of the root users: every user that has an explicit
-// belief or appears in some object's belief map must have a value for
-// every object (assumption (ii) of Section 4).
+// (Section 4) on the compiled concurrent engine. objects maps object keys
+// to the explicit beliefs of the root users: every user that has an
+// explicit belief or appears in some object's belief map must have a value
+// for every object (assumption (ii) of Section 4).
 func (n *Network) BulkResolve(objects map[string]map[string]string) (*BulkResolution, error) {
+	return n.BulkResolveWith(context.Background(), objects, BulkOptions{})
+}
+
+// BulkResolveWith is BulkResolve with an explicit context and options: the
+// network's per-object analysis is compiled once, then the objects are
+// scanned by a worker pool (or by the legacy SQL path when opts.UseSQL is
+// set). Results are identical across strategies and worker counts.
+func (n *Network) BulkResolveWith(ctx context.Context, objects map[string]map[string]string, opts BulkOptions) (*BulkResolution, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -421,29 +445,62 @@ func (n *Network) BulkResolve(objects map[string]map[string]string) (*BulkResolu
 		}
 	}
 	b := tn.Binarize(shape)
-	plan, err := bulk.NewPlan(b)
-	if err != nil {
-		return nil, err
-	}
-	store := bulk.NewStore(plan)
+	// Root IDs in the binarized network: the hoisted belief nodes. Memoize
+	// the lookup per user rather than redoing it per (object, user).
+	rootOf := make(map[string]int)
 	conv := make(map[string]map[int]tn.Value, len(objects))
 	for k, bs := range objects {
 		m := make(map[int]tn.Value, len(bs))
 		for user, v := range bs {
-			// Root IDs in the binarized network: the hoisted belief nodes.
-			id := findRootFor(b, shape.UserID(user))
+			id, ok := rootOf[user]
+			if !ok {
+				id = findRootFor(b, shape.UserID(user))
+				rootOf[user] = id
+			}
 			m[id] = tn.Value(v)
 		}
 		conv[k] = m
 	}
-	if err := store.LoadObjects(conv); err != nil {
+	keys := make([]string, 0, len(objects))
+	for k := range objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if opts.UseSQL {
+		// The SQL path is one sequential pass; honor ctx between phases.
+		plan, err := bulk.NewPlan(b)
+		if err != nil {
+			return nil, err
+		}
+		store := bulk.NewStore(plan)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := store.LoadObjects(conv); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := store.Resolve(); err != nil {
+			return nil, err
+		}
+		return &BulkResolution{src: n.inner, keys: keys, store: store}, nil
+	}
+	c, err := engine.Compile(b)
+	if err != nil {
 		return nil, err
 	}
-	if err := store.Resolve(); err != nil {
+	res, err := c.Resolve(ctx, conv, engine.Options{Workers: opts.Workers})
+	if err != nil {
 		return nil, err
 	}
-	return &BulkResolution{src: n.inner, store: store}, nil
+	return &BulkResolution{src: n.inner, keys: keys, eng: res}, nil
 }
+
+// Keys returns the resolved object keys, sorted: the deterministic
+// iteration order for per-object reporting.
+func (r *BulkResolution) Keys() []string { return append([]string(nil), r.keys...) }
 
 // findRootFor locates the node carrying x's explicit belief in the
 // binarized network: x itself if it stayed a root, otherwise the hoisted
@@ -458,17 +515,24 @@ func findRootFor(b *tn.Network, x int) int {
 	return x
 }
 
-// Possible returns poss(user, object), sorted.
+// Possible returns poss(user, object), sorted ascending regardless of the
+// execution strategy, so outputs are stable across runs and worker counts.
 func (r *BulkResolution) Possible(user, object string) []string {
 	id := r.src.UserID(user)
 	if id < 0 {
 		return nil
 	}
-	poss := r.store.Possible(id, object)
+	var poss []tn.Value
+	if r.store != nil {
+		poss = r.store.Possible(id, object)
+	} else {
+		poss = r.eng.Possible(id, object)
+	}
 	out := make([]string, len(poss))
 	for i, v := range poss {
 		out[i] = string(v)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -478,7 +542,12 @@ func (r *BulkResolution) Certain(user, object string) (string, bool) {
 	if id < 0 {
 		return "", false
 	}
-	v := r.store.Certain(id, object)
+	var v tn.Value
+	if r.store != nil {
+		v = r.store.Certain(id, object)
+	} else {
+		v = r.eng.Certain(id, object)
+	}
 	return string(v), v != tn.NoValue
 }
 

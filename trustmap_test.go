@@ -1,6 +1,7 @@
 package trustmap
 
 import (
+	"context"
 	"testing"
 )
 
@@ -178,6 +179,46 @@ func TestBulkFacade(t *testing.T) {
 	for obj, want := range cases {
 		if v, ok := r.Certain("Alice", obj); !ok || v != want {
 			t.Errorf("Alice/%s = %q want %q", obj, v, want)
+		}
+	}
+}
+
+// TestBulkFacadeStrategiesAgree checks that the compiled engine (at
+// several worker counts) and the legacy SQL path return identical results
+// through the public facade.
+func TestBulkFacadeStrategiesAgree(t *testing.T) {
+	n := indusNetwork()
+	objects := map[string]map[string]string{
+		"glyph1": {"Bob": "cow", "Charlie": "jar"},
+		"glyph2": {"Bob": "fish", "Charlie": "knot"},
+		"glyph3": {"Bob": "arrow", "Charlie": "arrow"},
+	}
+	sql, err := n.BulkResolveWith(context.Background(), objects, BulkOptions{UseSQL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		eng, err := n.BulkResolveWith(context.Background(), objects, BulkOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for obj := range objects {
+			for _, user := range n.Users() {
+				a, b := eng.Possible(user, obj), sql.Possible(user, obj)
+				if len(a) != len(b) {
+					t.Fatalf("workers=%d %s/%s: engine %v vs sql %v", workers, user, obj, a, b)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("workers=%d %s/%s: engine %v vs sql %v", workers, user, obj, a, b)
+					}
+				}
+				ca, oka := eng.Certain(user, obj)
+				cb, okb := sql.Certain(user, obj)
+				if ca != cb || oka != okb {
+					t.Fatalf("workers=%d cert %s/%s: engine %q,%v vs sql %q,%v", workers, user, obj, ca, oka, cb, okb)
+				}
+			}
 		}
 	}
 }
