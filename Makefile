@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+# Benchmark families tracked in the committed trajectory (bench/BENCH_*).
+BENCH_PATTERN ?= BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve
+BENCH_COUNT ?= 5
+BENCH_DIR ?= bench
+FUZZTIME ?= 10s
+
+.PHONY: all build test race bench bench-save bench-diff fuzz fmt vet ci
 
 all: build test
 
@@ -18,6 +24,31 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# Record a new benchmark baseline (text for benchstat, JSON for the
+# BENCH_* trajectory). Commit the results.
+bench-save:
+	mkdir -p $(BENCH_DIR)
+	$(GO) test -run=NONE -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . | tee $(BENCH_DIR)/BENCH_baseline.txt
+	$(GO) run ./cmd/benchjson -in $(BENCH_DIR)/BENCH_baseline.txt -out $(BENCH_DIR)/BENCH_baseline.json
+
+# Compare the working tree against the committed baseline. Uses benchstat
+# when installed (go install golang.org/x/perf/cmd/benchstat@latest) and
+# degrades to a raw diff otherwise.
+bench-diff:
+	mkdir -p $(BENCH_DIR)
+	$(GO) test -run=NONE -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . > $(BENCH_DIR)/BENCH_current.txt
+	$(GO) run ./cmd/benchjson -in $(BENCH_DIR)/BENCH_current.txt -out $(BENCH_DIR)/BENCH_current.json
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_DIR)/BENCH_baseline.txt $(BENCH_DIR)/BENCH_current.txt; \
+	else \
+		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw diff:"; \
+		diff -u $(BENCH_DIR)/BENCH_baseline.txt $(BENCH_DIR)/BENCH_current.txt || true; \
+	fi
+
+# Short coverage-guided fuzz of the incremental-engine parity invariant.
+fuzz:
+	$(GO) test ./internal/engine -run=NONE -fuzz=FuzzEngineParity -fuzztime=$(FUZZTIME)
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -27,4 +58,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet race bench
+ci: build fmt vet race bench fuzz

@@ -194,6 +194,111 @@ func BenchmarkBulkResolve(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalUpdate measures the mutate-then-re-plan workload on
+// the 10k-user power-law network: a full recompile per mutation (what
+// BulkResolveWith effectively pays) against the engine's delta path
+// (engine.CompiledNetwork.Apply) for a small dirty region. The acceptance
+// bar for the delta path is a >= 10x speedup.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	base, _ := bench.BulkWorkload(10000, 1, 42)
+	parent, child, prio := bench.LeafEdge(base)
+	b.Run("recompile", func(b *testing.B) {
+		n := base.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				n.RemoveMapping(parent, child)
+			} else {
+				n.AddMapping(parent, child, prio)
+			}
+			if _, err := engine.Compile(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("apply", func(b *testing.B) {
+		n := base.Clone()
+		n.EnableJournal()
+		c, err := engine.Compile(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				n.RemoveMapping(parent, child)
+			} else {
+				n.AddMapping(parent, child, prio)
+			}
+			c, _, err = c.Apply(n.DrainJournal(), engine.ApplyOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkResolveAllocs measures the steady-state allocation profile of
+// the columnar engine scan: 1000 objects per op, so allocs/op close to the
+// object count would mean per-object allocation. The hard zero-allocation
+// gate is TestResolveObjectZeroAllocs in internal/engine.
+func BenchmarkResolveAllocs(b *testing.B) {
+	bin, objs := bench.BulkWorkload(1000, 1000, 42)
+	c, err := engine.Compile(bin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Resolve(context.Background(), objs, engine.Options{Workers: 1}); err != nil {
+		b.Fatal(err) // warm the dictionary and arenas
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Resolve(context.Background(), objs, engine.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionMutateResolve measures the facade-level steady loop a
+// live community database runs: one trust revocation or re-grant, then one
+// object resolution, served from the session's incrementally maintained
+// artifact.
+func BenchmarkSessionMutateResolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	n := New()
+	for i := 0; i < 2000; i++ {
+		user := fmt.Sprintf("u%d", i)
+		if i > 0 {
+			n.AddTrust(user, fmt.Sprintf("u%d", rng.Intn(i)), 1+rng.Intn(100))
+		}
+		if i == 0 || rng.Float64() < 0.1 {
+			n.SetBelief(user, []string{"v", "w"}[rng.Intn(2)])
+		}
+	}
+	n.AddTrust("probe", "u0", 50) // leaf reader: revoking it dirties little
+	s, err := n.NewSession(SessionOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Resolve(context.Background(), nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if !s.RemoveTrust("probe", "u0") {
+				b.Fatal("probe edge missing")
+			}
+		} else if err := s.AddTrust("probe", "u0", 50); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Resolve(context.Background(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineCompile measures the one-time per-network compilation the
 // engine amortizes over all objects.
 func BenchmarkEngineCompile(b *testing.B) {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: trustmap
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIncrementalUpdate/recompile         	       8	 137527957 ns/op	196995620 B/op	  170139 allocs/op
+BenchmarkIncrementalUpdate/apply             	     465	   2584021 ns/op	 4311605 B/op	     129 allocs/op
+BenchmarkNoMem-8                             	    1000	      1234 ns/op
+PASS
+ok  	trustmap	30.356s
+`
+
+func TestParse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "trustmap" || doc.CPU == "" {
+		t.Errorf("header not captured: %+v", doc)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(doc.Results), doc.Results)
+	}
+	r := doc.Results[1]
+	if r.Name != "BenchmarkIncrementalUpdate/apply" || r.Iterations != 465 ||
+		r.NsPerOp != 2584021 || r.BytesPerOp != 4311605 || r.AllocsPerOp != 129 {
+		t.Errorf("result mismatch: %+v", r)
+	}
+	if r := doc.Results[2]; r.BytesPerOp != 0 || r.NsPerOp != 1234 {
+		t.Errorf("memless result mismatch: %+v", r)
+	}
+}
+
+func TestParseResultRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",
+		"BenchmarkBroken abc 123 ns/op",
+		"BenchmarkBroken 12 nonsense only",
+	} {
+		if _, ok := parseResult(line); ok {
+			t.Errorf("line %q must not parse", line)
+		}
+	}
+}

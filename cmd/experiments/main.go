@@ -7,6 +7,7 @@
 //	experiments -fig 8c     # bulk SQL resolution vs per-object LP
 //	experiments -fig 15     # RA quadratic worst case (nested SCCs)
 //	experiments -fig bulk   # sequential SQL vs compiled concurrent engine
+//	experiments -fig incr   # recompile-per-mutation vs incremental apply
 //	experiments -fig all
 //
 // -quick shrinks the sweeps for a fast smoke run.
@@ -34,9 +35,10 @@ func main() {
 		"8c":   fig8c,
 		"15":   fig15,
 		"bulk": figBulk,
+		"incr": figIncr,
 	}
 	if *fig == "all" {
-		for _, name := range []string{"5", "8a", "8b", "8c", "15", "bulk"} {
+		for _, name := range []string{"5", "8a", "8b", "8c", "15", "bulk", "incr"} {
 			runs[name](*quick, *seed)
 			fmt.Println()
 		}
@@ -110,6 +112,24 @@ func fig15(quick bool, _ int64) {
 	s := bench.Fig15(ks, 3)
 	s.Fprint(os.Stdout)
 	fmt.Printf("(log-log slope %.2f; ~2 is the quadratic worst case of Theorem 2.12)\n", bench.FitSlope(s))
+}
+
+func figIncr(quick bool, seed int64) {
+	sizes := []int{1000, 10000, 50000}
+	muts := 20
+	if quick {
+		sizes = []int{500, 2000}
+		muts = 6
+	}
+	series := bench.IncrementalUpdate(sizes, muts, seed)
+	for _, s := range series {
+		s.Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if last := len(series[0].Points) - 1; last >= 0 && series[1].Points[last].Seconds > 0 {
+		fmt.Printf("(largest size: delta apply is %.0fx faster than recompile per mutation)\n",
+			series[0].Points[last].Seconds/series[1].Points[last].Seconds)
+	}
 }
 
 func figBulk(quick bool, seed int64) {

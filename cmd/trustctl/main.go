@@ -6,6 +6,7 @@
 //
 //	trustctl -f network.json [-skeptic] [-pairs] [-lineage user=value]
 //	trustctl bulk-par -f network.json -objects objects.json [-workers N] [-users a,b]
+//	trustctl session -f network.json -objects objects.json -mutations muts.json [-workers N] [-users a,b]
 //
 // Network file format:
 //
@@ -23,6 +24,19 @@
 //	  "obj1": {"Bob": "fish", "Charlie": "knot"},
 //	  "obj2": {"Bob": "cow",  "Charlie": "cow"}
 //	}
+//
+// The session subcommand demonstrates the live lifecycle: it compiles the
+// network once, resolves the objects, folds a mutation script into the
+// compiled artifact through the incremental delta path, and resolves
+// again. The mutations file is an ordered op list:
+//
+//	[
+//	  {"op": "remove-trust", "truster": "Alice", "trusted": "Bob"},
+//	  {"op": "add-trust", "truster": "Alice", "trusted": "Dan", "priority": 30},
+//	  {"op": "update-trust", "truster": "Alice", "trusted": "Charlie", "priority": 10},
+//	  {"op": "set-belief", "user": "Dan", "value": "cow"},
+//	  {"op": "remove-belief", "user": "Charlie"}
+//	]
 package main
 
 import (
@@ -49,6 +63,24 @@ type networkFile struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "session" {
+		fs := flag.NewFlagSet("session", flag.ExitOnError)
+		file := fs.String("f", "", "network JSON file (required)")
+		objects := fs.String("objects", "", "objects JSON file (required)")
+		mutations := fs.String("mutations", "", "mutation script JSON file (required)")
+		workers := fs.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS)")
+		users := fs.String("users", "", "comma-separated users to report (default: all)")
+		fs.Parse(os.Args[2:])
+		if *file == "" || *objects == "" || *mutations == "" {
+			fs.Usage()
+			os.Exit(2)
+		}
+		if err := runSession(os.Stdout, *file, *objects, *mutations, *workers, *users); err != nil {
+			fmt.Fprintln(os.Stderr, "trustctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "bulk-par" {
 		fs := flag.NewFlagSet("bulk-par", flag.ExitOnError)
 		file := fs.String("f", "", "network JSON file (required)")
@@ -100,27 +132,135 @@ func runBulkPar(w io.Writer, netFile, objFile string, workers int, users string)
 	if err != nil {
 		return err
 	}
-	report := n.Users()
-	if users != "" {
-		known := make(map[string]bool, len(report))
-		for _, u := range report {
-			known[u] = true
-		}
-		report = nil
-		for _, u := range strings.Split(users, ",") {
-			u = strings.TrimSpace(u)
-			if u == "" {
-				continue
-			}
-			if !known[u] {
-				return fmt.Errorf("-users: unknown user %q", u)
-			}
-			report = append(report, u)
-		}
-		if len(report) == 0 {
-			return fmt.Errorf("-users: no user names in %q", users)
+	report, err := reportUsers(n, users)
+	if err != nil {
+		return err
+	}
+	printBulkTable(w, r, report)
+	return nil
+}
+
+// runSession compiles the network once, resolves the objects, applies the
+// mutation script through the incremental session, and resolves again.
+func runSession(w io.Writer, netFile, objFile, mutFile string, workers int, users string) error {
+	n, err := loadNetwork(netFile)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(objFile)
+	if err != nil {
+		return err
+	}
+	var objects map[string]map[string]string
+	if err := json.Unmarshal(raw, &objects); err != nil {
+		return fmt.Errorf("parsing %s: %w", objFile, err)
+	}
+	raw, err = os.ReadFile(mutFile)
+	if err != nil {
+		return err
+	}
+	var muts []struct {
+		Op       string `json:"op"`
+		Truster  string `json:"truster"`
+		Trusted  string `json:"trusted"`
+		Priority int    `json:"priority"`
+		User     string `json:"user"`
+		Value    string `json:"value"`
+	}
+	if err := json.Unmarshal(raw, &muts); err != nil {
+		return fmt.Errorf("parsing %s: %w", mutFile, err)
+	}
+	// Every user carrying per-object beliefs is a session root.
+	extra := map[string]bool{}
+	for _, bs := range objects {
+		for user := range bs {
+			extra[user] = true
 		}
 	}
+	var extraRoots []string
+	for user := range extra {
+		extraRoots = append(extraRoots, user)
+	}
+	sort.Strings(extraRoots)
+	s, err := n.NewSession(trustmap.SessionOptions{Workers: workers, ExtraRoots: extraRoots})
+	if err != nil {
+		return err
+	}
+	report, err := reportUsers(n, users)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== before mutations ==")
+	r, err := s.BulkResolve(context.Background(), objects)
+	if err != nil {
+		return err
+	}
+	printBulkTable(w, r, report)
+	for _, m := range muts {
+		switch m.Op {
+		case "add-trust":
+			if err := s.AddTrust(m.Truster, m.Trusted, m.Priority); err != nil {
+				return fmt.Errorf("add-trust: %w", err)
+			}
+		case "remove-trust":
+			if !s.RemoveTrust(m.Truster, m.Trusted) {
+				return fmt.Errorf("remove-trust: no mapping %s -> %s", m.Trusted, m.Truster)
+			}
+		case "update-trust":
+			if !s.UpdateTrust(m.Truster, m.Trusted, m.Priority) {
+				return fmt.Errorf("update-trust: no mapping %s -> %s", m.Trusted, m.Truster)
+			}
+		case "set-belief":
+			if err := s.SetBelief(m.User, m.Value); err != nil {
+				return fmt.Errorf("set-belief: %w", err)
+			}
+		case "remove-belief":
+			s.RemoveBelief(m.User)
+		default:
+			return fmt.Errorf("unknown mutation op %q", m.Op)
+		}
+	}
+	fmt.Fprintf(w, "\n== after %d mutations ==\n", len(muts))
+	r, err = s.BulkResolve(context.Background(), objects)
+	if err != nil {
+		return err
+	}
+	printBulkTable(w, r, report)
+	st := s.Stats()
+	fmt.Fprintf(w, "\nsession: %d compile(s), %d incremental applies, %d value-only updates, %d threshold recompiles\n",
+		st.Compiles, st.IncrementalApplies, st.ValueOnlyUpdates, st.FullRecompiles)
+	return nil
+}
+
+// reportUsers resolves the -users flag against the network's user set.
+func reportUsers(n *trustmap.Network, users string) ([]string, error) {
+	report := n.Users()
+	if users == "" {
+		return report, nil
+	}
+	known := make(map[string]bool, len(report))
+	for _, u := range report {
+		known[u] = true
+	}
+	report = nil
+	for _, u := range strings.Split(users, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !known[u] {
+			return nil, fmt.Errorf("-users: unknown user %q", u)
+		}
+		report = append(report, u)
+	}
+	if len(report) == 0 {
+		return nil, fmt.Errorf("-users: no user names in %q", users)
+	}
+	return report, nil
+}
+
+// printBulkTable prints one row per (object, user).
+func printBulkTable(w io.Writer, r *trustmap.BulkResolution, report []string) {
 	fmt.Fprintf(w, "%-16s %-16s %-24s %s\n", "object", "user", "possible", "certain")
 	for _, k := range r.Keys() {
 		for _, u := range report {
@@ -128,7 +268,6 @@ func runBulkPar(w io.Writer, netFile, objFile string, workers int, users string)
 			fmt.Fprintf(w, "%-16s %-16s %-24s %s\n", k, u, strings.Join(r.Possible(u, k), ","), orDash(cert))
 		}
 	}
-	return nil
 }
 
 // loadNetwork builds a trustmap.Network from a network JSON file.

@@ -147,3 +147,54 @@ func TestRunErrors(t *testing.T) {
 		t.Error("malformed -lineage must error")
 	}
 }
+
+func TestRunSession(t *testing.T) {
+	netPath := writeNet(t, indusJSON)
+	dir := t.TempDir()
+	objPath := filepath.Join(dir, "objects.json")
+	objects := `{
+	  "glyph1": {"Bob": "cow",  "Charlie": "jar"},
+	  "glyph2": {"Bob": "fish", "Charlie": "fish"}
+	}`
+	if err := os.WriteFile(objPath, []byte(objects), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mutPath := filepath.Join(dir, "muts.json")
+	// Dropping Alice -> Bob leaves Charlie as Alice's only mapping.
+	muts := `[
+	  {"op": "remove-trust", "truster": "Alice", "trusted": "Bob"},
+	  {"op": "update-trust", "truster": "Alice", "trusted": "Charlie", "priority": 10}
+	]`
+	if err := os.WriteFile(mutPath, []byte(muts), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runSession(&out, netPath, objPath, mutPath, 2, "Alice"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	before, after, found := strings.Cut(s, "== after 2 mutations ==")
+	if !found {
+		t.Fatalf("missing after-mutations section:\n%s", s)
+	}
+	if !strings.Contains(before, "glyph1           Alice            cow") {
+		t.Errorf("before: Alice must follow Bob:\n%s", before)
+	}
+	if !strings.Contains(after, "glyph1           Alice            jar") {
+		t.Errorf("after revocation: Alice must follow Charlie:\n%s", after)
+	}
+	if !strings.Contains(after, "session: 1 compile(s)") {
+		t.Errorf("missing session stats line:\n%s", after)
+	}
+	// Error paths: unknown op and failing mutations.
+	badMut := filepath.Join(dir, "bad.json")
+	os.WriteFile(badMut, []byte(`[{"op": "frobnicate"}]`), 0o644)
+	if err := runSession(&out, netPath, objPath, badMut, 1, ""); err == nil {
+		t.Error("unknown op must error")
+	}
+	missing := filepath.Join(dir, "missing.json")
+	os.WriteFile(missing, []byte(`[{"op": "remove-trust", "truster": "Alice", "trusted": "Zed"}]`), 0o644)
+	if err := runSession(&out, netPath, objPath, missing, 1, ""); err == nil {
+		t.Error("removing an absent mapping must error")
+	}
+}

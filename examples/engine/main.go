@@ -9,6 +9,12 @@
 // workers and checks the outputs are byte-identical; a small facade
 // example then checks the engine against the legacy sequential SQL path
 // (INSERT ... SELECT over POSS(X,K,V)).
+//
+// The second half is the live lifecycle: mutate and re-resolve. Trust
+// revocations are folded into the compiled artifact through the mutation
+// journal and the engine's delta path (Apply), recompiling only the dirty
+// region — and at the facade level, trustmap.Session drives the same
+// compile -> resolve -> mutate -> incremental re-plan loop.
 package main
 
 import (
@@ -85,6 +91,41 @@ func main() {
 		len(objs), seqTime.Round(time.Millisecond), parTime.Round(time.Millisecond), workers)
 	fmt.Printf("site0 holds a certain value for %d/%d objects\n", certain, len(objs))
 
+	// Mutate and re-resolve: a live community database revokes and grants
+	// trust constantly. Instead of recompiling the whole network per
+	// mutation, the engine folds the journaled change into the artifact,
+	// recompiling only the dirty region downstream of the touched edge.
+	recompileStart := time.Now()
+	if _, err := engine.Compile(bin); err != nil {
+		panic(err)
+	}
+	recompileTime := time.Since(recompileStart)
+
+	bin.EnableJournal()
+	g := bin.Graph()
+	leaf, leafParent := -1, -1
+	for x := 0; x < bin.NumUsers() && leaf < 0; x++ {
+		if len(g.Out(x)) == 0 && len(bin.In(x)) > 0 {
+			leaf, leafParent = x, bin.In(x)[0].Parent
+		}
+	}
+	bin.RemoveMapping(leafParent, leaf) // revoke one leaf trust mapping
+	applyStart := time.Now()
+	c2, ast, err := c.Apply(bin.DrainJournal(), engine.ApplyOptions{})
+	if err != nil {
+		panic(err)
+	}
+	applyTime := time.Since(applyStart)
+	fmt.Printf("\nrevoked %s -> %s: dirty region %d node(s), %d step(s) recomputed, %d reused\n",
+		bin.Name(leafParent), bin.Name(leaf), ast.DirtyNodes, ast.NewSteps, ast.ReusedSteps)
+	fmt.Printf("incremental apply took %v vs %v for a full recompile (%.0fx)\n",
+		applyTime.Round(time.Microsecond), recompileTime.Round(time.Microsecond),
+		float64(recompileTime)/float64(applyTime))
+	if _, err := c2.Resolve(context.Background(), objs, engine.Options{Workers: workers}); err != nil {
+		panic(err)
+	}
+	fmt.Printf("re-resolved %d objects against the spliced artifact\n", len(objs))
+
 	// The public facade runs the same engine; UseSQL selects the legacy
 	// relational path for comparison.
 	n := trustmap.New()
@@ -115,4 +156,36 @@ func main() {
 			panic("facade paths disagree")
 		}
 	}
+
+	// The same lifecycle through the facade: a Session keeps the compiled
+	// artifact live across mutations (MaxDirtyFraction 1 keeps this tiny
+	// demo network on the incremental path).
+	sess, err := n.NewSession(trustmap.SessionOptions{
+		Workers:          workers,
+		ExtraRoots:       []string{"curator1", "curator2"},
+		MaxDirtyFraction: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	before, err := sess.Resolve(context.Background(),
+		map[string]string{"curator1": "fish", "curator2": "jar"})
+	if err != nil {
+		panic(err)
+	}
+	// moderatorA drops its preferred source; the reader now follows the
+	// surviving mapping (Section 2.2 promotion), re-planned incrementally.
+	if !sess.RemoveTrust("moderatorA", "moderatorB") {
+		panic("expected trust mapping missing")
+	}
+	after, err := sess.Resolve(context.Background(),
+		map[string]string{"curator1": "fish", "curator2": "jar"})
+	if err != nil {
+		panic(err)
+	}
+	sst := sess.Stats()
+	fmt.Printf("\nsession lifecycle (compile once, mutate, re-plan incrementally):\n")
+	fmt.Printf("  reader before revocation: %v, after: %v\n",
+		before.Possible("reader"), after.Possible("reader"))
+	fmt.Printf("  %d compile(s), %d incremental applies\n", sst.Compiles, sst.IncrementalApplies)
 }

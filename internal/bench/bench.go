@@ -265,6 +265,73 @@ func BulkSeqVsPar(users int, objectCounts []int, workers int, seed int64) []Seri
 	return []Series{sql, seq, par}
 }
 
+// IncrementalUpdate contrasts the two ways of serving a mutate-then-
+// resolve workload across network sizes: recompiling the engine artifact
+// from scratch after every mutation versus folding the mutation in through
+// the delta path (engine.CompiledNetwork.Apply). Each mutation revokes or
+// re-grants one leaf mapping — the small-dirty-region case a live
+// community database hits constantly. Times are per mutation.
+func IncrementalUpdate(userCounts []int, mutsPer int, seed int64) []Series {
+	recompile := Series{Name: "incremental: full recompile per mutation", XLabel: "size(|U|+|E|)"}
+	apply := Series{Name: "incremental: delta apply per mutation", XLabel: "size(|U|+|E|)"}
+	for _, users := range userCounts {
+		base, _ := BulkWorkload(users, 1, seed)
+		parent, child, prio := LeafEdge(base)
+		size := base.Size()
+
+		n := base.Clone()
+		start := time.Now()
+		for i := 0; i < mutsPer; i++ {
+			toggleMapping(n, i, parent, child, prio)
+			if _, err := engine.Compile(n); err != nil {
+				panic(err)
+			}
+		}
+		recompile.Points = append(recompile.Points,
+			Point{X: size, Seconds: time.Since(start).Seconds() / float64(mutsPer)})
+
+		n = base.Clone()
+		n.EnableJournal()
+		c, err := engine.Compile(n)
+		if err != nil {
+			panic(err)
+		}
+		start = time.Now()
+		for i := 0; i < mutsPer; i++ {
+			toggleMapping(n, i, parent, child, prio)
+			if c, _, err = c.Apply(n.DrainJournal(), engine.ApplyOptions{}); err != nil {
+				panic(err)
+			}
+		}
+		apply.Points = append(apply.Points,
+			Point{X: size, Seconds: time.Since(start).Seconds() / float64(mutsPer)})
+	}
+	return []Series{recompile, apply}
+}
+
+// toggleMapping alternately revokes and re-grants one mapping.
+func toggleMapping(n *tn.Network, i, parent, child, prio int) {
+	if i%2 == 0 {
+		n.RemoveMapping(parent, child)
+	} else {
+		n.AddMapping(parent, child, prio)
+	}
+}
+
+// LeafEdge finds a mapping whose child has no outgoing edges, so toggling
+// it dirties the smallest possible region: the canonical small-mutation
+// site shared by the incremental series and BenchmarkIncrementalUpdate.
+func LeafEdge(bin *tn.Network) (parent, child, prio int) {
+	g := bin.Graph()
+	for x := 0; x < bin.NumUsers(); x++ {
+		if len(g.Out(x)) == 0 && len(bin.In(x)) > 0 {
+			m := bin.In(x)[0]
+			return m.Parent, x, m.Priority
+		}
+	}
+	panic("bench: workload has no leaf with incoming mappings")
+}
+
 // Fig15 measures the Resolution Algorithm on the nested-SCC worst case
 // (Figure 14a / Figure 15): quadratic in the network size.
 func Fig15(ks []int, reps int) Series {

@@ -1,6 +1,7 @@
 // Package engine compiles the object-independent structure of a binary
-// trust network into a reusable plan and resolves arbitrarily many objects
-// against it concurrently.
+// trust network into a reusable plan, resolves arbitrarily many objects
+// against it concurrently, and maintains the compiled artifact
+// incrementally under network mutations.
 //
 // The paper's bulk setting (Section 4) fixes the trust mappings across all
 // objects; only the root beliefs vary per object. Under its two
@@ -24,7 +25,20 @@
 // sort them. (The supports are derived on first use, so plan-only
 // consumers such as the SQL lowering skip that cost.) No graph traversal,
 // no shared mutable state — an embarrassingly parallel scan that
-// CompiledNetwork.Resolve distributes over a worker pool.
+// CompiledNetwork.Resolve distributes over a worker pool. The scan itself
+// is columnar: root beliefs are interned into an int32 dictionary and
+// gathered through reusable per-worker scratch arenas, so the per-object
+// loop performs zero heap allocations in steady state (see intern.go).
+//
+// Networks are living artifacts: beliefs and trust mappings are updated
+// and revoked (Section 2.5 stresses that resolution is order-invariant
+// under such updates). Rather than recompiling from scratch on every
+// mutation, Apply (delta.go) consumes the mutation journal of the
+// underlying tn.Network, computes the dirty region — the condensation
+// components downstream of the touched nodes and edges — and recompiles
+// only that suffix of the plan, splicing the recomputed root supports into
+// the shared tables while reusing everything upstream. When the dirty
+// region exceeds a threshold it falls back to a full Compile.
 //
 // Unlike the iterated global Tarjan passes of resolve.Resolve (quadratic
 // on the nested-SCC family of Figure 14a), the planner here localizes each
@@ -38,6 +52,7 @@ import (
 	"sort"
 	"sync"
 
+	"trustmap/internal/graph"
 	"trustmap/internal/tn"
 )
 
@@ -73,28 +88,50 @@ type PriorityBucket struct {
 	Parents  []int
 }
 
-// CompiledNetwork is the immutable per-network artifact shared by all
-// object resolutions. Compile once, Resolve many times, from any number
-// of goroutines.
+// CompiledNetwork is the per-network artifact shared by all object
+// resolutions. Compile once, Resolve many times, from any number of
+// goroutines. Mutations go through Apply, which returns a successor
+// artifact and leaves results resolved against this one valid.
 type CompiledNetwork struct {
-	net   *tn.Network
+	net *tn.Network
+	g   *graph.Digraph // out-adjacency; owned, maintained by Apply
+
 	reach []bool
-	roots []int // nodes with explicit beliefs, ascending; bitset index = position
+
+	// rootSlots assigns every root (user with an explicit belief) a stable
+	// bitset index: rootSlots[i] is the user occupying slot i, or -1 for a
+	// tombstone left by a revoked belief. Slot stability is what lets Apply
+	// splice new supports next to old ones: a clean node's bitset stays
+	// meaningful across mutations. rootPos is the inverse (user -> slot).
+	rootSlots []int
+	rootPos   []int32
 
 	incoming [][]PriorityBucket // effective incoming-trust table per node
 
 	comp       []int   // SCC index per reachable node, -1 outside
-	ncomp      int     // number of SCCs of the reachable subgraph
-	sccMembers [][]int // per SCC: member nodes, ascending
-	sccOrder   []int   // topological order of the condensation DAG
+	ncomp      int     // number of SCC ids ever issued (dead ones included)
+	deadComps  int     // ids invalidated by Apply
+	sccMembers [][]int // per SCC: member nodes, ascending; nil when dead
+	sccOrder   []int   // topological order of the live condensation DAG
 
 	steps []Step
 
 	// Root supports are derived from the steps lazily (sync.Once): plan-only
-	// consumers like the SQL lowering never pay for them.
+	// consumers like the SQL lowering never pay for them. supportIDs is the
+	// persistent dedup table (trimmed bitset key -> id) that Apply extends.
 	supportsOnce sync.Once
 	supports     []bitset // distinct root supports, indexed by support ID
-	nodeSupport  []int32  // node -> support ID, -1 when poss is empty
+	supportIDs   map[string]int32
+	nodeSupport  []int32 // node -> support ID, -1 when poss is empty
+
+	// dict interns belief values for the columnar resolve path and pool
+	// recycles the per-worker scratch arenas; both survive Apply, so a
+	// long-lived session reaches a steady state where resolving an object
+	// allocates nothing even across mutations.
+	dict *valueDict
+	pool *sync.Pool
+
+	consumed bool // set by Apply: this artifact has a successor
 }
 
 // Stats summarizes a compiled network for diagnostics.
@@ -112,47 +149,79 @@ type Stats struct {
 
 // Compile precomputes the resolution plan for a binary trust network.
 // Explicit beliefs mark which users are roots; their values are irrelevant
-// to the plan. The network must not be mutated afterwards.
+// to the plan. The network must not be mutated afterwards except through
+// the journal/Apply protocol (see delta.go).
 func Compile(network *tn.Network) (*CompiledNetwork, error) {
 	if !network.IsBinary() {
 		return nil, fmt.Errorf("engine: network is not binary; apply tn.Binarize first")
 	}
 	nu := network.NumUsers()
 	c := &CompiledNetwork{
-		net:   network,
-		reach: network.ReachableFromRoots(),
+		net:  network,
+		g:    network.Graph(),
+		dict: newValueDict(),
+		pool: &sync.Pool{},
 	}
+	c.rootPos = make([]int32, nu)
 	for x := 0; x < nu; x++ {
+		c.rootPos[x] = -1
 		if network.HasExplicit(x) {
-			c.roots = append(c.roots, x)
+			c.rootPos[x] = int32(len(c.rootSlots))
+			c.rootSlots = append(c.rootSlots, x)
 		}
 	}
+	c.reach = c.g.Reachable(c.liveRoots(), nil)
 	c.buildIncoming()
 	c.buildCondensation()
-	c.buildPlan()
+
+	closed := make([]bool, nu)
+	for x := 0; x < nu; x++ {
+		if network.HasExplicit(x) || !c.reach[x] {
+			closed[x] = true
+		}
+	}
+	c.planInto(c.sccOrder, closed)
 	return c, nil
+}
+
+// liveRoots returns the users currently holding an explicit belief,
+// in slot order.
+func (c *CompiledNetwork) liveRoots() []int {
+	var out []int
+	for _, r := range c.rootSlots {
+		if r >= 0 {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // ensureSupports builds the root supports on first use.
 func (c *CompiledNetwork) ensureSupports() { c.supportsOnce.Do(c.buildSupports) }
+
+// incomingBuckets computes the priority-bucketed effective incoming-trust
+// table of node x from the network and the current reachability.
+func (c *CompiledNetwork) incomingBuckets(x int) []PriorityBucket {
+	var buckets []PriorityBucket
+	for _, m := range c.net.In(x) { // sorted: priority desc, parent asc
+		if !c.reach[m.Parent] {
+			continue
+		}
+		if k := len(buckets); k > 0 && buckets[k-1].Priority == m.Priority {
+			buckets[k-1].Parents = append(buckets[k-1].Parents, m.Parent)
+		} else {
+			buckets = append(buckets, PriorityBucket{Priority: m.Priority, Parents: []int{m.Parent}})
+		}
+	}
+	return buckets
+}
 
 // buildIncoming fills the priority-bucketed incoming-trust tables.
 func (c *CompiledNetwork) buildIncoming() {
 	nu := c.net.NumUsers()
 	c.incoming = make([][]PriorityBucket, nu)
 	for x := 0; x < nu; x++ {
-		var buckets []PriorityBucket
-		for _, m := range c.net.In(x) { // sorted: priority desc, parent asc
-			if !c.reach[m.Parent] {
-				continue
-			}
-			if k := len(buckets); k > 0 && buckets[k-1].Priority == m.Priority {
-				buckets[k-1].Parents = append(buckets[k-1].Parents, m.Parent)
-			} else {
-				buckets = append(buckets, PriorityBucket{Priority: m.Priority, Parents: []int{m.Parent}})
-			}
-		}
-		c.incoming[x] = buckets
+		c.incoming[x] = c.incomingBuckets(x)
 	}
 }
 
@@ -170,35 +239,30 @@ func (c *CompiledNetwork) preferredParent(x int) (int, bool) {
 // buildCondensation computes the SCCs of the reachable subgraph, the
 // per-SCC member slices, and a topological order of the condensation DAG.
 func (c *CompiledNetwork) buildCondensation() {
-	g := c.net.Graph()
 	active := func(v int) bool { return c.reach[v] }
-	c.comp, c.ncomp = g.SCC(active)
+	c.comp, c.ncomp = c.g.SCC(active)
 	c.sccMembers = make([][]int, c.ncomp)
 	for v := 0; v < c.net.NumUsers(); v++ {
 		if cv := c.comp[v]; cv >= 0 {
 			c.sccMembers[cv] = append(c.sccMembers[cv], v)
 		}
 	}
-	cond := g.Condense(c.comp, c.ncomp)
-	order, ok := cond.TopoOrder()
-	if !ok {
-		// Cannot happen: a condensation is acyclic by construction.
-		panic("engine: condensation has a cycle")
+	// SCC numbers components in reverse topological order (an edge between
+	// components always goes from a higher id to a lower one), so visiting
+	// ids descending is a topological order of the condensation DAG.
+	c.sccOrder = make([]int, c.ncomp)
+	for i := range c.sccOrder {
+		c.sccOrder[i] = c.ncomp - 1 - i
 	}
-	c.sccOrder = order
 }
 
-// buildPlan records the control flow of Algorithm 1 as a step list,
-// visiting condensation components in topological order so that every
-// Tarjan pass is local to one component.
-func (c *CompiledNetwork) buildPlan() {
+// planInto records the control flow of Algorithm 1 over the given
+// condensation components (in topological order) as steps appended to
+// c.steps, visiting one component per Tarjan pass so every pass is local.
+// closed marks the nodes already resolved before the plan starts: roots,
+// unreachable nodes, and — on the incremental path — every clean node.
+func (c *CompiledNetwork) planInto(comps []int, closed []bool) {
 	nu := c.net.NumUsers()
-	closed := make([]bool, nu)
-	for x := 0; x < nu; x++ {
-		if c.net.HasExplicit(x) || !c.reach[x] {
-			closed[x] = true
-		}
-	}
 	// preferredChildren[z] lists open nodes whose effective preferred
 	// parent is z, for O(1) discovery of applicable Step-1 copies.
 	preferredChildren := make([][]int, nu)
@@ -210,9 +274,8 @@ func (c *CompiledNetwork) buildPlan() {
 			preferredChildren[z] = append(preferredChildren[z], x)
 		}
 	}
-	g := c.net.Graph()
 
-	for _, comp := range c.sccOrder {
+	for _, comp := range comps {
 		members := c.sccMembers[comp]
 		// Step-1 queue, local to this component. Parents outside the
 		// component are already closed (topological order), so the initial
@@ -259,7 +322,7 @@ func (c *CompiledNetwork) buildPlan() {
 			// (later components), so sub-component minimality within the
 			// member slice equals global minimality.
 			inComp := func(v int) bool { return c.comp[v] == comp && !closed[v] }
-			sub, nsub := g.SCC(inComp)
+			sub, nsub := c.g.SCC(inComp)
 			if nsub == 0 {
 				break
 			}
@@ -312,9 +375,12 @@ func (c *CompiledNetwork) buildPlan() {
 // make up poss(x) for every object, deduplicated across nodes.
 func (c *CompiledNetwork) buildSupports() {
 	nu := c.net.NumUsers()
-	words := (len(c.roots) + 63) / 64
+	words := (len(c.rootSlots) + 63) / 64
 	byNode := make([]bitset, nu)
-	for i, r := range c.roots {
+	for i, r := range c.rootSlots {
+		if r < 0 {
+			continue
+		}
 		b := newBitset(words)
 		b.set(i)
 		byNode[r] = b
@@ -334,31 +400,40 @@ func (c *CompiledNetwork) buildSupports() {
 		}
 	}
 	c.nodeSupport = make([]int32, nu)
-	ids := make(map[string]int32)
+	c.supportIDs = make(map[string]int32)
 	for x := 0; x < nu; x++ {
 		b := byNode[x]
 		if b == nil || b.empty() {
 			c.nodeSupport[x] = -1
 			continue
 		}
-		k := b.key()
-		id, ok := ids[k]
-		if !ok {
-			id = int32(len(c.supports))
-			ids[k] = id
-			c.supports = append(c.supports, b)
-		}
-		c.nodeSupport[x] = id
+		c.nodeSupport[x] = c.internSupport(b)
 	}
 }
 
+// internSupport deduplicates a root-support bitset against the persistent
+// table, appending it when new, and returns its ID.
+func (c *CompiledNetwork) internSupport(b bitset) int32 {
+	k := b.key()
+	id, ok := c.supportIDs[k]
+	if !ok {
+		id = int32(len(c.supports))
+		c.supportIDs[k] = id
+		c.supports = append(c.supports, b)
+	}
+	return id
+}
+
 // Net returns the compiled network's underlying trust network. It must not
-// be mutated.
+// be mutated except through the journal/Apply protocol.
 func (c *CompiledNetwork) Net() *tn.Network { return c.net }
 
 // Roots returns the root nodes (users with explicit beliefs), ascending.
-// The slice is shared; do not modify.
-func (c *CompiledNetwork) Roots() []int { return c.roots }
+func (c *CompiledNetwork) Roots() []int {
+	out := c.liveRoots()
+	sort.Ints(out)
+	return out
+}
 
 // Steps returns the compiled plan. The slice is shared; do not modify.
 func (c *CompiledNetwork) Steps() []Step { return c.steps }
@@ -369,10 +444,11 @@ func (c *CompiledNetwork) Incoming(x int) []PriorityBucket { return c.incoming[x
 
 // NumSCCs returns the number of strongly connected components of the
 // reachable subgraph.
-func (c *CompiledNetwork) NumSCCs() int { return c.ncomp }
+func (c *CompiledNetwork) NumSCCs() int { return c.ncomp - c.deadComps }
 
 // SCCMembers returns the member slice of condensation component i,
-// ascending. The slice is shared; do not modify.
+// ascending, or nil when the id was invalidated by Apply. The slice is
+// shared; do not modify.
 func (c *CompiledNetwork) SCCMembers(i int) []int { return c.sccMembers[i] }
 
 // SCCEntries returns the trust mappings entering condensation component i
@@ -390,9 +466,9 @@ func (c *CompiledNetwork) SCCEntries(i int) []tn.Mapping {
 	return out
 }
 
-// SCCOrder returns a topological order of the condensation DAG: the order
-// in which the planner visits components. The slice is shared; do not
-// modify.
+// SCCOrder returns a topological order of the live condensation DAG: the
+// order in which the planner visited components. The slice is shared; do
+// not modify.
 func (c *CompiledNetwork) SCCOrder() []int { return c.sccOrder }
 
 // Support returns the root nodes whose beliefs constitute poss(x) for
@@ -404,7 +480,8 @@ func (c *CompiledNetwork) Support(x int) []int {
 		return nil
 	}
 	var out []int
-	c.supports[id].each(func(i int) { out = append(out, c.roots[i]) })
+	c.supports[id].each(func(i int) { out = append(out, c.rootSlots[i]) })
+	sort.Ints(out)
 	return out
 }
 
@@ -414,8 +491,8 @@ func (c *CompiledNetwork) Stats() Stats {
 	st := Stats{
 		Users:            c.net.NumUsers(),
 		Mappings:         c.net.NumMappings(),
-		Roots:            len(c.roots),
-		SCCs:             c.ncomp,
+		Roots:            len(c.liveRoots()),
+		SCCs:             c.NumSCCs(),
 		DistinctSupports: len(c.supports),
 	}
 	for _, r := range c.reach {
@@ -423,8 +500,8 @@ func (c *CompiledNetwork) Stats() Stats {
 			st.Reachable++
 		}
 	}
-	for _, m := range c.sccMembers {
-		if len(m) > 1 {
+	for i, m := range c.sccMembers {
+		if len(m) > 1 && c.comp[m[0]] == i {
 			st.NontrivialSCCs++
 		}
 	}
@@ -438,7 +515,9 @@ func (c *CompiledNetwork) Stats() Stats {
 	return st
 }
 
-// bitset is a fixed-width set of root indices.
+// bitset is a fixed-width set of root indices. Widths may differ between
+// generations of an incrementally maintained artifact; all operations and
+// the dedup key treat missing high words as zero.
 type bitset []uint64
 
 func newBitset(words int) bitset { return make(bitset, words) }
@@ -460,10 +539,15 @@ func (b bitset) empty() bool {
 	return true
 }
 
-// key returns a map key identifying the set.
+// key returns a map key identifying the set, independent of the bitset
+// width: trailing zero words are trimmed.
 func (b bitset) key() string {
-	buf := make([]byte, 0, len(b)*8)
-	for _, w := range b {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	buf := make([]byte, 0, n*8)
+	for _, w := range b[:n] {
 		for s := 0; s < 64; s += 8 {
 			buf = append(buf, byte(w>>s))
 		}

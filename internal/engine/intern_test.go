@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/tn"
+	"trustmap/internal/workload"
+)
+
+// TestResolveObjectZeroAllocs is the hard gate on the columnar hot path:
+// once the value dictionary and the worker arena are warm, resolving an
+// object must not allocate at all.
+func TestResolveObjectZeroAllocs(t *testing.T) {
+	n := workload.PowerLaw(rand.New(rand.NewSource(42)), 1000, 3, 0.1, []tn.Value{"v", "w", "u", "z"})
+	bin := tn.Binarize(n)
+	c, err := Compile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ensureSupports()
+	beliefs := make(map[int]tn.Value)
+	for _, r := range c.Roots() {
+		beliefs[r] = tn.Value(fmt.Sprintf("v%d", r%4))
+	}
+	s := c.getScratch()
+	defer c.putScratch(s)
+	dst := make([][]tn.Value, len(c.supports))
+	if err := c.resolveObject(s, "warm", beliefs, dst); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.resolveObject(s, "steady", beliefs, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state resolveObject allocates %.1f times per object, want 0", allocs)
+	}
+}
+
+// TestValueDict exercises the interning dictionary directly.
+func TestValueDict(t *testing.T) {
+	d := newValueDict()
+	a := d.id("fish")
+	if d.id("fish") != a {
+		t.Error("re-interning must return the same id")
+	}
+	b := d.id("jar")
+	if a == b {
+		t.Error("distinct values must get distinct ids")
+	}
+	vals := d.snapshot()
+	if vals[a] != "fish" || vals[b] != "jar" {
+		t.Errorf("snapshot mismatch: %v", vals)
+	}
+}
+
+// TestResolveSharedSetsAcrossObjects checks that recurring conflict
+// patterns share one canonical slice and that sets are value-sorted even
+// when the interning order differs from the lexicographic order.
+func TestResolveSharedSetsAcrossObjects(t *testing.T) {
+	n := tn.New()
+	x1, x2 := n.AddUser("x1"), n.AddUser("x2")
+	x3, x4 := n.AddUser("x3"), n.AddUser("x4")
+	n.AddMapping(x2, x1, 100)
+	n.AddMapping(x3, x1, 50)
+	n.AddMapping(x1, x2, 80)
+	n.AddMapping(x4, x2, 40)
+	n.SetExplicit(x3, "seed")
+	n.SetExplicit(x4, "seed")
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "zz" is interned before "aa": sorting by id would be wrong.
+	objs := map[string]map[int]tn.Value{
+		"o1": {x3: "zz", x4: "aa"},
+		"o2": {x3: "zz", x4: "aa"},
+		"o3": {x3: "aa", x4: "zz"}, // same set, opposite assignment
+	}
+	r, err := c.Resolve(context.Background(), objs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"o1", "o2", "o3"} {
+		got := r.Possible(x1, k)
+		if len(got) != 2 || got[0] != "aa" || got[1] != "zz" {
+			t.Fatalf("poss(x1, %s)=%v want [aa zz] (lexicographic)", k, got)
+		}
+	}
+	// Same worker, same id set: the slices must be shared, not merely equal.
+	if &r.Possible(x1, "o1")[0] != &r.Possible(x1, "o2")[0] {
+		t.Error("recurring id set must share one canonical slice")
+	}
+}
+
+// TestBulkResultLookupSentinels covers the explicit failure modes of
+// result lookups.
+func TestBulkResultLookupSentinels(t *testing.T) {
+	n := tn.New()
+	r := n.AddUser("r")
+	a := n.AddUser("a")
+	b := n.AddUser("b") // unreachable
+	n.SetExplicit(r, "seed")
+	n.AddMapping(r, a, 2)
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Resolve(context.Background(), map[string]map[int]tn.Value{"k": {r: "v"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Lookup(a, "missing"); err != ErrUnknownObject {
+		t.Errorf("unknown object: err=%v want ErrUnknownObject", err)
+	}
+	if _, err := res.Lookup(-1, "k"); err != ErrOutOfRange {
+		t.Errorf("negative node: err=%v want ErrOutOfRange", err)
+	}
+	if _, err := res.Lookup(99, "k"); err != ErrOutOfRange {
+		t.Errorf("out-of-range node: err=%v want ErrOutOfRange", err)
+	}
+	if poss, err := res.Lookup(b, "k"); err != nil || poss != nil {
+		t.Errorf("unreachable node: poss=%v err=%v want empty, nil", poss, err)
+	}
+	if poss, err := res.Lookup(a, "k"); err != nil || len(poss) != 1 || poss[0] != "v" {
+		t.Errorf("lookup(a)=%v,%v want [v]", poss, err)
+	}
+}
+
+// BenchmarkResolveObjectSteadyState measures the raw per-object hot path
+// with a warm arena: the zero-allocation columnar gather.
+func BenchmarkResolveObjectSteadyState(b *testing.B) {
+	n := workload.PowerLaw(rand.New(rand.NewSource(42)), 1000, 3, 0.1, []tn.Value{"v", "w", "u", "z"})
+	bin := tn.Binarize(n)
+	c, err := Compile(bin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.ensureSupports()
+	beliefs := make(map[int]tn.Value)
+	for _, r := range c.Roots() {
+		beliefs[r] = tn.Value(fmt.Sprintf("v%d", r%4))
+	}
+	s := c.getScratch()
+	defer c.putScratch(s)
+	dst := make([][]tn.Value, len(c.supports))
+	if err := c.resolveObject(s, "warm", beliefs, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.resolveObject(s, "steady", beliefs, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,13 +21,15 @@ type Options struct {
 // BulkResult holds poss(x, k) for every node x and object k of one Resolve
 // call. Results are independent of the worker count and of map iteration
 // order: objects are processed and reported in sorted key order, and every
-// possible-value set is sorted.
+// possible-value set is sorted. A result stays valid after the compiled
+// network it came from is superseded by Apply.
 type BulkResult struct {
 	c    *CompiledNetwork
 	keys []string
 	idx  map[string]int
 	// poss[objIdx][supportID] is the sorted distinct values of the roots in
-	// that support. Nodes sharing a support share the slice.
+	// that support. Nodes sharing a support share the slice, and recurring
+	// id sets share one canonical slice per worker (see intern.go).
 	poss [][][]tn.Value
 }
 
@@ -38,8 +40,9 @@ type BulkResult struct {
 // the SQL path.
 //
 // Objects are distributed over opts.Workers goroutines; each works on
-// per-object state only (the compiled plan is shared immutably), so no
-// locks are taken on the hot path. Cancelling ctx stops the scan early.
+// per-object scratch only (the compiled plan is shared immutably), so no
+// locks are taken on the hot path and, in steady state, no allocations are
+// made per object. Cancelling ctx stops the scan early.
 func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[int]tn.Value, opts Options) (*BulkResult, error) {
 	c.ensureSupports()
 	keys := make([]string, 0, len(objects))
@@ -47,6 +50,8 @@ func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[in
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	ns := len(c.supports)
+	flat := make([][]tn.Value, len(keys)*ns)
 	r := &BulkResult{
 		c:    c,
 		keys: keys,
@@ -55,6 +60,7 @@ func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[in
 	}
 	for i, k := range keys {
 		r.idx[k] = i
+		r.poss[i] = flat[i*ns : (i+1)*ns : (i+1)*ns]
 	}
 
 	workers := opts.Workers
@@ -65,15 +71,15 @@ func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[in
 		workers = len(keys)
 	}
 	if workers <= 1 {
+		s := c.getScratch()
+		defer c.putScratch(s)
 		for i, k := range keys {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			poss, err := c.resolveObject(k, objects[k])
-			if err != nil {
+			if err := c.resolveObject(s, k, objects[k], r.poss[i]); err != nil {
 				return nil, err
 			}
-			r.poss[i] = poss
 		}
 		return r, nil
 	}
@@ -105,6 +111,8 @@ func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := c.getScratch()
+			defer c.putScratch(s)
 			for {
 				if ctx.Err() != nil {
 					return
@@ -113,8 +121,7 @@ func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[in
 				if i < 0 {
 					return
 				}
-				poss, err := c.resolveObject(keys[i], objects[keys[i]])
-				if err != nil {
+				if err := c.resolveObject(s, keys[i], objects[keys[i]], r.poss[i]); err != nil {
 					mu.Lock()
 					if fail == nil || i < fail.idx {
 						fail = &firstErr{idx: i, err: err}
@@ -122,7 +129,6 @@ func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[in
 					mu.Unlock()
 					return
 				}
-				r.poss[i] = poss
 			}
 		}()
 	}
@@ -136,48 +142,41 @@ func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[in
 	return r, nil
 }
 
-// resolveObject materializes the per-support value sets for one object: a
-// pure function of the compiled supports and the object's root beliefs.
-func (c *CompiledNetwork) resolveObject(key string, beliefs map[int]tn.Value) ([][]tn.Value, error) {
-	rootVals := make([]tn.Value, len(c.roots))
-	for i, root := range c.roots {
-		v, ok := beliefs[root]
-		if !ok {
-			return nil, fmt.Errorf("engine: object %q misses a belief for root user %s (assumption ii)", key, c.net.Name(root))
-		}
-		rootVals[i] = v
-	}
-	out := make([][]tn.Value, len(c.supports))
-	var buf []tn.Value
-	for si, sup := range c.supports {
-		buf = buf[:0]
-		sup.each(func(i int) { buf = append(buf, rootVals[i]) })
-		sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
-		vals := make([]tn.Value, 0, len(buf))
-		for _, v := range buf {
-			if len(vals) == 0 || vals[len(vals)-1] != v {
-				vals = append(vals, v)
-			}
-		}
-		out[si] = vals
-	}
-	return out, nil
-}
+// Sentinel conditions for result lookups; see Lookup.
+var (
+	ErrUnknownObject = fmt.Errorf("engine: unknown object key")
+	ErrOutOfRange    = fmt.Errorf("engine: node out of range")
+)
 
 // Keys returns the resolved object keys, sorted.
 func (r *BulkResult) Keys() []string { return append([]string(nil), r.keys...) }
 
 // Possible returns poss(x, k), sorted. The slice is shared; do not modify.
+// It returns nil both when poss is empty and when x or k is unknown; use
+// Lookup to distinguish.
 func (r *BulkResult) Possible(x int, key string) []tn.Value {
+	poss, _ := r.Lookup(x, key)
+	return poss
+}
+
+// Lookup returns poss(x, k) like Possible, with the lookup failure made
+// explicit: ErrUnknownObject when key was not resolved by this call,
+// ErrOutOfRange when x is not a node of the compiled network. A nil error
+// with an empty slice means the node genuinely has no possible values
+// (unreachable from any root).
+func (r *BulkResult) Lookup(x int, key string) ([]tn.Value, error) {
 	i, ok := r.idx[key]
-	if !ok || x < 0 || x >= len(r.c.nodeSupport) {
-		return nil
+	if !ok {
+		return nil, ErrUnknownObject
+	}
+	if x < 0 || x >= len(r.c.nodeSupport) {
+		return nil, ErrOutOfRange
 	}
 	id := r.c.nodeSupport[x]
 	if id < 0 {
-		return nil
+		return nil, nil
 	}
-	return r.poss[i][id]
+	return r.poss[i][id], nil
 }
 
 // Certain returns cert(x, k): the single possible value, or tn.NoValue.

@@ -41,6 +41,33 @@ func (g *Digraph) AddEdge(u, v int) {
 	g.m++
 }
 
+// RemoveEdge deletes one instance of the directed edge u->v, preserving the
+// insertion order of u's remaining out-edges, and reports whether an edge
+// was removed. It supports incremental adjacency maintenance (the engine's
+// delta path); out-of-range endpoints report false.
+func (g *Digraph) RemoveEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	for i, w := range g.adj[u] {
+		if w == v {
+			g.adj[u] = append(g.adj[u][:i], g.adj[u][i+1:]...)
+			g.m--
+			return true
+		}
+	}
+	return false
+}
+
+// Grow extends the graph to n nodes, keeping existing nodes and edges.
+// Shrinking is not supported; a smaller n is a no-op.
+func (g *Digraph) Grow(n int) {
+	for g.n < n {
+		g.adj = append(g.adj, nil)
+		g.n++
+	}
+}
+
 // Out returns the out-neighbours of u. The returned slice is shared with the
 // graph and must not be modified.
 func (g *Digraph) Out(u int) []int { return g.adj[u] }

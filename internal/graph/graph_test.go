@@ -312,3 +312,34 @@ func TestEdgeOutOfRangePanics(t *testing.T) {
 	g := New(2)
 	g.AddEdge(0, 5)
 }
+
+// TestRemoveEdgeAndGrow covers the incremental-maintenance primitives used
+// by the engine's delta path.
+func TestRemoveEdgeAndGrow(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1) // parallel edge
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("existing edge not removed")
+	}
+	if g.M() != 2 {
+		t.Fatalf("M=%d want 2", g.M())
+	}
+	out := g.Out(0)
+	if len(out) != 2 || out[0] != 2 || out[1] != 1 {
+		t.Fatalf("out(0)=%v want [2 1] (one parallel instance removed, order kept)", out)
+	}
+	if g.RemoveEdge(1, 0) || g.RemoveEdge(-1, 0) || g.RemoveEdge(0, 9) {
+		t.Error("absent or out-of-range edge reported removed")
+	}
+	g.Grow(5)
+	if g.N() != 5 {
+		t.Fatalf("N=%d want 5", g.N())
+	}
+	g.AddEdge(4, 0)
+	g.Grow(2) // shrink is a no-op
+	if g.N() != 5 || g.M() != 3 {
+		t.Errorf("after no-op shrink: N=%d M=%d", g.N(), g.M())
+	}
+}

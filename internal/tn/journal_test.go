@@ -1,0 +1,138 @@
+package tn
+
+import "testing"
+
+// TestRemoveMapping covers revocation semantics: the mapping disappears
+// from the sorted incoming list, the edge count drops, and removing an
+// absent mapping is a reported no-op.
+func TestRemoveMapping(t *testing.T) {
+	n := New()
+	a, b, c := n.AddUser("a"), n.AddUser("b"), n.AddUser("c")
+	n.AddMapping(a, c, 2)
+	n.AddMapping(b, c, 1)
+	if !n.RemoveMapping(b, c) {
+		t.Fatal("existing mapping not removed")
+	}
+	if n.NumMappings() != 1 || len(n.In(c)) != 1 || n.In(c)[0].Parent != a {
+		t.Fatalf("after removal: in(c)=%v, edges=%d", n.In(c), n.NumMappings())
+	}
+	if n.RemoveMapping(b, c) {
+		t.Error("absent mapping reported removed")
+	}
+	if n.RemoveMapping(a, -1) || n.RemoveMapping(a, 99) {
+		t.Error("out-of-range child reported removed")
+	}
+	// Revoking the last incoming mapping re-roots c.
+	if !n.RemoveMapping(a, c) || !n.IsRoot(c) {
+		t.Error("removing the last mapping must re-root the child")
+	}
+}
+
+// TestRemoveMappingPromotesPreferred checks the Section 2.2 promotion:
+// revoking one of two mappings makes the survivor the preferred parent.
+func TestRemoveMappingPromotesPreferred(t *testing.T) {
+	n := New()
+	a, b, c := n.AddUser("a"), n.AddUser("b"), n.AddUser("c")
+	n.AddMapping(a, c, 2)
+	n.AddMapping(b, c, 2) // tie: no preferred parent
+	if _, ok := n.PreferredParent(c); ok {
+		t.Fatal("tied priorities must have no preferred parent")
+	}
+	n.RemoveMapping(a, c)
+	if p, ok := n.PreferredParent(c); !ok || p != b {
+		t.Errorf("survivor not promoted: parent=%d ok=%v", p, ok)
+	}
+}
+
+// TestSetMappingPriority checks re-prioritization keeps the incoming sort
+// and flips the preferred parent.
+func TestSetMappingPriority(t *testing.T) {
+	n := New()
+	a, b, c := n.AddUser("a"), n.AddUser("b"), n.AddUser("c")
+	n.AddMapping(a, c, 2)
+	n.AddMapping(b, c, 1)
+	if p, _ := n.PreferredParent(c); p != a {
+		t.Fatalf("preferred=%d want a", p)
+	}
+	if !n.SetMappingPriority(b, c, 5) {
+		t.Fatal("existing mapping not re-prioritized")
+	}
+	if p, _ := n.PreferredParent(c); p != b {
+		t.Errorf("preferred=%d want b after boost", p)
+	}
+	in := n.In(c)
+	if len(in) != 2 || in[0].Parent != b || in[0].Priority != 5 || in[1].Parent != a {
+		t.Errorf("incoming sort broken: %v", in)
+	}
+	if n.SetMappingPriority(a, -1, 3) || n.SetMappingPriority(n.AddUser("x"), c, 3) {
+		t.Error("absent mapping reported re-prioritized")
+	}
+	if n.NumMappings() != 2 {
+		t.Errorf("edges=%d want 2", n.NumMappings())
+	}
+}
+
+// TestJournal checks that exactly the effective mutations are recorded,
+// with old values filled, and that draining resets the journal.
+func TestJournal(t *testing.T) {
+	n := New()
+	a := n.AddUser("a") // before EnableJournal: not recorded
+	n.EnableJournal()
+	b := n.AddUser("b")
+	n.AddUser("b") // duplicate: no entry
+	n.AddMapping(a, b, 3)
+	n.SetExplicit(a, "v")
+	n.SetExplicit(a, "v")         // same value: no entry
+	n.SetMappingPriority(a, b, 3) // same priority: no entry
+	n.SetMappingPriority(a, b, 7)
+	n.RemoveMapping(a, b)
+	n.SetExplicit(a, NoValue)
+	j := n.DrainJournal()
+	want := []Mutation{
+		{Kind: MutAddUser, User: b},
+		{Kind: MutAddMapping, Parent: a, Child: b, Priority: 3},
+		{Kind: MutSetExplicit, User: a, Value: "v"},
+		{Kind: MutSetPriority, Parent: a, Child: b, Priority: 7, OldPriority: 3},
+		{Kind: MutRemoveMapping, Parent: a, Child: b, OldPriority: 7},
+		{Kind: MutSetExplicit, User: a, OldValue: "v"},
+	}
+	if len(j) != len(want) {
+		t.Fatalf("journal has %d entries, want %d: %+v", len(j), len(want), j)
+	}
+	for i := range want {
+		if j[i] != want[i] {
+			t.Errorf("journal[%d] = %+v, want %+v", i, j[i], want[i])
+		}
+	}
+	if len(n.DrainJournal()) != 0 {
+		t.Error("drain did not reset the journal")
+	}
+}
+
+// TestVersion checks the version counter moves exactly on effective
+// mutations, including through SetMappingPriority's internal re-insert.
+func TestVersion(t *testing.T) {
+	n := New()
+	v0 := n.Version()
+	a, b := n.AddUser("a"), n.AddUser("b")
+	n.AddMapping(a, b, 1)
+	if n.Version() != v0+3 {
+		t.Errorf("version=%d want %d", n.Version(), v0+3)
+	}
+	n.SetMappingPriority(a, b, 9)
+	if n.Version() != v0+4 {
+		t.Errorf("priority change must bump version once, got %d", n.Version())
+	}
+	n.AddUser("a")            // no-op
+	n.SetExplicit(b, NoValue) // no-op: already none
+	if n.Version() != v0+4 {
+		t.Errorf("no-ops must not bump the version, got %d", n.Version())
+	}
+	c := n.Clone()
+	if c.Version() != n.Version() {
+		t.Error("clone must carry the version")
+	}
+	if c.DisableJournal(); len(c.DrainJournal()) != 0 {
+		t.Error("clone must not inherit the journal")
+	}
+}

@@ -38,6 +38,35 @@ type Mapping struct {
 	Priority int
 }
 
+// MutationKind discriminates journal entries.
+type MutationKind uint8
+
+// The journaled mutation kinds. Only mutations that change the network are
+// recorded: re-adding an existing user, removing an absent mapping, or
+// setting a belief to its current value leave no trace.
+const (
+	MutAddUser MutationKind = iota
+	MutAddMapping
+	MutRemoveMapping
+	MutSetPriority
+	MutSetExplicit
+)
+
+// Mutation is one journaled network change. The fields used depend on Kind:
+// AddUser fills User; the mapping kinds fill Parent/Child plus the relevant
+// priorities; SetExplicit fills User, Value and OldValue (a revocation has
+// Value == NoValue, a fresh belief has OldValue == NoValue).
+type Mutation struct {
+	Kind        MutationKind
+	User        int
+	Parent      int
+	Child       int
+	Priority    int
+	OldPriority int
+	Value       Value
+	OldValue    Value
+}
+
 // Network is a priority trust network TN = (U, E, b0) (Definition 2.3).
 // The zero value is not usable; call New.
 type Network struct {
@@ -46,11 +75,44 @@ type Network struct {
 	in       [][]Mapping // incoming mappings per child, sorted by Priority desc, Parent asc
 	explicit []Value     // b0; NoValue where undefined
 	nEdges   int
+
+	version    uint64 // bumped on every effective mutation
+	journaling bool
+	journal    []Mutation
 }
 
 // New returns an empty trust network.
 func New() *Network {
 	return &Network{byName: make(map[string]int)}
+}
+
+// Version returns a counter bumped on every effective mutation (user
+// added, mapping added/removed/re-prioritized, belief changed). Callers
+// holding derived artifacts compare versions to detect staleness.
+func (n *Network) Version() uint64 { return n.version }
+
+// EnableJournal starts recording mutations. The journal is the delta feed
+// for incremental engine maintenance (engine.CompiledNetwork.Apply): mutate
+// the network, then drain the journal and hand it to the engine.
+func (n *Network) EnableJournal() { n.journaling = true }
+
+// DisableJournal stops recording and discards any pending entries.
+func (n *Network) DisableJournal() { n.journaling = false; n.journal = nil }
+
+// DrainJournal returns the mutations recorded since the last drain (or
+// since EnableJournal) and resets the journal. The caller owns the slice.
+func (n *Network) DrainJournal() []Mutation {
+	j := n.journal
+	n.journal = nil
+	return j
+}
+
+// record bumps the version and journals the mutation when enabled.
+func (n *Network) record(m Mutation) {
+	n.version++
+	if n.journaling {
+		n.journal = append(n.journal, m)
+	}
 }
 
 // AddUser adds a user with the given name and returns its ID. Adding a name
@@ -64,6 +126,7 @@ func (n *Network) AddUser(name string) int {
 	n.byName[name] = id
 	n.in = append(n.in, nil)
 	n.explicit = append(n.explicit, NoValue)
+	n.record(Mutation{Kind: MutAddUser, User: id})
 	return id
 }
 
@@ -87,14 +150,9 @@ func (n *Network) NumMappings() int { return n.nEdges }
 // Size returns |U| + |E|, the size measure used in the paper's experiments.
 func (n *Network) Size() int { return len(n.names) + n.nEdges }
 
-// AddMapping adds the trust mapping (parent, priority, child).
-func (n *Network) AddMapping(parent, child, priority int) {
-	if parent < 0 || parent >= len(n.names) || child < 0 || child >= len(n.names) {
-		panic(fmt.Sprintf("tn: mapping (%d,%d) out of range", parent, child))
-	}
-	m := Mapping{Parent: parent, Child: child, Priority: priority}
-	in := n.in[child]
-	// Insert keeping the sort: Priority desc, Parent asc.
+// insertMapping splices m into a child's incoming list, keeping the sort:
+// Priority desc, Parent asc.
+func insertMapping(in []Mapping, m Mapping) []Mapping {
 	i := sort.Search(len(in), func(i int) bool {
 		if in[i].Priority != m.Priority {
 			return in[i].Priority < m.Priority
@@ -104,13 +162,74 @@ func (n *Network) AddMapping(parent, child, priority int) {
 	in = append(in, Mapping{})
 	copy(in[i+1:], in[i:])
 	in[i] = m
-	n.in[child] = in
+	return in
+}
+
+// AddMapping adds the trust mapping (parent, priority, child).
+func (n *Network) AddMapping(parent, child, priority int) {
+	if parent < 0 || parent >= len(n.names) || child < 0 || child >= len(n.names) {
+		panic(fmt.Sprintf("tn: mapping (%d,%d) out of range", parent, child))
+	}
+	n.in[child] = insertMapping(n.in[child], Mapping{Parent: parent, Child: child, Priority: priority})
 	n.nEdges++
+	n.record(Mutation{Kind: MutAddMapping, Parent: parent, Child: child, Priority: priority})
+}
+
+// RemoveMapping revokes the trust mapping parent -> child. It reports
+// whether the mapping existed; removing an absent mapping is a no-op.
+// Revoking the sole non-preferred sibling promotes the remaining parent to
+// preferred (Section 2.2); revoking the last incoming mapping re-roots the
+// child.
+func (n *Network) RemoveMapping(parent, child int) bool {
+	if child < 0 || child >= len(n.names) {
+		return false
+	}
+	in := n.in[child]
+	for i, m := range in {
+		if m.Parent == parent {
+			n.in[child] = append(in[:i], in[i+1:]...)
+			n.nEdges--
+			n.record(Mutation{Kind: MutRemoveMapping, Parent: parent, Child: child, OldPriority: m.Priority})
+			return true
+		}
+	}
+	return false
+}
+
+// SetMappingPriority changes the priority of the mapping parent -> child,
+// keeping the child's incoming list sorted. It reports whether the mapping
+// existed; setting the current priority is a no-op.
+func (n *Network) SetMappingPriority(parent, child, priority int) bool {
+	if child < 0 || child >= len(n.names) {
+		return false
+	}
+	in := n.in[child]
+	for i, m := range in {
+		if m.Parent == parent {
+			if m.Priority == priority {
+				return true
+			}
+			old := m.Priority
+			copy(in[i:], in[i+1:])
+			in = in[:len(in)-1]
+			n.in[child] = insertMapping(in, Mapping{Parent: parent, Child: child, Priority: priority})
+			n.record(Mutation{Kind: MutSetPriority, Parent: parent, Child: child, Priority: priority, OldPriority: old})
+			return true
+		}
+	}
+	return false
 }
 
 // SetExplicit sets the explicit belief b0(x) = v. Passing NoValue clears it
-// (a revocation).
-func (n *Network) SetExplicit(x int, v Value) { n.explicit[x] = v }
+// (a revocation). Setting the current value is a no-op.
+func (n *Network) SetExplicit(x int, v Value) {
+	old := n.explicit[x]
+	if old == v {
+		return
+	}
+	n.explicit[x] = v
+	n.record(Mutation{Kind: MutSetExplicit, User: x, Value: v, OldValue: old})
+}
 
 // Explicit returns b0(x), or NoValue if undefined.
 func (n *Network) Explicit(x int) Value { return n.explicit[x] }
@@ -213,7 +332,8 @@ func (n *Network) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the network.
+// Clone returns a deep copy of the network. The copy carries the version
+// but not the journal: journaling starts disabled on the clone.
 func (n *Network) Clone() *Network {
 	c := New()
 	c.names = append([]string(nil), n.names...)
@@ -226,5 +346,6 @@ func (n *Network) Clone() *Network {
 	}
 	c.explicit = append([]Value(nil), n.explicit...)
 	c.nEdges = n.nEdges
+	c.version = n.version
 	return c
 }

@@ -1,0 +1,507 @@
+package trustmap
+
+// Session keeps a compiled bulk-resolution artifact live across network
+// mutations: the compile -> resolve many -> mutate -> incremental re-plan
+// lifecycle the paper's community-database setting implies (Sections 2.5
+// and 4). BulkResolve/BulkResolveWith recompile the engine artifact on
+// every call; a Session compiles once and then folds each mutation into
+// the artifact through the engine's delta path (engine.Apply), paying for
+// the dirty region instead of the whole network.
+//
+// The session owns the binarized twin of the facade network and keeps it
+// current by translating facade mutations into binarized ones. Mutations
+// that would restructure the binarization (a user crossing the two-parent
+// threshold, belief changes on heavily-mapped users) mark the session for
+// a full rebuild, which the next resolve performs transparently; so does
+// mutating the underlying Network directly instead of through the session
+// (detected by the network's version counter).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"trustmap/internal/engine"
+	"trustmap/internal/tn"
+)
+
+// SessionOptions configures NewSession.
+type SessionOptions struct {
+	// Workers is the worker-pool size for resolves. Zero means GOMAXPROCS.
+	Workers int
+	// ExtraRoots names users whose beliefs vary per object even though the
+	// network states no belief for them (they are registered if unknown).
+	// Users given a belief via SetBelief are roots automatically.
+	ExtraRoots []string
+	// MaxDirtyFraction is the dirty-region share above which the engine
+	// recompiles from scratch instead of splicing (0 = engine default).
+	MaxDirtyFraction float64
+}
+
+// SessionStats counts what the session's maintenance has done.
+type SessionStats struct {
+	Compiles           int // full compiles, including the initial one
+	IncrementalApplies int // mutations folded in through the delta path
+	ValueOnlyUpdates   int // belief-value changes, free for the plan
+	FullRecompiles     int // delta applications that hit the threshold
+	LastApply          engine.ApplyStats
+}
+
+// Session serves resolutions from a compiled artifact that is maintained
+// incrementally across mutations. Create with Network.NewSession. A
+// Session is not safe for concurrent use; resolves distribute over a
+// worker pool internally.
+type Session struct {
+	net  *Network
+	bin  *tn.Network // binarized twin, journaling enabled
+	comp *engine.CompiledNetwork
+
+	binIDs     []int       // original user ID -> binarized node ID
+	rootNode   map[int]int // original root ID -> binarized node carrying its belief
+	extraRoots []int       // original IDs of SessionOptions.ExtraRoots
+
+	workers     int
+	maxDirty    float64
+	version     uint64 // inner network version the session is synced to
+	needRebuild bool
+	stats       SessionStats
+}
+
+// NewSession validates and compiles the network once and returns a handle
+// that keeps the compiled artifact live across mutations. Mutate through
+// the session's methods to stay on the incremental path; mutating the
+// Network directly is detected and handled by a full rebuild on the next
+// resolve.
+func (n *Network) NewSession(opts SessionOptions) (*Session, error) {
+	s := &Session{
+		net:      n,
+		workers:  opts.Workers,
+		maxDirty: opts.MaxDirtyFraction,
+	}
+	for _, name := range opts.ExtraRoots {
+		s.extraRoots = append(s.extraRoots, n.inner.AddUser(name))
+	}
+	if err := s.rebuild(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuild re-binarizes and recompiles from scratch: the fallback for
+// structural mutations the incremental translation does not cover.
+func (s *Session) rebuild() error {
+	if err := s.net.Validate(); err != nil {
+		return err
+	}
+	shape := s.net.inner.Clone()
+	for _, x := range s.extraRoots {
+		if !shape.HasExplicit(x) {
+			shape.SetExplicit(x, "seed")
+		}
+	}
+	bin := tn.Binarize(shape)
+	bin.EnableJournal()
+	comp, err := engine.Compile(bin)
+	if err != nil {
+		return err
+	}
+	s.bin = bin
+	s.comp = comp
+	s.binIDs = make([]int, s.net.inner.NumUsers())
+	for i := range s.binIDs {
+		s.binIDs[i] = i // fresh binarization keeps original IDs as a prefix
+	}
+	s.rootNode = make(map[int]int)
+	for x := 0; x < shape.NumUsers(); x++ {
+		if shape.HasExplicit(x) {
+			s.rootNode[x] = findRootFor(bin, x)
+		}
+	}
+	s.needRebuild = false
+	s.version = s.net.inner.Version()
+	s.stats.Compiles++
+	return nil
+}
+
+// Stats returns the session's maintenance counters.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// EngineStats summarizes the live compiled artifact.
+func (s *Session) EngineStats() engine.Stats { return s.comp.Stats() }
+
+// syncCheck marks the session stale when the underlying network was
+// mutated outside the session since the last operation.
+func (s *Session) syncCheck() {
+	if s.net.inner.Version() != s.version {
+		s.needRebuild = true
+	}
+}
+
+// binID maps an original user ID to its binarized node.
+func (s *Session) binID(x int) int {
+	if x < len(s.binIDs) {
+		return s.binIDs[x]
+	}
+	return x
+}
+
+// AddTrust states that truster accepts values from trusted with the given
+// priority, like Network.AddTrust, and keeps the compiled artifact in
+// sync. Unlike the facade it rejects self-trust and duplicate mappings
+// immediately instead of at the next validation.
+func (s *Session) AddTrust(truster, trusted string, priority int) error {
+	s.syncCheck()
+	if truster == trusted {
+		return fmt.Errorf("trustmap: user %q cannot trust itself", truster)
+	}
+	t := s.net.inner.AddUser(truster)
+	z := s.net.inner.AddUser(trusted)
+	for _, m := range s.net.inner.In(t) {
+		if m.Parent == z {
+			return fmt.Errorf("trustmap: mapping %q -> %q already exists; use UpdateTrust", trusted, truster)
+		}
+	}
+	// Pre-mutation shape of the truster decides translatability.
+	pre := append([]tn.Mapping(nil), s.net.inner.In(t)...)
+	k := len(pre)
+	s.net.inner.AddMapping(z, t, priority)
+	s.version = s.net.inner.Version()
+	if s.needRebuild {
+		return nil
+	}
+	s.ensureBinUser(truster, t)
+	s.ensureBinUser(trusted, z)
+	bt, bz := s.binID(t), s.binID(z)
+	root, hasCarrier := s.rootNode[t]
+	switch {
+	case hasCarrier && root == bt:
+		// A root gains its first parent: hoist the belief onto a helper
+		// that outranks it, exactly as Binarize does.
+		s.hoistBelief(t)
+		s.bin.AddMapping(bz, bt, 1)
+	case hasCarrier && k == 0:
+		// A hoisted carrier is the sole binarized parent (the last real
+		// parent was revoked earlier); it keeps outranking real parents.
+		s.bin.AddMapping(bz, bt, 1)
+	case !hasCarrier && k == 0:
+		s.bin.AddMapping(bz, bt, 2)
+	case !hasCarrier && k == 1:
+		// Two parents now: re-derive the {1,2} (or tied {1,1}) encoding.
+		z0, p0 := pre[0].Parent, pre[0].Priority
+		bz0 := s.binID(z0)
+		switch {
+		case p0 == priority:
+			s.bin.SetMappingPriority(bz0, bt, 1)
+			s.bin.AddMapping(bz, bt, 1)
+		case p0 > priority:
+			s.bin.AddMapping(bz, bt, 1)
+		default:
+			s.bin.SetMappingPriority(bz0, bt, 1)
+			s.bin.AddMapping(bz, bt, 2)
+		}
+	default:
+		// Three or more binarized parents: cascade territory.
+		s.needRebuild = true
+	}
+	return nil
+}
+
+// RemoveTrust revokes truster -> trusted, like Network.RemoveTrust, and
+// keeps the compiled artifact in sync. It reports whether the mapping
+// existed.
+func (s *Session) RemoveTrust(truster, trusted string) bool {
+	s.syncCheck()
+	t, z := s.net.inner.UserID(truster), s.net.inner.UserID(trusted)
+	if t < 0 || z < 0 {
+		return false
+	}
+	pre := append([]tn.Mapping(nil), s.net.inner.In(t)...)
+	k := len(pre)
+	if !s.net.inner.RemoveMapping(z, t) {
+		return false
+	}
+	s.version = s.net.inner.Version()
+	if s.needRebuild {
+		return true
+	}
+	bt := s.binID(t)
+	hoisted := 0
+	if root, ok := s.rootNode[t]; ok && root != bt {
+		hoisted = 1 // a helper carries the belief above the real parents
+	}
+	if k+hoisted > 2 {
+		s.needRebuild = true // the binarization had a cascade
+		return true
+	}
+	s.bin.RemoveMapping(s.binID(z), bt)
+	// A surviving sole real parent becomes the preferred edge (priority 2),
+	// the encoding Binarize emits for single-parent nodes. With a hoisted
+	// belief the helper already holds priority 2 and survivors stay at 1.
+	if hoisted == 0 && k == 2 {
+		for _, m := range pre {
+			if m.Parent != z {
+				s.bin.SetMappingPriority(s.binID(m.Parent), bt, 2)
+			}
+		}
+	}
+	return true
+}
+
+// UpdateTrust changes the priority of truster -> trusted, like
+// Network.UpdateTrust, and keeps the compiled artifact in sync.
+func (s *Session) UpdateTrust(truster, trusted string, priority int) bool {
+	s.syncCheck()
+	t, z := s.net.inner.UserID(truster), s.net.inner.UserID(trusted)
+	if t < 0 || z < 0 {
+		return false
+	}
+	k := len(s.net.inner.In(t))
+	if !s.net.inner.SetMappingPriority(z, t, priority) {
+		return false
+	}
+	s.version = s.net.inner.Version()
+	if s.needRebuild {
+		return true
+	}
+	bt := s.binID(t)
+	hoisted := 0
+	if root, ok := s.rootNode[t]; ok && root != bt {
+		hoisted = 1
+	}
+	switch {
+	case k+hoisted > 2:
+		s.needRebuild = true // priorities are encoded in the cascade shape
+	case hoisted == 0 && k == 2:
+		// Re-derive the two binarized priorities from the new order.
+		post := s.net.inner.In(t)
+		if post[0].Priority == post[1].Priority {
+			s.bin.SetMappingPriority(s.binID(post[0].Parent), bt, 1)
+			s.bin.SetMappingPriority(s.binID(post[1].Parent), bt, 1)
+		} else {
+			s.bin.SetMappingPriority(s.binID(post[0].Parent), bt, 2)
+			s.bin.SetMappingPriority(s.binID(post[1].Parent), bt, 1)
+		}
+		// Else: a sole real parent (with or without a hoisted belief above
+		// it) keeps its binarized priority; nothing to do.
+	}
+	return true
+}
+
+// SetBelief states the user's explicit belief, like Network.SetBelief, and
+// keeps the compiled artifact in sync. A value update on an existing
+// belief is free: the resolution plan is belief-value-independent.
+func (s *Session) SetBelief(user, value string) error {
+	s.syncCheck()
+	if value == "" {
+		return fmt.Errorf("trustmap: empty value; use RemoveBelief to revoke")
+	}
+	x := s.net.inner.AddUser(user)
+	k := len(s.net.inner.In(x))
+	s.net.inner.SetExplicit(x, tn.Value(value))
+	s.version = s.net.inner.Version()
+	if s.needRebuild {
+		return nil
+	}
+	s.ensureBinUser(user, x)
+	switch root, hasCarrier := s.rootNode[x]; {
+	case hasCarrier:
+		// The belief carrier exists already — x itself, its hoisted helper,
+		// or an ExtraRoots placeholder. The engine sees a pure value update
+		// and keeps the whole plan.
+		s.bin.SetExplicit(root, tn.Value(value))
+	case k == 0:
+		bx := s.binID(x)
+		s.bin.SetExplicit(bx, tn.Value(value))
+		s.rootNode[x] = bx
+	case k == 1:
+		s.hoistBelief(x)
+	default:
+		s.needRebuild = true // three binarized parents: cascade
+	}
+	return nil
+}
+
+// RemoveBelief revokes the user's explicit belief, like
+// Network.RemoveBelief, and keeps the compiled artifact in sync.
+func (s *Session) RemoveBelief(user string) {
+	s.syncCheck()
+	x := s.net.inner.UserID(user)
+	if x < 0 || !s.net.inner.HasExplicit(x) {
+		return
+	}
+	k := len(s.net.inner.In(x))
+	s.net.inner.SetExplicit(x, tn.NoValue)
+	s.version = s.net.inner.Version()
+	if s.needRebuild {
+		return
+	}
+	if s.isExtraRoot(x) {
+		// The user stays a root for per-object beliefs; only the
+		// network-level default disappears. The binarized belief carrier
+		// keeps a placeholder, exactly as a fresh rebuild would seed it.
+		s.bin.SetExplicit(s.rootNode[x], "seed")
+		return
+	}
+	bx := s.binID(x)
+	switch {
+	case k == 0:
+		s.bin.SetExplicit(bx, tn.NoValue)
+		delete(s.rootNode, x)
+	case k == 1:
+		// Drop the hoisted helper; the sole real parent becomes preferred.
+		helper := s.rootNode[x]
+		s.bin.SetExplicit(helper, tn.NoValue)
+		s.bin.RemoveMapping(helper, bx)
+		for _, m := range s.bin.In(bx) {
+			s.bin.SetMappingPriority(m.Parent, bx, 2)
+		}
+		delete(s.rootNode, x)
+	default:
+		s.needRebuild = true // cascade shape changes
+	}
+}
+
+// hoistBelief moves x's explicit belief onto a fresh helper root wired
+// above x's existing sole parent, mirroring Binarize's step 1: the helper
+// takes priority 2 and the real parent priority 1.
+func (s *Session) hoistBelief(x int) {
+	bx := s.binID(x)
+	v := s.net.inner.Explicit(x)
+	if v == tn.NoValue {
+		v = "seed"
+	}
+	s.bin.SetExplicit(bx, tn.NoValue) // the helper carries it from now on
+	for _, m := range s.bin.In(bx) {
+		s.bin.SetMappingPriority(m.Parent, bx, 1)
+	}
+	helper := s.bin.AddUser(s.net.inner.Name(x) + "#b0")
+	s.bin.SetExplicit(helper, v)
+	s.bin.AddMapping(helper, bx, 2)
+	s.rootNode[x] = helper
+}
+
+// ensureBinUser registers a user created after compilation in the
+// binarized twin. Original and binarized IDs diverge from here on; binIDs
+// carries the mapping.
+func (s *Session) ensureBinUser(name string, x int) {
+	for len(s.binIDs) <= x {
+		s.binIDs = append(s.binIDs, -1)
+	}
+	if s.binIDs[x] < 0 {
+		s.binIDs[x] = s.bin.AddUser(name)
+	}
+}
+
+func (s *Session) isExtraRoot(x int) bool {
+	for _, r := range s.extraRoots {
+		if r == x {
+			return true
+		}
+	}
+	return false
+}
+
+// flush folds pending binarized mutations into the compiled artifact —
+// rebuilding from scratch when a structural mutation or an out-of-session
+// change demands it.
+func (s *Session) flush() error {
+	s.syncCheck()
+	if s.needRebuild {
+		return s.rebuild()
+	}
+	muts := s.bin.DrainJournal()
+	if len(muts) == 0 {
+		return nil
+	}
+	next, st, err := s.comp.Apply(muts, engine.ApplyOptions{MaxDirtyFraction: s.maxDirty})
+	if err != nil {
+		// The translation produced something the engine will not splice;
+		// recover with a rebuild rather than failing the resolve.
+		return s.rebuild()
+	}
+	s.stats.LastApply = st
+	switch {
+	case st.FullRecompile:
+		s.stats.FullRecompiles++
+	case next == s.comp:
+		s.stats.ValueOnlyUpdates++
+	default:
+		s.stats.IncrementalApplies++
+	}
+	s.comp = next
+	return nil
+}
+
+// BulkResolve resolves many objects against the live artifact. Each object
+// maps root users to their per-object beliefs; roots missing from an
+// object default to the network-level belief set via SetBelief. ExtraRoots
+// users have no default and must appear in every object.
+func (s *Session) BulkResolve(ctx context.Context, objects map[string]map[string]string) (*BulkResolution, error) {
+	if err := s.flush(); err != nil {
+		return nil, err
+	}
+	conv := make(map[string]map[int]tn.Value, len(objects))
+	for key, bs := range objects {
+		m := make(map[int]tn.Value, len(s.rootNode))
+		for user, v := range bs {
+			x := s.net.inner.UserID(user)
+			if x < 0 {
+				return nil, fmt.Errorf("%w: %q in object %q", ErrUnknownUser, user, key)
+			}
+			root, ok := s.rootNode[x]
+			if !ok {
+				return nil, fmt.Errorf("trustmap: user %q in object %q is not a session root; declare it in ExtraRoots or give it a belief", user, key)
+			}
+			m[root] = tn.Value(v)
+		}
+		for x, root := range s.rootNode {
+			if _, ok := m[root]; ok {
+				continue
+			}
+			if v := s.net.inner.Explicit(x); v != tn.NoValue {
+				m[root] = v
+			} else {
+				return nil, fmt.Errorf("trustmap: object %q misses a belief for root user %q (assumption ii)", key, s.net.inner.Name(x))
+			}
+		}
+		conv[key] = m
+	}
+	res, err := s.comp.Resolve(ctx, conv, engine.Options{Workers: s.workers})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(objects))
+	for k := range objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return &BulkResolution{src: s.net.inner, keys: keys, eng: res, binIDs: s.binIDs}, nil
+}
+
+// ObjectResolution is the single-object view returned by Session.Resolve.
+type ObjectResolution struct {
+	bulk *BulkResolution
+}
+
+// Resolve resolves one object's root beliefs against the live artifact:
+// the mutate-then-resolve fast path. beliefs may be nil when every root
+// has a network-level belief.
+func (s *Session) Resolve(ctx context.Context, beliefs map[string]string) (*ObjectResolution, error) {
+	r, err := s.BulkResolve(ctx, map[string]map[string]string{"object": beliefs})
+	if err != nil {
+		return nil, err
+	}
+	return &ObjectResolution{bulk: r}, nil
+}
+
+// Possible returns the values the user holds in at least one stable
+// solution for the resolved object, sorted.
+func (o *ObjectResolution) Possible(user string) []string {
+	return o.bulk.Possible(user, "object")
+}
+
+// Certain returns the value the user holds in every stable solution of
+// the resolved object. ok is false when there is none.
+func (o *ObjectResolution) Certain(user string) (string, bool) {
+	return o.bulk.Certain(user, "object")
+}

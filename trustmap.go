@@ -25,6 +25,7 @@ package trustmap
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -60,6 +61,29 @@ func (n *Network) AddTrust(truster, trusted string, priority int) {
 	t := n.inner.AddUser(truster)
 	z := n.inner.AddUser(trusted)
 	n.inner.AddMapping(z, t, priority)
+}
+
+// RemoveTrust revokes the trust mapping truster -> trusted and reports
+// whether it existed. Revocations are first-class in the paper's model
+// (Section 2.5): re-resolving afterwards yields a consistent snapshot, and
+// revoking one of two mappings promotes the survivor to preferred parent
+// (Section 2.2).
+func (n *Network) RemoveTrust(truster, trusted string) bool {
+	t, z := n.inner.UserID(truster), n.inner.UserID(trusted)
+	if t < 0 || z < 0 {
+		return false
+	}
+	return n.inner.RemoveMapping(z, t)
+}
+
+// UpdateTrust changes the priority of the existing mapping truster ->
+// trusted and reports whether it existed.
+func (n *Network) UpdateTrust(truster, trusted string, priority int) bool {
+	t, z := n.inner.UserID(truster), n.inner.UserID(trusted)
+	if t < 0 || z < 0 {
+		return false
+	}
+	return n.inner.SetMappingPriority(z, t, priority)
 }
 
 // SetBelief states user's explicit belief (Definition 2.1). Setting a new
@@ -396,12 +420,76 @@ func (n *Network) ExactParadigm(p Paradigm) (map[string][]string, error) {
 	return out, nil
 }
 
+// Sentinel errors for BulkResolution.Lookup (match with errors.Is).
+var (
+	// ErrUnknownUser reports a user name never registered in the network.
+	ErrUnknownUser = errors.New("trustmap: unknown user")
+	// ErrUnknownObject reports an object key that was not part of the
+	// resolved object set.
+	ErrUnknownObject = errors.New("trustmap: unknown object")
+)
+
 // BulkResolution gives access to bulk per-object results (Section 4).
 type BulkResolution struct {
 	src   *tn.Network
 	keys  []string           // object keys, sorted
 	store *bulk.Store        // legacy sequential SQL path
 	eng   *engine.BulkResult // compiled concurrent engine path
+	// binIDs maps original user IDs to nodes of the resolved (binarized)
+	// network when they diverge — results served by a Session whose user
+	// set grew after compilation. nil means identity.
+	binIDs []int
+}
+
+// binID maps an original user ID into the resolved network.
+func (r *BulkResolution) binID(id int) int {
+	if r.binIDs == nil || id >= len(r.binIDs) {
+		return id
+	}
+	return r.binIDs[id]
+}
+
+// hasKey reports whether object was part of the resolved set.
+func (r *BulkResolution) hasKey(object string) bool {
+	i := sort.SearchStrings(r.keys, object)
+	return i < len(r.keys) && r.keys[i] == object
+}
+
+// Lookup returns poss(user, object) and cert(user, object) with lookup
+// failures made explicit: an error wrapping ErrUnknownUser or
+// ErrUnknownObject instead of the silent empty results of Possible and
+// Certain. certain is "" when the user has no certain value for the
+// object; an empty possible slice with a nil error means the user is
+// genuinely unreachable from the object's beliefs.
+func (r *BulkResolution) Lookup(user, object string) (possible []string, certain string, err error) {
+	id := r.src.UserID(user)
+	if id < 0 {
+		return nil, "", fmt.Errorf("%w: %q", ErrUnknownUser, user)
+	}
+	if !r.hasKey(object) {
+		return nil, "", fmt.Errorf("%w: %q", ErrUnknownObject, object)
+	}
+	possible = r.possible(id, object)
+	if len(possible) == 1 {
+		certain = possible[0]
+	}
+	return possible, certain, nil
+}
+
+// possible returns the sorted possible values of an original user ID.
+func (r *BulkResolution) possible(id int, object string) []string {
+	var poss []tn.Value
+	if r.store != nil {
+		poss = r.store.Possible(id, object)
+	} else {
+		poss = r.eng.Possible(r.binID(id), object)
+	}
+	out := make([]string, len(poss))
+	for i, v := range poss {
+		out[i] = string(v)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // BulkOptions configures BulkResolve's execution strategy.
@@ -517,26 +605,19 @@ func findRootFor(b *tn.Network, x int) int {
 
 // Possible returns poss(user, object), sorted ascending regardless of the
 // execution strategy, so outputs are stable across runs and worker counts.
+// An unknown user or object returns an empty slice, indistinguishable from
+// a user with no possible values; use Lookup when the distinction matters.
 func (r *BulkResolution) Possible(user, object string) []string {
 	id := r.src.UserID(user)
 	if id < 0 {
 		return nil
 	}
-	var poss []tn.Value
-	if r.store != nil {
-		poss = r.store.Possible(id, object)
-	} else {
-		poss = r.eng.Possible(id, object)
-	}
-	out := make([]string, len(poss))
-	for i, v := range poss {
-		out[i] = string(v)
-	}
-	sort.Strings(out)
-	return out
+	return r.possible(id, object)
 }
 
-// Certain returns cert(user, object).
+// Certain returns cert(user, object). ok is false when the user holds no
+// certain value for the object — and also for an unknown user or object;
+// use Lookup to tell those apart.
 func (r *BulkResolution) Certain(user, object string) (string, bool) {
 	id := r.src.UserID(user)
 	if id < 0 {
@@ -546,7 +627,7 @@ func (r *BulkResolution) Certain(user, object string) (string, bool) {
 	if r.store != nil {
 		v = r.store.Certain(id, object)
 	} else {
-		v = r.eng.Certain(id, object)
+		v = r.eng.Certain(r.binID(id), object)
 	}
 	return string(v), v != tn.NoValue
 }
