@@ -1,12 +1,16 @@
 GO ?= go
 
 # Benchmark families tracked in the committed trajectory (bench/BENCH_*).
-BENCH_PATTERN ?= BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve
+BENCH_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve|BenchmarkCompile
+# Hot-path benchmarks the perf gate fails on; a regression beyond
+# BENCH_GATE_THRESHOLD (current/baseline ns/op) exits non-zero.
+BENCH_GATE_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate
+BENCH_GATE_THRESHOLD ?= 1.15
 BENCH_COUNT ?= 5
 BENCH_DIR ?= bench
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-save bench-diff fuzz fmt vet ci
+.PHONY: all build test race bench bench-save bench-diff bench-gate fuzz fmt vet lint ci
 
 all: build test
 
@@ -28,7 +32,8 @@ bench:
 # BENCH_* trajectory). Commit the results.
 bench-save:
 	mkdir -p $(BENCH_DIR)
-	$(GO) test -run=NONE -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . | tee $(BENCH_DIR)/BENCH_baseline.txt
+	$(GO) test -run=NONE -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . > $(BENCH_DIR)/BENCH_baseline.txt
+	@cat $(BENCH_DIR)/BENCH_baseline.txt
 	$(GO) run ./cmd/benchjson -in $(BENCH_DIR)/BENCH_baseline.txt -out $(BENCH_DIR)/BENCH_baseline.json
 
 # Compare the working tree against the committed baseline. Uses benchstat
@@ -43,6 +48,31 @@ bench-diff:
 	else \
 		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw diff:"; \
 		diff -u $(BENCH_DIR)/BENCH_baseline.txt $(BENCH_DIR)/BENCH_current.txt || true; \
+	fi
+
+# Perf gate: re-run the gated hot-path benchmarks and compare against the
+# committed baseline with cmd/benchgate (exit 1 beyond the threshold).
+# benchstat (go install golang.org/x/perf/cmd/benchstat@latest) adds the
+# statistical report when installed but is not required. CI runs this as a
+# non-blocking advisory step; run it locally before committing perf work.
+bench-gate:
+	mkdir -p $(BENCH_DIR)
+	$(GO) test -run=NONE -bench '$(BENCH_GATE_PATTERN)' -benchmem -count=$(BENCH_COUNT) . > $(BENCH_DIR)/BENCH_gate.txt
+	@cat $(BENCH_DIR)/BENCH_gate.txt
+	$(GO) run ./cmd/benchjson -in $(BENCH_DIR)/BENCH_gate.txt -out $(BENCH_DIR)/BENCH_gate.json
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_DIR)/BENCH_baseline.txt $(BENCH_DIR)/BENCH_gate.txt || true; \
+	fi
+	$(GO) run ./cmd/benchgate -baseline $(BENCH_DIR)/BENCH_baseline.json -current $(BENCH_DIR)/BENCH_gate.json \
+		-pattern '$(BENCH_GATE_PATTERN)' -threshold $(BENCH_GATE_THRESHOLD)
+
+# Static analysis beyond go vet. staticcheck is not vendored; install with
+# go install honnef.co/go/tools/cmd/staticcheck@latest (CI does).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
 # Short coverage-guided fuzz of the incremental-engine parity invariant.

@@ -155,12 +155,15 @@ func BenchmarkFig8c_LPPerObject(b *testing.B) {
 	}
 }
 
-// BenchmarkBulkResolve contrasts the bulk execution strategies on a
-// 1000-object power-law workload (1000 users): the legacy sequential SQL
-// path of Section 4 against the compiled concurrent engine at several
-// worker counts. Compilation (plan construction) is excluded from the
-// timed region for every strategy: the point of the engine is that the
-// per-network analysis is paid once and the per-object scan parallelizes.
+// BenchmarkBulkResolve contrasts the bulk execution strategies: the legacy
+// sequential SQL path of Section 4 against the compiled concurrent engine
+// at several worker counts on a 1000-object power-law workload (1000
+// users), and signature deduplication against the per-object scan on the
+// clustered 10k-object power-law workload (10000 users, objects drawn from
+// 64 signature prototypes) plus the all-distinct adversarial workload.
+// Compilation (plan construction) is excluded from the timed region for
+// every strategy: the point of the engine is that the per-network analysis
+// is paid once and the per-object scan parallelizes.
 func BenchmarkBulkResolve(b *testing.B) {
 	bin, objs := bench.BulkWorkload(1000, 1000, 42)
 	b.Run("sequential-sql", func(b *testing.B) {
@@ -183,10 +186,65 @@ func BenchmarkBulkResolve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Deduplicated worker counts: repeated counts would get `#01`-suffixed,
+	// GOMAXPROCS-dependent sub names, silently changing what bench-gate can
+	// match across machines.
+	seenWorkers := map[int]bool{}
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if seenWorkers[workers] {
+			continue
+		}
+		seenWorkers[workers] = true
 		b.Run(fmt.Sprintf("engine/workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := c.Resolve(context.Background(), objs, engine.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Signature dedup on the clustered 10k-object workload. The compiled
+	// artifact persists across iterations, as in a Session: the dedup
+	// run's later iterations are served from the cross-batch signature
+	// cache, the no-dedup run pays per object every time.
+	binC, objsC := bench.ClusteredBulkWorkload(10000, 10000, 64, 42)
+	cc, err := engine.Compile(binC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sub := range []struct {
+		name    string
+		disable bool
+	}{{"clustered10k/dedup", false}, {"clustered10k/nodedup", true}} {
+		b.Run(sub.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cc.Resolve(context.Background(), objsC, engine.Options{Workers: 1, DisableDedup: sub.disable}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The adversarial counterpart: every object a distinct signature, so
+	// dedup degenerates to the per-object scan plus grouping overhead up
+	// to the bail-out window. Both subs recompile per iteration (timer
+	// stopped) so every measured resolve is cold — no cross-batch
+	// signature cache, no warm scratch arenas — the worst case for dedup.
+	binD, objsD := bench.AllDistinctBulkWorkload(1000, 1000, 42)
+	for _, sub := range []struct {
+		name    string
+		disable bool
+	}{{"alldistinct/dedup", false}, {"alldistinct/nodedup", true}} {
+		b.Run(sub.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cd, err := engine.Compile(binD)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := cd.Resolve(context.Background(), objsD, engine.Options{Workers: 1, DisableDedup: sub.disable}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -239,22 +297,26 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 }
 
 // BenchmarkResolveAllocs measures the steady-state allocation profile of
-// the columnar engine scan: 1000 objects per op, so allocs/op close to the
-// object count would mean per-object allocation. The hard zero-allocation
-// gate is TestResolveObjectZeroAllocs in internal/engine.
+// the columnar engine scan with dedup off: 1000 objects per op, so
+// allocs/op close to the object count would mean per-object allocation.
+// (Dedup on, the batch additionally pays a few bookkeeping allocations per
+// distinct signature — measured by the BenchmarkBulkResolve dedup subs.)
+// The hard zero-allocation gate is TestResolveObjectZeroAllocs in
+// internal/engine.
 func BenchmarkResolveAllocs(b *testing.B) {
 	bin, objs := bench.BulkWorkload(1000, 1000, 42)
 	c, err := engine.Compile(bin)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := c.Resolve(context.Background(), objs, engine.Options{Workers: 1}); err != nil {
+	opts := engine.Options{Workers: 1, DisableDedup: true}
+	if _, err := c.Resolve(context.Background(), objs, opts); err != nil {
 		b.Fatal(err) // warm the dictionary and arenas
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Resolve(context.Background(), objs, engine.Options{Workers: 1}); err != nil {
+		if _, err := c.Resolve(context.Background(), objs, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -300,7 +362,8 @@ func BenchmarkSessionMutateResolve(b *testing.B) {
 }
 
 // BenchmarkEngineCompile measures the one-time per-network compilation the
-// engine amortizes over all objects.
+// engine amortizes over all objects (plan construction only; supports are
+// derived lazily and measured by BenchmarkCompile).
 func BenchmarkEngineCompile(b *testing.B) {
 	for _, users := range []int{1000, 10000} {
 		bin, _ := bench.BulkWorkload(users, 1, 42)
@@ -308,6 +371,26 @@ func BenchmarkEngineCompile(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := engine.Compile(bin); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures the full cost of readying an artifact for
+// resolution: plan construction plus root-support derivation, the part
+// buildSupports distributes across independent condensation components.
+func BenchmarkCompile(b *testing.B) {
+	for _, users := range []int{1000, 10000, 50000} {
+		bin, _ := bench.BulkWorkload(users, 1, 42)
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := engine.Compile(bin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st := c.Stats(); st.DistinctSupports == 0 { // forces support derivation
+					b.Fatal("no supports derived")
 				}
 			}
 		})

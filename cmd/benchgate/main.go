@@ -1,0 +1,131 @@
+// Command benchgate compares two benchjson documents (bench/BENCH_*.json)
+// and fails when a tracked benchmark regressed beyond a threshold: the
+// dependency-free core of `make bench-gate`. benchstat (when installed)
+// renders the human report; benchgate renders the verdict.
+//
+// Usage:
+//
+//	benchgate -baseline bench/BENCH_baseline.json -current bench/BENCH_gate.json \
+//	          -pattern 'BenchmarkBulkResolve|BenchmarkIncrementalUpdate' -threshold 1.10
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate (new benchmarks appear, retired ones disappear). Multiple samples
+// of one benchmark name are aggregated by their minimum ns/op — the
+// least-noise estimator for wall-clock benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// result mirrors cmd/benchjson's Result.
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// document mirrors cmd/benchjson's Document.
+type document struct {
+	Results []result `json:"results"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline benchjson file (required)")
+	current := flag.String("current", "", "current benchjson file (required)")
+	pattern := flag.String("pattern", ".", "regexp of benchmark names to gate")
+	threshold := flag.Float64("threshold", 1.10, "fail when current/baseline ns/op exceeds this")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*pattern)
+	if err != nil {
+		fatal(fmt.Errorf("bad -pattern: %w", err))
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fatal(err)
+	}
+	code := gate(os.Stdout, base, cur, re, *threshold)
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}
+
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	best := make(map[string]float64)
+	for _, r := range doc.Results {
+		if r.NsPerOp <= 0 {
+			continue
+		}
+		if old, ok := best[r.Name]; !ok || r.NsPerOp < old {
+			best[r.Name] = r.NsPerOp
+		}
+	}
+	return best, nil
+}
+
+// gate prints one verdict line per gated benchmark and returns the exit
+// code: 1 when any matched benchmark regressed beyond the threshold.
+func gate(w *os.File, base, cur map[string]float64, re *regexp.Regexp, threshold float64) int {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-60s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "cur ns/op", "ratio", "verdict")
+	failed := 0
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s  new (not gated)\n", name, "-", c, "-")
+			continue
+		}
+		ratio := c / b
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = fmt.Sprintf("REGRESSION (> %.2fx)", threshold)
+			failed++
+		} else if ratio < 1/threshold {
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %7.2fx  %s\n", name, b, c, ratio, verdict)
+	}
+	for name := range base {
+		if re.MatchString(name) {
+			if _, ok := cur[name]; !ok {
+				fmt.Fprintf(w, "%-60s %14.0f %14s %8s  retired (not gated)\n", name, base[name], "-", "-")
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "\nbenchgate: %d regression(s) beyond %.2fx\n", failed, threshold)
+		return 1
+	}
+	fmt.Fprintln(w, "\nbenchgate: no regressions")
+	return 0
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func writeDoc(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadKeepsMinimum(t *testing.T) {
+	path := writeDoc(t, "b.json", `{"results": [
+		{"name": "BenchmarkX-8", "ns_per_op": 120},
+		{"name": "BenchmarkX-8", "ns_per_op": 100},
+		{"name": "BenchmarkX-8", "ns_per_op": 130},
+		{"name": "BenchmarkY-8", "ns_per_op": 50}
+	]}`)
+	best, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best["BenchmarkX-8"] != 100 || best["BenchmarkY-8"] != 50 {
+		t.Fatalf("best=%v", best)
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkBulkResolve/engine-8": 100,
+		"BenchmarkRetired-8":            10,
+		"BenchmarkOther-8":              5,
+	}
+	cur := map[string]float64{
+		"BenchmarkBulkResolve/engine-8": 150, // 1.5x: regression
+		"BenchmarkNew-8":                7,   // only current: not gated
+		"BenchmarkOther-8":              5,
+	}
+	re := regexp.MustCompile("Benchmark")
+	if code := gate(os.Stdout, base, cur, re, 1.10); code != 1 {
+		t.Errorf("regression must exit 1, got %d", code)
+	}
+	cur["BenchmarkBulkResolve/engine-8"] = 105 // within threshold
+	if code := gate(os.Stdout, base, cur, re, 1.10); code != 0 {
+		t.Errorf("clean run must exit 0, got %d", code)
+	}
+	// Pattern excludes the regressing benchmark.
+	cur["BenchmarkBulkResolve/engine-8"] = 500
+	if code := gate(os.Stdout, base, cur, regexp.MustCompile("Other"), 1.10); code != 0 {
+		t.Errorf("filtered run must exit 0, got %d", code)
+	}
+}

@@ -137,7 +137,22 @@ func runBulkPar(w io.Writer, netFile, objFile string, workers int, users string)
 		return err
 	}
 	printBulkTable(w, r, report)
+	printDedupLine(w, r)
 	return nil
+}
+
+// printDedupLine summarizes what signature deduplication did for a batch.
+func printDedupLine(w io.Writer, r *trustmap.BulkResolution) {
+	st := r.DedupStats()
+	if st.Objects == 0 {
+		return
+	}
+	hitRate := 0.0
+	if st.DistinctSignatures > 0 {
+		hitRate = float64(st.CacheHits) / float64(st.DistinctSignatures)
+	}
+	fmt.Fprintf(w, "\ndedup: %d objects -> %d distinct signatures, %d cache hits (%.0f%% hit rate), %d resolved\n",
+		st.Objects, st.DistinctSignatures, st.CacheHits, 100*hitRate, st.Resolved)
 }
 
 // runSession compiles the network once, resolves the objects, applies the
@@ -226,6 +241,7 @@ func runSession(w io.Writer, netFile, objFile, mutFile string, workers int, user
 		return err
 	}
 	printBulkTable(w, r, report)
+	printDedupLine(w, r)
 	st := s.Stats()
 	fmt.Fprintf(w, "\nsession: %d compile(s), %d incremental applies, %d value-only updates, %d threshold recompiles\n",
 		st.Compiles, st.IncrementalApplies, st.ValueOnlyUpdates, st.FullRecompiles)

@@ -115,6 +115,9 @@ func TestRunBulkPar(t *testing.T) {
 		if !strings.Contains(s, "glyph2           Alice            fish") {
 			t.Errorf("workers=%d: missing glyph2 row for Alice:\n%s", workers, s)
 		}
+		if !strings.Contains(s, "dedup: 2 objects -> 2 distinct signatures") {
+			t.Errorf("workers=%d: missing dedup summary line:\n%s", workers, s)
+		}
 	}
 	// Restricting -users filters rows; whitespace around names is fine.
 	var out strings.Builder

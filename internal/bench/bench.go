@@ -222,6 +222,114 @@ func BulkWorkload(users, objects int, seed int64) (*tn.Network, map[string]map[i
 	return bin, objs
 }
 
+// ClusteredBulkWorkload builds the signature-clustered bulk workload: a
+// binarized power-law trust network with `users` users and coarse trust
+// tiers (frequent priority ties flood large root sets, the support-rich
+// regime), plus `objects` per-object root-belief maps drawn from
+// `distinct` prototype assignments with a zipf-like skew, deterministic in
+// seed. Objects sharing a prototype share the belief map, as a community
+// database serving mostly-uncontested objects (or repeating a handful of
+// conflict patterns) would.
+func ClusteredBulkWorkload(users, objects, distinct int, seed int64) (*tn.Network, map[string]map[int]tn.Value) {
+	n := workload.PowerLawTiered(rand.New(rand.NewSource(seed)), users, 3, 3, 0.1, []tn.Value{"v", "w", "u", "z"})
+	bin := tn.Binarize(n)
+	var roots []int
+	for x := 0; x < bin.NumUsers(); x++ {
+		if bin.HasExplicit(x) {
+			roots = append(roots, x)
+		}
+	}
+	protos := workload.BulkObjects(rand.New(rand.NewSource(seed+1)), roots, distinct)
+	keys := workload.ObjectKeys(protos)
+	rng := rand.New(rand.NewSource(seed + 2))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(keys)-1))
+	objs := make(map[string]map[int]tn.Value, objects)
+	for i := 0; i < objects; i++ {
+		objs[fmt.Sprintf("obj%d", i)] = protos[keys[zipf.Uint64()]]
+	}
+	return bin, objs
+}
+
+// AllDistinctBulkWorkload perturbs one root per object with a unique
+// value, so every object carries its own signature: the adversarial case
+// for signature deduplication.
+func AllDistinctBulkWorkload(users, objects int, seed int64) (*tn.Network, map[string]map[int]tn.Value) {
+	bin, objs := BulkWorkload(users, objects, seed)
+	root := -1
+	for x := 0; x < bin.NumUsers(); x++ {
+		if bin.HasExplicit(x) {
+			root = x
+			break
+		}
+	}
+	for i, k := range workload.ObjectKeys(objs) {
+		objs[k][root] = tn.Value(fmt.Sprintf("uniq%d", i))
+	}
+	return bin, objs
+}
+
+// DedupPoint is one clustered-workload measurement: wall time with and
+// without signature dedup for a cold artifact, plus a second dedup batch
+// against the same artifact showing the cross-batch cache (the Session
+// steady state — WarmStats.CacheHits over DistinctSignatures is the hit
+// rate).
+type DedupPoint struct {
+	Objects       int
+	SecsDedup     float64 // cold: every distinct signature resolved here
+	SecsNoDedup   float64
+	SecsDedupWarm float64 // repeat batch: signatures served from the cache
+	Stats         engine.DedupStats
+	WarmStats     engine.DedupStats
+}
+
+// BulkDedup contrasts signature-deduplicated resolution against the
+// per-object scan on clustered workloads of growing object count (the
+// network and the `distinct` signature prototypes stay fixed). Artifacts
+// are compiled fresh per point, the dedup batch runs twice against the
+// same artifact: cold (every distinct signature resolved in the measured
+// call) and warm (served from the cross-batch signature cache).
+func BulkDedup(users int, objectCounts []int, distinct, workers int, seed int64) ([]Series, []DedupPoint) {
+	ded := Series{Name: fmt.Sprintf("bulk: engine + signature dedup (%d signatures)", distinct), XLabel: "objects"}
+	nod := Series{Name: "bulk: engine, dedup disabled", XLabel: "objects"}
+	warm := Series{Name: "bulk: engine + dedup, repeat batch (warm signature cache)", XLabel: "objects"}
+	var points []DedupPoint
+	for _, count := range objectCounts {
+		bin, objs := ClusteredBulkWorkload(users, count, distinct, seed)
+		p := DedupPoint{Objects: count}
+		c, err := engine.Compile(bin)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		r, err := c.Resolve(context.Background(), objs, engine.Options{Workers: workers})
+		if err != nil {
+			panic(err)
+		}
+		p.SecsDedup = time.Since(start).Seconds()
+		p.Stats = r.Dedup()
+		start = time.Now()
+		if r, err = c.Resolve(context.Background(), objs, engine.Options{Workers: workers}); err != nil {
+			panic(err)
+		}
+		p.SecsDedupWarm = time.Since(start).Seconds()
+		p.WarmStats = r.Dedup()
+		cn, err := engine.Compile(bin)
+		if err != nil {
+			panic(err)
+		}
+		start = time.Now()
+		if _, err := cn.Resolve(context.Background(), objs, engine.Options{Workers: workers, DisableDedup: true}); err != nil {
+			panic(err)
+		}
+		p.SecsNoDedup = time.Since(start).Seconds()
+		ded.Points = append(ded.Points, Point{X: count, Seconds: p.SecsDedup})
+		warm.Points = append(warm.Points, Point{X: count, Seconds: p.SecsDedupWarm})
+		nod.Points = append(nod.Points, Point{X: count, Seconds: p.SecsNoDedup})
+		points = append(points, p)
+	}
+	return []Series{ded, warm, nod}, points
+}
+
 // BulkSeqVsPar contrasts the three bulk execution strategies on the same
 // power-law workload: the sequential SQL path of Section 4, the compiled
 // engine on one worker, and the compiled engine on `workers` workers.

@@ -1,8 +1,12 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"trustmap/internal/tn"
+	"trustmap/internal/workload"
 )
 
 func TestFig5SmokeAndShape(t *testing.T) {
@@ -78,6 +82,54 @@ func TestBulkSeqVsParSmoke(t *testing.T) {
 				t.Errorf("%s: non-positive timing at %d", s.Name, p.X)
 			}
 		}
+	}
+}
+
+func TestBulkDedupSmoke(t *testing.T) {
+	series, points := BulkDedup(200, []int{50, 200}, 8, 1, 11)
+	if len(series) != 3 || len(points) != 2 {
+		t.Fatalf("series=%d points=%d want 3/2", len(series), len(points))
+	}
+	for _, p := range points {
+		if p.SecsDedup <= 0 || p.SecsNoDedup <= 0 || p.SecsDedupWarm <= 0 {
+			t.Errorf("non-positive timing at %d objects", p.Objects)
+		}
+		if p.Stats.Objects != p.Objects {
+			t.Errorf("stats cover %d objects, want %d", p.Stats.Objects, p.Objects)
+		}
+		if p.Stats.DistinctSignatures <= 0 || p.Stats.DistinctSignatures > 8 {
+			t.Errorf("distinct signatures %d, want 1..8", p.Stats.DistinctSignatures)
+		}
+		// The repeat batch must be served from the cross-batch cache.
+		if p.WarmStats.CacheHits != p.WarmStats.DistinctSignatures || p.WarmStats.Resolved != 0 {
+			t.Errorf("warm batch not cache-served: %+v", p.WarmStats)
+		}
+	}
+}
+
+func TestClusteredAndAllDistinctWorkloads(t *testing.T) {
+	bin, objs := ClusteredBulkWorkload(100, 60, 5, 3)
+	if bin == nil || len(objs) != 60 {
+		t.Fatalf("clustered workload: %d objects", len(objs))
+	}
+	seen := map[string]bool{}
+	for _, bs := range objs {
+		seen[fmt.Sprintf("%p", bs)] = true // prototypes are shared by pointer
+	}
+	if len(seen) > 5 {
+		t.Errorf("clustered workload has %d distinct prototypes, want <= 5", len(seen))
+	}
+	_, dobjs := AllDistinctBulkWorkload(100, 40, 3)
+	vals := map[tn.Value]bool{}
+	for _, k := range workload.ObjectKeys(dobjs) {
+		for _, v := range dobjs[k] {
+			if strings.HasPrefix(string(v), "uniq") {
+				vals[v] = true
+			}
+		}
+	}
+	if len(vals) != 40 {
+		t.Errorf("all-distinct workload has %d unique markers, want 40", len(vals))
 	}
 }
 

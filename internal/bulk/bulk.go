@@ -60,11 +60,18 @@ func NewPlan(network *tn.Network) (*Plan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bulk: %w", err)
 	}
+	return NewPlanFrom(c), nil
+}
+
+// NewPlanFrom lowers an already-compiled engine artifact to a SQL plan
+// without recompiling: callers holding a CompiledNetwork (a Session, a
+// parity harness) get the relational trace of the same plan for free.
+func NewPlanFrom(c *engine.CompiledNetwork) *Plan {
 	return &Plan{
-		Net:   network,
+		Net:   c.Net(),
 		Roots: append([]int(nil), c.Roots()...),
 		Steps: c.Steps(),
-	}, nil
+	}
 }
 
 // userConst is the SQL encoding of user IDs in the X column.

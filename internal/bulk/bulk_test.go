@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"trustmap/internal/engine"
 	"trustmap/internal/resolve"
 	"trustmap/internal/tn"
 )
@@ -41,6 +42,28 @@ func TestPlanShape(t *testing.T) {
 	}
 	if len(p.Steps[0].Members) != 2 || len(p.Steps[0].Sources) != 2 {
 		t.Errorf("flood shape wrong: %+v", p.Steps[0])
+	}
+}
+
+func TestPlanFromCompiledArtifact(t *testing.T) {
+	n := buildOscillator()
+	c, err := engine.Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := NewPlanFrom(c)
+	a, b := direct.SQL("POSS"), from.SQL("POSS")
+	if len(a) != len(b) {
+		t.Fatalf("SQL lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("statement %d differs:\n%s\n%s", i, a[i], b[i])
+		}
 	}
 }
 

@@ -109,7 +109,7 @@ func (c *CompiledNetwork) Apply(muts []tn.Mutation, opts ApplyOptions) (*Compile
 			reach:       growCopy(c.reach, nuNew),
 			rootSlots:   append([]int(nil), c.rootSlots...),
 			rootPos:     growCopyI32(c.rootPos, nuNew),
-			incoming:    growCopyBuckets(c.incoming, nuNew),
+			in:          c.in.grow(nuNew),
 			comp:        growCopyInt(c.comp, nuNew, -1),
 			ncomp:       c.ncomp,
 			deadComps:   c.deadComps,
@@ -119,8 +119,13 @@ func (c *CompiledNetwork) Apply(muts []tn.Mutation, opts ApplyOptions) (*Compile
 			supports:    c.supports,
 			supportIDs:  c.supportIDs,
 			nodeSupport: growCopyI32(c.nodeSupport, nuNew),
+			supOff:      c.supOff,
+			supRoots:    c.supRoots,
 			dict:        c.dict,
 			pool:        c.pool,
+			// Supports and root slots are untouched, so every cached
+			// signature result stays valid: carry the cache over.
+			sigs: c.sigs,
 		}
 		n.supportsOnce.Do(func() {})
 		return n, st, nil
@@ -194,15 +199,16 @@ func (c *CompiledNetwork) Apply(muts []tn.Mutation, opts ApplyOptions) (*Compile
 	}
 
 	// Successor artifact: copy-on-write of the per-node tables. The copies
-	// are plain O(U) memmoves — the expensive parts (buckets, bitsets,
-	// member slices) are shared with the base for clean nodes.
+	// are plain O(U+E) memmoves — the expensive parts (bitsets, member
+	// slices) are shared with the base for clean nodes, and the incoming
+	// CSR is respliced flat (the row arrays of a binary network are at most
+	// twice the node count, so this is the same order as the other copies).
 	n := &CompiledNetwork{
 		net:         c.net,
 		g:           c.g, // ownership transfers with consumption
 		reach:       growCopy(c.reach, nuNew),
 		rootSlots:   append([]int(nil), c.rootSlots...),
 		rootPos:     growCopyI32(c.rootPos, nuNew),
-		incoming:    growCopyBuckets(c.incoming, nuNew),
 		comp:        growCopyInt(c.comp, nuNew, -1),
 		ncomp:       c.ncomp,
 		deadComps:   c.deadComps,
@@ -212,6 +218,7 @@ func (c *CompiledNetwork) Apply(muts []tn.Mutation, opts ApplyOptions) (*Compile
 		nodeSupport: growCopyI32(c.nodeSupport, nuNew),
 		dict:        c.dict,
 		pool:        c.pool,
+		sigs:        newSigCache(defaultSigCacheCap), // signatures resolve differently now
 	}
 	n.supportsOnce.Do(func() {}) // supports are spliced below, not rebuilt
 
@@ -268,13 +275,10 @@ func (c *CompiledNetwork) Apply(muts []tn.Mutation, opts ApplyOptions) (*Compile
 		}
 	}
 
-	// Effective incoming tables of dirty nodes (parents' reachability and
-	// touched in-edges are settled now).
-	for x := 0; x < nuNew; x++ {
-		if dirty[x] {
-			n.incoming[x] = n.incomingBuckets(x)
-		}
-	}
+	// Effective incoming tables (parents' reachability and touched in-edges
+	// are settled now): clean nodes copy their CSR rows from the base,
+	// dirty nodes recompute.
+	n.in = c.in.splice(c.net, n.reach, dirty, nuNew)
 
 	// Condensation of the dirty region. Old components containing a dirty
 	// node die (the closure argument above guarantees they are entirely
@@ -393,6 +397,7 @@ func (c *CompiledNetwork) Apply(muts []tn.Mutation, opts ApplyOptions) (*Compile
 		n.nodeSupport[x] = n.internSupport(b)
 	}
 	n.maybeCompactSupports()
+	n.flattenSupports()
 	return n, st, nil
 }
 
@@ -457,11 +462,5 @@ func growCopyInt(src []int, size, fill int) []int {
 	for i := len(src); i < size; i++ {
 		out[i] = fill
 	}
-	return out
-}
-
-func growCopyBuckets(src [][]PriorityBucket, size int) [][]PriorityBucket {
-	out := make([][]PriorityBucket, size)
-	copy(out, src)
 	return out
 }

@@ -19,16 +19,21 @@
 // the union of its closed parents' poss), and every root starts with a
 // singleton set, so by induction poss(x) for any node is the union of the
 // beliefs of a *fixed* subset of roots — its root support. Compile replays
-// the plan symbolically over root-index bitsets and deduplicates the
-// resulting supports, after which resolving one object is a trivial
-// gather: for each distinct support, collect the object's root values and
-// sort them. (The supports are derived on first use, so plan-only
-// consumers such as the SQL lowering skip that cost.) No graph traversal,
-// no shared mutable state — an embarrassingly parallel scan that
-// CompiledNetwork.Resolve distributes over a worker pool. The scan itself
-// is columnar: root beliefs are interned into an int32 dictionary and
-// gathered through reusable per-worker scratch arenas, so the per-object
-// loop performs zero heap allocations in steady state (see intern.go).
+// the plan symbolically over root-index bitsets — in parallel across
+// independent condensation components — and deduplicates the resulting
+// supports, after which resolving one object is a trivial gather: for each
+// distinct support, collect the object's root values and sort them. (The
+// supports are derived on first use, so plan-only consumers such as the
+// SQL lowering skip that cost.) No graph traversal, no shared mutable
+// state — an embarrassingly parallel scan that CompiledNetwork.Resolve
+// distributes over a worker pool. The scan itself is columnar over flat
+// CSR arrays (layout.go): root beliefs are interned into an int32
+// dictionary, supports are contiguous runs of root slots, and reusable
+// per-worker scratch arenas keep the per-object loop at zero heap
+// allocations in steady state (see intern.go). On top of the scan,
+// Resolve deduplicates whole objects by their root-assignment signature
+// and resolves each distinct signature exactly once, with a bounded
+// per-artifact cache carrying signatures across calls (see dedup.go).
 //
 // Networks are living artifacts: beliefs and trust mappings are updated
 // and revoked (Section 2.5 stresses that resolution is order-invariant
@@ -49,6 +54,7 @@ package engine
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -106,7 +112,7 @@ type CompiledNetwork struct {
 	rootSlots []int
 	rootPos   []int32
 
-	incoming [][]PriorityBucket // effective incoming-trust table per node
+	in inCSR // flattened effective incoming-trust table (layout.go)
 
 	comp       []int   // SCC index per reachable node, -1 outside
 	ncomp      int     // number of SCC ids ever issued (dead ones included)
@@ -115,6 +121,11 @@ type CompiledNetwork struct {
 	sccOrder   []int   // topological order of the live condensation DAG
 
 	steps []Step
+	// planRanges maps each condensation component planned by Compile to its
+	// contiguous run of steps, in plan order: the unit of parallelism for
+	// buildSupports (components at the same dependency depth replay
+	// concurrently).
+	planRanges []stepRange
 
 	// Root supports are derived from the steps lazily (sync.Once): plan-only
 	// consumers like the SQL lowering never pay for them. supportIDs is the
@@ -123,6 +134,9 @@ type CompiledNetwork struct {
 	supports     []bitset // distinct root supports, indexed by support ID
 	supportIDs   map[string]int32
 	nodeSupport  []int32 // node -> support ID, -1 when poss is empty
+	// CSR view of supports for the resolve hot path (layout.go).
+	supOff   []int32
+	supRoots []int32
 
 	// dict interns belief values for the columnar resolve path and pool
 	// recycles the per-worker scratch arenas; both survive Apply, so a
@@ -130,9 +144,16 @@ type CompiledNetwork struct {
 	// allocates nothing even across mutations.
 	dict *valueDict
 	pool *sync.Pool
+	// sigs caches signature -> resolved result across Resolve calls
+	// (dedup.go). Valid while supports and root slots are unchanged:
+	// structural Apply successors start with an empty cache.
+	sigs *sigCache
 
 	consumed bool // set by Apply: this artifact has a successor
 }
+
+// stepRange is one condensation component's contiguous slice of the plan.
+type stepRange struct{ comp, lo, hi int32 }
 
 // Stats summarizes a compiled network for diagnostics.
 type Stats struct {
@@ -161,6 +182,7 @@ func Compile(network *tn.Network) (*CompiledNetwork, error) {
 		g:    network.Graph(),
 		dict: newValueDict(),
 		pool: &sync.Pool{},
+		sigs: newSigCache(defaultSigCacheCap),
 	}
 	c.rootPos = make([]int32, nu)
 	for x := 0; x < nu; x++ {
@@ -199,42 +221,13 @@ func (c *CompiledNetwork) liveRoots() []int {
 // ensureSupports builds the root supports on first use.
 func (c *CompiledNetwork) ensureSupports() { c.supportsOnce.Do(c.buildSupports) }
 
-// incomingBuckets computes the priority-bucketed effective incoming-trust
-// table of node x from the network and the current reachability.
-func (c *CompiledNetwork) incomingBuckets(x int) []PriorityBucket {
-	var buckets []PriorityBucket
-	for _, m := range c.net.In(x) { // sorted: priority desc, parent asc
-		if !c.reach[m.Parent] {
-			continue
-		}
-		if k := len(buckets); k > 0 && buckets[k-1].Priority == m.Priority {
-			buckets[k-1].Parents = append(buckets[k-1].Parents, m.Parent)
-		} else {
-			buckets = append(buckets, PriorityBucket{Priority: m.Priority, Parents: []int{m.Parent}})
-		}
-	}
-	return buckets
-}
+// buildIncoming flattens the effective incoming-trust tables.
+func (c *CompiledNetwork) buildIncoming() { c.in = buildInCSR(c.net, c.reach) }
 
-// buildIncoming fills the priority-bucketed incoming-trust tables.
-func (c *CompiledNetwork) buildIncoming() {
-	nu := c.net.NumUsers()
-	c.incoming = make([][]PriorityBucket, nu)
-	for x := 0; x < nu; x++ {
-		c.incoming[x] = c.incomingBuckets(x)
-	}
-}
-
-// preferredParent returns x's effective preferred parent: the sole member
-// of its top priority bucket. ok is false on a tie or when x has no
-// reachable parents.
-func (c *CompiledNetwork) preferredParent(x int) (int, bool) {
-	b := c.incoming[x]
-	if len(b) == 0 || len(b[0].Parents) != 1 {
-		return -1, false
-	}
-	return b[0].Parents[0], true
-}
+// preferredParent returns x's effective preferred parent: the sole row of
+// its top priority bucket. ok is false on a tie or when x has no reachable
+// parents.
+func (c *CompiledNetwork) preferredParent(x int) (int, bool) { return c.in.preferred(x) }
 
 // buildCondensation computes the SCCs of the reachable subgraph, the
 // per-SCC member slices, and a topological order of the condensation DAG.
@@ -276,6 +269,7 @@ func (c *CompiledNetwork) planInto(comps []int, closed []bool) {
 	}
 
 	for _, comp := range comps {
+		firstStep := len(c.steps)
 		members := c.sccMembers[comp]
 		// Step-1 queue, local to this component. Parents outside the
 		// component are already closed (topological order), so the initial
@@ -367,12 +361,18 @@ func (c *CompiledNetwork) planInto(comps []int, closed []bool) {
 				}
 			}
 		}
+		if len(c.steps) > firstStep {
+			c.planRanges = append(c.planRanges,
+				stepRange{comp: int32(comp), lo: int32(firstStep), hi: int32(len(c.steps))})
+		}
 	}
 }
 
 // buildSupports replays the plan symbolically over root-index bitsets:
 // after it, nodeSupport[x] identifies the fixed set of roots whose beliefs
-// make up poss(x) for every object, deduplicated across nodes.
+// make up poss(x) for every object, deduplicated across nodes. The replay
+// distributes across independent condensation components; interning stays
+// sequential so support IDs are deterministic.
 func (c *CompiledNetwork) buildSupports() {
 	nu := c.net.NumUsers()
 	words := (len(c.rootSlots) + 63) / 64
@@ -385,20 +385,7 @@ func (c *CompiledNetwork) buildSupports() {
 		b.set(i)
 		byNode[r] = b
 	}
-	for _, s := range c.steps {
-		switch s.Kind {
-		case StepCopy:
-			byNode[s.Target] = byNode[s.Source] // alias: supports are immutable
-		case StepFlood:
-			u := newBitset(words)
-			for _, z := range s.Sources {
-				u.or(byNode[z])
-			}
-			for _, x := range s.Members {
-				byNode[x] = u
-			}
-		}
-	}
+	c.replaySteps(byNode, words, runtime.GOMAXPROCS(0))
 	c.nodeSupport = make([]int32, nu)
 	c.supportIDs = make(map[string]int32)
 	for x := 0; x < nu; x++ {
@@ -408,6 +395,111 @@ func (c *CompiledNetwork) buildSupports() {
 			continue
 		}
 		c.nodeSupport[x] = c.internSupport(b)
+	}
+	c.flattenSupports()
+}
+
+// replayStep folds one plan step into the per-node bitsets.
+func replayStep(byNode []bitset, s Step, words int) {
+	switch s.Kind {
+	case StepCopy:
+		byNode[s.Target] = byNode[s.Source] // alias: supports are immutable
+	case StepFlood:
+		u := newBitset(words)
+		for _, z := range s.Sources {
+			u.or(byNode[z]) // or(nil) is a no-op: z may be support-less
+		}
+		for _, x := range s.Members {
+			byNode[x] = u
+		}
+	}
+}
+
+// minParallelRanges gates the component-parallel replay: below it the
+// scheduling overhead exceeds the bitset work.
+const minParallelRanges = 64
+
+// replaySteps computes every node's support bitset by replaying the plan.
+// Components whose inputs come only from roots or already-replayed
+// components are independent, so the replay runs level by level over the
+// condensation DAG — level = longest dependency chain through components
+// that own steps — with a worker pool bounded by workers per level. Steps
+// write only their own component's nodes and read only seeds or lower
+// levels, so levels are data-race-free by construction; a level barrier
+// orders them.
+func (c *CompiledNetwork) replaySteps(byNode []bitset, words, workers int) {
+	ranges := c.planRanges
+	if workers <= 1 || len(ranges) < minParallelRanges {
+		for _, s := range c.steps {
+			replayStep(byNode, s, words)
+		}
+		return
+	}
+	// Dependency depth per range. Ranges are appended in topological order
+	// of the condensation, so every dependency has a smaller index and one
+	// forward pass settles the levels. Components without steps (roots,
+	// flood-less singletons) are seeds: depth 0, no range.
+	compRange := make(map[int]int32, len(ranges))
+	for ri, r := range ranges {
+		compRange[int(r.comp)] = int32(ri)
+	}
+	level := make([]int32, len(ranges))
+	maxLevel := int32(0)
+	bump := func(ri int, z int) {
+		if pi, ok := compRange[c.comp[z]]; ok && int(pi) != ri && level[pi]+1 > level[ri] {
+			level[ri] = level[pi] + 1
+		}
+	}
+	for ri, r := range ranges {
+		for _, s := range c.steps[r.lo:r.hi] {
+			if s.Kind == StepCopy {
+				bump(ri, s.Source)
+			} else {
+				for _, z := range s.Sources {
+					bump(ri, z)
+				}
+			}
+		}
+		if level[ri] > maxLevel {
+			maxLevel = level[ri]
+		}
+	}
+	byLevel := make([][]stepRange, maxLevel+1)
+	for ri, r := range ranges {
+		byLevel[level[ri]] = append(byLevel[level[ri]], r)
+	}
+	var wg sync.WaitGroup
+	for _, rs := range byLevel {
+		n := len(rs)
+		w := workers
+		if w > n {
+			w = n
+		}
+		if w <= 1 {
+			for _, r := range rs {
+				for _, s := range c.steps[r.lo:r.hi] {
+					replayStep(byNode, s, words)
+				}
+			}
+			continue
+		}
+		chunk := (n + w - 1) / w
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(rs []stepRange) {
+				defer wg.Done()
+				for _, r := range rs {
+					for _, s := range c.steps[r.lo:r.hi] {
+						replayStep(byNode, s, words)
+					}
+				}
+			}(rs[lo:hi])
+		}
+		wg.Wait() // level barrier: the next level reads this level's outputs
 	}
 }
 
@@ -439,8 +531,9 @@ func (c *CompiledNetwork) Roots() []int {
 func (c *CompiledNetwork) Steps() []Step { return c.steps }
 
 // Incoming returns the priority-bucketed effective incoming-trust table of
-// node x. The slice is shared; do not modify.
-func (c *CompiledNetwork) Incoming(x int) []PriorityBucket { return c.incoming[x] }
+// node x, reconstructed from the flat CSR rows (diagnostic; the resolve
+// path reads the rows directly).
+func (c *CompiledNetwork) Incoming(x int) []PriorityBucket { return c.in.buckets(x) }
 
 // NumSCCs returns the number of strongly connected components of the
 // reachable subgraph.
@@ -537,6 +630,15 @@ func (b bitset) empty() bool {
 		}
 	}
 	return true
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // key returns a map key identifying the set, independent of the bitset

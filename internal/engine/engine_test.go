@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"trustmap/internal/tn"
@@ -151,8 +152,18 @@ func TestResolveCancelledContext(t *testing.T) {
 	objects := map[string]map[int]tn.Value{
 		"k1": {n.UserID("x3"): "v", n.UserID("x4"): "w"},
 	}
-	if _, err := c.Resolve(ctx, objects, Options{Workers: 1}); err != context.Canceled {
-		t.Errorf("cancelled resolve returned %v, want context.Canceled", err)
+	r, err := c.Resolve(ctx, objects, Options{Workers: 1})
+	if !errors.Is(err, ErrResolveAborted) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled resolve returned %v, want ErrResolveAborted wrapping context.Canceled", err)
+	}
+	if r == nil {
+		t.Fatal("cancelled resolve must return the partial result")
+	}
+	if _, err := r.Lookup(n.UserID("x1"), "k1"); !errors.Is(err, ErrResolveAborted) {
+		t.Errorf("lookup of dropped object returned %v, want ErrResolveAborted", err)
+	}
+	if got := r.Certain(n.UserID("x1"), "k1"); got != tn.NoValue {
+		t.Errorf("certain of dropped object = %q, want none", got)
 	}
 }
 

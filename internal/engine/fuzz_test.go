@@ -131,7 +131,9 @@ func FuzzEngineParity(f *testing.F) {
 }
 
 // checkFuzzParity asserts Apply ≡ fresh Compile ≡ Algorithm 1 for one
-// deterministic object over the current roots.
+// deterministic object over the current roots, resolved both through the
+// signature-dedup path (with a duplicate object exercising the fan-out and
+// a second call exercising the cross-batch cache) and with dedup disabled.
 func checkFuzzParity(t *testing.T, c *CompiledNetwork) {
 	t.Helper()
 	fresh, err := Compile(c.net.Clone())
@@ -142,10 +144,25 @@ func checkFuzzParity(t *testing.T, c *CompiledNetwork) {
 	for _, r := range c.Roots() {
 		beliefs[r] = tn.Value(fmt.Sprintf("v%d", r%3))
 	}
-	objs := map[string]map[int]tn.Value{"k": beliefs}
+	// "k" and "kdup" share a signature; the dedup path resolves it once.
+	objs := map[string]map[int]tn.Value{"k": beliefs, "kdup": beliefs}
 	got, err := c.Resolve(context.Background(), objs, Options{Workers: 1})
 	if err != nil {
 		t.Fatalf("apply resolve: %v", err)
+	}
+	if st := got.Dedup(); st.DistinctSignatures != 1 {
+		t.Fatalf("equal objects grouped into %d signatures", st.DistinctSignatures)
+	}
+	nodedup, err := c.Resolve(context.Background(), objs, Options{Workers: 1, DisableDedup: true})
+	if err != nil {
+		t.Fatalf("nodedup resolve: %v", err)
+	}
+	cached, err := c.Resolve(context.Background(), objs, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("cached resolve: %v", err)
+	}
+	if st := cached.Dedup(); st.CacheHits != 1 || st.Resolved != 0 {
+		t.Fatalf("second resolve not served from the signature cache: %+v", st)
 	}
 	want, err := fresh.Resolve(context.Background(), objs, Options{Workers: 1})
 	if err != nil {
@@ -157,12 +174,20 @@ func checkFuzzParity(t *testing.T, c *CompiledNetwork) {
 	}
 	oracle := resolve.Resolve(per)
 	for x := 0; x < c.net.NumUsers(); x++ {
-		g := got.Possible(x, "k")
-		if w := want.Possible(x, "k"); !sameValues(g, w) {
-			t.Fatalf("poss(%s): apply %v vs fresh %v", c.net.Name(x), g, w)
-		}
-		if o := oracle.Possible(x); !sameValues(g, o) {
-			t.Fatalf("poss(%s): apply %v vs algorithm 1 %v", c.net.Name(x), g, o)
+		for _, k := range []string{"k", "kdup"} {
+			g := got.Possible(x, k)
+			if w := want.Possible(x, k); !sameValues(g, w) {
+				t.Fatalf("poss(%s, %s): apply %v vs fresh %v", c.net.Name(x), k, g, w)
+			}
+			if nd := nodedup.Possible(x, k); !sameValues(g, nd) {
+				t.Fatalf("poss(%s, %s): dedup %v vs nodedup %v", c.net.Name(x), k, g, nd)
+			}
+			if cc := cached.Possible(x, k); !sameValues(g, cc) {
+				t.Fatalf("poss(%s, %s): first batch %v vs cached batch %v", c.net.Name(x), k, g, cc)
+			}
+			if o := oracle.Possible(x); !sameValues(g, o) {
+				t.Fatalf("poss(%s, %s): apply %v vs algorithm 1 %v", c.net.Name(x), k, g, o)
+			}
 		}
 	}
 }

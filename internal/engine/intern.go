@@ -8,12 +8,16 @@ package engine
 // allocation from that loop:
 //
 //   - belief values are interned into dense int32 ids by a dictionary that
-//     survives both Resolve calls and Apply generations, so value handling
-//     is integer compares, not string compares;
-//   - the per-object root beliefs live in a root-slot-indexed []int32
-//     column instead of a map[int]tn.Value;
-//   - each worker owns a scratch arena (gather buffer, key buffer, result
-//     cache) recycled through a sync.Pool;
+//     survives both Resolve calls and Apply generations; workers front it
+//     with a lock-free private memo, so the steady state takes no locks;
+//   - the per-object root beliefs are transposed once into a
+//     root-slot-indexed []int32 column (one iteration of the input map —
+//     the per-object floor this input format admits) and everything
+//     downstream reads the column, never the map;
+//   - the per-support gather scans the flat supRoots CSR run (layout.go):
+//     contiguous int32 loads, no bit iteration, no pointer chasing;
+//   - each worker owns a scratch arena (column, gather buffer, key buffer,
+//     result cache) recycled through a sync.Pool;
 //   - materialized possible-value sets are cached per worker keyed by the
 //     id set, so the same conflict pattern resolves to the same shared
 //     slice with no allocation after first sight.
@@ -24,7 +28,6 @@ package engine
 
 import (
 	"fmt"
-	"math/bits"
 	"slices"
 	"sort"
 	"sync"
@@ -76,64 +79,112 @@ func (d *valueDict) snapshot() []tn.Value {
 // scratch is a per-worker resolve arena. All fields are reused across
 // objects; sets caches materialized possible-value slices keyed by the
 // byte image of the sorted id set, so recurring conflict patterns share
-// one canonical slice.
+// one canonical slice; memo fronts the shared value dictionary without
+// locks.
 type scratch struct {
-	rootVals []int32 // root slot -> interned belief id of the current object
-	vals     []tn.Value
-	buf      []int32
-	key      []byte
-	sets     map[string][]tn.Value
+	col  []int32 // root slot -> interned belief id of the current object
+	memo map[tn.Value]int32
+	vals []tn.Value
+	buf  []int32
+	key  []byte
+	sets map[string][]tn.Value
 }
 
 // getScratch takes a warm arena from the pool, sized for this network.
-// The pool is shared along an Apply lineage, so set caches stay warm
-// across mutations.
+// The pool is shared along an Apply lineage, so set caches and value memos
+// stay warm across mutations.
 func (c *CompiledNetwork) getScratch() *scratch {
 	s, _ := c.pool.Get().(*scratch)
 	if s == nil {
-		s = &scratch{sets: make(map[string][]tn.Value)}
+		s = &scratch{
+			sets: make(map[string][]tn.Value),
+			memo: make(map[tn.Value]int32),
+		}
 	}
-	if cap(s.rootVals) < len(c.rootSlots) {
-		s.rootVals = make([]int32, len(c.rootSlots))
+	if cap(s.col) < len(c.rootSlots) {
+		s.col = make([]int32, len(c.rootSlots))
 	}
-	s.rootVals = s.rootVals[:len(c.rootSlots)]
+	s.col = s.col[:len(c.rootSlots)]
 	return s
 }
 
 func (c *CompiledNetwork) putScratch(s *scratch) { c.pool.Put(s) }
 
-// resolveObject materializes the per-support possible-value sets of one
-// object into dst (length len(c.supports)): the columnar core of the bulk
-// scan. Zero heap allocations in steady state.
-func (c *CompiledNetwork) resolveObject(s *scratch, key string, beliefs map[int]tn.Value, dst [][]tn.Value) error {
-	for i, root := range c.rootSlots {
-		if root < 0 { // tombstone of a revoked belief; no support references it
-			s.rootVals[i] = -1
+// valueID interns v through the worker-local memo, falling back to the
+// shared dictionary on first sight.
+func (s *scratch) valueID(d *valueDict, v tn.Value) int32 {
+	if id, ok := s.memo[v]; ok {
+		return id
+	}
+	id := d.id(v)
+	s.memo[v] = id
+	return id
+}
+
+// fillColumn transposes one object's belief map into the worker's
+// root-slot-indexed column: a single iteration of the map, interning each
+// value through the worker memo. Entries for non-root users are ignored,
+// as in the SQL path; tombstoned slots stay -1. liveRoots is the number of
+// live root slots; a shortfall means the object violates assumption (ii)
+// and is reported with the first missing root's name.
+func (c *CompiledNetwork) fillColumn(s *scratch, key string, beliefs map[int]tn.Value, liveRoots int) error {
+	col := s.col
+	for i := range col {
+		col[i] = -1
+	}
+	covered := 0
+	for root, v := range beliefs {
+		if root < 0 || root >= len(c.rootPos) {
 			continue
 		}
-		v, ok := beliefs[root]
-		if !ok {
-			return fmt.Errorf("engine: object %q misses a belief for root user %s (assumption ii)", key, c.net.Name(root))
+		p := c.rootPos[root]
+		if p < 0 {
+			continue
 		}
-		s.rootVals[i] = c.dict.id(v)
+		col[p] = s.valueID(c.dict, v)
+		covered++
 	}
-	// Snapshot after interning: every id in rootVals is below the column's
+	if covered != liveRoots {
+		for _, root := range c.rootSlots {
+			if root < 0 {
+				continue
+			}
+			if _, ok := beliefs[root]; !ok {
+				return fmt.Errorf("engine: object %q misses a belief for root user %s (assumption ii)", key, c.net.Name(root))
+			}
+		}
+	}
+	return nil
+}
+
+// numLiveRoots counts the non-tombstoned root slots.
+func (c *CompiledNetwork) numLiveRoots() int {
+	n := 0
+	for _, r := range c.rootSlots {
+		if r >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// resolveColumn materializes the per-support possible-value sets of one
+// interned column into dst (length len(c.supports)): the columnar core of
+// the bulk scan. Zero heap allocations in steady state.
+func (c *CompiledNetwork) resolveColumn(s *scratch, col []int32, dst [][]tn.Value) {
+	// Snapshot after interning: every id in col is below the column's
 	// length, and the column is append-only.
 	s.vals = c.dict.snapshot()
-	for si := range c.supports {
-		// Gather the root values of this support (bit iteration inlined: a
-		// closure over bitset.each would escape and allocate). No support
-		// referenced by a live node contains a tombstoned slot, but the
-		// table may hold unreferenced supports from before a revocation —
-		// their gathers skip the tombstone and are never read.
+	supRoots := c.supRoots
+	for si := range dst {
+		// Gather the root values of this support: one contiguous CSR run.
+		// No support referenced by a live node contains a tombstoned slot,
+		// but the table may hold unreferenced supports from before a
+		// revocation — their gathers skip the tombstone and are never read.
 		buf := s.buf[:0]
-		for wi, w := range c.supports[si] {
-			base := wi * 64
-			for w != 0 {
-				if v := s.rootVals[base+bits.TrailingZeros64(w)]; v >= 0 {
-					buf = append(buf, v)
-				}
-				w &= w - 1
+		for _, slot := range supRoots[c.supOff[si]:c.supOff[si+1]] {
+			if v := col[slot]; v >= 0 {
+				buf = append(buf, v)
 			}
 		}
 		s.buf = buf
@@ -162,5 +213,14 @@ func (c *CompiledNetwork) resolveObject(s *scratch, key string, beliefs map[int]
 		}
 		dst[si] = set
 	}
+}
+
+// resolveObject materializes the per-support possible-value sets of one
+// object into dst (length len(c.supports)): fillColumn + resolveColumn.
+func (c *CompiledNetwork) resolveObject(s *scratch, key string, beliefs map[int]tn.Value, dst [][]tn.Value) error {
+	if err := c.fillColumn(s, key, beliefs, c.numLiveRoots()); err != nil {
+		return err
+	}
+	c.resolveColumn(s, s.col, dst)
 	return nil
 }

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustmap/internal/tn"
+	"trustmap/internal/workload"
+)
+
+// replayAllSupports seeds the root singletons and replays the full plan
+// with the given worker count, returning the per-node support bitsets.
+func replayAllSupports(c *CompiledNetwork, workers int) []bitset {
+	words := (len(c.rootSlots) + 63) / 64
+	byNode := make([]bitset, c.net.NumUsers())
+	for i, r := range c.rootSlots {
+		if r < 0 {
+			continue
+		}
+		b := newBitset(words)
+		b.set(i)
+		byNode[r] = b
+	}
+	c.replaySteps(byNode, words, workers)
+	return byNode
+}
+
+// TestReplayStepsParallelMatchesSequential forces the component-parallel
+// support replay (which GOMAXPROCS=1 machines never take on their own) and
+// requires bitset-identical output at every worker count. Run under -race
+// this also checks the level barriers.
+func TestReplayStepsParallelMatchesSequential(t *testing.T) {
+	for _, build := range []func() *tn.Network{
+		func() *tn.Network {
+			n := workload.PowerLaw(rand.New(rand.NewSource(13)), 3000, 3, 0.05, []tn.Value{"v", "w"})
+			return tn.Binarize(n)
+		},
+		func() *tn.Network { return tn.Binarize(workload.NestedSCC(80)) },
+		func() *tn.Network { return tn.Binarize(workload.OscillatorClusters(100)) },
+	} {
+		bin := build()
+		c, err := Compile(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.planRanges) < minParallelRanges {
+			t.Fatalf("workload too small to exercise the parallel replay: %d ranges", len(c.planRanges))
+		}
+		want := replayAllSupports(c, 1)
+		for _, workers := range []int{2, 4, 8} {
+			got := replayAllSupports(c, workers)
+			for x := range want {
+				w, g := want[x], got[x]
+				if (w == nil) != (g == nil) {
+					t.Fatalf("workers=%d node %s: nil mismatch", workers, bin.Name(x))
+				}
+				if w == nil {
+					continue
+				}
+				if w.key() != g.key() {
+					t.Fatalf("workers=%d node %s: support %v vs %v", workers, bin.Name(x), g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestInCSRBucketsRoundTrip checks the diagnostic bucket reconstruction
+// against the flat rows on a network with ties and unreachable parents.
+func TestInCSRBucketsRoundTrip(t *testing.T) {
+	n := tn.New()
+	r := n.AddUser("r")
+	dead := n.AddUser("dead") // no belief, no parents: unreachable
+	a, b := n.AddUser("a"), n.AddUser("b")
+	n.SetExplicit(r, "seed")
+	n.AddMapping(r, a, 2)
+	n.AddMapping(dead, a, 3) // outranks r but filtered: dead is unreachable
+	n.AddMapping(r, b, 1)
+	n.AddMapping(a, b, 1) // tie
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Incoming(dead); got != nil {
+		t.Errorf("Incoming(dead)=%v want nil", got)
+	}
+	ba := c.Incoming(a)
+	if len(ba) != 1 || ba[0].Priority != 2 || len(ba[0].Parents) != 1 || ba[0].Parents[0] != r {
+		t.Errorf("Incoming(a)=%+v want one bucket {2:[r]}", ba)
+	}
+	if p, ok := c.preferredParent(a); !ok || p != r {
+		t.Errorf("preferredParent(a)=%d,%v want r", p, ok)
+	}
+	bb := c.Incoming(b)
+	if len(bb) != 1 || len(bb[0].Parents) != 2 {
+		t.Errorf("Incoming(b)=%+v want one tied bucket of 2", bb)
+	}
+	if _, ok := c.preferredParent(b); ok {
+		t.Error("tied node must have no preferred parent")
+	}
+}

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"trustmap/internal/tn"
 )
@@ -16,6 +18,11 @@ type Options struct {
 	// negative means runtime.GOMAXPROCS(0). One worker runs the whole scan
 	// inline, with no goroutines — the sequential engine path.
 	Workers int
+	// DisableDedup resolves every object independently instead of grouping
+	// objects by root-assignment signature and resolving each distinct
+	// signature once (dedup.go). Results are identical either way; the knob
+	// exists for measurement and for batches known to be signature-free.
+	DisableDedup bool
 }
 
 // BulkResult holds poss(x, k) for every node x and object k of one Resolve
@@ -28,9 +35,82 @@ type BulkResult struct {
 	keys []string
 	idx  map[string]int
 	// poss[objIdx][supportID] is the sorted distinct values of the roots in
-	// that support. Nodes sharing a support share the slice, and recurring
-	// id sets share one canonical slice per worker (see intern.go).
+	// that support. Objects sharing a signature share the whole slice;
+	// recurring value sets share one canonical slice per worker (intern.go).
 	poss [][][]tn.Value
+	// done marks objects actually resolved: all of them on a nil-error
+	// return, a prefix-closed-under-signature subset after an aborted run.
+	done  []bool
+	dedup DedupStats
+}
+
+// Sentinel conditions for result lookups; see Lookup.
+var (
+	ErrUnknownObject = errors.New("engine: unknown object key")
+	ErrOutOfRange    = errors.New("engine: node out of range")
+	// ErrResolveAborted marks a partial result: the Resolve call was cut
+	// short by context cancellation and this object was never resolved. The
+	// aborted Resolve returns it (wrapping the context's error) alongside
+	// the partial result; Lookup returns it for each dropped object.
+	ErrResolveAborted = errors.New("engine: resolve aborted")
+)
+
+// failState keeps the error of the smallest object index any worker failed
+// on: the error the sequential path would report first, making error
+// reporting deterministic under concurrency.
+type failState struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+func (f *failState) record(i int, err error) {
+	f.mu.Lock()
+	if f.err == nil || i < f.idx {
+		f.idx, f.err = i, err
+	}
+	f.mu.Unlock()
+}
+
+// scan runs body(s, i) for every i in [0, n), distributed over workers,
+// each with its own scratch arena. A body returning false — or context
+// cancellation — stops the whole scan after in-flight bodies finish.
+func (c *CompiledNetwork) scan(ctx context.Context, workers, n int, body func(s *scratch, i int) bool) {
+	if n == 0 {
+		return
+	}
+	var next atomic.Int64
+	var stopped atomic.Bool
+	run := func() {
+		s := c.getScratch()
+		defer c.putScratch(s)
+		for {
+			if stopped.Load() || ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if !body(s, i) {
+				stopped.Store(true)
+				return
+			}
+		}
+	}
+	if workers <= 1 {
+		run()
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	wg.Wait()
 }
 
 // Resolve computes the possible values of every node for every object.
@@ -39,10 +119,18 @@ type BulkResult struct {
 // (ii) of Section 4). Extra entries for non-root users are ignored, as in
 // the SQL path.
 //
-// Objects are distributed over opts.Workers goroutines; each works on
-// per-object scratch only (the compiled plan is shared immutably), so no
-// locks are taken on the hot path and, in steady state, no allocations are
-// made per object. Cancelling ctx stops the scan early.
+// The scan deduplicates by signature (dedup.go) unless opts.DisableDedup:
+// objects are transposed into interned root-assignment columns in parallel,
+// grouped into distinct signatures, and each signature is resolved exactly
+// once — consulting the artifact's cross-batch signature cache first — with
+// the canonical result fanned out to all member objects. Workers share no
+// mutable state on the gather path and, in steady state, allocate nothing
+// per object.
+//
+// Cancelling ctx stops the scan early and returns the partial result with
+// an error wrapping ErrResolveAborted; Lookup reports the dropped objects
+// individually. A malformed object (missing root belief) returns a nil
+// result and the error of the smallest failing object index.
 func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[int]tn.Value, opts Options) (*BulkResult, error) {
 	c.ensureSupports()
 	keys := make([]string, 0, len(objects))
@@ -51,16 +139,18 @@ func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[in
 	}
 	sort.Strings(keys)
 	ns := len(c.supports)
-	flat := make([][]tn.Value, len(keys)*ns)
 	r := &BulkResult{
 		c:    c,
 		keys: keys,
 		idx:  make(map[string]int, len(keys)),
 		poss: make([][][]tn.Value, len(keys)),
+		done: make([]bool, len(keys)),
 	}
 	for i, k := range keys {
 		r.idx[k] = i
-		r.poss[i] = flat[i*ns : (i+1)*ns : (i+1)*ns]
+	}
+	if len(keys) == 0 {
+		return r, nil
 	}
 
 	workers := opts.Workers
@@ -70,100 +160,139 @@ func (c *CompiledNetwork) Resolve(ctx context.Context, objects map[string]map[in
 	if workers > len(keys) {
 		workers = len(keys)
 	}
-	if workers <= 1 {
-		s := c.getScratch()
-		defer c.putScratch(s)
-		for i, k := range keys {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	liveRoots := c.numLiveRoots()
+	fail := failState{idx: -1}
+
+	if opts.DisableDedup {
+		r.dedup = DedupStats{Objects: len(keys)}
+		flat := make([][]tn.Value, len(keys)*ns)
+		c.scan(ctx, workers, len(keys), func(s *scratch, i int) bool {
+			if err := c.fillColumn(s, keys[i], objects[keys[i]], liveRoots); err != nil {
+				fail.record(i, err)
+				return false
 			}
-			if err := c.resolveObject(s, k, objects[k], r.poss[i]); err != nil {
-				return nil, err
-			}
-		}
-		return r, nil
+			dst := flat[i*ns : (i+1)*ns : (i+1)*ns]
+			c.resolveColumn(s, s.col, dst)
+			r.poss[i] = dst
+			r.done[i] = true
+			return true
+		})
+		return r.finish(ctx, &fail)
 	}
 
-	// Deterministic error reporting under concurrency: every worker keeps
-	// the error of the smallest object index it failed on; the minimum
-	// across workers is the error the sequential path would return first.
-	type firstErr struct {
-		idx int
-		err error
+	// Phase 1: transpose and hash every object's beliefs, claiming its
+	// signature group — parallel, with one short critical section per
+	// object inside claim. When the batch probes as signature-free the
+	// grouping bails out and the tail resolves directly (dedup.go).
+	groups := newSigGroups(64)
+	var direct atomic.Int64
+	sigOf := make([]int32, len(keys))
+	for i := range sigOf {
+		sigOf[i] = -1
 	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		fail *firstErr
-		next int
-	)
-	claim := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= len(keys) || fail != nil {
-			return -1
+	c.scan(ctx, workers, len(keys), func(s *scratch, i int) bool {
+		if err := c.fillColumn(s, keys[i], objects[keys[i]], liveRoots); err != nil {
+			fail.record(i, err)
+			return false
 		}
-		i := next
-		next++
-		return i
+		if groups.bailed.Load() {
+			dst := make([][]tn.Value, ns)
+			c.resolveColumn(s, s.col, dst)
+			r.poss[i] = dst
+			r.done[i] = true
+			direct.Add(1)
+			return true
+		}
+		sigOf[i] = groups.claim(s.col, hashColumn(s.col))
+		return true
+	})
+	r.dedup.Objects = len(keys)
+	r.dedup.DistinctSignatures = len(groups.groups) + int(direct.Load())
+	r.dedup.Resolved = int(direct.Load())
+	if fail.err != nil || ctx.Err() != nil {
+		return r.finish(ctx, &fail)
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := c.getScratch()
-			defer c.putScratch(s)
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := claim()
-				if i < 0 {
-					return
-				}
-				if err := c.resolveObject(s, keys[i], objects[keys[i]], r.poss[i]); err != nil {
-					mu.Lock()
-					if fail == nil || i < fail.idx {
-						fail = &firstErr{idx: i, err: err}
-					}
-					mu.Unlock()
-					return
-				}
+
+	// Phase 2: consult the cross-batch cache, then resolve each remaining
+	// signature exactly once, in parallel.
+	misses := make([]*sigGroup, 0, len(groups.groups))
+	for _, g := range groups.groups {
+		if g.res = c.sigs.get(g.hash, g.col); g.res != nil {
+			r.dedup.CacheHits++
+		} else {
+			misses = append(misses, g)
+		}
+	}
+	w := workers
+	if w > len(misses) {
+		w = len(misses)
+	}
+	// A batch that bailed out probed as signature-free: resolve its groups
+	// but keep them out of the cross-batch cache, which exists for
+	// recurring signatures and would only be polluted (and eventually
+	// flushed) by one-off ones.
+	cache := !groups.bailed.Load()
+	c.scan(ctx, w, len(misses), func(s *scratch, gi int) bool {
+		g := misses[gi]
+		dst := make([][]tn.Value, ns)
+		c.resolveColumn(s, g.col, dst)
+		g.res = dst
+		if cache {
+			c.sigs.put(g.hash, g.col, dst)
+		}
+		return true
+	})
+	for _, g := range misses {
+		if g.res != nil {
+			r.dedup.Resolved++
+		}
+	}
+
+	// Phase 3: fan each signature's canonical result out to its members.
+	for i, gi := range sigOf {
+		if gi >= 0 {
+			if res := groups.groups[gi].res; res != nil {
+				r.poss[i] = res
+				r.done[i] = true
 			}
-		}()
+		}
 	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if fail != nil {
+	return r.finish(ctx, &fail)
+}
+
+// finish settles a Resolve return: a worker error wins (nil result), then
+// cancellation (partial result, ErrResolveAborted), then success.
+func (r *BulkResult) finish(ctx context.Context, fail *failState) (*BulkResult, error) {
+	if fail.err != nil {
 		return nil, fail.err
+	}
+	if err := ctx.Err(); err != nil {
+		return r, fmt.Errorf("%w: %w", ErrResolveAborted, err)
 	}
 	return r, nil
 }
 
-// Sentinel conditions for result lookups; see Lookup.
-var (
-	ErrUnknownObject = fmt.Errorf("engine: unknown object key")
-	ErrOutOfRange    = fmt.Errorf("engine: node out of range")
-)
-
 // Keys returns the resolved object keys, sorted.
 func (r *BulkResult) Keys() []string { return append([]string(nil), r.keys...) }
 
+// Dedup reports the signature-deduplication counters of the Resolve call
+// that produced this result.
+func (r *BulkResult) Dedup() DedupStats { return r.dedup }
+
 // Possible returns poss(x, k), sorted. The slice is shared; do not modify.
-// It returns nil both when poss is empty and when x or k is unknown; use
-// Lookup to distinguish.
+// It returns nil when poss is empty, when x or k is unknown, and when the
+// object was dropped by an aborted Resolve; use Lookup to distinguish.
 func (r *BulkResult) Possible(x int, key string) []tn.Value {
 	poss, _ := r.Lookup(x, key)
 	return poss
 }
 
 // Lookup returns poss(x, k) like Possible, with the lookup failure made
-// explicit: ErrUnknownObject when key was not resolved by this call,
-// ErrOutOfRange when x is not a node of the compiled network. A nil error
-// with an empty slice means the node genuinely has no possible values
-// (unreachable from any root).
+// explicit: ErrUnknownObject when key was not part of the Resolve call,
+// ErrOutOfRange when x is not a node of the compiled network, and
+// ErrResolveAborted when the call was cancelled before reaching this
+// object. A nil error with an empty slice means the node genuinely has no
+// possible values (unreachable from any root).
 func (r *BulkResult) Lookup(x int, key string) ([]tn.Value, error) {
 	i, ok := r.idx[key]
 	if !ok {
@@ -172,6 +301,9 @@ func (r *BulkResult) Lookup(x int, key string) ([]tn.Value, error) {
 	if x < 0 || x >= len(r.c.nodeSupport) {
 		return nil, ErrOutOfRange
 	}
+	if !r.done[i] {
+		return nil, ErrResolveAborted
+	}
 	id := r.c.nodeSupport[x]
 	if id < 0 {
 		return nil, nil
@@ -179,7 +311,8 @@ func (r *BulkResult) Lookup(x int, key string) ([]tn.Value, error) {
 	return r.poss[i][id], nil
 }
 
-// Certain returns cert(x, k): the single possible value, or tn.NoValue.
+// Certain returns cert(x, k): the single possible value, or tn.NoValue —
+// also for dropped objects of an aborted Resolve (Lookup tells them apart).
 func (r *BulkResult) Certain(x int, key string) tn.Value {
 	poss := r.Possible(x, key)
 	if len(poss) == 1 {

@@ -46,10 +46,25 @@ func OscillatorClusters(k int) *tn.Network {
 // PowerLaw grows a scale-free trust network by preferential attachment
 // (Barabási–Albert style): node t attaches edgesPer incoming trust
 // mappings whose parents are sampled proportionally to degree. Priorities
-// are random; beliefFrac of the users (always including the first) get
-// explicit beliefs drawn from domain. This reproduces the power-law degree
-// shape of the paper's web-crawl data set.
+// are random over 100 levels; beliefFrac of the users (always including
+// the first) get explicit beliefs drawn from domain. This reproduces the
+// power-law degree shape of the paper's web-crawl data set.
 func PowerLaw(rng *rand.Rand, users, edgesPer int, beliefFrac float64, domain []tn.Value) *tn.Network {
+	return powerLaw(rng, users, edgesPer, 100, beliefFrac, domain)
+}
+
+// PowerLawTiered is PowerLaw with priorities drawn from a small number of
+// tiers, the shape of systems that rank trust coarsely ("trusted",
+// "normal", "fallback") rather than on a fine scale. Ties are frequent, so
+// resolution floods strongly connected regions and unions many roots: the
+// support-rich regime of bulk resolution, where an object's possible
+// values aggregate large root sets instead of following one preferred
+// chain.
+func PowerLawTiered(rng *rand.Rand, users, edgesPer, tiers int, beliefFrac float64, domain []tn.Value) *tn.Network {
+	return powerLaw(rng, users, edgesPer, tiers, beliefFrac, domain)
+}
+
+func powerLaw(rng *rand.Rand, users, edgesPer, prioLevels int, beliefFrac float64, domain []tn.Value) *tn.Network {
 	n := tn.New()
 	if users == 0 {
 		return n
@@ -75,7 +90,7 @@ func PowerLaw(rng *rand.Rand, users, edgesPer int, beliefFrac float64, domain []
 				}
 			}
 			chosen[z] = true
-			n.AddMapping(z, x, 1+rng.Intn(100))
+			n.AddMapping(z, x, 1+rng.Intn(prioLevels))
 			endpoints = append(endpoints, z, x)
 		}
 		if i == 0 || rng.Float64() < beliefFrac {

@@ -36,6 +36,12 @@ type SessionOptions struct {
 	// MaxDirtyFraction is the dirty-region share above which the engine
 	// recompiles from scratch instead of splicing (0 = engine default).
 	MaxDirtyFraction float64
+	// DisableDedup turns off signature deduplication for the session's
+	// resolves. The default dedups: objects sharing one root-assignment
+	// signature resolve once per artifact generation — the signature cache
+	// survives across BulkResolve calls and value-only mutations, and is
+	// invalidated by structural ones. See BulkResolution.DedupStats.
+	DisableDedup bool
 }
 
 // SessionStats counts what the session's maintenance has done.
@@ -62,6 +68,7 @@ type Session struct {
 
 	workers     int
 	maxDirty    float64
+	noDedup     bool
 	version     uint64 // inner network version the session is synced to
 	needRebuild bool
 	stats       SessionStats
@@ -77,6 +84,7 @@ func (n *Network) NewSession(opts SessionOptions) (*Session, error) {
 		net:      n,
 		workers:  opts.Workers,
 		maxDirty: opts.MaxDirtyFraction,
+		noDedup:  opts.DisableDedup,
 	}
 	for _, name := range opts.ExtraRoots {
 		s.extraRoots = append(s.extraRoots, n.inner.AddUser(name))
@@ -466,7 +474,7 @@ func (s *Session) BulkResolve(ctx context.Context, objects map[string]map[string
 		}
 		conv[key] = m
 	}
-	res, err := s.comp.Resolve(ctx, conv, engine.Options{Workers: s.workers})
+	res, err := s.comp.Resolve(ctx, conv, engine.Options{Workers: s.workers, DisableDedup: s.noDedup})
 	if err != nil {
 		return nil, err
 	}

@@ -502,7 +502,17 @@ type BulkOptions struct {
 	// compiled concurrent engine. Kept for parity testing and for callers
 	// that want the relational trace.
 	UseSQL bool
+	// DisableDedup turns off signature deduplication on the engine path:
+	// by default objects sharing one root-assignment signature are resolved
+	// once and share the canonical result, which makes clustered workloads
+	// sublinear in the object count. Results are identical either way; see
+	// BulkResolution.DedupStats for what a batch deduplicated to.
+	DisableDedup bool
 }
+
+// DedupStats reports what signature deduplication did for one engine-path
+// bulk resolution; see BulkResolution.DedupStats.
+type DedupStats = engine.DedupStats
 
 // BulkResolve resolves many objects sharing this network's trust mappings
 // (Section 4) on the compiled concurrent engine. objects maps object keys
@@ -579,11 +589,22 @@ func (n *Network) BulkResolveWith(ctx context.Context, objects map[string]map[st
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.Resolve(ctx, conv, engine.Options{Workers: opts.Workers})
+	res, err := c.Resolve(ctx, conv, engine.Options{Workers: opts.Workers, DisableDedup: opts.DisableDedup})
 	if err != nil {
 		return nil, err
 	}
 	return &BulkResolution{src: n.inner, keys: keys, eng: res}, nil
+}
+
+// DedupStats reports the signature-deduplication counters of the engine
+// path: how many objects the batch held, how many distinct signatures they
+// collapsed to, and how many of those came from the cross-batch cache.
+// Zero-valued on the SQL path.
+func (r *BulkResolution) DedupStats() DedupStats {
+	if r.eng == nil {
+		return DedupStats{}
+	}
+	return r.eng.Dedup()
 }
 
 // Keys returns the resolved object keys, sorted: the deterministic
