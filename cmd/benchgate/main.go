@@ -39,6 +39,7 @@ func main() {
 	current := flag.String("current", "", "current benchjson file (required)")
 	pattern := flag.String("pattern", ".", "regexp of benchmark names to gate")
 	threshold := flag.Float64("threshold", 1.10, "fail when current/baseline ns/op exceeds this")
+	summary := flag.String("summary", "", "append the delta table as GitHub-flavored markdown to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		flag.Usage()
@@ -57,6 +58,11 @@ func main() {
 		fatal(err)
 	}
 	code := gate(os.Stdout, base, cur, re, *threshold)
+	if *summary != "" {
+		if err := appendSummary(*summary, base, cur, re, *threshold); err != nil {
+			fatal(err)
+		}
+	}
 	os.Exit(code)
 }
 
@@ -86,9 +92,30 @@ func load(path string) (map[string]float64, error) {
 	return best, nil
 }
 
-// gate prints one verdict line per gated benchmark and returns the exit
-// code: 1 when any matched benchmark regressed beyond the threshold.
-func gate(w *os.File, base, cur map[string]float64, re *regexp.Regexp, threshold float64) int {
+// rowClass classifies one comparison row; the gate exit code and both
+// renderings (text report and markdown summary) derive from it, so the
+// two outputs can never disagree on a verdict.
+type rowClass int
+
+const (
+	rowOK rowClass = iota
+	rowImproved
+	rowRegression
+	rowNew     // only in the current run: reported, never gated
+	rowRetired // only in the baseline: reported, never gated
+)
+
+// row is one classified benchmark comparison.
+type row struct {
+	name      string
+	base, cur float64
+	ratio     float64
+	class     rowClass
+}
+
+// classify computes the comparison rows — current benchmarks matching re
+// (sorted), then retired baselines (sorted) — and the regression count.
+func classify(base, cur map[string]float64, re *regexp.Regexp, threshold float64) (rows []row, failed int) {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
 		if re.MatchString(name) {
@@ -96,30 +123,54 @@ func gate(w *os.File, base, cur map[string]float64, re *regexp.Regexp, threshold
 		}
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "%-60s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "cur ns/op", "ratio", "verdict")
-	failed := 0
 	for _, name := range names {
-		c := cur[name]
-		b, ok := base[name]
-		if !ok {
-			fmt.Fprintf(w, "%-60s %14s %14.0f %8s  new (not gated)\n", name, "-", c, "-")
-			continue
-		}
-		ratio := c / b
-		verdict := "ok"
-		if ratio > threshold {
-			verdict = fmt.Sprintf("REGRESSION (> %.2fx)", threshold)
-			failed++
-		} else if ratio < 1/threshold {
-			verdict = "improved"
-		}
-		fmt.Fprintf(w, "%-60s %14.0f %14.0f %7.2fx  %s\n", name, b, c, ratio, verdict)
-	}
-	for name := range base {
-		if re.MatchString(name) {
-			if _, ok := cur[name]; !ok {
-				fmt.Fprintf(w, "%-60s %14.0f %14s %8s  retired (not gated)\n", name, base[name], "-", "-")
+		r := row{name: name, cur: cur[name], class: rowNew}
+		if b, ok := base[name]; ok {
+			r.base, r.ratio = b, cur[name]/b
+			switch {
+			case r.ratio > threshold:
+				r.class = rowRegression
+				failed++
+			case r.ratio < 1/threshold:
+				r.class = rowImproved
+			default:
+				r.class = rowOK
 			}
+		}
+		rows = append(rows, r)
+	}
+	retired := make([]string, 0)
+	for name := range base {
+		if _, ok := cur[name]; !ok && re.MatchString(name) {
+			retired = append(retired, name)
+		}
+	}
+	sort.Strings(retired)
+	for _, name := range retired {
+		rows = append(rows, row{name: name, base: base[name], class: rowRetired})
+	}
+	return rows, failed
+}
+
+// gate prints one verdict line per gated benchmark and returns the exit
+// code: 1 when any matched benchmark regressed beyond the threshold.
+func gate(w *os.File, base, cur map[string]float64, re *regexp.Regexp, threshold float64) int {
+	rows, failed := classify(base, cur, re, threshold)
+	fmt.Fprintf(w, "%-60s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "cur ns/op", "ratio", "verdict")
+	for _, r := range rows {
+		switch r.class {
+		case rowNew:
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s  new (not gated)\n", r.name, "-", r.cur, "-")
+		case rowRetired:
+			fmt.Fprintf(w, "%-60s %14.0f %14s %8s  retired (not gated)\n", r.name, r.base, "-", "-")
+		default:
+			verdict := "ok"
+			if r.class == rowRegression {
+				verdict = fmt.Sprintf("REGRESSION (> %.2fx)", threshold)
+			} else if r.class == rowImproved {
+				verdict = "improved"
+			}
+			fmt.Fprintf(w, "%-60s %14.0f %14.0f %7.2fx  %s\n", r.name, r.base, r.cur, r.ratio, verdict)
 		}
 	}
 	if failed > 0 {
@@ -128,4 +179,43 @@ func gate(w *os.File, base, cur map[string]float64, re *regexp.Regexp, threshold
 	}
 	fmt.Fprintln(w, "\nbenchgate: no regressions")
 	return 0
+}
+
+// appendSummary appends the delta table as GitHub-flavored markdown —
+// the $GITHUB_STEP_SUMMARY rendering, so a regression is visible on the
+// workflow run page without downloading artifacts. Appending (not
+// truncating) is the step-summary contract: several steps may share the
+// file.
+func appendSummary(path string, base, cur map[string]float64, re *regexp.Regexp, threshold float64) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, failed := classify(base, cur, re, threshold)
+	fmt.Fprintf(f, "### Bench gate (threshold %.2fx)\n\n", threshold)
+	fmt.Fprintln(f, "| benchmark | base ns/op | current ns/op | ratio | verdict |")
+	fmt.Fprintln(f, "|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		switch r.class {
+		case rowNew:
+			fmt.Fprintf(f, "| `%s` | - | %.0f | - | new (not gated) |\n", r.name, r.cur)
+		case rowRetired:
+			fmt.Fprintf(f, "| `%s` | %.0f | - | - | retired (not gated) |\n", r.name, r.base)
+		default:
+			verdict := "ok"
+			if r.class == rowRegression {
+				verdict = fmt.Sprintf("**REGRESSION** (> %.2fx)", threshold)
+			} else if r.class == rowImproved {
+				verdict = "improved"
+			}
+			fmt.Fprintf(f, "| `%s` | %.0f | %.0f | %.2fx | %s |\n", r.name, r.base, r.cur, r.ratio, verdict)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(f, "\n%d regression(s) beyond %.2fx.\n\n", failed, threshold)
+	} else {
+		fmt.Fprintf(f, "\nNo regressions.\n\n")
+	}
+	return nil
 }

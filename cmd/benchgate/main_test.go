@@ -57,3 +57,41 @@ func TestGateVerdicts(t *testing.T) {
 		t.Errorf("filtered run must exit 0, got %d", code)
 	}
 }
+
+func TestAppendSummaryMarkdown(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkBulkResolve/engine-8": 100,
+		"BenchmarkRetired-8":            10,
+	}
+	cur := map[string]float64{
+		"BenchmarkBulkResolve/engine-8": 150,
+		"BenchmarkNew-8":                7,
+	}
+	path := filepath.Join(t.TempDir(), "summary.md")
+	re := regexp.MustCompile("Benchmark")
+	// Two appends: the step-summary file accumulates across steps.
+	for i := 0; i < 2; i++ {
+		if err := appendSummary(path, base, cur, re, 1.10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"| benchmark | base ns/op | current ns/op | ratio | verdict |",
+		"**REGRESSION**",
+		"new (not gated)",
+		"retired (not gated)",
+		"1.50x",
+	} {
+		if !regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(out) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if got := len(regexp.MustCompile(`### Bench gate`).FindAllString(out, -1)); got != 2 {
+		t.Errorf("append mode: %d headers, want 2", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Command trustd serves trust-mapping resolution over HTTP: one
+// long-running process, one shared Session, epoch-swapped snapshots
+// underneath. Any number of concurrent resolve calls read the currently
+// published compiled artifact lock-free while mutate calls build the next
+// epoch off to the side and swap it in atomically — the production shape
+// of the paper's bulk setting (Section 4) for a live community database.
+//
+// Usage:
+//
+//	trustd -f network.json [-addr :7171] [-workers N] [-extra-roots a,b]
+//	trustd -demo 1000 [-seed 42] [-addr :7171]
+//
+// The network file uses trustctl's format:
+//
+//	{
+//	  "trust":   [{"truster": "Alice", "trusted": "Bob", "priority": 100}],
+//	  "beliefs": {"Bob": "fish", "Charlie": "knot"}
+//	}
+//
+// -demo N serves a deterministic scale-free demo network with N users
+// instead (for trying the endpoints without authoring a file).
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz          liveness plus the current epoch
+//	GET  /v1/stats         session + engine statistics of the current epoch
+//	POST /v1/resolve       {"beliefs": {...}, "users": [...]}
+//	POST /v1/bulk-resolve  {"objects": {key: {...}}, "users": [...]}
+//	POST /v1/mutate        {"ops": [{"op": "add-trust", ...}, ...]}
+//
+// Every response carries the serving epoch; a mutate's response epoch is
+// a lower bound for every later read, so read-your-writes is checkable
+// client-side.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"trustmap"
+)
+
+func main() {
+	addr := flag.String("addr", ":7171", "listen address")
+	file := flag.String("f", "", "network JSON file (trustctl format)")
+	demo := flag.Int("demo", 0, "serve a generated scale-free demo network with this many users instead of -f")
+	seed := flag.Int64("seed", 42, "demo network seed")
+	workers := flag.Int("workers", 0, "resolve worker-pool size (0 = GOMAXPROCS)")
+	extraRoots := flag.String("extra-roots", "", "comma-separated users whose beliefs vary per object without a network default")
+	flag.Parse()
+	if (*file == "") == (*demo == 0) {
+		fmt.Fprintln(os.Stderr, "trustd: exactly one of -f and -demo is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	n, err := buildNetwork(*file, *demo, *seed)
+	if err != nil {
+		log.Fatalf("trustd: %v", err)
+	}
+	var extras []string
+	if *extraRoots != "" {
+		extras = strings.Split(*extraRoots, ",")
+	}
+	s, err := n.NewSession(trustmap.SessionOptions{Workers: *workers, ExtraRoots: extras})
+	if err != nil {
+		log.Fatalf("trustd: compiling session: %v", err)
+	}
+	st := s.EngineStats()
+	log.Printf("trustd: serving %d users, %d mappings, %d roots on %s (epoch %d)",
+		st.Users, st.Mappings, st.Roots, *addr, s.Epoch())
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(s),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// buildNetwork loads the network file, or generates the demo network.
+func buildNetwork(file string, demo int, seed int64) (*trustmap.Network, error) {
+	if demo > 0 {
+		return demoNetwork(demo, seed), nil
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var nf struct {
+		Trust []struct {
+			Truster  string `json:"truster"`
+			Trusted  string `json:"trusted"`
+			Priority int    `json:"priority"`
+		} `json:"trust"`
+		Beliefs map[string]string `json:"beliefs"`
+	}
+	if err := json.Unmarshal(raw, &nf); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", file, err)
+	}
+	n := trustmap.New()
+	for _, tm := range nf.Trust {
+		n.AddTrust(tm.Truster, tm.Trusted, tm.Priority)
+	}
+	// Beliefs in name order, so user IDs are deterministic given the file.
+	users := make([]string, 0, len(nf.Beliefs))
+	for user := range nf.Beliefs {
+		users = append(users, user)
+	}
+	sort.Strings(users)
+	for _, user := range users {
+		n.SetBelief(user, nf.Beliefs[user])
+	}
+	return n, nil
+}
+
+// demoNetwork grows a deterministic scale-free community: each user
+// trusts up to two earlier users with coarse-tiered priorities, and one
+// in ten states an explicit belief.
+func demoNetwork(users int, seed int64) *trustmap.Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := trustmap.New()
+	name := func(i int) string { return fmt.Sprintf("site%d", i) }
+	domain := []string{"fish", "knot", "cow"}
+	n.SetBelief(name(0), domain[0])
+	for i := 1; i < users; i++ {
+		chosen := map[int]bool{}
+		for e, k := 0, 1+rng.Intn(2); e < k && e < i; e++ {
+			z := rng.Intn(i)
+			if chosen[z] {
+				continue // no duplicate mappings per truster
+			}
+			chosen[z] = true
+			n.AddTrust(name(i), name(z), 1+rng.Intn(3))
+		}
+		if rng.Float64() < 0.1 {
+			n.SetBelief(name(i), domain[rng.Intn(len(domain))])
+		}
+	}
+	return n
+}

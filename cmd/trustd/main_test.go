@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trustmap"
+)
+
+// testSession builds the small demo community the handler tests share.
+func testSession(t *testing.T) *trustmap.Session {
+	t.Helper()
+	n := trustmap.New()
+	n.AddTrust("alice", "bob", 100)
+	n.AddTrust("alice", "carol", 50)
+	n.SetBelief("bob", "fish")
+	n.SetBelief("carol", "knot")
+	s, err := n.NewSession(trustmap.SessionOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: invalid JSON response %q: %v", path, rec.Body.String(), err)
+	}
+	return rec, out
+}
+
+func TestHandlerResolveAndStats(t *testing.T) {
+	h := newServer(testSession(t))
+
+	rec, out := postJSON(t, h, "/v1/resolve", resolveRequest{Users: []string{"alice"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resolve: status %d, body %v", rec.Code, out)
+	}
+	users := out["users"].(map[string]any)
+	alice := users["alice"].(map[string]any)
+	if got := alice["certain"]; got != "fish" {
+		t.Fatalf("certain(alice) = %v, want fish", got)
+	}
+
+	// Per-object override beats the network default.
+	_, out = postJSON(t, h, "/v1/resolve", resolveRequest{
+		Beliefs: map[string]string{"bob": "cow"},
+		Users:   []string{"alice"},
+	})
+	alice = out["users"].(map[string]any)["alice"].(map[string]any)
+	if got := alice["certain"]; got != "cow" {
+		t.Fatalf("certain(alice) with override = %v, want cow", got)
+	}
+
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "\"compiles\":1") {
+		t.Fatalf("stats: status %d, body %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHandlerBulkResolve(t *testing.T) {
+	h := newServer(testSession(t))
+	rec, out := postJSON(t, h, "/v1/bulk-resolve", bulkResolveRequest{
+		Objects: map[string]map[string]string{
+			"o1": {"bob": "fish", "carol": "fish"},
+			"o2": {"bob": "v1", "carol": "v2"},
+		},
+		Users: []string{"alice"},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bulk-resolve: status %d, body %v", rec.Code, out)
+	}
+	objs := out["objects"].(map[string]any)
+	o1 := objs["o1"].(map[string]any)["alice"].(map[string]any)
+	if got := o1["certain"]; got != "fish" {
+		t.Fatalf("o1 certain(alice) = %v, want fish", got)
+	}
+	o2 := objs["o2"].(map[string]any)["alice"].(map[string]any)
+	if got := o2["certain"]; got != "v1" {
+		t.Fatalf("o2 certain(alice) = %v, want v1 (bob preferred)", got)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	h := newServer(testSession(t))
+	for _, tc := range []struct {
+		path string
+		body any
+	}{
+		{"/v1/resolve", resolveRequest{}},                                   // no users
+		{"/v1/resolve", resolveRequest{Users: []string{"ghost"}}},           // unknown user
+		{"/v1/mutate", mutateRequest{}},                                     // no ops
+		{"/v1/mutate", mutateRequest{Ops: []mutateOp{{Op: "frobnicate"}}}},  // unknown op
+		{"/v1/bulk-resolve", bulkResolveRequest{Users: []string{"alice"}}},  // no objects
+		{"/v1/resolve", map[string]any{"users": []string{"alice"}, "x": 1}}, // unknown field
+	} {
+		rec, out := postJSON(t, h, tc.path, tc.body)
+		if rec.Code != http.StatusBadRequest || out["error"] == nil {
+			t.Errorf("%s %+v: status %d, body %v; want 400 with error", tc.path, tc.body, rec.Code, out)
+		}
+	}
+	// Wrong method.
+	req := httptest.NewRequest("GET", "/v1/mutate", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/mutate: status %d, want 405", rec.Code)
+	}
+}
+
+func TestBuildNetworkFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.json")
+	raw := `{
+	  "trust":   [{"truster": "alice", "trusted": "bob", "priority": 10}],
+	  "beliefs": {"bob": "fish"}
+	}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := buildNetwork(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.NumUsers(); got != 2 {
+		t.Fatalf("NumUsers = %d, want 2", got)
+	}
+	if _, err := buildNetwork(filepath.Join(t.TempDir(), "absent.json"), 0, 0); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestDemoNetworkCompiles(t *testing.T) {
+	n := demoNetwork(200, 42)
+	if _, err := n.NewSession(trustmap.SessionOptions{Workers: 1}); err != nil {
+		t.Fatalf("demo network rejected: %v", err)
+	}
+}
+
+// TestSmokeHTTP is the CI smoke test (`make smoke`): it starts the real
+// server on a real TCP listener, drives one resolve, one mutate, and a
+// second resolve over HTTP, and asserts the second read observes a newer
+// epoch than the first — and the mutated outcome. This is exactly the
+// epoch contract trustd documents: a mutate's response epoch is a lower
+// bound for every subsequent read.
+func TestSmokeHTTP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: newServer(testSession(t))}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		_ = srv.Close()
+		wg.Wait()
+	}()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	post := func(path string, body any) map[string]any {
+		t.Helper()
+		raw, _ := json.Marshal(body)
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	if out := get("/healthz"); out["ok"] != true {
+		t.Fatalf("healthz: %v", out)
+	}
+
+	// Read 1: alice follows bob (priority 100) and sees fish.
+	out := post("/v1/resolve", resolveRequest{Users: []string{"alice"}})
+	epoch1 := out["epoch"].(float64)
+	if got := out["users"].(map[string]any)["alice"].(map[string]any)["certain"]; got != "fish" {
+		t.Fatalf("read 1: certain(alice) = %v, want fish", got)
+	}
+
+	// Mutate: carol outranks bob from now on.
+	out = post("/v1/mutate", mutateRequest{Ops: []mutateOp{
+		{Op: "update-trust", Truster: "alice", Trusted: "carol", Priority: 200},
+	}})
+	mutEpoch := out["epoch"].(float64)
+	if mutEpoch <= epoch1 {
+		t.Fatalf("mutate epoch %v not beyond read epoch %v", mutEpoch, epoch1)
+	}
+	if out["applied"].(float64) != 1 {
+		t.Fatalf("mutate applied = %v, want 1", out["applied"])
+	}
+
+	// Read 2: must be served by an epoch at or beyond the mutation and
+	// see the new outcome.
+	out = post("/v1/resolve", resolveRequest{Users: []string{"alice"}})
+	epoch2 := out["epoch"].(float64)
+	if epoch2 < mutEpoch {
+		t.Fatalf("read 2 epoch %v precedes mutate epoch %v", epoch2, mutEpoch)
+	}
+	if got := out["users"].(map[string]any)["alice"].(map[string]any)["certain"]; got != "knot" {
+		t.Fatalf("read 2: certain(alice) = %v, want knot (carol outranks bob)", got)
+	}
+	fmt.Printf("smoke: read@%v -> mutate@%v -> read@%v\n", epoch1, mutEpoch, epoch2)
+}

@@ -1,0 +1,281 @@
+package main
+
+// The trustd HTTP handler: a thin JSON layer over one shared
+// trustmap.Session. Reads (/v1/resolve, /v1/bulk-resolve, /v1/stats,
+// /healthz) are served lock-free from the session's currently published
+// epoch; writes (/v1/mutate) apply one atomic batch and publish the next
+// epoch before responding. Every response carries the epoch that served
+// it, so a client that mutates and then resolves can verify the read
+// observed at least its own write (the response epoch of the mutate is a
+// lower bound for subsequent reads).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"trustmap"
+)
+
+// server wires one Session into an http.Handler.
+type server struct {
+	s   *trustmap.Session
+	mux *http.ServeMux
+}
+
+func newServer(s *trustmap.Session) *server {
+	srv := &server{s: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("GET /healthz", srv.handleHealthz)
+	srv.mux.HandleFunc("GET /v1/stats", srv.handleStats)
+	srv.mux.HandleFunc("POST /v1/resolve", srv.handleResolve)
+	srv.mux.HandleFunc("POST /v1/bulk-resolve", srv.handleBulkResolve)
+	srv.mux.HandleFunc("POST /v1/mutate", srv.handleMutate)
+	return srv
+}
+
+func (srv *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { srv.mux.ServeHTTP(w, r) }
+
+// userResult is one user's resolution for one object.
+type userResult struct {
+	Possible []string `json:"possible"`
+	Certain  string   `json:"certain,omitempty"`
+}
+
+// resolveRequest asks for one object's resolution. Beliefs overrides the
+// network-level defaults per root; Users lists the users to report.
+type resolveRequest struct {
+	Beliefs map[string]string `json:"beliefs"`
+	Users   []string          `json:"users"`
+}
+
+type resolveResponse struct {
+	Epoch uint64                `json:"epoch"`
+	Users map[string]userResult `json:"users"`
+}
+
+// bulkResolveRequest asks for many objects at once.
+type bulkResolveRequest struct {
+	Objects map[string]map[string]string `json:"objects"`
+	Users   []string                     `json:"users"`
+}
+
+type bulkResolveResponse struct {
+	Epoch   uint64                           `json:"epoch"`
+	Objects map[string]map[string]userResult `json:"objects"`
+}
+
+// mutateOp is one mutation of a /v1/mutate batch, in the same shape as
+// trustctl's mutation script: op is add-trust, remove-trust, update-trust,
+// set-belief, or remove-belief.
+type mutateOp struct {
+	Op       string `json:"op"`
+	Truster  string `json:"truster"`
+	Trusted  string `json:"trusted"`
+	Priority int    `json:"priority"`
+	User     string `json:"user"`
+	Value    string `json:"value"`
+}
+
+type mutateRequest struct {
+	Ops []mutateOp `json:"ops"`
+}
+
+type mutateResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+}
+
+// sessionStatsDTO and engineStatsDTO pin the /v1/stats wire format to
+// lowercase keys, like every other endpoint, independent of the Go field
+// names of the library structs (which marshal CamelCase untagged).
+type sessionStatsDTO struct {
+	Compiles           int    `json:"compiles"`
+	IncrementalApplies int    `json:"incremental_applies"`
+	ValueOnlyUpdates   int    `json:"value_only_updates"`
+	FullRecompiles     int    `json:"full_recompiles"`
+	EpochsReclaimed    uint64 `json:"epochs_reclaimed"`
+}
+
+type engineStatsDTO struct {
+	Users            int `json:"users"`
+	Mappings         int `json:"mappings"`
+	Roots            int `json:"roots"`
+	Reachable        int `json:"reachable"`
+	SCCs             int `json:"sccs"`
+	NontrivialSCCs   int `json:"nontrivial_sccs"`
+	CopySteps        int `json:"copy_steps"`
+	FloodSteps       int `json:"flood_steps"`
+	DistinctSupports int `json:"distinct_supports"`
+}
+
+type statsResponse struct {
+	Epoch   uint64          `json:"epoch"`
+	Session sessionStatsDTO `json:"session"`
+	Engine  engineStatsDTO  `json:"engine"`
+}
+
+func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": srv.s.Epoch()})
+}
+
+func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, eng := srv.s.EpochStats() // one pinned epoch: session and engine numbers agree
+	writeJSON(w, http.StatusOK, statsResponse{
+		Epoch: st.Epoch,
+		Session: sessionStatsDTO{
+			Compiles:           st.Compiles,
+			IncrementalApplies: st.IncrementalApplies,
+			ValueOnlyUpdates:   st.ValueOnlyUpdates,
+			FullRecompiles:     st.FullRecompiles,
+			EpochsReclaimed:    st.EpochsReclaimed,
+		},
+		Engine: engineStatsDTO{
+			Users:            eng.Users,
+			Mappings:         eng.Mappings,
+			Roots:            eng.Roots,
+			Reachable:        eng.Reachable,
+			SCCs:             eng.SCCs,
+			NontrivialSCCs:   eng.NontrivialSCCs,
+			CopySteps:        eng.CopySteps,
+			FloodSteps:       eng.FloodSteps,
+			DistinctSupports: eng.DistinctSupports,
+		},
+	})
+}
+
+func (srv *server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var req resolveRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Users) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("resolve: users must list at least one user to report"))
+		return
+	}
+	res, err := srv.s.BulkResolve(r.Context(), map[string]map[string]string{"object": req.Beliefs})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	users, err := collectUsers(res, "object", req.Users)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resolveResponse{Epoch: res.Epoch(), Users: users})
+}
+
+func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
+	var req bulkResolveRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Users) == 0 || len(req.Objects) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bulk-resolve: objects and users must be non-empty"))
+		return
+	}
+	res, err := srv.s.BulkResolve(r.Context(), req.Objects)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make(map[string]map[string]userResult, len(req.Objects))
+	for _, key := range res.Keys() {
+		users, err := collectUsers(res, key, req.Users)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		out[key] = users
+	}
+	writeJSON(w, http.StatusOK, bulkResolveResponse{Epoch: res.Epoch(), Objects: out})
+}
+
+func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req mutateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("mutate: ops must be non-empty"))
+		return
+	}
+	applied := 0
+	err := srv.s.Update(func(tx *trustmap.SessionTx) error {
+		for i, op := range req.Ops {
+			if err := applyOp(tx, op); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+			applied++
+		}
+		return nil
+	})
+	if err != nil {
+		// Ops before the failing one were applied and published: report
+		// the count alongside the error so the client can reconcile.
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": err.Error(), "applied": applied, "epoch": srv.s.Epoch(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{Epoch: srv.s.Epoch(), Applied: applied})
+}
+
+func applyOp(tx *trustmap.SessionTx, op mutateOp) error {
+	switch op.Op {
+	case "add-trust":
+		return tx.AddTrust(op.Truster, op.Trusted, op.Priority)
+	case "remove-trust":
+		if !tx.RemoveTrust(op.Truster, op.Trusted) {
+			return fmt.Errorf("remove-trust: no mapping %s -> %s", op.Trusted, op.Truster)
+		}
+		return nil
+	case "update-trust":
+		if !tx.UpdateTrust(op.Truster, op.Trusted, op.Priority) {
+			return fmt.Errorf("update-trust: no mapping %s -> %s", op.Trusted, op.Truster)
+		}
+		return nil
+	case "set-belief":
+		return tx.SetBelief(op.User, op.Value)
+	case "remove-belief":
+		tx.RemoveBelief(op.User)
+		return nil
+	default:
+		return fmt.Errorf("unknown mutation op %q", op.Op)
+	}
+}
+
+// collectUsers extracts the requested users' results for one object.
+func collectUsers(res *trustmap.BulkResolution, key string, users []string) (map[string]userResult, error) {
+	out := make(map[string]userResult, len(users))
+	for _, u := range users {
+		poss, cert, err := res.Lookup(u, key)
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(poss)
+		out[u] = userResult{Possible: poss, Certain: cert}
+	}
+	return out, nil
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}

@@ -221,6 +221,14 @@ func (c *CompiledNetwork) liveRoots() []int {
 // ensureSupports builds the root supports on first use.
 func (c *CompiledNetwork) ensureSupports() { c.supportsOnce.Do(c.buildSupports) }
 
+// EnsureSupports derives the root supports now if they have not been
+// derived yet. Publishers sharing an artifact with lock-free readers
+// must call it before publication: derivation reads the underlying
+// network (which may keep mutating afterwards), so leaving it to a
+// reader's first Resolve would race the writer. Idempotent and cheap
+// when supports already exist.
+func (c *CompiledNetwork) EnsureSupports() { c.ensureSupports() }
+
 // buildIncoming flattens the effective incoming-trust tables.
 func (c *CompiledNetwork) buildIncoming() { c.in = buildInCSR(c.net, c.reach) }
 
@@ -578,12 +586,27 @@ func (c *CompiledNetwork) Support(x int) []int {
 	return out
 }
 
-// Stats summarizes the compiled artifact.
+// Stats summarizes the compiled artifact. It reads the live network's
+// user and mapping counts, so it must not race a mutator; see
+// StatsFrozen for the concurrent-reader variant.
 func (c *CompiledNetwork) Stats() Stats {
+	return c.statsWithCounts(c.net.NumUsers(), c.net.NumMappings())
+}
+
+// StatsFrozen is Stats with the user and mapping counts supplied by the
+// caller (captured when the artifact was current) instead of read from
+// the live network. Everything else it touches is frozen per artifact,
+// so StatsFrozen is safe on a retired artifact while the underlying
+// network is concurrently mutated.
+func (c *CompiledNetwork) StatsFrozen(users, mappings int) Stats {
+	return c.statsWithCounts(users, mappings)
+}
+
+func (c *CompiledNetwork) statsWithCounts(users, mappings int) Stats {
 	c.ensureSupports()
 	st := Stats{
-		Users:            c.net.NumUsers(),
-		Mappings:         c.net.NumMappings(),
+		Users:            users,
+		Mappings:         mappings,
 		Roots:            len(c.liveRoots()),
 		SCCs:             c.NumSCCs(),
 		DistinctSupports: len(c.supports),

@@ -18,6 +18,7 @@ package tn
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"trustmap/internal/graph"
 )
@@ -76,7 +77,7 @@ type Network struct {
 	explicit []Value     // b0; NoValue where undefined
 	nEdges   int
 
-	version    uint64 // bumped on every effective mutation
+	version    atomic.Uint64 // bumped on every effective mutation
 	journaling bool
 	journal    []Mutation
 }
@@ -88,8 +89,11 @@ func New() *Network {
 
 // Version returns a counter bumped on every effective mutation (user
 // added, mapping added/removed/re-prioritized, belief changed). Callers
-// holding derived artifacts compare versions to detect staleness.
-func (n *Network) Version() uint64 { return n.version }
+// holding derived artifacts compare versions to detect staleness. The
+// counter alone is safe to read while another goroutine mutates the
+// network (it is the one staleness probe a lock-free reader may perform);
+// everything else on a Network requires external synchronization.
+func (n *Network) Version() uint64 { return n.version.Load() }
 
 // EnableJournal starts recording mutations. The journal is the delta feed
 // for incremental engine maintenance (engine.CompiledNetwork.Apply): mutate
@@ -109,7 +113,7 @@ func (n *Network) DrainJournal() []Mutation {
 
 // record bumps the version and journals the mutation when enabled.
 func (n *Network) record(m Mutation) {
-	n.version++
+	n.version.Add(1)
 	if n.journaling {
 		n.journal = append(n.journal, m)
 	}
@@ -346,6 +350,49 @@ func (n *Network) Clone() *Network {
 	}
 	c.explicit = append([]Value(nil), n.explicit...)
 	c.nEdges = n.nEdges
-	c.version = n.version
+	c.version.Store(n.version.Load())
 	return c
 }
+
+// View is an immutable snapshot of the network's name index: user IDs,
+// names, and the name -> ID lookup, frozen at the user count of the
+// moment it was taken. Views are what lock-free readers hold while a
+// writer keeps mutating the network: user names never change once
+// assigned and IDs are dense and append-only, so a View taken at U users
+// stays correct forever for those U users. Snapshot reuses prev when no
+// user was added since it was taken, making repeated snapshots O(1) on
+// the no-new-users path.
+type View struct {
+	names []string // shared with the network; len-capped, append-only
+	ids   map[string]int
+}
+
+// Snapshot returns a View of the network's current name index, reusing
+// prev (which may be nil) when the user set has not grown since prev was
+// taken. The caller must hold whatever lock serializes mutations.
+func (n *Network) Snapshot(prev *View) *View {
+	if prev != nil && len(prev.names) == len(n.names) {
+		return prev
+	}
+	// Cap the slice at its current length: later in-place appends by the
+	// writer land beyond this View's reach.
+	v := &View{names: n.names[:len(n.names):len(n.names)], ids: make(map[string]int, len(n.names))}
+	for id, name := range v.names {
+		v.ids[name] = id
+	}
+	return v
+}
+
+// UserID returns the ID for name, or -1 if unknown to this snapshot.
+func (v *View) UserID(name string) int {
+	if id, ok := v.ids[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// Name returns the name of user x.
+func (v *View) Name(x int) string { return v.names[x] }
+
+// NumUsers returns the number of users in this snapshot.
+func (v *View) NumUsers() int { return len(v.names) }

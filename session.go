@@ -12,16 +12,41 @@ package trustmap
 // current by translating facade mutations into binarized ones. Mutations
 // that would restructure the binarization (a user crossing the two-parent
 // threshold, belief changes on heavily-mapped users) mark the session for
-// a full rebuild, which the next resolve performs transparently; so does
-// mutating the underlying Network directly instead of through the session
-// (detected by the network's version counter).
+// a full rebuild, which the next publication performs transparently; so
+// does mutating the underlying Network directly instead of through the
+// session (detected by the network's version counter).
+//
+// # Concurrency
+//
+// A Session is safe for concurrent use: any number of goroutines may
+// resolve while others mutate. Serving is epoch-based (internal/serve):
+// every publication — the initial compile and each mutation — freezes an
+// immutable snapshot (the compiled artifact plus the name/root tables a
+// resolve needs) and swaps it in with one atomic pointer store. Readers
+// pin the current epoch for the duration of one resolve and never take
+// the writer lock, so a read observes exactly one published generation —
+// never a torn mix of two — and never blocks on a writer. Writers are
+// serialized by a mutex; each mutation method publishes a new epoch
+// before returning, and Update batches several mutations into a single
+// publication. Retired epochs stay valid for the readers still pinning
+// them (engine.Apply builds successors copy-on-write) and are reclaimed
+// once their reader count drains.
+//
+// The one remaining single-goroutine caveat is the facade Network itself:
+// mutating it directly (not through the session) while session reads or
+// writes are in flight is a data race, exactly as it was before sessions
+// existed. Sequential out-of-session mutation remains supported and is
+// detected by the version counter at the next session operation.
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"trustmap/internal/engine"
+	"trustmap/internal/serve"
 	"trustmap/internal/tn"
 )
 
@@ -44,41 +69,102 @@ type SessionOptions struct {
 	DisableDedup bool
 }
 
-// SessionStats counts what the session's maintenance has done.
+// SessionStats counts what the session's maintenance has done, as of the
+// epoch the stats were read from.
 type SessionStats struct {
-	Compiles           int // full compiles, including the initial one
-	IncrementalApplies int // mutations folded in through the delta path
-	ValueOnlyUpdates   int // belief-value changes, free for the plan
-	FullRecompiles     int // delta applications that hit the threshold
+	Epoch              uint64 // generation of the published snapshot serving reads
+	Compiles           int    // full compiles, including the initial one
+	IncrementalApplies int    // mutations folded in through the delta path
+	ValueOnlyUpdates   int    // belief-value changes, free for the plan
+	FullRecompiles     int    // delta applications that hit the threshold
+	EpochsReclaimed    uint64 // retired epochs whose reader count drained
 	LastApply          engine.ApplyStats
 }
 
-// Session serves resolutions from a compiled artifact that is maintained
-// incrementally across mutations. Create with Network.NewSession. A
-// Session is not safe for concurrent use; resolves distribute over a
-// worker pool internally.
-type Session struct {
-	net  *Network
-	bin  *tn.Network // binarized twin, journaling enabled
-	comp *engine.CompiledNetwork
+// sessionSnap is one published epoch's immutable snapshot: the compiled
+// artifact plus every table a resolve reads. Writers build the next
+// snapshot off to the side under the session mutex and publish it with
+// one pointer swap; readers must treat every field as frozen.
+type sessionSnap struct {
+	comp     *engine.CompiledNetwork
+	view     *tn.View         // frozen name index of the facade network
+	binIDs   []int            // original user ID -> binarized node (len-capped, append-only)
+	rootNode map[int]int      // original root ID -> binarized belief carrier
+	defaults map[int]tn.Value // network-level default belief per root, where stated
+	version  uint64           // facade network version this snapshot reflects
+	stats    SessionStats     // maintenance counters at publication
+	eng      *engLazy         // shared between snapshots of one artifact generation
+}
 
+// engLazy derives the engine summary of one artifact generation lazily,
+// on first EngineStats call — off the publish hot path. Only the
+// binarized user/mapping counts are captured eagerly (O(1)): they are
+// the one thing engine.Stats reads from the live network, which keeps
+// mutating after publication. Snapshots sharing an artifact (value-only
+// updates) share the holder, so the derivation runs once per generation.
+type engLazy struct {
+	comp        *engine.CompiledNetwork
+	binUsers    int
+	binMappings int
+	once        sync.Once
+	st          engine.Stats
+}
+
+// engineStats derives (once) and returns the frozen artifact summary.
+func (snap *sessionSnap) engineStats() engine.Stats {
+	e := snap.eng
+	e.once.Do(func() {
+		e.st = e.comp.StatsFrozen(e.binUsers, e.binMappings)
+	})
+	return e.st
+}
+
+// Session serves resolutions from a compiled artifact that is maintained
+// incrementally across mutations and published in epochs. Create with
+// Network.NewSession. Safe for concurrent use: resolves are lock-free
+// against the current epoch, mutations are serialized internally.
+type Session struct {
+	workers  int
+	maxDirty float64
+	noDedup  bool
+
+	pub *serve.Publisher[*sessionSnap]
+
+	// Writer-side state, guarded by mu. Readers never touch it: everything
+	// a resolve needs is frozen into the published sessionSnap.
+	mu         sync.Mutex
+	net        *Network
+	bin        *tn.Network // binarized twin, journaling enabled
+	comp       *engine.CompiledNetwork
 	binIDs     []int       // original user ID -> binarized node ID
 	rootNode   map[int]int // original root ID -> binarized node carrying its belief
 	extraRoots []int       // original IDs of SessionOptions.ExtraRoots
-
-	workers     int
-	maxDirty    float64
-	noDedup     bool
-	version     uint64 // inner network version the session is synced to
+	// version is the highest inner-network version the session has
+	// accounted for: stored (under mu) the moment a session mutation lands,
+	// before it is published. Readers compare it against the network's
+	// atomic version counter to tell out-of-session mutations (which need a
+	// rebuild) from in-flight session writes (whose publication is coming;
+	// the current epoch stays correct to serve) — atomically, so the probe
+	// never takes the writer lock.
+	version atomic.Uint64
+	// pubStale flips when a publication failed (a rebuild error after a
+	// mutation landed): the current epoch no longer reflects the session
+	// state and bool-returning mutation methods had no way to say so.
+	// Readers observing it upgrade to Refresh, which retries the rebuild
+	// and surfaces the error — mutation failures are never silently
+	// absorbed into stale serving.
+	pubStale    atomic.Bool
 	needRebuild bool
+	rootsDirty  bool // rootNode or a default belief changed since the last snapshot
 	stats       SessionStats
+	lastSnap    *sessionSnap // previous publication, for O(1) reuse of unchanged tables
 }
 
 // NewSession validates and compiles the network once and returns a handle
 // that keeps the compiled artifact live across mutations. Mutate through
 // the session's methods to stay on the incremental path; mutating the
-// Network directly is detected and handled by a full rebuild on the next
-// resolve.
+// Network directly is detected and handled by a full rebuild at the next
+// session operation, but is not safe concurrently with session use.
 func (n *Network) NewSession(opts SessionOptions) (*Session, error) {
 	s := &Session{
 		net:      n,
@@ -92,11 +178,13 @@ func (n *Network) NewSession(opts SessionOptions) (*Session, error) {
 	if err := s.rebuild(); err != nil {
 		return nil, err
 	}
+	s.pub = serve.NewPublisher(s.snapLocked(), nil)
 	return s, nil
 }
 
 // rebuild re-binarizes and recompiles from scratch: the fallback for
 // structural mutations the incremental translation does not cover.
+// Callers hold mu (or, in NewSession, exclusive ownership).
 func (s *Session) rebuild() error {
 	if err := s.net.Validate(); err != nil {
 		return err
@@ -126,21 +214,148 @@ func (s *Session) rebuild() error {
 		}
 	}
 	s.needRebuild = false
-	s.version = s.net.inner.Version()
+	s.rootsDirty = true
+	s.version.Store(s.net.inner.Version())
 	s.stats.Compiles++
 	return nil
 }
 
-// Stats returns the session's maintenance counters.
-func (s *Session) Stats() SessionStats { return s.stats }
+// snapLocked freezes the writer state into an immutable snapshot. Tables
+// that cannot have changed since the previous publication are shared with
+// it: the name view and binIDs when no user was added (the binIDs backing
+// array is append-only below its published length), rootNode and defaults
+// while no belief changed (rootsDirty), and the lazy engine-summary
+// holder while the artifact pointer is unchanged (value-only updates).
+func (s *Session) snapLocked() *sessionSnap {
+	// Derive the artifact's root supports now, under the writer lock: a
+	// freshly compiled artifact derives them lazily by reading the live
+	// binarized network, which a reader's first resolve would race.
+	s.comp.EnsureSupports()
+	prev := s.lastSnap
+	snap := &sessionSnap{
+		comp:    s.comp,
+		view:    s.net.inner.Snapshot(viewOf(prev)),
+		version: s.net.inner.Version(),
+		stats:   s.stats,
+	}
+	if prev != nil && prev.eng.comp == s.comp {
+		snap.eng = prev.eng // same artifact generation: one derivation serves both
+	} else {
+		snap.eng = &engLazy{comp: s.comp, binUsers: s.bin.NumUsers(), binMappings: s.bin.NumMappings()}
+	}
+	if prev != nil && len(prev.binIDs) == len(s.binIDs) && sameBacking(prev.binIDs, s.binIDs) {
+		snap.binIDs = prev.binIDs
+	} else {
+		snap.binIDs = s.binIDs[:len(s.binIDs):len(s.binIDs)]
+	}
+	// Root tables change only when a belief is granted, revoked, updated,
+	// or hoisted — never on trust-edge mutations, the steady serving case.
+	// Unchanged tables are shared with the previous snapshot (immutable
+	// once published); rootsDirty marks the exceptions.
+	if prev != nil && !s.rootsDirty {
+		snap.rootNode = prev.rootNode
+		snap.defaults = prev.defaults
+	} else {
+		snap.rootNode = make(map[int]int, len(s.rootNode))
+		snap.defaults = make(map[int]tn.Value, len(s.rootNode))
+		for x, root := range s.rootNode {
+			snap.rootNode[x] = root
+			if v := s.net.inner.Explicit(x); v != tn.NoValue {
+				snap.defaults[x] = v
+			}
+		}
+		s.rootsDirty = false
+	}
+	s.lastSnap = snap
+	return snap
+}
 
-// EngineStats summarizes the live compiled artifact.
-func (s *Session) EngineStats() engine.Stats { return s.comp.Stats() }
+func viewOf(snap *sessionSnap) *tn.View {
+	if snap == nil {
+		return nil
+	}
+	return snap.view
+}
+
+// sameBacking reports whether two equal-length non-empty int slices share
+// their backing array (binIDs sharing is only safe along the same array:
+// a rebuild allocates a fresh one).
+func sameBacking(a, b []int) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// publishLocked folds pending mutations into the artifact and publishes a
+// fresh epoch. A failed fold leaves the previous epoch serving and
+// surfaces the error; the session stays marked for rebuild, so a later
+// operation retries. No-op publications (nothing changed since the
+// current epoch) are skipped.
+func (s *Session) publishLocked() error {
+	if err := s.flushLocked(); err != nil {
+		s.pubStale.Store(true) // the epoch lags the session state; readers retry
+		return err
+	}
+	if prev := s.lastSnap; prev == nil || prev.version != s.net.inner.Version() || prev.comp != s.comp {
+		s.pub.Publish(s.snapLocked())
+	}
+	s.pubStale.Store(false)
+	return nil
+}
+
+// Stats returns the session's maintenance counters as of the currently
+// published epoch, plus the live epoch-reclamation counter.
+func (s *Session) Stats() SessionStats {
+	e := s.pub.Acquire()
+	defer e.Release()
+	st := e.Value().stats
+	st.Epoch = e.Seq()
+	st.EpochsReclaimed = s.pub.Stats().Reclaimed
+	return st
+}
+
+// EngineStats summarizes the compiled artifact of the currently published
+// epoch.
+func (s *Session) EngineStats() engine.Stats {
+	e := s.pub.Acquire()
+	defer e.Release()
+	return e.Value().engineStats()
+}
+
+// EpochStats returns the session counters and the engine summary of ONE
+// pinned epoch: unlike calling Stats and EngineStats back to back, the
+// two cannot straddle a publication. For monitoring endpoints that key
+// both on the epoch number.
+func (s *Session) EpochStats() (SessionStats, engine.Stats) {
+	e := s.pub.Acquire()
+	defer e.Release()
+	snap := e.Value()
+	st := snap.stats
+	st.Epoch = e.Seq()
+	st.EpochsReclaimed = s.pub.Stats().Reclaimed
+	return st, snap.engineStats()
+}
+
+// Epoch returns the sequence number of the currently published epoch. It
+// increases by one per publication (every effective mutation, batch, or
+// refresh).
+func (s *Session) Epoch() uint64 { return s.pub.Seq() }
+
+// Refresh folds mutations made directly on the underlying Network (not
+// through the session) into a fresh epoch. Resolves call it implicitly
+// when they detect version skew; it is exported for callers that want the
+// rebuild to happen at a time of their choosing. Not safe concurrently
+// with direct Network mutation — sequence external mutations and Refresh
+// on one goroutine.
+func (s *Session) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncCheck()
+	return s.publishLocked()
+}
 
 // syncCheck marks the session stale when the underlying network was
-// mutated outside the session since the last operation.
+// mutated outside the session since the last operation. Callers hold mu.
 func (s *Session) syncCheck() {
-	if s.net.inner.Version() != s.version {
+	if s.net.inner.Version() != s.version.Load() {
 		s.needRebuild = true
 	}
 }
@@ -154,10 +369,19 @@ func (s *Session) binID(x int) int {
 }
 
 // AddTrust states that truster accepts values from trusted with the given
-// priority, like Network.AddTrust, and keeps the compiled artifact in
-// sync. Unlike the facade it rejects self-trust and duplicate mappings
+// priority, like Network.AddTrust, and publishes the updated artifact.
+// Unlike the facade it rejects self-trust and duplicate mappings
 // immediately instead of at the next validation.
 func (s *Session) AddTrust(truster, trusted string, priority int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.addTrustLocked(truster, trusted, priority); err != nil {
+		return err
+	}
+	return s.publishLocked()
+}
+
+func (s *Session) addTrustLocked(truster, trusted string, priority int) error {
 	s.syncCheck()
 	if truster == trusted {
 		return fmt.Errorf("trustmap: user %q cannot trust itself", truster)
@@ -173,7 +397,7 @@ func (s *Session) AddTrust(truster, trusted string, priority int) error {
 	pre := append([]tn.Mapping(nil), s.net.inner.In(t)...)
 	k := len(pre)
 	s.net.inner.AddMapping(z, t, priority)
-	s.version = s.net.inner.Version()
+	s.version.Store(s.net.inner.Version())
 	if s.needRebuild {
 		return nil
 	}
@@ -215,9 +439,18 @@ func (s *Session) AddTrust(truster, trusted string, priority int) error {
 }
 
 // RemoveTrust revokes truster -> trusted, like Network.RemoveTrust, and
-// keeps the compiled artifact in sync. It reports whether the mapping
-// existed.
+// publishes the updated artifact. It reports whether the mapping existed.
 func (s *Session) RemoveTrust(truster, trusted string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok := s.removeTrustLocked(truster, trusted)
+	if ok {
+		s.publishLocked() // a failed fold is retried by the next operation
+	}
+	return ok
+}
+
+func (s *Session) removeTrustLocked(truster, trusted string) bool {
 	s.syncCheck()
 	t, z := s.net.inner.UserID(truster), s.net.inner.UserID(trusted)
 	if t < 0 || z < 0 {
@@ -228,7 +461,7 @@ func (s *Session) RemoveTrust(truster, trusted string) bool {
 	if !s.net.inner.RemoveMapping(z, t) {
 		return false
 	}
-	s.version = s.net.inner.Version()
+	s.version.Store(s.net.inner.Version())
 	if s.needRebuild {
 		return true
 	}
@@ -256,8 +489,18 @@ func (s *Session) RemoveTrust(truster, trusted string) bool {
 }
 
 // UpdateTrust changes the priority of truster -> trusted, like
-// Network.UpdateTrust, and keeps the compiled artifact in sync.
+// Network.UpdateTrust, and publishes the updated artifact.
 func (s *Session) UpdateTrust(truster, trusted string, priority int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok := s.updateTrustLocked(truster, trusted, priority)
+	if ok {
+		s.publishLocked()
+	}
+	return ok
+}
+
+func (s *Session) updateTrustLocked(truster, trusted string, priority int) bool {
 	s.syncCheck()
 	t, z := s.net.inner.UserID(truster), s.net.inner.UserID(trusted)
 	if t < 0 || z < 0 {
@@ -267,7 +510,7 @@ func (s *Session) UpdateTrust(truster, trusted string, priority int) bool {
 	if !s.net.inner.SetMappingPriority(z, t, priority) {
 		return false
 	}
-	s.version = s.net.inner.Version()
+	s.version.Store(s.net.inner.Version())
 	if s.needRebuild {
 		return true
 	}
@@ -296,9 +539,19 @@ func (s *Session) UpdateTrust(truster, trusted string, priority int) bool {
 }
 
 // SetBelief states the user's explicit belief, like Network.SetBelief, and
-// keeps the compiled artifact in sync. A value update on an existing
-// belief is free: the resolution plan is belief-value-independent.
+// publishes the updated artifact. A value update on an existing belief is
+// free for the plan: the resolution plan is belief-value-independent, so
+// the new epoch shares the compiled artifact and only swaps the defaults.
 func (s *Session) SetBelief(user, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.setBeliefLocked(user, value); err != nil {
+		return err
+	}
+	return s.publishLocked()
+}
+
+func (s *Session) setBeliefLocked(user, value string) error {
 	s.syncCheck()
 	if value == "" {
 		return fmt.Errorf("trustmap: empty value; use RemoveBelief to revoke")
@@ -306,7 +559,8 @@ func (s *Session) SetBelief(user, value string) error {
 	x := s.net.inner.AddUser(user)
 	k := len(s.net.inner.In(x))
 	s.net.inner.SetExplicit(x, tn.Value(value))
-	s.version = s.net.inner.Version()
+	s.rootsDirty = true
+	s.version.Store(s.net.inner.Version())
 	if s.needRebuild {
 		return nil
 	}
@@ -330,8 +584,15 @@ func (s *Session) SetBelief(user, value string) error {
 }
 
 // RemoveBelief revokes the user's explicit belief, like
-// Network.RemoveBelief, and keeps the compiled artifact in sync.
+// Network.RemoveBelief, and publishes the updated artifact.
 func (s *Session) RemoveBelief(user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeBeliefLocked(user)
+	s.publishLocked()
+}
+
+func (s *Session) removeBeliefLocked(user string) {
 	s.syncCheck()
 	x := s.net.inner.UserID(user)
 	if x < 0 || !s.net.inner.HasExplicit(x) {
@@ -339,7 +600,8 @@ func (s *Session) RemoveBelief(user string) {
 	}
 	k := len(s.net.inner.In(x))
 	s.net.inner.SetExplicit(x, tn.NoValue)
-	s.version = s.net.inner.Version()
+	s.rootsDirty = true
+	s.version.Store(s.net.inner.Version())
 	if s.needRebuild {
 		return
 	}
@@ -369,6 +631,64 @@ func (s *Session) RemoveBelief(user string) {
 	}
 }
 
+// SessionTx applies several mutations as one batch inside Session.Update.
+// Its methods mirror the session's mutation methods but defer publication
+// to the end of the batch.
+type SessionTx struct {
+	s *Session
+}
+
+// AddTrust is Session.AddTrust without the per-mutation publication.
+func (tx *SessionTx) AddTrust(truster, trusted string, priority int) error {
+	return tx.s.addTrustLocked(truster, trusted, priority)
+}
+
+// RemoveTrust is Session.RemoveTrust without the per-mutation publication.
+func (tx *SessionTx) RemoveTrust(truster, trusted string) bool {
+	return tx.s.removeTrustLocked(truster, trusted)
+}
+
+// UpdateTrust is Session.UpdateTrust without the per-mutation publication.
+func (tx *SessionTx) UpdateTrust(truster, trusted string, priority int) bool {
+	return tx.s.updateTrustLocked(truster, trusted, priority)
+}
+
+// SetBelief is Session.SetBelief without the per-mutation publication.
+func (tx *SessionTx) SetBelief(user, value string) error {
+	return tx.s.setBeliefLocked(user, value)
+}
+
+// RemoveBelief is Session.RemoveBelief without the per-mutation
+// publication.
+func (tx *SessionTx) RemoveBelief(user string) {
+	tx.s.removeBeliefLocked(user)
+}
+
+// Update applies a batch of mutations and publishes one epoch at the end:
+// concurrent readers observe either the whole batch or none of it, and
+// the engine folds the batch's journal in one Apply. fn's error is
+// returned but does not roll the batch back — mutations applied before
+// the error are published (the facade has no transactional undo); fn
+// should treat errors from tx methods the way it would treat them from
+// the session's own methods. tx must not be used after fn returns.
+func (s *Session) Update(fn func(tx *SessionTx) error) (err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx := &SessionTx{s: s}
+	// Publish in a defer so a panic in fn still publishes the applied
+	// prefix while unwinding: otherwise a recovered panic (net/http
+	// recovers handler panics) would leave the version counters in sync
+	// with mutations no epoch reflects, and readers would silently serve
+	// the pre-batch snapshot.
+	defer func() {
+		tx.s = nil
+		if perr := s.publishLocked(); err == nil {
+			err = perr
+		}
+	}()
+	return fn(tx)
+}
+
 // hoistBelief moves x's explicit belief onto a fresh helper root wired
 // above x's existing sole parent, mirroring Binarize's step 1: the helper
 // takes priority 2 and the real parent priority 1.
@@ -386,6 +706,7 @@ func (s *Session) hoistBelief(x int) {
 	s.bin.SetExplicit(helper, v)
 	s.bin.AddMapping(helper, bx, 2)
 	s.rootNode[x] = helper
+	s.rootsDirty = true
 }
 
 // ensureBinUser registers a user created after compilation in the
@@ -409,10 +730,10 @@ func (s *Session) isExtraRoot(x int) bool {
 	return false
 }
 
-// flush folds pending binarized mutations into the compiled artifact —
-// rebuilding from scratch when a structural mutation or an out-of-session
-// change demands it.
-func (s *Session) flush() error {
+// flushLocked folds pending binarized mutations into the compiled
+// artifact — rebuilding from scratch when a structural mutation or an
+// out-of-session change demands it. Callers hold mu.
+func (s *Session) flushLocked() error {
 	s.syncCheck()
 	if s.needRebuild {
 		return s.rebuild()
@@ -424,7 +745,7 @@ func (s *Session) flush() error {
 	next, st, err := s.comp.Apply(muts, engine.ApplyOptions{MaxDirtyFraction: s.maxDirty})
 	if err != nil {
 		// The translation produced something the engine will not splice;
-		// recover with a rebuild rather than failing the resolve.
+		// recover with a rebuild rather than failing the publication.
 		return s.rebuild()
 	}
 	s.stats.LastApply = st
@@ -440,41 +761,66 @@ func (s *Session) flush() error {
 	return nil
 }
 
-// BulkResolve resolves many objects against the live artifact. Each object
-// maps root users to their per-object beliefs; roots missing from an
-// object default to the network-level belief set via SetBelief. ExtraRoots
-// users have no default and must appear in every object.
+// snapshot pins the epoch a read should serve from. The staleness probe
+// compares the network's atomic version counter against the highest
+// version the session has accounted for — NOT against the pinned
+// epoch's version, which lags during an in-flight session write; an
+// in-flight write's publication is coming, so the current epoch stays
+// correct to serve and the read never touches the writer lock. Only a
+// mutation made directly on the Network (not through the session)
+// leaves the counters apart, and only then does the read upgrade to a
+// writer, rebuild, and publish first — preserving the sequential
+// out-of-session contract.
+func (s *Session) snapshot() (*serve.Epoch[*sessionSnap], error) {
+	if s.net.inner.Version() != s.version.Load() || s.pubStale.Load() {
+		if err := s.Refresh(); err != nil {
+			return nil, err
+		}
+	}
+	return s.pub.Acquire(), nil
+}
+
+// BulkResolve resolves many objects against the currently published
+// epoch. Each object maps root users to their per-object beliefs; roots
+// missing from an object default to the network-level belief set via
+// SetBelief. ExtraRoots users have no default and must appear in every
+// object. Safe to call from any number of goroutines; the whole call is
+// served by one epoch, and the returned resolution stays valid after the
+// epoch is superseded.
 func (s *Session) BulkResolve(ctx context.Context, objects map[string]map[string]string) (*BulkResolution, error) {
-	if err := s.flush(); err != nil {
+	e, err := s.snapshot()
+	if err != nil {
 		return nil, err
 	}
+	defer e.Release()
+	snap := e.Value()
 	conv := make(map[string]map[int]tn.Value, len(objects))
 	for key, bs := range objects {
-		m := make(map[int]tn.Value, len(s.rootNode))
+		m := make(map[int]tn.Value, len(snap.rootNode))
 		for user, v := range bs {
-			x := s.net.inner.UserID(user)
+			x := snap.view.UserID(user)
 			if x < 0 {
 				return nil, fmt.Errorf("%w: %q in object %q", ErrUnknownUser, user, key)
 			}
-			root, ok := s.rootNode[x]
+			root, ok := snap.rootNode[x]
 			if !ok {
 				return nil, fmt.Errorf("trustmap: user %q in object %q is not a session root; declare it in ExtraRoots or give it a belief", user, key)
 			}
 			m[root] = tn.Value(v)
 		}
-		for x, root := range s.rootNode {
+		for x, root := range snap.rootNode {
 			if _, ok := m[root]; ok {
 				continue
 			}
-			if v := s.net.inner.Explicit(x); v != tn.NoValue {
+			if v, ok := snap.defaults[x]; ok {
 				m[root] = v
 			} else {
-				return nil, fmt.Errorf("trustmap: object %q misses a belief for root user %q (assumption ii)", key, s.net.inner.Name(x))
+				return nil, fmt.Errorf("trustmap: object %q misses a belief for root user %q (assumption ii)", key, snap.view.Name(x))
 			}
 		}
 		conv[key] = m
 	}
-	res, err := s.comp.Resolve(ctx, conv, engine.Options{Workers: s.workers, DisableDedup: s.noDedup})
+	res, err := snap.comp.Resolve(ctx, conv, engine.Options{Workers: s.workers, DisableDedup: s.noDedup})
 	if err != nil {
 		return nil, err
 	}
@@ -483,7 +829,7 @@ func (s *Session) BulkResolve(ctx context.Context, objects map[string]map[string
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	return &BulkResolution{src: s.net.inner, keys: keys, eng: res, binIDs: s.binIDs}, nil
+	return &BulkResolution{src: snap.view, keys: keys, eng: res, binIDs: snap.binIDs, epoch: e.Seq()}, nil
 }
 
 // ObjectResolution is the single-object view returned by Session.Resolve.
@@ -491,9 +837,9 @@ type ObjectResolution struct {
 	bulk *BulkResolution
 }
 
-// Resolve resolves one object's root beliefs against the live artifact:
-// the mutate-then-resolve fast path. beliefs may be nil when every root
-// has a network-level belief.
+// Resolve resolves one object's root beliefs against the currently
+// published epoch: the mutate-then-resolve fast path. beliefs may be nil
+// when every root has a network-level belief.
 func (s *Session) Resolve(ctx context.Context, beliefs map[string]string) (*ObjectResolution, error) {
 	r, err := s.BulkResolve(ctx, map[string]map[string]string{"object": beliefs})
 	if err != nil {
@@ -513,3 +859,6 @@ func (o *ObjectResolution) Possible(user string) []string {
 func (o *ObjectResolution) Certain(user string) (string, bool) {
 	return o.bulk.Certain(user, "object")
 }
+
+// Epoch returns the publication generation that served the resolve.
+func (o *ObjectResolution) Epoch() uint64 { return o.bulk.Epoch() }

@@ -429,9 +429,16 @@ var (
 	ErrUnknownObject = errors.New("trustmap: unknown object")
 )
 
+// userIndex resolves user names to original IDs: a live *tn.Network for
+// one-shot resolutions, or an immutable *tn.View for session-served ones
+// (the result must stay readable while writers mutate the network).
+type userIndex interface {
+	UserID(name string) int
+}
+
 // BulkResolution gives access to bulk per-object results (Section 4).
 type BulkResolution struct {
-	src   *tn.Network
+	src   userIndex
 	keys  []string           // object keys, sorted
 	store *bulk.Store        // legacy sequential SQL path
 	eng   *engine.BulkResult // compiled concurrent engine path
@@ -439,7 +446,16 @@ type BulkResolution struct {
 	// network when they diverge — results served by a Session whose user
 	// set grew after compilation. nil means identity.
 	binIDs []int
+	// epoch is the session publication generation that served the result;
+	// zero for one-shot resolutions.
+	epoch uint64
 }
+
+// Epoch returns the session publication generation that served this
+// resolution, or zero when it did not come from a Session. Comparing
+// epochs tells whether two resolutions observed the same published
+// snapshot.
+func (r *BulkResolution) Epoch() uint64 { return r.epoch }
 
 // binID maps an original user ID into the resolved network.
 func (r *BulkResolution) binID(id int) int {
