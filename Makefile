@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmark families tracked in the committed trajectory (bench/BENCH_*).
-BENCH_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve|BenchmarkCompile|BenchmarkServeMixed
+BENCH_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve|BenchmarkCompile|BenchmarkServeMixed|BenchmarkStoreResolve
 # Hot-path benchmarks the perf gate fails on; a regression beyond
 # BENCH_GATE_THRESHOLD (current/baseline ns/op) exits non-zero.
 BENCH_GATE_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate
@@ -16,7 +16,11 @@ FUZZTIME ?= 10s
 # reports, never fails).
 ENGINE_COVER_FLOOR ?= 75
 
-.PHONY: all build test race bench bench-save bench-diff bench-gate cover smoke fuzz fmt vet lint ci
+# Packages whose exported API surface is goldened by make api.
+API_PKGS ?= .,wire,client
+API_GOLDEN ?= api/API.txt
+
+.PHONY: all build test race bench bench-save bench-diff bench-gate cover smoke fuzz fmt vet lint api api-save ci
 
 all: build test
 
@@ -102,6 +106,19 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
+# API surface gate: diff the exported API (cmd/apidump over the public
+# packages) against the committed golden. Any change — breaking or
+# additive — fails until api-save regenerates the golden and the diff is
+# reviewed alongside the code. CI runs this in the lint job.
+api:
+	@$(GO) run ./cmd/apidump -pkgs '$(API_PKGS)' | diff -u $(API_GOLDEN) - \
+		|| { echo; echo "exported API surface changed: review the diff above and run 'make api-save'"; exit 1; }
+	@echo "API surface matches $(API_GOLDEN)"
+
+# Regenerate the committed API golden after an intentional surface change.
+api-save:
+	$(GO) run ./cmd/apidump -pkgs '$(API_PKGS)' -out $(API_GOLDEN)
+
 # Short coverage-guided fuzz of the incremental-engine parity invariant.
 fuzz:
 	$(GO) test ./internal/engine -run=NONE -fuzz=FuzzEngineParity -fuzztime=$(FUZZTIME)
@@ -115,4 +132,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet race bench fuzz
+ci: build fmt vet api race bench fuzz

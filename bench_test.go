@@ -351,8 +351,8 @@ func BenchmarkSessionMutateResolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%2 == 0 {
-			if !s.RemoveTrust("probe", "u0") {
-				b.Fatal("probe edge missing")
+			if ok, err := s.RemoveTrust("probe", "u0"); err != nil || !ok {
+				b.Fatalf("probe edge missing: ok=%v err=%v", ok, err)
 			}
 		} else if err := s.AddTrust("probe", "u0", 50); err != nil {
 			b.Fatal(err)
@@ -361,6 +361,96 @@ func BenchmarkSessionMutateResolve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStoreResolve measures the Store v2 read path over 1000 stored
+// objects on a 2000-user scale-free community (1 worker), one sub per
+// maintenance scenario:
+//
+//   - coldbatch: a default-belief value change invalidates every cached
+//     object (value-only epoch, plan kept), so ResolveAll re-resolves the
+//     full batch through the engine's signature-deduplicated scan;
+//   - touchone: one per-object belief put dirties exactly one object, so
+//     ResolveAll re-resolves it alone and serves the other 999 from the
+//     per-object result cache — the incremental-maintenance win;
+//   - stream: the Resolved iterator over a fully clean cache, the
+//     steady-state streaming read.
+func BenchmarkStoreResolve(b *testing.B) {
+	const numObjects = 1000
+	ctx := context.Background()
+	build := func(b *testing.B) *Store {
+		b.Helper()
+		rng := rand.New(rand.NewSource(23))
+		n := New()
+		for i := 0; i < 2000; i++ {
+			user := fmt.Sprintf("u%d", i)
+			if i > 0 {
+				n.AddTrust(user, fmt.Sprintf("u%d", rng.Intn(i)), 1+rng.Intn(100))
+			}
+			if i == 0 || rng.Float64() < 0.1 {
+				n.SetBelief(user, []string{"v", "w"}[rng.Intn(2)])
+			}
+		}
+		st, err := n.NewStore(WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < numObjects; i++ {
+			if err := st.PutObject(ctx, fmt.Sprintf("obj%04d", i),
+				map[string]string{"u0": []string{"v", "w", "x"}[i%3]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := st.ResolveAll(ctx); err != nil { // warm cache + dedup
+			b.Fatal(err)
+		}
+		return st
+	}
+
+	b.Run("coldbatch", func(b *testing.B) {
+		st := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.SetDefault(ctx, "u0", []string{"v", "w"}[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.ResolveAll(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("touchone", func(b *testing.B) {
+		st := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.PutBelief(ctx, "u0", fmt.Sprintf("obj%04d", i%numObjects),
+				[]string{"v", "w"}[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.ResolveAll(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		st := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows := 0
+			for _, err := range st.Resolved(ctx) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows++
+			}
+			if rows != numObjects {
+				b.Fatalf("streamed %d rows, want %d", rows, numObjects)
+			}
+		}
+	})
 }
 
 // BenchmarkServeMixed measures mixed read/write serving throughput on a
@@ -465,7 +555,7 @@ func BenchmarkServeMixed(b *testing.B) {
 					}
 					err := s.Update(func(tx *SessionTx) error {
 						for _, tg := range op.Toggles {
-							if !tx.RemoveTrust(tg.Truster, tg.Trusted) {
+							if ok, _ := tx.RemoveTrust(tg.Truster, tg.Trusted); !ok {
 								if err := tx.AddTrust(tg.Truster, tg.Trusted, tg.Priority); err != nil {
 									return err
 								}

@@ -1,0 +1,210 @@
+// Package client is the typed Go client for the trustd HTTP API: one
+// method per endpoint, request and response bodies from the wire package,
+// so the client and cmd/trustd's handlers share one schema and cannot
+// drift. All methods are context-aware and safe for concurrent use.
+//
+//	c := client.New("http://localhost:7171")
+//	res, err := c.Resolve(ctx, nil, []string{"alice"})
+//	// res.Epoch, res.Users["alice"].Certain ...
+//
+// Non-2xx responses surface as *APIError carrying the HTTP status and
+// the server's error message; IsNotFound distinguishes unknown users and
+// objects (404) from invalid requests (400) and oversized batches (413).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"trustmap/wire"
+)
+
+// Client talks to one trustd server. Create with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client used for requests (timeouts,
+// transports, middleware). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New returns a client for the trustd server at baseURL (scheme + host,
+// with or without a trailing slash).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int    // HTTP status
+	Message    string // server's error message
+	Applied    int    // ops applied before a failed mutate batch
+	Epoch      uint64 // serving epoch, when the server reported one
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("trustd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// IsNotFound reports whether err is an *APIError with status 404: an
+// unknown user or object.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
+}
+
+// do runs one round trip: marshal body (when non-nil), decode into out
+// (when non-nil), surface non-2xx as *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		ae := &APIError{StatusCode: resp.StatusCode}
+		var eb wire.ErrorResponse
+		if raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); err == nil {
+			if json.Unmarshal(raw, &eb) == nil && eb.Message != "" {
+				ae.Message, ae.Applied, ae.Epoch = eb.Message, eb.Applied, eb.Epoch
+			} else {
+				ae.Message = strings.TrimSpace(string(raw))
+			}
+		}
+		return ae
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Healthz checks liveness and returns the current epoch.
+func (c *Client) Healthz(ctx context.Context) (wire.Health, error) {
+	var out wire.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Stats returns session, store, and engine counters of one pinned epoch.
+func (c *Client) Stats(ctx context.Context) (wire.StatsResponse, error) {
+	var out wire.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Resolve resolves one ad-hoc object: beliefs overrides network defaults
+// per root (nil for none), users lists the users to report.
+func (c *Client) Resolve(ctx context.Context, beliefs map[string]string, users []string) (wire.ResolveResponse, error) {
+	var out wire.ResolveResponse
+	err := c.do(ctx, http.MethodPost, "/v1/resolve", wire.ResolveRequest{Beliefs: beliefs, Users: users}, &out)
+	return out, err
+}
+
+// BulkResolve resolves many ad-hoc objects at once.
+func (c *Client) BulkResolve(ctx context.Context, objects map[string]map[string]string, users []string) (wire.BulkResolveResponse, error) {
+	var out wire.BulkResolveResponse
+	err := c.do(ctx, http.MethodPost, "/v1/bulk-resolve", wire.BulkResolveRequest{Objects: objects, Users: users}, &out)
+	return out, err
+}
+
+// Mutate applies an ordered op batch as one epoch publication.
+func (c *Client) Mutate(ctx context.Context, ops []wire.Op) (wire.MutateResponse, error) {
+	var out wire.MutateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/mutate", wire.MutateRequest{Ops: ops}, &out)
+	return out, err
+}
+
+// ListObjects returns the stored object keys, sorted.
+func (c *Client) ListObjects(ctx context.Context) (wire.ObjectListResponse, error) {
+	var out wire.ObjectListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/objects", nil, &out)
+	return out, err
+}
+
+// PutObject creates or replaces one stored object's explicit beliefs.
+func (c *Client) PutObject(ctx context.Context, key string, beliefs map[string]string) (wire.ObjectResponse, error) {
+	var out wire.ObjectResponse
+	err := c.do(ctx, http.MethodPut, "/v1/objects/"+url.PathEscape(key), wire.ObjectPutRequest{Beliefs: beliefs}, &out)
+	return out, err
+}
+
+// GetObject returns one stored object's explicit beliefs.
+func (c *Client) GetObject(ctx context.Context, key string) (wire.ObjectResponse, error) {
+	var out wire.ObjectResponse
+	err := c.do(ctx, http.MethodGet, "/v1/objects/"+url.PathEscape(key), nil, &out)
+	return out, err
+}
+
+// DeleteObject removes one stored object (404 if absent) and returns the
+// deletion's serving epoch: the lower bound for reads that must observe
+// the delete.
+func (c *Client) DeleteObject(ctx context.Context, key string) (wire.DeleteResponse, error) {
+	var out wire.DeleteResponse
+	err := c.do(ctx, http.MethodDelete, "/v1/objects/"+url.PathEscape(key), nil, &out)
+	return out, err
+}
+
+// PutBelief states one user's explicit belief about one stored object.
+// The object is created if absent.
+func (c *Client) PutBelief(ctx context.Context, key, user, value string) (wire.ObjectResponse, error) {
+	var out wire.ObjectResponse
+	err := c.do(ctx, http.MethodPut,
+		"/v1/objects/"+url.PathEscape(key)+"/beliefs/"+url.PathEscape(user),
+		wire.BeliefPutRequest{Value: value}, &out)
+	return out, err
+}
+
+// DeleteBelief revokes one user's explicit belief about one stored
+// object (404 if the object or the belief is absent).
+func (c *Client) DeleteBelief(ctx context.Context, key, user string) (wire.ObjectResponse, error) {
+	var out wire.ObjectResponse
+	err := c.do(ctx, http.MethodDelete,
+		"/v1/objects/"+url.PathEscape(key)+"/beliefs/"+url.PathEscape(user), nil, &out)
+	return out, err
+}
+
+// ResolveObject resolves one stored object against the current epoch for
+// the requested users.
+func (c *Client) ResolveObject(ctx context.Context, key string, users []string) (wire.ObjectResolutionResponse, error) {
+	var out wire.ObjectResolutionResponse
+	// One query parameter per user (not comma-joined): names containing
+	// commas survive the round trip.
+	q := url.Values{"users": users}
+	err := c.do(ctx, http.MethodGet,
+		"/v1/objects/"+url.PathEscape(key)+"/resolution?"+q.Encode(), nil, &out)
+	return out, err
+}

@@ -1,0 +1,90 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"trustmap/wire"
+)
+
+// stub answers canned responses so the client's round-trip, error
+// mapping, and URL construction can be tested without a full trustd.
+// The real end-to-end coverage lives in cmd/trustd's TestSmokeHTTP,
+// which drives this client against the real handlers.
+func stub(t *testing.T) (*Client, *http.ServeMux) {
+	t.Helper()
+	mux := http.NewServeMux()
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return New(srv.URL + "/"), mux // trailing slash must be tolerated
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c, mux := stub(t)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(wire.Health{OK: true, Epoch: 7})
+	})
+	mux.HandleFunc("POST /v1/resolve", func(w http.ResponseWriter, r *http.Request) {
+		var req wire.ResolveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Users) != 1 {
+			t.Errorf("bad request body: %v %+v", err, req)
+		}
+		json.NewEncoder(w).Encode(wire.ResolveResponse{
+			Epoch: 7,
+			Users: map[string]wire.UserResult{"alice": {Possible: []string{"fish"}, Certain: "fish"}},
+		})
+	})
+	mux.HandleFunc("PUT /v1/objects/{key}/beliefs/{user}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("key") != "a b" || r.PathValue("user") != "u/1" {
+			t.Errorf("path escaping broken: key=%q user=%q", r.PathValue("key"), r.PathValue("user"))
+		}
+		json.NewEncoder(w).Encode(wire.ObjectResponse{Object: r.PathValue("key")})
+	})
+
+	ctx := context.Background()
+	h, err := c.Healthz(ctx)
+	if err != nil || !h.OK || h.Epoch != 7 {
+		t.Fatalf("Healthz = %+v, %v", h, err)
+	}
+	res, err := c.Resolve(ctx, nil, []string{"alice"})
+	if err != nil || res.Users["alice"].Certain != "fish" {
+		t.Fatalf("Resolve = %+v, %v", res, err)
+	}
+	// Keys and users with reserved characters survive the round trip.
+	if _, err := c.PutBelief(ctx, "a b", "u/1", "v"); err != nil {
+		t.Fatalf("PutBelief: %v", err)
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	c, mux := stub(t)
+	mux.HandleFunc("GET /v1/objects/{key}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(wire.ErrorResponse{Message: "unknown object"})
+	})
+	mux.HandleFunc("POST /v1/mutate", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(wire.ErrorResponse{Message: "op 2: boom", Applied: 2, Epoch: 9})
+	})
+
+	ctx := context.Background()
+	_, err := c.GetObject(ctx, "ghost")
+	if !IsNotFound(err) {
+		t.Fatalf("GetObject err = %v, want 404 APIError", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Message != "unknown object" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	_, err = c.Mutate(ctx, []wire.Op{{Op: wire.OpSetTrust}})
+	if !errors.As(err, &ae) || ae.StatusCode != 400 || ae.Applied != 2 || ae.Epoch != 9 {
+		t.Fatalf("mutate APIError = %+v, %v", ae, err)
+	}
+	if IsNotFound(err) {
+		t.Fatal("400 must not be IsNotFound")
+	}
+}

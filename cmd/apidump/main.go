@@ -1,0 +1,247 @@
+// Command apidump prints the exported API surface of the module's public
+// packages — every exported type (with exported fields and methods),
+// function, constant, and variable, with full signatures — in a
+// deterministic order. `make api` diffs its output against the committed
+// golden (api/API.txt), so any change to the exported surface — a
+// breaking change or an addition — fails CI until the golden is
+// regenerated with `make api-save` and reviewed alongside the code.
+//
+// Usage:
+//
+//	apidump [-pkgs .,wire,client] [-out api/API.txt]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	pkgs := flag.String("pkgs", ".,wire,client", "comma-separated package directories relative to the module root")
+	out := flag.String("out", "", "write to this file instead of stdout")
+	flag.Parse()
+
+	var buf bytes.Buffer
+	for _, dir := range strings.Split(*pkgs, ",") {
+		if err := dumpPackage(&buf, strings.TrimSpace(dir)); err != nil {
+			fmt.Fprintln(os.Stderr, "apidump:", err)
+			os.Exit(1)
+		}
+	}
+	if *out == "" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+}
+
+// decl is one exported declaration, rendered, with its sort key.
+type decl struct {
+	key  string
+	text string
+}
+
+// dumpPackage renders one package's exported surface into w.
+func dumpPackage(w *bytes.Buffer, dir string) error {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Comments are not parsed: the dump tracks signatures, not docs.
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		pkgName = f.Name.Name
+	}
+	if pkgName == "" {
+		return fmt.Errorf("no Go files in %s", dir)
+	}
+
+	var decls []decl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			decls = append(decls, exportedDecls(fset, d)...)
+		}
+	}
+	sort.Slice(decls, func(i, j int) bool {
+		if decls[i].key != decls[j].key {
+			return decls[i].key < decls[j].key
+		}
+		return decls[i].text < decls[j].text
+	})
+
+	fmt.Fprintf(w, "package %s // %q\n\n", pkgName, dir)
+	for _, d := range decls {
+		fmt.Fprintln(w, d.text)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// exportedDecls renders the exported declarations of one top-level decl.
+func exportedDecls(fset *token.FileSet, d ast.Decl) []decl {
+	switch d := d.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		recv := recvTypeName(d)
+		if d.Recv != nil && !ast.IsExported(recv) {
+			return nil // method on an unexported type
+		}
+		key := "func " + d.Name.Name
+		if recv != "" {
+			key = "type " + recv + " method " + d.Name.Name
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []decl{{key: key, text: render(fset, &fn)}}
+	case *ast.GenDecl:
+		var out []decl
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				cp := *s
+				cp.Doc, cp.Comment = nil, nil
+				cp.Type = filterType(s.Type)
+				one := &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&cp}}
+				out = append(out, decl{key: "type " + s.Name.Name, text: render(fset, one)})
+			case *ast.ValueSpec:
+				if !anyExported(s.Names) {
+					continue
+				}
+				cp := *s
+				cp.Doc, cp.Comment = nil, nil
+				one := &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&cp}}
+				out = append(out, decl{key: d.Tok.String() + " " + s.Names[0].Name, text: render(fset, one)})
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// filterType strips unexported members from struct and interface types,
+// leaving a marker comment-free but deterministic shape.
+func filterType(t ast.Expr) ast.Expr {
+	switch t := t.(type) {
+	case *ast.StructType:
+		cp := *t
+		fl := *t.Fields
+		fl.List = nil
+		for _, f := range t.Fields.List {
+			if keepField(f) {
+				fc := *f
+				fc.Doc, fc.Comment = nil, nil
+				fl.List = append(fl.List, &fc)
+			}
+		}
+		cp.Fields = &fl
+		return &cp
+	case *ast.InterfaceType:
+		cp := *t
+		ml := *t.Methods
+		ml.List = nil
+		for _, m := range t.Methods.List {
+			if keepField(m) {
+				mc := *m
+				mc.Doc, mc.Comment = nil, nil
+				ml.List = append(ml.List, &mc)
+			}
+		}
+		cp.Methods = &ml
+		return &cp
+	}
+	return t
+}
+
+// keepField reports whether a struct field / interface member is part of
+// the exported surface: any exported name, or an exported embedded type.
+func keepField(f *ast.Field) bool {
+	if len(f.Names) == 0 {
+		return ast.IsExported(baseName(f.Type))
+	}
+	return anyExported(f.Names)
+}
+
+func anyExported(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the receiver's base type name, or "".
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	return baseName(d.Recv.List[0].Type)
+}
+
+// baseName unwraps pointers, generics, and selectors down to an
+// identifier name.
+func baseName(t ast.Expr) string {
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.IndexListExpr:
+			t = e.X
+		case *ast.SelectorExpr:
+			return e.Sel.Name
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// render prints one declaration in canonical gofmt style, collapsing the
+// blank lines the printer inherits from source positions so the dump is
+// insensitive to spacing-only edits.
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("/* render error: %v */", err)
+	}
+	var out []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.TrimSpace(line) != "" {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -7,6 +7,7 @@
 //	trustctl -f network.json [-skeptic] [-pairs] [-lineage user=value]
 //	trustctl bulk-par -f network.json -objects objects.json [-workers N] [-users a,b]
 //	trustctl session -f network.json -objects objects.json -mutations muts.json [-workers N] [-users a,b]
+//	trustctl remote -addr http://host:7171 <verb> [flags]
 //
 // Network file format:
 //
@@ -25,10 +26,12 @@
 //	  "obj2": {"Bob": "cow",  "Charlie": "cow"}
 //	}
 //
-// The session subcommand demonstrates the live lifecycle: it compiles the
-// network once, resolves the objects, folds a mutation script into the
-// compiled artifact through the incremental delta path, and resolves
-// again. The mutations file is an ordered op list:
+// The session subcommand demonstrates the live lifecycle on a
+// trustmap.Store: it compiles the network once, stores and resolves the
+// objects, folds a mutation script into the compiled artifact through the
+// incremental delta path, and resolves again — re-resolving only what the
+// mutations touched. The mutations file is an ordered op list in the wire
+// schema:
 //
 //	[
 //	  {"op": "remove-trust", "truster": "Alice", "trusted": "Bob"},
@@ -37,6 +40,16 @@
 //	  {"op": "set-belief", "user": "Dan", "value": "cow"},
 //	  {"op": "remove-belief", "user": "Charlie"}
 //	]
+//
+// The remote subcommand drives a running trustd server through the typed
+// client package (the same wire schema the server speaks):
+//
+//	trustctl remote -addr URL stats
+//	trustctl remote -addr URL objects
+//	trustctl remote -addr URL put-object -key o1 -beliefs Bob=fish,Charlie=knot
+//	trustctl remote -addr URL resolve-object -key o1 -users Alice,Bob
+//	trustctl remote -addr URL resolve -users Alice [-beliefs Bob=cow]
+//	trustctl remote -addr URL mutate -f muts.json
 package main
 
 import (
@@ -50,6 +63,8 @@ import (
 	"strings"
 
 	"trustmap"
+	"trustmap/client"
+	"trustmap/wire"
 )
 
 type networkFile struct {
@@ -76,6 +91,13 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runSession(os.Stdout, *file, *objects, *mutations, *workers, *users); err != nil {
+			fmt.Fprintln(os.Stderr, "trustctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "remote" {
+		if err := runRemote(os.Stdout, os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "trustctl:", err)
 			os.Exit(1)
 		}
@@ -128,7 +150,11 @@ func runBulkPar(w io.Writer, netFile, objFile string, workers int, users string)
 	if err := json.Unmarshal(raw, &objects); err != nil {
 		return fmt.Errorf("parsing %s: %w", objFile, err)
 	}
-	r, err := n.BulkResolveWith(context.Background(), objects, trustmap.BulkOptions{Workers: workers})
+	st, err := n.NewStore(trustmap.WithWorkers(workers), trustmap.WithExtraRoots(objectUsers(objects)...))
+	if err != nil {
+		return err
+	}
+	r, err := st.ResolveBatch(context.Background(), objects)
 	if err != nil {
 		return err
 	}
@@ -139,6 +165,23 @@ func runBulkPar(w io.Writer, netFile, objFile string, workers int, users string)
 	printBulkTable(w, r, report)
 	printDedupLine(w, r)
 	return nil
+}
+
+// objectUsers lists every user mentioned by the objects, sorted: the
+// roots a store must declare before resolving them.
+func objectUsers(objects map[string]map[string]string) []string {
+	seen := map[string]bool{}
+	for _, bs := range objects {
+		for user := range bs {
+			seen[user] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for user := range seen {
+		out = append(out, user)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // printDedupLine summarizes what signature deduplication did for a batch.
@@ -155,8 +198,9 @@ func printDedupLine(w io.Writer, r *trustmap.BulkResolution) {
 		st.Objects, st.DistinctSignatures, st.CacheHits, 100*hitRate, st.Resolved)
 }
 
-// runSession compiles the network once, resolves the objects, applies the
-// mutation script through the incremental session, and resolves again.
+// runSession compiles the network once into a store, stores and resolves
+// the objects, applies the mutation script through the incremental
+// maintenance path, and resolves again.
 func runSession(w io.Writer, netFile, objFile, mutFile string, workers int, users string) error {
 	n, err := loadNetwork(netFile)
 	if err != nil {
@@ -174,78 +218,61 @@ func runSession(w io.Writer, netFile, objFile, mutFile string, workers int, user
 	if err != nil {
 		return err
 	}
-	var muts []struct {
-		Op       string `json:"op"`
-		Truster  string `json:"truster"`
-		Trusted  string `json:"trusted"`
-		Priority int    `json:"priority"`
-		User     string `json:"user"`
-		Value    string `json:"value"`
-	}
+	var muts []wire.Op
 	if err := json.Unmarshal(raw, &muts); err != nil {
 		return fmt.Errorf("parsing %s: %w", mutFile, err)
 	}
-	// Every user carrying per-object beliefs is a session root.
-	extra := map[string]bool{}
-	for _, bs := range objects {
-		for user := range bs {
-			extra[user] = true
-		}
-	}
-	var extraRoots []string
-	for user := range extra {
-		extraRoots = append(extraRoots, user)
-	}
-	sort.Strings(extraRoots)
-	s, err := n.NewSession(trustmap.SessionOptions{Workers: workers, ExtraRoots: extraRoots})
+	ctx := context.Background()
+	st, err := n.NewStore(trustmap.WithWorkers(workers))
 	if err != nil {
 		return err
+	}
+	for _, key := range sortedKeys(objects) {
+		if err := st.PutObject(ctx, key, objects[key]); err != nil {
+			return err
+		}
 	}
 	report, err := reportUsers(n, users)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "== before mutations ==")
-	r, err := s.BulkResolve(context.Background(), objects)
+	r, err := st.ResolveAll(ctx)
 	if err != nil {
 		return err
 	}
 	printBulkTable(w, r, report)
-	for _, m := range muts {
-		switch m.Op {
-		case "add-trust":
-			if err := s.AddTrust(m.Truster, m.Trusted, m.Priority); err != nil {
-				return fmt.Errorf("add-trust: %w", err)
+	// The whole script lands as one batch: a single epoch publication and
+	// one delta application, like trustd's mutate endpoint.
+	if err := st.Update(func(tx *trustmap.StoreTx) error {
+		for i, m := range muts {
+			if err := m.Apply(tx); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
 			}
-		case "remove-trust":
-			if !s.RemoveTrust(m.Truster, m.Trusted) {
-				return fmt.Errorf("remove-trust: no mapping %s -> %s", m.Trusted, m.Truster)
-			}
-		case "update-trust":
-			if !s.UpdateTrust(m.Truster, m.Trusted, m.Priority) {
-				return fmt.Errorf("update-trust: no mapping %s -> %s", m.Trusted, m.Truster)
-			}
-		case "set-belief":
-			if err := s.SetBelief(m.User, m.Value); err != nil {
-				return fmt.Errorf("set-belief: %w", err)
-			}
-		case "remove-belief":
-			s.RemoveBelief(m.User)
-		default:
-			return fmt.Errorf("unknown mutation op %q", m.Op)
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "\n== after %d mutations ==\n", len(muts))
-	r, err = s.BulkResolve(context.Background(), objects)
+	r, err = st.ResolveAll(ctx)
 	if err != nil {
 		return err
 	}
 	printBulkTable(w, r, report)
-	printDedupLine(w, r)
-	st := s.Stats()
-	fmt.Fprintf(w, "\nsession: %d compile(s), %d incremental applies, %d value-only updates, %d threshold recompiles\n",
-		st.Compiles, st.IncrementalApplies, st.ValueOnlyUpdates, st.FullRecompiles)
+	sst := st.Stats()
+	fmt.Fprintf(w, "\nstore: epoch %d, %d compile(s), %d incremental applies, %d value-only updates, %d threshold recompiles, %d/%d cache hits/misses\n",
+		sst.Epoch, sst.Compiles, sst.IncrementalApplies, sst.ValueOnlyUpdates, sst.FullRecompiles, sst.CacheHits, sst.CacheMisses)
 	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // reportUsers resolves the -users flag against the network's user set.
@@ -275,8 +302,16 @@ func reportUsers(n *trustmap.Network, users string) ([]string, error) {
 	return report, nil
 }
 
+// bulkView is the read surface printBulkTable needs; *BulkResolution and
+// *StoreResolution both provide it.
+type bulkView interface {
+	Keys() []string
+	Possible(user, object string) []string
+	Certain(user, object string) (string, bool)
+}
+
 // printBulkTable prints one row per (object, user).
-func printBulkTable(w io.Writer, r *trustmap.BulkResolution, report []string) {
+func printBulkTable(w io.Writer, r bulkView, report []string) {
 	fmt.Fprintf(w, "%-16s %-16s %-24s %s\n", "object", "user", "possible", "certain")
 	for _, k := range r.Keys() {
 		for _, u := range report {
@@ -376,4 +411,115 @@ func orDash(s string) string {
 		return "-"
 	}
 	return s
+}
+
+// runRemote drives a running trustd server through the typed client.
+func runRemote(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("remote", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7171", "trustd base URL")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("remote: a verb is required (stats, objects, put-object, resolve-object, resolve, mutate)")
+	}
+	c := client.New(*addr)
+	ctx := context.Background()
+	verb, verbArgs := rest[0], rest[1:]
+	vfs := flag.NewFlagSet("remote "+verb, flag.ExitOnError)
+	key := vfs.String("key", "", "object key")
+	users := vfs.String("users", "", "comma-separated users to report")
+	beliefs := vfs.String("beliefs", "", "comma-separated user=value pairs")
+	file := vfs.String("f", "", "mutation script JSON file (wire op list)")
+	vfs.Parse(verbArgs)
+
+	switch verb {
+	case "stats":
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(w, st)
+	case "objects":
+		lst, err := c.ListObjects(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(w, lst)
+	case "put-object":
+		if *key == "" {
+			return fmt.Errorf("remote put-object: -key is required")
+		}
+		bs, err := parseBeliefs(*beliefs)
+		if err != nil {
+			return err
+		}
+		obj, err := c.PutObject(ctx, *key, bs)
+		if err != nil {
+			return err
+		}
+		return printJSON(w, obj)
+	case "resolve-object":
+		if *key == "" || *users == "" {
+			return fmt.Errorf("remote resolve-object: -key and -users are required")
+		}
+		res, err := c.ResolveObject(ctx, *key, strings.Split(*users, ","))
+		if err != nil {
+			return err
+		}
+		return printJSON(w, res)
+	case "resolve":
+		if *users == "" {
+			return fmt.Errorf("remote resolve: -users is required")
+		}
+		bs, err := parseBeliefs(*beliefs)
+		if err != nil {
+			return err
+		}
+		res, err := c.Resolve(ctx, bs, strings.Split(*users, ","))
+		if err != nil {
+			return err
+		}
+		return printJSON(w, res)
+	case "mutate":
+		if *file == "" {
+			return fmt.Errorf("remote mutate: -f is required")
+		}
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		var ops []wire.Op
+		if err := json.Unmarshal(raw, &ops); err != nil {
+			return fmt.Errorf("parsing %s: %w", *file, err)
+		}
+		res, err := c.Mutate(ctx, ops)
+		if err != nil {
+			return err
+		}
+		return printJSON(w, res)
+	default:
+		return fmt.Errorf("remote: unknown verb %q", verb)
+	}
+}
+
+// parseBeliefs parses "user=value,user=value" pairs.
+func parseBeliefs(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		user, value, ok := strings.Cut(pair, "=")
+		if !ok || user == "" || value == "" {
+			return nil, fmt.Errorf("-beliefs wants user=value pairs, got %q", pair)
+		}
+		out[user] = value
+	}
+	return out, nil
+}
+
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -186,8 +186,8 @@ func TestRunSession(t *testing.T) {
 	if !strings.Contains(after, "glyph1           Alice            jar") {
 		t.Errorf("after revocation: Alice must follow Charlie:\n%s", after)
 	}
-	if !strings.Contains(after, "session: 1 compile(s)") {
-		t.Errorf("missing session stats line:\n%s", after)
+	if !strings.Contains(after, "store: epoch") || !strings.Contains(after, "1 compile(s)") {
+		t.Errorf("missing store stats line:\n%s", after)
 	}
 	// Error paths: unknown op and failing mutations.
 	badMut := filepath.Join(dir, "bad.json")

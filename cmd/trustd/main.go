@@ -1,32 +1,45 @@
 // Command trustd serves trust-mapping resolution over HTTP: one
-// long-running process, one shared Session, epoch-swapped snapshots
-// underneath. Any number of concurrent resolve calls read the currently
-// published compiled artifact lock-free while mutate calls build the next
-// epoch off to the side and swap it in atomically — the production shape
-// of the paper's bulk setting (Section 4) for a live community database.
+// long-running process, one shared trustmap.Store, epoch-swapped
+// snapshots underneath. Any number of concurrent resolve calls read the
+// currently published compiled artifact lock-free while mutate calls
+// build the next epoch off to the side and swap it in atomically — the
+// production shape of the paper's bulk setting (Section 4) for a live
+// community database. The store keeps the served objects too: object
+// CRUD edits per-object beliefs and invalidates exactly the touched
+// object's cached resolution.
 //
 // Usage:
 //
-//	trustd -f network.json [-addr :7171] [-workers N] [-extra-roots a,b]
+//	trustd -f network.json [-addr :7171] [-workers N] [-extra-roots a,b] [-max-batch N]
 //	trustd -demo 1000 [-seed 42] [-addr :7171]
 //
-// The network file uses trustctl's format:
+// The network file uses trustctl's format, optionally with stored
+// objects:
 //
 //	{
 //	  "trust":   [{"truster": "Alice", "trusted": "Bob", "priority": 100}],
-//	  "beliefs": {"Bob": "fish", "Charlie": "knot"}
+//	  "beliefs": {"Bob": "fish", "Charlie": "knot"},
+//	  "objects": {"obj1": {"Bob": "cow"}}
 //	}
 //
 // -demo N serves a deterministic scale-free demo network with N users
 // instead (for trying the endpoints without authoring a file).
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON; see the wire package for the schema and the
+// client package for the typed Go client):
 //
-//	GET  /healthz          liveness plus the current epoch
-//	GET  /v1/stats         session + engine statistics of the current epoch
-//	POST /v1/resolve       {"beliefs": {...}, "users": [...]}
-//	POST /v1/bulk-resolve  {"objects": {key: {...}}, "users": [...]}
-//	POST /v1/mutate        {"ops": [{"op": "add-trust", ...}, ...]}
+//	GET    /healthz                             liveness plus the current epoch
+//	GET    /v1/stats                            session + store + engine statistics
+//	POST   /v1/resolve                          {"beliefs": {...}, "users": [...]}
+//	POST   /v1/bulk-resolve                     {"objects": {key: {...}}, "users": [...]}
+//	POST   /v1/mutate                           {"ops": [{"op": "set-trust", ...}, ...]}
+//	GET    /v1/objects                          stored object keys
+//	PUT    /v1/objects/{key}                    create/replace an object's beliefs
+//	GET    /v1/objects/{key}                    an object's stored beliefs
+//	DELETE /v1/objects/{key}                    remove an object
+//	PUT    /v1/objects/{key}/beliefs/{user}     {"value": "..."}
+//	DELETE /v1/objects/{key}/beliefs/{user}     revoke one per-object belief
+//	GET    /v1/objects/{key}/resolution?users=a&users=b  resolve a stored object
 //
 // Every response carries the serving epoch; a mutate's response epoch is
 // a lower bound for every later read, so read-your-writes is checkable
@@ -34,6 +47,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,18 +64,19 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7171", "listen address")
-	file := flag.String("f", "", "network JSON file (trustctl format)")
+	file := flag.String("f", "", "network JSON file (trustctl format, optional objects section)")
 	demo := flag.Int("demo", 0, "serve a generated scale-free demo network with this many users instead of -f")
 	seed := flag.Int64("seed", 42, "demo network seed")
 	workers := flag.Int("workers", 0, "resolve worker-pool size (0 = GOMAXPROCS)")
 	extraRoots := flag.String("extra-roots", "", "comma-separated users whose beliefs vary per object without a network default")
+	maxBatch := flag.Int("max-batch", 0, "max ops per mutate / objects per bulk-resolve (0 = default)")
 	flag.Parse()
 	if (*file == "") == (*demo == 0) {
 		fmt.Fprintln(os.Stderr, "trustd: exactly one of -f and -demo is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	n, err := buildNetwork(*file, *demo, *seed)
+	n, objects, err := buildNetwork(*file, *demo, *seed)
 	if err != nil {
 		log.Fatalf("trustd: %v", err)
 	}
@@ -69,29 +84,41 @@ func main() {
 	if *extraRoots != "" {
 		extras = strings.Split(*extraRoots, ",")
 	}
-	s, err := n.NewSession(trustmap.SessionOptions{Workers: *workers, ExtraRoots: extras})
+	st, err := n.NewStore(trustmap.WithWorkers(*workers), trustmap.WithExtraRoots(extras...))
 	if err != nil {
-		log.Fatalf("trustd: compiling session: %v", err)
+		log.Fatalf("trustd: compiling store: %v", err)
 	}
-	st := s.EngineStats()
-	log.Printf("trustd: serving %d users, %d mappings, %d roots on %s (epoch %d)",
-		st.Users, st.Mappings, st.Roots, *addr, s.Epoch())
+	// Seed stored objects in key order, so registration is deterministic.
+	keys := make([]string, 0, len(objects))
+	for k := range objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := st.PutObject(context.Background(), k, objects[k]); err != nil {
+			log.Fatalf("trustd: seeding object %q: %v", k, err)
+		}
+	}
+	eng := st.EngineStats()
+	log.Printf("trustd: serving %d users, %d mappings, %d roots, %d objects on %s (epoch %d)",
+		eng.Users, eng.Mappings, eng.Roots, st.NumObjects(), *addr, st.Epoch())
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(s),
+		Handler:           newServer(st, *maxBatch),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())
 }
 
-// buildNetwork loads the network file, or generates the demo network.
-func buildNetwork(file string, demo int, seed int64) (*trustmap.Network, error) {
+// buildNetwork loads the network file (returning its stored objects, if
+// any), or generates the demo network.
+func buildNetwork(file string, demo int, seed int64) (*trustmap.Network, map[string]map[string]string, error) {
 	if demo > 0 {
-		return demoNetwork(demo, seed), nil
+		return demoNetwork(demo, seed), nil, nil
 	}
 	raw, err := os.ReadFile(file)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var nf struct {
 		Trust []struct {
@@ -99,10 +126,11 @@ func buildNetwork(file string, demo int, seed int64) (*trustmap.Network, error) 
 			Trusted  string `json:"trusted"`
 			Priority int    `json:"priority"`
 		} `json:"trust"`
-		Beliefs map[string]string `json:"beliefs"`
+		Beliefs map[string]string            `json:"beliefs"`
+		Objects map[string]map[string]string `json:"objects"`
 	}
 	if err := json.Unmarshal(raw, &nf); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", file, err)
+		return nil, nil, fmt.Errorf("parsing %s: %w", file, err)
 	}
 	n := trustmap.New()
 	for _, tm := range nf.Trust {
@@ -117,7 +145,7 @@ func buildNetwork(file string, demo int, seed int64) (*trustmap.Network, error) 
 	for _, user := range users {
 		n.SetBelief(user, nf.Beliefs[user])
 	}
-	return n, nil
+	return n, nf.Objects, nil
 }
 
 // demoNetwork grows a deterministic scale-free community: each user

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,21 +17,23 @@ import (
 	"time"
 
 	"trustmap"
+	"trustmap/client"
+	"trustmap/wire"
 )
 
-// testSession builds the small demo community the handler tests share.
-func testSession(t *testing.T) *trustmap.Session {
+// testStore builds the small demo community the handler tests share.
+func testStore(t *testing.T) *trustmap.Store {
 	t.Helper()
 	n := trustmap.New()
 	n.AddTrust("alice", "bob", 100)
 	n.AddTrust("alice", "carol", 50)
 	n.SetBelief("bob", "fish")
 	n.SetBelief("carol", "knot")
-	s, err := n.NewSession(trustmap.SessionOptions{Workers: 1})
+	st, err := n.NewStore(trustmap.WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s
+	return st
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
@@ -49,9 +53,9 @@ func postJSON(t *testing.T, h http.Handler, path string, body any) (*httptest.Re
 }
 
 func TestHandlerResolveAndStats(t *testing.T) {
-	h := newServer(testSession(t))
+	h := newServer(testStore(t), 0)
 
-	rec, out := postJSON(t, h, "/v1/resolve", resolveRequest{Users: []string{"alice"}})
+	rec, out := postJSON(t, h, "/v1/resolve", wire.ResolveRequest{Users: []string{"alice"}})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("resolve: status %d, body %v", rec.Code, out)
 	}
@@ -62,7 +66,7 @@ func TestHandlerResolveAndStats(t *testing.T) {
 	}
 
 	// Per-object override beats the network default.
-	_, out = postJSON(t, h, "/v1/resolve", resolveRequest{
+	_, out = postJSON(t, h, "/v1/resolve", wire.ResolveRequest{
 		Beliefs: map[string]string{"bob": "cow"},
 		Users:   []string{"alice"},
 	})
@@ -80,8 +84,8 @@ func TestHandlerResolveAndStats(t *testing.T) {
 }
 
 func TestHandlerBulkResolve(t *testing.T) {
-	h := newServer(testSession(t))
-	rec, out := postJSON(t, h, "/v1/bulk-resolve", bulkResolveRequest{
+	h := newServer(testStore(t), 0)
+	rec, out := postJSON(t, h, "/v1/bulk-resolve", wire.BulkResolveRequest{
 		Objects: map[string]map[string]string{
 			"o1": {"bob": "fish", "carol": "fish"},
 			"o2": {"bob": "v1", "carol": "v2"},
@@ -102,30 +106,132 @@ func TestHandlerBulkResolve(t *testing.T) {
 	}
 }
 
-func TestHandlerErrors(t *testing.T) {
-	h := newServer(testSession(t))
-	for _, tc := range []struct {
-		path string
-		body any
-	}{
-		{"/v1/resolve", resolveRequest{}},                                   // no users
-		{"/v1/resolve", resolveRequest{Users: []string{"ghost"}}},           // unknown user
-		{"/v1/mutate", mutateRequest{}},                                     // no ops
-		{"/v1/mutate", mutateRequest{Ops: []mutateOp{{Op: "frobnicate"}}}},  // unknown op
-		{"/v1/bulk-resolve", bulkResolveRequest{Users: []string{"alice"}}},  // no objects
-		{"/v1/resolve", map[string]any{"users": []string{"alice"}, "x": 1}}, // unknown field
-	} {
-		rec, out := postJSON(t, h, tc.path, tc.body)
-		if rec.Code != http.StatusBadRequest || out["error"] == nil {
-			t.Errorf("%s %+v: status %d, body %v; want 400 with error", tc.path, tc.body, rec.Code, out)
+// TestHandlerObjectCRUD drives the /v1/objects endpoints end to end at
+// the handler level: put, get, list, per-belief put/delete, resolution,
+// delete.
+func TestHandlerObjectCRUD(t *testing.T) {
+	h := newServer(testStore(t), 0)
+	do := func(method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+		t.Helper()
+		var rd *bytes.Reader
+		if body != nil {
+			raw, _ := json.Marshal(body)
+			rd = bytes.NewReader(raw)
+		} else {
+			rd = bytes.NewReader(nil)
 		}
+		req := httptest.NewRequest(method, path, rd)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		var out map[string]any
+		if len(rec.Body.Bytes()) > 0 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("%s %s: invalid JSON %q: %v", method, path, rec.Body.String(), err)
+			}
+		}
+		return rec, out
 	}
-	// Wrong method.
-	req := httptest.NewRequest("GET", "/v1/mutate", nil)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("GET /v1/mutate: status %d, want 405", rec.Code)
+
+	rec, out := do("PUT", "/v1/objects/o1", wire.ObjectPutRequest{Beliefs: map[string]string{"bob": "cow"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("put object: status %d, body %v", rec.Code, out)
+	}
+	rec, out = do("GET", "/v1/objects/o1", nil)
+	if rec.Code != http.StatusOK || out["beliefs"].(map[string]any)["bob"] != "cow" {
+		t.Fatalf("get object: status %d, body %v", rec.Code, out)
+	}
+	rec, out = do("GET", "/v1/objects", nil)
+	if rec.Code != http.StatusOK || fmt.Sprint(out["objects"]) != "[o1]" {
+		t.Fatalf("list objects: status %d, body %v", rec.Code, out)
+	}
+	// bob says cow for o1, so alice follows.
+	rec, out = do("GET", "/v1/objects/o1/resolution?users=alice", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resolution: status %d, body %v", rec.Code, out)
+	}
+	if got := out["users"].(map[string]any)["alice"].(map[string]any)["certain"]; got != "cow" {
+		t.Fatalf("resolution certain(alice) = %v, want cow", got)
+	}
+	// Revoke bob's o1 belief: back to the network default fish.
+	rec, _ = do("DELETE", "/v1/objects/o1/beliefs/bob", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete belief: status %d", rec.Code)
+	}
+	_, out = do("GET", "/v1/objects/o1/resolution?users=alice", nil)
+	if got := out["users"].(map[string]any)["alice"].(map[string]any)["certain"]; got != "fish" {
+		t.Fatalf("after belief delete: certain(alice) = %v, want fish", got)
+	}
+	// Belief put creates objects implicitly.
+	rec, _ = do("PUT", "/v1/objects/o2/beliefs/carol", wire.BeliefPutRequest{Value: "jar"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("put belief: status %d", rec.Code)
+	}
+	rec, out = do("DELETE", "/v1/objects/o2", nil)
+	if rec.Code != http.StatusOK || out["deleted"] != "o2" {
+		t.Fatalf("delete object: status %d, body %v", rec.Code, out)
+	}
+	// Users are one query parameter each, taken verbatim: names with
+	// commas (legal everywhere else) stay queryable.
+	rec, _ = do("PUT", "/v1/objects/o1/beliefs/"+url.PathEscape("Doe, J"), wire.BeliefPutRequest{Value: "cow"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("put comma-name belief: status %d", rec.Code)
+	}
+	rec, out = do("GET", "/v1/objects/o1/resolution?"+url.Values{"users": {"Doe, J", "alice"}}.Encode(), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("comma-name resolution: status %d, body %v", rec.Code, out)
+	}
+	if got := out["users"].(map[string]any)["Doe, J"].(map[string]any)["certain"]; got != "cow" {
+		t.Fatalf("comma-name certain = %v, want cow", got)
+	}
+}
+
+// TestHandlerErrors asserts the intended status code for every error
+// class: malformed bodies and invalid requests 400, unknown users and
+// objects 404, wrong methods 405, oversized batches 413.
+func TestHandlerErrors(t *testing.T) {
+	h := newServer(testStore(t), 3) // tiny batch limit to exercise 413
+
+	for _, tc := range []struct {
+		name   string
+		method string
+		path   string
+		body   string // raw JSON ("" = empty body)
+		want   int
+	}{
+		{"resolve: no users", "POST", "/v1/resolve", `{}`, 400},
+		{"resolve: malformed JSON", "POST", "/v1/resolve", `{"users": [`, 400},
+		{"resolve: unknown field", "POST", "/v1/resolve", `{"users": ["alice"], "x": 1}`, 400},
+		{"resolve: unknown user", "POST", "/v1/resolve", `{"users": ["ghost"]}`, 404},
+		{"resolve: unknown belief user", "POST", "/v1/resolve", `{"users": ["alice"], "beliefs": {"ghost": "v"}}`, 404},
+		{"bulk-resolve: no objects", "POST", "/v1/bulk-resolve", `{"users": ["alice"]}`, 400},
+		{"bulk-resolve: oversized batch", "POST", "/v1/bulk-resolve",
+			`{"users": ["alice"], "objects": {"a": {}, "b": {}, "c": {}, "d": {}}}`, 413},
+		{"mutate: no ops", "POST", "/v1/mutate", `{"ops": []}`, 400},
+		{"mutate: unknown op", "POST", "/v1/mutate", `{"ops": [{"op": "frobnicate"}]}`, 400},
+		{"mutate: oversized batch", "POST", "/v1/mutate",
+			`{"ops": [{"op": "set-trust"}, {"op": "set-trust"}, {"op": "set-trust"}, {"op": "set-trust"}]}`, 413},
+		{"object: unknown get", "GET", "/v1/objects/ghost", "", 404},
+		{"object: unknown delete", "DELETE", "/v1/objects/ghost", "", 404},
+		{"object: unknown belief delete", "DELETE", "/v1/objects/ghost/beliefs/bob", "", 404},
+		{"object: malformed put", "PUT", "/v1/objects/o1", `{"beliefs": 7}`, 400},
+		{"object: empty value", "PUT", "/v1/objects/o1", `{"beliefs": {"bob": ""}}`, 400},
+		{"resolution: unknown object", "GET", "/v1/objects/ghost/resolution?users=alice", "", 404},
+		{"resolution: no users", "GET", "/v1/objects/ghost/resolution", "", 400},
+		{"wrong method: mutate", "GET", "/v1/mutate", "", 405},
+		{"wrong method: objects", "POST", "/v1/objects", "", 405},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, rec.Code, tc.want, rec.Body.String())
+			continue
+		}
+		// Every handler-emitted error carries a JSON error body (the mux's
+		// own 405s are plain text).
+		if tc.want != 405 && !strings.Contains(rec.Body.String(), `"error"`) {
+			t.Errorf("%s: error body missing: %s", tc.name, rec.Body.String())
+		}
 	}
 }
 
@@ -133,42 +239,47 @@ func TestBuildNetworkFromFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "net.json")
 	raw := `{
 	  "trust":   [{"truster": "alice", "trusted": "bob", "priority": 10}],
-	  "beliefs": {"bob": "fish"}
+	  "beliefs": {"bob": "fish"},
+	  "objects": {"o1": {"bob": "cow"}}
 	}`
 	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	n, err := buildNetwork(path, 0, 0)
+	n, objects, err := buildNetwork(path, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := n.NumUsers(); got != 2 {
 		t.Fatalf("NumUsers = %d, want 2", got)
 	}
-	if _, err := buildNetwork(filepath.Join(t.TempDir(), "absent.json"), 0, 0); err == nil {
+	if len(objects) != 1 || objects["o1"]["bob"] != "cow" {
+		t.Fatalf("objects = %v, want o1/bob/cow", objects)
+	}
+	if _, _, err := buildNetwork(filepath.Join(t.TempDir(), "absent.json"), 0, 0); err == nil {
 		t.Fatal("missing file must error")
 	}
 }
 
 func TestDemoNetworkCompiles(t *testing.T) {
 	n := demoNetwork(200, 42)
-	if _, err := n.NewSession(trustmap.SessionOptions{Workers: 1}); err != nil {
+	if _, err := n.NewStore(trustmap.WithWorkers(1)); err != nil {
 		t.Fatalf("demo network rejected: %v", err)
 	}
 }
 
 // TestSmokeHTTP is the CI smoke test (`make smoke`): it starts the real
-// server on a real TCP listener, drives one resolve, one mutate, and a
-// second resolve over HTTP, and asserts the second read observes a newer
-// epoch than the first — and the mutated outcome. This is exactly the
-// epoch contract trustd documents: a mutate's response epoch is a lower
-// bound for every subsequent read.
+// server on a real TCP listener and drives it end to end through the
+// typed client package — resolve, mutate, resolve, then the object CRUD
+// lifecycle (put-object, resolve it, put-belief, re-resolve, delete) —
+// asserting every later read observes an epoch at or beyond the
+// preceding write. This is exactly the epoch contract trustd documents,
+// exercised over the same wire schema the handlers speak.
 func TestSmokeHTTP(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: newServer(testSession(t))}
+	srv := &http.Server{Handler: newServer(testStore(t), 0)}
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -179,72 +290,86 @@ func TestSmokeHTTP(t *testing.T) {
 		_ = srv.Close()
 		wg.Wait()
 	}()
-	base := "http://" + ln.Addr().String()
-	client := &http.Client{Timeout: 10 * time.Second}
+	ctx := context.Background()
+	c := client.New("http://"+ln.Addr().String(),
+		client.WithHTTPClient(&http.Client{Timeout: 10 * time.Second}))
 
-	get := func(path string) map[string]any {
-		t.Helper()
-		resp, err := client.Get(base + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var out map[string]any
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			t.Fatal(err)
-		}
-		return out
-	}
-	post := func(path string, body any) map[string]any {
-		t.Helper()
-		raw, _ := json.Marshal(body)
-		resp, err := client.Post(base+path, "application/json", bytes.NewReader(raw))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var out map[string]any
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			t.Fatal(err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("%s: status %d, body %v", path, resp.StatusCode, out)
-		}
-		return out
-	}
-
-	if out := get("/healthz"); out["ok"] != true {
-		t.Fatalf("healthz: %v", out)
+	if h, err := c.Healthz(ctx); err != nil || !h.OK {
+		t.Fatalf("healthz: %+v, %v", h, err)
 	}
 
 	// Read 1: alice follows bob (priority 100) and sees fish.
-	out := post("/v1/resolve", resolveRequest{Users: []string{"alice"}})
-	epoch1 := out["epoch"].(float64)
-	if got := out["users"].(map[string]any)["alice"].(map[string]any)["certain"]; got != "fish" {
-		t.Fatalf("read 1: certain(alice) = %v, want fish", got)
+	res, err := c.Resolve(ctx, nil, []string{"alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch1 := res.Epoch
+	if got := res.Users["alice"].Certain; got != "fish" {
+		t.Fatalf("read 1: certain(alice) = %q, want fish", got)
 	}
 
 	// Mutate: carol outranks bob from now on.
-	out = post("/v1/mutate", mutateRequest{Ops: []mutateOp{
-		{Op: "update-trust", Truster: "alice", Trusted: "carol", Priority: 200},
-	}})
-	mutEpoch := out["epoch"].(float64)
-	if mutEpoch <= epoch1 {
-		t.Fatalf("mutate epoch %v not beyond read epoch %v", mutEpoch, epoch1)
+	mut, err := c.Mutate(ctx, []wire.Op{
+		{Op: wire.OpUpdateTrust, Truster: "alice", Trusted: "carol", Priority: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if out["applied"].(float64) != 1 {
-		t.Fatalf("mutate applied = %v, want 1", out["applied"])
+	if mut.Epoch <= epoch1 {
+		t.Fatalf("mutate epoch %d not beyond read epoch %d", mut.Epoch, epoch1)
+	}
+	if mut.Applied != 1 {
+		t.Fatalf("mutate applied = %d, want 1", mut.Applied)
 	}
 
 	// Read 2: must be served by an epoch at or beyond the mutation and
 	// see the new outcome.
-	out = post("/v1/resolve", resolveRequest{Users: []string{"alice"}})
-	epoch2 := out["epoch"].(float64)
-	if epoch2 < mutEpoch {
-		t.Fatalf("read 2 epoch %v precedes mutate epoch %v", epoch2, mutEpoch)
+	res, err = c.Resolve(ctx, nil, []string{"alice"})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := out["users"].(map[string]any)["alice"].(map[string]any)["certain"]; got != "knot" {
-		t.Fatalf("read 2: certain(alice) = %v, want knot (carol outranks bob)", got)
+	if res.Epoch < mut.Epoch {
+		t.Fatalf("read 2 epoch %d precedes mutate epoch %d", res.Epoch, mut.Epoch)
 	}
-	fmt.Printf("smoke: read@%v -> mutate@%v -> read@%v\n", epoch1, mutEpoch, epoch2)
+	if got := res.Users["alice"].Certain; got != "knot" {
+		t.Fatalf("read 2: certain(alice) = %q, want knot (carol outranks bob)", got)
+	}
+
+	// Object CRUD lifecycle: store an object, resolve it, override one
+	// belief, re-resolve, delete.
+	if _, err := c.PutObject(ctx, "glyph", map[string]string{"bob": "cow", "carol": "cow"}); err != nil {
+		t.Fatal(err)
+	}
+	or, err := c.ResolveObject(ctx, "glyph", []string{"alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.Epoch < mut.Epoch {
+		t.Fatalf("object read epoch %d precedes mutate epoch %d", or.Epoch, mut.Epoch)
+	}
+	if got := or.Users["alice"].Certain; got != "cow" {
+		t.Fatalf("glyph: certain(alice) = %q, want cow", got)
+	}
+	if _, err := c.PutBelief(ctx, "glyph", "carol", "jar"); err != nil {
+		t.Fatal(err)
+	}
+	or, err = c.ResolveObject(ctx, "glyph", []string{"alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := or.Users["alice"].Certain; got != "jar" {
+		t.Fatalf("glyph after belief put: certain(alice) = %q, want jar (carol outranks bob)", got)
+	}
+	lst, err := c.ListObjects(ctx)
+	if err != nil || len(lst.Objects) != 1 || lst.Objects[0] != "glyph" {
+		t.Fatalf("objects = %+v, %v; want [glyph]", lst, err)
+	}
+	del, err := c.DeleteObject(ctx, "glyph")
+	if err != nil || del.Deleted != "glyph" {
+		t.Fatalf("DeleteObject = %+v, %v", del, err)
+	}
+	if _, err := c.GetObject(ctx, "glyph"); !client.IsNotFound(err) {
+		t.Fatalf("deleted object read: err = %v, want 404", err)
+	}
+	fmt.Printf("smoke: read@%d -> mutate@%d -> read@%d -> object CRUD ok\n", epoch1, mut.Epoch, res.Epoch)
 }

@@ -1,136 +1,88 @@
 package main
 
-// The trustd HTTP handler: a thin JSON layer over one shared
-// trustmap.Session. Reads (/v1/resolve, /v1/bulk-resolve, /v1/stats,
-// /healthz) are served lock-free from the session's currently published
-// epoch; writes (/v1/mutate) apply one atomic batch and publish the next
-// epoch before responding. Every response carries the epoch that served
-// it, so a client that mutates and then resolves can verify the read
-// observed at least its own write (the response epoch of the mutate is a
-// lower bound for subsequent reads).
+// The trustd HTTP handler: a thin layer over one shared trustmap.Store,
+// speaking the wire-package schema (the same one the client package
+// consumes, so server and client cannot drift). Reads are served
+// lock-free from the store's currently published epoch; trust mutations
+// (/v1/mutate) apply one atomic batch and publish the next epoch before
+// responding; object CRUD (/v1/objects...) edits the store's belief table
+// and invalidates exactly the touched object's cached resolution. Every
+// response carries the epoch that served it, so a client that mutates and
+// then resolves can verify the read observed at least its own write.
+//
+// Status codes: 400 malformed or invalid request, 404 unknown user or
+// object, 405 wrong method, 413 oversized batch or body.
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 
 	"trustmap"
+	"trustmap/wire"
 )
 
-// server wires one Session into an http.Handler.
+// maxBodyBytes bounds every request body.
+const maxBodyBytes = 16 << 20
+
+// server wires one Store into an http.Handler.
 type server struct {
-	s   *trustmap.Session
+	st  *trustmap.Store
 	mux *http.ServeMux
+	// maxBatch caps the ops of one mutate and the objects of one
+	// bulk-resolve; beyond it the request answers 413 without touching the
+	// store. Zero means the default.
+	maxBatch int
 }
 
-func newServer(s *trustmap.Session) *server {
-	srv := &server{s: s, mux: http.NewServeMux()}
+const defaultMaxBatch = 65536
+
+func newServer(st *trustmap.Store, maxBatch int) *server {
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
+	srv := &server{st: st, mux: http.NewServeMux(), maxBatch: maxBatch}
 	srv.mux.HandleFunc("GET /healthz", srv.handleHealthz)
 	srv.mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	srv.mux.HandleFunc("POST /v1/resolve", srv.handleResolve)
 	srv.mux.HandleFunc("POST /v1/bulk-resolve", srv.handleBulkResolve)
 	srv.mux.HandleFunc("POST /v1/mutate", srv.handleMutate)
+	srv.mux.HandleFunc("GET /v1/objects", srv.handleListObjects)
+	srv.mux.HandleFunc("PUT /v1/objects/{key}", srv.handlePutObject)
+	srv.mux.HandleFunc("GET /v1/objects/{key}", srv.handleGetObject)
+	srv.mux.HandleFunc("DELETE /v1/objects/{key}", srv.handleDeleteObject)
+	srv.mux.HandleFunc("GET /v1/objects/{key}/resolution", srv.handleResolveObject)
+	srv.mux.HandleFunc("PUT /v1/objects/{key}/beliefs/{user}", srv.handlePutBelief)
+	srv.mux.HandleFunc("DELETE /v1/objects/{key}/beliefs/{user}", srv.handleDeleteBelief)
 	return srv
 }
 
 func (srv *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { srv.mux.ServeHTTP(w, r) }
 
-// userResult is one user's resolution for one object.
-type userResult struct {
-	Possible []string `json:"possible"`
-	Certain  string   `json:"certain,omitempty"`
-}
-
-// resolveRequest asks for one object's resolution. Beliefs overrides the
-// network-level defaults per root; Users lists the users to report.
-type resolveRequest struct {
-	Beliefs map[string]string `json:"beliefs"`
-	Users   []string          `json:"users"`
-}
-
-type resolveResponse struct {
-	Epoch uint64                `json:"epoch"`
-	Users map[string]userResult `json:"users"`
-}
-
-// bulkResolveRequest asks for many objects at once.
-type bulkResolveRequest struct {
-	Objects map[string]map[string]string `json:"objects"`
-	Users   []string                     `json:"users"`
-}
-
-type bulkResolveResponse struct {
-	Epoch   uint64                           `json:"epoch"`
-	Objects map[string]map[string]userResult `json:"objects"`
-}
-
-// mutateOp is one mutation of a /v1/mutate batch, in the same shape as
-// trustctl's mutation script: op is add-trust, remove-trust, update-trust,
-// set-belief, or remove-belief.
-type mutateOp struct {
-	Op       string `json:"op"`
-	Truster  string `json:"truster"`
-	Trusted  string `json:"trusted"`
-	Priority int    `json:"priority"`
-	User     string `json:"user"`
-	Value    string `json:"value"`
-}
-
-type mutateRequest struct {
-	Ops []mutateOp `json:"ops"`
-}
-
-type mutateResponse struct {
-	Epoch   uint64 `json:"epoch"`
-	Applied int    `json:"applied"`
-}
-
-// sessionStatsDTO and engineStatsDTO pin the /v1/stats wire format to
-// lowercase keys, like every other endpoint, independent of the Go field
-// names of the library structs (which marshal CamelCase untagged).
-type sessionStatsDTO struct {
-	Compiles           int    `json:"compiles"`
-	IncrementalApplies int    `json:"incremental_applies"`
-	ValueOnlyUpdates   int    `json:"value_only_updates"`
-	FullRecompiles     int    `json:"full_recompiles"`
-	EpochsReclaimed    uint64 `json:"epochs_reclaimed"`
-}
-
-type engineStatsDTO struct {
-	Users            int `json:"users"`
-	Mappings         int `json:"mappings"`
-	Roots            int `json:"roots"`
-	Reachable        int `json:"reachable"`
-	SCCs             int `json:"sccs"`
-	NontrivialSCCs   int `json:"nontrivial_sccs"`
-	CopySteps        int `json:"copy_steps"`
-	FloodSteps       int `json:"flood_steps"`
-	DistinctSupports int `json:"distinct_supports"`
-}
-
-type statsResponse struct {
-	Epoch   uint64          `json:"epoch"`
-	Session sessionStatsDTO `json:"session"`
-	Engine  engineStatsDTO  `json:"engine"`
-}
-
 func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": srv.s.Epoch()})
+	writeJSON(w, http.StatusOK, wire.Health{OK: true, Epoch: srv.st.Epoch()})
 }
 
 func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st, eng := srv.s.EpochStats() // one pinned epoch: session and engine numbers agree
-	writeJSON(w, http.StatusOK, statsResponse{
+	st, eng := srv.st.EpochStats() // one pinned epoch: all counters agree
+	writeJSON(w, http.StatusOK, wire.StatsResponse{
 		Epoch: st.Epoch,
-		Session: sessionStatsDTO{
+		Session: wire.SessionStats{
 			Compiles:           st.Compiles,
 			IncrementalApplies: st.IncrementalApplies,
 			ValueOnlyUpdates:   st.ValueOnlyUpdates,
 			FullRecompiles:     st.FullRecompiles,
 			EpochsReclaimed:    st.EpochsReclaimed,
 		},
-		Engine: engineStatsDTO{
+		Store: wire.StoreStats{
+			Objects:     st.Objects,
+			CacheHits:   st.CacheHits,
+			CacheMisses: st.CacheMisses,
+		},
+		Engine: wire.EngineStats{
 			Users:            eng.Users,
 			Mappings:         eng.Mappings,
 			Roots:            eng.Roots,
@@ -145,7 +97,7 @@ func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (srv *server) handleResolve(w http.ResponseWriter, r *http.Request) {
-	var req resolveRequest
+	var req wire.ResolveRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
@@ -153,21 +105,21 @@ func (srv *server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("resolve: users must list at least one user to report"))
 		return
 	}
-	res, err := srv.s.BulkResolve(r.Context(), map[string]map[string]string{"object": req.Beliefs})
+	res, err := srv.st.Resolve(r.Context(), req.Beliefs)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeResolveError(w, err)
 		return
 	}
-	users, err := collectUsers(res, "object", req.Users)
+	users, err := collectUsers(res.Lookup, req.Users)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeResolveError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resolveResponse{Epoch: res.Epoch(), Users: users})
+	writeJSON(w, http.StatusOK, wire.ResolveResponse{Epoch: res.Epoch(), Users: users})
 }
 
 func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
-	var req bulkResolveRequest
+	var req wire.BulkResolveRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
@@ -175,25 +127,32 @@ func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bulk-resolve: objects and users must be non-empty"))
 		return
 	}
-	res, err := srv.s.BulkResolve(r.Context(), req.Objects)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if len(req.Objects) > srv.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("bulk-resolve: %d objects exceed the batch limit of %d", len(req.Objects), srv.maxBatch))
 		return
 	}
-	out := make(map[string]map[string]userResult, len(req.Objects))
+	res, err := srv.st.ResolveBatch(r.Context(), req.Objects)
+	if err != nil {
+		writeResolveError(w, err)
+		return
+	}
+	out := make(map[string]map[string]wire.UserResult, len(req.Objects))
 	for _, key := range res.Keys() {
-		users, err := collectUsers(res, key, req.Users)
+		users, err := collectUsers(func(u string) ([]string, string, error) {
+			return res.Lookup(u, key)
+		}, req.Users)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeResolveError(w, err)
 			return
 		}
 		out[key] = users
 	}
-	writeJSON(w, http.StatusOK, bulkResolveResponse{Epoch: res.Epoch(), Objects: out})
+	writeJSON(w, http.StatusOK, wire.BulkResolveResponse{Epoch: res.Epoch(), Objects: out})
 }
 
 func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
-	var req mutateRequest
+	var req wire.MutateRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
@@ -201,10 +160,15 @@ func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("mutate: ops must be non-empty"))
 		return
 	}
+	if len(req.Ops) > srv.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("mutate: %d ops exceed the batch limit of %d", len(req.Ops), srv.maxBatch))
+		return
+	}
 	applied := 0
-	err := srv.s.Update(func(tx *trustmap.SessionTx) error {
+	err := srv.st.Update(func(tx *trustmap.StoreTx) error {
 		for i, op := range req.Ops {
-			if err := applyOp(tx, op); err != nil {
+			if err := op.Apply(tx); err != nil {
 				return fmt.Errorf("op %d: %w", i, err)
 			}
 			applied++
@@ -214,60 +178,172 @@ func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Ops before the failing one were applied and published: report
 		// the count alongside the error so the client can reconcile.
-		writeJSON(w, http.StatusBadRequest, map[string]any{
-			"error": err.Error(), "applied": applied, "epoch": srv.s.Epoch(),
+		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{
+			Message: err.Error(), Applied: applied, Epoch: srv.st.Epoch(),
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, mutateResponse{Epoch: srv.s.Epoch(), Applied: applied})
+	writeJSON(w, http.StatusOK, wire.MutateResponse{Epoch: srv.st.Epoch(), Applied: applied})
 }
 
-func applyOp(tx *trustmap.SessionTx, op mutateOp) error {
-	switch op.Op {
-	case "add-trust":
-		return tx.AddTrust(op.Truster, op.Trusted, op.Priority)
-	case "remove-trust":
-		if !tx.RemoveTrust(op.Truster, op.Trusted) {
-			return fmt.Errorf("remove-trust: no mapping %s -> %s", op.Trusted, op.Truster)
-		}
-		return nil
-	case "update-trust":
-		if !tx.UpdateTrust(op.Truster, op.Trusted, op.Priority) {
-			return fmt.Errorf("update-trust: no mapping %s -> %s", op.Trusted, op.Truster)
-		}
-		return nil
-	case "set-belief":
-		return tx.SetBelief(op.User, op.Value)
-	case "remove-belief":
-		tx.RemoveBelief(op.User)
-		return nil
-	default:
-		return fmt.Errorf("unknown mutation op %q", op.Op)
+// --- object CRUD -------------------------------------------------------
+
+func (srv *server) handleListObjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.ObjectListResponse{Objects: srv.st.Objects(), Epoch: srv.st.Epoch()})
+}
+
+func (srv *server) handlePutObject(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var req wire.ObjectPutRequest
+	if !readJSON(w, r, &req) {
+		return
 	}
+	if len(req.Beliefs) > srv.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("put object: %d beliefs exceed the batch limit of %d", len(req.Beliefs), srv.maxBatch))
+		return
+	}
+	if err := srv.st.PutObject(r.Context(), key, req.Beliefs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	srv.writeObject(w, key)
 }
 
-// collectUsers extracts the requested users' results for one object.
-func collectUsers(res *trustmap.BulkResolution, key string, users []string) (map[string]userResult, error) {
-	out := make(map[string]userResult, len(users))
+func (srv *server) handleGetObject(w http.ResponseWriter, r *http.Request) {
+	srv.writeObject(w, r.PathValue("key"))
+}
+
+// writeObject answers with the stored object, or 404.
+func (srv *server) writeObject(w http.ResponseWriter, key string) {
+	beliefs, ok := srv.st.Object(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, key))
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.ObjectResponse{Object: key, Beliefs: beliefs, Epoch: srv.st.Epoch()})
+}
+
+func (srv *server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	ok, err := srv.st.DeleteObject(r.Context(), key)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, key))
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.DeleteResponse{Deleted: key, Epoch: srv.st.Epoch()})
+}
+
+func (srv *server) handlePutBelief(w http.ResponseWriter, r *http.Request) {
+	key, user := r.PathValue("key"), r.PathValue("user")
+	var req wire.BeliefPutRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := srv.st.PutBelief(r.Context(), user, key, req.Value); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	srv.writeObject(w, key)
+}
+
+func (srv *server) handleDeleteBelief(w http.ResponseWriter, r *http.Request) {
+	key, user := r.PathValue("key"), r.PathValue("user")
+	ok, err := srv.st.DeleteBelief(r.Context(), user, key)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !ok {
+		// Distinguish the two 404 classes: a missing object and a missing
+		// belief on an existing object.
+		if _, exists := srv.st.Object(key); !exists {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, key))
+		} else {
+			writeError(w, http.StatusNotFound, fmt.Errorf("object %q holds no belief of user %q", key, user))
+		}
+		return
+	}
+	srv.writeObject(w, key)
+}
+
+func (srv *server) handleResolveObject(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	users := splitUsers(r.URL.Query()["users"])
+	if len(users) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("resolution: the users query parameter must list at least one user"))
+		return
+	}
+	row, err := srv.st.ResolveObject(r.Context(), key)
+	if err != nil {
+		writeResolveError(w, err)
+		return
+	}
+	out, err := collectUsers(row.Lookup, users)
+	if err != nil {
+		writeResolveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.ObjectResolutionResponse{Object: key, Epoch: row.Epoch(), Users: out})
+}
+
+// splitUsers resolves the users query parameter: one user per repeated
+// parameter (?users=a&users=b), each taken verbatim after trimming, so
+// names containing commas survive exactly as the JSON endpoints accept
+// them. Deliberately no comma-splitting: a convenience split would make
+// a lone comma-carrying name unqueryable.
+func splitUsers(values []string) []string {
+	var out []string
+	for _, u := range values {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// collectUsers gathers the requested users' results through one lookup
+// function.
+func collectUsers(lookup func(user string) ([]string, string, error), users []string) (map[string]wire.UserResult, error) {
+	out := make(map[string]wire.UserResult, len(users))
 	for _, u := range users {
-		poss, cert, err := res.Lookup(u, key)
+		poss, cert, err := lookup(u)
 		if err != nil {
 			return nil, err
 		}
 		sort.Strings(poss)
-		out[u] = userResult{Possible: poss, Certain: cert}
+		out[u] = wire.UserResult{Possible: poss, Certain: cert}
 	}
 	return out, nil
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
 		return false
 	}
 	return true
+}
+
+// writeResolveError maps resolution errors onto statuses: unknown names
+// are 404, everything else is an invalid request.
+func writeResolveError(w http.ResponseWriter, err error) {
+	if errors.Is(err, trustmap.ErrUnknownUser) || errors.Is(err, trustmap.ErrUnknownObject) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -277,5 +353,5 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]any{"error": err.Error()})
+	writeJSON(w, code, wire.ErrorResponse{Message: err.Error()})
 }

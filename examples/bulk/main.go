@@ -1,11 +1,13 @@
-// Bulk resolution demo (Section 4): a scientific community curates many
-// objects (glyphs) under one set of trust mappings. All objects are
-// resolved together by translating the resolution plan into SQL over a
-// POSS(X,K,V) relation — one pass over the network, set-at-a-time over the
-// objects.
+// Bulk resolution demo (Section 4) on the Store v2 API: a scientific
+// community curates many objects (glyphs) under one set of trust
+// mappings. The store owns both the network and the per-object beliefs;
+// objects are resolved together on the compiled concurrent engine, read
+// back in one batch or as a stream, and a belief correction re-resolves
+// only the corrected object.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -14,18 +16,30 @@ import (
 )
 
 func main() {
-	n := trustmap.New()
+	ctx := context.Background()
+	st, err := trustmap.NewStore()
+	if err != nil {
+		panic(err)
+	}
 	// A small curation team: two senior curators (the explicit-belief
 	// users), a moderator cycle, and readers.
-	n.AddTrust("moderatorA", "curator1", 10)
-	n.AddTrust("moderatorA", "moderatorB", 20)
-	n.AddTrust("moderatorB", "curator2", 10)
-	n.AddTrust("moderatorB", "moderatorA", 20)
-	n.AddTrust("reader", "moderatorA", 5)
+	for _, tm := range []struct {
+		truster, trusted string
+		prio             int
+	}{
+		{"moderatorA", "curator1", 10},
+		{"moderatorA", "moderatorB", 20},
+		{"moderatorB", "curator2", 10},
+		{"moderatorB", "moderatorA", 20},
+		{"reader", "moderatorA", 5},
+	} {
+		if err := st.SetTrust(ctx, tm.truster, tm.trusted, tm.prio); err != nil {
+			panic(err)
+		}
+	}
 
 	rng := rand.New(rand.NewSource(1))
 	motifs := []string{"fish", "jar", "arrow", "cow", "knot"}
-	objects := make(map[string]map[string]string)
 	conflicts := 0
 	for i := 0; i < 5000; i++ {
 		k := fmt.Sprintf("glyph%04d", i)
@@ -37,38 +51,58 @@ func main() {
 		if v1 != v2 {
 			conflicts++
 		}
-		objects[k] = map[string]string{"curator1": v1, "curator2": v2}
+		if err := st.PutObject(ctx, k, map[string]string{"curator1": v1, "curator2": v2}); err != nil {
+			panic(err)
+		}
 	}
 
+	// Batch read: every stored object at one epoch.
 	start := time.Now()
-	r, err := n.BulkResolve(objects)
+	r, err := st.ResolveAll(ctx)
 	if err != nil {
 		panic(err)
 	}
 	elapsed := time.Since(start)
-
-	keys := r.Keys() // sorted object keys: deterministic iteration
 	certain, open := 0, 0
-	for _, k := range keys {
+	for _, k := range r.Keys() {
 		if _, ok := r.Certain("reader", k); ok {
 			certain++
 		} else {
 			open++
 		}
 	}
-	fmt.Printf("resolved %d objects (%d with conflicting curators) in %v\n",
-		len(objects), conflicts, elapsed.Round(time.Millisecond))
+	fmt.Printf("resolved %d objects (%d with conflicting curators) in %v (epoch %d)\n",
+		st.NumObjects(), conflicts, elapsed.Round(time.Millisecond), r.Epoch())
 	fmt.Printf("reader's snapshot: %d certain values, %d still contested\n", certain, open)
 
-	// Drill into one contested object (sorted scan: same pick every run).
-	for _, k := range keys {
-		bs := objects[k]
-		if bs["curator1"] != bs["curator2"] {
-			fmt.Printf("\nexample: %s  curator1=%s curator2=%s\n", k, bs["curator1"], bs["curator2"])
-			fmt.Printf("  moderatorA sees %v, moderatorB sees %v (mutual-trust cycle => both views possible)\n",
-				r.Possible("moderatorA", k), r.Possible("moderatorB", k))
-			fmt.Printf("  reader sees %v\n", r.Possible("reader", k))
-			break
+	// Streaming read: the same rows, consumed one by one without
+	// materializing the batch — the shape that scales to millions of
+	// objects. Drill into the first contested object.
+	for row, err := range st.Resolved(ctx) {
+		if err != nil {
+			panic(err)
 		}
+		bs, _ := st.Object(row.Object)
+		if bs["curator1"] == bs["curator2"] {
+			continue
+		}
+		fmt.Printf("\nexample: %s  curator1=%s curator2=%s\n", row.Object, bs["curator1"], bs["curator2"])
+		fmt.Printf("  moderatorA sees %v, moderatorB sees %v (mutual-trust cycle => both views possible)\n",
+			row.Possible("moderatorA"), row.Possible("moderatorB"))
+		fmt.Printf("  reader sees %v\n", row.Possible("reader"))
+
+		// A correction lands for exactly this glyph: only it re-resolves.
+		if err := st.PutBelief(ctx, "curator2", row.Object, bs["curator1"]); err != nil {
+			panic(err)
+		}
+		poss, cert, err := st.Get(ctx, "reader", row.Object)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  after curator2's correction: reader sees %v (certain %q)\n", poss, cert)
+		break
 	}
+	sst := st.Stats()
+	fmt.Printf("\nstore: %d objects, %d cache hits / %d misses, epoch %d\n",
+		sst.Objects, sst.CacheHits, sst.CacheMisses, sst.Epoch)
 }

@@ -15,6 +15,8 @@
 // journal and the engine's delta path (Apply), recompiling only the dirty
 // region — and at the facade level, trustmap.Session drives the same
 // compile -> resolve -> mutate -> incremental re-plan loop.
+//
+//lint:file-ignore SA1019 this walkthrough deliberately exercises the deprecated v1 bulk paths (BulkResolveWith, NewSession) to show their parity with the engine; new code should use trustmap.Store.
 package main
 
 import (
@@ -175,8 +177,8 @@ func main() {
 	}
 	// moderatorA drops its preferred source; the reader now follows the
 	// surviving mapping (Section 2.2 promotion), re-planned incrementally.
-	if !sess.RemoveTrust("moderatorA", "moderatorB") {
-		panic("expected trust mapping missing")
+	if ok, err := sess.RemoveTrust("moderatorA", "moderatorB"); err != nil || !ok {
+		panic(fmt.Sprintf("trust revocation failed: ok=%v err=%v", ok, err))
 	}
 	after, err := sess.Resolve(context.Background(),
 		map[string]string{"curator1": "fish", "curator2": "jar"})

@@ -136,9 +136,10 @@ type Session struct {
 	net        *Network
 	bin        *tn.Network // binarized twin, journaling enabled
 	comp       *engine.CompiledNetwork
-	binIDs     []int       // original user ID -> binarized node ID
-	rootNode   map[int]int // original root ID -> binarized node carrying its belief
-	extraRoots []int       // original IDs of SessionOptions.ExtraRoots
+	binIDs     []int            // original user ID -> binarized node ID
+	rootNode   map[int]int      // original root ID -> binarized node carrying its belief
+	extraRoots []int            // original IDs of extra roots, in registration order
+	extraSet   map[int]struct{} // membership index over extraRoots
 	// version is the highest inner-network version the session has
 	// accounted for: stored (under mu) the moment a session mutation lands,
 	// before it is published. Readers compare it against the network's
@@ -165,6 +166,10 @@ type Session struct {
 // the session's methods to stay on the incremental path; mutating the
 // Network directly is detected and handled by a full rebuild at the next
 // session operation, but is not safe concurrently with session use.
+//
+// Deprecated: use Network.NewStore. A Store wraps a Session and adds the
+// object table, per-object result caching, and streaming reads; Session
+// remains supported as the engine room underneath.
 func (n *Network) NewSession(opts SessionOptions) (*Session, error) {
 	s := &Session{
 		net:      n,
@@ -172,8 +177,9 @@ func (n *Network) NewSession(opts SessionOptions) (*Session, error) {
 		maxDirty: opts.MaxDirtyFraction,
 		noDedup:  opts.DisableDedup,
 	}
+	s.extraSet = make(map[int]struct{}, len(opts.ExtraRoots))
 	for _, name := range opts.ExtraRoots {
-		s.extraRoots = append(s.extraRoots, n.inner.AddUser(name))
+		s.addExtraRootLocked(n.inner.AddUser(name))
 	}
 	if err := s.rebuild(); err != nil {
 		return nil, err
@@ -439,15 +445,17 @@ func (s *Session) addTrustLocked(truster, trusted string, priority int) error {
 }
 
 // RemoveTrust revokes truster -> trusted, like Network.RemoveTrust, and
-// publishes the updated artifact. It reports whether the mapping existed.
-func (s *Session) RemoveTrust(truster, trusted string) bool {
+// publishes the updated artifact. It reports whether the mapping existed;
+// the error carries a failed publication (which the next operation also
+// retries).
+func (s *Session) RemoveTrust(truster, trusted string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ok := s.removeTrustLocked(truster, trusted)
-	if ok {
-		s.publishLocked() // a failed fold is retried by the next operation
+	if !ok {
+		return false, nil
 	}
-	return ok
+	return true, s.publishLocked()
 }
 
 func (s *Session) removeTrustLocked(truster, trusted string) bool {
@@ -489,15 +497,16 @@ func (s *Session) removeTrustLocked(truster, trusted string) bool {
 }
 
 // UpdateTrust changes the priority of truster -> trusted, like
-// Network.UpdateTrust, and publishes the updated artifact.
-func (s *Session) UpdateTrust(truster, trusted string, priority int) bool {
+// Network.UpdateTrust, and publishes the updated artifact. It reports
+// whether the mapping existed; the error carries a failed publication.
+func (s *Session) UpdateTrust(truster, trusted string, priority int) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ok := s.updateTrustLocked(truster, trusted, priority)
-	if ok {
-		s.publishLocked()
+	if !ok {
+		return false, nil
 	}
-	return ok
+	return true, s.publishLocked()
 }
 
 func (s *Session) updateTrustLocked(truster, trusted string, priority int) bool {
@@ -584,12 +593,13 @@ func (s *Session) setBeliefLocked(user, value string) error {
 }
 
 // RemoveBelief revokes the user's explicit belief, like
-// Network.RemoveBelief, and publishes the updated artifact.
-func (s *Session) RemoveBelief(user string) {
+// Network.RemoveBelief, and publishes the updated artifact. Revoking an
+// absent belief is a no-op; the error carries a failed publication.
+func (s *Session) RemoveBelief(user string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.removeBeliefLocked(user)
-	s.publishLocked()
+	return s.publishLocked()
 }
 
 func (s *Session) removeBeliefLocked(user string) {
@@ -644,13 +654,17 @@ func (tx *SessionTx) AddTrust(truster, trusted string, priority int) error {
 }
 
 // RemoveTrust is Session.RemoveTrust without the per-mutation publication.
-func (tx *SessionTx) RemoveTrust(truster, trusted string) bool {
-	return tx.s.removeTrustLocked(truster, trusted)
+// The error mirrors the session method's shape; inside a batch it is
+// always nil (publication errors surface from Update itself).
+func (tx *SessionTx) RemoveTrust(truster, trusted string) (bool, error) {
+	return tx.s.removeTrustLocked(truster, trusted), nil
 }
 
 // UpdateTrust is Session.UpdateTrust without the per-mutation publication.
-func (tx *SessionTx) UpdateTrust(truster, trusted string, priority int) bool {
-	return tx.s.updateTrustLocked(truster, trusted, priority)
+// The error mirrors the session method's shape; inside a batch it is
+// always nil (publication errors surface from Update itself).
+func (tx *SessionTx) UpdateTrust(truster, trusted string, priority int) (bool, error) {
+	return tx.s.updateTrustLocked(truster, trusted, priority), nil
 }
 
 // SetBelief is Session.SetBelief without the per-mutation publication.
@@ -659,9 +673,11 @@ func (tx *SessionTx) SetBelief(user, value string) error {
 }
 
 // RemoveBelief is Session.RemoveBelief without the per-mutation
-// publication.
-func (tx *SessionTx) RemoveBelief(user string) {
+// publication. The error mirrors the session method's shape; inside a
+// batch it is always nil.
+func (tx *SessionTx) RemoveBelief(user string) error {
 	tx.s.removeBeliefLocked(user)
+	return nil
 }
 
 // Update applies a batch of mutations and publishes one epoch at the end:
@@ -722,12 +738,18 @@ func (s *Session) ensureBinUser(name string, x int) {
 }
 
 func (s *Session) isExtraRoot(x int) bool {
-	for _, r := range s.extraRoots {
-		if r == x {
-			return true
-		}
+	_, ok := s.extraSet[x]
+	return ok
+}
+
+// addExtraRootLocked records x as an extra root (idempotent). Callers
+// hold mu (or, in NewSession, exclusive ownership).
+func (s *Session) addExtraRootLocked(x int) {
+	if _, ok := s.extraSet[x]; ok {
+		return
 	}
-	return false
+	s.extraSet[x] = struct{}{}
+	s.extraRoots = append(s.extraRoots, x)
 }
 
 // flushLocked folds pending binarized mutations into the compiled
@@ -793,6 +815,13 @@ func (s *Session) BulkResolve(ctx context.Context, objects map[string]map[string
 		return nil, err
 	}
 	defer e.Release()
+	return resolveSnap(ctx, e, objects, s.workers, s.noDedup)
+}
+
+// resolveSnap resolves objects against one pinned session epoch: the body
+// shared by Session.BulkResolve and the Store's cached and streaming read
+// paths (which pin one epoch across several batches).
+func resolveSnap(ctx context.Context, e *serve.Epoch[*sessionSnap], objects map[string]map[string]string, workers int, noDedup bool) (*BulkResolution, error) {
 	snap := e.Value()
 	conv := make(map[string]map[int]tn.Value, len(objects))
 	for key, bs := range objects {
@@ -820,7 +849,7 @@ func (s *Session) BulkResolve(ctx context.Context, objects map[string]map[string
 		}
 		conv[key] = m
 	}
-	res, err := snap.comp.Resolve(ctx, conv, engine.Options{Workers: s.workers, DisableDedup: s.noDedup})
+	res, err := snap.comp.Resolve(ctx, conv, engine.Options{Workers: workers, DisableDedup: noDedup})
 	if err != nil {
 		return nil, err
 	}
@@ -830,6 +859,35 @@ func (s *Session) BulkResolve(ctx context.Context, objects map[string]map[string
 	}
 	sort.Strings(keys)
 	return &BulkResolution{src: snap.view, keys: keys, eng: res, binIDs: snap.binIDs, epoch: e.Seq()}, nil
+}
+
+// addObjectRoots registers users whose beliefs will vary per object after
+// compilation, like SessionOptions.ExtraRoots but on a live session: the
+// Store's PutBelief/PutObject path. Users that are already roots (declared
+// extras or belief holders) only gain the extra-root protection — their
+// carrier survives a later RemoveBelief — without a replan; genuinely new
+// roots change the plan and publish a rebuilt epoch.
+func (s *Session) addObjectRoots(names ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncCheck()
+	for _, name := range names {
+		x := s.net.inner.AddUser(name)
+		if s.isExtraRoot(x) {
+			continue
+		}
+		s.addExtraRootLocked(x)
+		if _, isRoot := s.rootNode[x]; !isRoot {
+			s.needRebuild = true // the plan gains a root: replan required
+		}
+	}
+	// AddUser on unseen names bumps the network version; claim it as an
+	// in-session mutation so readers do not mistake it for external skew.
+	s.version.Store(s.net.inner.Version())
+	if s.needRebuild {
+		return s.publishLocked()
+	}
+	return nil
 }
 
 // ObjectResolution is the single-object view returned by Session.Resolve.
@@ -858,6 +916,12 @@ func (o *ObjectResolution) Possible(user string) []string {
 // the resolved object. ok is false when there is none.
 func (o *ObjectResolution) Certain(user string) (string, bool) {
 	return o.bulk.Certain(user, "object")
+}
+
+// Lookup is Possible and Certain with lookup failures made explicit: an
+// unknown user answers an error wrapping ErrUnknownUser.
+func (o *ObjectResolution) Lookup(user string) (possible []string, certain string, err error) {
+	return o.bulk.Lookup(user, "object")
 }
 
 // Epoch returns the publication generation that served the resolve.

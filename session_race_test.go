@@ -53,7 +53,7 @@ func TestSessionConcurrentReadWriteEpochConsistency(t *testing.T) {
 				from, to = to, from
 			}
 			err := s.Update(func(tx *SessionTx) error {
-				if !tx.RemoveTrust("relay", from) {
+				if ok, _ := tx.RemoveTrust("relay", from); !ok {
 					return fmt.Errorf("batch %d: edge relay->%s missing", i, from)
 				}
 				return tx.AddTrust("relay", to, 10)
@@ -172,8 +172,8 @@ func TestSessionConcurrentMutateResolveRegression(t *testing.T) {
 			t.Fatal(err)
 		}
 		if i%3 == 0 {
-			if !s.RemoveTrust(fan, "hub") {
-				t.Fatalf("edge %s->hub missing", fan)
+			if ok, err := s.RemoveTrust(fan, "hub"); err != nil || !ok {
+				t.Fatalf("edge %s->hub missing: ok=%v err=%v", fan, ok, err)
 			}
 		}
 	}

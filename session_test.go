@@ -101,12 +101,12 @@ func TestSessionLifecycle(t *testing.T) {
 	assertSessionMatchesFresh(t, "initial", n, s, objects)
 
 	// Mutate through the session: revoke, re-prioritize, update a belief.
-	if !s.RemoveTrust("alice", "bob") {
-		t.Fatal("existing trust not removed")
+	if ok, err := s.RemoveTrust("alice", "bob"); err != nil || !ok {
+		t.Fatalf("existing trust not removed: ok=%v err=%v", ok, err)
 	}
 	assertSessionMatchesFresh(t, "after revoke", n, s, objects)
-	if !s.UpdateTrust("alice", "carol", 120) {
-		t.Fatal("existing trust not updated")
+	if ok, err := s.UpdateTrust("alice", "carol", 120); err != nil || !ok {
+		t.Fatalf("existing trust not updated: ok=%v err=%v", ok, err)
 	}
 	if err := s.AddTrust("alice", "bob", 60); err != nil {
 		t.Fatal(err)
@@ -295,8 +295,11 @@ func TestSessionRejectsMisuse(t *testing.T) {
 	if err := s.SetBelief("a", ""); err == nil {
 		t.Error("empty belief value must be rejected")
 	}
-	if s.RemoveTrust("a", "nobody") || s.UpdateTrust("nobody", "b", 1) {
-		t.Error("unknown users must report false")
+	if ok, err := s.RemoveTrust("a", "nobody"); ok || err != nil {
+		t.Errorf("unknown users must report false: ok=%v err=%v", ok, err)
+	}
+	if ok, err := s.UpdateTrust("nobody", "b", 1); ok || err != nil {
+		t.Errorf("unknown users must report false: ok=%v err=%v", ok, err)
 	}
 	if _, err := s.BulkResolve(context.Background(), map[string]map[string]string{
 		"k": {"ghost": "v"},

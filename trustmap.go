@@ -9,18 +9,49 @@
 // supporting updates and revocations — plus the paper's extensions:
 // lineage, agreement checking, consensus values, constraints (negative
 // beliefs) under the Skeptic paradigm, and bulk resolution of many objects
-// through a relational backend.
+// over a compiled concurrent engine.
 //
-// Quick start:
+// # Store: the v2 API
+//
+// Store is the recommended entry point: one handle owning the trust
+// network and the persistent per-object beliefs, with context-aware
+// error-returning mutators, epoch-snapshot concurrent reads, streaming
+// results, and incremental maintenance (a belief mutation re-resolves
+// only the touched object):
+//
+//	st, _ := trustmap.NewStore(trustmap.WithWorkers(4))
+//	ctx := context.Background()
+//	st.SetTrust(ctx, "Alice", "Bob", 100)    // Alice trusts Bob (prio 100)
+//	st.SetTrust(ctx, "Alice", "Charlie", 50) // ... and Charlie (prio 50)
+//	st.PutBelief(ctx, "Bob", "obj1", "fish")
+//	st.PutBelief(ctx, "Charlie", "obj1", "knot")
+//	poss, cert, _ := st.Get(ctx, "Alice", "obj1") // [fish], "fish"
+//	for row, err := range st.Resolved(ctx) {      // streaming batch reads
+//		_, _ = row, err
+//	}
+//
+// cmd/trustd serves a Store over HTTP (schema in the wire package, typed
+// Go client in the client package).
+//
+// # Network: single-object analysis
+//
+// Network remains the facade for one-shot, single-object analysis — the
+// Resolution Algorithm, lineage, agreement checking, and the constraint
+// paradigms:
 //
 //	n := trustmap.New()
-//	n.AddTrust("Alice", "Bob", 100)     // Alice trusts Bob (prio 100)
-//	n.AddTrust("Alice", "Charlie", 50)  // ... and Charlie (prio 50)
+//	n.AddTrust("Alice", "Bob", 100)
+//	n.AddTrust("Alice", "Charlie", 50)
 //	n.AddTrust("Bob", "Alice", 80)
 //	n.SetBelief("Bob", "fish")
 //	n.SetBelief("Charlie", "knot")
 //	r, _ := n.Resolve()
 //	v, _ := r.Certain("Alice")          // "fish"
+//
+// Network.NewStore adopts a facade-built network as a store's trust
+// network. The older bulk entry points (Network.BulkResolve,
+// Network.NewSession) remain supported but are deprecated in favor of
+// Store.
 package trustmap
 
 import (
@@ -28,6 +59,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"trustmap/internal/belief"
 	"trustmap/internal/bulk"
@@ -222,19 +254,10 @@ func (r *Resolution) Lineage(user, value string) ([]string, bool) {
 
 func (r *Resolution) nodeName(x int) string {
 	name := r.bin.Name(x) // the binarized network holds all node names
-	if i := indexByte(name, '#'); i >= 0 {
+	if i := strings.IndexByte(name, '#'); i >= 0 {
 		return name[:i]
 	}
 	return name
-}
-
-func indexByte(s string, b byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == b {
-			return i
-		}
-	}
-	return -1
 }
 
 // ConflictAnalysis extends a resolution with pairwise information:
@@ -535,6 +558,11 @@ type DedupStats = engine.DedupStats
 // to the explicit beliefs of the root users: every user that has an
 // explicit belief or appears in some object's belief map must have a value
 // for every object (assumption (ii) of Section 4).
+//
+// Deprecated: use Store (Network.NewStore + PutObject/ResolveAll or
+// ResolveBatch), which keeps the compiled artifact live across calls
+// instead of recompiling per batch. Kept for one-shot use and parity
+// testing.
 func (n *Network) BulkResolve(objects map[string]map[string]string) (*BulkResolution, error) {
 	return n.BulkResolveWith(context.Background(), objects, BulkOptions{})
 }
@@ -543,6 +571,10 @@ func (n *Network) BulkResolve(objects map[string]map[string]string) (*BulkResolu
 // network's per-object analysis is compiled once, then the objects are
 // scanned by a worker pool (or by the legacy SQL path when opts.UseSQL is
 // set). Results are identical across strategies and worker counts.
+//
+// Deprecated: use Store (Network.NewStore + PutObject/ResolveAll or
+// ResolveBatch). Kept for one-shot use, the SQL trace, and parity
+// testing.
 func (n *Network) BulkResolveWith(ctx context.Context, objects map[string]map[string]string, opts BulkOptions) (*BulkResolution, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,233 @@
+// Package wire pins the JSON schema of the trustd HTTP API: every
+// request, response, and mutation-op shape the server accepts or emits,
+// shared by cmd/trustd's handlers and the typed client package so the two
+// can never drift. The types carry no behavior — they are the contract.
+//
+// Conventions:
+//
+//   - All keys are lowercase snake_case.
+//   - Every successful response carries the epoch that served it: the
+//     publication generation of the server's store. A mutation's response
+//     epoch is a lower bound for every later read, so read-your-writes is
+//     checkable client-side.
+//   - Errors are an ErrorResponse body with the HTTP status carrying the
+//     class: 400 malformed or invalid request, 404 unknown user or
+//     object, 405 wrong method, 413 oversized batch or body.
+package wire
+
+import "fmt"
+
+// UserResult is one user's resolution for one object: the possible values
+// over all stable solutions, and the certain value when exactly one.
+type UserResult struct {
+	Possible []string `json:"possible"`
+	Certain  string   `json:"certain,omitempty"`
+}
+
+// Health is the GET /healthz response.
+type Health struct {
+	OK    bool   `json:"ok"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// ResolveRequest is the POST /v1/resolve body: one ad-hoc object's
+// resolution. Beliefs overrides the network-level defaults per root;
+// Users lists the users to report (at least one).
+type ResolveRequest struct {
+	Beliefs map[string]string `json:"beliefs,omitempty"`
+	Users   []string          `json:"users"`
+}
+
+// ResolveResponse answers ResolveRequest.
+type ResolveResponse struct {
+	Epoch uint64                `json:"epoch"`
+	Users map[string]UserResult `json:"users"`
+}
+
+// BulkResolveRequest is the POST /v1/bulk-resolve body: many ad-hoc
+// objects at once.
+type BulkResolveRequest struct {
+	Objects map[string]map[string]string `json:"objects"`
+	Users   []string                     `json:"users"`
+}
+
+// BulkResolveResponse answers BulkResolveRequest.
+type BulkResolveResponse struct {
+	Epoch   uint64                           `json:"epoch"`
+	Objects map[string]map[string]UserResult `json:"objects"`
+}
+
+// Mutation op kinds accepted in a MutateRequest.
+const (
+	// OpSetTrust upserts a trust mapping (add or re-prioritize).
+	OpSetTrust = "set-trust"
+	// OpAddTrust adds a trust mapping, failing if it exists.
+	OpAddTrust = "add-trust"
+	// OpUpdateTrust re-prioritizes a mapping, failing if it is absent.
+	OpUpdateTrust = "update-trust"
+	// OpRemoveTrust revokes a mapping, failing if it is absent.
+	OpRemoveTrust = "remove-trust"
+	// OpSetBelief states a user's network-level default belief.
+	OpSetBelief = "set-belief"
+	// OpRemoveBelief revokes a user's network-level default belief.
+	OpRemoveBelief = "remove-belief"
+)
+
+// Op is one mutation of a POST /v1/mutate batch. Trust ops use Truster,
+// Trusted, and (except removal) Priority; belief ops use User and (for
+// set-belief) Value.
+type Op struct {
+	Op       string `json:"op"`
+	Truster  string `json:"truster,omitempty"`
+	Trusted  string `json:"trusted,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	User     string `json:"user,omitempty"`
+	Value    string `json:"value,omitempty"`
+}
+
+// MutateRequest is the POST /v1/mutate body: an ordered op batch applied
+// atomically with respect to concurrent readers (one epoch publication).
+type MutateRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+// MutateResponse answers MutateRequest. Applied counts the ops that
+// landed; on an error response it appears in ErrorResponse instead.
+type MutateResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+}
+
+// ObjectPutRequest is the PUT /v1/objects/{key} body: the object's
+// explicit beliefs, replacing any previous ones wholesale. An empty map
+// is valid (the object resolves purely from network defaults).
+type ObjectPutRequest struct {
+	Beliefs map[string]string `json:"beliefs"`
+}
+
+// BeliefPutRequest is the PUT /v1/objects/{key}/beliefs/{user} body.
+type BeliefPutRequest struct {
+	Value string `json:"value"`
+}
+
+// ObjectResponse describes one stored object: its explicit beliefs and
+// the epoch current when it was read or written.
+type ObjectResponse struct {
+	Object  string            `json:"object"`
+	Beliefs map[string]string `json:"beliefs"`
+	Epoch   uint64            `json:"epoch"`
+}
+
+// ObjectListResponse is the GET /v1/objects response: stored object keys,
+// sorted.
+type ObjectListResponse struct {
+	Objects []string `json:"objects"`
+	Epoch   uint64   `json:"epoch"`
+}
+
+// ObjectResolutionResponse is the GET /v1/objects/{key}/resolution
+// response: the stored object resolved against the current epoch for the
+// requested users.
+type ObjectResolutionResponse struct {
+	Object string                `json:"object"`
+	Epoch  uint64                `json:"epoch"`
+	Users  map[string]UserResult `json:"users"`
+}
+
+// SessionStats mirrors the store's maintenance counters on the wire.
+type SessionStats struct {
+	Compiles           int    `json:"compiles"`
+	IncrementalApplies int    `json:"incremental_applies"`
+	ValueOnlyUpdates   int    `json:"value_only_updates"`
+	FullRecompiles     int    `json:"full_recompiles"`
+	EpochsReclaimed    uint64 `json:"epochs_reclaimed"`
+}
+
+// EngineStats mirrors the compiled artifact's summary on the wire.
+type EngineStats struct {
+	Users            int `json:"users"`
+	Mappings         int `json:"mappings"`
+	Roots            int `json:"roots"`
+	Reachable        int `json:"reachable"`
+	SCCs             int `json:"sccs"`
+	NontrivialSCCs   int `json:"nontrivial_sccs"`
+	CopySteps        int `json:"copy_steps"`
+	FloodSteps       int `json:"flood_steps"`
+	DistinctSupports int `json:"distinct_supports"`
+}
+
+// StoreStats mirrors the store's object-table counters on the wire.
+type StoreStats struct {
+	Objects     int    `json:"objects"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// StatsResponse is the GET /v1/stats response: session, store, and engine
+// counters of one pinned epoch.
+type StatsResponse struct {
+	Epoch   uint64       `json:"epoch"`
+	Session SessionStats `json:"session"`
+	Store   StoreStats   `json:"store"`
+	Engine  EngineStats  `json:"engine"`
+}
+
+// DeleteResponse answers DELETE /v1/objects/{key}: the deleted key and
+// the current epoch (deliberately not the remaining key list, which can
+// be huge — GET /v1/objects lists keys).
+type DeleteResponse struct {
+	Deleted string `json:"deleted"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// ErrorResponse is the body of every non-2xx response. Applied and Epoch
+// are set on failed mutate batches: ops before the failing one were
+// applied and published.
+type ErrorResponse struct {
+	Message string `json:"error"`
+	Applied int    `json:"applied,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+}
+
+// TxApplier is the mutation surface an Op batch applies to. It is
+// satisfied by trustmap.StoreTx; keeping it as an interface here lets
+// the one op-dispatch live next to the schema without the wire package
+// depending on the library.
+type TxApplier interface {
+	SetTrust(truster, trusted string, priority int) error
+	AddTrust(truster, trusted string, priority int) error
+	UpdateTrust(truster, trusted string, priority int) (bool, error)
+	RemoveTrust(truster, trusted string) (bool, error)
+	SetDefault(user, value string) error
+	DeleteDefault(user string) error
+}
+
+// Apply dispatches one op onto tx with the documented strictness:
+// add-trust fails on duplicates, update-trust and remove-trust fail on
+// absent mappings, set-trust upserts.
+func (op Op) Apply(tx TxApplier) error {
+	switch op.Op {
+	case OpSetTrust:
+		return tx.SetTrust(op.Truster, op.Trusted, op.Priority)
+	case OpAddTrust:
+		return tx.AddTrust(op.Truster, op.Trusted, op.Priority)
+	case OpRemoveTrust:
+		ok, err := tx.RemoveTrust(op.Truster, op.Trusted)
+		if err == nil && !ok {
+			return fmt.Errorf("remove-trust: no mapping %s -> %s", op.Trusted, op.Truster)
+		}
+		return err
+	case OpUpdateTrust:
+		ok, err := tx.UpdateTrust(op.Truster, op.Trusted, op.Priority)
+		if err == nil && !ok {
+			return fmt.Errorf("update-trust: no mapping %s -> %s", op.Trusted, op.Truster)
+		}
+		return err
+	case OpSetBelief:
+		return tx.SetDefault(op.User, op.Value)
+	case OpRemoveBelief:
+		return tx.DeleteDefault(op.User)
+	default:
+		return fmt.Errorf("unknown mutation op %q", op.Op)
+	}
+}
