@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmark families tracked in the committed trajectory (bench/BENCH_*).
-BENCH_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve|BenchmarkCompile|BenchmarkServeMixed|BenchmarkStoreResolve
+BENCH_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve|BenchmarkCompile|BenchmarkServeMixed|BenchmarkStoreResolve|BenchmarkWALAppend|BenchmarkRecovery
 # Hot-path benchmarks the perf gate fails on; a regression beyond
 # BENCH_GATE_THRESHOLD (current/baseline ns/op) exits non-zero.
 BENCH_GATE_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate
@@ -20,7 +20,7 @@ ENGINE_COVER_FLOOR ?= 75
 API_PKGS ?= .,wire,client
 API_GOLDEN ?= api/API.txt
 
-.PHONY: all build test race bench bench-save bench-diff bench-gate cover smoke fuzz fmt vet lint api api-save ci
+.PHONY: all build test race bench bench-save bench-diff bench-gate cover smoke crash fuzz fmt vet lint api api-save ci
 
 all: build test
 
@@ -96,6 +96,13 @@ cover:
 smoke:
 	$(GO) test ./cmd/trustd -run TestSmokeHTTP -count=1 -v
 
+# Durability acceptance: SIGKILL the deterministic write storm mid-flight
+# (the child harness is built with -race inside the test) and require
+# every acked LSN to survive recovery with oracle-identical resolved
+# state. Runs as its own CI job; also part of `go test ./...`.
+crash:
+	$(GO) test ./cmd/crashharness -run TestCrashRecovery -count=1 -v
+
 # Static analysis beyond go vet. staticcheck is not vendored; CI pins
 # go install honnef.co/go/tools/cmd/staticcheck@2025.1.1 (a released
 # version, so the rule set cannot drift under CI without a code change).
@@ -132,4 +139,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet api race bench fuzz
+ci: build fmt vet api race crash bench fuzz

@@ -206,7 +206,7 @@ func BenchmarkBulkResolve(b *testing.B) {
 		})
 	}
 	// Signature dedup on the clustered 10k-object workload. The compiled
-	// artifact persists across iterations, as in a Session: the dedup
+	// artifact persists across iterations, as in a session: the dedup
 	// run's later iterations are served from the cross-batch signature
 	// cache, the no-dedup run pays per object every time.
 	binC, objsC := bench.ClusteredBulkWorkload(10000, 10000, 64, 42)
@@ -256,7 +256,7 @@ func BenchmarkBulkResolve(b *testing.B) {
 
 // BenchmarkIncrementalUpdate measures the mutate-then-re-plan workload on
 // the 10k-user power-law network: a full recompile per mutation (what
-// BulkResolveWith effectively pays) against the engine's delta path
+// bulkResolveWith effectively pays) against the engine's delta path
 // (engine.CompiledNetwork.Apply) for a small dirty region. The acceptance
 // bar for the delta path is a >= 10x speedup.
 func BenchmarkIncrementalUpdate(b *testing.B) {
@@ -341,7 +341,7 @@ func BenchmarkSessionMutateResolve(b *testing.B) {
 		}
 	}
 	n.AddTrust("probe", "u0", 50) // leaf reader: revoking it dirties little
-	s, err := n.NewSession(SessionOptions{Workers: 1})
+	s, err := n.newSession(sessionOptions{Workers: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -454,7 +454,7 @@ func BenchmarkStoreResolve(b *testing.B) {
 }
 
 // BenchmarkServeMixed measures mixed read/write serving throughput on a
-// shared Session: 4 serving goroutines drain one deterministic script
+// shared session: 4 serving goroutines drain one deterministic script
 // (one write batch of trust toggles per 16 ops, reads drawn from 32
 // prototype belief assignments) over a 2000-user tiered community
 // network. Two serving disciplines are compared on the identical engine
@@ -515,7 +515,7 @@ func BenchmarkServeMixed(b *testing.B) {
 	run := func(b *testing.B, rwBaseline bool) {
 		n, roots, edges := build()
 		script := workload.MixedServe(rand.New(rand.NewSource(23)), roots, domain, edges, 4096, 16, 4, 32)
-		s, err := n.NewSession(SessionOptions{Workers: 1})
+		s, err := n.newSession(sessionOptions{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -553,7 +553,7 @@ func BenchmarkServeMixed(b *testing.B) {
 					if rwBaseline {
 						lock.Lock()
 					}
-					err := s.Update(func(tx *SessionTx) error {
+					err := s.Update(func(tx *sessionTx) error {
 						for _, tg := range op.Toggles {
 							if ok, _ := tx.RemoveTrust(tg.Truster, tg.Trusted); !ok {
 								if err := tx.AddTrust(tg.Truster, tg.Trusted, tg.Priority); err != nil {
@@ -748,3 +748,105 @@ func BenchmarkBulkSkeptic(b *testing.B) {
 // rootsOf maps original root IDs into the binarized network (roots keep
 // their IDs when they have no parents, as in Figure 19).
 func rootsOf(bin *tn.Network, roots []int) []int { return roots }
+
+// BenchmarkWALAppend measures the durable mutation path — one effective
+// trust upsert per iteration — under each fsync discipline. Wall-clock
+// ns/op is fsync-bound and machine-noisy; the deterministic counters
+// reported alongside (fsyncs/op, walB/op) are the trajectory numbers:
+// "always" must show 1 fsync/op, "batch" 1/groupEvery, "off" 0.
+func BenchmarkWALAppend(b *testing.B) {
+	ctx := context.Background()
+	for _, mode := range []DurabilityMode{DurabilityOff, DurabilityBatch, DurabilityAlways} {
+		b.Run(mode.String(), func(b *testing.B) {
+			st, err := OpenStore(b.TempDir(), WithDurability(mode))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.SetTrust(ctx, "alice", "bob", 1+i%100); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ds := st.Durability()
+			if ds.LastLSN != uint64(b.N) {
+				b.Fatalf("LastLSN=%d after %d effective ops", ds.LastLSN, b.N)
+			}
+			b.ReportMetric(float64(ds.WALSyncs)/float64(b.N), "fsyncs/op")
+			b.ReportMetric(float64(ds.WALBytes)/float64(b.N), "walB/op")
+		})
+	}
+}
+
+// BenchmarkRecovery measures OpenStore on a prepared data directory: a
+// 1000-batch storm recovered either by replaying the whole WAL tail
+// ("wal-tail") or from a compacted checkpoint with an empty tail
+// ("snapshot"). batches/open and replayedops/open are the deterministic
+// recovery-work counters; ns/op is the end-to-end open latency.
+func BenchmarkRecovery(b *testing.B) {
+	const storm = 1000
+	seedDir := func(b *testing.B, checkpoint bool) string {
+		b.Helper()
+		ctx := context.Background()
+		dir := b.TempDir()
+		st, err := OpenStore(dir, WithDurability(DurabilityOff))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < storm; i++ {
+			switch i % 3 {
+			case 0:
+				err = st.SetTrust(ctx, fmt.Sprintf("u%d", i%50), "root", 1+i%9)
+			case 1:
+				err = st.SetDefault(ctx, fmt.Sprintf("u%d", i%50), "v")
+			default:
+				err = st.PutBelief(ctx, "root", fmt.Sprintf("obj%d", i%100), "w")
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if checkpoint {
+			if _, err := st.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, tc := range []struct {
+		name       string
+		checkpoint bool
+		batches    uint64 // WAL batches recovery must replay
+	}{
+		{"wal-tail", false, storm},
+		{"snapshot", true, 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			dir := seedDir(b, tc.checkpoint)
+			var replayedOps uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := OpenStore(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ds := st.Durability()
+				if ds.RecoveredBatches != tc.batches || ds.ReplayErrors != 0 || ds.LastLSN != storm {
+					b.Fatalf("recovery stats %+v, want %d batches at lsn %d", ds, tc.batches, storm)
+				}
+				replayedOps = ds.ReplayedOps
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tc.batches), "batches/open")
+			b.ReportMetric(float64(replayedOps), "replayedops/open")
+		})
+	}
+}

@@ -68,6 +68,14 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
 }
 
+// IsUnavailable reports whether err is an *APIError with status 503: the
+// server is up but its store is still recovering from disk. Retryable —
+// the server sends Retry-After alongside.
+func IsUnavailable(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable
+}
+
 // do runs one round trip: marshal body (when non-nil), decode into out
 // (when non-nil), surface non-2xx as *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
@@ -138,6 +146,16 @@ func (c *Client) Resolve(ctx context.Context, beliefs map[string]string, users [
 func (c *Client) BulkResolve(ctx context.Context, objects map[string]map[string]string, users []string) (wire.BulkResolveResponse, error) {
 	var out wire.BulkResolveResponse
 	err := c.do(ctx, http.MethodPost, "/v1/bulk-resolve", wire.BulkResolveRequest{Objects: objects, Users: users}, &out)
+	return out, err
+}
+
+// Checkpoint asks a durable server to write a compacted snapshot and
+// rotate its write-ahead log. The response LSN is the watermark: every
+// batch at or below it is folded into the snapshot. In-memory servers
+// answer 400.
+func (c *Client) Checkpoint(ctx context.Context) (wire.CheckpointResponse, error) {
+	var out wire.CheckpointResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, &out)
 	return out, err
 }
 

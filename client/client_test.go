@@ -88,3 +88,35 @@ func TestClientErrorMapping(t *testing.T) {
 		t.Fatal("400 must not be IsNotFound")
 	}
 }
+
+// TestClientCheckpointAndUnavailable covers the durable additions: the
+// checkpoint verb's round trip and the 503-while-recovering mapping.
+func TestClientCheckpointAndUnavailable(t *testing.T) {
+	c, mux := stub(t)
+	mux.HandleFunc("POST /v1/admin/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(wire.CheckpointResponse{Epoch: 12, LSN: 40, Snapshot: "snap-0000000000000028.json"})
+	})
+	mux.HandleFunc("POST /v1/resolve", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(wire.ErrorResponse{Message: "store is still recovering from disk; retry shortly"})
+	})
+
+	ctx := context.Background()
+	ck, err := c.Checkpoint(ctx)
+	if err != nil || ck.Epoch != 12 || ck.LSN != 40 || ck.Snapshot == "" {
+		t.Fatalf("Checkpoint = %+v, %v", ck, err)
+	}
+
+	_, err = c.Resolve(ctx, nil, []string{"alice"})
+	if !IsUnavailable(err) {
+		t.Fatalf("Resolve during recovery err = %v, want 503 APIError", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if IsNotFound(err) {
+		t.Fatal("503 must not be IsNotFound")
+	}
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestCrashRecovery is the durability acceptance test: SIGKILL the write
+// storm mid-flight — twice, at different depths, with checkpoints mixed
+// in — and require every acked LSN to survive each restart with resolved
+// state identical to the deterministic oracle. The child is built with
+// the race detector so the storm also exercises the durable store's
+// locking under instrumentation.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash rounds are not -short material")
+	}
+
+	bin := filepath.Join(t.TempDir(), "crashharness")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building harness with -race: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	const (
+		seed            = "7"
+		maxOps          = 900
+		checkpointEvery = "250" // several checkpoints land before each kill
+	)
+	args := []string{
+		"-dir", dir, "-seed", seed,
+		"-max-ops", fmt.Sprint(maxOps), "-checkpoint-every", checkpointEvery,
+	}
+
+	var lastAcked uint64 // highest LSN any child ever acked
+
+	// startRound launches the harness, checks the recovery preamble
+	// against lastAcked, and returns the running process with a line
+	// scanner positioned at the first post-preamble line plus the
+	// recovered LSN the new storm continues from.
+	startRound := func(t *testing.T) (*exec.Cmd, *bufio.Scanner, *bytes.Buffer, uint64) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatalf("stdout pipe: %v", err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting harness: %v", err)
+		}
+		sc := bufio.NewScanner(stdout)
+
+		var recovered uint64
+		if !sc.Scan() {
+			t.Fatalf("no output from harness; stderr:\n%s", stderr.String())
+		}
+		if _, err := fmt.Sscanf(sc.Text(), "recovered %d", &recovered); err != nil {
+			t.Fatalf("want 'recovered <lsn>' first, got %q", sc.Text())
+		}
+		if recovered < lastAcked {
+			t.Fatalf("durability violation: recovered lsn %d < last acked %d", recovered, lastAcked)
+		}
+		var parity uint64
+		if !sc.Scan() {
+			t.Fatalf("harness died before parity check; stderr:\n%s", stderr.String())
+		}
+		if _, err := fmt.Sscanf(sc.Text(), "parity ok %d", &parity); err != nil || parity != recovered {
+			t.Fatalf("want 'parity ok %d', got %q; stderr:\n%s", recovered, sc.Text(), stderr.String())
+		}
+		return cmd, sc, &stderr, recovered
+	}
+
+	// Two crash rounds: let the storm ack killAfter writes, then SIGKILL
+	// with no warning. The next round's preamble proves nothing acked was
+	// lost and the recovered state matches the oracle.
+	for round, killAfter := range []int{120, 400} {
+		cmd, sc, stderr, recovered := startRound(t)
+		// The storm continues from the recovered LSN — which may be a
+		// few past lastAcked, since an op can commit durably an instant
+		// before the SIGKILL cuts off its ack line.
+		next, acks := recovered+1, 0
+		for sc.Scan() {
+			var lsn uint64
+			if _, err := fmt.Sscanf(sc.Text(), "acked %d", &lsn); err != nil {
+				t.Fatalf("round %d: unexpected line %q", round, sc.Text())
+			}
+			if lsn != next {
+				t.Fatalf("round %d: acked %d, want contiguous %d", round, lsn, next)
+			}
+			next++
+			lastAcked = lsn
+			if acks++; acks >= killAfter {
+				break
+			}
+		}
+		if acks < killAfter {
+			t.Fatalf("round %d: storm ended after %d acks (wanted %d); stderr:\n%s",
+				round, acks, killAfter, stderr.String())
+		}
+		if err := cmd.Process.Kill(); err != nil { // SIGKILL: no defers, no flushes
+			t.Fatalf("round %d: kill: %v", round, err)
+		}
+		for sc.Scan() {
+			// Drain whatever the child wrote between our last read and
+			// the kill; these acks are durable too.
+			var lsn uint64
+			if _, err := fmt.Sscanf(sc.Text(), "acked %d", &lsn); err == nil && lsn > lastAcked {
+				lastAcked = lsn
+			}
+		}
+		cmd.Wait() // killed: error expected, only reaped here
+	}
+
+	// Final round: run to completion, then a pure verify pass.
+	cmd, sc, stderr, _ := startRound(t)
+	done := false
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "done" {
+			done = true
+			break
+		}
+		var lsn uint64
+		if _, err := fmt.Sscanf(line, "acked %d", &lsn); err != nil {
+			t.Fatalf("final round: unexpected line %q", line)
+		}
+		lastAcked = lsn
+	}
+	if err := cmd.Wait(); err != nil || !done {
+		t.Fatalf("final round: done=%v err=%v; stderr:\n%s", done, err, stderr.String())
+	}
+	if lastAcked != maxOps {
+		t.Fatalf("storm finished at lsn %d, want %d", lastAcked, maxOps)
+	}
+
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("verify pass: %v\n%s", err, out)
+	}
+	want := fmt.Sprintf("recovered %d\nparity ok %d\ndone\n", maxOps, maxOps)
+	if string(out) != want {
+		t.Fatalf("verify pass output:\n%swant:\n%s", out, want)
+	}
+}

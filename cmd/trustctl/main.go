@@ -50,6 +50,7 @@
 //	trustctl remote -addr URL resolve-object -key o1 -users Alice,Bob
 //	trustctl remote -addr URL resolve -users Alice [-beliefs Bob=cow]
 //	trustctl remote -addr URL mutate -f muts.json
+//	trustctl remote -addr URL checkpoint
 package main
 
 import (
@@ -420,7 +421,7 @@ func runRemote(w io.Writer, args []string) error {
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("remote: a verb is required (stats, objects, put-object, resolve-object, resolve, mutate)")
+		return fmt.Errorf("remote: a verb is required (stats, objects, put-object, resolve-object, resolve, mutate, checkpoint)")
 	}
 	c := client.New(*addr)
 	ctx := context.Background()
@@ -480,6 +481,12 @@ func runRemote(w io.Writer, args []string) error {
 			return err
 		}
 		return printJSON(w, res)
+	case "checkpoint":
+		ck, err := c.Checkpoint(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(w, ck)
 	case "mutate":
 		if *file == "" {
 			return fmt.Errorf("remote mutate: -f is required")

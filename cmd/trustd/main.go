@@ -12,6 +12,15 @@
 //
 //	trustd -f network.json [-addr :7171] [-workers N] [-extra-roots a,b] [-max-batch N]
 //	trustd -demo 1000 [-seed 42] [-addr :7171]
+//	trustd -data-dir /var/lib/trustd [-f seed.json] [-durability batch|off|always]
+//
+// With -data-dir the store is durable: every mutation is journaled to a
+// write-ahead log under <dir>/wal and compacted into snapshots under
+// <dir>/snapshots (POST /v1/admin/checkpoint, or checkpoint-every). On
+// start the store recovers from the latest snapshot plus the WAL suffix;
+// while recovery runs, every endpoint answers 503 with a Retry-After
+// header. -f then seeds a store whose directory is still empty and is
+// ignored on later starts; -demo is incompatible with -data-dir.
 //
 // The network file uses trustctl's format, optionally with stored
 // objects:
@@ -55,8 +64,10 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"trustmap"
@@ -70,25 +81,166 @@ func main() {
 	workers := flag.Int("workers", 0, "resolve worker-pool size (0 = GOMAXPROCS)")
 	extraRoots := flag.String("extra-roots", "", "comma-separated users whose beliefs vary per object without a network default")
 	maxBatch := flag.Int("max-batch", 0, "max ops per mutate / objects per bulk-resolve (0 = default)")
+	dataDir := flag.String("data-dir", "", "durable store directory (WAL + snapshots); empty = in-memory")
+	durability := flag.String("durability", "batch", "WAL fsync discipline with -data-dir: batch, off, or always")
 	flag.Parse()
-	if (*file == "") == (*demo == 0) {
-		fmt.Fprintln(os.Stderr, "trustd: exactly one of -f and -demo is required")
+	if *dataDir == "" && (*file == "") == (*demo == 0) {
+		fmt.Fprintln(os.Stderr, "trustd: exactly one of -f and -demo is required (or -data-dir)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	n, objects, err := buildNetwork(*file, *demo, *seed)
+	if *dataDir != "" && *demo != 0 {
+		fmt.Fprintln(os.Stderr, "trustd: -demo is incompatible with -data-dir")
+		os.Exit(2)
+	}
+	mode, err := parseDurability(*durability)
 	if err != nil {
-		log.Fatalf("trustd: %v", err)
+		fmt.Fprintln(os.Stderr, "trustd:", err)
+		os.Exit(2)
 	}
 	var extras []string
 	if *extraRoots != "" {
 		extras = strings.Split(*extraRoots, ",")
 	}
-	st, err := n.NewStore(trustmap.WithWorkers(*workers), trustmap.WithExtraRoots(extras...))
-	if err != nil {
-		log.Fatalf("trustd: compiling store: %v", err)
+	opts := []trustmap.StoreOption{
+		trustmap.WithWorkers(*workers),
+		trustmap.WithExtraRoots(extras...),
+		trustmap.WithDurability(mode),
 	}
-	// Seed stored objects in key order, so registration is deterministic.
+
+	// The listener comes up before recovery finishes: the handler answers
+	// 503 (with Retry-After) until the store is installed, so restarts
+	// behind a load balancer drain into retries instead of refusals.
+	handler := newServer(nil, *maxBatch)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	recovered := make(chan *trustmap.Store, 1)
+	go func() {
+		st, err := openStore(*dataDir, *file, *demo, *seed, opts)
+		if err != nil {
+			log.Fatalf("trustd: %v", err)
+		}
+		handler.install(st)
+		eng := st.EngineStats()
+		dur := st.Durability()
+		log.Printf("trustd: serving %d users, %d mappings, %d roots, %d objects on %s (epoch %d, lsn %d, durability %s)",
+			eng.Users, eng.Mappings, eng.Roots, st.NumObjects(), *addr, st.Epoch(), st.LSN(), dur.Mode)
+		recovered <- st
+	}()
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// flush and close the WAL so the next start replays nothing torn.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("trustd: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
+		select {
+		case st := <-recovered:
+			if err := st.Close(); err != nil {
+				log.Printf("trustd: closing store: %v", err)
+			}
+		default: // recovery never finished; nothing to flush
+		}
+	}
+}
+
+// parseDurability maps the -durability flag onto a store mode.
+func parseDurability(s string) (trustmap.DurabilityMode, error) {
+	switch s {
+	case "batch", "":
+		return trustmap.DurabilityBatch, nil
+	case "off":
+		return trustmap.DurabilityOff, nil
+	case "always":
+		return trustmap.DurabilityAlways, nil
+	default:
+		return 0, fmt.Errorf("unknown -durability %q (want batch, off, or always)", s)
+	}
+}
+
+// openStore builds the serving store: durable (recovering from dataDir,
+// optionally seeded from file on first boot) or in-memory from the file
+// or demo network.
+func openStore(dataDir, file string, demo int, seed int64, opts []trustmap.StoreOption) (*trustmap.Store, error) {
+	if dataDir == "" {
+		n, objects, err := buildNetwork(file, demo, seed)
+		if err != nil {
+			return nil, err
+		}
+		st, err := n.NewStore(opts...)
+		if err != nil {
+			return nil, fmt.Errorf("compiling store: %w", err)
+		}
+		if err := seedObjects(st, objects); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	st, err := trustmap.OpenStore(dataDir, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("opening %s: %w", dataDir, err)
+	}
+	// -f seeds exactly once: a recovered store (any logged history or
+	// snapshot state) keeps its own truth and the file is ignored.
+	if file != "" && st.LSN() == 0 && st.Network().NumUsers() == 0 && st.NumObjects() == 0 {
+		if err := seedStore(st, file); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("seeding from %s: %w", file, err)
+		}
+	}
+	return st, nil
+}
+
+// seedStore loads the network file into an empty durable store through
+// the logged mutators, so the seed itself is replayable history.
+func seedStore(st *trustmap.Store, file string) error {
+	nf, err := loadNetworkFile(file)
+	if err != nil {
+		return err
+	}
+	err = st.Update(func(tx *trustmap.StoreTx) error {
+		for _, m := range nf.Trust {
+			if err := tx.SetTrust(m.Truster, m.Trusted, m.Priority); err != nil {
+				return err
+			}
+		}
+		// Beliefs in name order, so user IDs are deterministic given the
+		// file.
+		users := make([]string, 0, len(nf.Beliefs))
+		for user := range nf.Beliefs {
+			users = append(users, user)
+		}
+		sort.Strings(users)
+		for _, user := range users {
+			if err := tx.SetDefault(user, nf.Beliefs[user]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return seedObjects(st, objects(nf))
+}
+
+// objects returns the file's object section (possibly nil).
+func objects(nf *networkFile) map[string]map[string]string { return nf.Objects }
+
+// seedObjects stores the file's objects in key order, so registration is
+// deterministic.
+func seedObjects(st *trustmap.Store, objects map[string]map[string]string) error {
 	keys := make([]string, 0, len(objects))
 	for k := range objects {
 		keys = append(keys, k)
@@ -96,18 +248,35 @@ func main() {
 	sort.Strings(keys)
 	for _, k := range keys {
 		if err := st.PutObject(context.Background(), k, objects[k]); err != nil {
-			log.Fatalf("trustd: seeding object %q: %v", k, err)
+			return fmt.Errorf("seeding object %q: %w", k, err)
 		}
 	}
-	eng := st.EngineStats()
-	log.Printf("trustd: serving %d users, %d mappings, %d roots, %d objects on %s (epoch %d)",
-		eng.Users, eng.Mappings, eng.Roots, st.NumObjects(), *addr, st.Epoch())
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(st, *maxBatch),
-		ReadHeaderTimeout: 10 * time.Second,
+	return nil
+}
+
+// networkFile is the trustctl-format network file: trust edges, default
+// beliefs, and optionally stored objects.
+type networkFile struct {
+	Trust []struct {
+		Truster  string `json:"truster"`
+		Trusted  string `json:"trusted"`
+		Priority int    `json:"priority"`
+	} `json:"trust"`
+	Beliefs map[string]string            `json:"beliefs"`
+	Objects map[string]map[string]string `json:"objects"`
+}
+
+// loadNetworkFile parses a network file.
+func loadNetworkFile(file string) (*networkFile, error) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
 	}
-	log.Fatal(srv.ListenAndServe())
+	var nf networkFile
+	if err := json.Unmarshal(raw, &nf); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", file, err)
+	}
+	return &nf, nil
 }
 
 // buildNetwork loads the network file (returning its stored objects, if
@@ -116,21 +285,9 @@ func buildNetwork(file string, demo int, seed int64) (*trustmap.Network, map[str
 	if demo > 0 {
 		return demoNetwork(demo, seed), nil, nil
 	}
-	raw, err := os.ReadFile(file)
+	nf, err := loadNetworkFile(file)
 	if err != nil {
 		return nil, nil, err
-	}
-	var nf struct {
-		Trust []struct {
-			Truster  string `json:"truster"`
-			Trusted  string `json:"trusted"`
-			Priority int    `json:"priority"`
-		} `json:"trust"`
-		Beliefs map[string]string            `json:"beliefs"`
-		Objects map[string]map[string]string `json:"objects"`
-	}
-	if err := json.Unmarshal(raw, &nf); err != nil {
-		return nil, nil, fmt.Errorf("parsing %s: %w", file, err)
 	}
 	n := trustmap.New()
 	for _, tm := range nf.Trust {

@@ -200,7 +200,10 @@ func TestHandlerErrors(t *testing.T) {
 	}{
 		{"resolve: no users", "POST", "/v1/resolve", `{}`, 400},
 		{"resolve: malformed JSON", "POST", "/v1/resolve", `{"users": [`, 400},
-		{"resolve: unknown field", "POST", "/v1/resolve", `{"users": ["alice"], "x": 1}`, 400},
+		// Unknown fields are tolerated, not rejected: the schema grows by
+		// adding fields, so newer clients must keep working (see
+		// wire.SchemaVersion).
+		{"resolve: unknown field", "POST", "/v1/resolve", `{"users": ["alice"], "x": 1}`, 200},
 		{"resolve: unknown user", "POST", "/v1/resolve", `{"users": ["ghost"]}`, 404},
 		{"resolve: unknown belief user", "POST", "/v1/resolve", `{"users": ["alice"], "beliefs": {"ghost": "v"}}`, 404},
 		{"bulk-resolve: no objects", "POST", "/v1/bulk-resolve", `{"users": ["alice"]}`, 400},
@@ -229,7 +232,7 @@ func TestHandlerErrors(t *testing.T) {
 		}
 		// Every handler-emitted error carries a JSON error body (the mux's
 		// own 405s are plain text).
-		if tc.want != 405 && !strings.Contains(rec.Body.String(), `"error"`) {
+		if tc.want >= 400 && tc.want != 405 && !strings.Contains(rec.Body.String(), `"error"`) {
 			t.Errorf("%s: error body missing: %s", tc.name, rec.Body.String())
 		}
 	}
@@ -372,4 +375,144 @@ func TestSmokeHTTP(t *testing.T) {
 		t.Fatalf("deleted object read: err = %v, want 404", err)
 	}
 	fmt.Printf("smoke: read@%d -> mutate@%d -> read@%d -> object CRUD ok\n", epoch1, mut.Epoch, res.Epoch)
+}
+
+// TestRecoveryGate503 checks the not-yet-recovered handler: every
+// endpoint answers 503 with a Retry-After header until the store is
+// installed, then serves normally.
+func TestRecoveryGate503(t *testing.T) {
+	h := newServer(nil, 0)
+	for _, probe := range []struct{ method, path, body string }{
+		{"GET", "/healthz", ""},
+		{"GET", "/v1/stats", ""},
+		{"POST", "/v1/resolve", `{"users":["alice"]}`},
+		{"POST", "/v1/mutate", `{"ops":[{"op":"set-trust","truster":"a","trusted":"b","priority":1}]}`},
+		{"POST", "/v1/admin/checkpoint", ""},
+		{"GET", "/v1/objects", ""},
+	} {
+		req := httptest.NewRequest(probe.method, probe.path, strings.NewReader(probe.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s while recovering: status %d, want 503", probe.method, probe.path, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Errorf("%s %s while recovering: no Retry-After header", probe.method, probe.path)
+		}
+		if !strings.Contains(rec.Body.String(), `"error"`) {
+			t.Errorf("%s %s while recovering: no JSON error body: %s", probe.method, probe.path, rec.Body.String())
+		}
+	}
+
+	h.install(testStore(t))
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after install: status %d, want 200", rec.Code)
+	}
+}
+
+// TestDurableServer exercises the durable path end to end over HTTP:
+// mutations carry rising LSNs, /v1/stats reports the durability section,
+// /v1/admin/checkpoint compacts, and a reopened store serves the same
+// resolutions with the recovery counters visible.
+func TestDurableServer(t *testing.T) {
+	dir := t.TempDir()
+	st, err := trustmap.OpenStore(dir, trustmap.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(st, 0)
+
+	rec, out := postJSON(t, h, "/v1/mutate", wire.MutateRequest{Ops: []wire.Op{
+		{Op: wire.OpSetTrust, Truster: "alice", Trusted: "bob", Priority: 100},
+		{Op: wire.OpSetBelief, User: "bob", Value: "fish"},
+	}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mutate: status %d body %v", rec.Code, out)
+	}
+	if lsn := out["lsn"].(float64); lsn != 1 {
+		t.Errorf("mutate lsn = %v, want 1 (one batch)", lsn)
+	}
+
+	req := httptest.NewRequest("PUT", "/v1/objects/o1", strings.NewReader(`{"beliefs":{"bob":"cow"}}`))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("put object: status %d body %s", rec.Code, rec.Body.String())
+	}
+	var obj wire.ObjectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj.LSN != 2 {
+		t.Errorf("put object lsn = %d, want 2", obj.LSN)
+	}
+
+	// Stats carry the schema version and the durability section.
+	req = httptest.NewRequest("GET", "/v1/stats", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var stats wire.StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Schema != wire.SchemaVersion {
+		t.Errorf("stats schema = %d, want %d", stats.Schema, wire.SchemaVersion)
+	}
+	if stats.Durability.Mode != "batch" || stats.Durability.LastLSN != 2 {
+		t.Errorf("stats durability = %+v, want mode batch lsn 2", stats.Durability)
+	}
+
+	// Checkpoint over HTTP: watermark at the current LSN.
+	req = httptest.NewRequest("POST", "/v1/admin/checkpoint", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("checkpoint: status %d body %s", rec.Code, rec.Body.String())
+	}
+	var ck wire.CheckpointResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ck); err != nil {
+		t.Fatal(err)
+	}
+	if ck.LSN != 2 || ck.Snapshot == "" {
+		t.Errorf("checkpoint = %+v, want lsn 2 and a snapshot name", ck)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the recovered store serves identical state.
+	st2, err := trustmap.OpenStore(dir, trustmap.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	h2 := newServer(st2, 0)
+	req = httptest.NewRequest("GET", "/v1/objects/o1/resolution?users=alice", nil)
+	rec = httptest.NewRecorder()
+	h2.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recovered resolution: status %d body %s", rec.Code, rec.Body.String())
+	}
+	var res wire.ObjectResolutionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Users["alice"].Certain; got != "cow" {
+		t.Errorf("recovered certain(alice, o1) = %q, want cow", got)
+	}
+	if res.LSN != 2 {
+		t.Errorf("recovered lsn = %d, want 2", res.LSN)
+	}
+
+	// In-memory stores reject checkpoints with a clear 400.
+	h3 := newServer(testStore(t), 0)
+	req = httptest.NewRequest("POST", "/v1/admin/checkpoint", nil)
+	rec = httptest.NewRecorder()
+	h3.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("in-memory checkpoint: status %d, want 400 (body %s)", rec.Code, rec.Body.String())
+	}
 }

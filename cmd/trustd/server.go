@@ -7,11 +7,17 @@ package main
 // (/v1/mutate) apply one atomic batch and publish the next epoch before
 // responding; object CRUD (/v1/objects...) edits the store's belief table
 // and invalidates exactly the touched object's cached resolution. Every
-// response carries the epoch that served it, so a client that mutates and
+// response carries the epoch that served it — and, on a durable store,
+// the LSN of the last logged WAL batch — so a client that mutates and
 // then resolves can verify the read observed at least its own write.
 //
+// The handler is built before the store finishes recovering: until the
+// store is installed every endpoint answers 503 with a Retry-After
+// header, so load balancers and clients hold off instead of erroring.
+//
 // Status codes: 400 malformed or invalid request, 404 unknown user or
-// object, 405 wrong method, 413 oversized batch or body.
+// object, 405 wrong method, 413 oversized batch or body, 503 store still
+// recovering from disk.
 
 import (
 	"encoding/json"
@@ -20,6 +26,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"trustmap"
 	"trustmap/wire"
@@ -30,7 +37,9 @@ const maxBodyBytes = 16 << 20
 
 // server wires one Store into an http.Handler.
 type server struct {
-	st  *trustmap.Store
+	// st is nil until the store is installed (recovery can run after the
+	// listener is up); every handler gates on it.
+	st  atomic.Pointer[trustmap.Store]
 	mux *http.ServeMux
 	// maxBatch caps the ops of one mutate and the objects of one
 	// bulk-resolve; beyond it the request answers 413 without touching the
@@ -40,16 +49,22 @@ type server struct {
 
 const defaultMaxBatch = 65536
 
+// newServer builds the handler. st may be nil: the server then answers
+// 503 everywhere until install is called (the recovering state).
 func newServer(st *trustmap.Store, maxBatch int) *server {
 	if maxBatch <= 0 {
 		maxBatch = defaultMaxBatch
 	}
-	srv := &server{st: st, mux: http.NewServeMux(), maxBatch: maxBatch}
+	srv := &server{mux: http.NewServeMux(), maxBatch: maxBatch}
+	if st != nil {
+		srv.st.Store(st)
+	}
 	srv.mux.HandleFunc("GET /healthz", srv.handleHealthz)
 	srv.mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	srv.mux.HandleFunc("POST /v1/resolve", srv.handleResolve)
 	srv.mux.HandleFunc("POST /v1/bulk-resolve", srv.handleBulkResolve)
 	srv.mux.HandleFunc("POST /v1/mutate", srv.handleMutate)
+	srv.mux.HandleFunc("POST /v1/admin/checkpoint", srv.handleCheckpoint)
 	srv.mux.HandleFunc("GET /v1/objects", srv.handleListObjects)
 	srv.mux.HandleFunc("PUT /v1/objects/{key}", srv.handlePutObject)
 	srv.mux.HandleFunc("GET /v1/objects/{key}", srv.handleGetObject)
@@ -60,27 +75,54 @@ func newServer(st *trustmap.Store, maxBatch int) *server {
 	return srv
 }
 
+// install publishes the recovered store: the 503 gate opens atomically.
+func (srv *server) install(st *trustmap.Store) { srv.st.Store(st) }
+
 func (srv *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { srv.mux.ServeHTTP(w, r) }
 
+// store returns the serving store, or answers 503 (with Retry-After, so
+// well-behaved clients back off) while recovery is still running.
+func (srv *server) store(w http.ResponseWriter) (*trustmap.Store, bool) {
+	st := srv.st.Load()
+	if st == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("store is still recovering from disk; retry shortly"))
+		return nil, false
+	}
+	return st, true
+}
+
 func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, wire.Health{OK: true, Epoch: srv.st.Epoch()})
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.Health{OK: true, Epoch: st.Epoch(), LSN: st.LSN()})
 }
 
 func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st, eng := srv.st.EpochStats() // one pinned epoch: all counters agree
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
+	sst, eng := st.EpochStats() // one pinned epoch: all counters agree
+	dur := st.Durability()
 	writeJSON(w, http.StatusOK, wire.StatsResponse{
-		Epoch: st.Epoch,
+		Schema: wire.SchemaVersion,
+		Epoch:  sst.Epoch,
+		LSN:    st.LSN(),
 		Session: wire.SessionStats{
-			Compiles:           st.Compiles,
-			IncrementalApplies: st.IncrementalApplies,
-			ValueOnlyUpdates:   st.ValueOnlyUpdates,
-			FullRecompiles:     st.FullRecompiles,
-			EpochsReclaimed:    st.EpochsReclaimed,
+			Compiles:           sst.Compiles,
+			IncrementalApplies: sst.IncrementalApplies,
+			ValueOnlyUpdates:   sst.ValueOnlyUpdates,
+			FullRecompiles:     sst.FullRecompiles,
+			EpochsReclaimed:    sst.EpochsReclaimed,
 		},
 		Store: wire.StoreStats{
-			Objects:     st.Objects,
-			CacheHits:   st.CacheHits,
-			CacheMisses: st.CacheMisses,
+			Objects:     sst.Objects,
+			CacheHits:   sst.CacheHits,
+			CacheMisses: sst.CacheMisses,
 		},
 		Engine: wire.EngineStats{
 			Users:            eng.Users,
@@ -93,10 +135,47 @@ func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			FloodSteps:       eng.FloodSteps,
 			DistinctSupports: eng.DistinctSupports,
 		},
+		Durability: wire.DurabilityStats{
+			Mode:             dur.Mode,
+			LastLSN:          dur.LastLSN,
+			DurableLSN:       dur.DurableLSN,
+			SnapshotLSN:      dur.SnapshotLSN,
+			WALAppends:       dur.WALAppends,
+			WALSyncs:         dur.WALSyncs,
+			WALBytes:         dur.WALBytes,
+			Checkpoints:      dur.Checkpoints,
+			RecoveredBatches: dur.RecoveredBatches,
+			ReplayedOps:      dur.ReplayedOps,
+			ReplayErrors:     dur.ReplayErrors,
+			DiscardedBytes:   dur.DiscardedBytes,
+		},
+	})
+}
+
+func (srv *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
+	ck, err := st.Checkpoint()
+	if err != nil {
+		if errors.Is(err, trustmap.ErrNotDurable) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.CheckpointResponse{
+		Epoch: ck.Epoch, LSN: ck.LSN, Snapshot: ck.Snapshot,
 	})
 }
 
 func (srv *server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
 	var req wire.ResolveRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -105,7 +184,7 @@ func (srv *server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("resolve: users must list at least one user to report"))
 		return
 	}
-	res, err := srv.st.Resolve(r.Context(), req.Beliefs)
+	res, err := st.Resolve(r.Context(), req.Beliefs)
 	if err != nil {
 		writeResolveError(w, err)
 		return
@@ -115,10 +194,14 @@ func (srv *server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeResolveError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.ResolveResponse{Epoch: res.Epoch(), Users: users})
+	writeJSON(w, http.StatusOK, wire.ResolveResponse{Epoch: res.Epoch(), LSN: st.LSN(), Users: users})
 }
 
 func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
 	var req wire.BulkResolveRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -132,7 +215,7 @@ func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("bulk-resolve: %d objects exceed the batch limit of %d", len(req.Objects), srv.maxBatch))
 		return
 	}
-	res, err := srv.st.ResolveBatch(r.Context(), req.Objects)
+	res, err := st.ResolveBatch(r.Context(), req.Objects)
 	if err != nil {
 		writeResolveError(w, err)
 		return
@@ -148,10 +231,14 @@ func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
 		}
 		out[key] = users
 	}
-	writeJSON(w, http.StatusOK, wire.BulkResolveResponse{Epoch: res.Epoch(), Objects: out})
+	writeJSON(w, http.StatusOK, wire.BulkResolveResponse{Epoch: res.Epoch(), LSN: st.LSN(), Objects: out})
 }
 
 func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
 	var req wire.MutateRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -166,7 +253,7 @@ func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	applied := 0
-	err := srv.st.Update(func(tx *trustmap.StoreTx) error {
+	err := st.Update(func(tx *trustmap.StoreTx) error {
 		for i, op := range req.Ops {
 			if err := op.Apply(tx); err != nil {
 				return fmt.Errorf("op %d: %w", i, err)
@@ -179,20 +266,28 @@ func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		// Ops before the failing one were applied and published: report
 		// the count alongside the error so the client can reconcile.
 		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{
-			Message: err.Error(), Applied: applied, Epoch: srv.st.Epoch(),
+			Message: err.Error(), Applied: applied, Epoch: st.Epoch(),
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.MutateResponse{Epoch: srv.st.Epoch(), Applied: applied})
+	writeJSON(w, http.StatusOK, wire.MutateResponse{Epoch: st.Epoch(), LSN: st.LSN(), Applied: applied})
 }
 
 // --- object CRUD -------------------------------------------------------
 
 func (srv *server) handleListObjects(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, wire.ObjectListResponse{Objects: srv.st.Objects(), Epoch: srv.st.Epoch()})
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.ObjectListResponse{Objects: st.Objects(), Epoch: st.Epoch(), LSN: st.LSN()})
 }
 
 func (srv *server) handlePutObject(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
 	key := r.PathValue("key")
 	var req wire.ObjectPutRequest
 	if !readJSON(w, r, &req) {
@@ -203,30 +298,38 @@ func (srv *server) handlePutObject(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("put object: %d beliefs exceed the batch limit of %d", len(req.Beliefs), srv.maxBatch))
 		return
 	}
-	if err := srv.st.PutObject(r.Context(), key, req.Beliefs); err != nil {
+	if err := st.PutObject(r.Context(), key, req.Beliefs); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	srv.writeObject(w, key)
+	srv.writeObject(w, st, key)
 }
 
 func (srv *server) handleGetObject(w http.ResponseWriter, r *http.Request) {
-	srv.writeObject(w, r.PathValue("key"))
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
+	srv.writeObject(w, st, r.PathValue("key"))
 }
 
 // writeObject answers with the stored object, or 404.
-func (srv *server) writeObject(w http.ResponseWriter, key string) {
-	beliefs, ok := srv.st.Object(key)
+func (srv *server) writeObject(w http.ResponseWriter, st *trustmap.Store, key string) {
+	beliefs, ok := st.Object(key)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, key))
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.ObjectResponse{Object: key, Beliefs: beliefs, Epoch: srv.st.Epoch()})
+	writeJSON(w, http.StatusOK, wire.ObjectResponse{Object: key, Beliefs: beliefs, Epoch: st.Epoch(), LSN: st.LSN()})
 }
 
 func (srv *server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
 	key := r.PathValue("key")
-	ok, err := srv.st.DeleteObject(r.Context(), key)
+	ok, err := st.DeleteObject(r.Context(), key)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -235,25 +338,33 @@ func (srv *server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, key))
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.DeleteResponse{Deleted: key, Epoch: srv.st.Epoch()})
+	writeJSON(w, http.StatusOK, wire.DeleteResponse{Deleted: key, Epoch: st.Epoch(), LSN: st.LSN()})
 }
 
 func (srv *server) handlePutBelief(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
 	key, user := r.PathValue("key"), r.PathValue("user")
 	var req wire.BeliefPutRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	if err := srv.st.PutBelief(r.Context(), user, key, req.Value); err != nil {
+	if err := st.PutBelief(r.Context(), user, key, req.Value); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	srv.writeObject(w, key)
+	srv.writeObject(w, st, key)
 }
 
 func (srv *server) handleDeleteBelief(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
 	key, user := r.PathValue("key"), r.PathValue("user")
-	ok, err := srv.st.DeleteBelief(r.Context(), user, key)
+	ok, err := st.DeleteBelief(r.Context(), user, key)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -261,24 +372,28 @@ func (srv *server) handleDeleteBelief(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// Distinguish the two 404 classes: a missing object and a missing
 		// belief on an existing object.
-		if _, exists := srv.st.Object(key); !exists {
+		if _, exists := st.Object(key); !exists {
 			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, key))
 		} else {
 			writeError(w, http.StatusNotFound, fmt.Errorf("object %q holds no belief of user %q", key, user))
 		}
 		return
 	}
-	srv.writeObject(w, key)
+	srv.writeObject(w, st, key)
 }
 
 func (srv *server) handleResolveObject(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
 	key := r.PathValue("key")
 	users := splitUsers(r.URL.Query()["users"])
 	if len(users) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("resolution: the users query parameter must list at least one user"))
 		return
 	}
-	row, err := srv.st.ResolveObject(r.Context(), key)
+	row, err := st.ResolveObject(r.Context(), key)
 	if err != nil {
 		writeResolveError(w, err)
 		return
@@ -288,7 +403,7 @@ func (srv *server) handleResolveObject(w http.ResponseWriter, r *http.Request) {
 		writeResolveError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.ObjectResolutionResponse{Object: key, Epoch: row.Epoch(), Users: out})
+	writeJSON(w, http.StatusOK, wire.ObjectResolutionResponse{Object: key, Epoch: row.Epoch(), LSN: st.LSN(), Users: out})
 }
 
 // splitUsers resolves the users query parameter: one user per repeated
@@ -321,9 +436,11 @@ func collectUsers(lookup func(user string) ([]string, string, error), users []st
 	return out, nil
 }
 
+// readJSON decodes the body, tolerating unknown fields: the schema
+// evolves by adding fields (see wire.SchemaVersion), so a newer client's
+// extra fields must not fail an older server.
 func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {

@@ -7,22 +7,21 @@
 // objects are scanned by a worker pool. On a 1000-user power-law network
 // it contrasts the compiled engine on a single worker against GOMAXPROCS
 // workers and checks the outputs are byte-identical; a small facade
-// example then checks the engine against the legacy sequential SQL path
-// (INSERT ... SELECT over POSS(X,K,V)).
+// example then drives the same engine through trustmap.Store.
 //
 // The second half is the live lifecycle: mutate and re-resolve. Trust
 // revocations are folded into the compiled artifact through the mutation
 // journal and the engine's delta path (Apply), recompiling only the dirty
-// region — and at the facade level, trustmap.Session drives the same
-// compile -> resolve -> mutate -> incremental re-plan loop.
-//
-//lint:file-ignore SA1019 this walkthrough deliberately exercises the deprecated v1 bulk paths (BulkResolveWith, NewSession) to show their parity with the engine; new code should use trustmap.Store.
+// region — and at the facade level, trustmap.Store drives the same
+// compile -> resolve -> mutate -> incremental re-plan loop, with
+// trustmap.OpenStore adding WAL + snapshot persistence on top.
 package main
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"time"
 
@@ -128,66 +127,95 @@ func main() {
 	}
 	fmt.Printf("re-resolved %d objects against the spliced artifact\n", len(objs))
 
-	// The public facade runs the same engine; UseSQL selects the legacy
-	// relational path for comparison.
+	// The public facade runs the same engine behind Store: build the trust
+	// network, adopt it, put objects in, and resolve them all against one
+	// live compiled artifact (MaxDirtyFraction 1 keeps this tiny demo
+	// network on the incremental path across mutations).
+	ctx := context.Background()
 	n := trustmap.New()
 	n.AddTrust("moderatorA", "curator1", 10)
 	n.AddTrust("moderatorA", "moderatorB", 20)
 	n.AddTrust("moderatorB", "curator2", 10)
 	n.AddTrust("moderatorB", "moderatorA", 20)
 	n.AddTrust("reader", "moderatorA", 5)
-	objects := map[string]map[string]string{
-		"glyph1": {"curator1": "fish", "curator2": "jar"},
-		"glyph2": {"curator1": "cow", "curator2": "cow"},
-	}
-	eng, err := n.BulkResolveWith(context.Background(), objects,
-		trustmap.BulkOptions{Workers: workers})
+	store, err := n.NewStore(trustmap.WithWorkers(workers),
+		trustmap.WithMaxDirtyFraction(1))
 	if err != nil {
 		panic(err)
 	}
-	sql, err := n.BulkResolveWith(context.Background(), objects,
-		trustmap.BulkOptions{UseSQL: true})
+	if err := store.PutObject(ctx, "glyph1",
+		map[string]string{"curator1": "fish", "curator2": "jar"}); err != nil {
+		panic(err)
+	}
+	if err := store.PutObject(ctx, "glyph2",
+		map[string]string{"curator1": "cow", "curator2": "cow"}); err != nil {
+		panic(err)
+	}
+	res, err := store.ResolveAll(ctx)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nfacade parity (engine vs SQL):\n")
-	for _, obj := range []string{"glyph1", "glyph2"} {
-		e, s := eng.Possible("reader", obj), sql.Possible("reader", obj)
-		fmt.Printf("  reader/%s: engine=%v sql=%v\n", obj, e, s)
-		if fmt.Sprint(e) != fmt.Sprint(s) {
-			panic("facade paths disagree")
+	fmt.Printf("\nstore facade (epoch %d):\n", res.Epoch())
+	for _, obj := range res.Keys() {
+		poss := res.Possible("reader", obj)
+		if cert, ok := res.Certain("reader", obj); ok {
+			fmt.Printf("  reader/%s: possible=%v certain=%s\n", obj, poss, cert)
+		} else {
+			fmt.Printf("  reader/%s: possible=%v (conflicting)\n", obj, poss)
 		}
 	}
 
-	// The same lifecycle through the facade: a Session keeps the compiled
-	// artifact live across mutations (MaxDirtyFraction 1 keeps this tiny
-	// demo network on the incremental path).
-	sess, err := n.NewSession(trustmap.SessionOptions{
-		Workers:          workers,
-		ExtraRoots:       []string{"curator1", "curator2"},
-		MaxDirtyFraction: 1,
-	})
-	if err != nil {
-		panic(err)
-	}
-	before, err := sess.Resolve(context.Background(),
-		map[string]string{"curator1": "fish", "curator2": "jar"})
-	if err != nil {
-		panic(err)
-	}
-	// moderatorA drops its preferred source; the reader now follows the
-	// surviving mapping (Section 2.2 promotion), re-planned incrementally.
-	if ok, err := sess.RemoveTrust("moderatorA", "moderatorB"); err != nil || !ok {
+	// Mutate and re-resolve through the store: moderatorA drops its
+	// preferred source, the reader now follows the surviving mapping
+	// (Section 2.2 promotion), and the artifact is re-planned
+	// incrementally rather than recompiled.
+	if ok, err := store.RemoveTrust(ctx, "moderatorA", "moderatorB"); err != nil || !ok {
 		panic(fmt.Sprintf("trust revocation failed: ok=%v err=%v", ok, err))
 	}
-	after, err := sess.Resolve(context.Background(),
-		map[string]string{"curator1": "fish", "curator2": "jar"})
+	row, err := store.ResolveObject(ctx, "glyph1")
 	if err != nil {
 		panic(err)
 	}
-	sst := sess.Stats()
-	fmt.Printf("\nsession lifecycle (compile once, mutate, re-plan incrementally):\n")
-	fmt.Printf("  reader before revocation: %v, after: %v\n",
-		before.Possible("reader"), after.Possible("reader"))
-	fmt.Printf("  %d compile(s), %d incremental applies\n", sst.Compiles, sst.IncrementalApplies)
+	sst := store.Stats()
+	fmt.Printf("\nstore lifecycle (compile once, mutate, re-plan incrementally):\n")
+	fmt.Printf("  reader/glyph1 after revocation: %v\n", row.Possible("reader"))
+	fmt.Printf("  %d compile(s), %d incremental applies, %d object(s)\n",
+		sst.Compiles, sst.IncrementalApplies, sst.Objects)
+
+	// The durable variant: OpenStore journals every mutation to a WAL and
+	// checkpoints compacted snapshots, so the same state comes back after
+	// a restart (or a crash — the WAL tail is replayed on open).
+	dir, err := os.MkdirTemp("", "trustmap-engine-demo-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	dst, err := trustmap.OpenStore(dir, trustmap.WithMaxDirtyFraction(1))
+	if err != nil {
+		panic(err)
+	}
+	if err := dst.SetTrust(ctx, "reader", "curator1", 5); err != nil {
+		panic(err)
+	}
+	if err := dst.PutObject(ctx, "glyph1", map[string]string{"curator1": "fish"}); err != nil {
+		panic(err)
+	}
+	ck, err := dst.Checkpoint()
+	if err != nil {
+		panic(err)
+	}
+	if err := dst.Close(); err != nil {
+		panic(err)
+	}
+	reopened, err := trustmap.OpenStore(dir)
+	if err != nil {
+		panic(err)
+	}
+	defer reopened.Close()
+	row, err = reopened.ResolveObject(ctx, "glyph1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ndurable store: checkpoint at LSN %d, reopened reader/glyph1=%v\n",
+		ck.LSN, row.Possible("reader"))
 }

@@ -35,6 +35,7 @@ import (
 type Epoch[T any] struct {
 	val T
 	seq uint64
+	tag uint64
 
 	// refs counts the readers pinning this epoch, plus one reference held
 	// by the publisher while the epoch is current. retired flips when a
@@ -55,6 +56,12 @@ func (e *Epoch[T]) Value() T { return e.val }
 // increasing by one per Publish. Sequence numbers are totally ordered;
 // two reads observing the same Seq observed the same snapshot.
 func (e *Epoch[T]) Seq() uint64 { return e.seq }
+
+// Tag returns the opaque tag the epoch was published with, 0 for
+// untagged publications. The durable store tags each epoch with the WAL
+// LSN whose application produced it, so every read can report the log
+// position its snapshot reflects.
+func (e *Epoch[T]) Tag() uint64 { return e.tag }
 
 // Release drops one reference. The last release of a retired epoch
 // reclaims it. Release must be called exactly once per Acquire.
@@ -129,10 +136,17 @@ func (p *Publisher[T]) Acquire() *Epoch[T] {
 // numbers and the pointer swap always move together; the last caller to
 // swap holds the highest sequence number.
 func (p *Publisher[T]) Publish(v T) uint64 {
+	return p.PublishTagged(v, 0)
+}
+
+// PublishTagged is Publish carrying an opaque tag on the new epoch,
+// readable via Epoch.Tag. The publisher does not interpret the tag; the
+// durable store uses it to stamp each epoch with its WAL LSN.
+func (p *Publisher[T]) PublishTagged(v T, tag uint64) uint64 {
 	p.pmu.Lock()
 	defer p.pmu.Unlock()
 	p.seq++
-	e := &Epoch[T]{val: v, seq: p.seq}
+	e := &Epoch[T]{val: v, seq: p.seq, tag: tag}
 	e.onDrain = func(seq uint64, val T) {
 		p.reclaimed.Add(1)
 		if p.onDrain != nil {
@@ -151,6 +165,20 @@ func (p *Publisher[T]) Publish(v T) uint64 {
 
 // Seq returns the current epoch's sequence number without pinning it.
 func (p *Publisher[T]) Seq() uint64 { return p.cur.Load().seq }
+
+// Rebase raises the publisher's sequence counter so the NEXT Publish
+// gets seq+1 at least `seq`+1. It never lowers the counter and does not
+// publish anything itself. A recovered store rebases to the epoch
+// recorded in its snapshot so post-restart epochs continue the pre-crash
+// numbering — a client's "read-your-writes" epoch bound stays valid
+// across the crash.
+func (p *Publisher[T]) Rebase(seq uint64) {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	if seq > p.seq {
+		p.seq = seq
+	}
+}
 
 // Stats returns the publisher's counters. Readers is a point-in-time
 // gauge of the current epoch and may be stale by the time it is read.

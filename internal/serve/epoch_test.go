@@ -160,3 +160,35 @@ func TestConcurrentAcquirePublish(t *testing.T) {
 		t.Fatalf("reclaimed %d (hook %d), want %d", st.Reclaimed, drains.Load(), want)
 	}
 }
+
+func TestPublishTaggedAndTag(t *testing.T) {
+	p := NewPublisher[uint64](1, nil)
+	e := p.Acquire()
+	if e.Tag() != 0 {
+		t.Fatalf("initial epoch tag = %d, want 0 (untagged)", e.Tag())
+	}
+	e.Release()
+	p.PublishTagged(2, 41)
+	p.PublishTagged(3, 42)
+	e = p.Acquire()
+	defer e.Release()
+	if e.Seq() != 3 || e.Tag() != 42 || e.Value() != 3 {
+		t.Fatalf("epoch = seq %d tag %d val %d, want 3/42/3", e.Seq(), e.Tag(), e.Value())
+	}
+}
+
+func TestRebase(t *testing.T) {
+	p := NewPublisher[uint64](1, nil) // epoch 1
+	p.Rebase(90)
+	if got := p.Seq(); got != 1 {
+		t.Fatalf("Rebase published something: Seq = %d, want 1 (unchanged)", got)
+	}
+	if seq := p.PublishTagged(2, 7); seq != 91 {
+		t.Fatalf("post-rebase publish seq = %d, want 91", seq)
+	}
+	// Rebase never lowers the counter.
+	p.Rebase(5)
+	if seq := p.Publish(3); seq != 92 {
+		t.Fatalf("publish after no-op rebase seq = %d, want 92", seq)
+	}
+}

@@ -1,0 +1,185 @@
+// Package snapshot reads and writes the durable store's compacted
+// snapshots: one JSON file per checkpoint holding the full trust network
+// and object table in the trustd network-file format, stamped with the
+// WAL watermark it folds in. Recovery = load the latest valid snapshot,
+// then replay the WAL suffix above its LSN.
+//
+// Files are named snap-<lsn %016x>.json and written atomically: tmp file
+// in the same directory, fsync, rename, fsync the directory. A torn
+// snapshot write therefore never shadows the previous good snapshot —
+// Latest skips unparseable files and falls back to the newest valid one.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FormatVersion is the snapshot file schema generation.
+const FormatVersion = 1
+
+// TrustEdge is one trust mapping, mirroring the trustd network-file
+// "trust" entry.
+type TrustEdge struct {
+	Truster  string `json:"truster"`
+	Trusted  string `json:"trusted"`
+	Priority int    `json:"priority"`
+}
+
+// File is the snapshot body. Trust, Beliefs, and Objects follow the
+// trustd network-file format exactly, so a snapshot doubles as a valid
+// `trustd -f` input; the remaining fields are the durable envelope.
+type File struct {
+	Format int    `json:"format"`
+	Schema int    `json:"schema"` // wire.SchemaVersion of the writer
+	Epoch  uint64 `json:"epoch"`  // store epoch at checkpoint
+	LSN    uint64 `json:"lsn"`    // WAL watermark folded in
+
+	Trust      []TrustEdge                  `json:"trust"`
+	Beliefs    map[string]string            `json:"beliefs,omitempty"`
+	Objects    map[string]map[string]string `json:"objects,omitempty"`
+	ExtraRoots []string                     `json:"extra_roots,omitempty"`
+}
+
+// Name formats the snapshot file name for a watermark.
+func Name(lsn uint64) string {
+	return fmt.Sprintf("snap-%016x.json", lsn)
+}
+
+// parseName extracts the watermark from a snapshot file name.
+func parseName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".json")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Write atomically persists f into dir as Name(f.LSN) and returns the
+// file name. The write path is tmp + fsync + rename + dir fsync, so a
+// crash at any point leaves either the old snapshot set or the old set
+// plus the complete new file — never a torn file under a valid name.
+func Write(dir string, f *File) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	f.Format = FormatVersion
+	blob, err := json.MarshalIndent(f, "", "\t")
+	if err != nil {
+		return "", err
+	}
+	name := Name(f.LSN)
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return "", err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // make the rename durable; best-effort on exotic FSes
+		d.Close()
+	}
+	return name, nil
+}
+
+// Latest loads the newest valid snapshot in dir: the highest-watermark
+// file that parses. Unparseable candidates (torn by a crash, rotted) are
+// skipped, not fatal. Returns nil, "" with no error when dir holds no
+// valid snapshot — a fresh store.
+func Latest(dir string) (*File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", nil
+		}
+		return nil, "", err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseName(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // %016x sorts numerically
+	for i := len(names) - 1; i >= 0; i-- {
+		f, err := load(filepath.Join(dir, names[i]))
+		if err != nil {
+			continue // torn or rotted: fall back to the previous one
+		}
+		if lsn, _ := parseName(names[i]); f.LSN != lsn {
+			continue // name/body mismatch: treat as invalid
+		}
+		return f, names[i], nil
+	}
+	return nil, "", nil
+}
+
+func load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	if f.Format > FormatVersion {
+		return nil, fmt.Errorf("snapshot format %d newer than supported %d", f.Format, FormatVersion)
+	}
+	return &f, nil
+}
+
+// Prune removes all but the newest keep snapshots. The newest is never
+// removed regardless of keep. Returns the removed file count.
+func Prune(dir string, keep int) (int, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseName(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	removed := 0
+	for i := 0; i < len(names)-keep; i++ {
+		if err := os.Remove(filepath.Join(dir, names[i])); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

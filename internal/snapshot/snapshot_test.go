@@ -1,0 +1,158 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testFile(lsn uint64) *File {
+	return &File{
+		Schema: 2,
+		Epoch:  lsn * 10,
+		LSN:    lsn,
+		Trust: []TrustEdge{
+			{Truster: "alice", Trusted: "bob", Priority: 1},
+			{Truster: "bob", Trusted: "carol", Priority: 2},
+		},
+		Beliefs:    map[string]string{"carol": "v1"},
+		Objects:    map[string]map[string]string{"o1": {"alice": "x"}},
+		ExtraRoots: []string{"dave"},
+	}
+}
+
+func TestWriteLatestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	name, err := Write(dir, testFile(7))
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if name != Name(7) {
+		t.Fatalf("name = %s, want %s", name, Name(7))
+	}
+	got, gotName, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("latest: %v", err)
+	}
+	if gotName != name {
+		t.Fatalf("latest name = %s, want %s", gotName, name)
+	}
+	if got.LSN != 7 || got.Epoch != 70 || got.Format != FormatVersion {
+		t.Fatalf("envelope = %+v", got)
+	}
+	if len(got.Trust) != 2 || got.Beliefs["carol"] != "v1" ||
+		got.Objects["o1"]["alice"] != "x" || len(got.ExtraRoots) != 1 {
+		t.Fatalf("body round-trip: %+v", got)
+	}
+}
+
+func TestLatestEmptyDir(t *testing.T) {
+	f, name, err := Latest(t.TempDir())
+	if f != nil || name != "" || err != nil {
+		t.Fatalf("Latest(empty) = %v, %q, %v; want nil, \"\", nil", f, name, err)
+	}
+	f, name, err = Latest(filepath.Join(t.TempDir(), "missing"))
+	if f != nil || name != "" || err != nil {
+		t.Fatalf("Latest(missing) = %v, %q, %v; want nil, \"\", nil", f, name, err)
+	}
+}
+
+func TestLatestPicksHighestWatermark(t *testing.T) {
+	dir := t.TempDir()
+	for _, lsn := range []uint64{3, 12, 7} {
+		if _, err := Write(dir, testFile(lsn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, name, err := Latest(dir)
+	if err != nil || got == nil {
+		t.Fatalf("latest: %v, %v", got, err)
+	}
+	if got.LSN != 12 || name != Name(12) {
+		t.Fatalf("latest = lsn %d (%s), want 12", got.LSN, name)
+	}
+}
+
+func TestLatestSkipsTornSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, testFile(5)); err != nil {
+		t.Fatal(err)
+	}
+	// A higher-watermark file torn mid-write (invalid JSON) must be
+	// skipped, falling back to the older valid snapshot.
+	torn := filepath.Join(dir, Name(9))
+	if err := os.WriteFile(torn, []byte(`{"format":1,"lsn":9,"trust":[{"trus`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, name, err := Latest(dir)
+	if err != nil || got == nil {
+		t.Fatalf("latest: %v, %v", got, err)
+	}
+	if got.LSN != 5 || name != Name(5) {
+		t.Fatalf("latest = lsn %d (%s), want fallback to 5", got.LSN, name)
+	}
+}
+
+func TestLatestRejectsNameBodyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, testFile(4)); err != nil {
+		t.Fatal(err)
+	}
+	// A valid body renamed to the wrong watermark must not be trusted.
+	blob, err := os.ReadFile(filepath.Join(dir, Name(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, Name(8)), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, name, err := Latest(dir)
+	if err != nil || got == nil {
+		t.Fatalf("latest: %v, %v", got, err)
+	}
+	if name != Name(4) {
+		t.Fatalf("latest = %s, want the honest %s", name, Name(4))
+	}
+}
+
+func TestLatestRejectsNewerFormat(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, testFile(2)); err != nil {
+		t.Fatal(err)
+	}
+	future := `{"format": 99, "schema": 9, "epoch": 1, "lsn": 6, "trust": []}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, Name(6)), []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, name, err := Latest(dir)
+	if err != nil || got == nil {
+		t.Fatalf("latest: %v, %v", got, err)
+	}
+	if got.LSN != 2 || name != Name(2) {
+		t.Fatalf("latest = lsn %d, want fallback to 2 past the future-format file", got.LSN)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	for _, lsn := range []uint64{1, 2, 3, 4} {
+		if _, err := Write(dir, testFile(lsn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := Prune(dir, 2)
+	if err != nil || n != 2 {
+		t.Fatalf("prune = %d, %v; want 2, nil", n, err)
+	}
+	got, name, _ := Latest(dir)
+	if got.LSN != 4 || name != Name(4) {
+		t.Fatalf("latest after prune = %d", got.LSN)
+	}
+	// keep < 1 clamps to 1 and never deletes the newest.
+	if n, err := Prune(dir, 0); err != nil || n != 1 {
+		t.Fatalf("prune(0) = %d, %v; want 1, nil", n, err)
+	}
+	if got, _, _ := Latest(dir); got == nil || got.LSN != 4 {
+		t.Fatalf("newest snapshot survived prune(0)? got %v", got)
+	}
+}

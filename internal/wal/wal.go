@@ -1,0 +1,494 @@
+// Package wal is the durable store's append-only write-ahead log: a
+// sequence of CRC-framed wire.OpBatch records across one or more segment
+// files, with torn-tail truncation on open and deterministic counters so
+// durability overhead is benchmarkable without wall clocks.
+//
+// # File format
+//
+// Each segment file is
+//
+//	magic "TMWAL1\n\x00" (8 bytes)
+//	record*
+//
+// and each record is
+//
+//	length  uint32 LE   — payload byte count
+//	crc     uint32 LE   — CRC-32C (Castagnoli) of the payload
+//	payload []byte      — JSON-encoded wire.OpBatch
+//
+// Segments are named wal-<firstLSN %016x>.log; a segment's name carries
+// the LSN of its first record, so recovery can skip whole segments below
+// a snapshot watermark without reading them. Records within and across
+// segments carry strictly contiguous LSNs. Appends always go to the
+// highest-named segment; Rotate starts a fresh one (after a checkpoint)
+// so fully-compacted segments can be pruned by name alone.
+//
+// # Torn tails
+//
+// A crash mid-write leaves a torn tail: a truncated or garbled final
+// record. Open scans every record of the last segment, stops at the
+// first frame whose length is implausible, whose payload is short, or
+// whose CRC mismatches, truncates the file back to the last intact
+// record boundary, and reports the discarded byte count. Corruption in
+// the middle of older segments (not the tail) cannot be self-healed and
+// fails Open with ErrCorrupt: that is disk rot, not a crash artifact.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"trustmap/wire"
+)
+
+const (
+	// magic opens every segment file. The trailing NUL pads to 8 bytes so
+	// record frames stay 4-byte aligned.
+	magic = "TMWAL1\n\x00"
+	// frameHeaderSize is the length+crc prefix of each record.
+	frameHeaderSize = 8
+	// maxRecordSize bounds a single record payload; a length field above
+	// it is treated as frame garbage, not an allocation request.
+	maxRecordSize = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports unrecoverable corruption: a bad frame that is not at
+// the tail of the last segment, or a non-contiguous LSN sequence.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Stats are deterministic counters of one Log's lifetime (since Open).
+type Stats struct {
+	Appends        uint64 // batches appended
+	Syncs          uint64 // fsyncs issued
+	Bytes          uint64 // payload+frame bytes appended
+	Segments       int    // live segment files
+	DiscardedBytes uint64 // torn-tail bytes truncated by Open
+}
+
+// Log is an open write-ahead log rooted at one directory. It is not
+// goroutine-safe; the durable store serializes access.
+type Log struct {
+	dir     string
+	f       *os.File // active (highest-named) segment
+	path    string
+	lastLSN uint64 // LSN of the last appended/recovered record; 0 if none
+	dirty   bool   // appends since the last sync
+	stats   Stats
+}
+
+// segName formats the segment file name for a first-LSN.
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstLSN)
+}
+
+// parseSegName extracts the first-LSN from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// segments lists the log's segment files sorted by first-LSN.
+func segments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // %016x sorts numerically
+	return names, nil
+}
+
+// Open opens (creating if needed) the log in dir, heals any torn tail on
+// the last segment, and positions for appends. nextLSN is the LSN the
+// next Append will be assigned; discarded is the byte count truncated
+// from a torn tail, if any.
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	names, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir}
+	if len(names) == 0 {
+		return l, nil // fresh log; first Append creates the first segment
+	}
+	// The earliest surviving segment's name carries its first record's
+	// LSN (earlier segments were pruned at a checkpoint), anchoring the
+	// continuity check.
+	first, ok := parseSegName(names[0])
+	if !ok || first == 0 {
+		return nil, fmt.Errorf("%w: bad segment name %s", ErrCorrupt, names[0])
+	}
+	l.lastLSN = first - 1
+	// Validate LSN continuity across all segments and heal the tail of
+	// the last one. Only the last segment may be torn.
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		last := i == len(names)-1
+		lastLSN, discarded, err := l.scanSegment(path, last)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %s: %v", ErrCorrupt, name, err)
+		}
+		l.lastLSN = lastLSN
+		l.stats.DiscardedBytes += discarded
+	}
+	l.stats.Segments = len(names)
+	// Reopen the last segment for appending — unless healing emptied it
+	// entirely (crash before its magic landed): drop that husk and let
+	// the next Append start a fresh, well-formed segment.
+	path := filepath.Join(dir, names[len(names)-1])
+	if info, err := os.Stat(path); err != nil {
+		return nil, err
+	} else if info.Size() < int64(len(magic)) {
+		if err := os.Remove(path); err != nil {
+			return nil, err
+		}
+		l.stats.Segments--
+		return l, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f, l.path = f, path
+	return l, nil
+}
+
+// scanSegment validates one segment: magic, frames, CRCs, and LSN
+// continuity with l.lastLSN. When tail is true a bad frame heals by
+// truncating the file back to the last intact boundary; otherwise it is
+// an error. Returns the last valid LSN seen (carrying l.lastLSN forward
+// if the segment is empty) and the truncated byte count.
+func (l *Log) scanSegment(path string, tail bool) (uint64, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	size := info.Size()
+	lastLSN := l.lastLSN
+
+	heal := func(goodEnd int64, why string) (uint64, uint64, error) {
+		if !tail {
+			return 0, 0, fmt.Errorf("%s at offset %d (not the tail segment)", why, goodEnd)
+		}
+		if err := os.Truncate(path, goodEnd); err != nil {
+			return 0, 0, fmt.Errorf("truncating torn tail: %w", err)
+		}
+		return lastLSN, uint64(size - goodEnd), nil
+	}
+
+	if size < int64(len(magic)) {
+		// Shorter than the header: a crash during segment creation.
+		return heal(0, "short magic")
+	}
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, 0, err
+	}
+	if string(hdr) != magic {
+		// A wrong magic is never a torn tail — the header is written
+		// first and fits one sector. Refuse even on the tail segment.
+		return 0, 0, errors.New("bad magic")
+	}
+
+	off := int64(len(magic))
+	frame := make([]byte, frameHeaderSize)
+	var payload []byte
+	for off < size {
+		if size-off < frameHeaderSize {
+			return heal(off, "short frame header")
+		}
+		if _, err := io.ReadFull(f, frame); err != nil {
+			return 0, 0, err
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		crc := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxRecordSize || int64(length) > size-off-frameHeaderSize {
+			return heal(off, "implausible record length")
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return 0, 0, err
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return heal(off, "crc mismatch")
+		}
+		var b wire.OpBatch
+		if err := json.Unmarshal(payload, &b); err != nil {
+			// The CRC matched, so this was durably written as-is: disk
+			// rot or a writer bug, not a torn tail. But at the very tail
+			// it is still safest (and lossless for acked writes) to heal.
+			return heal(off, "undecodable payload")
+		}
+		if b.LSN != lastLSN+1 {
+			return 0, 0, fmt.Errorf("lsn gap: %d follows %d", b.LSN, lastLSN)
+		}
+		lastLSN = b.LSN
+		off += frameHeaderSize + int64(length)
+	}
+	return lastLSN, 0, nil
+}
+
+// LastLSN is the LSN of the last record in the log (appended or
+// recovered); 0 for an empty log.
+func (l *Log) LastLSN() uint64 { return l.lastLSN }
+
+// SetBase positions a record-less log so the next Append is assigned
+// base+1: the recovery path for a data directory whose snapshot covers
+// LSNs the (fresh or fully pruned) log never saw. It refuses on a log
+// holding records or an anchored empty segment — their position is
+// already determined by their contents.
+func (l *Log) SetBase(base uint64) error {
+	if l.lastLSN != 0 || l.stats.Appends != 0 || l.f != nil {
+		return errors.New("wal: SetBase on a non-empty log")
+	}
+	l.lastLSN = base
+	return nil
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	s := l.stats
+	return s
+}
+
+// Append frames and writes one batch at the end of the active segment.
+// The batch's LSN must be exactly LastLSN()+1 — the log owns contiguity.
+// The write lands in the OS page cache; call Sync to make it durable.
+func (l *Log) Append(b wire.OpBatch) error {
+	if b.LSN != l.lastLSN+1 {
+		return fmt.Errorf("wal: append lsn %d, want %d", b.LSN, l.lastLSN+1)
+	}
+	if l.f == nil {
+		if err := l.startSegment(b.LSN); err != nil {
+			return err
+		}
+	}
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameHeaderSize:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	l.lastLSN = b.LSN
+	l.dirty = true
+	l.stats.Appends++
+	l.stats.Bytes += uint64(len(buf))
+	return nil
+}
+
+// startSegment creates a fresh segment whose first record will be
+// firstLSN, writes the magic, and makes it the active segment.
+func (l *Log) startSegment(firstLSN uint64) error {
+	path := filepath.Join(l.dir, segName(firstLSN))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(magic); err != nil {
+		f.Close()
+		return err
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f, l.path = f, path
+	l.stats.Segments++
+	return nil
+}
+
+// Sync fsyncs the active segment if it has unsynced appends. After Sync
+// returns nil, every appended batch survives a crash.
+func (l *Log) Sync() error {
+	if !l.dirty || l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.stats.Syncs++
+	return nil
+}
+
+// Rotate syncs and closes the active segment so the next Append starts a
+// fresh one. Called after a checkpoint: segments wholly below the
+// snapshot watermark become prunable by name.
+func (l *Log) Rotate() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.f, l.path = nil, ""
+	return nil
+}
+
+// Prune removes segments whose every record has LSN <= watermark — i.e.
+// segments followed by another segment whose first-LSN is <= watermark+1.
+// The active segment is never pruned. Returns the removed file count.
+func (l *Log) Prune(watermark uint64) (int, error) {
+	names, err := segments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, name := range names {
+		if filepath.Join(l.dir, name) == l.path {
+			continue
+		}
+		// The segment's records end where the next segment begins.
+		if i+1 >= len(names) {
+			continue // last segment: its tail may exceed the watermark
+		}
+		next, _ := parseSegName(names[i+1])
+		if next == 0 || next-1 > watermark {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+			return removed, err
+		}
+		removed++
+		l.stats.Segments--
+	}
+	return removed, nil
+}
+
+// Replay streams every batch with LSN > after, in order, to fn. Segments
+// whose name proves they end at or below after are skipped without
+// reading. fn returning an error stops the replay.
+func Replay(dir string, after uint64, fn func(wire.OpBatch) error) error {
+	names, err := segments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	// Skip segments that end before `after+1`: segment i ends where
+	// segment i+1 begins.
+	start := 0
+	for i := 0; i+1 < len(names); i++ {
+		next, _ := parseSegName(names[i+1])
+		if next != 0 && next <= after+1 {
+			start = i + 1
+		}
+	}
+	for _, name := range names[start:] {
+		if err := replaySegment(filepath.Join(dir, name), after, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment streams one segment's batches with LSN > after to fn.
+// The segment is assumed healed (Open ran first); a bad frame here is
+// ErrCorrupt.
+func replaySegment(path string, after uint64, fn func(wire.OpBatch) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil // healed-to-empty segment
+		}
+		return err
+	}
+	if string(hdr) != magic {
+		return fmt.Errorf("%w: %s: bad magic", ErrCorrupt, filepath.Base(path))
+	}
+	frame := make([]byte, frameHeaderSize)
+	for {
+		if _, err := io.ReadFull(f, frame); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("%w: %s: torn frame in replay", ErrCorrupt, filepath.Base(path))
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		crc := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxRecordSize {
+			return fmt.Errorf("%w: %s: implausible record length %d", ErrCorrupt, filepath.Base(path), length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return fmt.Errorf("%w: %s: short payload", ErrCorrupt, filepath.Base(path))
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return fmt.Errorf("%w: %s: crc mismatch", ErrCorrupt, filepath.Base(path))
+		}
+		var b wire.OpBatch
+		if err := json.Unmarshal(payload, &b); err != nil {
+			return fmt.Errorf("%w: %s: undecodable payload: %v", ErrCorrupt, filepath.Base(path), err)
+		}
+		if b.LSN <= after {
+			continue
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

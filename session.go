@@ -1,10 +1,10 @@
 package trustmap
 
-// Session keeps a compiled bulk-resolution artifact live across network
+// session keeps a compiled bulk-resolution artifact live across network
 // mutations: the compile -> resolve many -> mutate -> incremental re-plan
 // lifecycle the paper's community-database setting implies (Sections 2.5
-// and 4). BulkResolve/BulkResolveWith recompile the engine artifact on
-// every call; a Session compiles once and then folds each mutation into
+// and 4). BulkResolve/bulkResolveWith recompile the engine artifact on
+// every call; a session compiles once and then folds each mutation into
 // the artifact through the engine's delta path (engine.Apply), paying for
 // the dirty region instead of the whole network.
 //
@@ -18,7 +18,7 @@ package trustmap
 //
 // # Concurrency
 //
-// A Session is safe for concurrent use: any number of goroutines may
+// A session is safe for concurrent use: any number of goroutines may
 // resolve while others mutate. Serving is epoch-based (internal/serve):
 // every publication — the initial compile and each mutation — freezes an
 // immutable snapshot (the compiled artifact plus the name/root tables a
@@ -50,8 +50,8 @@ import (
 	"trustmap/internal/tn"
 )
 
-// SessionOptions configures NewSession.
-type SessionOptions struct {
+// sessionOptions configures newSession.
+type sessionOptions struct {
 	// Workers is the worker-pool size for resolves. Zero means GOMAXPROCS.
 	Workers int
 	// ExtraRoots names users whose beliefs vary per object even though the
@@ -119,14 +119,20 @@ func (snap *sessionSnap) engineStats() engine.Stats {
 	return e.st
 }
 
-// Session serves resolutions from a compiled artifact that is maintained
+// session serves resolutions from a compiled artifact that is maintained
 // incrementally across mutations and published in epochs. Create with
-// Network.NewSession. Safe for concurrent use: resolves are lock-free
+// Network.newSession. Safe for concurrent use: resolves are lock-free
 // against the current epoch, mutations are serialized internally.
-type Session struct {
+type session struct {
 	workers  int
 	maxDirty float64
 	noDedup  bool
+
+	// lsnFn, when set (by the durable Store), supplies the WAL log
+	// sequence number each publication is tagged with: a lower bound on
+	// the log position the published epoch reflects. Must be safe to call
+	// without locks (an atomic load).
+	lsnFn func() uint64
 
 	pub *serve.Publisher[*sessionSnap]
 
@@ -161,17 +167,17 @@ type Session struct {
 	lastSnap    *sessionSnap // previous publication, for O(1) reuse of unchanged tables
 }
 
-// NewSession validates and compiles the network once and returns a handle
+// newSession validates and compiles the network once and returns a handle
 // that keeps the compiled artifact live across mutations. Mutate through
 // the session's methods to stay on the incremental path; mutating the
 // Network directly is detected and handled by a full rebuild at the next
 // session operation, but is not safe concurrently with session use.
 //
-// Deprecated: use Network.NewStore. A Store wraps a Session and adds the
-// object table, per-object result caching, and streaming reads; Session
+// Deprecated: use Network.NewStore. A Store wraps a session and adds the
+// object table, per-object result caching, and streaming reads; session
 // remains supported as the engine room underneath.
-func (n *Network) NewSession(opts SessionOptions) (*Session, error) {
-	s := &Session{
+func (n *Network) newSession(opts sessionOptions) (*session, error) {
+	s := &session{
 		net:      n,
 		workers:  opts.Workers,
 		maxDirty: opts.MaxDirtyFraction,
@@ -190,8 +196,8 @@ func (n *Network) NewSession(opts SessionOptions) (*Session, error) {
 
 // rebuild re-binarizes and recompiles from scratch: the fallback for
 // structural mutations the incremental translation does not cover.
-// Callers hold mu (or, in NewSession, exclusive ownership).
-func (s *Session) rebuild() error {
+// Callers hold mu (or, in newSession, exclusive ownership).
+func (s *session) rebuild() error {
 	if err := s.net.Validate(); err != nil {
 		return err
 	}
@@ -232,7 +238,7 @@ func (s *Session) rebuild() error {
 // array is append-only below its published length), rootNode and defaults
 // while no belief changed (rootsDirty), and the lazy engine-summary
 // holder while the artifact pointer is unchanged (value-only updates).
-func (s *Session) snapLocked() *sessionSnap {
+func (s *session) snapLocked() *sessionSnap {
 	// Derive the artifact's root supports now, under the writer lock: a
 	// freshly compiled artifact derives them lazily by reading the live
 	// binarized network, which a reader's first resolve would race.
@@ -295,21 +301,57 @@ func sameBacking(a, b []int) bool {
 // surfaces the error; the session stays marked for rebuild, so a later
 // operation retries. No-op publications (nothing changed since the
 // current epoch) are skipped.
-func (s *Session) publishLocked() error {
+func (s *session) publishLocked() error {
 	if err := s.flushLocked(); err != nil {
 		s.pubStale.Store(true) // the epoch lags the session state; readers retry
 		return err
 	}
 	if prev := s.lastSnap; prev == nil || prev.version != s.net.inner.Version() || prev.comp != s.comp {
-		s.pub.Publish(s.snapLocked())
+		s.pub.PublishTagged(s.snapLocked(), s.pubTag())
 	}
 	s.pubStale.Store(false)
 	return nil
 }
 
+// pubTag is the tag the next publication carries: the durable store's
+// logged LSN, or 0 when the session is not durability-backed.
+func (s *session) pubTag() uint64 {
+	if s.lsnFn == nil {
+		return 0
+	}
+	return s.lsnFn()
+}
+
+// rebase raises the epoch numbering to at least seq and publishes a
+// fresh epoch at the new height. The durable store calls it once after
+// recovery: replay may publish fewer epochs than the pre-crash run did
+// (batching), and clients hold pre-crash epoch numbers as
+// read-your-writes bounds, so the post-restart numbering must continue
+// — never restart below — the pre-crash one.
+func (s *session) rebase(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pub.Rebase(seq)
+	s.pub.PublishTagged(s.snapLocked(), s.pubTag())
+}
+
+// extraRootNames returns the names of the session's extra roots —
+// declared via options or registered by object mentions — in
+// registration order. The durable store persists them so a recovered
+// plan has the same root set.
+func (s *session) extraRootNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.extraRoots))
+	for _, x := range s.extraRoots {
+		names = append(names, s.net.inner.Name(x))
+	}
+	return names
+}
+
 // Stats returns the session's maintenance counters as of the currently
 // published epoch, plus the live epoch-reclamation counter.
-func (s *Session) Stats() SessionStats {
+func (s *session) Stats() SessionStats {
 	e := s.pub.Acquire()
 	defer e.Release()
 	st := e.Value().stats
@@ -320,7 +362,7 @@ func (s *Session) Stats() SessionStats {
 
 // EngineStats summarizes the compiled artifact of the currently published
 // epoch.
-func (s *Session) EngineStats() engine.Stats {
+func (s *session) EngineStats() engine.Stats {
 	e := s.pub.Acquire()
 	defer e.Release()
 	return e.Value().engineStats()
@@ -330,7 +372,7 @@ func (s *Session) EngineStats() engine.Stats {
 // pinned epoch: unlike calling Stats and EngineStats back to back, the
 // two cannot straddle a publication. For monitoring endpoints that key
 // both on the epoch number.
-func (s *Session) EpochStats() (SessionStats, engine.Stats) {
+func (s *session) EpochStats() (SessionStats, engine.Stats) {
 	e := s.pub.Acquire()
 	defer e.Release()
 	snap := e.Value()
@@ -343,7 +385,7 @@ func (s *Session) EpochStats() (SessionStats, engine.Stats) {
 // Epoch returns the sequence number of the currently published epoch. It
 // increases by one per publication (every effective mutation, batch, or
 // refresh).
-func (s *Session) Epoch() uint64 { return s.pub.Seq() }
+func (s *session) Epoch() uint64 { return s.pub.Seq() }
 
 // Refresh folds mutations made directly on the underlying Network (not
 // through the session) into a fresh epoch. Resolves call it implicitly
@@ -351,7 +393,7 @@ func (s *Session) Epoch() uint64 { return s.pub.Seq() }
 // rebuild to happen at a time of their choosing. Not safe concurrently
 // with direct Network mutation — sequence external mutations and Refresh
 // on one goroutine.
-func (s *Session) Refresh() error {
+func (s *session) Refresh() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.syncCheck()
@@ -360,14 +402,14 @@ func (s *Session) Refresh() error {
 
 // syncCheck marks the session stale when the underlying network was
 // mutated outside the session since the last operation. Callers hold mu.
-func (s *Session) syncCheck() {
+func (s *session) syncCheck() {
 	if s.net.inner.Version() != s.version.Load() {
 		s.needRebuild = true
 	}
 }
 
 // binID maps an original user ID to its binarized node.
-func (s *Session) binID(x int) int {
+func (s *session) binID(x int) int {
 	if x < len(s.binIDs) {
 		return s.binIDs[x]
 	}
@@ -378,7 +420,7 @@ func (s *Session) binID(x int) int {
 // priority, like Network.AddTrust, and publishes the updated artifact.
 // Unlike the facade it rejects self-trust and duplicate mappings
 // immediately instead of at the next validation.
-func (s *Session) AddTrust(truster, trusted string, priority int) error {
+func (s *session) AddTrust(truster, trusted string, priority int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.addTrustLocked(truster, trusted, priority); err != nil {
@@ -387,7 +429,7 @@ func (s *Session) AddTrust(truster, trusted string, priority int) error {
 	return s.publishLocked()
 }
 
-func (s *Session) addTrustLocked(truster, trusted string, priority int) error {
+func (s *session) addTrustLocked(truster, trusted string, priority int) error {
 	s.syncCheck()
 	if truster == trusted {
 		return fmt.Errorf("trustmap: user %q cannot trust itself", truster)
@@ -448,7 +490,7 @@ func (s *Session) addTrustLocked(truster, trusted string, priority int) error {
 // publishes the updated artifact. It reports whether the mapping existed;
 // the error carries a failed publication (which the next operation also
 // retries).
-func (s *Session) RemoveTrust(truster, trusted string) (bool, error) {
+func (s *session) RemoveTrust(truster, trusted string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ok := s.removeTrustLocked(truster, trusted)
@@ -458,7 +500,7 @@ func (s *Session) RemoveTrust(truster, trusted string) (bool, error) {
 	return true, s.publishLocked()
 }
 
-func (s *Session) removeTrustLocked(truster, trusted string) bool {
+func (s *session) removeTrustLocked(truster, trusted string) bool {
 	s.syncCheck()
 	t, z := s.net.inner.UserID(truster), s.net.inner.UserID(trusted)
 	if t < 0 || z < 0 {
@@ -499,7 +541,7 @@ func (s *Session) removeTrustLocked(truster, trusted string) bool {
 // UpdateTrust changes the priority of truster -> trusted, like
 // Network.UpdateTrust, and publishes the updated artifact. It reports
 // whether the mapping existed; the error carries a failed publication.
-func (s *Session) UpdateTrust(truster, trusted string, priority int) (bool, error) {
+func (s *session) UpdateTrust(truster, trusted string, priority int) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ok := s.updateTrustLocked(truster, trusted, priority)
@@ -509,7 +551,7 @@ func (s *Session) UpdateTrust(truster, trusted string, priority int) (bool, erro
 	return true, s.publishLocked()
 }
 
-func (s *Session) updateTrustLocked(truster, trusted string, priority int) bool {
+func (s *session) updateTrustLocked(truster, trusted string, priority int) bool {
 	s.syncCheck()
 	t, z := s.net.inner.UserID(truster), s.net.inner.UserID(trusted)
 	if t < 0 || z < 0 {
@@ -551,7 +593,7 @@ func (s *Session) updateTrustLocked(truster, trusted string, priority int) bool 
 // publishes the updated artifact. A value update on an existing belief is
 // free for the plan: the resolution plan is belief-value-independent, so
 // the new epoch shares the compiled artifact and only swaps the defaults.
-func (s *Session) SetBelief(user, value string) error {
+func (s *session) SetBelief(user, value string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.setBeliefLocked(user, value); err != nil {
@@ -560,7 +602,7 @@ func (s *Session) SetBelief(user, value string) error {
 	return s.publishLocked()
 }
 
-func (s *Session) setBeliefLocked(user, value string) error {
+func (s *session) setBeliefLocked(user, value string) error {
 	s.syncCheck()
 	if value == "" {
 		return fmt.Errorf("trustmap: empty value; use RemoveBelief to revoke")
@@ -595,14 +637,14 @@ func (s *Session) setBeliefLocked(user, value string) error {
 // RemoveBelief revokes the user's explicit belief, like
 // Network.RemoveBelief, and publishes the updated artifact. Revoking an
 // absent belief is a no-op; the error carries a failed publication.
-func (s *Session) RemoveBelief(user string) error {
+func (s *session) RemoveBelief(user string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.removeBeliefLocked(user)
 	return s.publishLocked()
 }
 
-func (s *Session) removeBeliefLocked(user string) {
+func (s *session) removeBeliefLocked(user string) {
 	s.syncCheck()
 	x := s.net.inner.UserID(user)
 	if x < 0 || !s.net.inner.HasExplicit(x) {
@@ -641,41 +683,41 @@ func (s *Session) removeBeliefLocked(user string) {
 	}
 }
 
-// SessionTx applies several mutations as one batch inside Session.Update.
+// sessionTx applies several mutations as one batch inside session.Update.
 // Its methods mirror the session's mutation methods but defer publication
 // to the end of the batch.
-type SessionTx struct {
-	s *Session
+type sessionTx struct {
+	s *session
 }
 
-// AddTrust is Session.AddTrust without the per-mutation publication.
-func (tx *SessionTx) AddTrust(truster, trusted string, priority int) error {
+// AddTrust is session.AddTrust without the per-mutation publication.
+func (tx *sessionTx) AddTrust(truster, trusted string, priority int) error {
 	return tx.s.addTrustLocked(truster, trusted, priority)
 }
 
-// RemoveTrust is Session.RemoveTrust without the per-mutation publication.
+// RemoveTrust is session.RemoveTrust without the per-mutation publication.
 // The error mirrors the session method's shape; inside a batch it is
 // always nil (publication errors surface from Update itself).
-func (tx *SessionTx) RemoveTrust(truster, trusted string) (bool, error) {
+func (tx *sessionTx) RemoveTrust(truster, trusted string) (bool, error) {
 	return tx.s.removeTrustLocked(truster, trusted), nil
 }
 
-// UpdateTrust is Session.UpdateTrust without the per-mutation publication.
+// UpdateTrust is session.UpdateTrust without the per-mutation publication.
 // The error mirrors the session method's shape; inside a batch it is
 // always nil (publication errors surface from Update itself).
-func (tx *SessionTx) UpdateTrust(truster, trusted string, priority int) (bool, error) {
+func (tx *sessionTx) UpdateTrust(truster, trusted string, priority int) (bool, error) {
 	return tx.s.updateTrustLocked(truster, trusted, priority), nil
 }
 
-// SetBelief is Session.SetBelief without the per-mutation publication.
-func (tx *SessionTx) SetBelief(user, value string) error {
+// SetBelief is session.SetBelief without the per-mutation publication.
+func (tx *sessionTx) SetBelief(user, value string) error {
 	return tx.s.setBeliefLocked(user, value)
 }
 
-// RemoveBelief is Session.RemoveBelief without the per-mutation
+// RemoveBelief is session.RemoveBelief without the per-mutation
 // publication. The error mirrors the session method's shape; inside a
 // batch it is always nil.
-func (tx *SessionTx) RemoveBelief(user string) error {
+func (tx *sessionTx) RemoveBelief(user string) error {
 	tx.s.removeBeliefLocked(user)
 	return nil
 }
@@ -687,10 +729,10 @@ func (tx *SessionTx) RemoveBelief(user string) error {
 // the error are published (the facade has no transactional undo); fn
 // should treat errors from tx methods the way it would treat them from
 // the session's own methods. tx must not be used after fn returns.
-func (s *Session) Update(fn func(tx *SessionTx) error) (err error) {
+func (s *session) Update(fn func(tx *sessionTx) error) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tx := &SessionTx{s: s}
+	tx := &sessionTx{s: s}
 	// Publish in a defer so a panic in fn still publishes the applied
 	// prefix while unwinding: otherwise a recovered panic (net/http
 	// recovers handler panics) would leave the version counters in sync
@@ -708,7 +750,7 @@ func (s *Session) Update(fn func(tx *SessionTx) error) (err error) {
 // hoistBelief moves x's explicit belief onto a fresh helper root wired
 // above x's existing sole parent, mirroring Binarize's step 1: the helper
 // takes priority 2 and the real parent priority 1.
-func (s *Session) hoistBelief(x int) {
+func (s *session) hoistBelief(x int) {
 	bx := s.binID(x)
 	v := s.net.inner.Explicit(x)
 	if v == tn.NoValue {
@@ -728,7 +770,7 @@ func (s *Session) hoistBelief(x int) {
 // ensureBinUser registers a user created after compilation in the
 // binarized twin. Original and binarized IDs diverge from here on; binIDs
 // carries the mapping.
-func (s *Session) ensureBinUser(name string, x int) {
+func (s *session) ensureBinUser(name string, x int) {
 	for len(s.binIDs) <= x {
 		s.binIDs = append(s.binIDs, -1)
 	}
@@ -737,14 +779,14 @@ func (s *Session) ensureBinUser(name string, x int) {
 	}
 }
 
-func (s *Session) isExtraRoot(x int) bool {
+func (s *session) isExtraRoot(x int) bool {
 	_, ok := s.extraSet[x]
 	return ok
 }
 
 // addExtraRootLocked records x as an extra root (idempotent). Callers
-// hold mu (or, in NewSession, exclusive ownership).
-func (s *Session) addExtraRootLocked(x int) {
+// hold mu (or, in newSession, exclusive ownership).
+func (s *session) addExtraRootLocked(x int) {
 	if _, ok := s.extraSet[x]; ok {
 		return
 	}
@@ -755,7 +797,7 @@ func (s *Session) addExtraRootLocked(x int) {
 // flushLocked folds pending binarized mutations into the compiled
 // artifact — rebuilding from scratch when a structural mutation or an
 // out-of-session change demands it. Callers hold mu.
-func (s *Session) flushLocked() error {
+func (s *session) flushLocked() error {
 	s.syncCheck()
 	if s.needRebuild {
 		return s.rebuild()
@@ -793,7 +835,7 @@ func (s *Session) flushLocked() error {
 // leaves the counters apart, and only then does the read upgrade to a
 // writer, rebuild, and publish first — preserving the sequential
 // out-of-session contract.
-func (s *Session) snapshot() (*serve.Epoch[*sessionSnap], error) {
+func (s *session) snapshot() (*serve.Epoch[*sessionSnap], error) {
 	if s.net.inner.Version() != s.version.Load() || s.pubStale.Load() {
 		if err := s.Refresh(); err != nil {
 			return nil, err
@@ -809,7 +851,7 @@ func (s *Session) snapshot() (*serve.Epoch[*sessionSnap], error) {
 // object. Safe to call from any number of goroutines; the whole call is
 // served by one epoch, and the returned resolution stays valid after the
 // epoch is superseded.
-func (s *Session) BulkResolve(ctx context.Context, objects map[string]map[string]string) (*BulkResolution, error) {
+func (s *session) BulkResolve(ctx context.Context, objects map[string]map[string]string) (*BulkResolution, error) {
 	e, err := s.snapshot()
 	if err != nil {
 		return nil, err
@@ -819,7 +861,7 @@ func (s *Session) BulkResolve(ctx context.Context, objects map[string]map[string
 }
 
 // resolveSnap resolves objects against one pinned session epoch: the body
-// shared by Session.BulkResolve and the Store's cached and streaming read
+// shared by session.BulkResolve and the Store's cached and streaming read
 // paths (which pin one epoch across several batches).
 func resolveSnap(ctx context.Context, e *serve.Epoch[*sessionSnap], objects map[string]map[string]string, workers int, noDedup bool) (*BulkResolution, error) {
 	snap := e.Value()
@@ -862,12 +904,12 @@ func resolveSnap(ctx context.Context, e *serve.Epoch[*sessionSnap], objects map[
 }
 
 // addObjectRoots registers users whose beliefs will vary per object after
-// compilation, like SessionOptions.ExtraRoots but on a live session: the
+// compilation, like sessionOptions.ExtraRoots but on a live session: the
 // Store's PutBelief/PutObject path. Users that are already roots (declared
 // extras or belief holders) only gain the extra-root protection — their
 // carrier survives a later RemoveBelief — without a replan; genuinely new
 // roots change the plan and publish a rebuilt epoch.
-func (s *Session) addObjectRoots(names ...string) error {
+func (s *session) addObjectRoots(names ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.syncCheck()
@@ -890,7 +932,7 @@ func (s *Session) addObjectRoots(names ...string) error {
 	return nil
 }
 
-// ObjectResolution is the single-object view returned by Session.Resolve.
+// ObjectResolution is the single-object view returned by session.Resolve.
 type ObjectResolution struct {
 	bulk *BulkResolution
 }
@@ -898,7 +940,7 @@ type ObjectResolution struct {
 // Resolve resolves one object's root beliefs against the currently
 // published epoch: the mutate-then-resolve fast path. beliefs may be nil
 // when every root has a network-level belief.
-func (s *Session) Resolve(ctx context.Context, beliefs map[string]string) (*ObjectResolution, error) {
+func (s *session) Resolve(ctx context.Context, beliefs map[string]string) (*ObjectResolution, error) {
 	r, err := s.BulkResolve(ctx, map[string]map[string]string{"object": beliefs})
 	if err != nil {
 		return nil, err

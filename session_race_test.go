@@ -1,7 +1,7 @@
 package trustmap
 
 // Concurrency integration tests for epoch-served sessions. Before the
-// epoch layer, Session was documented single-goroutine: Apply spliced the
+// epoch layer, session was documented single-goroutine: Apply spliced the
 // CSR tables in place underneath readers, so BulkResolve racing AddTrust
 // could observe torn state. These tests are the regression bound for that
 // caveat — they run under `make race` in CI and must stay race-clean.
@@ -28,7 +28,7 @@ func TestSessionConcurrentReadWriteEpochConsistency(t *testing.T) {
 	n.AddTrust("relay", "rootOne", 10)
 	n.AddTrust("chainB", "relay", 10)
 	n.AddTrust("chainC", "chainB", 10)
-	s, err := n.NewSession(SessionOptions{Workers: 1, MaxDirtyFraction: 1})
+	s, err := n.newSession(sessionOptions{Workers: 1, MaxDirtyFraction: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestSessionConcurrentReadWriteEpochConsistency(t *testing.T) {
 			if i%2 == 1 {
 				from, to = to, from
 			}
-			err := s.Update(func(tx *SessionTx) error {
+			err := s.Update(func(tx *sessionTx) error {
 				if ok, _ := tx.RemoveTrust("relay", from); !ok {
 					return fmt.Errorf("batch %d: edge relay->%s missing", i, from)
 				}
@@ -120,7 +120,7 @@ func TestSessionConcurrentMutateResolveRegression(t *testing.T) {
 	n := New()
 	n.SetBelief("hub", "v")
 	n.AddTrust("spoke", "hub", 5)
-	s, err := n.NewSession(SessionOptions{Workers: 1})
+	s, err := n.newSession(sessionOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

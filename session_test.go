@@ -45,15 +45,15 @@ func sessionObjects(rng *rand.Rand, roots []string, count int) map[string]map[st
 }
 
 // assertSessionMatchesFresh compares the session's bulk resolution with a
-// from-scratch BulkResolveWith on the same network and objects, for every
+// from-scratch bulkResolveWith on the same network and objects, for every
 // user and object.
-func assertSessionMatchesFresh(t *testing.T, label string, n *Network, s *Session, objects map[string]map[string]string) {
+func assertSessionMatchesFresh(t *testing.T, label string, n *Network, s *session, objects map[string]map[string]string) {
 	t.Helper()
 	got, err := s.BulkResolve(context.Background(), objects)
 	if err != nil {
 		t.Fatalf("%s: session resolve: %v", label, err)
 	}
-	want, err := n.BulkResolveWith(context.Background(), objects, BulkOptions{Workers: 2})
+	want, err := n.bulkResolveWith(context.Background(), objects, bulkOptions{Workers: 2})
 	if err != nil {
 		t.Fatalf("%s: fresh resolve: %v", label, err)
 	}
@@ -90,7 +90,7 @@ func TestSessionLifecycle(t *testing.T) {
 	n.SetBelief("carol", "knot")
 	// MaxDirtyFraction 1 keeps even this tiny demo network on the
 	// incremental path (the default threshold would recompile it whole).
-	s, err := n.NewSession(SessionOptions{Workers: 2, MaxDirtyFraction: 1})
+	s, err := n.newSession(sessionOptions{Workers: 2, MaxDirtyFraction: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestSessionLifecycle(t *testing.T) {
 // TestSessionRandomizedParityWithFresh is the heavyweight translation
 // check: random facade networks (non-binary, cascades, hoisting) mutated
 // through the session must resolve identically to a from-scratch
-// BulkResolveWith at every checkpoint.
+// bulkResolveWith at every checkpoint.
 func TestSessionRandomizedParityWithFresh(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		seed := seed
@@ -156,7 +156,7 @@ func TestSessionRandomizedParityWithFresh(t *testing.T) {
 			}
 			n.SetBelief(name(rng.Intn(nUsers)), "v0")
 			extras := []string{name(rng.Intn(nUsers))}
-			s, err := n.NewSession(SessionOptions{Workers: 1 + rng.Intn(4), ExtraRoots: extras})
+			s, err := n.newSession(sessionOptions{Workers: 1 + rng.Intn(4), ExtraRoots: extras})
 			if err != nil {
 				// Random graphs can violate Validate (duplicate trust from
 				// the generator); skip those seeds.
@@ -203,7 +203,7 @@ func TestSessionGrowsUsers(t *testing.T) {
 	n := New()
 	n.AddTrust("reader", "curatorA", 10) // curatorA gets a hoisted helper
 	n.SetBelief("curatorA", "fish")
-	s, err := n.NewSession(SessionOptions{})
+	s, err := n.newSession(sessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestSessionExternalMutationTriggersRebuild(t *testing.T) {
 	n := New()
 	n.AddTrust("a", "b", 10)
 	n.SetBelief("b", "v1")
-	s, err := n.NewSession(SessionOptions{})
+	s, err := n.newSession(sessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestSessionValueOnlyUpdateIsFree(t *testing.T) {
 	n := New()
 	n.AddTrust("a", "b", 10)
 	n.SetBelief("b", "v1")
-	s, err := n.NewSession(SessionOptions{})
+	s, err := n.newSession(sessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestSessionRejectsMisuse(t *testing.T) {
 	n := New()
 	n.AddTrust("a", "b", 10)
 	n.SetBelief("b", "v")
-	s, err := n.NewSession(SessionOptions{})
+	s, err := n.newSession(sessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,9 +320,9 @@ func TestBulkResolutionLookupSentinels(t *testing.T) {
 	n.AddTrust("alice", "bob", 100)
 	n.SetBelief("bob", "fish")
 	for _, useSQL := range []bool{false, true} {
-		r, err := n.BulkResolveWith(context.Background(), map[string]map[string]string{
+		r, err := n.bulkResolveWith(context.Background(), map[string]map[string]string{
 			"obj1": {"bob": "fish"},
-		}, BulkOptions{UseSQL: useSQL})
+		}, bulkOptions{UseSQL: useSQL})
 		if err != nil {
 			t.Fatal(err)
 		}

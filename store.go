@@ -5,7 +5,7 @@ package trustmap
 // database (Section 4), where the old API treated objects as a transient
 // map threaded through every BulkResolve call.
 //
-// A Store wraps an epoch-published Session (internal/serve underneath):
+// A Store wraps an epoch-published session (internal/serve underneath):
 // reads pin the currently published snapshot lock-free, trust mutations
 // build the next epoch off to the side and swap it in atomically, and the
 // compiled resolution artifact is maintained incrementally across
@@ -46,39 +46,40 @@ import (
 	"sync"
 
 	"trustmap/internal/engine"
+	"trustmap/wire"
 )
 
-// storeConfig collects the functional options of NewStore, replacing the
-// BulkOptions/SessionOptions structs of the v1 API.
+// storeConfig collects the functional options of NewStore and OpenStore.
 type storeConfig struct {
 	workers    int
 	noDedup    bool
 	maxDirty   float64
 	extraRoots []string
+	durability DurabilityMode
 }
 
-// Option configures NewStore.
-type Option func(*storeConfig)
+// StoreOption configures NewStore and OpenStore.
+type StoreOption func(*storeConfig)
 
 // WithWorkers sets the worker-pool size for resolves. Zero or negative
 // means GOMAXPROCS.
-func WithWorkers(n int) Option { return func(c *storeConfig) { c.workers = n } }
+func WithWorkers(n int) StoreOption { return func(c *storeConfig) { c.workers = n } }
 
 // WithDedup enables or disables signature deduplication for the store's
 // resolves. The default (enabled) resolves objects sharing one
 // root-assignment signature once per artifact generation.
-func WithDedup(enabled bool) Option { return func(c *storeConfig) { c.noDedup = !enabled } }
+func WithDedup(enabled bool) StoreOption { return func(c *storeConfig) { c.noDedup = !enabled } }
 
 // WithMaxDirtyFraction sets the dirty-region share above which a trust
 // mutation recompiles the resolution plan from scratch instead of
 // splicing incrementally (0 = engine default).
-func WithMaxDirtyFraction(f float64) Option { return func(c *storeConfig) { c.maxDirty = f } }
+func WithMaxDirtyFraction(f float64) StoreOption { return func(c *storeConfig) { c.maxDirty = f } }
 
 // WithExtraRoots pre-declares users whose beliefs vary per object even
 // though no object mentions them yet. PutBelief and PutObject register
 // the users they mention automatically; the option avoids a replan when
 // the first mention arrives after heavy traffic started.
-func WithExtraRoots(users ...string) Option {
+func WithExtraRoots(users ...string) StoreOption {
 	return func(c *storeConfig) { c.extraRoots = append(c.extraRoots, users...) }
 }
 
@@ -101,7 +102,12 @@ type storeCached struct {
 // an existing facade network). Safe for concurrent use.
 type Store struct {
 	net  *Network
-	sess *Session
+	sess *session
+
+	// dur is the persistence side (durable.go): nil for in-memory stores
+	// (NewStore), the open WAL + snapshot machinery for OpenStore. When
+	// set, every mutator runs apply-then-log inside dur.mu.
+	dur *durable
 
 	mu      sync.RWMutex
 	objects map[string]map[string]string // object -> user -> value; value maps are copy-on-write
@@ -111,23 +117,30 @@ type Store struct {
 	misses  uint64 // reads that re-resolved
 }
 
-// NewStore returns an empty store: no users, no trust, no objects. Build
-// state through the mutators.
-func NewStore(opts ...Option) (*Store, error) {
+// NewStore returns an empty in-memory store: no users, no trust, no
+// objects, no persistence. Build state through the mutators; use
+// OpenStore for a store that survives restarts.
+func NewStore(opts ...StoreOption) (*Store, error) {
 	return New().NewStore(opts...)
 }
 
 // NewStore adopts the network as the store's trust network and compiles
-// it: the adapter from the v1 construction API. The network must not be
+// it: the adapter from the construction API. The network must not be
 // mutated directly afterwards while the store is in use from several
 // goroutines (sequential direct mutation remains supported and is
 // detected, exactly as for sessions).
-func (n *Network) NewStore(opts ...Option) (*Store, error) {
+func (n *Network) NewStore(opts ...StoreOption) (*Store, error) {
 	var c storeConfig
 	for _, o := range opts {
 		o(&c)
 	}
-	s, err := n.NewSession(SessionOptions{
+	return newStore(n, c)
+}
+
+// newStore builds the in-memory store for a resolved config: the shared
+// body of NewStore and OpenStore (which layers durability on afterwards).
+func newStore(n *Network, c storeConfig) (*Store, error) {
+	s, err := n.newSession(sessionOptions{
 		Workers:          c.workers,
 		ExtraRoots:       c.extraRoots,
 		MaxDirtyFraction: c.maxDirty,
@@ -165,7 +178,19 @@ func (s *Store) SetTrust(ctx context.Context, truster, trusted string, priority 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return s.sess.Update(func(tx *SessionTx) error {
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	if err := s.applySetTrust(truster, trusted, priority); err != nil {
+		return err
+	}
+	return s.logMutation(wire.Op{Op: wire.OpSetTrust, Truster: truster, Trusted: trusted, Priority: priority})
+}
+
+func (s *Store) applySetTrust(truster, trusted string, priority int) error {
+	return s.sess.Update(func(tx *sessionTx) error {
 		if ok, err := tx.UpdateTrust(truster, trusted, priority); err != nil || ok {
 			return err
 		}
@@ -179,7 +204,16 @@ func (s *Store) RemoveTrust(ctx context.Context, truster, trusted string) (bool,
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
-	return s.sess.RemoveTrust(truster, trusted)
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return false, err
+	}
+	defer unlock()
+	ok, err := s.sess.RemoveTrust(truster, trusted)
+	if err != nil || !ok {
+		return ok, err
+	}
+	return true, s.logMutation(wire.Op{Op: wire.OpRemoveTrust, Truster: truster, Trusted: trusted})
 }
 
 // SetDefault states user's network-level belief: the value every object
@@ -188,7 +222,15 @@ func (s *Store) SetDefault(ctx context.Context, user, value string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return s.sess.SetBelief(user, value)
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	if err := s.sess.SetBelief(user, value); err != nil {
+		return err
+	}
+	return s.logMutation(wire.Op{Op: wire.OpSetBelief, User: user, Value: value})
 }
 
 // DeleteDefault revokes user's network-level belief. A user mentioned by
@@ -198,54 +240,137 @@ func (s *Store) DeleteDefault(ctx context.Context, user string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return s.sess.RemoveBelief(user)
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	// Revoking an absent belief is a no-op and must not consume an LSN:
+	// the WAL holds exactly the effective mutation history. The existence
+	// probe is safe here — mutators serialize on dur.mu (in-memory stores
+	// skip it entirely, there is nothing to log).
+	logIt := s.dur != nil && s.net.hasDefault(user)
+	if err := s.sess.RemoveBelief(user); err != nil {
+		return err
+	}
+	if !logIt {
+		return nil
+	}
+	return s.logMutation(wire.Op{Op: wire.OpRemoveBelief, User: user})
 }
 
 // StoreTx applies several trust-network mutations as one batch inside
 // Store.Update: concurrent readers observe either the whole batch or none
 // of it, and the engine folds the batch into the compiled artifact in one
-// delta application.
+// delta application. On a durable store the batch's effective ops are
+// logged as one WAL record when Update returns.
 type StoreTx struct {
-	tx *SessionTx
+	tx  *sessionTx
+	rec *[]wire.Op // effective-op recorder; nil on in-memory stores
+}
+
+// record notes one effective mutation for the batch's WAL record.
+func (t *StoreTx) record(op wire.Op) {
+	if t.rec != nil {
+		*t.rec = append(*t.rec, op)
+	}
 }
 
 // SetTrust is Store.SetTrust within the batch.
 func (t *StoreTx) SetTrust(truster, trusted string, priority int) error {
 	if ok, err := t.tx.UpdateTrust(truster, trusted, priority); err != nil || ok {
+		if err == nil {
+			t.record(wire.Op{Op: wire.OpSetTrust, Truster: truster, Trusted: trusted, Priority: priority})
+		}
 		return err
 	}
-	return t.tx.AddTrust(truster, trusted, priority)
+	if err := t.tx.AddTrust(truster, trusted, priority); err != nil {
+		return err
+	}
+	t.record(wire.Op{Op: wire.OpSetTrust, Truster: truster, Trusted: trusted, Priority: priority})
+	return nil
 }
 
 // AddTrust adds a new mapping, erroring if it already exists (use
 // SetTrust to upsert).
 func (t *StoreTx) AddTrust(truster, trusted string, priority int) error {
-	return t.tx.AddTrust(truster, trusted, priority)
+	if err := t.tx.AddTrust(truster, trusted, priority); err != nil {
+		return err
+	}
+	t.record(wire.Op{Op: wire.OpAddTrust, Truster: truster, Trusted: trusted, Priority: priority})
+	return nil
 }
 
 // UpdateTrust re-prioritizes an existing mapping and reports whether it
 // existed.
 func (t *StoreTx) UpdateTrust(truster, trusted string, priority int) (bool, error) {
-	return t.tx.UpdateTrust(truster, trusted, priority)
+	ok, err := t.tx.UpdateTrust(truster, trusted, priority)
+	if err == nil && ok {
+		t.record(wire.Op{Op: wire.OpUpdateTrust, Truster: truster, Trusted: trusted, Priority: priority})
+	}
+	return ok, err
 }
 
 // RemoveTrust is Store.RemoveTrust within the batch.
 func (t *StoreTx) RemoveTrust(truster, trusted string) (bool, error) {
-	return t.tx.RemoveTrust(truster, trusted)
+	ok, err := t.tx.RemoveTrust(truster, trusted)
+	if err == nil && ok {
+		t.record(wire.Op{Op: wire.OpRemoveTrust, Truster: truster, Trusted: trusted})
+	}
+	return ok, err
 }
 
 // SetDefault is Store.SetDefault within the batch.
-func (t *StoreTx) SetDefault(user, value string) error { return t.tx.SetBelief(user, value) }
+func (t *StoreTx) SetDefault(user, value string) error {
+	if err := t.tx.SetBelief(user, value); err != nil {
+		return err
+	}
+	t.record(wire.Op{Op: wire.OpSetBelief, User: user, Value: value})
+	return nil
+}
 
 // DeleteDefault is Store.DeleteDefault within the batch.
-func (t *StoreTx) DeleteDefault(user string) error { return t.tx.RemoveBelief(user) }
+func (t *StoreTx) DeleteDefault(user string) error {
+	had := t.rec != nil && t.tx.s.net.hasDefault(user) // under the session writer lock
+	if err := t.tx.RemoveBelief(user); err != nil {
+		return err
+	}
+	if had {
+		t.record(wire.Op{Op: wire.OpRemoveBelief, User: user})
+	}
+	return nil
+}
 
 // Update applies a batch of trust-network mutations and publishes one
 // epoch at the end. fn's error is returned but does not roll the batch
 // back; mutations applied before the error are published (there is no
-// transactional undo). tx must not be used after fn returns.
+// transactional undo) and, on a durable store, logged. tx must not be
+// used after fn returns.
 func (s *Store) Update(fn func(tx *StoreTx) error) error {
-	return s.sess.Update(func(tx *SessionTx) error { return fn(&StoreTx{tx: tx}) })
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	var ops []wire.Op
+	var rec *[]wire.Op
+	if s.dur != nil {
+		rec = &ops
+	}
+	ferr := s.sess.Update(func(tx *sessionTx) error { return fn(&StoreTx{tx: tx, rec: rec}) })
+	if len(ops) > 0 {
+		if lerr := s.logMutation(ops...); ferr == nil {
+			ferr = lerr
+		}
+	}
+	return ferr
+}
+
+// applyUpdate is Update without the durable critical section or the op
+// recorder: the recovery-replay path (ops come FROM the log) and the
+// shared body for in-memory batches.
+func (s *Store) applyUpdate(fn func(tx *StoreTx) error) error {
+	return s.sess.Update(func(tx *sessionTx) error { return fn(&StoreTx{tx: tx}) })
 }
 
 // --- object mutators ---------------------------------------------------
@@ -259,6 +384,18 @@ func (s *Store) PutBelief(ctx context.Context, user, object, value string) error
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	if err := s.applyPutBelief(user, object, value); err != nil {
+		return err
+	}
+	return s.logMutation(wire.Op{Op: wire.OpPutBelief, Object: object, User: user, Value: value})
+}
+
+func (s *Store) applyPutBelief(user, object, value string) error {
 	if object == "" {
 		return errors.New("trustmap: empty object key")
 	}
@@ -285,20 +422,32 @@ func (s *Store) DeleteBelief(ctx context.Context, user, object string) (bool, er
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return false, err
+	}
+	defer unlock()
+	if !s.applyDeleteBelief(user, object) {
+		return false, nil
+	}
+	return true, s.logMutation(wire.Op{Op: wire.OpDeleteBelief, Object: object, User: user})
+}
+
+func (s *Store) applyDeleteBelief(user, object string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old, ok := s.objects[object]
 	if !ok {
-		return false, nil
+		return false
 	}
 	if _, ok := old[user]; !ok {
-		return false, nil
+		return false
 	}
 	m := make(map[string]string, len(old)-1)
 	maps.Copy(m, old)
 	delete(m, user)
 	s.touchLocked(object, m)
-	return true, nil
+	return true
 }
 
 // PutObject creates or replaces one object's explicit beliefs wholesale.
@@ -308,6 +457,18 @@ func (s *Store) PutObject(ctx context.Context, object string, beliefs map[string
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	if err := s.applyPutObject(object, beliefs); err != nil {
+		return err
+	}
+	return s.logMutation(wire.Op{Op: wire.OpPutObject, Object: object, Beliefs: beliefs})
+}
+
+func (s *Store) applyPutObject(object string, beliefs map[string]string) error {
 	if object == "" {
 		return errors.New("trustmap: empty object key")
 	}
@@ -337,15 +498,27 @@ func (s *Store) DeleteObject(ctx context.Context, object string) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return false, err
+	}
+	defer unlock()
+	if !s.applyDeleteObject(object) {
+		return false, nil
+	}
+	return true, s.logMutation(wire.Op{Op: wire.OpDeleteObject, Object: object})
+}
+
+func (s *Store) applyDeleteObject(object string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.objects[object]; !ok {
-		return false, nil
+		return false
 	}
 	delete(s.objects, object)
 	delete(s.cache, object)
 	s.objVer[object]++ // in-flight fills must not resurrect the entry
-	return true, nil
+	return true
 }
 
 // touchLocked installs the object's new belief map and invalidates its

@@ -66,7 +66,7 @@ func eqStrs(a, b []string) bool {
 
 // storeFromObjects builds a store over a fresh facade copy of src and
 // stores the objects.
-func storeFromObjects(t *testing.T, src *tn.Network, objects map[string]map[string]string, opts ...Option) *Store {
+func storeFromObjects(t *testing.T, src *tn.Network, objects map[string]map[string]string, opts ...StoreOption) *Store {
 	t.Helper()
 	st, err := facadeFromTN(src).NewStore(opts...)
 	if err != nil {
@@ -82,7 +82,7 @@ func storeFromObjects(t *testing.T, src *tn.Network, objects map[string]map[stri
 }
 
 // TestStoreParityWorkloads is the acceptance check: Store reads must
-// equal the legacy Session.BulkResolve and Network.BulkResolveWith paths
+// equal the legacy session.BulkResolve and Network.bulkResolveWith paths
 // — and Algorithm 1 itself — on the PowerLaw, NestedSCC, and Fig19
 // workload families, for every (user, object).
 func TestStoreParityWorkloads(t *testing.T) {
@@ -111,11 +111,11 @@ func TestStoreParityWorkloads(t *testing.T) {
 
 			ctx := context.Background()
 			legacyNet := facadeFromTN(src)
-			legacy, err := legacyNet.BulkResolveWith(ctx, objects, BulkOptions{Workers: 2})
+			legacy, err := legacyNet.bulkResolveWith(ctx, objects, bulkOptions{Workers: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
-			sess, err := facadeFromTN(src).NewSession(SessionOptions{Workers: 2, ExtraRoots: rootNames})
+			sess, err := facadeFromTN(src).newSession(sessionOptions{Workers: 2, ExtraRoots: rootNames})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -436,7 +436,7 @@ func TestStoreLifecycle(t *testing.T) {
 
 // TestStoreRandomizedParity interleaves random trust, default, and
 // object-belief mutations through a store and checks every checkpoint
-// against a from-scratch BulkResolveWith of the effective objects
+// against a from-scratch bulkResolveWith of the effective objects
 // (explicit beliefs overlaid on defaults).
 func TestStoreRandomizedParity(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
@@ -524,7 +524,7 @@ func TestStoreRandomizedParity(t *testing.T) {
 				if err != nil {
 					t.Fatalf("step %d: store resolve: %v", step, err)
 				}
-				want, err := n.BulkResolveWith(ctx, eff, BulkOptions{Workers: 2})
+				want, err := n.bulkResolveWith(ctx, eff, bulkOptions{Workers: 2})
 				if err != nil {
 					t.Fatalf("step %d: legacy resolve: %v", step, err)
 				}

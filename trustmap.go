@@ -50,7 +50,7 @@
 //
 // Network.NewStore adopts a facade-built network as a store's trust
 // network. The older bulk entry points (Network.BulkResolve,
-// Network.NewSession) remain supported but are deprecated in favor of
+// Network.newSession) remain supported but are deprecated in favor of
 // Store.
 package trustmap
 
@@ -134,6 +134,14 @@ func (n *Network) RemoveBelief(user string) {
 	if id := n.inner.UserID(user); id >= 0 {
 		n.inner.SetExplicit(id, tn.NoValue)
 	}
+}
+
+// hasDefault reports whether user holds an explicit network-level
+// belief. The durable store's delete paths probe it so no-op revocations
+// are not logged; callers must hold the relevant writer serialization.
+func (n *Network) hasDefault(user string) bool {
+	id := n.inner.UserID(user)
+	return id >= 0 && n.inner.HasExplicit(id)
 }
 
 // SetConstraint states that user rejects the given values: a set of
@@ -466,7 +474,7 @@ type BulkResolution struct {
 	store *bulk.Store        // legacy sequential SQL path
 	eng   *engine.BulkResult // compiled concurrent engine path
 	// binIDs maps original user IDs to nodes of the resolved (binarized)
-	// network when they diverge — results served by a Session whose user
+	// network when they diverge — results served by a session whose user
 	// set grew after compilation. nil means identity.
 	binIDs []int
 	// epoch is the session publication generation that served the result;
@@ -475,7 +483,7 @@ type BulkResolution struct {
 }
 
 // Epoch returns the session publication generation that served this
-// resolution, or zero when it did not come from a Session. Comparing
+// resolution, or zero when it did not come from a session. Comparing
 // epochs tells whether two resolutions observed the same published
 // snapshot.
 func (r *BulkResolution) Epoch() uint64 { return r.epoch }
@@ -531,8 +539,8 @@ func (r *BulkResolution) possible(id int, object string) []string {
 	return out
 }
 
-// BulkOptions configures BulkResolve's execution strategy.
-type BulkOptions struct {
+// bulkOptions configures BulkResolve's execution strategy.
+type bulkOptions struct {
 	// Workers is the number of concurrent resolution goroutines for the
 	// engine path. Zero or negative means GOMAXPROCS.
 	Workers int
@@ -553,29 +561,14 @@ type BulkOptions struct {
 // bulk resolution; see BulkResolution.DedupStats.
 type DedupStats = engine.DedupStats
 
-// BulkResolve resolves many objects sharing this network's trust mappings
-// (Section 4) on the compiled concurrent engine. objects maps object keys
-// to the explicit beliefs of the root users: every user that has an
-// explicit belief or appears in some object's belief map must have a value
-// for every object (assumption (ii) of Section 4).
-//
-// Deprecated: use Store (Network.NewStore + PutObject/ResolveAll or
-// ResolveBatch), which keeps the compiled artifact live across calls
-// instead of recompiling per batch. Kept for one-shot use and parity
-// testing.
-func (n *Network) BulkResolve(objects map[string]map[string]string) (*BulkResolution, error) {
-	return n.BulkResolveWith(context.Background(), objects, BulkOptions{})
-}
-
-// BulkResolveWith is BulkResolve with an explicit context and options: the
-// network's per-object analysis is compiled once, then the objects are
-// scanned by a worker pool (or by the legacy SQL path when opts.UseSQL is
-// set). Results are identical across strategies and worker counts.
-//
-// Deprecated: use Store (Network.NewStore + PutObject/ResolveAll or
-// ResolveBatch). Kept for one-shot use, the SQL trace, and parity
-// testing.
-func (n *Network) BulkResolveWith(ctx context.Context, objects map[string]map[string]string, opts BulkOptions) (*BulkResolution, error) {
+// bulkResolveWith resolves many objects sharing this network's trust
+// mappings (Section 4) by compiling the per-object analysis once and then
+// scanning the objects with a worker pool (or the legacy SQL path when
+// opts.UseSQL is set). Results are identical across strategies and worker
+// counts. It is the one-shot internal engine behind Store.ResolveBatch and
+// the SQL-parity tests; external callers use Store, which keeps the
+// compiled artifact live across calls instead of recompiling per batch.
+func (n *Network) bulkResolveWith(ctx context.Context, objects map[string]map[string]string, opts bulkOptions) (*BulkResolution, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}

@@ -171,7 +171,7 @@ func TestBulkFacade(t *testing.T) {
 		"glyph2": {"Bob": "fish", "Charlie": "knot"},
 		"glyph3": {"Bob": "arrow", "Charlie": "arrow"},
 	}
-	r, err := n.BulkResolve(objects)
+	r, err := n.bulkResolveWith(context.Background(), objects, bulkOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,12 +193,12 @@ func TestBulkFacadeStrategiesAgree(t *testing.T) {
 		"glyph2": {"Bob": "fish", "Charlie": "knot"},
 		"glyph3": {"Bob": "arrow", "Charlie": "arrow"},
 	}
-	sql, err := n.BulkResolveWith(context.Background(), objects, BulkOptions{UseSQL: true})
+	sql, err := n.bulkResolveWith(context.Background(), objects, bulkOptions{UseSQL: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 8} {
-		eng, err := n.BulkResolveWith(context.Background(), objects, BulkOptions{Workers: workers})
+		eng, err := n.bulkResolveWith(context.Background(), objects, bulkOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

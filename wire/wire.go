@@ -10,12 +10,31 @@
 //     publication generation of the server's store. A mutation's response
 //     epoch is a lower bound for every later read, so read-your-writes is
 //     checkable client-side.
+//   - Durable servers additionally carry the LSN (log sequence number) of
+//     the last durably synced write-ahead-log batch; in-memory servers
+//     omit it. A mutation's response LSN, once >= its own batch, proves
+//     the write survives a crash.
 //   - Errors are an ErrorResponse body with the HTTP status carrying the
 //     class: 400 malformed or invalid request, 404 unknown user or
-//     object, 405 wrong method, 413 oversized batch or body.
+//     object, 405 wrong method, 413 oversized batch or body, 503 server
+//     still recovering its store from disk (retryable).
+//
+// # Schema evolution
+//
+// SchemaVersion names the current wire schema generation. Decoders on
+// both sides MUST tolerate unknown fields (the encoding/json default):
+// new servers accept requests from old clients (absent fields zero), and
+// old clients keep working against new servers (new response fields are
+// ignored). Fields are only ever added, never renamed or repurposed.
 package wire
 
 import "fmt"
+
+// SchemaVersion is the current wire schema generation: bumped when a
+// field is added anywhere in the schema. Version 2 added durability: the
+// OpBatch envelope, LSN on responses, object ops, and the durability
+// section of /v1/stats.
+const SchemaVersion = 2
 
 // UserResult is one user's resolution for one object: the possible values
 // over all stable solutions, and the certain value when exactly one.
@@ -28,6 +47,9 @@ type UserResult struct {
 type Health struct {
 	OK    bool   `json:"ok"`
 	Epoch uint64 `json:"epoch"`
+	// LSN is the durable log sequence number; zero/omitted on in-memory
+	// servers.
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 // ResolveRequest is the POST /v1/resolve body: one ad-hoc object's
@@ -41,6 +63,7 @@ type ResolveRequest struct {
 // ResolveResponse answers ResolveRequest.
 type ResolveResponse struct {
 	Epoch uint64                `json:"epoch"`
+	LSN   uint64                `json:"lsn,omitempty"`
 	Users map[string]UserResult `json:"users"`
 }
 
@@ -54,6 +77,7 @@ type BulkResolveRequest struct {
 // BulkResolveResponse answers BulkResolveRequest.
 type BulkResolveResponse struct {
 	Epoch   uint64                           `json:"epoch"`
+	LSN     uint64                           `json:"lsn,omitempty"`
 	Objects map[string]map[string]UserResult `json:"objects"`
 }
 
@@ -73,16 +97,49 @@ const (
 	OpRemoveBelief = "remove-belief"
 )
 
-// Op is one mutation of a POST /v1/mutate batch. Trust ops use Truster,
-// Trusted, and (except removal) Priority; belief ops use User and (for
-// set-belief) Value.
+// Object op kinds. These appear in the durable store's write-ahead log
+// (every mutation is one wire.Op); over HTTP the object endpoints carry
+// them instead of /v1/mutate, which stays a trust-network batch.
+const (
+	// OpPutObject creates or replaces one object's explicit beliefs
+	// wholesale (Object, Beliefs).
+	OpPutObject = "put-object"
+	// OpDeleteObject removes one object and its beliefs (Object).
+	OpDeleteObject = "delete-object"
+	// OpPutBelief states one user's explicit belief about one object
+	// (Object, User, Value).
+	OpPutBelief = "put-belief"
+	// OpDeleteBelief revokes one user's explicit belief about one object
+	// (Object, User).
+	OpDeleteBelief = "delete-belief"
+)
+
+// Op is one mutation: an element of a POST /v1/mutate batch, and the
+// single serializable mutation format of the durable store's write-ahead
+// log. Trust ops use Truster, Trusted, and (except removal) Priority;
+// network belief ops use User and (for set-belief) Value; object ops use
+// Object plus User/Value (per-object beliefs) or Beliefs (wholesale put).
 type Op struct {
-	Op       string `json:"op"`
-	Truster  string `json:"truster,omitempty"`
-	Trusted  string `json:"trusted,omitempty"`
-	Priority int    `json:"priority,omitempty"`
-	User     string `json:"user,omitempty"`
-	Value    string `json:"value,omitempty"`
+	Op       string            `json:"op"`
+	Truster  string            `json:"truster,omitempty"`
+	Trusted  string            `json:"trusted,omitempty"`
+	Priority int               `json:"priority,omitempty"`
+	User     string            `json:"user,omitempty"`
+	Value    string            `json:"value,omitempty"`
+	Object   string            `json:"object,omitempty"`
+	Beliefs  map[string]string `json:"beliefs,omitempty"`
+}
+
+// OpBatch is the envelope of one write-ahead-log record: an ordered op
+// batch applied atomically, stamped with the schema generation that wrote
+// it, the store epoch current when it was logged, and its log sequence
+// number (contiguous from 1; the recovery watermark). Decoders tolerate
+// unknown fields, so newer writers stay readable by older readers.
+type OpBatch struct {
+	Schema int    `json:"schema"`
+	Epoch  uint64 `json:"epoch"`
+	LSN    uint64 `json:"lsn"`
+	Ops    []Op   `json:"ops"`
 }
 
 // MutateRequest is the POST /v1/mutate body: an ordered op batch applied
@@ -95,6 +152,7 @@ type MutateRequest struct {
 // landed; on an error response it appears in ErrorResponse instead.
 type MutateResponse struct {
 	Epoch   uint64 `json:"epoch"`
+	LSN     uint64 `json:"lsn,omitempty"`
 	Applied int    `json:"applied"`
 }
 
@@ -116,6 +174,7 @@ type ObjectResponse struct {
 	Object  string            `json:"object"`
 	Beliefs map[string]string `json:"beliefs"`
 	Epoch   uint64            `json:"epoch"`
+	LSN     uint64            `json:"lsn,omitempty"`
 }
 
 // ObjectListResponse is the GET /v1/objects response: stored object keys,
@@ -123,6 +182,7 @@ type ObjectResponse struct {
 type ObjectListResponse struct {
 	Objects []string `json:"objects"`
 	Epoch   uint64   `json:"epoch"`
+	LSN     uint64   `json:"lsn,omitempty"`
 }
 
 // ObjectResolutionResponse is the GET /v1/objects/{key}/resolution
@@ -131,6 +191,7 @@ type ObjectListResponse struct {
 type ObjectResolutionResponse struct {
 	Object string                `json:"object"`
 	Epoch  uint64                `json:"epoch"`
+	LSN    uint64                `json:"lsn,omitempty"`
 	Users  map[string]UserResult `json:"users"`
 }
 
@@ -163,13 +224,43 @@ type StoreStats struct {
 	CacheMisses uint64 `json:"cache_misses"`
 }
 
-// StatsResponse is the GET /v1/stats response: session, store, and engine
-// counters of one pinned epoch.
+// DurabilityStats mirrors the store's persistence counters on the wire.
+// Mode is "memory" for a purely in-memory store (every other field zero),
+// otherwise "off", "batch", or "always" naming the fsync discipline.
+type DurabilityStats struct {
+	Mode             string `json:"mode"`
+	LastLSN          uint64 `json:"last_lsn,omitempty"`
+	DurableLSN       uint64 `json:"durable_lsn,omitempty"`
+	SnapshotLSN      uint64 `json:"snapshot_lsn,omitempty"`
+	WALAppends       uint64 `json:"wal_appends,omitempty"`
+	WALSyncs         uint64 `json:"wal_syncs,omitempty"`
+	WALBytes         uint64 `json:"wal_bytes,omitempty"`
+	Checkpoints      uint64 `json:"checkpoints,omitempty"`
+	RecoveredBatches uint64 `json:"recovered_batches,omitempty"`
+	ReplayedOps      uint64 `json:"replayed_ops,omitempty"`
+	ReplayErrors     uint64 `json:"replay_errors,omitempty"`
+	DiscardedBytes   uint64 `json:"discarded_bytes,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats response: session, store, engine,
+// and durability counters of one pinned epoch.
 type StatsResponse struct {
-	Epoch   uint64       `json:"epoch"`
-	Session SessionStats `json:"session"`
-	Store   StoreStats   `json:"store"`
-	Engine  EngineStats  `json:"engine"`
+	Schema     int             `json:"schema,omitempty"`
+	Epoch      uint64          `json:"epoch"`
+	LSN        uint64          `json:"lsn,omitempty"`
+	Session    SessionStats    `json:"session"`
+	Store      StoreStats      `json:"store"`
+	Engine     EngineStats     `json:"engine"`
+	Durability DurabilityStats `json:"durability"`
+}
+
+// CheckpointResponse answers POST /v1/admin/checkpoint: the compacted
+// snapshot's watermark. Every WAL batch with LSN <= the response LSN is
+// folded into the snapshot; the log was rotated behind it.
+type CheckpointResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	LSN      uint64 `json:"lsn"`
+	Snapshot string `json:"snapshot"` // snapshot file name inside the data dir
 }
 
 // DeleteResponse answers DELETE /v1/objects/{key}: the deleted key and
@@ -178,6 +269,7 @@ type StatsResponse struct {
 type DeleteResponse struct {
 	Deleted string `json:"deleted"`
 	Epoch   uint64 `json:"epoch"`
+	LSN     uint64 `json:"lsn,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response. Applied and Epoch
@@ -227,6 +319,10 @@ func (op Op) Apply(tx TxApplier) error {
 		return tx.SetDefault(op.User, op.Value)
 	case OpRemoveBelief:
 		return tx.DeleteDefault(op.User)
+	case OpPutObject, OpDeleteObject, OpPutBelief, OpDeleteBelief:
+		// Object ops live in the WAL and the object endpoints; a mutate
+		// batch is a trust-network transaction and cannot carry them.
+		return fmt.Errorf("object op %q is not valid in a mutate batch; use the /v1/objects endpoints", op.Op)
 	default:
 		return fmt.Errorf("unknown mutation op %q", op.Op)
 	}

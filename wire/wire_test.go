@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeTx records the dispatch of each op so TestOpApplyDispatch can assert
+// Apply routes to the right TxApplier method with the right arguments.
+type fakeTx struct {
+	calls []string
+	// present controls the bool return of UpdateTrust/RemoveTrust.
+	present bool
+}
+
+func (f *fakeTx) SetTrust(truster, trusted string, priority int) error {
+	f.calls = append(f.calls, "SetTrust")
+	return nil
+}
+func (f *fakeTx) AddTrust(truster, trusted string, priority int) error {
+	f.calls = append(f.calls, "AddTrust")
+	return nil
+}
+func (f *fakeTx) UpdateTrust(truster, trusted string, priority int) (bool, error) {
+	f.calls = append(f.calls, "UpdateTrust")
+	return f.present, nil
+}
+func (f *fakeTx) RemoveTrust(truster, trusted string) (bool, error) {
+	f.calls = append(f.calls, "RemoveTrust")
+	return f.present, nil
+}
+func (f *fakeTx) SetDefault(user, value string) error {
+	f.calls = append(f.calls, "SetDefault")
+	return nil
+}
+func (f *fakeTx) DeleteDefault(user string) error {
+	f.calls = append(f.calls, "DeleteDefault")
+	return nil
+}
+
+func TestOpApplyDispatch(t *testing.T) {
+	cases := []struct {
+		op      Op
+		present bool
+		want    string // method name, or "" when an error is expected
+		errSub  string
+	}{
+		{Op{Op: OpSetTrust, Truster: "a", Trusted: "b", Priority: 1}, true, "SetTrust", ""},
+		{Op{Op: OpAddTrust, Truster: "a", Trusted: "b", Priority: 1}, true, "AddTrust", ""},
+		{Op{Op: OpUpdateTrust, Truster: "a", Trusted: "b", Priority: 2}, true, "UpdateTrust", ""},
+		{Op{Op: OpUpdateTrust, Truster: "a", Trusted: "b", Priority: 2}, false, "UpdateTrust", "no mapping"},
+		{Op{Op: OpRemoveTrust, Truster: "a", Trusted: "b"}, true, "RemoveTrust", ""},
+		{Op{Op: OpRemoveTrust, Truster: "a", Trusted: "b"}, false, "RemoveTrust", "no mapping"},
+		{Op{Op: OpSetBelief, User: "a", Value: "x"}, true, "SetDefault", ""},
+		{Op{Op: OpRemoveBelief, User: "a"}, true, "DeleteDefault", ""},
+		{Op{Op: "bogus"}, true, "", "unknown mutation op"},
+	}
+	for _, tc := range cases {
+		tx := &fakeTx{present: tc.present}
+		err := tc.op.Apply(tx)
+		if tc.errSub == "" {
+			if err != nil {
+				t.Errorf("Apply(%s): unexpected error %v", tc.op.Op, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+			t.Errorf("Apply(%s): error %v, want substring %q", tc.op.Op, err, tc.errSub)
+		}
+		if tc.want == "" {
+			if len(tx.calls) != 0 {
+				t.Errorf("Apply(%s): called %v, want no dispatch", tc.op.Op, tx.calls)
+			}
+		} else if len(tx.calls) != 1 || tx.calls[0] != tc.want {
+			t.Errorf("Apply(%s): called %v, want [%s]", tc.op.Op, tx.calls, tc.want)
+		}
+	}
+}
+
+func TestOpApplyRejectsObjectOps(t *testing.T) {
+	for _, kind := range []string{OpPutObject, OpDeleteObject, OpPutBelief, OpDeleteBelief} {
+		tx := &fakeTx{}
+		err := Op{Op: kind, Object: "o", User: "u", Value: "v"}.Apply(tx)
+		if err == nil || !strings.Contains(err.Error(), "not valid in a mutate batch") {
+			t.Errorf("Apply(%s): error %v, want object-op rejection", kind, err)
+		}
+		if len(tx.calls) != 0 {
+			t.Errorf("Apply(%s): dispatched %v, want none", kind, tx.calls)
+		}
+	}
+}
+
+// TestUnknownFieldTolerance pins the schema-evolution contract: decoding a
+// payload from a hypothetical future schema (extra fields everywhere) must
+// succeed, preserving the fields this generation knows about.
+func TestUnknownFieldTolerance(t *testing.T) {
+	t.Run("OpBatch", func(t *testing.T) {
+		blob := `{
+			"schema": 99,
+			"epoch": 7,
+			"lsn": 42,
+			"shard": "future-field",
+			"ops": [
+				{"op": "set-trust", "truster": "a", "trusted": "b", "priority": 1, "ttl": 30},
+				{"op": "put-object", "object": "o1", "beliefs": {"a": "x"}, "vector_clock": [1, 2]}
+			]
+		}`
+		var b OpBatch
+		if err := json.Unmarshal([]byte(blob), &b); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if b.Schema != 99 || b.Epoch != 7 || b.LSN != 42 || len(b.Ops) != 2 {
+			t.Fatalf("decoded %+v, want schema=99 epoch=7 lsn=42 2 ops", b)
+		}
+		if b.Ops[1].Op != OpPutObject || b.Ops[1].Beliefs["a"] != "x" {
+			t.Fatalf("op[1] = %+v, want put-object with beliefs", b.Ops[1])
+		}
+	})
+	t.Run("StatsResponse", func(t *testing.T) {
+		blob := `{
+			"schema": 2, "epoch": 3, "lsn": 10,
+			"session": {"compiles": 1, "gpu_compiles": 9},
+			"store": {"objects": 4},
+			"engine": {"users": 2},
+			"durability": {"mode": "batch", "durable_lsn": 9, "raft_term": 5},
+			"replication": {"peers": 3}
+		}`
+		var s StatsResponse
+		if err := json.Unmarshal([]byte(blob), &s); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if s.Epoch != 3 || s.LSN != 10 || s.Durability.Mode != "batch" || s.Durability.DurableLSN != 9 {
+			t.Fatalf("decoded %+v, want epoch=3 lsn=10 durability batch/9", s)
+		}
+	})
+	t.Run("responses", func(t *testing.T) {
+		// One representative per response shape that old clients decode.
+		for name, decode := range map[string]func([]byte) error{
+			"Health": func(b []byte) error { var v Health; return json.Unmarshal(b, &v) },
+			"ResolveResponse": func(b []byte) error {
+				var v ResolveResponse
+				return json.Unmarshal(b, &v)
+			},
+			"MutateResponse": func(b []byte) error {
+				var v MutateResponse
+				return json.Unmarshal(b, &v)
+			},
+			"CheckpointResponse": func(b []byte) error {
+				var v CheckpointResponse
+				return json.Unmarshal(b, &v)
+			},
+		} {
+			if err := decode([]byte(`{"epoch": 1, "lsn": 2, "brand_new_field": {"x": 1}}`)); err != nil {
+				t.Errorf("%s: decode with unknown field: %v", name, err)
+			}
+		}
+	})
+}
+
+// TestOpBatchRoundTrip checks an op batch survives encode/decode intact,
+// including object ops, and that omitempty keeps trust-op JSON minimal.
+func TestOpBatchRoundTrip(t *testing.T) {
+	in := OpBatch{
+		Schema: SchemaVersion,
+		Epoch:  5,
+		LSN:    17,
+		Ops: []Op{
+			{Op: OpSetTrust, Truster: "alice", Trusted: "bob", Priority: 2},
+			{Op: OpSetBelief, User: "carol", Value: "v1"},
+			{Op: OpPutObject, Object: "o1", Beliefs: map[string]string{"alice": "x"}},
+			{Op: OpPutBelief, Object: "o1", User: "bob", Value: "y"},
+			{Op: OpDeleteBelief, Object: "o1", User: "bob"},
+			{Op: OpDeleteObject, Object: "o1"},
+		},
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out OpBatch
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Schema != in.Schema || out.Epoch != in.Epoch || out.LSN != in.LSN {
+		t.Fatalf("envelope round-trip: got %+v", out)
+	}
+	if len(out.Ops) != len(in.Ops) {
+		t.Fatalf("ops round-trip: got %d ops, want %d", len(out.Ops), len(in.Ops))
+	}
+	for i := range in.Ops {
+		a, b := in.Ops[i], out.Ops[i]
+		if a.Op != b.Op || a.Truster != b.Truster || a.Trusted != b.Trusted ||
+			a.Priority != b.Priority || a.User != b.User || a.Value != b.Value ||
+			a.Object != b.Object || len(a.Beliefs) != len(b.Beliefs) {
+			t.Errorf("op %d round-trip: %+v != %+v", i, a, b)
+		}
+	}
+	// A pure trust op must not leak object-op keys into its JSON.
+	trustOnly, _ := json.Marshal(Op{Op: OpSetTrust, Truster: "a", Trusted: "b", Priority: 1})
+	for _, key := range []string{"object", "beliefs", "user", "value"} {
+		if strings.Contains(string(trustOnly), `"`+key+`"`) {
+			t.Errorf("trust-op JSON %s leaks key %q", trustOnly, key)
+		}
+	}
+}
