@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmark families tracked in the committed trajectory (bench/BENCH_*).
-BENCH_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve|BenchmarkCompile|BenchmarkServeMixed|BenchmarkStoreResolve|BenchmarkWALAppend|BenchmarkRecovery
+BENCH_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve|BenchmarkCompile|BenchmarkServeMixed|BenchmarkStoreResolve|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkAdmission|BenchmarkClientRetry
 # Hot-path benchmarks the perf gate fails on; a regression beyond
 # BENCH_GATE_THRESHOLD (current/baseline ns/op) exits non-zero.
 BENCH_GATE_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate
@@ -20,7 +20,7 @@ ENGINE_COVER_FLOOR ?= 75
 API_PKGS ?= .,wire,client
 API_GOLDEN ?= api/API.txt
 
-.PHONY: all build test race bench bench-save bench-diff bench-gate cover smoke crash fuzz fmt vet lint api api-save ci
+.PHONY: all build test race bench bench-save bench-diff bench-gate cover smoke crash poison loadgen-smoke fuzz fmt vet lint api api-save ci
 
 all: build test
 
@@ -102,6 +102,28 @@ smoke:
 # state. Runs as its own CI job; also part of `go test ./...`.
 crash:
 	$(GO) test ./cmd/crashharness -run TestCrashRecovery -count=1 -v
+
+# Fault-injection acceptance: a WAL fsync failure mid-storm must poison
+# the store (refusing later writes, still serving reads) and recover with
+# oracle parity on restart — no SIGKILL involved.
+poison:
+	$(GO) test ./cmd/crashharness -run TestPoisonRecovery -count=1 -v
+
+# Resilience acceptance: loadgen's package tests (overload sheds with
+# bounded admitted p99, exact counter conservation), then an SLO-gated
+# open-loop run of the real binary against the in-process stack —
+# a healthy run must shed nothing, and an overload run must shed
+# without collapsing admitted latency. Synthetic 10ms service time makes
+# both outcomes reproducible on a 1-CPU box.
+loadgen-smoke:
+	$(GO) test ./cmd/loadgen -count=1 -v
+	$(GO) run ./cmd/loadgen -self -rate 100 -duration 1s -read-limit 64 -read-queue 64 \
+		-self-delay 10ms -slo-min-ops 50 -slo-max-shed-frac 0 \
+		$(if $(BENCH_SUMMARY),-summary '$(BENCH_SUMMARY)')
+	$(GO) run ./cmd/loadgen -self -rate 400 -duration 1s -read-limit 2 -read-queue 4 \
+		-self-delay 10ms -mutate-frac 0 -queue-timeout 50ms \
+		-slo-min-ops 200 -slo-min-shed-frac 0.05 -slo-max-queue-depth 4 -slo-max-p99 1s \
+		$(if $(BENCH_SUMMARY),-summary '$(BENCH_SUMMARY)')
 
 # Static analysis beyond go vet. staticcheck is not vendored; CI pins
 # go install honnef.co/go/tools/cmd/staticcheck@2025.1.1 (a released

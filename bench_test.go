@@ -7,13 +7,19 @@ package trustmap
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"trustmap/client"
+	"trustmap/internal/admission"
 	"trustmap/internal/bench"
 	"trustmap/internal/bulk"
 	"trustmap/internal/engine"
@@ -849,4 +855,107 @@ func BenchmarkRecovery(b *testing.B) {
 			b.ReportMetric(float64(replayedOps), "replayedops/open")
 		})
 	}
+}
+
+// BenchmarkAdmission measures the admission gate itself: the uncontended
+// acquire/release cycle every admitted request pays, the shed path an
+// overloaded server takes per rejected request, and the disabled (nil
+// gate) case, which must stay branch-cheap because every ungated handler
+// crosses it.
+func BenchmarkAdmission(b *testing.B) {
+	ctx := context.Background()
+	b.Run("admit", func(b *testing.B) {
+		g := admission.New(admission.Config{MaxConcurrent: 64})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			release, err := g.Acquire(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			release()
+		}
+		b.StopTimer()
+		if st := g.Stats(); st.Admitted != uint64(b.N) || st.InFlight != 0 {
+			b.Fatalf("gate stats %+v after %d admits", st, b.N)
+		}
+	})
+	b.Run("shed", func(b *testing.B) {
+		g := admission.New(admission.Config{MaxConcurrent: 1})
+		release, err := g.Acquire(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer release()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Acquire(ctx); !errors.Is(err, admission.ErrShed) {
+				b.Fatalf("err = %v, want shed", err)
+			}
+		}
+		b.StopTimer()
+		if st := g.Stats(); st.Shed != uint64(b.N) {
+			b.Fatalf("gate stats %+v after %d sheds", st, b.N)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var g *admission.Gate // ungated class: nil gate admits everything
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			release, err := g.Acquire(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			release()
+		}
+	})
+}
+
+// BenchmarkClientRetry measures the typed client's retry loop against a
+// scripted fault server: "recover" pays two round trips plus the backoff
+// bookkeeping per op (the server 429s every other request), "armed" is
+// the no-fault path with a policy installed — the per-request overhead of
+// having retries on at all. Backoff delays are driven to ~zero so ns/op
+// tracks the code path, not the sleep schedule.
+func BenchmarkClientRetry(b *testing.B) {
+	newSrv := func(everyOther bool) *httptest.Server {
+		var calls atomic.Uint64
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if everyOther && calls.Add(1)%2 == 1 {
+				w.WriteHeader(http.StatusTooManyRequests)
+				fmt.Fprint(w, `{"error":"shed"}`)
+				return
+			}
+			fmt.Fprint(w, `{"ok":true,"epoch":1}`)
+		}))
+	}
+	policy := client.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Nanosecond, MaxDelay: time.Nanosecond, Jitter: -1,
+	}
+	b.Run("recover", func(b *testing.B) {
+		srv := newSrv(true)
+		defer srv.Close()
+		c := client.New(srv.URL, client.WithRetry(policy))
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Healthz(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("armed", func(b *testing.B) {
+		srv := newSrv(false)
+		defer srv.Close()
+		c := client.New(srv.URL, client.WithRetry(policy))
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Healthz(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -10,6 +10,26 @@
 // Non-2xx responses surface as *APIError carrying the HTTP status and
 // the server's error message; IsNotFound distinguishes unknown users and
 // objects (404) from invalid requests (400) and oversized batches (413).
+//
+// # Retries
+//
+// WithRetry arms automatic retries: capped exponential backoff with
+// deterministic (seedable) jitter, honoring a server Retry-After when it
+// is longer than the computed delay. By default only idempotent requests
+// are retried on 503s and transport errors — every method except Mutate;
+// an admission shed (429) is always retried, even for Mutate, because
+// the server sheds BEFORE touching the request. RetryPolicy.
+// RetryMutations opts Mutate into full retries for callers whose op
+// batches are safe to re-apply.
+//
+// # Timeouts
+//
+// The default transport has a 30-second overall timeout so a stuck
+// server can never hang a caller that forgot a context deadline; use
+// WithHTTPClient to substitute your own http.Client (different timeout,
+// custom transport, middleware). WithServerTimeout additionally asks the
+// server to cap its own processing time per request (the
+// wire.TimeoutHeader deadline-propagation header).
 package client
 
 import (
@@ -19,42 +39,138 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"trustmap/wire"
 )
 
+// defaultTimeout bounds one HTTP exchange end to end on the default
+// transport. Generous — bulk resolves are slow on cold stores — but
+// finite: no context mistake leaves a goroutine stuck forever.
+const defaultTimeout = 30 * time.Second
+
 // Client talks to one trustd server. Create with New.
 type Client struct {
-	base string
-	hc   *http.Client
+	base          string
+	hc            *http.Client
+	retry         RetryPolicy
+	serverTimeout time.Duration
+
+	jmu    sync.Mutex
+	jitter *rand.Rand
+
+	// sleep is swapped by tests to run retry schedules without real time.
+	sleep func(context.Context, time.Duration) error
 }
 
 // Option configures New.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the http.Client used for requests (timeouts,
-// transports, middleware). The default is http.DefaultClient.
+// WithHTTPClient substitutes the http.Client used for requests — the
+// escape hatch for a different overall timeout, a custom transport, or
+// middleware. The package default is a client with a 30-second timeout.
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// RetryPolicy configures WithRetry. The zero value of each field picks
+// the documented default.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Values below 2 mean the default of 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Default 2s.
+	MaxDelay time.Duration
+	// Jitter is the fractional spread applied to each delay: a delay d
+	// becomes d * (1 ± Jitter). Default 0.2; negative disables jitter.
+	Jitter float64
+	// Seed seeds the jitter PRNG, making retry schedules reproducible.
+	// Any value (including 0) is a valid deterministic seed.
+	Seed int64
+	// RetryMutations opts non-idempotent requests (Mutate) into retries
+	// on 503s and transport errors. Off by default: a 503 mid-batch may
+	// have applied a prefix of the ops, so blind re-application needs the
+	// caller to know its batch is safe to repeat. Admission sheds (429)
+	// are always retried regardless — the server sheds before reading the
+	// request.
+	RetryMutations bool
+}
+
+// withDefaults resolves the zero values to the documented defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 2 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// WithRetry arms automatic retries with policy p (zero fields take the
+// documented defaults).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// WithServerTimeout asks the server to bound its processing of every
+// request from this client at d, via the wire.TimeoutHeader header. The
+// server caps it at its configured maximum. Deadline propagation: the
+// caller's context bounds the round trip on this side, this header
+// bounds the work on the far side, so an abandoned request stops
+// consuming server capacity.
+func WithServerTimeout(d time.Duration) Option {
+	return func(c *Client) { c.serverTimeout = d }
+}
 
 // New returns a client for the trustd server at baseURL (scheme + host,
 // with or without a trailing slash).
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		hc:    &http.Client{Timeout: defaultTimeout},
+		sleep: sleepCtx,
+	}
 	for _, o := range opts {
 		o(c)
 	}
+	c.jitter = rand.New(rand.NewSource(c.retry.Seed))
 	return c
+}
+
+// sleepCtx waits d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // APIError is a non-2xx response from the server.
 type APIError struct {
-	StatusCode int    // HTTP status
-	Message    string // server's error message
-	Applied    int    // ops applied before a failed mutate batch
-	Epoch      uint64 // serving epoch, when the server reported one
+	StatusCode int           // HTTP status
+	Message    string        // server's error message
+	Applied    int           // ops applied before a failed mutate batch
+	Epoch      uint64        // serving epoch, when the server reported one
+	Limit      int           // the exceeded bound, on 413s
+	RetryAfter time.Duration // server back-off hint, when sent (429/503)
 }
 
 func (e *APIError) Error() string {
@@ -69,30 +185,71 @@ func IsNotFound(err error) bool {
 }
 
 // IsUnavailable reports whether err is an *APIError with status 503: the
-// server is up but its store is still recovering from disk. Retryable —
-// the server sends Retry-After alongside.
+// server is up but its store is still recovering from disk (Retry-After
+// set) or the request's propagated deadline expired (no Retry-After).
 func IsUnavailable(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable
 }
 
-// do runs one round trip: marshal body (when non-nil), decode into out
-// (when non-nil), surface non-2xx as *APIError.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+// IsShed reports whether err is an *APIError with status 429: the server
+// shed the request at admission, before doing any work. Always safe to
+// retry after the RetryAfter hint, including mutations.
+func IsShed(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// do runs one request with the client's retry policy: marshal body once,
+// round-trip up to MaxAttempts times, decode into out (when non-nil),
+// surface the final non-2xx as *APIError. idempotent gates which
+// failures are retryable (sheds always are).
+func (c *Client) do(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
+		var err error
+		raw, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if serr := c.sleep(ctx, c.backoff(attempt, err)); serr != nil {
+				return err // context gave out first: report the retryable failure
+			}
+		}
+		err = c.roundTrip(ctx, method, path, raw, out)
+		if err == nil || !c.retryable(err, idempotent) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// roundTrip is one HTTP exchange.
+func (c *Client) roundTrip(ctx context.Context, method, path string, raw []byte, out any) error {
+	var rd io.Reader
+	if raw != nil {
 		rd = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if raw != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.serverTimeout > 0 {
+		req.Header.Set(wire.TimeoutHeader, strconv.FormatInt(c.serverTimeout.Milliseconds(), 10))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -101,10 +258,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		ae := &APIError{StatusCode: resp.StatusCode}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
 		var eb wire.ErrorResponse
 		if raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); err == nil {
 			if json.Unmarshal(raw, &eb) == nil && eb.Message != "" {
-				ae.Message, ae.Applied, ae.Epoch = eb.Message, eb.Applied, eb.Epoch
+				ae.Message, ae.Applied, ae.Epoch, ae.Limit = eb.Message, eb.Applied, eb.Epoch, eb.Limit
 			} else {
 				ae.Message = strings.TrimSpace(string(raw))
 			}
@@ -120,17 +280,68 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
+// retryable classifies one failure under the armed policy. With no
+// policy (MaxAttempts unset), nothing is retryable.
+func (c *Client) retryable(err error, idempotent bool) bool {
+	if c.retry.MaxAttempts < 2 {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.StatusCode {
+		case http.StatusTooManyRequests:
+			// Shed at admission: the server did no work, so even a
+			// mutation is safe to resend.
+			return true
+		case http.StatusServiceUnavailable:
+			// Recovering store or an expired propagated deadline: the
+			// request may have partially executed, so non-idempotent
+			// requests need the explicit opt-in.
+			return idempotent || c.retry.RetryMutations
+		}
+		return false // 4xx/5xx with a definitive answer: retrying repeats it
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false // the caller's budget is spent
+	}
+	// Transport-level failure (conn refused/reset, etc.): the request may
+	// or may not have reached the server.
+	return idempotent || c.retry.RetryMutations
+}
+
+// backoff computes the pre-attempt delay: capped exponential growth from
+// BaseDelay, spread by the seeded jitter, floored at the server's
+// Retry-After when the previous failure carried one. attempt is 1-based
+// (the delay before retry #attempt).
+func (c *Client) backoff(attempt int, prev error) time.Duration {
+	d := c.retry.BaseDelay << (attempt - 1)
+	if d > c.retry.MaxDelay || d <= 0 { // <=0: shift overflow
+		d = c.retry.MaxDelay
+	}
+	if j := c.retry.Jitter; j > 0 {
+		c.jmu.Lock()
+		f := 1 + j*(2*c.jitter.Float64()-1)
+		c.jmu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	var ae *APIError
+	if errors.As(prev, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+	}
+	return d
+}
+
 // Healthz checks liveness and returns the current epoch.
 func (c *Client) Healthz(ctx context.Context) (wire.Health, error) {
 	var out wire.Health
-	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, true)
 	return out, err
 }
 
 // Stats returns session, store, and engine counters of one pinned epoch.
 func (c *Client) Stats(ctx context.Context) (wire.StatsResponse, error) {
 	var out wire.StatsResponse
-	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out, true)
 	return out, err
 }
 
@@ -138,14 +349,14 @@ func (c *Client) Stats(ctx context.Context) (wire.StatsResponse, error) {
 // per root (nil for none), users lists the users to report.
 func (c *Client) Resolve(ctx context.Context, beliefs map[string]string, users []string) (wire.ResolveResponse, error) {
 	var out wire.ResolveResponse
-	err := c.do(ctx, http.MethodPost, "/v1/resolve", wire.ResolveRequest{Beliefs: beliefs, Users: users}, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/resolve", wire.ResolveRequest{Beliefs: beliefs, Users: users}, &out, true)
 	return out, err
 }
 
 // BulkResolve resolves many ad-hoc objects at once.
 func (c *Client) BulkResolve(ctx context.Context, objects map[string]map[string]string, users []string) (wire.BulkResolveResponse, error) {
 	var out wire.BulkResolveResponse
-	err := c.do(ctx, http.MethodPost, "/v1/bulk-resolve", wire.BulkResolveRequest{Objects: objects, Users: users}, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/bulk-resolve", wire.BulkResolveRequest{Objects: objects, Users: users}, &out, true)
 	return out, err
 }
 
@@ -155,35 +366,38 @@ func (c *Client) BulkResolve(ctx context.Context, objects map[string]map[string]
 // answer 400.
 func (c *Client) Checkpoint(ctx context.Context) (wire.CheckpointResponse, error) {
 	var out wire.CheckpointResponse
-	err := c.do(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, &out, true)
 	return out, err
 }
 
-// Mutate applies an ordered op batch as one epoch publication.
+// Mutate applies an ordered op batch as one epoch publication. The one
+// non-idempotent method: under WithRetry it is retried on sheds (429,
+// always safe) but not on 503s or transport errors unless
+// RetryPolicy.RetryMutations is set.
 func (c *Client) Mutate(ctx context.Context, ops []wire.Op) (wire.MutateResponse, error) {
 	var out wire.MutateResponse
-	err := c.do(ctx, http.MethodPost, "/v1/mutate", wire.MutateRequest{Ops: ops}, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/mutate", wire.MutateRequest{Ops: ops}, &out, false)
 	return out, err
 }
 
 // ListObjects returns the stored object keys, sorted.
 func (c *Client) ListObjects(ctx context.Context) (wire.ObjectListResponse, error) {
 	var out wire.ObjectListResponse
-	err := c.do(ctx, http.MethodGet, "/v1/objects", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/objects", nil, &out, true)
 	return out, err
 }
 
 // PutObject creates or replaces one stored object's explicit beliefs.
 func (c *Client) PutObject(ctx context.Context, key string, beliefs map[string]string) (wire.ObjectResponse, error) {
 	var out wire.ObjectResponse
-	err := c.do(ctx, http.MethodPut, "/v1/objects/"+url.PathEscape(key), wire.ObjectPutRequest{Beliefs: beliefs}, &out)
+	err := c.do(ctx, http.MethodPut, "/v1/objects/"+url.PathEscape(key), wire.ObjectPutRequest{Beliefs: beliefs}, &out, true)
 	return out, err
 }
 
 // GetObject returns one stored object's explicit beliefs.
 func (c *Client) GetObject(ctx context.Context, key string) (wire.ObjectResponse, error) {
 	var out wire.ObjectResponse
-	err := c.do(ctx, http.MethodGet, "/v1/objects/"+url.PathEscape(key), nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/objects/"+url.PathEscape(key), nil, &out, true)
 	return out, err
 }
 
@@ -192,7 +406,7 @@ func (c *Client) GetObject(ctx context.Context, key string) (wire.ObjectResponse
 // the delete.
 func (c *Client) DeleteObject(ctx context.Context, key string) (wire.DeleteResponse, error) {
 	var out wire.DeleteResponse
-	err := c.do(ctx, http.MethodDelete, "/v1/objects/"+url.PathEscape(key), nil, &out)
+	err := c.do(ctx, http.MethodDelete, "/v1/objects/"+url.PathEscape(key), nil, &out, true)
 	return out, err
 }
 
@@ -202,7 +416,7 @@ func (c *Client) PutBelief(ctx context.Context, key, user, value string) (wire.O
 	var out wire.ObjectResponse
 	err := c.do(ctx, http.MethodPut,
 		"/v1/objects/"+url.PathEscape(key)+"/beliefs/"+url.PathEscape(user),
-		wire.BeliefPutRequest{Value: value}, &out)
+		wire.BeliefPutRequest{Value: value}, &out, true)
 	return out, err
 }
 
@@ -211,7 +425,7 @@ func (c *Client) PutBelief(ctx context.Context, key, user, value string) (wire.O
 func (c *Client) DeleteBelief(ctx context.Context, key, user string) (wire.ObjectResponse, error) {
 	var out wire.ObjectResponse
 	err := c.do(ctx, http.MethodDelete,
-		"/v1/objects/"+url.PathEscape(key)+"/beliefs/"+url.PathEscape(user), nil, &out)
+		"/v1/objects/"+url.PathEscape(key)+"/beliefs/"+url.PathEscape(user), nil, &out, true)
 	return out, err
 }
 
@@ -223,6 +437,6 @@ func (c *Client) ResolveObject(ctx context.Context, key string, users []string) 
 	// commas survive the round trip.
 	q := url.Values{"users": users}
 	err := c.do(ctx, http.MethodGet,
-		"/v1/objects/"+url.PathEscape(key)+"/resolution?"+q.Encode(), nil, &out)
+		"/v1/objects/"+url.PathEscape(key)+"/resolution?"+q.Encode(), nil, &out, true)
 	return out, err
 }

@@ -1,0 +1,274 @@
+package client
+
+// Retry-policy tests against a scripted fault server: a handler that
+// answers a fixed sequence of failures before succeeding, so every retry
+// decision (which statuses retry, how idempotency gates them, how
+// Retry-After and jitter shape the schedule) is asserted deterministically.
+// The sleep hook is swapped out, so no test actually waits.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"trustmap/wire"
+)
+
+// faultStep is one scripted response: a status (with optional Retry-After
+// seconds) for failures, or 0 meaning answer 200 with an empty JSON body.
+type faultStep struct {
+	status     int
+	retryAfter int
+}
+
+// faultServer answers its script in order, then keeps succeeding. It
+// records every request's method+path.
+type faultServer struct {
+	mu     sync.Mutex
+	script []faultStep
+	calls  []string
+}
+
+func (f *faultServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.calls = append(f.calls, r.Method+" "+r.URL.Path)
+	var st faultStep
+	if len(f.script) > 0 {
+		st, f.script = f.script[0], f.script[1:]
+	}
+	f.mu.Unlock()
+	if st.status == 0 {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"ok": true, "epoch": 1, "applied": 1})
+		return
+	}
+	if st.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(st.retryAfter))
+	}
+	w.WriteHeader(st.status)
+	json.NewEncoder(w).Encode(wire.ErrorResponse{Message: http.StatusText(st.status)})
+}
+
+func (f *faultServer) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+// retryClient builds a client against a scripted server, with the sleep
+// hook recording the schedule instead of waiting.
+func retryClient(t *testing.T, script []faultStep, opts ...Option) (*Client, *faultServer, *[]time.Duration) {
+	t.Helper()
+	fs := &faultServer{script: script}
+	srv := httptest.NewServer(fs)
+	t.Cleanup(srv.Close)
+	c := New(srv.URL, opts...)
+	sleeps := &[]time.Duration{}
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		*sleeps = append(*sleeps, d)
+		return nil
+	}
+	return c, fs, sleeps
+}
+
+func TestRetryIdempotentOn503(t *testing.T) {
+	c, fs, sleeps := retryClient(t,
+		[]faultStep{{status: 503}, {status: 503}},
+		WithRetry(RetryPolicy{}))
+	h, err := c.Healthz(context.Background())
+	if err != nil || !h.OK {
+		t.Fatalf("Healthz = %+v, %v; want success after retries", h, err)
+	}
+	if fs.count() != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", fs.count())
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*sleeps))
+	}
+}
+
+func TestRetryExhaustionSurfacesLastError(t *testing.T) {
+	c, fs, _ := retryClient(t,
+		[]faultStep{{status: 503}, {status: 503}, {status: 503}, {status: 503}},
+		WithRetry(RetryPolicy{MaxAttempts: 3}))
+	_, err := c.Healthz(context.Background())
+	if !IsUnavailable(err) {
+		t.Fatalf("err = %v, want 503 APIError after exhaustion", err)
+	}
+	if fs.count() != 3 {
+		t.Fatalf("server saw %d requests, want exactly MaxAttempts=3", fs.count())
+	}
+}
+
+func TestNoRetryWithoutPolicy(t *testing.T) {
+	c, fs, _ := retryClient(t, []faultStep{{status: 503}})
+	if _, err := c.Healthz(context.Background()); !IsUnavailable(err) {
+		t.Fatalf("err = %v, want 503 surfaced immediately", err)
+	}
+	if fs.count() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no policy armed)", fs.count())
+	}
+}
+
+func TestNoRetryOnDefinitiveStatuses(t *testing.T) {
+	for _, status := range []int{400, 404, 405, 413, 500} {
+		c, fs, _ := retryClient(t, []faultStep{{status: status}},
+			WithRetry(RetryPolicy{}))
+		_, err := c.Healthz(context.Background())
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != status {
+			t.Fatalf("status %d: err = %v", status, err)
+		}
+		if fs.count() != 1 {
+			t.Fatalf("status %d: server saw %d requests, want 1", status, fs.count())
+		}
+	}
+}
+
+// TestRetryMutationGating: a shed (429) retries Mutate — the server did
+// no work — but a 503 does not without the explicit opt-in.
+func TestRetryMutationGating(t *testing.T) {
+	ops := []wire.Op{{Op: wire.OpSetTrust, Truster: "a", Trusted: "b", Priority: 1}}
+
+	c, fs, _ := retryClient(t, []faultStep{{status: 429, retryAfter: 1}},
+		WithRetry(RetryPolicy{}))
+	if _, err := c.Mutate(context.Background(), ops); err != nil {
+		t.Fatalf("Mutate after shed: %v, want retried success", err)
+	}
+	if fs.count() != 2 {
+		t.Fatalf("shed: server saw %d requests, want 2", fs.count())
+	}
+
+	c, fs, _ = retryClient(t, []faultStep{{status: 503}},
+		WithRetry(RetryPolicy{}))
+	if _, err := c.Mutate(context.Background(), ops); !IsUnavailable(err) {
+		t.Fatalf("Mutate on 503 without opt-in: %v, want immediate 503", err)
+	}
+	if fs.count() != 1 {
+		t.Fatalf("503 default: server saw %d requests, want 1", fs.count())
+	}
+
+	c, fs, _ = retryClient(t, []faultStep{{status: 503}},
+		WithRetry(RetryPolicy{RetryMutations: true}))
+	if _, err := c.Mutate(context.Background(), ops); err != nil {
+		t.Fatalf("Mutate on 503 with RetryMutations: %v, want retried success", err)
+	}
+	if fs.count() != 2 {
+		t.Fatalf("503 opt-in: server saw %d requests, want 2", fs.count())
+	}
+}
+
+// TestRetryHonorsRetryAfter: a server hint longer than the computed
+// backoff wins; a shorter one loses to the exponential schedule.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	c, _, sleeps := retryClient(t,
+		[]faultStep{{status: 429, retryAfter: 3}},
+		WithRetry(RetryPolicy{Jitter: -1})) // jitter off: exact delays
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	if len(*sleeps) != 1 || (*sleeps)[0] != 3*time.Second {
+		t.Fatalf("sleeps = %v, want exactly [3s] (server hint over 100ms backoff)", *sleeps)
+	}
+
+	c, _, sleeps = retryClient(t,
+		[]faultStep{{status: 503}, {status: 503, retryAfter: 1}, {status: 503}},
+		WithRetry(RetryPolicy{Jitter: -1, MaxDelay: 30 * time.Second, MaxAttempts: 4}))
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 1 * time.Second, 400 * time.Millisecond}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", *sleeps, want)
+	}
+	for i := range want {
+		if (*sleeps)[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full schedule %v)", i, (*sleeps)[i], want[i], *sleeps)
+		}
+	}
+}
+
+// TestRetryBackoffCapAndDeterminism: the exponential schedule caps at
+// MaxDelay, and the same seed reproduces the same jittered schedule.
+func TestRetryBackoffCapAndDeterminism(t *testing.T) {
+	script := func() []faultStep {
+		return []faultStep{{status: 503}, {status: 503}, {status: 503}, {status: 503}, {status: 503}}
+	}
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 50 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Seed: 42}
+
+	c1, _, s1 := retryClient(t, script(), WithRetry(p))
+	c2, _, s2 := retryClient(t, script(), WithRetry(p))
+	if _, err := c1.Healthz(context.Background()); err != nil {
+		t.Fatalf("c1: %v", err)
+	}
+	if _, err := c2.Healthz(context.Background()); err != nil {
+		t.Fatalf("c2: %v", err)
+	}
+	if len(*s1) != 5 || len(*s2) != 5 {
+		t.Fatalf("schedules %v / %v, want 5 sleeps each", *s1, *s2)
+	}
+	for i := range *s1 {
+		if (*s1)[i] != (*s2)[i] {
+			t.Fatalf("same seed diverged: %v vs %v", *s1, *s2)
+		}
+		// Jitter is ±20%, so every delay stays within [0.8, 1.2]x the
+		// un-jittered value, which itself caps at MaxDelay.
+		if max := time.Duration(float64(p.MaxDelay) * 1.2); (*s1)[i] > max {
+			t.Fatalf("sleep %d = %v exceeds jittered cap %v", i, (*s1)[i], max)
+		}
+	}
+}
+
+// TestRetryContextCancelStopsSchedule: an expired caller context ends the
+// retry loop with the last real failure, not a sleep forever.
+func TestRetryContextCancelStopsSchedule(t *testing.T) {
+	fs := &faultServer{script: []faultStep{{status: 503}, {status: 503}, {status: 503}}}
+	srv := httptest.NewServer(fs)
+	t.Cleanup(srv.Close)
+	c := New(srv.URL, WithRetry(RetryPolicy{}))
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // the budget dies during the first backoff
+		return ctx.Err()
+	}
+	_, err := c.Healthz(ctx)
+	if !IsUnavailable(err) {
+		t.Fatalf("err = %v, want the last 503 surfaced when ctx dies mid-backoff", err)
+	}
+	if fs.count() != 1 {
+		t.Fatalf("server saw %d requests, want 1", fs.count())
+	}
+}
+
+// TestServerTimeoutHeader: WithServerTimeout stamps every request with
+// the wire deadline-propagation header.
+func TestServerTimeoutHeader(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(wire.TimeoutHeader)
+		json.NewEncoder(w).Encode(wire.Health{OK: true})
+	}))
+	t.Cleanup(srv.Close)
+	c := New(srv.URL, WithServerTimeout(1500*time.Millisecond))
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	if got != "1500" {
+		t.Fatalf("timeout header = %q, want 1500", got)
+	}
+}
+
+// TestDefaultClientHasTimeout: the package default transport carries an
+// overall timeout, so a stuck server cannot hang a context-less caller.
+func TestDefaultClientHasTimeout(t *testing.T) {
+	c := New("http://127.0.0.1:0")
+	if c.hc.Timeout != defaultTimeout {
+		t.Fatalf("default client timeout = %v, want %v", c.hc.Timeout, defaultTimeout)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -147,5 +148,68 @@ func TestCrashRecovery(t *testing.T) {
 	want := fmt.Sprintf("recovered %d\nparity ok %d\ndone\n", maxOps, maxOps)
 	if string(out) != want {
 		t.Fatalf("verify pass output:\n%swant:\n%s", out, want)
+	}
+}
+
+// TestPoisonRecovery is the fault-injection acceptance test: instead of a
+// SIGKILL, the first run hits an injected WAL fsync failure mid-storm and
+// must poison — refusing that op and all later mutations while exiting
+// cleanly — and the second run must recover through the ordinary oracle
+// preamble. The failed fsync's record reached the file, so recovery lands
+// exactly at the poisoned op with full parity: proof that a storage
+// failure costs availability for writes, never acknowledged data.
+func TestPoisonRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process fault rounds are not -short material")
+	}
+
+	bin := filepath.Join(t.TempDir(), "crashharness")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building harness with -race: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	const (
+		failAt = 60
+		maxOps = 200
+	)
+
+	// Round 1: storm into the injected fsync failure.
+	out, err := exec.Command(bin, "-dir", dir, "-seed", "7",
+		"-max-ops", fmt.Sprint(maxOps), "-fail-fsync-at", fmt.Sprint(failAt)).CombinedOutput()
+	if err != nil {
+		t.Fatalf("poison round: %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if lines[0] != "recovered 0" || lines[1] != "parity ok 0" {
+		t.Fatalf("poison round preamble: %q, %q", lines[0], lines[1])
+	}
+	if got, want := lines[len(lines)-1], fmt.Sprintf("poisoned %d", failAt); got != want {
+		t.Fatalf("poison round ended %q, want %q\nfull output:\n%s", got, want, out)
+	}
+	for i, line := range lines[2 : len(lines)-1] {
+		if want := fmt.Sprintf("acked %d", i+1); line != want {
+			t.Fatalf("poison round line %d = %q, want %q", i+2, line, want)
+		}
+	}
+
+	// Round 2: plain restart. Recovery must land exactly at the poisoned
+	// op (its record hit the file before the fsync verdict), pass parity,
+	// and run the storm to completion.
+	out, err = exec.Command(bin, "-dir", dir, "-seed", "7",
+		"-max-ops", fmt.Sprint(maxOps)).CombinedOutput()
+	if err != nil {
+		t.Fatalf("recovery round: %v\n%s", err, out)
+	}
+	lines = strings.Split(strings.TrimSpace(string(out)), "\n")
+	if lines[0] != fmt.Sprintf("recovered %d", failAt) {
+		t.Fatalf("recovery round: %q, want 'recovered %d'", lines[0], failAt)
+	}
+	if lines[1] != fmt.Sprintf("parity ok %d", failAt) {
+		t.Fatalf("recovery round parity: %q, want 'parity ok %d'", lines[1], failAt)
+	}
+	if got := lines[len(lines)-1]; got != "done" {
+		t.Fatalf("recovery round ended %q, want done\nfull output:\n%s", got, out)
 	}
 }

@@ -19,11 +19,20 @@
 //	acked <lsn>        (repeated)
 //	done
 //
+// With -fail-fsync-at N the harness proves the poison path instead of the
+// SIGKILL path: at op N it injects one WAL fsync failure (see
+// internal/faultinject), requires the store to refuse that op and every
+// later mutation with trustmap.ErrPoisoned while reads keep serving,
+// prints "poisoned N", and exits cleanly. The next run (without the flag)
+// must recover through the ordinary preamble: the failed fsync's record
+// reached the file, so recovery lands at N with full oracle parity.
+//
 // Any violation exits non-zero with a message on stderr.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -31,6 +40,7 @@ import (
 	"reflect"
 
 	"trustmap"
+	"trustmap/internal/faultinject"
 )
 
 // gen deterministically produces the storm's mutation sequence: op i is
@@ -134,6 +144,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "generator seed; must stay fixed across restarts of one storm")
 	maxOps := flag.Uint64("max-ops", 5000, "stop after this many total ops (across restarts)")
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "checkpoint every N ops (0 = never)")
+	failFsyncAt := flag.Uint64("fail-fsync-at", 0, "inject one WAL fsync failure at this op: the store must poison and the harness exits cleanly (0 = off)")
 	flag.Parse()
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
@@ -178,6 +189,9 @@ func run() error {
 	g := newGen(*seed)
 	g.skip(lsn)
 	for i := lsn + 1; i <= *maxOps; i++ {
+		if *failFsyncAt > 0 && i == *failFsyncAt {
+			return provePoison(ctx, g, i, st)
+		}
 		if err := g.apply(ctx, i, st); err != nil {
 			return fmt.Errorf("op %d: %w", i, err)
 		}
@@ -195,6 +209,30 @@ func run() error {
 		return fmt.Errorf("close: %w", err)
 	}
 	fmt.Println("done")
+	return nil
+}
+
+// provePoison runs op i against a one-shot WAL fsync failure and asserts
+// the poison contract: the op and every later mutation fail with
+// ErrPoisoned (sticky even after the injector is disarmed), reads keep
+// serving the last published epoch, and the harness exits cleanly so the
+// next run can prove recovery without any SIGKILL involved.
+func provePoison(ctx context.Context, g *gen, i uint64, st *trustmap.Store) error {
+	faultinject.Enable(faultinject.WALSync, faultinject.FailN(0, 1, nil))
+	err := g.apply(ctx, i, st)
+	faultinject.Reset()
+	if !errors.Is(err, trustmap.ErrPoisoned) {
+		return fmt.Errorf("op %d under fsync failure: err = %v, want ErrPoisoned", i, err)
+	}
+	// Sticky: the injector is gone, the refusal is not.
+	if err := st.SetDefault(ctx, seedUsers[0], values[0]); !errors.Is(err, trustmap.ErrPoisoned) {
+		return fmt.Errorf("mutation after poison: err = %v, want ErrPoisoned", err)
+	}
+	// Reads still serve: the published epoch is untouched by the failure.
+	if _, err := fingerprint(st); err != nil {
+		return fmt.Errorf("resolve after poison: %w", err)
+	}
+	fmt.Printf("poisoned %d\n", i)
 	return nil
 }
 

@@ -53,6 +53,16 @@
 // Every response carries the serving epoch; a mutate's response epoch is
 // a lower bound for every later read, so read-your-writes is checkable
 // client-side.
+//
+// Production resilience (see internal/httpd): -read-limit/-mutate-limit
+// arm per-class admission control (bounded concurrency + a bounded FIFO
+// wait queue; overload sheds 429 with a computed Retry-After before any
+// work is done), and -default-timeout gives every request a context
+// deadline that rides through the store — clients can override it per
+// request via the X-Trustd-Timeout-Ms header, capped by -max-timeout. A
+// request whose deadline expires answers 503 without Retry-After,
+// distinctly from the shed 429 and the recovering-store 503. All
+// admission and deadline rejections are counted in /v1/stats.
 package main
 
 import (
@@ -71,6 +81,8 @@ import (
 	"time"
 
 	"trustmap"
+	"trustmap/internal/admission"
+	"trustmap/internal/httpd"
 )
 
 func main() {
@@ -83,6 +95,13 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max ops per mutate / objects per bulk-resolve (0 = default)")
 	dataDir := flag.String("data-dir", "", "durable store directory (WAL + snapshots); empty = in-memory")
 	durability := flag.String("durability", "batch", "WAL fsync discipline with -data-dir: batch, off, or always")
+	defaultTimeout := flag.Duration("default-timeout", 0, "per-request deadline when the client sends no X-Trustd-Timeout-Ms header (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on any per-request deadline, including client overrides (0 = uncapped)")
+	readLimit := flag.Int("read-limit", 0, "max concurrent read requests before queueing (0 = unlimited)")
+	readQueue := flag.Int("read-queue", 0, "read requests allowed to wait for a slot before shedding 429")
+	mutateLimit := flag.Int("mutate-limit", 0, "max concurrent mutate requests before queueing (0 = unlimited)")
+	mutateQueue := flag.Int("mutate-queue", 0, "mutate requests allowed to wait for a slot before shedding 429")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "longest a queued request waits for a slot before shedding 429")
 	flag.Parse()
 	if *dataDir == "" && (*file == "") == (*demo == 0) {
 		fmt.Fprintln(os.Stderr, "trustd: exactly one of -f and -demo is required (or -data-dir)")
@@ -111,11 +130,28 @@ func main() {
 	// The listener comes up before recovery finishes: the handler answers
 	// 503 (with Retry-After) until the store is installed, so restarts
 	// behind a load balancer drain into retries instead of refusals.
-	handler := newServer(nil, *maxBatch)
+	handler := httpd.New(nil, httpd.Config{
+		MaxBatch:       *maxBatch,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		Reads: admission.Config{
+			MaxConcurrent: *readLimit, MaxQueue: *readQueue, QueueTimeout: *queueTimeout,
+		},
+		Mutations: admission.Config{
+			MaxConcurrent: *mutateLimit, MaxQueue: *mutateQueue, QueueTimeout: *queueTimeout,
+		},
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		// Slowloris and stuck-peer protection: bound how long one
+		// connection may take to deliver a body or drain a response, and
+		// reap idle keep-alives. Generously above any sane request budget
+		// (-default-timeout governs handler work; these govern the socket).
+		ReadTimeout:  2 * time.Minute,
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  5 * time.Minute,
 	}
 	recovered := make(chan *trustmap.Store, 1)
 	go func() {
@@ -123,7 +159,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("trustd: %v", err)
 		}
-		handler.install(st)
+		handler.Install(st)
 		eng := st.EngineStats()
 		dur := st.Durability()
 		log.Printf("trustd: serving %d users, %d mappings, %d roots, %d objects on %s (epoch %d, lsn %d, durability %s)",

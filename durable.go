@@ -74,6 +74,14 @@ func WithDurability(mode DurabilityMode) StoreOption {
 // ErrClosed is returned by every operation on a Store after Close.
 var ErrClosed = errors.New("trustmap: store is closed")
 
+// ErrPoisoned marks a store whose WAL write failed after the in-memory
+// apply: memory leads the log, so accepting further writes would let a
+// later crash fork history. Every subsequent mutation, Sync, and
+// Checkpoint wraps ErrPoisoned (errors.Is distinguishes it from
+// ErrClosed). Reads keep serving the last published epoch; the only exit
+// is to Close and re-OpenStore, which recovers to the durable state.
+var ErrPoisoned = errors.New("trustmap: store poisoned by storage failure")
+
 // ErrNotDurable is returned by Checkpoint on an in-memory store.
 var ErrNotDurable = errors.New("trustmap: store has no data directory (NewStore; use OpenStore)")
 
@@ -326,7 +334,7 @@ func (s *Store) logMutation(ops ...wire.Op) error {
 		Ops:    ops,
 	}
 	if err := d.log.Append(b); err != nil {
-		d.failed = fmt.Errorf("trustmap: wal append failed, store poisoned: %w", err)
+		d.failed = fmt.Errorf("%w: wal append failed: %w", ErrPoisoned, err)
 		return d.failed
 	}
 	d.lastLSN.Store(b.LSN)
@@ -346,7 +354,7 @@ func (s *Store) logMutation(ops ...wire.Op) error {
 // hold d.mu.
 func (d *durable) syncLocked() error {
 	if err := d.log.Sync(); err != nil {
-		d.failed = fmt.Errorf("trustmap: wal fsync failed, store poisoned: %w", err)
+		d.failed = fmt.Errorf("%w: wal fsync failed: %w", ErrPoisoned, err)
 		return d.failed
 	}
 	d.durableLSN.Store(d.log.LastLSN())
@@ -428,7 +436,7 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	d.snapLSN.Store(lsn)
 	d.checkpoints++
 	if err := d.log.Rotate(); err != nil {
-		d.failed = fmt.Errorf("trustmap: wal rotate failed, store poisoned: %w", err)
+		d.failed = fmt.Errorf("%w: wal rotate failed: %w", ErrPoisoned, err)
 		return CheckpointInfo{}, d.failed
 	}
 	if _, err := d.log.Prune(lsn); err != nil {

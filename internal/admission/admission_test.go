@@ -1,0 +1,258 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestUnlimited: MaxConcurrent <= 0 admits everything immediately.
+func TestUnlimited(t *testing.T) {
+	g := New(Config{})
+	var releases []func()
+	for i := 0; i < 100; i++ {
+		rel, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	s := g.Stats()
+	if s.Admitted != 100 || s.Shed != 0 || s.Queued != 0 {
+		t.Fatalf("stats = %+v, want 100 admitted, 0 shed, 0 queued", s)
+	}
+	if s.InFlight != 100 {
+		t.Fatalf("inflight = %d, want 100", s.InFlight)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if got := g.Stats().InFlight; got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+// TestNilGate: a nil *Gate admits and counts nothing.
+func TestNilGate(t *testing.T) {
+	var g *Gate
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("nil gate acquire: %v", err)
+	}
+	rel()
+	if s := g.Stats(); s != (Stats{}) {
+		t.Fatalf("nil gate stats = %+v, want zero", s)
+	}
+}
+
+// TestImmediateShed: with no queue, a busy gate sheds at once with a
+// Retry-After hint, and the shed error unwraps to ErrShed.
+func TestImmediateShed(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 0})
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	_, err = g.Acquire(context.Background())
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("second acquire err = %v, want ErrShed", err)
+	}
+	var se *ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("second acquire err = %T, want *ShedError", err)
+	}
+	if se.Reason != "queue full" {
+		t.Fatalf("reason = %q, want queue full", se.Reason)
+	}
+	if se.RetryAfter < time.Second {
+		t.Fatalf("retry-after = %v, want >= 1s", se.RetryAfter)
+	}
+	rel()
+	s := g.Stats()
+	if s.Admitted != 1 || s.Shed != 1 {
+		t.Fatalf("stats = %+v, want 1 admitted / 1 shed", s)
+	}
+}
+
+// TestFIFOHandoff: queued waiters are granted strictly in arrival order,
+// and a slot handoff keeps inflight constant.
+func TestFIFOHandoff(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 4})
+	rel0, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+
+	const n = 3
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		// Serialize enqueue order: wait until waiter i is actually queued
+		// before launching i+1, so FIFO arrival order is deterministic.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				<-start
+			}
+			rel, err := g.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			rel()
+		}(i)
+		if i == 0 {
+			close(start)
+		}
+		waitFor(t, func() bool { return g.Stats().QueueDepth == i+1 })
+	}
+
+	rel0()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("grant order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+	s := g.Stats()
+	if s.Admitted != uint64(1+n) || s.Queued != n || s.Shed != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxQueueDepth != n {
+		t.Fatalf("max queue depth = %d, want %d", s.MaxQueueDepth, n)
+	}
+	if s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Fatalf("gate not drained: %+v", s)
+	}
+}
+
+// TestQueueTimeout: a waiter that outlives QueueTimeout is shed with the
+// "queue timeout" reason.
+func TestQueueTimeout(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 2, QueueTimeout: 20 * time.Millisecond})
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	defer rel()
+	_, err = g.Acquire(context.Background())
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != "queue timeout" {
+		t.Fatalf("err = %v, want queue-timeout ShedError", err)
+	}
+	s := g.Stats()
+	if s.Shed != 1 || s.Queued != 1 || s.QueueDepth != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestContextCancel: a caller context expiring in the queue surfaces the
+// context error (not a shed) and counts as canceled.
+func TestContextCancel(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 2})
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = g.Acquire(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrShed) {
+		t.Fatalf("context expiry must not be a shed: %v", err)
+	}
+	s := g.Stats()
+	if s.Canceled != 1 || s.Shed != 0 {
+		t.Fatalf("stats = %+v, want 1 canceled / 0 shed", s)
+	}
+}
+
+// TestRetryAfterScalesWithQueue: a deeper queue asks for a longer
+// back-off, capped at 8s.
+func TestRetryAfterScalesWithQueue(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 20})
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	defer rel()
+	for i := 0; i < 20; i++ {
+		go g.Acquire(context.Background()) //nolint:errcheck
+	}
+	waitFor(t, func() bool { return g.Stats().QueueDepth == 20 })
+	_, err = g.Acquire(context.Background())
+	var se *ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want ShedError", err)
+	}
+	if se.RetryAfter != 8*time.Second {
+		t.Fatalf("retry-after = %v, want capped 8s (queue depth 20, 1 slot)", se.RetryAfter)
+	}
+}
+
+// TestConservationHammer: many goroutines race acquire/release/cancel
+// against a tiny gate; afterwards the counters must account for every
+// single call — Admitted + Shed + Canceled == calls — and the gate must
+// be fully drained. Run with -race.
+func TestConservationHammer(t *testing.T) {
+	g := New(Config{MaxConcurrent: 2, MaxQueue: 4, QueueTimeout: time.Millisecond})
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if (i+j)%3 == 0 {
+					// A third of callers carry a deadline that races the
+					// queue timeout, exercising the grant/abandon races.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(j%3)*time.Millisecond)
+				}
+				rel, err := g.Acquire(ctx)
+				if err == nil {
+					rel()
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := g.Stats()
+	total := s.Admitted + s.Shed + s.Canceled
+	if total != goroutines*perG {
+		t.Fatalf("conservation violated: admitted %d + shed %d + canceled %d = %d, want %d",
+			s.Admitted, s.Shed, s.Canceled, total, goroutines*perG)
+	}
+	if s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Fatalf("gate not drained: %+v", s)
+	}
+	if s.MaxQueueDepth > 4 {
+		t.Fatalf("queue bound violated: max depth %d > 4", s.MaxQueueDepth)
+	}
+}
+
+// waitFor polls cond until true or the test deadline budget runs out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,155 @@
+// Package faultinject lets tests and the crash harness break the storage
+// layer on purpose. internal/wal and internal/snapshot call Fire at their
+// I/O boundaries (write, fsync); with no fault armed that is one atomic
+// load — cheap enough to leave compiled into production builds, which is
+// the point: the code path exercised under fault is EXACTLY the code path
+// that runs in production, not a test double.
+//
+// Faults are armed per named point with an injector function deciding,
+// per call, whether to fail. Helpers cover the useful shapes: FailN
+// (fail calls [skip, skip+count) — deterministic, no clocks), Slow
+// (latency), and ShortWrite (report a torn write so the WAL's
+// torn-tail heal path can be driven without SIGKILL).
+//
+// The registry is process-global because the store's I/O plumbing would
+// otherwise need a fault handle threaded through every layer for a
+// test-only concern. Tests that arm faults must not run in parallel with
+// other store tests; each must defer Reset.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one instrumented I/O boundary.
+type Point string
+
+const (
+	// WALAppend fires in wal.Append before the framed record is written.
+	WALAppend Point = "wal-append"
+	// WALSync fires in wal.Sync before the file fsync.
+	WALSync Point = "wal-sync"
+	// SnapshotWrite fires in snapshot.Write before the temp file is written.
+	SnapshotWrite Point = "snapshot-write"
+	// SnapshotSync fires in snapshot.Write before the temp-file fsync.
+	SnapshotSync Point = "snapshot-sync"
+	// HandlerServe fires in internal/httpd's guard middleware after a
+	// request is admitted and before its handler runs — i.e. while the
+	// admission slot is held. Arming it with Slow gives requests a
+	// synthetic service time, which is how cmd/loadgen manufactures
+	// reproducible overload on small machines.
+	HandlerServe Point = "handler-serve"
+)
+
+// ErrInjected is the base of every injected failure, so tests can assert
+// a failure came from the harness and not a real disk.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ShortWriteError instructs the instrumented writer to write only the
+// first Bytes bytes of the record and then fail, physically tearing the
+// file tail the way a crash mid-write would.
+type ShortWriteError struct {
+	Bytes int
+}
+
+func (e *ShortWriteError) Error() string {
+	return fmt.Sprintf("faultinject: short write (%d bytes)", e.Bytes)
+}
+
+func (e *ShortWriteError) Unwrap() error { return ErrInjected }
+
+// Injector decides one call's fate: return nil to let it proceed, or an
+// error to inject. It may sleep to simulate slow I/O.
+type Injector func() error
+
+var (
+	// armed short-circuits Fire when nothing is registered: instrumented
+	// hot paths (wal.Append) pay one atomic load, not a mutex.
+	armed atomic.Int32
+
+	mu        sync.Mutex
+	injectors = map[Point]Injector{}
+)
+
+// Enable arms point with fn. It overwrites any previous injector at that
+// point.
+func Enable(point Point, fn Injector) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := injectors[point]; !ok {
+		armed.Add(1)
+	}
+	injectors[point] = fn
+}
+
+// Disable disarms point.
+func Disable(point Point) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := injectors[point]; ok {
+		delete(injectors, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point. Tests arm faults with `defer faultinject.Reset()`.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	injectors = map[Point]Injector{}
+	armed.Store(0)
+}
+
+// Fire consults point's injector, if any. The common un-armed case is a
+// single atomic load.
+func Fire(point Point) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := injectors[point]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// FailN returns an injector failing calls skip..skip+count-1 (0-based)
+// with err, passing all others. Deterministic: driven purely by the call
+// counter, no clocks. If err is nil it fails with ErrInjected.
+func FailN(skip, count int, err error) Injector {
+	if err == nil {
+		err = ErrInjected
+	}
+	var calls atomic.Int64
+	return func() error {
+		n := int(calls.Add(1)) - 1
+		if n >= skip && n < skip+count {
+			return err
+		}
+		return nil
+	}
+}
+
+// Always returns an injector failing every call with err (ErrInjected if
+// nil).
+func Always(err error) Injector {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func() error { return err }
+}
+
+// Slow returns an injector that delays every call by d and then succeeds,
+// simulating a degraded disk without failing anything.
+func Slow(d time.Duration) Injector {
+	return func() error {
+		time.Sleep(d)
+		return nil
+	}
+}

@@ -1,6 +1,6 @@
-package main
+package httpd
 
-// The trustd HTTP handler: a thin layer over one shared trustmap.Store,
+// The endpoint handlers: a thin layer over the shared trustmap.Store,
 // speaking the wire-package schema (the same one the client package
 // consumes, so server and client cannot drift). Reads are served
 // lock-free from the store's currently published epoch; trust mutations
@@ -14,10 +14,6 @@ package main
 // The handler is built before the store finishes recovering: until the
 // store is installed every endpoint answers 503 with a Retry-After
 // header, so load balancers and clients hold off instead of erroring.
-//
-// Status codes: 400 malformed or invalid request, 404 unknown user or
-// object, 405 wrong method, 413 oversized batch or body, 503 store still
-// recovering from disk.
 
 import (
 	"encoding/json"
@@ -26,63 +22,14 @@ import (
 	"net/http"
 	"sort"
 	"strings"
-	"sync/atomic"
 
 	"trustmap"
 	"trustmap/wire"
 )
 
-// maxBodyBytes bounds every request body.
-const maxBodyBytes = 16 << 20
-
-// server wires one Store into an http.Handler.
-type server struct {
-	// st is nil until the store is installed (recovery can run after the
-	// listener is up); every handler gates on it.
-	st  atomic.Pointer[trustmap.Store]
-	mux *http.ServeMux
-	// maxBatch caps the ops of one mutate and the objects of one
-	// bulk-resolve; beyond it the request answers 413 without touching the
-	// store. Zero means the default.
-	maxBatch int
-}
-
-const defaultMaxBatch = 65536
-
-// newServer builds the handler. st may be nil: the server then answers
-// 503 everywhere until install is called (the recovering state).
-func newServer(st *trustmap.Store, maxBatch int) *server {
-	if maxBatch <= 0 {
-		maxBatch = defaultMaxBatch
-	}
-	srv := &server{mux: http.NewServeMux(), maxBatch: maxBatch}
-	if st != nil {
-		srv.st.Store(st)
-	}
-	srv.mux.HandleFunc("GET /healthz", srv.handleHealthz)
-	srv.mux.HandleFunc("GET /v1/stats", srv.handleStats)
-	srv.mux.HandleFunc("POST /v1/resolve", srv.handleResolve)
-	srv.mux.HandleFunc("POST /v1/bulk-resolve", srv.handleBulkResolve)
-	srv.mux.HandleFunc("POST /v1/mutate", srv.handleMutate)
-	srv.mux.HandleFunc("POST /v1/admin/checkpoint", srv.handleCheckpoint)
-	srv.mux.HandleFunc("GET /v1/objects", srv.handleListObjects)
-	srv.mux.HandleFunc("PUT /v1/objects/{key}", srv.handlePutObject)
-	srv.mux.HandleFunc("GET /v1/objects/{key}", srv.handleGetObject)
-	srv.mux.HandleFunc("DELETE /v1/objects/{key}", srv.handleDeleteObject)
-	srv.mux.HandleFunc("GET /v1/objects/{key}/resolution", srv.handleResolveObject)
-	srv.mux.HandleFunc("PUT /v1/objects/{key}/beliefs/{user}", srv.handlePutBelief)
-	srv.mux.HandleFunc("DELETE /v1/objects/{key}/beliefs/{user}", srv.handleDeleteBelief)
-	return srv
-}
-
-// install publishes the recovered store: the 503 gate opens atomically.
-func (srv *server) install(st *trustmap.Store) { srv.st.Store(st) }
-
-func (srv *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { srv.mux.ServeHTTP(w, r) }
-
 // store returns the serving store, or answers 503 (with Retry-After, so
 // well-behaved clients back off) while recovery is still running.
-func (srv *server) store(w http.ResponseWriter) (*trustmap.Store, bool) {
+func (srv *Server) store(w http.ResponseWriter) (*trustmap.Store, bool) {
 	st := srv.st.Load()
 	if st == nil {
 		w.Header().Set("Retry-After", "1")
@@ -93,7 +40,7 @@ func (srv *server) store(w http.ResponseWriter) (*trustmap.Store, bool) {
 	return st, true
 }
 
-func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
@@ -101,7 +48,7 @@ func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.Health{OK: true, Epoch: st.Epoch(), LSN: st.LSN()})
 }
 
-func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
@@ -149,10 +96,11 @@ func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReplayErrors:     dur.ReplayErrors,
 			DiscardedBytes:   dur.DiscardedBytes,
 		},
+		Admission: srv.AdmissionStats(),
 	})
 }
 
-func (srv *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
@@ -163,7 +111,7 @@ func (srv *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		srv.storeError(w, err, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.CheckpointResponse{
@@ -171,13 +119,13 @@ func (srv *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (srv *server) handleResolve(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
 	}
 	var req wire.ResolveRequest
-	if !readJSON(w, r, &req) {
+	if !srv.readJSON(w, r, &req) {
 		return
 	}
 	if len(req.Users) == 0 {
@@ -186,24 +134,24 @@ func (srv *server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := st.Resolve(r.Context(), req.Beliefs)
 	if err != nil {
-		writeResolveError(w, err)
+		srv.resolveError(w, err)
 		return
 	}
 	users, err := collectUsers(res.Lookup, req.Users)
 	if err != nil {
-		writeResolveError(w, err)
+		srv.resolveError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.ResolveResponse{Epoch: res.Epoch(), LSN: st.LSN(), Users: users})
 }
 
-func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
 	}
 	var req wire.BulkResolveRequest
-	if !readJSON(w, r, &req) {
+	if !srv.readJSON(w, r, &req) {
 		return
 	}
 	if len(req.Users) == 0 || len(req.Objects) == 0 {
@@ -211,13 +159,13 @@ func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Objects) > srv.maxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeLimitError(w, srv.maxBatch,
 			fmt.Errorf("bulk-resolve: %d objects exceed the batch limit of %d", len(req.Objects), srv.maxBatch))
 		return
 	}
 	res, err := st.ResolveBatch(r.Context(), req.Objects)
 	if err != nil {
-		writeResolveError(w, err)
+		srv.resolveError(w, err)
 		return
 	}
 	out := make(map[string]map[string]wire.UserResult, len(req.Objects))
@@ -226,7 +174,7 @@ func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
 			return res.Lookup(u, key)
 		}, req.Users)
 		if err != nil {
-			writeResolveError(w, err)
+			srv.resolveError(w, err)
 			return
 		}
 		out[key] = users
@@ -234,13 +182,13 @@ func (srv *server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.BulkResolveResponse{Epoch: res.Epoch(), LSN: st.LSN(), Objects: out})
 }
 
-func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
 	}
 	var req wire.MutateRequest
-	if !readJSON(w, r, &req) {
+	if !srv.readJSON(w, r, &req) {
 		return
 	}
 	if len(req.Ops) == 0 {
@@ -248,7 +196,7 @@ func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Ops) > srv.maxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeLimitError(w, srv.maxBatch,
 			fmt.Errorf("mutate: %d ops exceed the batch limit of %d", len(req.Ops), srv.maxBatch))
 		return
 	}
@@ -263,6 +211,10 @@ func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, trustmap.ErrPoisoned) || errors.Is(err, trustmap.ErrClosed) {
+			srv.storeError(w, err, http.StatusServiceUnavailable)
+			return
+		}
 		// Ops before the failing one were applied and published: report
 		// the count alongside the error so the client can reconcile.
 		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{
@@ -275,7 +227,7 @@ func (srv *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 
 // --- object CRUD -------------------------------------------------------
 
-func (srv *server) handleListObjects(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleListObjects(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
@@ -283,29 +235,29 @@ func (srv *server) handleListObjects(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.ObjectListResponse{Objects: st.Objects(), Epoch: st.Epoch(), LSN: st.LSN()})
 }
 
-func (srv *server) handlePutObject(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handlePutObject(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
 	}
 	key := r.PathValue("key")
 	var req wire.ObjectPutRequest
-	if !readJSON(w, r, &req) {
+	if !srv.readJSON(w, r, &req) {
 		return
 	}
 	if len(req.Beliefs) > srv.maxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeLimitError(w, srv.maxBatch,
 			fmt.Errorf("put object: %d beliefs exceed the batch limit of %d", len(req.Beliefs), srv.maxBatch))
 		return
 	}
 	if err := st.PutObject(r.Context(), key, req.Beliefs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		srv.storeError(w, err, http.StatusBadRequest)
 		return
 	}
 	srv.writeObject(w, st, key)
 }
 
-func (srv *server) handleGetObject(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleGetObject(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
@@ -314,7 +266,7 @@ func (srv *server) handleGetObject(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeObject answers with the stored object, or 404.
-func (srv *server) writeObject(w http.ResponseWriter, st *trustmap.Store, key string) {
+func (srv *Server) writeObject(w http.ResponseWriter, st *trustmap.Store, key string) {
 	beliefs, ok := st.Object(key)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, key))
@@ -323,7 +275,7 @@ func (srv *server) writeObject(w http.ResponseWriter, st *trustmap.Store, key st
 	writeJSON(w, http.StatusOK, wire.ObjectResponse{Object: key, Beliefs: beliefs, Epoch: st.Epoch(), LSN: st.LSN()})
 }
 
-func (srv *server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
@@ -331,7 +283,7 @@ func (srv *server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	ok, err := st.DeleteObject(r.Context(), key)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		srv.storeError(w, err, http.StatusBadRequest)
 		return
 	}
 	if !ok {
@@ -341,24 +293,24 @@ func (srv *server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.DeleteResponse{Deleted: key, Epoch: st.Epoch(), LSN: st.LSN()})
 }
 
-func (srv *server) handlePutBelief(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handlePutBelief(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
 	}
 	key, user := r.PathValue("key"), r.PathValue("user")
 	var req wire.BeliefPutRequest
-	if !readJSON(w, r, &req) {
+	if !srv.readJSON(w, r, &req) {
 		return
 	}
 	if err := st.PutBelief(r.Context(), user, key, req.Value); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		srv.storeError(w, err, http.StatusBadRequest)
 		return
 	}
 	srv.writeObject(w, st, key)
 }
 
-func (srv *server) handleDeleteBelief(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleDeleteBelief(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
@@ -366,7 +318,7 @@ func (srv *server) handleDeleteBelief(w http.ResponseWriter, r *http.Request) {
 	key, user := r.PathValue("key"), r.PathValue("user")
 	ok, err := st.DeleteBelief(r.Context(), user, key)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		srv.storeError(w, err, http.StatusBadRequest)
 		return
 	}
 	if !ok {
@@ -382,7 +334,7 @@ func (srv *server) handleDeleteBelief(w http.ResponseWriter, r *http.Request) {
 	srv.writeObject(w, st, key)
 }
 
-func (srv *server) handleResolveObject(w http.ResponseWriter, r *http.Request) {
+func (srv *Server) handleResolveObject(w http.ResponseWriter, r *http.Request) {
 	st, ok := srv.store(w)
 	if !ok {
 		return
@@ -395,12 +347,12 @@ func (srv *server) handleResolveObject(w http.ResponseWriter, r *http.Request) {
 	}
 	row, err := st.ResolveObject(r.Context(), key)
 	if err != nil {
-		writeResolveError(w, err)
+		srv.resolveError(w, err)
 		return
 	}
 	out, err := collectUsers(row.Lookup, users)
 	if err != nil {
-		writeResolveError(w, err)
+		srv.resolveError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.ObjectResolutionResponse{Object: key, Epoch: row.Epoch(), LSN: st.LSN(), Users: out})
@@ -439,28 +391,19 @@ func collectUsers(lookup func(user string) ([]string, string, error), users []st
 // readJSON decodes the body, tolerating unknown fields: the schema
 // evolves by adding fields (see wire.SchemaVersion), so a newer client's
 // extra fields must not fail an older server.
-func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (srv *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(dst); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			writeLimitError(w, int(tooLarge.Limit),
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
 			return false
 		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
 		return false
 	}
 	return true
-}
-
-// writeResolveError maps resolution errors onto statuses: unknown names
-// are 404, everything else is an invalid request.
-func writeResolveError(w http.ResponseWriter, err error) {
-	if errors.Is(err, trustmap.ErrUnknownUser) || errors.Is(err, trustmap.ErrUnknownObject) {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	writeError(w, http.StatusBadRequest, err)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -471,4 +414,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, wire.ErrorResponse{Message: err.Error()})
+}
+
+// writeLimitError answers 413 with the exceeded bound in the body, so a
+// client can split its batch without guessing the server's configuration.
+func writeLimitError(w http.ResponseWriter, limit int, err error) {
+	writeJSON(w, http.StatusRequestEntityTooLarge, wire.ErrorResponse{Message: err.Error(), Limit: limit})
 }

@@ -1,0 +1,246 @@
+package httpd
+
+// In-package tests for the resilience layer: admission shedding (429 +
+// Retry-After on every shed), deterministic counter conservation under
+// racing readers and a writer, deadline propagation (the 503 that carries
+// no Retry-After), and the timeout-resolution rules. These reach the
+// unexported gates to occupy slots deterministically.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trustmap"
+	"trustmap/internal/admission"
+	"trustmap/wire"
+)
+
+func gateStore(t *testing.T) *trustmap.Store {
+	t.Helper()
+	n := trustmap.New()
+	n.AddTrust("alice", "bob", 100)
+	n.SetBelief("bob", "fish")
+	st, err := n.NewStore(trustmap.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func get(h http.Handler, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("GET", path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestShedAnswers429WithRetryAfter: with the single read slot occupied
+// and no queue, a read sheds at admission — 429, Retry-After, JSON error
+// body, counted — while /v1/stats and /healthz still answer (probes
+// bypass admission). Releasing the slot restores service.
+func TestShedAnswers429WithRetryAfter(t *testing.T) {
+	srv := New(gateStore(t), Config{Reads: admission.Config{MaxConcurrent: 1}})
+
+	release, err := srv.reads.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := get(srv, "/v1/objects", nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429 (body %s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), `"error"`) {
+		t.Fatalf("shed response not a JSON error: %s", rec.Body.String())
+	}
+
+	// Probes answer while the gate is full: overload must stay observable.
+	if rec := get(srv, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthz under full gate: %d, want 200", rec.Code)
+	}
+	rec = get(srv, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats under full gate: %d, want 200", rec.Code)
+	}
+	var stats wire.StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Admission.Enabled || stats.Admission.Reads.Shed != 1 || stats.Admission.Reads.InFlight != 1 {
+		t.Fatalf("admission stats = %+v, want enabled, 1 shed, 1 in flight", stats.Admission)
+	}
+
+	release()
+	if rec := get(srv, "/v1/objects", nil); rec.Code != http.StatusOK {
+		t.Fatalf("after release: %d, want 200 (body %s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestAdmissionCountersUnderRace hammers a 1-slot read gate with
+// concurrent readers while one writer mutates through its own 1-slot
+// gate, and checks the deterministic bookkeeping: every response is a 200
+// or a Retry-After-carrying 429, and the gate counters match the observed
+// split exactly. Run under -race this doubles as the data-race check on
+// the admission path.
+func TestAdmissionCountersUnderRace(t *testing.T) {
+	srv := New(gateStore(t), Config{
+		Reads: admission.Config{MaxConcurrent: 1},
+		// The lone writer never contends with itself: a deep queue and a
+		// generous wait mean every mutation must be admitted.
+		Mutations: admission.Config{MaxConcurrent: 1, MaxQueue: 8, QueueTimeout: 5 * time.Second},
+	})
+
+	const (
+		readers        = 8
+		readsPerWorker = 25
+		writes         = 20
+	)
+	var ok200, shed429 atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerWorker; i++ {
+				rec := get(srv, "/v1/objects", nil)
+				switch rec.Code {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+					if rec.Header().Get("Retry-After") == "" {
+						t.Error("shed without Retry-After")
+						return
+					}
+				default:
+					t.Errorf("reader got status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			req := httptest.NewRequest("PUT", "/v1/objects/w/beliefs/bob",
+				strings.NewReader(`{"value":"cow"}`))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("writer got status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	total := ok200.Load() + shed429.Load()
+	if total != readers*readsPerWorker {
+		t.Fatalf("accounted responses = %d, want %d", total, readers*readsPerWorker)
+	}
+	rs := srv.reads.Stats()
+	if rs.Admitted != ok200.Load() || rs.Shed != shed429.Load() || rs.Canceled != 0 {
+		t.Fatalf("read gate stats %+v disagree with observed 200s=%d 429s=%d",
+			rs, ok200.Load(), shed429.Load())
+	}
+	if rs.Admitted+rs.Shed != readers*readsPerWorker {
+		t.Fatalf("conservation violated: admitted %d + shed %d != %d",
+			rs.Admitted, rs.Shed, readers*readsPerWorker)
+	}
+	if rs.InFlight != 0 || rs.QueueDepth != 0 {
+		t.Fatalf("gate not drained: %+v", rs)
+	}
+	ms := srv.mutations.Stats()
+	if ms.Admitted != writes || ms.Shed != 0 {
+		t.Fatalf("mutation gate stats = %+v, want exactly %d admitted, 0 shed", ms, writes)
+	}
+}
+
+// TestDeadlineDiesInQueue: a request whose client-chosen budget expires
+// while it waits for a slot answers 503 WITHOUT Retry-After (distinct
+// from both the shed 429 and the recovering 503), and lands in the
+// DeadlineExceeded counter, not Shed.
+func TestDeadlineDiesInQueue(t *testing.T) {
+	srv := New(gateStore(t), Config{
+		Reads: admission.Config{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: time.Minute},
+	})
+	release, err := srv.reads.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	rec := get(srv, "/v1/objects", map[string]string{wire.TimeoutHeader: "1"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queued-past-deadline status = %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "" {
+		t.Fatalf("deadline 503 carries Retry-After %q; the budget was the client's choice", ra)
+	}
+	st := srv.AdmissionStats()
+	if st.DeadlineExceeded != 1 {
+		t.Fatalf("DeadlineExceeded = %d, want 1", st.DeadlineExceeded)
+	}
+	if st.Reads.Shed != 0 || st.Reads.Canceled != 1 {
+		t.Fatalf("read gate stats = %+v, want the dead request canceled, not shed", st.Reads)
+	}
+}
+
+// TestTimeoutResolution pins the budget rules: server default, client
+// header override, and the MaxTimeout cap over both.
+func TestTimeoutResolution(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		cfg    Config
+		header string
+		want   time.Duration
+	}{
+		{"no default, no header", Config{}, "", 0},
+		{"server default", Config{DefaultTimeout: 2 * time.Second}, "", 2 * time.Second},
+		{"header overrides default", Config{DefaultTimeout: 2 * time.Second}, "250", 250 * time.Millisecond},
+		{"cap bounds header", Config{MaxTimeout: time.Second}, "5000", time.Second},
+		{"cap bounds default", Config{DefaultTimeout: 5 * time.Second, MaxTimeout: time.Second}, "", time.Second},
+		{"cap applies without budget", Config{MaxTimeout: time.Second}, "", time.Second},
+		{"garbage header ignored", Config{DefaultTimeout: time.Second}, "soon", time.Second},
+		{"nonpositive header ignored", Config{DefaultTimeout: time.Second}, "-5", time.Second},
+	} {
+		srv := New(nil, tc.cfg)
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		if tc.header != "" {
+			req.Header.Set(wire.TimeoutHeader, tc.header)
+		}
+		if got := srv.timeoutFor(req); got != tc.want {
+			t.Errorf("%s: timeoutFor = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestGuardSetsContextDeadline: the middleware installs the resolved
+// budget as a real context deadline visible to the handler.
+func TestGuardSetsContextDeadline(t *testing.T) {
+	srv := New(gateStore(t), Config{DefaultTimeout: time.Minute})
+	var hadDeadline bool
+	h := srv.guard(nil, func(w http.ResponseWriter, r *http.Request) {
+		_, hadDeadline = r.Context().Deadline()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if !hadDeadline {
+		t.Fatal("handler context carries no deadline despite DefaultTimeout")
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"trustmap/internal/faultinject"
 )
 
 // FormatVersion is the snapshot file schema generation.
@@ -81,12 +83,19 @@ func Write(dir string, f *File) (string, error) {
 		return "", err
 	}
 	name := Name(f.LSN)
+	if err := faultinject.Fire(faultinject.SnapshotWrite); err != nil {
+		return "", err
+	}
 	tmp, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return "", err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := faultinject.Fire(faultinject.SnapshotSync); err != nil {
 		tmp.Close()
 		return "", err
 	}

@@ -47,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 
+	"trustmap/internal/faultinject"
 	"trustmap/wire"
 )
 
@@ -308,6 +309,20 @@ func (l *Log) Append(b wire.OpBatch) error {
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
 	copy(buf[frameHeaderSize:], payload)
+	if err := faultinject.Fire(faultinject.WALAppend); err != nil {
+		// A ShortWriteError physically tears the tail — a prefix of the
+		// frame lands on disk, exactly as a crash mid-write would leave it —
+		// so recovery tests exercise the real heal path.
+		var sw *faultinject.ShortWriteError
+		if errors.As(err, &sw) && sw.Bytes > 0 {
+			n := sw.Bytes
+			if n > len(buf) {
+				n = len(buf)
+			}
+			l.f.Write(buf[:n]) //nolint:errcheck // the injected error supersedes
+		}
+		return err
+	}
 	if _, err := l.f.Write(buf); err != nil {
 		return err
 	}
@@ -343,6 +358,9 @@ func (l *Log) startSegment(firstLSN uint64) error {
 func (l *Log) Sync() error {
 	if !l.dirty || l.f == nil {
 		return nil
+	}
+	if err := faultinject.Fire(faultinject.WALSync); err != nil {
+		return err
 	}
 	if err := l.f.Sync(); err != nil {
 		return err

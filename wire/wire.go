@@ -16,8 +16,12 @@
 //     the write survives a crash.
 //   - Errors are an ErrorResponse body with the HTTP status carrying the
 //     class: 400 malformed or invalid request, 404 unknown user or
-//     object, 405 wrong method, 413 oversized batch or body, 503 server
-//     still recovering its store from disk (retryable).
+//     object, 405 wrong method, 413 oversized batch or body (Limit names
+//     the bound), 429 admission shed (queue full or queue-wait deadline;
+//     Retry-After header says when to come back), 503 server still
+//     recovering its store from disk (retryable, Retry-After header) or
+//     request deadline exceeded (no Retry-After — the client chose the
+//     budget).
 //
 // # Schema evolution
 //
@@ -33,8 +37,16 @@ import "fmt"
 // SchemaVersion is the current wire schema generation: bumped when a
 // field is added anywhere in the schema. Version 2 added durability: the
 // OpBatch envelope, LSN on responses, object ops, and the durability
-// section of /v1/stats.
-const SchemaVersion = 2
+// section of /v1/stats. Version 3 added resilience: the admission
+// section of /v1/stats, ErrorResponse.Limit on 413s, and the
+// TimeoutHeader request deadline override.
+const SchemaVersion = 3
+
+// TimeoutHeader is the request header a client sets to override the
+// server's default per-request deadline, in integer milliseconds. The
+// server caps it at its configured maximum; 0 or absent means the server
+// default applies.
+const TimeoutHeader = "X-Trustd-Timeout-Ms"
 
 // UserResult is one user's resolution for one object: the possible values
 // over all stable solutions, and the certain value when exactly one.
@@ -242,8 +254,35 @@ type DurabilityStats struct {
 	DiscardedBytes   uint64 `json:"discarded_bytes,omitempty"`
 }
 
+// AdmissionClassStats mirrors one admission gate's deterministic
+// counters on the wire (see internal/admission). Conservation holds:
+// admitted + shed + canceled accounts for every request that reached the
+// gate.
+type AdmissionClassStats struct {
+	Admitted      uint64 `json:"admitted"`
+	Queued        uint64 `json:"queued,omitempty"`
+	Shed          uint64 `json:"shed,omitempty"`
+	Canceled      uint64 `json:"canceled,omitempty"`
+	MaxQueueDepth int    `json:"max_queue_depth,omitempty"`
+	InFlight      int    `json:"in_flight,omitempty"`
+	QueueDepth    int    `json:"queue_depth,omitempty"`
+}
+
+// AdmissionStats is the admission section of /v1/stats: one counter set
+// per request class, plus the deadline-rejection count. Enabled is false
+// when the server runs ungated (every request admitted, nothing counted).
+type AdmissionStats struct {
+	Enabled   bool                `json:"enabled"`
+	Reads     AdmissionClassStats `json:"reads"`
+	Mutations AdmissionClassStats `json:"mutations"`
+	// DeadlineExceeded counts requests answered 503 because their
+	// propagated context deadline expired mid-request (distinct from shed:
+	// these were admitted and started).
+	DeadlineExceeded uint64 `json:"deadline_exceeded,omitempty"`
+}
+
 // StatsResponse is the GET /v1/stats response: session, store, engine,
-// and durability counters of one pinned epoch.
+// durability, and admission counters of one pinned epoch.
 type StatsResponse struct {
 	Schema     int             `json:"schema,omitempty"`
 	Epoch      uint64          `json:"epoch"`
@@ -252,6 +291,7 @@ type StatsResponse struct {
 	Store      StoreStats      `json:"store"`
 	Engine     EngineStats     `json:"engine"`
 	Durability DurabilityStats `json:"durability"`
+	Admission  AdmissionStats  `json:"admission"`
 }
 
 // CheckpointResponse answers POST /v1/admin/checkpoint: the compacted
@@ -274,11 +314,14 @@ type DeleteResponse struct {
 
 // ErrorResponse is the body of every non-2xx response. Applied and Epoch
 // are set on failed mutate batches: ops before the failing one were
-// applied and published.
+// applied and published. Limit is set on 413s: the configured bound
+// (batch ops or body bytes) the request exceeded, so a client can split
+// its batch without guessing.
 type ErrorResponse struct {
 	Message string `json:"error"`
 	Applied int    `json:"applied,omitempty"`
 	Epoch   uint64 `json:"epoch,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
 }
 
 // TxApplier is the mutation surface an Op batch applies to. It is
