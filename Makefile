@@ -20,7 +20,7 @@ ENGINE_COVER_FLOOR ?= 75
 API_PKGS ?= .,wire,client
 API_GOLDEN ?= api/API.txt
 
-.PHONY: all build test race bench bench-save bench-diff bench-gate cover smoke crash poison loadgen-smoke fuzz fmt vet lint api api-save ci
+.PHONY: all build test race bench bench-save bench-diff bench-gate cover smoke crash poison loadgen-smoke replica-smoke fuzz fmt vet lint api api-save ci
 
 all: build test
 
@@ -124,6 +124,21 @@ loadgen-smoke:
 		-self-delay 10ms -mutate-frac 0 -queue-timeout 50ms \
 		-slo-min-ops 200 -slo-min-shed-frac 0.05 -slo-max-queue-depth 4 -slo-max-p99 1s \
 		$(if $(BENCH_SUMMARY),-summary '$(BENCH_SUMMARY)')
+
+# Replication acceptance: the package test builds the harness with -race
+# and asserts the full failover protocol line by line — contiguous acks,
+# SIGKILL of the primary mid-storm, WAL-tail salvage closing the
+# durability gap, promote at exactly the acked frontier, oracle parity,
+# reads surviving the primary's death, and restart of the promoted
+# store. Then a direct (non-race) drive run of the same scenario, with
+# the markdown report forwarded to BENCH_SUMMARY when CI sets it.
+replica-smoke:
+	$(GO) test ./cmd/replicaharness -run TestReplicaFailover -count=1 -v
+	dir=$$(mktemp -d) && $(GO) run ./cmd/replicaharness \
+		-primary-dir $$dir/primary -replica-dir $$dir/replica \
+		-seed 42 -max-ops 300 -kill-after 120 \
+		$(if $(BENCH_SUMMARY),-summary '$(BENCH_SUMMARY)'); \
+	st=$$?; rm -rf $$dir; exit $$st
 
 # Static analysis beyond go vet. staticcheck is not vendored; CI pins
 # go install honnef.co/go/tools/cmd/staticcheck@2025.1.1 (a released

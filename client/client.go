@@ -22,6 +22,19 @@
 // RetryMutations opts Mutate into full retries for callers whose op
 // batches are safe to re-apply.
 //
+// # Failover
+//
+// WithEndpoints turns the client into a fleet client for a replicated
+// deployment: reads load-balance round-robin across endpoints believed
+// healthy, mutations follow the believed primary (a replica's 421
+// redirect re-pins it transparently — the replica did no work), and
+// admin calls (Healthz, Stats, Checkpoint, Promote) always target the
+// base URL from New. Transport errors and 503s mark an endpoint down
+// and, under an armed RetryPolicy, the retry lands on the next
+// endpoint, so a primary crash or replica outage is ridden out without
+// caller-visible failures. Endpoints exposes the per-endpoint
+// attempt/failure counters.
+//
 // # Timeouts
 //
 // The default transport has a 30-second overall timeout so a stuck
@@ -55,12 +68,22 @@ import (
 // finite: no context mistake leaves a goroutine stuck forever.
 const defaultTimeout = 30 * time.Second
 
-// Client talks to one trustd server. Create with New.
+// Client talks to a trustd server — or, with WithEndpoints, a
+// replicated fleet of them. Create with New.
 type Client struct {
 	base          string
 	hc            *http.Client
 	retry         RetryPolicy
 	serverTimeout time.Duration
+
+	// Endpoint routing state (endpoints.go). extra holds WithEndpoints
+	// URLs until New builds the endpoint set; emu guards the rest.
+	extra     []string
+	emu       sync.Mutex
+	endpoints []*endpoint
+	primary   int    // believed primary index (mutation target)
+	cursor    int    // read round-robin position
+	picks     uint64 // read picks, for the periodic down-mark reprobe
 
 	jmu    sync.Mutex
 	jitter *rand.Rand
@@ -147,6 +170,7 @@ func New(baseURL string, opts ...Option) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	c.initEndpoints()
 	c.jitter = rand.New(rand.NewSource(c.retry.Seed))
 	return c
 }
@@ -171,6 +195,7 @@ type APIError struct {
 	Epoch      uint64        // serving epoch, when the server reported one
 	Limit      int           // the exceeded bound, on 413s
 	RetryAfter time.Duration // server back-off hint, when sent (429/503)
+	Primary    string        // the primary a replica named, on 421s
 }
 
 func (e *APIError) Error() string {
@@ -201,10 +226,11 @@ func IsShed(err error) bool {
 }
 
 // do runs one request with the client's retry policy: marshal body once,
-// round-trip up to MaxAttempts times, decode into out (when non-nil),
-// surface the final non-2xx as *APIError. idempotent gates which
-// failures are retryable (sheds always are).
-func (c *Client) do(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+// exchange up to MaxAttempts times, decode into out (when non-nil),
+// surface the final non-2xx as *APIError. route picks the endpoint each
+// attempt targets (endpoints.go); idempotent gates which failures are
+// retryable (sheds always are).
+func (c *Client) do(ctx context.Context, method, path string, body, out any, route routing, idempotent bool) error {
 	var raw []byte
 	if body != nil {
 		var err error
@@ -224,7 +250,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, ide
 				return err // context gave out first: report the retryable failure
 			}
 		}
-		err = c.roundTrip(ctx, method, path, raw, out)
+		err = c.exchange(ctx, route, method, path, raw, out)
 		if err == nil || !c.retryable(err, idempotent) {
 			return err
 		}
@@ -235,13 +261,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, ide
 	return err
 }
 
-// roundTrip is one HTTP exchange.
-func (c *Client) roundTrip(ctx context.Context, method, path string, raw []byte, out any) error {
+// roundTrip is one HTTP exchange against one endpoint's base URL.
+func (c *Client) roundTrip(ctx context.Context, base, method, path string, raw []byte, out any) error {
 	var rd io.Reader
 	if raw != nil {
 		rd = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -261,10 +287,14 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, raw []byte,
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			ae.RetryAfter = time.Duration(secs) * time.Second
 		}
+		ae.Primary = resp.Header.Get(wire.PrimaryHeader)
 		var eb wire.ErrorResponse
 		if raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); err == nil {
 			if json.Unmarshal(raw, &eb) == nil && eb.Message != "" {
 				ae.Message, ae.Applied, ae.Epoch, ae.Limit = eb.Message, eb.Applied, eb.Epoch, eb.Limit
+				if eb.Primary != "" {
+					ae.Primary = eb.Primary
+				}
 			} else {
 				ae.Message = strings.TrimSpace(string(raw))
 			}
@@ -334,14 +364,14 @@ func (c *Client) backoff(attempt int, prev error) time.Duration {
 // Healthz checks liveness and returns the current epoch.
 func (c *Client) Healthz(ctx context.Context) (wire.Health, error) {
 	var out wire.Health
-	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, true)
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, routeBase, true)
 	return out, err
 }
 
 // Stats returns session, store, and engine counters of one pinned epoch.
 func (c *Client) Stats(ctx context.Context) (wire.StatsResponse, error) {
 	var out wire.StatsResponse
-	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out, true)
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out, routeBase, true)
 	return out, err
 }
 
@@ -349,14 +379,14 @@ func (c *Client) Stats(ctx context.Context) (wire.StatsResponse, error) {
 // per root (nil for none), users lists the users to report.
 func (c *Client) Resolve(ctx context.Context, beliefs map[string]string, users []string) (wire.ResolveResponse, error) {
 	var out wire.ResolveResponse
-	err := c.do(ctx, http.MethodPost, "/v1/resolve", wire.ResolveRequest{Beliefs: beliefs, Users: users}, &out, true)
+	err := c.do(ctx, http.MethodPost, "/v1/resolve", wire.ResolveRequest{Beliefs: beliefs, Users: users}, &out, routeRead, true)
 	return out, err
 }
 
 // BulkResolve resolves many ad-hoc objects at once.
 func (c *Client) BulkResolve(ctx context.Context, objects map[string]map[string]string, users []string) (wire.BulkResolveResponse, error) {
 	var out wire.BulkResolveResponse
-	err := c.do(ctx, http.MethodPost, "/v1/bulk-resolve", wire.BulkResolveRequest{Objects: objects, Users: users}, &out, true)
+	err := c.do(ctx, http.MethodPost, "/v1/bulk-resolve", wire.BulkResolveRequest{Objects: objects, Users: users}, &out, routeRead, true)
 	return out, err
 }
 
@@ -366,7 +396,7 @@ func (c *Client) BulkResolve(ctx context.Context, objects map[string]map[string]
 // answer 400.
 func (c *Client) Checkpoint(ctx context.Context) (wire.CheckpointResponse, error) {
 	var out wire.CheckpointResponse
-	err := c.do(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, &out, true)
+	err := c.do(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, &out, routeBase, true)
 	return out, err
 }
 
@@ -376,28 +406,28 @@ func (c *Client) Checkpoint(ctx context.Context) (wire.CheckpointResponse, error
 // RetryPolicy.RetryMutations is set.
 func (c *Client) Mutate(ctx context.Context, ops []wire.Op) (wire.MutateResponse, error) {
 	var out wire.MutateResponse
-	err := c.do(ctx, http.MethodPost, "/v1/mutate", wire.MutateRequest{Ops: ops}, &out, false)
+	err := c.do(ctx, http.MethodPost, "/v1/mutate", wire.MutateRequest{Ops: ops}, &out, routePrimary, false)
 	return out, err
 }
 
 // ListObjects returns the stored object keys, sorted.
 func (c *Client) ListObjects(ctx context.Context) (wire.ObjectListResponse, error) {
 	var out wire.ObjectListResponse
-	err := c.do(ctx, http.MethodGet, "/v1/objects", nil, &out, true)
+	err := c.do(ctx, http.MethodGet, "/v1/objects", nil, &out, routeRead, true)
 	return out, err
 }
 
 // PutObject creates or replaces one stored object's explicit beliefs.
 func (c *Client) PutObject(ctx context.Context, key string, beliefs map[string]string) (wire.ObjectResponse, error) {
 	var out wire.ObjectResponse
-	err := c.do(ctx, http.MethodPut, "/v1/objects/"+url.PathEscape(key), wire.ObjectPutRequest{Beliefs: beliefs}, &out, true)
+	err := c.do(ctx, http.MethodPut, "/v1/objects/"+url.PathEscape(key), wire.ObjectPutRequest{Beliefs: beliefs}, &out, routePrimary, true)
 	return out, err
 }
 
 // GetObject returns one stored object's explicit beliefs.
 func (c *Client) GetObject(ctx context.Context, key string) (wire.ObjectResponse, error) {
 	var out wire.ObjectResponse
-	err := c.do(ctx, http.MethodGet, "/v1/objects/"+url.PathEscape(key), nil, &out, true)
+	err := c.do(ctx, http.MethodGet, "/v1/objects/"+url.PathEscape(key), nil, &out, routeRead, true)
 	return out, err
 }
 
@@ -406,7 +436,7 @@ func (c *Client) GetObject(ctx context.Context, key string) (wire.ObjectResponse
 // the delete.
 func (c *Client) DeleteObject(ctx context.Context, key string) (wire.DeleteResponse, error) {
 	var out wire.DeleteResponse
-	err := c.do(ctx, http.MethodDelete, "/v1/objects/"+url.PathEscape(key), nil, &out, true)
+	err := c.do(ctx, http.MethodDelete, "/v1/objects/"+url.PathEscape(key), nil, &out, routePrimary, true)
 	return out, err
 }
 
@@ -416,7 +446,7 @@ func (c *Client) PutBelief(ctx context.Context, key, user, value string) (wire.O
 	var out wire.ObjectResponse
 	err := c.do(ctx, http.MethodPut,
 		"/v1/objects/"+url.PathEscape(key)+"/beliefs/"+url.PathEscape(user),
-		wire.BeliefPutRequest{Value: value}, &out, true)
+		wire.BeliefPutRequest{Value: value}, &out, routePrimary, true)
 	return out, err
 }
 
@@ -425,7 +455,7 @@ func (c *Client) PutBelief(ctx context.Context, key, user, value string) (wire.O
 func (c *Client) DeleteBelief(ctx context.Context, key, user string) (wire.ObjectResponse, error) {
 	var out wire.ObjectResponse
 	err := c.do(ctx, http.MethodDelete,
-		"/v1/objects/"+url.PathEscape(key)+"/beliefs/"+url.PathEscape(user), nil, &out, true)
+		"/v1/objects/"+url.PathEscape(key)+"/beliefs/"+url.PathEscape(user), nil, &out, routePrimary, true)
 	return out, err
 }
 
@@ -437,6 +467,6 @@ func (c *Client) ResolveObject(ctx context.Context, key string, users []string) 
 	// commas survive the round trip.
 	q := url.Values{"users": users}
 	err := c.do(ctx, http.MethodGet,
-		"/v1/objects/"+url.PathEscape(key)+"/resolution?"+q.Encode(), nil, &out, true)
+		"/v1/objects/"+url.PathEscape(key)+"/resolution?"+q.Encode(), nil, &out, routeRead, true)
 	return out, err
 }

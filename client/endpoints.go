@@ -1,0 +1,234 @@
+package client
+
+// Multi-endpoint routing: one Client over a primary and its read
+// replicas. Three routes cover every method:
+//
+//   - routeBase: always the first endpoint (the New base URL). Admin
+//     and diagnostic calls — Healthz, Stats, Checkpoint, Promote —
+//     target the server the caller named, never a load-balanced pick.
+//   - routePrimary: the believed primary. Mutations land here; a 421
+//     Misdirected Request from a replica re-pins the belief to the
+//     primary named in its wire.PrimaryHeader and the call is re-sent
+//     immediately (the replica did no work, so this is always safe,
+//     even for Mutate and even without WithRetry). Transport failures
+//     advance the belief to the next endpoint, so an armed RetryPolicy
+//     walks the fleet until it finds the new primary.
+//   - routeRead: round-robin over endpoints believed healthy, skipping
+//     ones that recently failed at the transport level or answered 503.
+//     When every endpoint is marked down the marks reset (a full outage
+//     must not pin the client to one dead pick), and every
+//     reprobeEvery-th pick ignores the marks so a recovered endpoint
+//     rejoins the rotation without waiting for the rest to fail.
+//
+// With a single endpoint every route degenerates to "the one server"
+// and the client behaves exactly as before WithEndpoints existed.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+
+	"trustmap/wire"
+)
+
+// reprobeEvery is the read-pick interval at which down-marks are
+// ignored, bounding how long a recovered endpoint sits out.
+const reprobeEvery = 64
+
+// routing selects which endpoint a request targets; see the package
+// comment above.
+type routing int
+
+const (
+	routeBase routing = iota
+	routePrimary
+	routeRead
+)
+
+// maxPrimaryHops bounds 421-redirect following per logical call: one
+// hop reaches the named primary, a second tolerates a promote racing
+// the first, and beyond that the fleet's own view is inconsistent.
+const maxPrimaryHops = 2
+
+// endpoint is one server in the client's fleet, with its health mark
+// and counters. Guarded by Client.emu.
+type endpoint struct {
+	url      string
+	attempts uint64
+	failures uint64
+	down     bool
+}
+
+// WithEndpoints adds failover/read endpoints after the New base URL.
+// Order matters: it is the failover rotation. Duplicates of the base or
+// of each other are dropped.
+func WithEndpoints(urls ...string) Option {
+	return func(c *Client) { c.extra = append(c.extra, urls...) }
+}
+
+// initEndpoints builds the endpoint set: the base URL first, then the
+// WithEndpoints additions, deduplicated.
+func (c *Client) initEndpoints() {
+	seen := map[string]bool{c.base: true}
+	c.endpoints = []*endpoint{{url: c.base}}
+	for _, u := range c.extra {
+		u = strings.TrimRight(u, "/")
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		c.endpoints = append(c.endpoints, &endpoint{url: u})
+	}
+}
+
+// EndpointStats is one endpoint's routing state, for operational
+// introspection (Endpoints).
+type EndpointStats struct {
+	URL      string // base URL
+	Attempts uint64 // requests sent
+	Failures uint64 // transport failures and 503s
+	Healthy  bool   // not currently marked down
+	Primary  bool   // the believed primary (mutation target)
+}
+
+// Endpoints snapshots the per-endpoint attempt/failure counters and
+// health marks, in rotation order (the New base URL first).
+func (c *Client) Endpoints() []EndpointStats {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	out := make([]EndpointStats, len(c.endpoints))
+	for i, ep := range c.endpoints {
+		out[i] = EndpointStats{
+			URL: ep.url, Attempts: ep.attempts, Failures: ep.failures,
+			Healthy: !ep.down, Primary: i == c.primary,
+		}
+	}
+	return out
+}
+
+// pickEndpoint chooses the target for one attempt and counts it.
+func (c *Client) pickEndpoint(route routing) *endpoint {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	idx := 0
+	switch route {
+	case routePrimary:
+		idx = c.primary
+	case routeRead:
+		if len(c.endpoints) > 1 {
+			idx = c.pickReadLocked()
+		}
+	}
+	ep := c.endpoints[idx]
+	ep.attempts++
+	return ep
+}
+
+// pickReadLocked advances the read rotation to the next healthy
+// endpoint. Every reprobeEvery-th pick ignores health marks, and a
+// fully-down fleet resets them: both bound how stale a down-mark stays.
+func (c *Client) pickReadLocked() int {
+	c.picks++
+	probe := c.picks%reprobeEvery == 0
+	n := len(c.endpoints)
+	for i := 0; i < n; i++ {
+		idx := (c.cursor + i) % n
+		if probe || !c.endpoints[idx].down {
+			c.cursor = (idx + 1) % n
+			return idx
+		}
+	}
+	for _, ep := range c.endpoints {
+		ep.down = false
+	}
+	idx := c.cursor % n
+	c.cursor = (idx + 1) % n
+	return idx
+}
+
+// recordResult folds one attempt's outcome into the routing state: any
+// HTTP answer marks the endpoint healthy (even an error status — the
+// server is up and definitive); a transport failure or 503 marks it
+// down, and for the believed primary also advances the belief so the
+// next mutation attempt tries the following endpoint.
+func (c *Client) recordResult(ep *endpoint, route routing, err error) {
+	down := false
+	if err != nil {
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode == http.StatusServiceUnavailable {
+			down = true
+		}
+	}
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	ep.down = down
+	if !down {
+		return
+	}
+	ep.failures++
+	if route == routePrimary && len(c.endpoints) > 1 && c.endpoints[c.primary] == ep {
+		c.primary = (c.primary + 1) % len(c.endpoints)
+	}
+}
+
+// repinPrimary points the mutation route at the server a 421 named,
+// adding it to the rotation if the fleet list did not include it.
+func (c *Client) repinPrimary(primaryURL string) {
+	u := strings.TrimRight(primaryURL, "/")
+	if u == "" {
+		return
+	}
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	for i, ep := range c.endpoints {
+		if ep.url == u {
+			c.primary = i
+			ep.down = false
+			return
+		}
+	}
+	c.endpoints = append(c.endpoints, &endpoint{url: u})
+	c.primary = len(c.endpoints) - 1
+}
+
+// exchange is one logical attempt: pick an endpoint for the route, run
+// the HTTP round trip, fold the outcome into the routing state, and
+// transparently follow 421 primary redirects (bounded by
+// maxPrimaryHops — the replica that answered did no work).
+func (c *Client) exchange(ctx context.Context, route routing, method, path string, raw []byte, out any) error {
+	for hop := 0; ; hop++ {
+		ep := c.pickEndpoint(route)
+		err := c.roundTrip(ctx, ep.url, method, path, raw, out)
+		c.recordResult(ep, route, err)
+		if err == nil || hop >= maxPrimaryHops {
+			return err
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusMisdirectedRequest || ae.Primary == "" {
+			return err
+		}
+		c.repinPrimary(ae.Primary)
+	}
+}
+
+// IsMisdirected reports whether err is an *APIError with status 421: a
+// mutation reached a read replica. The replica did no work; the primary
+// it named is in APIError.Primary. A multi-endpoint client follows this
+// redirect itself, so callers normally only see it when the redirect
+// limit was exhausted by an inconsistent fleet.
+func IsMisdirected(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusMisdirectedRequest
+}
+
+// Promote asks the server at the client's base URL — never a
+// load-balanced pick — to leave replica mode and accept writes (POST
+// /v1/admin/promote). Idempotent: promoting a primary answers with
+// WasReplica false. Point a client at the replica being promoted; see
+// the replication runbook in the README.
+func (c *Client) Promote(ctx context.Context) (wire.PromoteResponse, error) {
+	var out wire.PromoteResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/promote", nil, &out, routeBase, true)
+	return out, err
+}

@@ -1,0 +1,194 @@
+package client
+
+// Multi-endpoint failover tests: a scripted two-server fleet where the
+// first endpoint is dead (connection refused) or degraded (503), and
+// the client is asserted — down to exact per-endpoint attempt counters
+// — to complete the call against the second. Plus the 421 path: a
+// mutation sent to a replica re-pins to the primary it names.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"trustmap/wire"
+)
+
+// deadEndpoint returns a URL nothing listens on: connection refused.
+func deadEndpoint(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+// okServer answers every request 200 with an empty-ish JSON body and
+// counts requests per path.
+func okServer(t *testing.T) (*httptest.Server, *faultServer) {
+	t.Helper()
+	fs := &faultServer{}
+	srv := httptest.NewServer(fs)
+	t.Cleanup(srv.Close)
+	return srv, fs
+}
+
+// epStats finds one endpoint's stats by URL.
+func epStats(t *testing.T, c *Client, url string) EndpointStats {
+	t.Helper()
+	for _, s := range c.Endpoints() {
+		if s.URL == url {
+			return s
+		}
+	}
+	t.Fatalf("endpoint %s not in %+v", url, c.Endpoints())
+	return EndpointStats{}
+}
+
+func TestReadFailoverOnConnectionRefused(t *testing.T) {
+	dead := deadEndpoint(t)
+	alive, fs := okServer(t)
+	c, _, _ := silentRetry(t, New(dead, WithEndpoints(alive.URL), WithRetry(RetryPolicy{})))
+
+	if _, err := c.ListObjects(context.Background()); err != nil {
+		t.Fatalf("read with dead first endpoint: %v, want transparent failover", err)
+	}
+	if fs.count() != 1 {
+		t.Fatalf("live endpoint saw %d requests, want 1", fs.count())
+	}
+	d, a := epStats(t, c, dead), epStats(t, c, alive.URL)
+	if d.Attempts != 1 || d.Failures != 1 || d.Healthy {
+		t.Fatalf("dead endpoint stats = %+v, want 1 attempt, 1 failure, unhealthy", d)
+	}
+	if a.Attempts != 1 || a.Failures != 0 || !a.Healthy {
+		t.Fatalf("live endpoint stats = %+v, want 1 attempt, 0 failures, healthy", a)
+	}
+
+	// The down-mark is sticky: further reads go straight to the live
+	// endpoint without burning attempts on the dead one.
+	for i := 0; i < 3; i++ {
+		if _, err := c.ListObjects(context.Background()); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if d := epStats(t, c, dead); d.Attempts != 1 {
+		t.Fatalf("dead endpoint re-attempted while marked down: %+v", d)
+	}
+	if a := epStats(t, c, alive.URL); a.Attempts != 4 {
+		t.Fatalf("live endpoint attempts = %d, want 4", a.Attempts)
+	}
+}
+
+func TestReadFailoverOn503(t *testing.T) {
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(wire.ErrorResponse{Message: "recovering"})
+	}))
+	t.Cleanup(sick.Close)
+	alive, fs := okServer(t)
+	c, _, sleeps := silentRetry(t, New(sick.URL, WithEndpoints(alive.URL), WithRetry(RetryPolicy{})))
+
+	if _, err := c.Resolve(context.Background(), nil, []string{"alice"}); err != nil {
+		t.Fatalf("read with 503ing first endpoint: %v, want failover", err)
+	}
+	if fs.count() != 1 {
+		t.Fatalf("live endpoint saw %d requests, want 1", fs.count())
+	}
+	if len(*sleeps) != 1 {
+		t.Fatalf("slept %d times, want 1 (one backoff between the 503 and the failover)", len(*sleeps))
+	}
+	if s := epStats(t, c, sick.URL); s.Failures != 1 || s.Healthy {
+		t.Fatalf("sick endpoint stats = %+v, want 1 failure, unhealthy", s)
+	}
+}
+
+func TestMutateRepinsToPrimaryOn421(t *testing.T) {
+	primary, fs := okServer(t)
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(wire.PrimaryHeader, primary.URL)
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		json.NewEncoder(w).Encode(wire.ErrorResponse{
+			Message: "replica does not accept mutations", Primary: primary.URL,
+		})
+	}))
+	t.Cleanup(replica.Close)
+
+	// No retry policy: the 421 redirect is not a retry, it must work anyway.
+	c := New(replica.URL)
+	ops := []wire.Op{{Op: wire.OpSetTrust, Truster: "a", Trusted: "b", Priority: 1}}
+	if _, err := c.Mutate(context.Background(), ops); err != nil {
+		t.Fatalf("mutate against replica: %v, want transparent redirect to primary", err)
+	}
+	if fs.count() != 1 {
+		t.Fatalf("primary saw %d requests, want the redirected mutation", fs.count())
+	}
+	p := epStats(t, c, primary.URL)
+	if !p.Primary || p.Attempts != 1 {
+		t.Fatalf("discovered primary stats = %+v, want pinned with 1 attempt", p)
+	}
+
+	// The pin is remembered: the next mutation goes straight to the primary.
+	if _, err := c.Mutate(context.Background(), ops); err != nil {
+		t.Fatal(err)
+	}
+	if fs.count() != 2 {
+		t.Fatalf("primary saw %d requests, want 2", fs.count())
+	}
+	if r := epStats(t, c, replica.URL); r.Attempts != 1 {
+		t.Fatalf("replica re-attempted after the re-pin: %+v", r)
+	}
+}
+
+func TestMutateFailoverAdvancesPrimary(t *testing.T) {
+	dead := deadEndpoint(t)
+	alive, fs := okServer(t)
+	c, _, _ := silentRetry(t, New(dead, WithEndpoints(alive.URL),
+		WithRetry(RetryPolicy{RetryMutations: true})))
+
+	ops := []wire.Op{{Op: wire.OpSetTrust, Truster: "a", Trusted: "b", Priority: 1}}
+	if _, err := c.Mutate(context.Background(), ops); err != nil {
+		t.Fatalf("mutate with dead primary: %v, want failover under RetryMutations", err)
+	}
+	if fs.count() != 1 {
+		t.Fatalf("live endpoint saw %d requests, want 1", fs.count())
+	}
+	if a := epStats(t, c, alive.URL); !a.Primary {
+		t.Fatalf("believed primary did not advance to the live endpoint: %+v", c.Endpoints())
+	}
+}
+
+// TestAllEndpointsDownResetsMarks: a full outage clears the down-marks
+// instead of leaving the client permanently convinced the fleet is gone.
+func TestAllEndpointsDownResetsMarks(t *testing.T) {
+	deadA, deadB := deadEndpoint(t), deadEndpoint(t)
+	c, _, _ := silentRetry(t, New(deadA, WithEndpoints(deadB), WithRetry(RetryPolicy{MaxAttempts: 3})))
+	if _, err := c.ListObjects(context.Background()); err == nil {
+		t.Fatal("read against an all-dead fleet succeeded")
+	}
+	// 3 attempts spread across 2 endpoints: the second attempt must not
+	// re-pick the first dead endpoint while a live-looking one remains,
+	// and the third only ran because the marks reset.
+	a, b := epStats(t, c, deadA), epStats(t, c, deadB)
+	if a.Attempts+b.Attempts != 3 || a.Attempts < 1 || b.Attempts < 1 {
+		t.Fatalf("attempt spread = %d/%d, want 3 total across both", a.Attempts, b.Attempts)
+	}
+}
+
+// silentRetry swaps the sleep hook so armed retries don't wait, and
+// records the schedule.
+func silentRetry(t *testing.T, c *Client) (*Client, *Client, *[]time.Duration) {
+	t.Helper()
+	sleeps := &[]time.Duration{}
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		*sleeps = append(*sleeps, d)
+		return nil
+	}
+	return c, c, sleeps
+}

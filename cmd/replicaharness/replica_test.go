@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestReplicaFailover is the replication acceptance test: run the full
+// kill-the-primary scenario (see the package comment for the protocol)
+// and assert every line of it — contiguous acks before and after the
+// failover, the salvage closing the durability gap, the promote landing
+// exactly at the acked frontier, oracle parity, reads surviving the
+// primary's death, and the promoted store recovering after a restart.
+// The harness is built with the race detector, so the storm also runs
+// the tailer, the stream handler, and the failover client under
+// instrumentation.
+func TestReplicaFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process failover rounds are not -short material")
+	}
+
+	bin := filepath.Join(t.TempDir(), "replicaharness")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building harness with -race: %v\n%s", err, out)
+	}
+
+	const (
+		maxOps    = 260
+		killAfter = 110
+	)
+	cmd := exec.Command(bin,
+		"-primary-dir", filepath.Join(t.TempDir(), "primary"),
+		"-replica-dir", filepath.Join(t.TempDir(), "replica"),
+		"-seed", "7", "-max-ops", fmt.Sprint(maxOps), "-kill-after", fmt.Sprint(killAfter))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	next := func(format string, args ...any) {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("harness output ended wanting %q; stderr:\n%s", format, stderr.String())
+		}
+		if _, err := fmt.Sscanf(sc.Text(), format, args...); err != nil {
+			t.Fatalf("line %q does not match %q: %v; stderr:\n%s", sc.Text(), format, err, stderr.String())
+		}
+	}
+
+	var primaryURL, replicaURL string
+	next("primary %s", &primaryURL)
+	next("replica %s", &replicaURL)
+
+	// Every pre-kill op acks contiguously at its generator index.
+	var lsn uint64
+	for i := uint64(1); i <= killAfter; i++ {
+		next("acked %d", &lsn)
+		if lsn != i {
+			t.Fatalf("acked %d, want contiguous %d", lsn, i)
+		}
+	}
+
+	// The failover sequence: the kill frontier, the salvage, and a
+	// promote at exactly the last acked LSN — zero acked-durable loss.
+	var killed, salvaged, promoted uint64
+	next("killed %d", &killed)
+	if killed != killAfter {
+		t.Fatalf("killed at %d, want %d", killed, killAfter)
+	}
+	next("salvaged %d", &salvaged)
+	next("promoted %d", &promoted)
+	if promoted != killAfter {
+		t.Fatalf("promoted at lsn %d, want the acked frontier %d", promoted, killAfter)
+	}
+
+	// The storm continues against the promoted replica without a gap.
+	for i := uint64(killAfter + 1); i <= maxOps; i++ {
+		next("acked %d", &lsn)
+		if lsn != i {
+			t.Fatalf("post-promote acked %d, want contiguous %d", lsn, i)
+		}
+	}
+
+	var parity, total, postKill, maxStale, restarted uint64
+	next("parity ok %d", &parity)
+	if parity != maxOps {
+		t.Fatalf("parity at lsn %d, want %d", parity, maxOps)
+	}
+	next("reads ok %d %d %d", &total, &postKill, &maxStale)
+	if postKill == 0 {
+		t.Fatal("no replica read succeeded after the primary died")
+	}
+	next("restart ok %d", &restarted)
+	if restarted != maxOps {
+		t.Fatalf("promoted store restarted at lsn %d, want %d", restarted, maxOps)
+	}
+	if !sc.Scan() || sc.Text() != "done" {
+		t.Fatalf("want final 'done', got %q; stderr:\n%s", sc.Text(), stderr.String())
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("harness exit: %v; stderr:\n%s", err, stderr.String())
+	}
+	cmd.Process = nil
+}

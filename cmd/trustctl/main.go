@@ -51,6 +51,14 @@
 //	trustctl remote -addr URL resolve -users Alice [-beliefs Bob=cow]
 //	trustctl remote -addr URL mutate -f muts.json
 //	trustctl remote -addr URL checkpoint
+//	trustctl remote -addr REPLICA_URL promote
+//
+// -addr also accepts a comma-separated fleet for a replicated
+// deployment (reads load-balance across endpoints, mutations follow the
+// primary through 421 redirects), and -retry N arms N-attempt failover
+// retries:
+//
+//	trustctl remote -addr http://p:7171,http://r1:7171 -retry 4 resolve -users Alice
 package main
 
 import (
@@ -414,16 +422,23 @@ func orDash(s string) string {
 	return s
 }
 
-// runRemote drives a running trustd server through the typed client.
+// runRemote drives a running trustd server — or a replicated fleet of
+// them — through the typed client.
 func runRemote(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("remote", flag.ExitOnError)
-	addr := fs.String("addr", "http://localhost:7171", "trustd base URL")
+	addr := fs.String("addr", "http://localhost:7171", "trustd base URL, or a comma-separated fleet (first = admin/promote target; reads load-balance, mutations follow the primary)")
+	retries := fs.Int("retry", 0, "retry attempts per call (including the first); >1 arms failover across -addr endpoints")
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("remote: a verb is required (stats, objects, put-object, resolve-object, resolve, mutate, checkpoint)")
+		return fmt.Errorf("remote: a verb is required (stats, objects, put-object, resolve-object, resolve, mutate, checkpoint, promote)")
 	}
-	c := client.New(*addr)
+	endpoints := strings.Split(*addr, ",")
+	opts := []client.Option{client.WithEndpoints(endpoints[1:]...)}
+	if *retries > 1 {
+		opts = append(opts, client.WithRetry(client.RetryPolicy{MaxAttempts: *retries}))
+	}
+	c := client.New(endpoints[0], opts...)
 	ctx := context.Background()
 	verb, verbArgs := rest[0], rest[1:]
 	vfs := flag.NewFlagSet("remote "+verb, flag.ExitOnError)
@@ -487,6 +502,14 @@ func runRemote(w io.Writer, args []string) error {
 			return err
 		}
 		return printJSON(w, ck)
+	case "promote":
+		// Targets the first -addr endpoint: point it at the replica being
+		// promoted (see the replication runbook in the README).
+		pr, err := c.Promote(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(w, pr)
 	case "mutate":
 		if *file == "" {
 			return fmt.Errorf("remote mutate: -f is required")

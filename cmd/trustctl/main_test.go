@@ -1,10 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"trustmap/wire"
 )
 
 func writeNet(t *testing.T, body string) string {
@@ -199,5 +205,50 @@ func TestRunSession(t *testing.T) {
 	os.WriteFile(missing, []byte(`[{"op": "remove-trust", "truster": "Alice", "trusted": "Zed"}]`), 0o644)
 	if err := runSession(&out, netPath, objPath, missing, 1, ""); err == nil {
 		t.Error("removing an absent mapping must error")
+	}
+}
+
+// TestRunRemoteFleet drives the remote subcommand against a two-endpoint
+// fleet: the first endpoint is dead, so -retry failover must complete
+// reads against the second; promote targets the first endpoint only.
+func TestRunRemoteFleet(t *testing.T) {
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/objects":
+			json.NewEncoder(w).Encode(wire.ObjectListResponse{Objects: []string{"o1"}})
+		case "/v1/admin/promote":
+			json.NewEncoder(w).Encode(wire.PromoteResponse{Role: "primary", WasReplica: true, LSN: 9})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(alive.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	var out strings.Builder
+	if err := runRemote(&out, []string{"-addr", dead + "," + alive.URL, "-retry", "4", "objects"}); err != nil {
+		t.Fatalf("remote objects with dead first endpoint: %v", err)
+	}
+	if !strings.Contains(out.String(), `"o1"`) {
+		t.Fatalf("objects output missing key:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := runRemote(&out, []string{"-addr", alive.URL, "promote"}); err != nil {
+		t.Fatalf("remote promote: %v", err)
+	}
+	if !strings.Contains(out.String(), `"was_replica": true`) {
+		t.Fatalf("promote output:\n%s", out.String())
+	}
+
+	// Without -retry there is no failover: the dead endpoint's transport
+	// error surfaces.
+	if err := runRemote(&out, []string{"-addr", dead, "objects"}); err == nil {
+		t.Fatal("remote against a dead endpoint with no -retry must error")
 	}
 }

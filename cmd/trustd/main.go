@@ -13,6 +13,7 @@
 //	trustd -f network.json [-addr :7171] [-workers N] [-extra-roots a,b] [-max-batch N]
 //	trustd -demo 1000 [-seed 42] [-addr :7171]
 //	trustd -data-dir /var/lib/trustd [-f seed.json] [-durability batch|off|always]
+//	trustd -data-dir /var/lib/trustd-replica -replica-of http://primary:7171
 //
 // With -data-dir the store is durable: every mutation is journaled to a
 // write-ahead log under <dir>/wal and compacted into snapshots under
@@ -63,6 +64,15 @@
 // request whose deadline expires answers 503 without Retry-After,
 // distinctly from the shed 429 and the recovering-store 503. All
 // admission and deadline rejections are counted in /v1/stats.
+//
+// Replication: -replica-of <primary-url> (requires -data-dir,
+// incompatible with -f/-demo) makes this process a read replica. It
+// bootstraps from the primary's latest snapshot if its directory is
+// behind, tails the primary's WAL stream into its own durable log, and
+// serves every read with its staleness in the X-Trustd-Staleness header
+// and in /healthz and /v1/stats; mutations answer 421 naming the
+// primary. POST /v1/admin/promote turns the replica into a primary in
+// place — see the replication runbook in the README.
 package main
 
 import (
@@ -83,6 +93,7 @@ import (
 	"trustmap"
 	"trustmap/internal/admission"
 	"trustmap/internal/httpd"
+	"trustmap/internal/replica"
 )
 
 func main() {
@@ -102,8 +113,9 @@ func main() {
 	mutateLimit := flag.Int("mutate-limit", 0, "max concurrent mutate requests before queueing (0 = unlimited)")
 	mutateQueue := flag.Int("mutate-queue", 0, "mutate requests allowed to wait for a slot before shedding 429")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "longest a queued request waits for a slot before shedding 429")
+	replicaOf := flag.String("replica-of", "", "primary base URL to replicate from (requires -data-dir); serve reads, redirect mutations")
 	flag.Parse()
-	if *dataDir == "" && (*file == "") == (*demo == 0) {
+	if *dataDir == "" && *replicaOf == "" && (*file == "") == (*demo == 0) {
 		fmt.Fprintln(os.Stderr, "trustd: exactly one of -f and -demo is required (or -data-dir)")
 		flag.Usage()
 		os.Exit(2)
@@ -111,6 +123,17 @@ func main() {
 	if *dataDir != "" && *demo != 0 {
 		fmt.Fprintln(os.Stderr, "trustd: -demo is incompatible with -data-dir")
 		os.Exit(2)
+	}
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "trustd: -replica-of requires -data-dir (the replica keeps its own durable copy)")
+			os.Exit(2)
+		}
+		if *file != "" || *demo != 0 {
+			fmt.Fprintln(os.Stderr, "trustd: -replica-of is incompatible with -f and -demo (the primary's history is the only seed)")
+			os.Exit(2)
+		}
+		*replicaOf = strings.TrimRight(*replicaOf, "/")
 	}
 	mode, err := parseDurability(*durability)
 	if err != nil {
@@ -153,18 +176,39 @@ func main() {
 		WriteTimeout: 2 * time.Minute,
 		IdleTimeout:  5 * time.Minute,
 	}
-	recovered := make(chan *trustmap.Store, 1)
+	type serving struct {
+		st   *trustmap.Store
+		tail *replica.Tailer // nil on a primary
+	}
+	recovered := make(chan serving, 1)
 	go func() {
+		if *replicaOf != "" {
+			// Snapshot bootstrap before the store opens: a fresh or pruned-
+			// behind replica seeds from the primary's latest checkpoint, then
+			// the WAL tail covers the suffix.
+			if installed, lsn, err := replica.Bootstrap(context.Background(), *dataDir, *replicaOf, nil); err != nil {
+				log.Fatalf("trustd: bootstrapping from %s: %v", *replicaOf, err)
+			} else if installed {
+				log.Printf("trustd: installed snapshot at lsn %d from %s", lsn, *replicaOf)
+			}
+		}
 		st, err := openStore(*dataDir, *file, *demo, *seed, opts)
 		if err != nil {
 			log.Fatalf("trustd: %v", err)
 		}
+		var tail *replica.Tailer
+		role := "primary"
+		if *replicaOf != "" {
+			tail = replica.Start(st, *replicaOf, replica.WithLogf(log.Printf))
+			handler.SetReplication(tail)
+			role = "replica of " + *replicaOf
+		}
 		handler.Install(st)
 		eng := st.EngineStats()
 		dur := st.Durability()
-		log.Printf("trustd: serving %d users, %d mappings, %d roots, %d objects on %s (epoch %d, lsn %d, durability %s)",
-			eng.Users, eng.Mappings, eng.Roots, st.NumObjects(), *addr, st.Epoch(), st.LSN(), dur.Mode)
-		recovered <- st
+		log.Printf("trustd: serving %d users, %d mappings, %d roots, %d objects on %s (epoch %d, lsn %d, durability %s, %s)",
+			eng.Users, eng.Mappings, eng.Roots, st.NumObjects(), *addr, st.Epoch(), st.LSN(), dur.Mode, role)
+		recovered <- serving{st: st, tail: tail}
 	}()
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
@@ -182,8 +226,11 @@ func main() {
 		defer cancel()
 		_ = srv.Shutdown(shCtx)
 		select {
-		case st := <-recovered:
-			if err := st.Close(); err != nil {
+		case sv := <-recovered:
+			if sv.tail != nil {
+				sv.tail.Stop() // no replicated apply may land after this
+			}
+			if err := sv.st.Close(); err != nil {
 				log.Printf("trustd: closing store: %v", err)
 			}
 		default: // recovery never finished; nothing to flush

@@ -338,6 +338,15 @@ func (s *Store) logMutation(ops ...wire.Op) error {
 		return d.failed
 	}
 	d.lastLSN.Store(b.LSN)
+	return d.afterAppend()
+}
+
+// afterAppend applies the mode's fsync discipline to a just-appended
+// batch: sync now (always), every groupEvery batches (batch), or never on
+// the mutation path (off). Callers hold d.mu. Shared by the primary's
+// logMutation and the replica's ApplyReplicated, so a replica's
+// durability guarantees are exactly its mode's, same as a primary.
+func (d *durable) afterAppend() error {
 	switch d.mode {
 	case DurabilityAlways:
 		return d.syncLocked()

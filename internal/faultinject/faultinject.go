@@ -43,6 +43,13 @@ const (
 	// synthetic service time, which is how cmd/loadgen manufactures
 	// reproducible overload on small machines.
 	HandlerServe Point = "handler-serve"
+	// ReplicaStream fires in internal/httpd's GET /v1/wal streaming loop
+	// once per shipped record, before the framed bytes are written to the
+	// connection. Arming it with a ShortWriteError writes a partial frame
+	// and then ends the stream — the torn mid-batch truncation a crashed
+	// or partitioned primary produces, which the replica must survive by
+	// reconnecting at its last applied LSN.
+	ReplicaStream Point = "replica-stream"
 )
 
 // ErrInjected is the base of every injected failure, so tests can assert

@@ -45,7 +45,11 @@ func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.Health{OK: true, Epoch: st.Epoch(), LSN: st.LSN()})
+	h := wire.Health{OK: true, Epoch: st.Epoch(), LSN: st.LSN(), Role: "primary"}
+	if rep := srv.replication(); rep != nil {
+		h.Role, h.ReplicaLag = "replica", rep.Lag()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -96,7 +100,8 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReplayErrors:     dur.ReplayErrors,
 			DiscardedBytes:   dur.DiscardedBytes,
 		},
-		Admission: srv.AdmissionStats(),
+		Admission:   srv.AdmissionStats(),
+		Replication: srv.replicationStats(),
 	})
 }
 

@@ -69,6 +69,10 @@ type Config struct {
 	// Mutations gates the mutate class: /v1/mutate, object PUT/DELETE,
 	// checkpoints. A zero-valued config leaves mutations ungated.
 	Mutations admission.Config
+	// WALPoll is the GET /v1/wal long-poll interval: how often an idle
+	// stream re-checks the log for new durable batches. Zero =
+	// DefaultWALPoll; tests and harnesses lower it for fast convergence.
+	WALPoll time.Duration
 }
 
 // Server wires one Store into an http.Handler with admission control and
@@ -92,6 +96,12 @@ type Server struct {
 	// propagated deadline expired (at admission or mid-handler) —
 	// deterministic, surfaced in /v1/stats.
 	deadlineExceeded atomic.Uint64
+
+	// repl is non-nil while this server is a replica: the live WAL tail
+	// installed by SetReplication, cleared (and stopped) by promote.
+	repl atomic.Pointer[Replication]
+
+	walPoll time.Duration
 }
 
 // New builds the server. st may be nil: the handler then answers 503
@@ -102,9 +112,13 @@ func New(st *trustmap.Store, cfg Config) *Server {
 		maxBatch:       cfg.MaxBatch,
 		defaultTimeout: cfg.DefaultTimeout,
 		maxTimeout:     cfg.MaxTimeout,
+		walPoll:        cfg.WALPoll,
 	}
 	if srv.maxBatch <= 0 {
 		srv.maxBatch = DefaultMaxBatch
+	}
+	if srv.walPoll <= 0 {
+		srv.walPoll = DefaultWALPoll
 	}
 	if cfg.Reads.MaxConcurrent > 0 {
 		srv.reads = admission.New(cfg.Reads)
@@ -122,15 +136,24 @@ func New(st *trustmap.Store, cfg Config) *Server {
 	srv.mux.HandleFunc("GET /v1/stats", srv.guard(nil, srv.handleStats))
 	srv.mux.HandleFunc("POST /v1/resolve", srv.guard(srv.reads, srv.handleResolve))
 	srv.mux.HandleFunc("POST /v1/bulk-resolve", srv.guard(srv.reads, srv.handleBulkResolve))
-	srv.mux.HandleFunc("POST /v1/mutate", srv.guard(srv.mutations, srv.handleMutate))
+	// Logical mutations answer 421 on a replica (primaryOnly); checkpoint
+	// stays allowed everywhere — compaction is local housekeeping.
+	srv.mux.HandleFunc("POST /v1/mutate", srv.guard(srv.mutations, srv.primaryOnly(srv.handleMutate)))
 	srv.mux.HandleFunc("POST /v1/admin/checkpoint", srv.guard(srv.mutations, srv.handleCheckpoint))
+	srv.mux.HandleFunc("POST /v1/admin/promote", srv.guard(srv.mutations, srv.handlePromote))
 	srv.mux.HandleFunc("GET /v1/objects", srv.guard(srv.reads, srv.handleListObjects))
-	srv.mux.HandleFunc("PUT /v1/objects/{key}", srv.guard(srv.mutations, srv.handlePutObject))
+	srv.mux.HandleFunc("PUT /v1/objects/{key}", srv.guard(srv.mutations, srv.primaryOnly(srv.handlePutObject)))
 	srv.mux.HandleFunc("GET /v1/objects/{key}", srv.guard(srv.reads, srv.handleGetObject))
-	srv.mux.HandleFunc("DELETE /v1/objects/{key}", srv.guard(srv.mutations, srv.handleDeleteObject))
+	srv.mux.HandleFunc("DELETE /v1/objects/{key}", srv.guard(srv.mutations, srv.primaryOnly(srv.handleDeleteObject)))
 	srv.mux.HandleFunc("GET /v1/objects/{key}/resolution", srv.guard(srv.reads, srv.handleResolveObject))
-	srv.mux.HandleFunc("PUT /v1/objects/{key}/beliefs/{user}", srv.guard(srv.mutations, srv.handlePutBelief))
-	srv.mux.HandleFunc("DELETE /v1/objects/{key}/beliefs/{user}", srv.guard(srv.mutations, srv.handleDeleteBelief))
+	srv.mux.HandleFunc("PUT /v1/objects/{key}/beliefs/{user}", srv.guard(srv.mutations, srv.primaryOnly(srv.handlePutBelief)))
+	srv.mux.HandleFunc("DELETE /v1/objects/{key}/beliefs/{user}", srv.guard(srv.mutations, srv.primaryOnly(srv.handleDeleteBelief)))
+	// Replication infrastructure. /v1/snapshot is a one-shot blob read;
+	// /v1/wal is a long-lived stream registered OUTSIDE the guard — a
+	// per-request deadline would cut a healthy tail mid-flight, and like
+	// the probes it must answer while the admission gates are full.
+	srv.mux.HandleFunc("GET /v1/snapshot", srv.guard(nil, srv.handleSnapshot))
+	srv.mux.HandleFunc("GET /v1/wal", srv.handleWALStream)
 	return srv
 }
 
@@ -145,6 +168,11 @@ func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { srv.mux.S
 // deadline that dies in the queue answers 503 without Retry-After.
 func (srv *Server) guard(g *admission.Gate, next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Every response from a replica carries its staleness, so any
+		// reader can bound how far behind the primary its answer is.
+		if rep := srv.replication(); rep != nil {
+			w.Header().Set(wire.StalenessHeader, strconv.FormatUint(rep.Lag(), 10))
+		}
 		if d := srv.timeoutFor(r); d > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), d)
 			defer cancel()

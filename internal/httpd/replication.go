@@ -1,0 +1,254 @@
+package httpd
+
+// The replication endpoints and the replica serving role.
+//
+// A primary (the default role) serves two extra infrastructure
+// endpoints: GET /v1/snapshot ships the newest compacted snapshot for
+// replica bootstrap, and GET /v1/wal?after=<lsn> streams the WAL's
+// durable suffix as chunked, CRC-framed record batches — byte-for-byte
+// the internal/wal record framing — flushing per batch and long-polling
+// for more, with periodic empty-batch heartbeats so an idle replica
+// still learns the primary's durable LSN. A request for records already
+// pruned behind a checkpoint answers 410 Gone: the replica must
+// re-bootstrap from the snapshot.
+//
+// A server becomes a replica when SetReplication hands it the live WAL
+// tail (cmd/trustd wires an internal/replica.Tailer in). A replica keeps
+// serving every read — epoch-pinned, with its staleness in the
+// wire.StalenessHeader of every guarded response and in /healthz and
+// /v1/stats — but answers logical mutations with 421 Misdirected
+// Request naming the primary. POST /v1/admin/promote tears the role
+// down: the tail is stopped and the server accepts writes, continuing
+// the primary's LSN numbering in place.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"trustmap"
+	"trustmap/internal/faultinject"
+	"trustmap/internal/wal"
+	"trustmap/wire"
+)
+
+// DefaultWALPoll is the /v1/wal long-poll interval when Config.WALPoll
+// is zero: how often an idle stream re-checks the log for new durable
+// batches.
+const DefaultWALPoll = 25 * time.Millisecond
+
+// walHeartbeatEvery is the idle-poll count between stream heartbeats
+// (empty batches carrying the durable LSN), keeping a quiet stream's
+// liveness and the replica's lag measurement fresh at roughly one
+// heartbeat per second at the default poll interval.
+const walHeartbeatEvery = 40
+
+// Replication is the live replica state a Server surfaces: cmd/trustd
+// implements it with an internal/replica.Tailer. A Server with no
+// Replication installed is a primary.
+type Replication interface {
+	// PrimaryURL is the base URL mutations are redirected to.
+	PrimaryURL() string
+	// Lag is the replication lag in WAL batches (see wire.StalenessHeader).
+	Lag() uint64
+	// Stats snapshots the tail's counters for /v1/stats.
+	Stats() wire.ReplicationStats
+	// Stop terminates the tail and waits for it to exit; called on promote.
+	Stop()
+}
+
+// SetReplication installs the replica role: reads keep serving with
+// staleness surfaced, mutations answer 421 naming r.PrimaryURL().
+func (srv *Server) SetReplication(r Replication) { srv.repl.Store(&r) }
+
+// replication returns the installed replica state, or nil on a primary.
+func (srv *Server) replication() Replication {
+	if p := srv.repl.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// replicationStats feeds the /v1/stats replication section.
+func (srv *Server) replicationStats() wire.ReplicationStats {
+	if rep := srv.replication(); rep != nil {
+		return rep.Stats()
+	}
+	return wire.ReplicationStats{Role: "primary"}
+}
+
+// primaryOnly rejects logical mutations on a replica with 421
+// Misdirected Request, the primary's base URL in both the
+// wire.PrimaryHeader header and the error body. The replica has done no
+// work, so the client can re-send to the primary unconditionally.
+// Checkpoints stay allowed: compaction is local housekeeping.
+func (srv *Server) primaryOnly(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if rep := srv.replication(); rep != nil {
+			primary := rep.PrimaryURL()
+			w.Header().Set(wire.PrimaryHeader, primary)
+			writeJSON(w, http.StatusMisdirectedRequest, wire.ErrorResponse{
+				Message: fmt.Sprintf("replica does not accept mutations; send them to the primary at %s", primary),
+				Primary: primary,
+			})
+			return
+		}
+		next(w, r)
+	}
+}
+
+// handlePromote makes this server a primary. Idempotent: promoting a
+// primary answers 200 with WasReplica false. On a replica the WAL tail
+// is stopped synchronously — no replicated apply lands after the
+// response — and mutations are accepted from the next request on,
+// continuing the shipped history's LSN numbering.
+func (srv *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
+	was := false
+	if p := srv.repl.Swap(nil); p != nil {
+		(*p).Stop()
+		was = true
+	}
+	writeJSON(w, http.StatusOK, wire.PromoteResponse{
+		Role: "primary", WasReplica: was, Epoch: st.Epoch(), LSN: st.LSN(),
+	})
+}
+
+// handleSnapshot ships the newest compacted snapshot blob (the replica
+// bootstrap seed) with its watermark in wire.LSNHeader; 204 when no
+// checkpoint has run yet (the replica starts from LSN 0 instead).
+func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
+	blob, lsn, have, err := st.SnapshotBlob()
+	if err != nil {
+		if errors.Is(err, trustmap.ErrNotDurable) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		srv.storeError(w, err, http.StatusInternalServerError)
+		return
+	}
+	if !have {
+		w.Header().Set(wire.LSNHeader, "0")
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(wire.LSNHeader, strconv.FormatUint(lsn, 10))
+	w.Write(blob) //nolint:errcheck // a dead client ends the response either way
+}
+
+// handleWALStream is GET /v1/wal?after=<lsn>: an endless chunked stream
+// of the WAL's durable suffix in internal/wal record framing, flushed
+// per batch. Registered outside the guard middleware — a per-request
+// deadline would cut a healthy stream, and like /healthz it must answer
+// under admission pressure; its cost is bounded by the durable log, not
+// request bodies.
+func (srv *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
+	st, ok := srv.store(w)
+	if !ok {
+		return
+	}
+	dur := st.Durability()
+	if dur.Mode == "memory" {
+		writeError(w, http.StatusBadRequest, errors.New("in-memory store has no WAL to stream"))
+		return
+	}
+	after := uint64(0)
+	if q := r.URL.Query().Get("after"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid after parameter %q", q))
+			return
+		}
+		after = n
+	}
+	// Records the requester needs but the log no longer holds (pruned
+	// behind a checkpoint) cannot be streamed: 410 sends it back to the
+	// snapshot bootstrap path.
+	if oldest, held := st.OldestWALLSN(); held {
+		if after+1 < oldest {
+			writeError(w, http.StatusGone,
+				fmt.Errorf("wal records after lsn %d are pruned (oldest retained is %d); bootstrap from GET /v1/snapshot", after, oldest))
+			return
+		}
+	} else if after < dur.SnapshotLSN {
+		writeError(w, http.StatusGone,
+			fmt.Errorf("wal records after lsn %d are compacted into the snapshot at lsn %d; bootstrap from GET /v1/snapshot", after, dur.SnapshotLSN))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(wire.LSNHeader, strconv.FormatUint(st.DurableLSN(), 10))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush() // headers out before the first poll: connect acks fast
+
+	ctx := r.Context()
+	sent := after
+	idle := 0
+	for {
+		wrote := false
+		_, err := st.TailWAL(sent, func(b wire.OpBatch) error {
+			raw, err := wal.Encode(b)
+			if err != nil {
+				return err
+			}
+			if ferr := faultinject.Fire(faultinject.ReplicaStream); ferr != nil {
+				// A ShortWriteError physically tears the stream mid-frame —
+				// the prefix lands on the wire, then the response ends —
+				// exactly what a primary crash mid-send produces.
+				var sw *faultinject.ShortWriteError
+				if errors.As(ferr, &sw) && sw.Bytes > 0 && sw.Bytes < len(raw) {
+					w.Write(raw[:sw.Bytes]) //nolint:errcheck // the injected tear supersedes
+				}
+				return ferr
+			}
+			if _, err := w.Write(raw); err != nil {
+				return err
+			}
+			sent = b.LSN
+			wrote = true
+			return nil
+		})
+		if err != nil {
+			// Client gone, log pruned under the scan, or an injected tear:
+			// end the stream; the replica reconnects at its applied LSN.
+			return
+		}
+		if wrote {
+			idle = 0
+			flush()
+		} else if idle++; idle >= walHeartbeatEvery {
+			// Heartbeat: an empty batch carrying the durable LSN. Sent only
+			// when fully caught up, so sent == the primary's durable LSN.
+			raw, err := wal.Encode(wire.OpBatch{Schema: wire.SchemaVersion, LSN: sent})
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(raw); err != nil {
+				return
+			}
+			flush()
+			idle = 0
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(srv.walPoll):
+		}
+	}
+}

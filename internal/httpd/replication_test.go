@@ -1,0 +1,292 @@
+package httpd_test
+
+// Handler-level replication tests: the replica role (421s, staleness
+// surfacing, promote) driven through a fake Replication, and the
+// primary-side shipping endpoints (/v1/snapshot, /v1/wal).
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"trustmap"
+	"trustmap/internal/httpd"
+	"trustmap/internal/wal"
+	"trustmap/wire"
+)
+
+// fakeRepl is a scripted Replication: a fixed primary and lag, and a
+// flag recording whether promote stopped it.
+type fakeRepl struct {
+	primary string
+	lag     uint64
+	stopped atomic.Bool
+}
+
+func (f *fakeRepl) PrimaryURL() string { return f.primary }
+func (f *fakeRepl) Lag() uint64        { return f.lag }
+func (f *fakeRepl) Stop()              { f.stopped.Store(true) }
+func (f *fakeRepl) Stats() wire.ReplicationStats {
+	return wire.ReplicationStats{Role: "replica", Primary: f.primary, Connected: true, Lag: f.lag}
+}
+
+func openDurable(t *testing.T) *trustmap.Store {
+	t.Helper()
+	st, err := trustmap.OpenStore(t.TempDir(), trustmap.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func doReq(t *testing.T, h http.Handler, method, path string, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestReplicaRole(t *testing.T) {
+	st := openDurable(t)
+	srv := httpd.New(st, httpd.Config{})
+	repl := &fakeRepl{primary: "http://primary.example:7654", lag: 3}
+	srv.SetReplication(repl)
+
+	// Every logical mutation answers 421 naming the primary, in both the
+	// redirect header and the error body.
+	for _, tc := range []struct{ method, path, body string }{
+		{"POST", "/v1/mutate", `{"ops":[{"op":"set-trust","truster":"a","trusted":"b","priority":1}]}`},
+		{"PUT", "/v1/objects/o1", `{"beliefs":{"b":"v"}}`},
+		{"DELETE", "/v1/objects/o1", ""},
+		{"PUT", "/v1/objects/o1/beliefs/b", `{"value":"v"}`},
+		{"DELETE", "/v1/objects/o1/beliefs/b", ""},
+	} {
+		rec := doReq(t, srv, tc.method, tc.path, tc.body)
+		if rec.Code != http.StatusMisdirectedRequest {
+			t.Fatalf("%s %s on replica: status %d, want 421", tc.method, tc.path, rec.Code)
+		}
+		if got := rec.Header().Get(wire.PrimaryHeader); got != repl.primary {
+			t.Fatalf("%s %s: primary header %q, want %q", tc.method, tc.path, got, repl.primary)
+		}
+		var er wire.ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Primary != repl.primary {
+			t.Fatalf("%s %s: error body %s (err %v), want primary %q", tc.method, tc.path, rec.Body.String(), err, repl.primary)
+		}
+	}
+	if st.LSN() != 0 {
+		t.Fatalf("replica logged %d mutations through 421s", st.LSN())
+	}
+
+	// Reads keep serving, staleness surfaced on every guarded response.
+	rec := doReq(t, srv, "GET", "/v1/objects", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replica read: status %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get(wire.StalenessHeader); got != "3" {
+		t.Fatalf("staleness header = %q, want 3", got)
+	}
+
+	// Checkpoints are local housekeeping, not logical mutations: allowed.
+	// (An empty store has nothing to compact but must not answer 421.)
+	if rec := doReq(t, srv, "POST", "/v1/admin/checkpoint", ""); rec.Code == http.StatusMisdirectedRequest {
+		t.Fatalf("checkpoint answered 421 on a replica")
+	}
+
+	// /healthz and /v1/stats carry the role and lag.
+	rec = doReq(t, srv, "GET", "/healthz", "")
+	var h wire.Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != "replica" || h.ReplicaLag != 3 {
+		t.Fatalf("healthz = %+v, want role replica lag 3", h)
+	}
+	var stats wire.StatsResponse
+	if err := json.Unmarshal(doReq(t, srv, "GET", "/v1/stats", "").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replication.Role != "replica" || stats.Replication.Primary != repl.primary || !stats.Replication.Connected {
+		t.Fatalf("stats replication = %+v", stats.Replication)
+	}
+}
+
+func TestPromoteTearsDownReplicaRole(t *testing.T) {
+	st := openDurable(t)
+	srv := httpd.New(st, httpd.Config{})
+	repl := &fakeRepl{primary: "http://primary.example:7654"}
+	srv.SetReplication(repl)
+
+	rec := doReq(t, srv, "POST", "/v1/admin/promote", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("promote: status %d body %s", rec.Code, rec.Body.String())
+	}
+	var pr wire.PromoteResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Role != "primary" || !pr.WasReplica {
+		t.Fatalf("promote = %+v, want role primary was_replica true", pr)
+	}
+	if !repl.stopped.Load() {
+		t.Fatal("promote returned before stopping the tail")
+	}
+
+	// Mutations are accepted from the next request on.
+	rec = doReq(t, srv, "POST", "/v1/mutate",
+		`{"ops":[{"op":"set-trust","truster":"a","trusted":"b","priority":1}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-promote mutate: status %d body %s", rec.Code, rec.Body.String())
+	}
+	var hh wire.Health
+	if err := json.Unmarshal(doReq(t, srv, "GET", "/healthz", "").Body.Bytes(), &hh); err != nil {
+		t.Fatal(err)
+	}
+	if hh.Role != "primary" || hh.ReplicaLag != 0 {
+		t.Fatalf("post-promote healthz = %+v, want primary", hh)
+	}
+
+	// Promoting a primary is an idempotent no-op.
+	rec = doReq(t, srv, "POST", "/v1/admin/promote", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusOK || pr.WasReplica {
+		t.Fatalf("second promote = %d %+v, want 200 was_replica false", rec.Code, pr)
+	}
+}
+
+func TestWALStreamRejections(t *testing.T) {
+	// In-memory stores have no WAL.
+	mem := httpd.New(testStore(t), httpd.Config{})
+	if rec := doReq(t, mem, "GET", "/v1/wal", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("wal on memory store: status %d, want 400", rec.Code)
+	}
+
+	st := openDurable(t)
+	srv := httpd.New(st, httpd.Config{})
+	if rec := doReq(t, srv, "GET", "/v1/wal?after=bogus", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad after: status %d, want 400", rec.Code)
+	}
+
+	// Prune history behind two checkpoints, then ask for the start: 410.
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := st.SetTrust(ctx, "a", "b", i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetTrust(ctx, "a", "c", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rec := doReq(t, srv, "GET", "/v1/wal?after=0", "")
+	if rec.Code != http.StatusGone {
+		t.Fatalf("pruned wal: status %d body %s, want 410", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "/v1/snapshot") {
+		t.Fatalf("410 body does not point at the bootstrap path: %s", rec.Body.String())
+	}
+}
+
+func TestWALStreamShipsFrames(t *testing.T) {
+	st := openDurable(t)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if err := st.SetTrust(ctx, "a", "b", i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpd.New(st, httpd.Config{}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/wal?after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wal stream: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(wire.LSNHeader); got != "6" {
+		t.Fatalf("stream lsn header = %q, want 6 (durable watermark)", got)
+	}
+	dec := wal.NewDecoder(resp.Body)
+	for want := uint64(3); want <= 6; want++ {
+		b, err := dec.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", want, err)
+		}
+		if b.LSN != want || len(b.Ops) != 1 {
+			t.Fatalf("frame lsn %d ops %d, want lsn %d ops 1", b.LSN, len(b.Ops), want)
+		}
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	st := openDurable(t)
+	srv := httpd.New(st, httpd.Config{})
+
+	rec := doReq(t, srv, "GET", "/v1/snapshot", "")
+	if rec.Code != http.StatusNoContent || rec.Header().Get(wire.LSNHeader) != "0" {
+		t.Fatalf("snapshot before checkpoint: status %d lsn %q, want 204/0", rec.Code, rec.Header().Get(wire.LSNHeader))
+	}
+
+	ctx := context.Background()
+	if err := st.SetTrust(ctx, "a", "b", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutBelief(ctx, "b", "o1", "fish"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rec = doReq(t, srv, "GET", "/v1/snapshot", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", rec.Code)
+	}
+	lsn, err := strconv.ParseUint(rec.Header().Get(wire.LSNHeader), 10, 64)
+	if err != nil || lsn != st.LSN() {
+		t.Fatalf("snapshot lsn header %q, want %d", rec.Header().Get(wire.LSNHeader), st.LSN())
+	}
+	// The blob is a real installable snapshot: plant it in a fresh dir.
+	dir := t.TempDir()
+	got, err := trustmap.InstallSnapshot(dir, rec.Body.Bytes())
+	if err != nil || got != lsn {
+		t.Fatalf("install shipped snapshot: lsn %d err %v, want %d", got, err, lsn)
+	}
+	r2, err := trustmap.OpenStore(dir, trustmap.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.LSN() != lsn {
+		t.Fatalf("store from shipped snapshot at lsn %d, want %d", r2.LSN(), lsn)
+	}
+
+	// In-memory stores have no snapshot to ship.
+	mem := httpd.New(testStore(t), httpd.Config{})
+	if rec := doReq(t, mem, "GET", "/v1/snapshot", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("snapshot on memory store: status %d, want 400", rec.Code)
+	}
+}

@@ -83,37 +83,99 @@ func Write(dir string, f *File) (string, error) {
 		return "", err
 	}
 	name := Name(f.LSN)
-	if err := faultinject.Fire(faultinject.SnapshotWrite); err != nil {
+	if err := writeRaw(dir, name, append(blob, '\n')); err != nil {
 		return "", err
+	}
+	return name, nil
+}
+
+// writeRaw is the atomic write path shared by Write and Install: tmp +
+// fsync + rename + dir fsync, with the fault points at the same I/O
+// boundaries either caller crosses.
+func writeRaw(dir, name string, raw []byte) error {
+	if err := faultinject.Fire(faultinject.SnapshotWrite); err != nil {
+		return err
 	}
 	tmp, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
-		return "", err
+		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+	if _, err := tmp.Write(raw); err != nil {
 		tmp.Close()
-		return "", err
+		return err
 	}
 	if err := faultinject.Fire(faultinject.SnapshotSync); err != nil {
 		tmp.Close()
-		return "", err
+		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return "", err
+		return err
 	}
 	if err := tmp.Close(); err != nil {
-		return "", err
+		return err
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
-		return "", err
+		return err
 	}
 	if d, err := os.Open(dir); err == nil {
 		d.Sync() // make the rename durable; best-effort on exotic FSes
 		d.Close()
 	}
-	return name, nil
+	return nil
+}
+
+// Decode parses and validates one snapshot body without touching disk —
+// the receiving half of snapshot shipping.
+func Decode(raw []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	if f.Format > FormatVersion {
+		return nil, fmt.Errorf("snapshot format %d newer than supported %d", f.Format, FormatVersion)
+	}
+	return &f, nil
+}
+
+// Install atomically persists a snapshot blob fetched from elsewhere (a
+// primary's GET /v1/snapshot) under its canonical name, validating it
+// first. The raw bytes are written verbatim — a blob from a newer-schema
+// writer keeps its unknown fields instead of being lossily re-encoded.
+func Install(dir string, raw []byte) (*File, error) {
+	f, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: install: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeRaw(dir, Name(f.LSN), raw); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// LatestRaw returns the newest valid snapshot's raw bytes and watermark —
+// the serving half of snapshot shipping. nil, 0 with no error when dir
+// holds no valid snapshot.
+func LatestRaw(dir string) ([]byte, uint64, error) {
+	f, name, err := Latest(dir)
+	if err != nil || f == nil {
+		return nil, 0, err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		// Pruned between the listing and the read; try once more.
+		if f, name, err = Latest(dir); err != nil || f == nil {
+			return nil, 0, err
+		}
+		if raw, err = os.ReadFile(filepath.Join(dir, name)); err != nil {
+			return nil, 0, err
+		}
+	}
+	return raw, f.LSN, nil
 }
 
 // Latest loads the newest valid snapshot in dir: the highest-watermark
@@ -153,14 +215,7 @@ func load(path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	var f File
-	if err := json.Unmarshal(raw, &f); err != nil {
-		return nil, err
-	}
-	if f.Format > FormatVersion {
-		return nil, fmt.Errorf("snapshot format %d newer than supported %d", f.Format, FormatVersion)
-	}
-	return &f, nil
+	return Decode(raw)
 }
 
 // Prune removes all but the newest keep snapshots. The newest is never

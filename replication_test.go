@@ -1,0 +1,182 @@
+package trustmap
+
+// Store-level replication tests: TailWAL/ApplyReplicated shipping parity,
+// duplicate and gap handling, verbatim LSN/epoch preservation, replica
+// restartability, and snapshot install/bootstrap semantics.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"trustmap/wire"
+)
+
+// ship streams primary's WAL above `after` into replica, returning the
+// watermark reached and the batches applied.
+func ship(t *testing.T, primary, replica *Store, after uint64) (uint64, int) {
+	t.Helper()
+	applied := 0
+	upto, err := primary.TailWAL(after, func(b wire.OpBatch) error {
+		res, err := replica.ApplyReplicated(b)
+		if err != nil {
+			return err
+		}
+		if res.Applied {
+			applied++
+		}
+		if res.OpErrors != 0 {
+			t.Fatalf("ApplyReplicated(%d): %d op errors", b.LSN, res.OpErrors)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ship after %d: %v", after, err)
+	}
+	return upto, applied
+}
+
+func TestReplicationShippingParity(t *testing.T) {
+	p := mustOpenStore(t, t.TempDir(), WithDurability(DurabilityAlways))
+	defer p.Close()
+	wantLSN := seedDurable(t, p)
+
+	rdir := t.TempDir()
+	r := mustOpenStore(t, rdir, WithDurability(DurabilityAlways))
+	upto, applied := ship(t, p, r, 0)
+	if upto != wantLSN || applied != int(wantLSN) {
+		t.Fatalf("shipped upto=%d applied=%d, want %d", upto, applied, wantLSN)
+	}
+	if r.LSN() != wantLSN || r.DurableLSN() != wantLSN {
+		t.Fatalf("replica LSN=%d durable=%d, want %d", r.LSN(), r.DurableLSN(), wantLSN)
+	}
+	if got, want := resolvedState(t, r), resolvedState(t, p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replica resolved state diverges:\n got %v\nwant %v", got, want)
+	}
+
+	// Re-shipping the whole log is a no-op: every batch is a duplicate.
+	if _, applied := ship(t, p, r, 0); applied != 0 {
+		t.Fatalf("duplicate ship applied %d batches, want 0", applied)
+	}
+
+	// The replica's own WAL holds the primary's batches verbatim, so it
+	// recovers to the same state on restart — replicas are restartable.
+	if err := r.Close(); err != nil {
+		t.Fatalf("replica close: %v", err)
+	}
+	r2 := mustOpenStore(t, rdir)
+	defer r2.Close()
+	if r2.LSN() != wantLSN {
+		t.Fatalf("restarted replica LSN=%d, want %d", r2.LSN(), wantLSN)
+	}
+	if got, want := resolvedState(t, r2), resolvedState(t, p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restarted replica resolved state diverges")
+	}
+
+	// Incremental catch-up: more primary writes ship from the watermark.
+	if err := p.SetTrust(context.Background(), "alice", "frank", 30); err != nil {
+		t.Fatal(err)
+	}
+	if upto, applied := ship(t, p, r2, r2.LSN()); upto != wantLSN+1 || applied != 1 {
+		t.Fatalf("catch-up shipped upto=%d applied=%d, want %d/1", upto, applied, wantLSN+1)
+	}
+}
+
+func TestApplyReplicatedGapAndEnvelope(t *testing.T) {
+	p := mustOpenStore(t, t.TempDir(), WithDurability(DurabilityAlways))
+	defer p.Close()
+	seedDurable(t, p)
+	var batches []wire.OpBatch
+	if _, err := p.TailWAL(0, func(b wire.OpBatch) error {
+		batches = append(batches, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpenStore(t, t.TempDir(), WithDurability(DurabilityAlways))
+	defer r.Close()
+	// Skipping ahead is a gap, refused without mutating anything.
+	if _, err := r.ApplyReplicated(batches[2]); !errors.Is(err, ErrReplicationGap) {
+		t.Fatalf("gap apply: want ErrReplicationGap, got %v", err)
+	}
+	if r.LSN() != 0 {
+		t.Fatalf("gap apply advanced LSN to %d", r.LSN())
+	}
+	// The applied batch keeps the primary's envelope: the replica's log
+	// carries the original LSN and epoch, not a renumbering.
+	if _, err := r.ApplyReplicated(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	var got wire.OpBatch
+	if _, err := r.TailWAL(0, func(b wire.OpBatch) error { got = b; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != batches[0].LSN || got.Epoch != batches[0].Epoch {
+		t.Fatalf("replica logged lsn=%d epoch=%d, want lsn=%d epoch=%d",
+			got.LSN, got.Epoch, batches[0].LSN, batches[0].Epoch)
+	}
+	// Heartbeats (empty batches) are ignored at any LSN.
+	if res, err := r.ApplyReplicated(wire.OpBatch{LSN: 99}); err != nil || res.Applied {
+		t.Fatalf("heartbeat: applied=%v err=%v", res.Applied, err)
+	}
+	// In-memory stores cannot participate.
+	m, err := NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ApplyReplicated(batches[0]); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("in-memory apply: want ErrNotDurable, got %v", err)
+	}
+}
+
+func TestInstallSnapshotBootstrap(t *testing.T) {
+	pdir := t.TempDir()
+	p := mustOpenStore(t, pdir, WithDurability(DurabilityAlways))
+	defer p.Close()
+	wantLSN := seedDurable(t, p)
+	if _, _, ok, err := p.SnapshotBlob(); ok || err != nil {
+		t.Fatalf("SnapshotBlob before checkpoint: ok=%v err=%v", ok, err)
+	}
+	ci, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, lsn, ok, err := p.SnapshotBlob()
+	if err != nil || !ok || lsn != ci.LSN {
+		t.Fatalf("SnapshotBlob: ok=%v lsn=%d err=%v, want lsn %d", ok, lsn, err, ci.LSN)
+	}
+
+	// Fresh directory: install + open serves the snapshot state and the
+	// log is positioned to continue the primary's numbering.
+	rdir := t.TempDir()
+	if got, err := InstallSnapshot(rdir, blob); err != nil || got != ci.LSN {
+		t.Fatalf("InstallSnapshot = %d, %v; want %d", got, err, ci.LSN)
+	}
+	r := mustOpenStore(t, rdir, WithDurability(DurabilityAlways))
+	defer r.Close()
+	if r.LSN() != wantLSN {
+		t.Fatalf("bootstrapped replica LSN=%d, want %d", r.LSN(), wantLSN)
+	}
+	if got, want := resolvedState(t, r), resolvedState(t, p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("bootstrapped replica resolved state diverges")
+	}
+	// Re-installing the same watermark is stale: local state covers it.
+	if _, err := InstallSnapshot(rdir, blob); !errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("reinstall: want ErrSnapshotStale, got %v", err)
+	}
+
+	// After the primary rotates and prunes its log past a lagging
+	// replica's position, the oldest retained record is beyond LSN 1 —
+	// the signal the HTTP layer turns into 410 Gone.
+	if err := p.SetTrust(context.Background(), "alice", "grace", 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if oldest, ok := p.OldestWALLSN(); ok && oldest <= 1 {
+		t.Fatalf("post-prune oldest WAL lsn = %d, want > 1 or none", oldest)
+	}
+}

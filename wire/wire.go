@@ -18,10 +18,11 @@
 //     class: 400 malformed or invalid request, 404 unknown user or
 //     object, 405 wrong method, 413 oversized batch or body (Limit names
 //     the bound), 429 admission shed (queue full or queue-wait deadline;
-//     Retry-After header says when to come back), 503 server still
-//     recovering its store from disk (retryable, Retry-After header) or
-//     request deadline exceeded (no Retry-After — the client chose the
-//     budget).
+//     Retry-After header says when to come back), 421 mutation sent to a
+//     read replica (Primary and the PrimaryHeader header name where to
+//     redirect it), 503 server still recovering its store from disk
+//     (retryable, Retry-After header) or request deadline exceeded (no
+//     Retry-After — the client chose the budget).
 //
 // # Schema evolution
 //
@@ -39,14 +40,33 @@ import "fmt"
 // OpBatch envelope, LSN on responses, object ops, and the durability
 // section of /v1/stats. Version 3 added resilience: the admission
 // section of /v1/stats, ErrorResponse.Limit on 413s, and the
-// TimeoutHeader request deadline override.
-const SchemaVersion = 3
+// TimeoutHeader request deadline override. Version 4 added replication:
+// Health.Role/ReplicaLag, the replication section of /v1/stats,
+// PromoteResponse, ErrorResponse.Primary on 421s, and the
+// PrimaryHeader/StalenessHeader/LSNHeader response headers.
+const SchemaVersion = 4
 
 // TimeoutHeader is the request header a client sets to override the
 // server's default per-request deadline, in integer milliseconds. The
 // server caps it at its configured maximum; 0 or absent means the server
 // default applies.
 const TimeoutHeader = "X-Trustd-Timeout-Ms"
+
+// PrimaryHeader is the response header a replica sets on the 421 it
+// answers to mutations (and on PromoteResponse-adjacent errors): the base
+// URL of the primary the client should redirect the write to.
+const PrimaryHeader = "X-Trustd-Primary"
+
+// StalenessHeader is the response header a replica sets on every
+// response: its replication lag as a count of primary-durable WAL batches
+// not yet applied locally, measured against the primary's durable LSN as
+// of the replica's last stream contact. Absent on a primary.
+const StalenessHeader = "X-Trustd-Staleness"
+
+// LSNHeader carries a durable log sequence number on non-JSON endpoints:
+// the primary's durable LSN on GET /v1/wal (at stream start) and the
+// snapshot's watermark LSN on GET /v1/snapshot.
+const LSNHeader = "X-Trustd-LSN"
 
 // UserResult is one user's resolution for one object: the possible values
 // over all stable solutions, and the certain value when exactly one.
@@ -62,6 +82,11 @@ type Health struct {
 	// LSN is the durable log sequence number; zero/omitted on in-memory
 	// servers.
 	LSN uint64 `json:"lsn,omitempty"`
+	// Role is "primary" or "replica"; empty on servers predating schema 4.
+	Role string `json:"role,omitempty"`
+	// ReplicaLag is the replica's replication lag in WAL batches (see
+	// StalenessHeader); always zero/omitted on a primary.
+	ReplicaLag uint64 `json:"replica_lag,omitempty"`
 }
 
 // ResolveRequest is the POST /v1/resolve body: one ad-hoc object's
@@ -281,17 +306,42 @@ type AdmissionStats struct {
 	DeadlineExceeded uint64 `json:"deadline_exceeded,omitempty"`
 }
 
+// ReplicationStats is the replication section of /v1/stats. A primary
+// reports only Role; a replica reports the tail of its primary's WAL:
+// the highest primary-durable LSN it has observed, the apply counters,
+// and the lag between the two.
+type ReplicationStats struct {
+	Role    string `json:"role"`
+	Primary string `json:"primary,omitempty"`
+	// Connected reports whether the WAL stream to the primary is live.
+	Connected bool `json:"connected,omitempty"`
+	// LastSeenLSN is the highest primary durable LSN observed on the
+	// stream (batches and heartbeats both advance it).
+	LastSeenLSN uint64 `json:"last_seen_lsn,omitempty"`
+	// Lag = LastSeenLSN - locally applied LSN (floor zero): the batch
+	// count behind the primary as of last contact.
+	Lag            uint64 `json:"lag,omitempty"`
+	AppliedBatches uint64 `json:"applied_batches,omitempty"`
+	AppliedOps     uint64 `json:"applied_ops,omitempty"`
+	// SkippedBatches counts already-applied duplicates discarded on
+	// reconnect overlap — expected, not an error.
+	SkippedBatches uint64 `json:"skipped_batches,omitempty"`
+	Reconnects     uint64 `json:"reconnects,omitempty"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
 // StatsResponse is the GET /v1/stats response: session, store, engine,
-// durability, and admission counters of one pinned epoch.
+// durability, admission, and replication counters of one pinned epoch.
 type StatsResponse struct {
-	Schema     int             `json:"schema,omitempty"`
-	Epoch      uint64          `json:"epoch"`
-	LSN        uint64          `json:"lsn,omitempty"`
-	Session    SessionStats    `json:"session"`
-	Store      StoreStats      `json:"store"`
-	Engine     EngineStats     `json:"engine"`
-	Durability DurabilityStats `json:"durability"`
-	Admission  AdmissionStats  `json:"admission"`
+	Schema      int              `json:"schema,omitempty"`
+	Epoch       uint64           `json:"epoch"`
+	LSN         uint64           `json:"lsn,omitempty"`
+	Session     SessionStats     `json:"session"`
+	Store       StoreStats       `json:"store"`
+	Engine      EngineStats      `json:"engine"`
+	Durability  DurabilityStats  `json:"durability"`
+	Admission   AdmissionStats   `json:"admission"`
+	Replication ReplicationStats `json:"replication"`
 }
 
 // CheckpointResponse answers POST /v1/admin/checkpoint: the compacted
@@ -301,6 +351,20 @@ type CheckpointResponse struct {
 	Epoch    uint64 `json:"epoch"`
 	LSN      uint64 `json:"lsn"`
 	Snapshot string `json:"snapshot"` // snapshot file name inside the data dir
+}
+
+// PromoteResponse answers POST /v1/admin/promote: the server's role
+// after the call. Promote is idempotent — promoting a primary answers
+// 200 with WasReplica false. Promoting a replica stops its WAL tail at
+// the reported LSN; any primary-durable batches beyond it must be
+// salvaged from the old primary's WAL before the promote (see the
+// replication runbook) or they are lost.
+type PromoteResponse struct {
+	Role string `json:"role"`
+	// WasReplica reports whether this call actually changed the role.
+	WasReplica bool   `json:"was_replica"`
+	Epoch      uint64 `json:"epoch"`
+	LSN        uint64 `json:"lsn,omitempty"`
 }
 
 // DeleteResponse answers DELETE /v1/objects/{key}: the deleted key and
@@ -322,6 +386,9 @@ type ErrorResponse struct {
 	Applied int    `json:"applied,omitempty"`
 	Epoch   uint64 `json:"epoch,omitempty"`
 	Limit   int    `json:"limit,omitempty"`
+	// Primary is set on 421 Misdirected Request: the base URL of the
+	// primary that accepts mutations (also in the PrimaryHeader header).
+	Primary string `json:"primary,omitempty"`
 }
 
 // TxApplier is the mutation surface an Op batch applies to. It is
