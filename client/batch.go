@@ -1,0 +1,101 @@
+package client
+
+// Shard-aware batching: when the server advertises a cluster topology
+// (wire.Health.Shards, schema 5), ResolveBatch splits a bulk-resolve
+// into per-shard sub-batches using the same wire.ShardOwner routing
+// function the server's router uses, and runs them as concurrent
+// requests. Each sub-request reaches the router carrying objects that
+// all live on one shard, so no request blocks on the slowest shard's
+// scatter — the client-side counterpart of the server's scatter-gather.
+// Against an unsharded server (or one predating schema 5) ResolveBatch
+// degrades to one plain BulkResolve.
+
+import (
+	"context"
+	"sync"
+
+	"trustmap/wire"
+)
+
+// topology reports the server's advertised shard count, fetched from
+// /healthz once and cached for the client's lifetime (a server's
+// topology is fixed for its process lifetime — trustd refuses to reopen
+// a cluster directory with a different shard count). Unreachable or
+// pre-cluster servers report 0: the unsharded degradation.
+func (c *Client) topology(ctx context.Context) int {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if c.topoKnown {
+		return c.topoShards
+	}
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		return 0 // not cached: the next call probes again
+	}
+	c.topoKnown, c.topoShards = true, h.Shards
+	return c.topoShards
+}
+
+// ResolveBatch is BulkResolve with shard-aware splitting: against a
+// sharded server (wire.Health.Shards > 1) the objects are partitioned
+// by wire.ShardOwner and resolved as concurrent per-shard sub-requests,
+// merged into one response whose Epoch/LSN are the minimum over
+// sub-responses (the same conservative bound the server itself reports
+// for scatter-gathered reads). Against an unsharded server it is
+// exactly BulkResolve. The first sub-request failure fails the call.
+func (c *Client) ResolveBatch(ctx context.Context, objects map[string]map[string]string, users []string) (wire.BulkResolveResponse, error) {
+	shards := c.topology(ctx)
+	if shards <= 1 || len(objects) < 2 {
+		return c.BulkResolve(ctx, objects, users)
+	}
+	split := make(map[int]map[string]map[string]string)
+	for key, beliefs := range objects {
+		o := wire.ShardOwner(key, shards)
+		if split[o] == nil {
+			split[o] = make(map[string]map[string]string)
+		}
+		split[o][key] = beliefs
+	}
+	if len(split) == 1 {
+		return c.BulkResolve(ctx, objects, users)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		parts    = make([]wire.BulkResolveResponse, 0, len(split))
+		firstErr error
+	)
+	for _, sub := range split {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.BulkResolve(ctx, sub, users)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			parts = append(parts, res)
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return wire.BulkResolveResponse{}, firstErr
+	}
+	out := wire.BulkResolveResponse{Objects: make(map[string]map[string]wire.UserResult, len(objects))}
+	for i, part := range parts {
+		if i == 0 || part.Epoch < out.Epoch {
+			out.Epoch = part.Epoch
+		}
+		if i == 0 || part.LSN < out.LSN {
+			out.LSN = part.LSN
+		}
+		for key, userResults := range part.Objects {
+			out.Objects[key] = userResults
+		}
+	}
+	return out, nil
+}

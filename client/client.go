@@ -85,6 +85,13 @@ type Client struct {
 	cursor    int    // read round-robin position
 	picks     uint64 // read picks, for the periodic down-mark reprobe
 
+	// Cluster topology for shard-aware batching (batch.go): the server's
+	// advertised shard count, probed from /healthz on the first
+	// ResolveBatch and cached for the client's lifetime.
+	topoMu     sync.Mutex
+	topoKnown  bool
+	topoShards int
+
 	jmu    sync.Mutex
 	jitter *rand.Rand
 
@@ -198,6 +205,8 @@ type APIError struct {
 	Primary    string        // the primary a replica named, on 421s
 }
 
+// Error formats the failure as "<METHOD> <path>: server answered <status>:
+// <message>" — the one-line summary error chains and logs show.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("trustd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
 }

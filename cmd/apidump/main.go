@@ -6,9 +6,17 @@
 // breaking change or an addition — fails CI until the golden is
 // regenerated with `make api-save` and reviewed alongside the code.
 //
+// With -check-docs it becomes the documentation gate instead: every
+// package named by -pkgs (or every package in the module, with
+// -pkgs ./...) must carry a package comment, and every exported type,
+// field-owning declaration, function, method, constant, and variable a
+// doc comment. Each naked export is reported and the exit status is
+// nonzero, so `make doc-gate` fails lint on regressions.
+//
 // Usage:
 //
 //	apidump [-pkgs .,wire,client] [-out api/API.txt]
+//	apidump -check-docs [-pkgs ./...]
 package main
 
 import (
@@ -26,13 +34,40 @@ import (
 )
 
 func main() {
-	pkgs := flag.String("pkgs", ".,wire,client", "comma-separated package directories relative to the module root")
+	pkgs := flag.String("pkgs", ".,wire,client", "comma-separated package directories relative to the module root, or ./... for the whole module")
 	out := flag.String("out", "", "write to this file instead of stdout")
+	checkDocs := flag.Bool("check-docs", false, "report exported symbols without doc comments and exit nonzero if any exist")
 	flag.Parse()
 
+	dirs, err := packageDirs(*pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+
+	if *checkDocs {
+		bad := 0
+		for _, dir := range dirs {
+			missing, err := undocumented(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "apidump:", err)
+				os.Exit(1)
+			}
+			for _, m := range missing {
+				fmt.Printf("%s: %s\n", dir, m)
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "apidump: %d exported symbols lack doc comments\n", bad)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var buf bytes.Buffer
-	for _, dir := range strings.Split(*pkgs, ",") {
-		if err := dumpPackage(&buf, strings.TrimSpace(dir)); err != nil {
+	for _, dir := range dirs {
+		if err := dumpPackage(&buf, dir); err != nil {
 			fmt.Fprintln(os.Stderr, "apidump:", err)
 			os.Exit(1)
 		}
@@ -45,6 +80,111 @@ func main() {
 		fmt.Fprintln(os.Stderr, "apidump:", err)
 		os.Exit(1)
 	}
+}
+
+// packageDirs expands the -pkgs value: a comma-separated directory
+// list verbatim, or — for "./..." — every directory in the module tree
+// holding non-test Go files.
+func packageDirs(pkgs string) ([]string, error) {
+	if strings.TrimSpace(pkgs) != "./..." {
+		var dirs []string
+		for _, dir := range strings.Split(pkgs, ",") {
+			dirs = append(dirs, strings.TrimSpace(dir))
+		}
+		return dirs, nil
+	}
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for dir := range seen {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// undocumented lists the exported symbols of one package directory that
+// carry no doc comment, plus a missing package comment. Doc position
+// follows godoc convention: a FuncDecl's own doc; for const/var/type
+// groups, either the group's doc or the spec's own. Exported struct
+// fields and interface members ride on their declaration's doc and are
+// not flagged individually.
+func undocumented(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	pkgDoc, sawGo := false, false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		sawGo = true
+		if f.Doc != nil {
+			pkgDoc = true
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				recv := recvTypeName(d)
+				if d.Recv != nil && !ast.IsExported(recv) {
+					continue
+				}
+				if d.Doc == nil {
+					sym := d.Name.Name
+					if recv != "" {
+						sym = recv + "." + sym
+					}
+					missing = append(missing, "func "+sym)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							missing = append(missing, "type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if anyExported(s.Names) && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							missing = append(missing, d.Tok.String()+" "+s.Names[0].Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	if sawGo && !pkgDoc {
+		missing = append(missing, "package comment")
+	}
+	sort.Strings(missing)
+	return missing, nil
 }
 
 // decl is one exported declaration, rendered, with its sort key.

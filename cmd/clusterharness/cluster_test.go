@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildHarness compiles the harness with the race detector: the storm's
+// concurrent workers hammer the router's read-lock object paths against
+// its write-lock spine broadcasts, so a clean run is also a race proof.
+func buildHarness(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "clusterharness")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building harness with -race: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// checkStorm asserts the full storm-run output protocol and returns the
+// "parity ok <objects>" count for cross-run comparison.
+func checkStorm(t *testing.T, out []byte, shards int) (objects int) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("want 6 protocol lines, got %d:\n%s", len(lines), out)
+	}
+	if lines[0] != fmt.Sprintf("shards %d", shards) || lines[1] != "spine ok" {
+		t.Fatalf("preamble = %q, %q", lines[0], lines[1])
+	}
+	var routed, spine uint64
+	if _, err := fmt.Sscanf(lines[2], "storm ok %d %d", &routed, &spine); err != nil || routed == 0 || spine == 0 {
+		t.Fatalf("want 'storm ok <routed> <spine>' with nonzero counts, got %q", lines[2])
+	}
+	if _, err := fmt.Sscanf(lines[3], "parity ok %d", &objects); err != nil || objects == 0 {
+		t.Fatalf("want 'parity ok <objects>' with objects stored, got %q", lines[3])
+	}
+	var conserved uint64
+	if _, err := fmt.Sscanf(lines[4], "conserved %d", &conserved); err != nil || conserved != routed {
+		t.Fatalf("want 'conserved %d', got %q", routed, lines[4])
+	}
+	if lines[5] != "done" {
+		t.Fatalf("final line = %q, want done", lines[5])
+	}
+	return objects
+}
+
+// TestClusterParity is the sharding acceptance test: a concurrent mixed
+// storm against a 4-shard in-memory router must end in row-for-row
+// oracle parity with conserved op counters.
+func TestClusterParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process storm rounds are not -short material")
+	}
+	bin := buildHarness(t)
+	out, err := exec.Command(bin, "-shards", "4", "-workers", "4", "-ops", "300", "-seed", "7").CombinedOutput()
+	if err != nil {
+		t.Fatalf("storm: %v\n%s", err, out)
+	}
+	checkStorm(t, out, 4)
+}
+
+// TestClusterRecovery storms a durable 3-shard cluster, then reopens the
+// shard directories in a fresh process: recovery must replay each
+// shard's independent WAL — including the register-roots broadcasts —
+// back to full cluster-wide oracle parity.
+func TestClusterRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process storm rounds are not -short material")
+	}
+	bin := buildHarness(t)
+	dir := t.TempDir()
+	args := []string{"-shards", "3", "-workers", "3", "-ops", "200", "-seed", "11", "-dir", dir}
+
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("durable storm: %v\n%s", err, out)
+	}
+	objects := checkStorm(t, out, 3)
+
+	out, err = exec.Command(bin, append(args, "-verify-only")...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("verify round: %v\n%s", err, out)
+	}
+	want := fmt.Sprintf("shards 3\nparity ok %d\nconserved 0\ndone\n", objects)
+	if string(out) != want {
+		t.Fatalf("verify round output:\n%swant:\n%s", out, want)
+	}
+}

@@ -428,6 +428,29 @@ func runRemote(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("remote", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:7171", "trustd base URL, or a comma-separated fleet (first = admin/promote target; reads load-balance, mutations follow the primary)")
 	retries := fs.Int("retry", 0, "retry attempts per call (including the first); >1 arms failover across -addr endpoints")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `Usage: trustctl remote [flags] VERB [verb flags]
+
+Verbs:
+  stats                                    server/cluster counters (/v1/stats)
+  objects                                  list stored object keys
+  put-object     -key K -beliefs u=v,...   create or replace one object
+  resolve-object -key K -users u1,u2       resolve one stored object
+  resolve        -users u1,u2 [-beliefs]   resolve an ad-hoc object
+  mutate         -f ops.json               apply a wire op batch
+  checkpoint                               compact the WAL
+  promote                                  make a replica the primary
+                                           (targets the FIRST -addr endpoint)
+
+-addr takes one base URL or a comma-separated fleet, e.g.
+-addr http://replica:7172,http://primary:7171 — reads load-balance
+across endpoints, mutations follow the primary via 421 redirects, and
+admin verbs (promote, checkpoint) hit the first endpoint only.
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {

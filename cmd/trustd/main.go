@@ -14,6 +14,7 @@
 //	trustd -demo 1000 [-seed 42] [-addr :7171]
 //	trustd -data-dir /var/lib/trustd [-f seed.json] [-durability batch|off|always]
 //	trustd -data-dir /var/lib/trustd-replica -replica-of http://primary:7171
+//	trustd -cluster 4 [-f seed.json] [-data-dir /var/lib/trustd]
 //
 // With -data-dir the store is durable: every mutation is journaled to a
 // write-ahead log under <dir>/wal and compacted into snapshots under
@@ -73,6 +74,22 @@
 // and in /healthz and /v1/stats; mutations answer 421 naming the
 // primary. POST /v1/admin/promote turns the replica into a primary in
 // place — see the replication runbook in the README.
+//
+// Sharding: -cluster N (N >= 2; incompatible with -demo and -replica-of)
+// runs N in-process store shards behind a router (internal/shard) for
+// horizontal write scale-out. Objects partition across shards by
+// consistent hashing of their keys (wire.ShardOwner); trust-network
+// mutations broadcast to every shard; /v1/objects listings,
+// /v1/bulk-resolve, and /v1/stats scatter-gather across shards into one
+// deterministic key-ordered response, with per-shard epochs/LSNs and
+// conserved op counters in the stats cluster section. /healthz
+// advertises the shard count, which the client package uses for
+// shard-aware batching. With -data-dir each shard keeps its own WAL and
+// snapshots under <dir>/shard-<i>, and <dir>/cluster.json pins the
+// topology — reopening with a different -cluster N fails rather than
+// silently rehashing ownership (there is no resharding). The
+// single-store replication endpoints (/v1/wal, /v1/snapshot) answer 400
+// on a cluster: per-shard WALs have independent LSN spaces.
 package main
 
 import (
@@ -85,6 +102,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -94,6 +112,8 @@ import (
 	"trustmap/internal/admission"
 	"trustmap/internal/httpd"
 	"trustmap/internal/replica"
+	"trustmap/internal/shard"
+	"trustmap/wire"
 )
 
 func main() {
@@ -114,6 +134,7 @@ func main() {
 	mutateQueue := flag.Int("mutate-queue", 0, "mutate requests allowed to wait for a slot before shedding 429")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "longest a queued request waits for a slot before shedding 429")
 	replicaOf := flag.String("replica-of", "", "primary base URL to replicate from (requires -data-dir); serve reads, redirect mutations")
+	cluster := flag.Int("cluster", 0, "run this many in-process store shards behind a router (>= 2); objects partition by key hash, trust mutations broadcast")
 	flag.Parse()
 	if *dataDir == "" && *replicaOf == "" && (*file == "") == (*demo == 0) {
 		fmt.Fprintln(os.Stderr, "trustd: exactly one of -f and -demo is required (or -data-dir)")
@@ -134,6 +155,20 @@ func main() {
 			os.Exit(2)
 		}
 		*replicaOf = strings.TrimRight(*replicaOf, "/")
+	}
+	if *cluster != 0 {
+		if *cluster < 2 {
+			fmt.Fprintln(os.Stderr, "trustd: -cluster needs at least 2 shards (omit it for a single store)")
+			os.Exit(2)
+		}
+		if *demo != 0 {
+			fmt.Fprintln(os.Stderr, "trustd: -cluster is incompatible with -demo (seed a cluster from -f)")
+			os.Exit(2)
+		}
+		if *replicaOf != "" {
+			fmt.Fprintln(os.Stderr, "trustd: -cluster is incompatible with -replica-of (a cluster is always a primary)")
+			os.Exit(2)
+		}
 	}
 	mode, err := parseDurability(*durability)
 	if err != nil {
@@ -177,11 +212,23 @@ func main() {
 		IdleTimeout:  5 * time.Minute,
 	}
 	type serving struct {
-		st   *trustmap.Store
-		tail *replica.Tailer // nil on a primary
+		st   interface{ Close() error } // the store, or the cluster router
+		tail *replica.Tailer            // nil on a primary
 	}
 	recovered := make(chan serving, 1)
 	go func() {
+		if *cluster > 1 {
+			rt, err := openCluster(*cluster, *dataDir, *file, opts)
+			if err != nil {
+				log.Fatalf("trustd: %v", err)
+			}
+			handler.InstallBackend(rt)
+			sst, eng := rt.EpochStats()
+			log.Printf("trustd: serving %d users, %d mappings, %d roots, %d objects on %s across %d shards (min epoch %d, min lsn %d)",
+				eng.Users, eng.Mappings, eng.Roots, sst.Objects, *addr, rt.Shards(), rt.Epoch(), rt.LSN())
+			recovered <- serving{st: rt}
+			return
+		}
 		if *replicaOf != "" {
 			// Snapshot bootstrap before the store opens: a fresh or pruned-
 			// behind replica seeds from the primary's latest checkpoint, then
@@ -283,6 +330,146 @@ func openStore(dataDir, file string, demo int, seed int64, opts []trustmap.Store
 		}
 	}
 	return st, nil
+}
+
+// clusterMarker is <data-dir>/cluster.json: the persisted topology of a
+// durable cluster. Object ownership is a pure function of (key, shard
+// count), so reopening the same directories with a different -cluster N
+// would silently re-home every key — the marker turns that into a hard
+// error instead. There is no resharding.
+type clusterMarker struct {
+	Shards int    `json:"shards"`
+	Hash   string `json:"hash"`
+}
+
+// checkTopology validates (writing on first boot) the cluster marker.
+func checkTopology(dataDir string, shards int) error {
+	path := filepath.Join(dataDir, "cluster.json")
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return err
+		}
+		raw, err := json.Marshal(clusterMarker{Shards: shards, Hash: wire.ShardHash})
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, raw, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	var m clusterMarker
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if m.Shards != shards {
+		return fmt.Errorf("%s pins %d shards but -cluster is %d: object ownership is hash-of-key modulo topology, so changing the shard count would re-home keys (no resharding; reopen with -cluster %d)",
+			path, m.Shards, shards, m.Shards)
+	}
+	if m.Hash != wire.ShardHash {
+		return fmt.Errorf("%s pins routing scheme %q but this build speaks %q", path, m.Hash, wire.ShardHash)
+	}
+	return nil
+}
+
+// openCluster builds the sharded serving backend: n stores — durable
+// under <dataDir>/shard-<i>, or in-memory — behind a shard.Router. A
+// -f file seeds exactly once, when every shard is empty, through the
+// router's own logged spine/object paths so the seed is replayable
+// per-shard history.
+func openCluster(n int, dataDir, file string, opts []trustmap.StoreOption) (*shard.Router, error) {
+	shards := make([]*trustmap.Store, n)
+	closeAll := func() {
+		for _, st := range shards {
+			if st != nil {
+				st.Close()
+			}
+		}
+	}
+	if dataDir != "" {
+		if err := checkTopology(dataDir, n); err != nil {
+			return nil, err
+		}
+	}
+	for i := range shards {
+		var (
+			st  *trustmap.Store
+			err error
+		)
+		if dataDir == "" {
+			st, err = trustmap.New().NewStore(opts...)
+		} else {
+			st, err = trustmap.OpenStore(filepath.Join(dataDir, fmt.Sprintf("shard-%d", i)), opts...)
+		}
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("opening shard %d: %w", i, err)
+		}
+		shards[i] = st
+	}
+	rt, err := shard.NewRouter(shards)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	// Seed exactly once: only when every shard is empty (any recovered
+	// history keeps its own truth and the file is ignored, as with -f on
+	// a single durable store).
+	if file != "" {
+		empty := true
+		for _, st := range shards {
+			if st.LSN() != 0 || st.Network().NumUsers() != 0 || st.NumObjects() != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			if err := seedRouter(rt, file); err != nil {
+				rt.Close()
+				return nil, fmt.Errorf("seeding from %s: %w", file, err)
+			}
+		}
+	}
+	return rt, nil
+}
+
+// seedRouter loads the network file through the router: the spine (trust
+// edges, then default beliefs in name order) as one broadcast batch, the
+// objects in key order through the routed object path.
+func seedRouter(rt *shard.Router, file string) error {
+	nf, err := loadNetworkFile(file)
+	if err != nil {
+		return err
+	}
+	var ops []wire.Op
+	for _, m := range nf.Trust {
+		ops = append(ops, wire.Op{Op: wire.OpSetTrust, Truster: m.Truster, Trusted: m.Trusted, Priority: m.Priority})
+	}
+	users := make([]string, 0, len(nf.Beliefs))
+	for user := range nf.Beliefs {
+		users = append(users, user)
+	}
+	sort.Strings(users)
+	for _, user := range users {
+		ops = append(ops, wire.Op{Op: wire.OpSetBelief, User: user, Value: nf.Beliefs[user]})
+	}
+	if len(ops) > 0 {
+		if _, err := rt.Mutate(ops); err != nil {
+			return err
+		}
+	}
+	keys := make([]string, 0, len(nf.Objects))
+	for k := range nf.Objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := rt.PutObject(context.Background(), k, nf.Objects[k]); err != nil {
+			return fmt.Errorf("seeding object %q: %w", k, err)
+		}
+	}
+	return nil
 }
 
 // seedStore loads the network file into an empty durable store through

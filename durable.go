@@ -243,7 +243,8 @@ func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
 func (s *Store) replayBatch(b wire.OpBatch, applied, errs *uint64) {
 	isObjectOp := func(kind string) bool {
 		switch kind {
-		case wire.OpPutObject, wire.OpDeleteObject, wire.OpPutBelief, wire.OpDeleteBelief:
+		case wire.OpPutObject, wire.OpDeleteObject, wire.OpPutBelief, wire.OpDeleteBelief,
+			wire.OpRegisterRoots:
 			return true
 		}
 		return false
@@ -294,6 +295,9 @@ func (s *Store) applyObjectOp(op wire.Op) error {
 	case wire.OpDeleteBelief:
 		s.applyDeleteBelief(op.User, op.Object)
 		return nil
+	case wire.OpRegisterRoots:
+		_, err := s.sess.addObjectRoots(op.Users...)
+		return err
 	default:
 		return fmt.Errorf("trustmap: unknown object op %q", op.Op)
 	}

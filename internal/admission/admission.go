@@ -65,10 +65,12 @@ type ShedError struct {
 	RetryAfter time.Duration
 }
 
+// Error describes the shed request and the queue state that caused it.
 func (e *ShedError) Error() string {
 	return fmt.Sprintf("admission: shed (%s), retry after %s", e.Reason, e.RetryAfter)
 }
 
+// Unwrap makes errors.Is(err, ErrShed) match every shed decision.
 func (e *ShedError) Unwrap() error { return ErrShed }
 
 // Stats are one Gate's deterministic counters since creation.

@@ -31,6 +31,7 @@ const (
 	Skeptic
 )
 
+// String names the paradigm as the paper does: "agrees" or "skeptic".
 func (p Paradigm) String() string {
 	switch p {
 	case Agnostic:

@@ -63,10 +63,12 @@ type ShortWriteError struct {
 	Bytes int
 }
 
+// Error reports the injected tear and how many bytes made it out.
 func (e *ShortWriteError) Error() string {
 	return fmt.Sprintf("faultinject: short write (%d bytes)", e.Bytes)
 }
 
+// Unwrap makes errors.Is(err, ErrInjected) match injected tears.
 func (e *ShortWriteError) Unwrap() error { return ErrInjected }
 
 // Injector decides one call's fate: return nil to let it proceed, or an

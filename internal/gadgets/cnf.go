@@ -18,6 +18,7 @@ type Literal struct {
 	Neg bool
 }
 
+// String renders the literal with an optional negation bar prefix.
 func (l Literal) String() string {
 	if l.Neg {
 		return fmt.Sprintf("!x%d", l.Var)
@@ -34,6 +35,7 @@ type CNF struct {
 	Clauses []Clause
 }
 
+// String renders the formula in conjunctive normal form notation.
 func (f CNF) String() string {
 	var cs []string
 	for _, c := range f.Clauses {

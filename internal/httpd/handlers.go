@@ -1,15 +1,18 @@
 package httpd
 
-// The endpoint handlers: a thin layer over the shared trustmap.Store,
-// speaking the wire-package schema (the same one the client package
-// consumes, so server and client cannot drift). Reads are served
-// lock-free from the store's currently published epoch; trust mutations
-// (/v1/mutate) apply one atomic batch and publish the next epoch before
-// responding; object CRUD (/v1/objects...) edits the store's belief table
-// and invalidates exactly the touched object's cached resolution. Every
-// response carries the epoch that served it — and, on a durable store,
-// the LSN of the last logged WAL batch — so a client that mutates and
-// then resolves can verify the read observed at least its own write.
+// The endpoint handlers: a thin layer over one shard.Backend — a single
+// trustmap.Store or a sharded cluster router — speaking the wire-package
+// schema (the same one the client package consumes, so server and client
+// cannot drift). Reads are served lock-free from the backend's currently
+// published epoch(s); trust mutations (/v1/mutate) apply one atomic
+// batch — broadcast to every shard on a cluster — and publish the next
+// epoch before responding; object CRUD (/v1/objects...) edits the belief
+// table of the one store owning the key and invalidates exactly the
+// touched object's cached resolution. Every response carries the epoch
+// that served it — and, on a durable store, the LSN of the last logged
+// WAL batch; on a cluster, the minimum over shards, the conservative
+// read-your-writes bound — so a client that mutates and then resolves
+// can verify the read observed at least its own write.
 //
 // The handler is built before the store finishes recovering: until the
 // store is installed every endpoint answers 503 with a Retry-After
@@ -24,20 +27,39 @@ import (
 	"strings"
 
 	"trustmap"
+	"trustmap/internal/shard"
 	"trustmap/wire"
 )
 
-// store returns the serving store, or answers 503 (with Retry-After, so
-// well-behaved clients back off) while recovery is still running.
-func (srv *Server) store(w http.ResponseWriter) (*trustmap.Store, bool) {
-	st := srv.st.Load()
-	if st == nil {
+// store returns the serving backend, or answers 503 (with Retry-After,
+// so well-behaved clients back off) while recovery is still running.
+func (srv *Server) store(w http.ResponseWriter) (shard.Backend, bool) {
+	b := srv.backend.Load()
+	if b == nil {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable,
 			errors.New("store is still recovering from disk; retry shortly"))
 		return nil, false
 	}
-	return st, true
+	return *b, true
+}
+
+// concreteStore returns the single *trustmap.Store under the backend for
+// the endpoints that need the store itself (WAL streaming, snapshot
+// shipping). A sharded cluster has no one store — per-shard WALs carry
+// independent LSN spaces — so those endpoints answer 400 on it.
+func (srv *Server) concreteStore(w http.ResponseWriter) (*trustmap.Store, bool) {
+	b, ok := srv.store(w)
+	if !ok {
+		return nil, false
+	}
+	s, ok := b.(shard.Storer)
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			errors.New("a sharded cluster does not serve per-store replication endpoints (per-shard WALs have independent LSN spaces)"))
+		return nil, false
+	}
+	return s.Store(), true
 }
 
 func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -45,7 +67,7 @@ func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	h := wire.Health{OK: true, Epoch: st.Epoch(), LSN: st.LSN(), Role: "primary"}
+	h := wire.Health{OK: true, Epoch: st.Epoch(), LSN: st.LSN(), Role: "primary", Shards: st.Shards()}
 	if rep := srv.replication(); rep != nil {
 		h.Role, h.ReplicaLag = "replica", rep.Lag()
 	}
@@ -102,6 +124,7 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Admission:   srv.AdmissionStats(),
 		Replication: srv.replicationStats(),
+		Cluster:     st.ClusterStats(),
 	})
 }
 
@@ -168,7 +191,7 @@ func (srv *Server) handleBulkResolve(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("bulk-resolve: %d objects exceed the batch limit of %d", len(req.Objects), srv.maxBatch))
 		return
 	}
-	res, err := st.ResolveBatch(r.Context(), req.Objects)
+	res, err := st.BulkResolve(r.Context(), req.Objects)
 	if err != nil {
 		srv.resolveError(w, err)
 		return
@@ -205,16 +228,7 @@ func (srv *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("mutate: %d ops exceed the batch limit of %d", len(req.Ops), srv.maxBatch))
 		return
 	}
-	applied := 0
-	err := st.Update(func(tx *trustmap.StoreTx) error {
-		for i, op := range req.Ops {
-			if err := op.Apply(tx); err != nil {
-				return fmt.Errorf("op %d: %w", i, err)
-			}
-			applied++
-		}
-		return nil
-	})
+	applied, err := st.Mutate(req.Ops)
 	if err != nil {
 		if errors.Is(err, trustmap.ErrPoisoned) || errors.Is(err, trustmap.ErrClosed) {
 			srv.storeError(w, err, http.StatusServiceUnavailable)
@@ -271,7 +285,7 @@ func (srv *Server) handleGetObject(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeObject answers with the stored object, or 404.
-func (srv *Server) writeObject(w http.ResponseWriter, st *trustmap.Store, key string) {
+func (srv *Server) writeObject(w http.ResponseWriter, st shard.Backend, key string) {
 	beliefs, ok := st.Object(key)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, key))

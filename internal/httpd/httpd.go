@@ -1,9 +1,11 @@
 // Package httpd is the trustd HTTP server core: the full wire-schema
-// handler over one shared trustmap.Store, wrapped in the production
-// resilience layer — per-class admission control and per-request deadline
-// propagation. It lives under internal/ (not cmd/trustd) so the load
-// harness (cmd/loadgen -self) and tests can run the real serving stack
-// in-process; cmd/trustd is a thin flag-parsing shell around it.
+// handler over one shard.Backend — a single shared trustmap.Store or a
+// sharded cluster router, the handlers cannot tell — wrapped in the
+// production resilience layer: per-class admission control and
+// per-request deadline propagation. It lives under internal/ (not
+// cmd/trustd) so the load harness (cmd/loadgen -self) and tests can run
+// the real serving stack in-process; cmd/trustd is a thin flag-parsing
+// shell around it.
 //
 // Request lifecycle:
 //
@@ -41,6 +43,7 @@ import (
 	"trustmap"
 	"trustmap/internal/admission"
 	"trustmap/internal/faultinject"
+	"trustmap/internal/shard"
 	"trustmap/wire"
 )
 
@@ -75,13 +78,14 @@ type Config struct {
 	WALPoll time.Duration
 }
 
-// Server wires one Store into an http.Handler with admission control and
-// deadline propagation. Build with New.
+// Server wires one shard.Backend — a single store or a cluster router —
+// into an http.Handler with admission control and deadline propagation.
+// Build with New (one store) or NewBackend (any backend).
 type Server struct {
-	// st is nil until the store is installed (recovery can run after the
-	// listener is up); every handler gates on it.
-	st  atomic.Pointer[trustmap.Store]
-	mux *http.ServeMux
+	// backend is nil until the store is installed (recovery can run after
+	// the listener is up); every handler gates on it.
+	backend atomic.Pointer[shard.Backend]
+	mux     *http.ServeMux
 
 	maxBatch       int
 	defaultTimeout time.Duration
@@ -104,9 +108,19 @@ type Server struct {
 	walPoll time.Duration
 }
 
-// New builds the server. st may be nil: the handler then answers 503
-// everywhere until Install is called (the recovering state).
+// New builds the server over one store. st may be nil: the handler then
+// answers 503 everywhere until Install is called (the recovering state).
 func New(st *trustmap.Store, cfg Config) *Server {
+	if st == nil {
+		return NewBackend(nil, cfg)
+	}
+	return NewBackend(shard.NewSingleStore(st), cfg)
+}
+
+// NewBackend builds the server over any shard.Backend — the cluster
+// entry point (hand it a shard.Router). b may be nil: the handler then
+// answers 503 everywhere until InstallBackend is called.
+func NewBackend(b shard.Backend, cfg Config) *Server {
 	srv := &Server{
 		mux:            http.NewServeMux(),
 		maxBatch:       cfg.MaxBatch,
@@ -126,8 +140,8 @@ func New(st *trustmap.Store, cfg Config) *Server {
 	if cfg.Mutations.MaxConcurrent > 0 {
 		srv.mutations = admission.New(cfg.Mutations)
 	}
-	if st != nil {
-		srv.st.Store(st)
+	if b != nil {
+		srv.backend.Store(&b)
 	}
 	// Probes bypass admission (deadline still applies): health and stats
 	// must answer while the gates are full, or overload becomes invisible
@@ -158,8 +172,12 @@ func New(st *trustmap.Store, cfg Config) *Server {
 }
 
 // Install publishes the recovered store: the 503 gate opens atomically.
-func (srv *Server) Install(st *trustmap.Store) { srv.st.Store(st) }
+func (srv *Server) Install(st *trustmap.Store) { srv.InstallBackend(shard.NewSingleStore(st)) }
 
+// InstallBackend publishes any recovered backend (see Install).
+func (srv *Server) InstallBackend(b shard.Backend) { srv.backend.Store(&b) }
+
+// ServeHTTP dispatches through the server's route table.
 func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { srv.mux.ServeHTTP(w, r) }
 
 // guard is the resilience middleware: propagate the request deadline into

@@ -123,7 +123,7 @@ func (srv *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 // bootstrap seed) with its watermark in wire.LSNHeader; 204 when no
 // checkpoint has run yet (the replica starts from LSN 0 instead).
 func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	st, ok := srv.store(w)
+	st, ok := srv.concreteStore(w)
 	if !ok {
 		return
 	}
@@ -153,7 +153,7 @@ func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // under admission pressure; its cost is bounded by the durable log, not
 // request bodies.
 func (srv *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
-	st, ok := srv.store(w)
+	st, ok := srv.concreteStore(w)
 	if !ok {
 		return
 	}

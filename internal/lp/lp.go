@@ -31,6 +31,7 @@ func Const(name string) Term { return Term{Name: name} }
 // Var returns a variable term.
 func Var(name string) Term { return Term{Name: name, Var: true} }
 
+// String renders the term as it appears in a program listing.
 func (t Term) String() string { return t.Name }
 
 // Atom is a predicate applied to terms, e.g. poss(x, V).
@@ -39,6 +40,7 @@ type Atom struct {
 	Args []Term
 }
 
+// String renders the atom as predicate(args...).
 func (a Atom) String() string {
 	if len(a.Args) == 0 {
 		return a.Pred
@@ -56,6 +58,7 @@ type Literal struct {
 	Neg  bool // "not atom"
 }
 
+// String renders the literal, prefixing "not " under negation.
 func (l Literal) String() string {
 	if l.Neg {
 		return "not " + l.Atom.String()
@@ -69,6 +72,7 @@ type Builtin struct {
 	Eq   bool // true for '=', false for '!='
 }
 
+// String renders the builtin comparison infix, e.g. "X != Y".
 func (b Builtin) String() string {
 	op := "!="
 	if b.Eq {
@@ -84,6 +88,7 @@ type Rule struct {
 	Builtins []Builtin
 }
 
+// String renders the rule in head :- body notation (facts bare).
 func (r Rule) String() string {
 	if len(r.Body) == 0 && len(r.Builtins) == 0 {
 		return r.Head.String() + "."
@@ -109,6 +114,7 @@ func (p *Program) AddFact(a Atom) { p.Rules = append(p.Rules, Rule{Head: a}) }
 // AddRule appends a rule.
 func (p *Program) AddRule(r Rule) { p.Rules = append(p.Rules, r) }
 
+// String renders the whole program one rule per line.
 func (p *Program) String() string {
 	var b strings.Builder
 	for _, r := range p.Rules {

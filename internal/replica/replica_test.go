@@ -144,7 +144,13 @@ func TestTailerTornStreamReconnects(t *testing.T) {
 	tail := replica.Start(r, ts.URL, replica.WithBackoff(5*time.Millisecond, 100*time.Millisecond))
 	defer tail.Stop()
 
-	waitFor(t, 5*time.Second, "replica to recover past the tear", func() bool { return r.LSN() == 20 })
+	// The store's LSN becomes visible before the tailer's stats counter
+	// increments (the batch fsyncs in between), so wait for both: the
+	// replica at LSN 20 and the tailer having accounted for 20 batches.
+	waitFor(t, 5*time.Second, "replica to recover past the tear", func() bool {
+		s := tail.Stats()
+		return r.LSN() == 20 && s.AppliedBatches+s.SkippedBatches >= 20
+	})
 	s := tail.Stats()
 	if s.Reconnects < 1 {
 		t.Fatalf("reconnects = %d, want >= 1", s.Reconnects)

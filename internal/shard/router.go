@@ -1,0 +1,614 @@
+package shard
+
+// The Router: N in-process trustmap.Store shards behind one Backend.
+//
+// Locking protocol. mu is a readers-writer lock over the SPINE, not the
+// data: spine broadcasts (Mutate batches, the root registration riding
+// object writes is deliberately NOT here — see below) take the write
+// lock so every shard applies them in the same order, while object
+// mutations and all reads take the read lock and run concurrently —
+// each shard's own writer mutex serializes its WAL, so N shards append
+// and fsync in parallel. Root registration (AddRoots) is commutative
+// set-union, so it broadcasts under the read lock: two concurrent
+// object writes may register roots in different orders on different
+// shards, and the shards still converge to the identical root set.
+//
+// Divergence handling. Spine broadcasts must leave every shard in the
+// same state: Store.Update applies ops one by one and stops at the
+// first failure deterministically, so identical spines yield identical
+// (applied, error) outcomes on every shard. If outcomes ever disagree —
+// a WAL write failed on one shard, or state drifted — the Router
+// poisons itself: further mutations answer an error wrapping
+// trustmap.ErrPoisoned (reads keep serving, mirroring the single
+// store's poison semantics).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"trustmap"
+	"trustmap/internal/engine"
+	"trustmap/wire"
+)
+
+// Router partitions objects across shards and broadcasts the spine.
+// Build with NewRouter; it implements Backend.
+type Router struct {
+	shards []*trustmap.Store
+
+	// mu: write-locked for spine broadcasts (lockstep order across
+	// shards), read-locked for object ops and scatter reads.
+	mu sync.RWMutex
+
+	// poisonMu guards poisonErr: the first detected cross-shard
+	// divergence, fatal for all later mutations.
+	poisonMu  sync.Mutex
+	poisonErr error
+
+	// Deterministic op counters (wire.ClusterStats): conservation
+	// invariant routedOps == sum(objectOps).
+	spineOps     atomic.Uint64
+	routedOps    atomic.Uint64
+	scatterReads atomic.Uint64
+	objectOps    []atomic.Uint64 // per shard
+}
+
+// NewRouter builds the router over shards (at least one). The caller
+// hands over ownership: Close closes every shard.
+func NewRouter(shards []*trustmap.Store) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("shard: NewRouter needs at least one shard")
+	}
+	for i, st := range shards {
+		if st == nil {
+			return nil, fmt.Errorf("shard: shard %d is nil", i)
+		}
+	}
+	return &Router{
+		shards:    shards,
+		objectOps: make([]atomic.Uint64, len(shards)),
+	}, nil
+}
+
+// Owner reports which shard owns key: wire.ShardOwner over this
+// router's shard count.
+func (r *Router) Owner(key string) int { return wire.ShardOwner(key, len(r.shards)) }
+
+// Shard returns shard i's store — test and harness access to per-shard
+// truth; production paths go through the Backend surface.
+func (r *Router) Shard(i int) *trustmap.Store { return r.shards[i] }
+
+// Shards reports the routing-table size.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// failed reports the poison error, if any mutation may no longer run.
+func (r *Router) failed() error {
+	r.poisonMu.Lock()
+	defer r.poisonMu.Unlock()
+	return r.poisonErr
+}
+
+// poison records the first cross-shard divergence; all later mutations
+// answer it (wrapping trustmap.ErrPoisoned so httpd maps it to the same
+// Retry-After 503 as a poisoned single store).
+func (r *Router) poison(cause error) error {
+	r.poisonMu.Lock()
+	defer r.poisonMu.Unlock()
+	if r.poisonErr == nil {
+		r.poisonErr = fmt.Errorf("shard: cluster poisoned (%v): %w", cause, trustmap.ErrPoisoned)
+	}
+	return r.poisonErr
+}
+
+// --- spine ---------------------------------------------------------------
+
+// Mutate broadcasts one trust-network batch to every shard in lockstep.
+// Identical spines make the per-shard outcome deterministic, so all
+// shards report the same (applied, error); any disagreement poisons the
+// router. The broadcast counts once in ClusterStats.SpineOps.
+func (r *Router) Mutate(ops []wire.Op) (applied int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.failed(); err != nil {
+		return 0, err
+	}
+	r.spineOps.Add(1)
+	applied, err = mutateStore(r.shards[0], ops)
+	for _, st := range r.shards[1:] {
+		a, e := mutateStore(st, ops)
+		if a != applied || !sameError(e, err) {
+			return 0, r.poison(fmt.Errorf("spine broadcast diverged: shard 0 (%d, %v) vs (%d, %v)", applied, err, a, e))
+		}
+	}
+	return applied, err
+}
+
+// sameError reports whether two per-shard outcomes agree: both nil, or
+// both failing with the same message (the deterministic dispatch makes
+// genuine agreement produce identical strings).
+func sameError(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+// broadcastRoots registers users as roots on every shard except owner
+// (whose own object write already registered them). Failure here means
+// the root sets diverged: the router poisons itself.
+func (r *Router) broadcastRoots(ctx context.Context, owner int, users []string) error {
+	for i, st := range r.shards {
+		if i == owner {
+			continue
+		}
+		if err := st.AddRoots(ctx, users...); err != nil {
+			return r.poison(fmt.Errorf("root broadcast to shard %d failed: %w", i, err))
+		}
+	}
+	return nil
+}
+
+// --- object mutations ----------------------------------------------------
+
+// PutObject routes the write to the owning shard, then broadcasts the
+// mentioned users' root registration to every other shard: rootness is
+// spine state (it changes what every object needs resolved), so the
+// root set must stay identical across shards for oracle parity.
+func (r *Router) PutObject(ctx context.Context, key string, beliefs map[string]string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if err := r.failed(); err != nil {
+		return err
+	}
+	o := r.Owner(key)
+	r.routedOps.Add(1)
+	r.objectOps[o].Add(1)
+	if err := r.shards[o].PutObject(ctx, key, beliefs); err != nil {
+		return err
+	}
+	if len(beliefs) == 0 {
+		return nil
+	}
+	users := make([]string, 0, len(beliefs))
+	for u := range beliefs {
+		users = append(users, u)
+	}
+	sort.Strings(users) // deterministic registration order
+	return r.broadcastRoots(ctx, o, users)
+}
+
+// DeleteObject routes the delete to the owning shard. Rootness is never
+// withdrawn, so no broadcast is needed.
+func (r *Router) DeleteObject(ctx context.Context, key string) (bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if err := r.failed(); err != nil {
+		return false, err
+	}
+	o := r.Owner(key)
+	r.routedOps.Add(1)
+	r.objectOps[o].Add(1)
+	return r.shards[o].DeleteObject(ctx, key)
+}
+
+// PutBelief routes the write to the owning shard, then broadcasts the
+// user's root registration to every other shard (see PutObject).
+func (r *Router) PutBelief(ctx context.Context, user, key, value string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if err := r.failed(); err != nil {
+		return err
+	}
+	o := r.Owner(key)
+	r.routedOps.Add(1)
+	r.objectOps[o].Add(1)
+	if err := r.shards[o].PutBelief(ctx, user, key, value); err != nil {
+		return err
+	}
+	return r.broadcastRoots(ctx, o, []string{user})
+}
+
+// DeleteBelief routes the revoke to the owning shard.
+func (r *Router) DeleteBelief(ctx context.Context, user, key string) (bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if err := r.failed(); err != nil {
+		return false, err
+	}
+	o := r.Owner(key)
+	r.routedOps.Add(1)
+	r.objectOps[o].Add(1)
+	return r.shards[o].DeleteBelief(ctx, user, key)
+}
+
+// --- routed reads --------------------------------------------------------
+
+// Object reads one stored object's explicit beliefs from its owner.
+func (r *Router) Object(key string) (map[string]string, bool) {
+	return r.shards[r.Owner(key)].Object(key)
+}
+
+// ResolveObject resolves one stored object on its owning shard.
+func (r *Router) ResolveObject(ctx context.Context, key string) (trustmap.ObjectRow, error) {
+	return r.shards[r.Owner(key)].ResolveObject(ctx, key)
+}
+
+// Resolve answers one ad-hoc object. Ad-hoc resolution reads only the
+// spine (plus the passed beliefs), which is identical on every shard,
+// so shard 0 answers for the cluster.
+func (r *Router) Resolve(ctx context.Context, beliefs map[string]string) (SingleResult, error) {
+	return r.shards[0].Resolve(ctx, beliefs)
+}
+
+// --- scatter-gather reads ------------------------------------------------
+
+// Objects lists every shard's stored keys merged sorted. Ownership makes
+// the per-shard (already sorted) lists disjoint.
+func (r *Router) Objects() []string {
+	r.scatterReads.Add(1)
+	var out []string
+	for _, st := range r.shards {
+		out = append(out, st.Objects()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mergedBulk is the scatter-gathered BulkResult: per-shard sub-batch
+// resolutions plus the merged key list.
+type mergedBulk struct {
+	keys  []string
+	parts map[int]*trustmap.BulkResolution
+	owner func(key string) int
+	epoch uint64
+}
+
+// Keys returns the resolved object keys, sorted.
+func (m *mergedBulk) Keys() []string { return append([]string(nil), m.keys...) }
+
+// Lookup delegates to the sub-resolution owning object.
+func (m *mergedBulk) Lookup(user, object string) ([]string, string, error) {
+	part, ok := m.parts[m.owner(object)]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, object)
+	}
+	return part.Lookup(user, object)
+}
+
+// Epoch is the minimum pinned epoch over participating shards: the
+// conservative bound every row is at least as fresh as.
+func (m *mergedBulk) Epoch() uint64 { return m.epoch }
+
+// BulkResolve splits the ad-hoc batch by wire.ShardOwner and resolves
+// the sub-batches concurrently — the server-side counterpart of the
+// client's shard-aware ResolveBatch. Any shard could answer any object
+// (ad-hoc resolution is spine-only); splitting exists to spread the
+// resolve work across the shards' independent caches and worker pools.
+func (r *Router) BulkResolve(ctx context.Context, objects map[string]map[string]string) (BulkResult, error) {
+	r.scatterReads.Add(1)
+	split := make(map[int]map[string]map[string]string)
+	for key, beliefs := range objects {
+		o := r.Owner(key)
+		if split[o] == nil {
+			split[o] = make(map[string]map[string]string)
+		}
+		split[o][key] = beliefs
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		parts    = make(map[int]*trustmap.BulkResolution, len(split))
+		firstErr error
+	)
+	for o, sub := range split {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.shards[o].ResolveBatch(ctx, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			parts[o] = res
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	merged := &mergedBulk{parts: parts, owner: r.Owner}
+	first := true
+	for _, part := range parts {
+		merged.keys = append(merged.keys, part.Keys()...)
+		if e := part.Epoch(); first || e < merged.epoch {
+			merged.epoch, first = e, false
+		}
+	}
+	sort.Strings(merged.keys)
+	return merged, nil
+}
+
+// Resolution is the scatter-gathered view over every stored object in
+// the cluster, returned by ResolveAll: rows merged in global key order,
+// one pinned epoch per shard.
+type Resolution struct {
+	keys   []string
+	rows   map[string]trustmap.ObjectRow
+	epochs []uint64
+}
+
+// Keys returns every resolved object key, globally sorted.
+func (r *Resolution) Keys() []string { return append([]string(nil), r.keys...) }
+
+// Lookup reports poss/cert for one user on one object; errors wrap
+// trustmap.ErrUnknownUser / trustmap.ErrUnknownObject.
+func (r *Resolution) Lookup(user, object string) ([]string, string, error) {
+	row, ok := r.rows[object]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %q", trustmap.ErrUnknownObject, object)
+	}
+	return row.Lookup(user)
+}
+
+// Epoch is the minimum pinned epoch over shards (the conservative
+// bound); ShardEpochs has the per-shard truth.
+func (r *Resolution) Epoch() uint64 {
+	min := uint64(0)
+	for i, e := range r.epochs {
+		if i == 0 || e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// ShardEpochs returns the epoch each shard's rows were pinned at, in
+// shard-index order. Epoch counters are per shard: the values are not
+// comparable across shards, only against later reads of the same shard.
+func (r *Resolution) ShardEpochs() []uint64 { return append([]uint64(nil), r.epochs...) }
+
+// ResolveAll resolves every stored object across all shards — each
+// shard's batch at its own pinned epoch, resolved concurrently — and
+// merges the rows in global key order.
+func (r *Router) ResolveAll(ctx context.Context) (*Resolution, error) {
+	r.scatterReads.Add(1)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		parts    = make([]*trustmap.StoreResolution, len(r.shards))
+		firstErr error
+	)
+	for i, st := range r.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := st.ResolveAll(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			parts[i] = res
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := &Resolution{rows: make(map[string]trustmap.ObjectRow), epochs: make([]uint64, len(parts))}
+	for i, part := range parts {
+		out.epochs[i] = part.Epoch()
+		for row := range part.Rows() {
+			out.keys = append(out.keys, row.Object)
+			out.rows[row.Object] = row
+		}
+	}
+	sort.Strings(out.keys)
+	return out, nil
+}
+
+// Resolved streams every stored object's resolution across all shards in
+// globally sorted key order: a k-way merge of the shards' own sorted
+// Resolved streams (ownership makes their key sets disjoint). Each
+// shard's rows are served at that shard's pinned epoch — per-shard
+// consistency, not a global snapshot; the merge order is nonetheless
+// deterministic because keys, not epochs, drive it. The first error from
+// any shard ends the stream after being yielded.
+func (r *Router) Resolved(ctx context.Context) iter.Seq2[trustmap.ObjectRow, error] {
+	r.scatterReads.Add(1)
+	return func(yield func(trustmap.ObjectRow, error) bool) {
+		type cursor struct {
+			next func() (trustmap.ObjectRow, error, bool)
+			stop func()
+			row  trustmap.ObjectRow
+			ok   bool
+		}
+		cursors := make([]*cursor, len(r.shards))
+		for i, st := range r.shards {
+			next, stop := iter.Pull2(st.Resolved(ctx))
+			cursors[i] = &cursor{next: next, stop: stop}
+			defer stop()
+		}
+		// Prime every cursor, then repeatedly emit the smallest key.
+		for _, c := range cursors {
+			row, err, ok := c.next()
+			if ok && err != nil {
+				yield(trustmap.ObjectRow{}, err)
+				return
+			}
+			c.row, c.ok = row, ok
+		}
+		for {
+			var best *cursor
+			for _, c := range cursors {
+				if c.ok && (best == nil || c.row.Object < best.row.Object) {
+					best = c
+				}
+			}
+			if best == nil {
+				return
+			}
+			if !yield(best.row, nil) {
+				return
+			}
+			row, err, ok := best.next()
+			if ok && err != nil {
+				yield(trustmap.ObjectRow{}, err)
+				return
+			}
+			best.row, best.ok = row, ok
+		}
+	}
+}
+
+// --- aggregate surfaces --------------------------------------------------
+
+// Epoch is the minimum published epoch over shards: the conservative
+// read-your-writes bound (a mutation's response epoch is <= every
+// shard's epoch serving a later read).
+func (r *Router) Epoch() uint64 {
+	min := uint64(0)
+	for i, st := range r.shards {
+		if e := st.Epoch(); i == 0 || e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// LSN is the minimum last-logged LSN over shards (shards log
+// independently; per-shard truth is in ClusterStats).
+func (r *Router) LSN() uint64 {
+	min := uint64(0)
+	for i, st := range r.shards {
+		if l := st.LSN(); i == 0 || l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// EpochStats sums the store counters over shards and reports shard 0's
+// engine stats — the spine (network, roots, plan) is identical on every
+// shard, so one shard's engine view describes the cluster's.
+func (r *Router) EpochStats() (trustmap.StoreStats, engine.Stats) {
+	sum, eng := r.shards[0].EpochStats()
+	for _, st := range r.shards[1:] {
+		sst, _ := st.EpochStats()
+		if sst.Epoch < sum.Epoch {
+			sum.Epoch = sst.Epoch
+		}
+		sum.Objects += sst.Objects
+		sum.CacheHits += sst.CacheHits
+		sum.CacheMisses += sst.CacheMisses
+		sum.Compiles += sst.Compiles
+		sum.IncrementalApplies += sst.IncrementalApplies
+		sum.ValueOnlyUpdates += sst.ValueOnlyUpdates
+		sum.FullRecompiles += sst.FullRecompiles
+		sum.EpochsReclaimed += sst.EpochsReclaimed
+	}
+	return sum, eng
+}
+
+// Durability reports minimum watermarks (the conservative durable
+// frontier) and summed activity counters over shards; shard 0 names the
+// mode (all shards share one configuration).
+func (r *Router) Durability() trustmap.DurabilityStats {
+	out := r.shards[0].Durability()
+	for _, st := range r.shards[1:] {
+		d := st.Durability()
+		if d.LastLSN < out.LastLSN {
+			out.LastLSN = d.LastLSN
+		}
+		if d.DurableLSN < out.DurableLSN {
+			out.DurableLSN = d.DurableLSN
+		}
+		if d.SnapshotLSN < out.SnapshotLSN {
+			out.SnapshotLSN = d.SnapshotLSN
+		}
+		out.WALAppends += d.WALAppends
+		out.WALSyncs += d.WALSyncs
+		out.WALBytes += d.WALBytes
+		out.Checkpoints += d.Checkpoints
+		out.RecoveredBatches += d.RecoveredBatches
+		out.ReplayedOps += d.ReplayedOps
+		out.ReplayErrors += d.ReplayErrors
+		out.DiscardedBytes += d.DiscardedBytes
+	}
+	return out
+}
+
+// Checkpoint compacts every shard's WAL, reporting the minimum
+// watermarks and shard 0's snapshot name. Object ops proceed on other
+// shards while one shard compacts (read lock only).
+func (r *Router) Checkpoint() (trustmap.CheckpointInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out trustmap.CheckpointInfo
+	for i, st := range r.shards {
+		ck, err := st.Checkpoint()
+		if err != nil {
+			return trustmap.CheckpointInfo{}, err
+		}
+		if i == 0 {
+			out = ck
+			continue
+		}
+		if ck.Epoch < out.Epoch {
+			out.Epoch = ck.Epoch
+		}
+		if ck.LSN < out.LSN {
+			out.LSN = ck.LSN
+		}
+	}
+	return out, nil
+}
+
+// ClusterStats reports the routing table, the conserved router op
+// counters, and one ShardStats per shard.
+func (r *Router) ClusterStats() *wire.ClusterStats {
+	out := &wire.ClusterStats{
+		Shards:       len(r.shards),
+		Hash:         wire.ShardHash,
+		SpineOps:     r.spineOps.Load(),
+		RoutedOps:    r.routedOps.Load(),
+		ScatterReads: r.scatterReads.Load(),
+		PerShard:     make([]wire.ShardStats, len(r.shards)),
+	}
+	for i, st := range r.shards {
+		sst, _ := st.EpochStats()
+		out.PerShard[i] = wire.ShardStats{
+			Index:       i,
+			Objects:     sst.Objects,
+			Epoch:       sst.Epoch,
+			LSN:         st.LSN(),
+			DurableLSN:  st.DurableLSN(),
+			ObjectOps:   r.objectOps[i].Load(),
+			CacheHits:   sst.CacheHits,
+			CacheMisses: sst.CacheMisses,
+		}
+	}
+	return out
+}
+
+// Close closes every shard, returning the first error.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, st := range r.shards {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

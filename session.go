@@ -908,8 +908,10 @@ func resolveSnap(ctx context.Context, e *serve.Epoch[*sessionSnap], objects map[
 // Store's PutBelief/PutObject path. Users that are already roots (declared
 // extras or belief holders) only gain the extra-root protection — their
 // carrier survives a later RemoveBelief — without a replan; genuinely new
-// roots change the plan and publish a rebuilt epoch.
-func (s *session) addObjectRoots(names ...string) error {
+// roots change the plan and publish a rebuilt epoch. It reports the names
+// that were not extra roots before the call, in argument order, so
+// Store.AddRoots can log exactly the effective registrations.
+func (s *session) addObjectRoots(names ...string) (added []string, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.syncCheck()
@@ -919,6 +921,7 @@ func (s *session) addObjectRoots(names ...string) error {
 			continue
 		}
 		s.addExtraRootLocked(x)
+		added = append(added, name)
 		if _, isRoot := s.rootNode[x]; !isRoot {
 			s.needRebuild = true // the plan gains a root: replan required
 		}
@@ -927,9 +930,9 @@ func (s *session) addObjectRoots(names ...string) error {
 	// in-session mutation so readers do not mistake it for external skew.
 	s.version.Store(s.net.inner.Version())
 	if s.needRebuild {
-		return s.publishLocked()
+		return added, s.publishLocked()
 	}
-	return nil
+	return added, nil
 }
 
 // ObjectResolution is the single-object view returned by session.Resolve.

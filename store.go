@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"iter"
 	"maps"
+	"slices"
 	"sort"
 	"sync"
 
@@ -402,7 +403,7 @@ func (s *Store) applyPutBelief(user, object, value string) error {
 	if value == "" {
 		return errors.New("trustmap: empty value; use DeleteBelief to revoke")
 	}
-	if err := s.sess.addObjectRoots(user); err != nil {
+	if _, err := s.sess.addObjectRoots(user); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -480,7 +481,7 @@ func (s *Store) applyPutObject(object string, beliefs map[string]string) error {
 		users = append(users, user)
 	}
 	sort.Strings(users) // deterministic registration order
-	if err := s.sess.addObjectRoots(users...); err != nil {
+	if _, err := s.sess.addObjectRoots(users...); err != nil {
 		return err
 	}
 	m := make(map[string]string, len(beliefs))
@@ -519,6 +520,49 @@ func (s *Store) applyDeleteObject(object string) bool {
 	delete(s.cache, object)
 	s.objVer[object]++ // in-flight fills must not resurrect the entry
 	return true
+}
+
+// AddRoots declares users whose beliefs vary per object without storing
+// an object that mentions them: PutObject's root registration decoupled
+// from the object write. Registration is idempotent and rootness is never
+// withdrawn while the store lives. On durable stores the effective (not
+// previously registered) names are logged as one register-roots op, so
+// recovery replay reconstructs the exact root set.
+//
+// A cluster router broadcasts AddRoots to every shard before routing an
+// object write to its owner: rootness changes resolution semantics, so
+// the root set — like the trust network — is part of the shared spine
+// that must stay identical across shards for scatter-gathered reads to
+// match a single store.
+func (s *Store) AddRoots(ctx context.Context, users ...string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(users))
+	for _, u := range users {
+		if u == "" {
+			return errors.New("trustmap: empty user name")
+		}
+		names = append(names, u)
+	}
+	sort.Strings(names) // deterministic registration order
+	names = slices.Compact(names)
+	if len(names) == 0 {
+		return nil
+	}
+	unlock, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	added, err := s.sess.addObjectRoots(names...)
+	if err != nil {
+		return err
+	}
+	if len(added) == 0 {
+		return nil // all already registered: nothing effective to log
+	}
+	return s.logMutation(wire.Op{Op: wire.OpRegisterRoots, Users: added})
 }
 
 // touchLocked installs the object's new belief map and invalidates its

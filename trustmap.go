@@ -49,9 +49,9 @@
 //	v, _ := r.Certain("Alice")          // "fish"
 //
 // Network.NewStore adopts a facade-built network as a store's trust
-// network. The older bulk entry points (Network.BulkResolve,
-// Network.newSession) remain supported but are deprecated in favor of
-// Store.
+// network; all bulk and multi-object work goes through Store. For
+// horizontal write scale-out, internal/shard partitions objects across
+// several stores behind one router (served by cmd/trustd -cluster).
 package trustmap
 
 import (

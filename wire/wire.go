@@ -15,14 +15,17 @@
 //     omit it. A mutation's response LSN, once >= its own batch, proves
 //     the write survives a crash.
 //   - Errors are an ErrorResponse body with the HTTP status carrying the
-//     class: 400 malformed or invalid request, 404 unknown user or
-//     object, 405 wrong method, 413 oversized batch or body (Limit names
-//     the bound), 429 admission shed (queue full or queue-wait deadline;
-//     Retry-After header says when to come back), 421 mutation sent to a
-//     read replica (Primary and the PrimaryHeader header name where to
-//     redirect it), 503 server still recovering its store from disk
-//     (retryable, Retry-After header) or request deadline exceeded (no
-//     Retry-After — the client chose the budget).
+//     class: 400 malformed or invalid request (including replication or
+//     WAL-stream endpoints on servers that cannot serve them — in-memory
+//     stores and sharded clusters), 404 unknown user or object, 405
+//     wrong method, 410 WAL stream resumed behind a pruned checkpoint
+//     (re-bootstrap from /v1/snapshot), 413 oversized batch or body
+//     (Limit names the bound), 429 admission shed (queue full or
+//     queue-wait deadline; Retry-After header says when to come back),
+//     421 mutation sent to a read replica (Primary and the PrimaryHeader
+//     header name where to redirect it), 503 server still recovering its
+//     store from disk (retryable, Retry-After header) or request
+//     deadline exceeded (no Retry-After — the client chose the budget).
 //
 // # Schema evolution
 //
@@ -43,8 +46,12 @@ import "fmt"
 // TimeoutHeader request deadline override. Version 4 added replication:
 // Health.Role/ReplicaLag, the replication section of /v1/stats,
 // PromoteResponse, ErrorResponse.Primary on 421s, and the
-// PrimaryHeader/StalenessHeader/LSNHeader response headers.
-const SchemaVersion = 4
+// PrimaryHeader/StalenessHeader/LSNHeader response headers. Version 5
+// added sharded clusters: Health.Shards, the cluster section of
+// /v1/stats (ClusterStats with per-shard epochs/LSNs and conserved op
+// counters), the register-roots op (Op.Users), and the ShardOwner
+// routing function clients use for shard-aware batching.
+const SchemaVersion = 5
 
 // TimeoutHeader is the request header a client sets to override the
 // server's default per-request deadline, in integer milliseconds. The
@@ -87,6 +94,10 @@ type Health struct {
 	// ReplicaLag is the replica's replication lag in WAL batches (see
 	// StalenessHeader); always zero/omitted on a primary.
 	ReplicaLag uint64 `json:"replica_lag,omitempty"`
+	// Shards is the cluster shard count: the topology advertisement a
+	// shard-aware client needs to split batches with ShardOwner.
+	// Zero/omitted on unsharded servers (and those predating schema 5).
+	Shards int `json:"shards,omitempty"`
 }
 
 // ResolveRequest is the POST /v1/resolve body: one ad-hoc object's
@@ -151,11 +162,21 @@ const (
 	OpDeleteBelief = "delete-belief"
 )
 
+// OpRegisterRoots declares users whose beliefs vary per object (Users)
+// without storing an object that mentions them: the durable form of
+// trustmap.Store.AddRoots. A cluster router broadcasts it to every shard
+// so the shared spine — trust network, defaults, AND root set — stays
+// identical across shards while objects partition. It appears in the
+// write-ahead log and is applied on recovery replay; like the object ops
+// it is not valid in a /v1/mutate batch.
+const OpRegisterRoots = "register-roots"
+
 // Op is one mutation: an element of a POST /v1/mutate batch, and the
 // single serializable mutation format of the durable store's write-ahead
 // log. Trust ops use Truster, Trusted, and (except removal) Priority;
 // network belief ops use User and (for set-belief) Value; object ops use
-// Object plus User/Value (per-object beliefs) or Beliefs (wholesale put).
+// Object plus User/Value (per-object beliefs) or Beliefs (wholesale
+// put); register-roots uses Users.
 type Op struct {
 	Op       string            `json:"op"`
 	Truster  string            `json:"truster,omitempty"`
@@ -165,6 +186,8 @@ type Op struct {
 	Value    string            `json:"value,omitempty"`
 	Object   string            `json:"object,omitempty"`
 	Beliefs  map[string]string `json:"beliefs,omitempty"`
+	// Users carries the root names of a register-roots op.
+	Users []string `json:"users,omitempty"`
 }
 
 // OpBatch is the envelope of one write-ahead-log record: an ordered op
@@ -330,8 +353,57 @@ type ReplicationStats struct {
 	LastError      string `json:"last_error,omitempty"`
 }
 
+// ShardStats is one shard's slice of a cluster's /v1/stats: its own
+// epoch/LSN watermarks (shards publish and log independently) and the
+// deterministic op counters the router conserved onto it.
+type ShardStats struct {
+	// Index is the shard's position in the routing table: ShardOwner(key,
+	// Shards) == Index for every object the shard owns.
+	Index int `json:"index"`
+	// Objects is the shard's stored-object count.
+	Objects int `json:"objects"`
+	// Epoch is the shard's current publication generation. Epoch counters
+	// are per shard and not comparable across shards.
+	Epoch uint64 `json:"epoch"`
+	// LSN / DurableLSN are the shard's own WAL watermarks; zero on
+	// in-memory shards.
+	LSN        uint64 `json:"lsn,omitempty"`
+	DurableLSN uint64 `json:"durable_lsn,omitempty"`
+	// ObjectOps counts the per-object mutations the router routed to this
+	// shard. Conservation: the cluster's RoutedOps equals the sum of
+	// ObjectOps over all shards.
+	ObjectOps uint64 `json:"object_ops"`
+	// CacheHits / CacheMisses are the shard's result-cache counters.
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
+}
+
+// ClusterStats is the cluster section of /v1/stats on a sharded server
+// (trustd -cluster N): the routing table shape, the conserved router op
+// counters, and one ShardStats per shard. Absent on unsharded servers.
+type ClusterStats struct {
+	// Shards is the shard count of the routing table.
+	Shards int `json:"shards"`
+	// Hash names the routing scheme; always ShardHash in this schema.
+	Hash string `json:"hash"`
+	// SpineOps counts trust-network mutation batches broadcast to every
+	// shard (set-trust/remove-trust/set-default/... and register-roots):
+	// each batch counts once, not once per shard.
+	SpineOps uint64 `json:"spine_ops"`
+	// RoutedOps counts per-object mutations routed to exactly one owning
+	// shard. Conserved: equal to the sum of per-shard ObjectOps.
+	RoutedOps uint64 `json:"routed_ops"`
+	// ScatterReads counts scatter-gather reads (ResolveAll, Resolved
+	// streams, stats, bulk-resolve splits) merged across shards.
+	ScatterReads uint64 `json:"scatter_reads"`
+	// PerShard is one entry per shard, in shard-index order.
+	PerShard []ShardStats `json:"per_shard"`
+}
+
 // StatsResponse is the GET /v1/stats response: session, store, engine,
-// durability, admission, and replication counters of one pinned epoch.
+// durability, admission, replication, and (sharded servers) cluster
+// counters of one pinned epoch — on a cluster, of one pinned epoch per
+// shard, with the top-level Epoch/LSN the minimum over shards.
 type StatsResponse struct {
 	Schema      int              `json:"schema,omitempty"`
 	Epoch       uint64           `json:"epoch"`
@@ -342,6 +414,8 @@ type StatsResponse struct {
 	Durability  DurabilityStats  `json:"durability"`
 	Admission   AdmissionStats   `json:"admission"`
 	Replication ReplicationStats `json:"replication"`
+	// Cluster is present only on sharded servers (wire schema 5).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // CheckpointResponse answers POST /v1/admin/checkpoint: the compacted
@@ -433,7 +507,54 @@ func (op Op) Apply(tx TxApplier) error {
 		// Object ops live in the WAL and the object endpoints; a mutate
 		// batch is a trust-network transaction and cannot carry them.
 		return fmt.Errorf("object op %q is not valid in a mutate batch; use the /v1/objects endpoints", op.Op)
+	case OpRegisterRoots:
+		// Like the object ops, register-roots lives in the WAL only: it is
+		// written by the cluster router's spine broadcast (and replayed on
+		// recovery), never submitted through /v1/mutate.
+		return fmt.Errorf("op %q is not valid in a mutate batch", op.Op)
 	default:
 		return fmt.Errorf("unknown mutation op %q", op.Op)
 	}
+}
+
+// ShardHash names the object-routing scheme of wire schema 5: FNV-1a
+// 64-bit over the object key fed into Lamping–Veach jump consistent
+// hashing. ClusterStats.Hash carries it so a client can refuse to do
+// shard-aware batching against a router speaking a different scheme.
+const ShardHash = "fnv1a64-jump"
+
+// ShardOwner maps an object key onto one of shards buckets using the
+// ShardHash scheme. It is the routing contract shared by the server-side
+// router and shard-aware clients: both MUST agree, which is why it lives
+// in wire rather than an internal package. shards <= 1 always returns 0.
+//
+// Jump consistent hashing (Lamping & Veach, "A Fast, Minimal Memory,
+// Consistent Hash Algorithm") keeps the assignment stable under growth:
+// going from N to N+1 shards moves only ~1/(N+1) of the keys. The
+// implementation is the published algorithm verbatim — a linear
+// congruential walk whose last jump inside [0, shards) is the bucket.
+func ShardOwner(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	// Inlined FNV-1a 64 (hash/fnv forces an allocation via the hash.Hash
+	// interface; routing sits on the per-op hot path).
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	// Jump consistent hash of h into [0, shards).
+	var b int64 = -1
+	j := int64(0)
+	for j < int64(shards) {
+		b = j
+		h = h*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((h>>33)+1)))
+	}
+	return int(b)
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -199,6 +200,65 @@ func TestOpBatchRoundTrip(t *testing.T) {
 	for _, key := range []string{"object", "beliefs", "user", "value"} {
 		if strings.Contains(string(trustOnly), `"`+key+`"`) {
 			t.Errorf("trust-op JSON %s leaks key %q", trustOnly, key)
+		}
+	}
+}
+
+// TestShardOwner pins the routing function's contract: determinism,
+// range, the single-shard fast path, and — because clients and servers
+// route independently — stability of concrete placements. The golden
+// placements below are part of the wire format: changing them re-homes
+// every stored object, which trustd's topology marker forbids.
+func TestShardOwner(t *testing.T) {
+	keys := []string{"", "a", "obj001", "obj002", "w3-obj117", "the-same-key"}
+	for _, key := range keys {
+		for _, shards := range []int{0, 1} {
+			if got := ShardOwner(key, shards); got != 0 {
+				t.Errorf("ShardOwner(%q, %d) = %d, want 0 (unsharded fast path)", key, shards, got)
+			}
+		}
+		for _, shards := range []int{2, 3, 4, 16, 1024} {
+			got := ShardOwner(key, shards)
+			if got < 0 || got >= shards {
+				t.Fatalf("ShardOwner(%q, %d) = %d, out of range", key, shards, got)
+			}
+			if again := ShardOwner(key, shards); again != got {
+				t.Fatalf("ShardOwner(%q, %d) nondeterministic: %d then %d", key, shards, got, again)
+			}
+		}
+	}
+
+	// Golden placements: fail loudly if the hash ever changes.
+	golden := map[string]int{"obj001": 2, "obj002": 1, "alpha": 0, "w0-obj000": 0}
+	for key, want := range golden {
+		if got := ShardOwner(key, 4); got != want {
+			t.Errorf("ShardOwner(%q, 4) = %d, want pinned %d (changing %s re-homes stored objects)",
+				key, got, want, ShardHash)
+		}
+	}
+
+	// Jump consistent hashing's defining property: growing the table
+	// only ever moves keys to the NEW shard — no churn among survivors.
+	for _, key := range keys {
+		for shards := 2; shards < 32; shards++ {
+			before, after := ShardOwner(key, shards), ShardOwner(key, shards+1)
+			if before != after && after != shards {
+				t.Fatalf("ShardOwner(%q): %d shards -> %d, %d shards -> %d: moved to an old shard",
+					key, shards, before, shards+1, after)
+			}
+		}
+	}
+
+	// Balance sanity: over many keys, no shard of 4 is starved or holds
+	// a majority. Loose bounds — this is a smoke test, not a chi-square.
+	counts := make([]int, 4)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[ShardOwner(fmt.Sprintf("key-%05d", i), 4)]++
+	}
+	for s, c := range counts {
+		if c < n/8 || c > n/2 {
+			t.Errorf("shard %d holds %d of %d keys: unbalanced %v", s, c, n, counts)
 		}
 	}
 }
