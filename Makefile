@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmark families tracked in the committed trajectory (bench/BENCH_*).
-BENCH_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve|BenchmarkCompile|BenchmarkServeMixed|BenchmarkStoreResolve|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkAdmission|BenchmarkClientRetry|BenchmarkClusterResolve
+BENCH_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate|BenchmarkResolveAllocs|BenchmarkSessionMutateResolve|BenchmarkCompile|BenchmarkServeMixed|BenchmarkStoreResolve|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkAdmission|BenchmarkClientRetry|BenchmarkClusterResolve|BenchmarkQuery
 # Hot-path benchmarks the perf gate fails on; a regression beyond
 # BENCH_GATE_THRESHOLD (current/baseline ns/op) exits non-zero.
 BENCH_GATE_PATTERN ?= BenchmarkBulkResolve|BenchmarkIncrementalUpdate
@@ -181,9 +181,11 @@ doc-gate:
 	$(GO) run ./cmd/apidump -check-docs -pkgs ./...
 	@echo "doc gate: every exported symbol is documented"
 
-# Short coverage-guided fuzz of the incremental-engine parity invariant.
+# Short coverage-guided fuzz of the incremental-engine parity invariant
+# and the query-plan parity invariant (greedy = naive = brute force).
 fuzz:
 	$(GO) test ./internal/engine -run=NONE -fuzz=FuzzEngineParity -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/query -run=NONE -fuzz=FuzzQueryPlanParity -fuzztime=$(FUZZTIME)
 
 fmt:
 	@out="$$(gofmt -l .)"; \

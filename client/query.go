@@ -1,0 +1,135 @@
+package client
+
+// The typed surface of POST /v1/query: Query sends a wire.Query pattern
+// and wraps the positional response rows in QueryRow accessors, so
+// callers read columns by name and kind instead of indexing []any.
+
+import (
+	"context"
+	"net/http"
+
+	"trustmap/wire"
+)
+
+// QueryResult is one executed query: the output columns, the rows in
+// server order, and the server's execution stats. Truncated reports the
+// server capped Rows at its batch limit (Stats.RowsEmitted still counts
+// the full result).
+type QueryResult struct {
+	Epoch     uint64
+	LSN       uint64
+	Columns   []string
+	Rows      []QueryRow
+	Truncated bool
+	Stats     wire.QueryStats
+
+	index map[string]int
+}
+
+// QueryRow is one result row with by-name typed access.
+type QueryRow struct {
+	index map[string]int
+	vals  []any
+}
+
+// Value returns the raw column value (string, bool, float64 — JSON
+// numbers — or a string slice); ok is false for unknown columns.
+func (r QueryRow) Value(col string) (any, bool) {
+	i, ok := r.index[col]
+	if !ok || i >= len(r.vals) {
+		return nil, false
+	}
+	return r.vals[i], true
+}
+
+// String reads a string column.
+func (r QueryRow) String(col string) (string, bool) {
+	v, ok := r.Value(col)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+// Bool reads a boolean column.
+func (r QueryRow) Bool(col string) (bool, bool) {
+	v, ok := r.Value(col)
+	if !ok {
+		return false, false
+	}
+	b, ok := v.(bool)
+	return b, ok
+}
+
+// Float reads a numeric column (counts, sums, averages, rates).
+func (r QueryRow) Float(col string) (float64, bool) {
+	v, ok := r.Value(col)
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// Int reads a numeric column as an integer (truncating).
+func (r QueryRow) Int(col string) (int64, bool) {
+	f, ok := r.Float(col)
+	return int64(f), ok
+}
+
+// Strings reads a string-list column (possible).
+func (r QueryRow) Strings(col string) ([]string, bool) {
+	v, ok := r.Value(col)
+	if !ok {
+		return nil, false
+	}
+	switch vs := v.(type) {
+	case []string:
+		return vs, true
+	case []any: // the JSON decoding of a string array
+		out := make([]string, 0, len(vs))
+		for _, e := range vs {
+			s, ok := e.(string)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, s)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// Query executes one wire.Query pattern (POST /v1/query) and returns
+// the typed result. Queries are reads: on a failover client they route
+// like resolves, and they are always safe to retry.
+func (c *Client) Query(ctx context.Context, q wire.Query) (*QueryResult, error) {
+	var out wire.QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", q, &out, routeRead, true); err != nil {
+		return nil, err
+	}
+	res := &QueryResult{
+		Epoch:     out.Epoch,
+		LSN:       out.LSN,
+		Columns:   out.Columns,
+		Truncated: out.Truncated,
+		Stats:     out.Stats,
+		index:     make(map[string]int, len(out.Columns)),
+	}
+	for i, col := range out.Columns {
+		res.index[col] = i
+	}
+	res.Rows = make([]QueryRow, len(out.Rows))
+	for i, vals := range out.Rows {
+		res.Rows[i] = QueryRow{index: res.index, vals: vals}
+	}
+	return res, nil
+}

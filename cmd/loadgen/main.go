@@ -21,7 +21,10 @@
 // The op mix is pre-drawn from -seed before the clock starts: run i
 // always issues the same i-th request, so two runs at the same rate are
 // comparable sample by sample. -mutate-frac of requests are single-op
-// mutates; the rest resolve.
+// mutates, -query-frac are selective relational queries (POST
+// /v1/query, key-pushdown shaped so the greedy planner's fast path is
+// what the run measures; arming it seeds loadgen's own objects into the
+// target first); the rest resolve.
 //
 // Outcomes are counted by class — ok, shed (429), deadline (503),
 // error — and every request lands in exactly one class: the conservation
@@ -74,7 +77,12 @@ type opKind uint8
 const (
 	opResolve opKind = iota
 	opMutate
+	opQuery
 )
+
+// queryObjects is how many objects seedObjects installs and the
+// pre-drawn query ops draw their key predicates from.
+const queryObjects = 16
 
 // op is one pre-drawn request: everything random is fixed before the
 // clock starts.
@@ -86,13 +94,14 @@ type op struct {
 
 // config is one load run, fully determined before the first request.
 type config struct {
-	addr     string        // target server ("" with self)
-	self     bool          // serve the real stack in-process
-	rate     float64       // arrivals per second
-	duration time.Duration // how long arrivals keep coming
-	seed     int64
-	mutFrac  float64 // fraction of arrivals that mutate
-	timeout  time.Duration
+	addr      string        // target server ("" with self)
+	self      bool          // serve the real stack in-process
+	rate      float64       // arrivals per second
+	duration  time.Duration // how long arrivals keep coming
+	seed      int64
+	mutFrac   float64 // fraction of arrivals that mutate
+	queryFrac float64 // fraction of arrivals that run a relational query
+	timeout   time.Duration
 
 	users     int // demo community size with -self
 	readLimit int // -self admission: read slots (0 = ungated)
@@ -138,8 +147,13 @@ func drawOps(cfg config, n int) []op {
 	ops := make([]op, n)
 	for i := range ops {
 		o := op{user: rng.Intn(cfg.users), prio: 1 + rng.Intn(100)}
-		if rng.Float64() < cfg.mutFrac {
+		// One draw decides the class, so a run with -query-frac 0 issues
+		// exactly the sequence earlier loadgen versions drew from the seed.
+		switch r := rng.Float64(); {
+		case r < cfg.mutFrac:
 			o.kind = opMutate
+		case r < cfg.mutFrac+cfg.queryFrac:
+			o.kind = opQuery
 		}
 		ops[i] = o
 	}
@@ -187,6 +201,44 @@ func seedRemote(ctx context.Context, c *client.Client, users []string) error {
 		ops = ops[chunk:]
 	}
 	return nil
+}
+
+// seedObjects installs the objects the pre-drawn query ops scan —
+// loadgen-obj0000..%04d — each carrying the root's belief and, on every
+// third key, a conflicting tail belief, so disagreement-shaped queries
+// have rows to find. Stating an object belief promotes the tail user to
+// a root, and a root without a network-level default would fail
+// assumption (ii) on every resolve that doesn't mention it — so the
+// tail gets a spine default first, keeping the rest of the mix valid.
+// The keys are namespaced to stay out of the target's own data.
+func seedObjects(ctx context.Context, c *client.Client, users []string) error {
+	if len(users) > 1 {
+		tail := users[len(users)-1]
+		if _, err := c.Mutate(ctx, []wire.Op{{Op: wire.OpSetBelief, User: tail, Value: "cow"}}); err != nil {
+			return fmt.Errorf("setting a default belief for %s: %w", tail, err)
+		}
+	}
+	for i := 0; i < queryObjects; i++ {
+		beliefs := map[string]string{users[0]: "fish"}
+		if i%3 == 0 && len(users) > 1 {
+			beliefs[users[len(users)-1]] = fmt.Sprintf("v%d", i)
+		}
+		if _, err := c.PutObject(ctx, fmt.Sprintf("loadgen-obj%04d", i), beliefs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// queryFor shapes the i-th pre-drawn query: a key-equality predicate
+// (the planner's point-lookup pushdown) plus a residual boolean filter.
+func queryFor(o op) wire.Query {
+	return wire.Query{
+		Where: []wire.Predicate{
+			{Col: "conflicted", Op: wire.PredEq},
+			{Col: "object", Op: wire.PredEq, Value: fmt.Sprintf("loadgen-obj%04d", o.user%queryObjects)},
+		},
+	}
 }
 
 // serveSelf starts the real serving stack on a loopback listener and
@@ -269,6 +321,14 @@ func run(ctx context.Context, cfg config) (*report, error) {
 			return nil, fmt.Errorf("seeding target with loadgen's community: %w", err)
 		}
 	}
+	if cfg.queryFrac > 0 {
+		// Query ops scan stored objects; install loadgen's namespaced set
+		// before the clock starts (in both modes — the -self demo store
+		// starts objectless).
+		if err := seedObjects(ctx, c, users); err != nil {
+			return nil, fmt.Errorf("seeding target with loadgen's objects: %w", err)
+		}
+	}
 
 	rep := &report{Issued: uint64(n)}
 	var okN, shedN, dlN, errN atomic.Uint64
@@ -298,6 +358,8 @@ func run(ctx context.Context, cfg config) (*report, error) {
 					Op: wire.OpSetTrust, Truster: users[1+o.user%(len(users)-1)],
 					Trusted: "u0", Priority: o.prio,
 				}})
+			case opQuery:
+				_, err = c.Query(ctx, queryFor(o))
 			default:
 				_, err = c.Resolve(ctx, nil, []string{users[o.user%len(users)]})
 			}
@@ -436,6 +498,7 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "how long arrivals keep coming")
 	flag.Int64Var(&cfg.seed, "seed", 42, "op-mix seed: op i is a pure function of (seed, i)")
 	flag.Float64Var(&cfg.mutFrac, "mutate-frac", 0.05, "fraction of arrivals that mutate")
+	flag.Float64Var(&cfg.queryFrac, "query-frac", 0, "fraction of arrivals that run a selective relational query (seeds loadgen's objects into the target first)")
 	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Second, "per-request deadline (propagated server-side with -self)")
 	flag.IntVar(&cfg.users, "users", 64, "demo community size with -self")
 	flag.IntVar(&cfg.readLimit, "read-limit", 0, "-self: concurrent read slots (0 = ungated)")

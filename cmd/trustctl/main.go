@@ -7,6 +7,7 @@
 //	trustctl -f network.json [-skeptic] [-pairs] [-lineage user=value]
 //	trustctl bulk-par -f network.json -objects objects.json [-workers N] [-users a,b]
 //	trustctl session -f network.json -objects objects.json -mutations muts.json [-workers N] [-users a,b]
+//	trustctl query -f network.json -objects objects.json -q query.json [-naive]
 //	trustctl remote -addr http://host:7171 <verb> [flags]
 //
 // Network file format:
@@ -41,6 +42,17 @@
 //	  {"op": "remove-belief", "user": "Charlie"}
 //	]
 //
+// The query subcommand runs a relational query pattern (wire.Query,
+// the same AST POST /v1/query accepts) over the resolved beliefs of a
+// local network + objects pair and prints the result table. -q takes a
+// JSON file, or the pattern inline when the argument starts with '{':
+//
+//	trustctl query -f network.json -objects objects.json \
+//	  -q '{"where":[{"col":"disagrees","op":"eq"}],"group_by":["object"],"aggs":[{"fn":"count"}]}'
+//
+// -naive skips the greedy predicate reordering (plans predicates in
+// written order) — useful for comparing plans; results are identical.
+//
 // The remote subcommand drives a running trustd server through the typed
 // client package (the same wire schema the server speaks):
 //
@@ -49,6 +61,7 @@
 //	trustctl remote -addr URL put-object -key o1 -beliefs Bob=fish,Charlie=knot
 //	trustctl remote -addr URL resolve-object -key o1 -users Alice,Bob
 //	trustctl remote -addr URL resolve -users Alice [-beliefs Bob=cow]
+//	trustctl remote -addr URL query -q query.json
 //	trustctl remote -addr URL mutate -f muts.json
 //	trustctl remote -addr URL checkpoint
 //	trustctl remote -addr REPLICA_URL promote
@@ -69,10 +82,12 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"trustmap"
 	"trustmap/client"
+	"trustmap/internal/query"
 	"trustmap/wire"
 )
 
@@ -100,6 +115,24 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runSession(os.Stdout, *file, *objects, *mutations, *workers, *users); err != nil {
+			fmt.Fprintln(os.Stderr, "trustctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		file := fs.String("f", "", "network JSON file (required)")
+		objects := fs.String("objects", "", "objects JSON file (required)")
+		qArg := fs.String("q", "", "query pattern: a JSON file, or inline JSON starting with '{' (required)")
+		naive := fs.Bool("naive", false, "plan predicates in written order (skip greedy reordering)")
+		workers := fs.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS)")
+		fs.Parse(os.Args[2:])
+		if *file == "" || *objects == "" || *qArg == "" {
+			fs.Usage()
+			os.Exit(2)
+		}
+		if err := runQuery(os.Stdout, *file, *objects, *qArg, *naive, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "trustctl:", err)
 			os.Exit(1)
 		}
@@ -275,6 +308,128 @@ func runSession(w io.Writer, netFile, objFile, mutFile string, workers int, user
 	return nil
 }
 
+// runQuery stores the objects over the network and runs one query
+// pattern on the resolved-belief relation, printing the result table
+// and the planner/executor stats line.
+func runQuery(w io.Writer, netFile, objFile, qArg string, naive bool, workers int) error {
+	n, err := loadNetwork(netFile)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(objFile)
+	if err != nil {
+		return err
+	}
+	var objects map[string]map[string]string
+	if err := json.Unmarshal(raw, &objects); err != nil {
+		return fmt.Errorf("parsing %s: %w", objFile, err)
+	}
+	q, err := readQueryArg(qArg)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	st, err := n.NewStore(trustmap.WithWorkers(workers), trustmap.WithExtraRoots(objectUsers(objects)...))
+	if err != nil {
+		return err
+	}
+	for _, key := range sortedKeys(objects) {
+		if err := st.PutObject(ctx, key, objects[key]); err != nil {
+			return err
+		}
+	}
+	compile := query.Compile
+	if naive {
+		compile = query.CompileNaive
+	}
+	plan, err := compile(q)
+	if err != nil {
+		return err
+	}
+	res, err := query.Run(ctx, st, plan)
+	if err != nil {
+		return err
+	}
+	printQueryTable(w, res.Columns, res.Rows)
+	s := res.Stats
+	fmt.Fprintf(w, "\nquery: %d rows scanned, %d emitted, %d groups, %d key lookups, %d predicates reordered, early-terminated=%v (epoch %d)\n",
+		s.RowsScanned, s.RowsEmitted, s.Groups, s.KeyLookups, s.PredicatesReordered, s.EarlyTerminated, res.Epoch)
+	return nil
+}
+
+// readQueryArg parses -q: inline JSON when the argument starts with
+// '{', otherwise the path of a query JSON file.
+func readQueryArg(s string) (wire.Query, error) {
+	var q wire.Query
+	raw := []byte(s)
+	if !strings.HasPrefix(strings.TrimSpace(s), "{") {
+		var err error
+		raw, err = os.ReadFile(s)
+		if err != nil {
+			return q, err
+		}
+	}
+	if err := json.Unmarshal(raw, &q); err != nil {
+		return q, fmt.Errorf("parsing query: %w", err)
+	}
+	return q, nil
+}
+
+// printQueryTable prints a query result with one header row.
+func printQueryTable(w io.Writer, columns []string, rows [][]any) {
+	for i, col := range columns {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%-16s", col)
+	}
+	fmt.Fprintln(w)
+	for _, vals := range rows {
+		for i, v := range vals {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-16s", formatCell(v))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// formatCell renders one query result value for the table printer.
+func formatCell(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "-"
+	case string:
+		return orDash(t)
+	case []string:
+		return orDash(strings.Join(t, ","))
+	case []any: // a string list after a JSON round-trip
+		parts := make([]string, len(t))
+		for i, e := range t {
+			parts[i] = fmt.Sprint(e)
+		}
+		return orDash(strings.Join(parts, ","))
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	}
+	return fmt.Sprint(v)
+}
+
+// clientRows flattens typed client rows back to positional values for
+// the table printer.
+func clientRows(columns []string, rows []client.QueryRow) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		vals := make([]any, len(columns))
+		for j, col := range columns {
+			vals[j], _ = r.Value(col)
+		}
+		out[i] = vals
+	}
+	return out
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -437,6 +592,7 @@ Verbs:
   put-object     -key K -beliefs u=v,...   create or replace one object
   resolve-object -key K -users u1,u2       resolve one stored object
   resolve        -users u1,u2 [-beliefs]   resolve an ad-hoc object
+  query          -q FILE|'{json}'          run a relational query (/v1/query)
   mutate         -f ops.json               apply a wire op batch
   checkpoint                               compact the WAL
   promote                                  make a replica the primary
@@ -454,7 +610,7 @@ Flags:
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("remote: a verb is required (stats, objects, put-object, resolve-object, resolve, mutate, checkpoint, promote)")
+		return fmt.Errorf("remote: a verb is required (stats, objects, put-object, resolve-object, resolve, query, mutate, checkpoint, promote)")
 	}
 	endpoints := strings.Split(*addr, ",")
 	opts := []client.Option{client.WithEndpoints(endpoints[1:]...)}
@@ -469,6 +625,7 @@ Flags:
 	users := vfs.String("users", "", "comma-separated users to report")
 	beliefs := vfs.String("beliefs", "", "comma-separated user=value pairs")
 	file := vfs.String("f", "", "mutation script JSON file (wire op list)")
+	qArg := vfs.String("q", "", "query pattern: a JSON file, or inline JSON starting with '{'")
 	vfs.Parse(verbArgs)
 
 	switch verb {
@@ -519,6 +676,23 @@ Flags:
 			return err
 		}
 		return printJSON(w, res)
+	case "query":
+		if *qArg == "" {
+			return fmt.Errorf("remote query: -q is required (a query JSON file, or inline JSON)")
+		}
+		q, err := readQueryArg(*qArg)
+		if err != nil {
+			return err
+		}
+		res, err := c.Query(ctx, q)
+		if err != nil {
+			return err
+		}
+		printQueryTable(w, res.Columns, clientRows(res.Columns, res.Rows))
+		s := res.Stats
+		fmt.Fprintf(w, "\nquery: %d rows scanned, %d emitted, %d groups, %d shard partials, %d predicates reordered, early-terminated=%v, truncated=%v (epoch %d, lsn %d)\n",
+			s.RowsScanned, s.RowsEmitted, s.Groups, s.ShardPartials, s.PredicatesReordered, s.EarlyTerminated, res.Truncated, res.Epoch, res.LSN)
+		return nil
 	case "checkpoint":
 		ck, err := c.Checkpoint(ctx)
 		if err != nil {

@@ -124,6 +124,7 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Admission:   srv.AdmissionStats(),
 		Replication: srv.replicationStats(),
+		Query:       srv.QueryTotals(),
 		Cluster:     st.ClusterStats(),
 	})
 }

@@ -101,6 +101,14 @@ type Server struct {
 	// deterministic, surfaced in /v1/stats.
 	deadlineExceeded atomic.Uint64
 
+	// Cumulative /v1/query counters (wire.QueryTotals in /v1/stats):
+	// deterministic, incremented once per served query.
+	queries             atomic.Uint64
+	queryRowsScanned    atomic.Uint64
+	queryRowsEmitted    atomic.Uint64
+	queryPredsReordered atomic.Uint64
+	queryEarlyTerms     atomic.Uint64
+
 	// repl is non-nil while this server is a replica: the live WAL tail
 	// installed by SetReplication, cleared (and stopped) by promote.
 	repl atomic.Pointer[Replication]
@@ -150,6 +158,7 @@ func NewBackend(b shard.Backend, cfg Config) *Server {
 	srv.mux.HandleFunc("GET /v1/stats", srv.guard(nil, srv.handleStats))
 	srv.mux.HandleFunc("POST /v1/resolve", srv.guard(srv.reads, srv.handleResolve))
 	srv.mux.HandleFunc("POST /v1/bulk-resolve", srv.guard(srv.reads, srv.handleBulkResolve))
+	srv.mux.HandleFunc("POST /v1/query", srv.guard(srv.reads, srv.handleQuery))
 	// Logical mutations answer 421 on a replica (primaryOnly); checkpoint
 	// stays allowed everywhere — compaction is local housekeeping.
 	srv.mux.HandleFunc("POST /v1/mutate", srv.guard(srv.mutations, srv.primaryOnly(srv.handleMutate)))

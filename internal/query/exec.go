@@ -1,0 +1,655 @@
+package query
+
+// Execution: streaming scan -> filter -> (self-join) -> project for
+// row plans, and scan -> accumulate -> merge -> finalize for aggregate
+// plans. The aggregate split (RunPartial / Finalize) is the cluster
+// scatter-gather seam: every shard accumulates its own objects at its
+// own pinned epoch, and the merge is exact because every aggregate
+// function decomposes.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+
+	"trustmap"
+	"trustmap/wire"
+)
+
+// Result is an executed query: output columns, rows in deterministic
+// order, the minimum pinned epoch the rows were served at (the site's
+// current epoch when no rows were consumed), and the execution stats.
+type Result struct {
+	// Columns names the output columns, in row order.
+	Columns []string
+	// Rows holds one []any per result row, positionally aligned with
+	// Columns; values are string, bool, int, int64, float64, or []string.
+	Rows [][]any
+	// Epoch is the conservative epoch bound of the rows.
+	Epoch uint64
+	// Stats describes how the query ran.
+	Stats wire.QueryStats
+}
+
+// getter resolves one column of the current tuple.
+type getter func(col string) any
+
+// Run executes a compiled plan against a site. The context cancels
+// mid-scan: operator pulls ride the site's Resolved stream, which
+// releases its pinned epochs on abandonment.
+func Run(ctx context.Context, site Site, p *Plan) (*Result, error) {
+	if p.Aggregated() {
+		part, err := RunPartial(ctx, site, p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Finalize([]*Partial{part}, p)
+		if err != nil {
+			return nil, err
+		}
+		if !part.hasEpoch {
+			res.Epoch = site.Epoch()
+		}
+		return res, nil
+	}
+
+	ex := newExec(site, p)
+	out := [][]any{}
+	stopLimit := p.limit > 0 && len(p.orderBy) == 0
+	stopped, err := ex.scan(ctx, func(get getter) bool {
+		out = append(out, ex.project(get))
+		return !(stopLimit && len(out) >= p.limit)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if stopped {
+		ex.stats.EarlyTerminated = true
+	}
+	if len(p.orderBy) > 0 {
+		sortRows(out, p)
+	}
+	if p.limit > 0 && len(out) > p.limit {
+		out = out[:p.limit]
+	}
+	ex.stats.RowsEmitted = uint64(len(out))
+	epoch := ex.epoch
+	if !ex.hasEpoch {
+		epoch = site.Epoch()
+	}
+	return &Result{Columns: append([]string{}, p.sel...), Rows: out, Epoch: epoch, Stats: ex.stats}, nil
+}
+
+// exec is the per-run scan state.
+type exec struct {
+	site     Site
+	p        *Plan
+	all      []string        // the user universe, sorted
+	userSet  map[string]bool // left-side membership under a user pushdown
+	stats    wire.QueryStats
+	epoch    uint64
+	hasEpoch bool
+}
+
+func newExec(site Site, p *Plan) *exec {
+	ex := &exec{site: site, p: p}
+	ex.stats.PredicatesReordered = p.reordered
+	ex.all = append([]string{}, site.Users()...)
+	sort.Strings(ex.all)
+	if p.hasUsers {
+		ex.userSet = make(map[string]bool, len(p.users))
+		for _, u := range p.users {
+			ex.userSet[u] = true
+		}
+	}
+	return ex
+}
+
+func (ex *exec) noteEpoch(e uint64) {
+	if !ex.hasEpoch || e < ex.epoch {
+		ex.epoch, ex.hasEpoch = e, true
+	}
+}
+
+// scan drives the object source — the key pushdown's point lookups, or
+// the site's pinned key-ordered stream — through per-object row
+// generation, reporting whether yield stopped it early.
+func (ex *exec) scan(ctx context.Context, yield func(getter) bool) (stopped bool, err error) {
+	if ex.p.hasUsers && len(ex.p.users) == 0 {
+		// Contradictory user equalities: provably empty before any work.
+		ex.stats.EarlyTerminated = true
+		return false, nil
+	}
+	if ex.p.hasKeys {
+		if len(ex.p.keys) == 0 {
+			ex.stats.EarlyTerminated = true
+			return false, nil
+		}
+		for _, key := range ex.p.keys {
+			or, err := ex.site.ResolveObject(ctx, key)
+			if err != nil {
+				if errors.Is(err, trustmap.ErrUnknownObject) {
+					continue // a pushed key that is not stored: zero rows
+				}
+				return false, err
+			}
+			ex.stats.KeyLookups++
+			ex.noteEpoch(or.Epoch())
+			if !ex.object(or, yield) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for or, err := range ex.site.Resolved(ctx) {
+		if err != nil {
+			return false, err
+		}
+		ex.noteEpoch(or.Epoch())
+		if !ex.object(or, yield) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// object generates and filters the relation rows of one resolved
+// object; with a join clause it pairs the object's filtered left rows
+// against its filtered right rows (joins are per-object by
+// construction: on must include "object").
+func (ex *exec) object(or trustmap.ObjectRow, yield func(getter) bool) bool {
+	beliefs, _ := ex.site.Object(or.Object)
+	if ex.p.join == nil {
+		users := ex.all
+		if ex.p.hasUsers {
+			users = ex.p.users
+		}
+		for _, u := range users {
+			r, ok := makeRow(or, beliefs, u)
+			if !ok {
+				continue
+			}
+			ex.stats.RowsScanned++
+			if !evalPreds(ex.p.filters, r.value) {
+				continue
+			}
+			if !yield(r.value) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// The right side always draws from the full user universe: a user
+	// pushdown in where restricts only the left side, exactly like the
+	// user filter it replaces.
+	var left, right []*row
+	for _, u := range ex.all {
+		r, ok := makeRow(or, beliefs, u)
+		if !ok {
+			continue
+		}
+		ex.stats.RowsScanned++
+		if (ex.userSet == nil || ex.userSet[r.user]) && evalPreds(ex.p.filters, r.value) {
+			left = append(left, &r)
+		}
+		if evalPreds(ex.p.join.where, r.value) {
+			right = append(right, &r)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return true // empty build side: skip the pairing entirely
+	}
+	for _, l := range left {
+		for _, rr := range right {
+			if !onMatch(ex.p.join.on, l, rr) {
+				continue
+			}
+			get := joinGetter(l, rr)
+			if !evalPreds(ex.p.postJoin, get) {
+				continue
+			}
+			if !yield(get) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// project materializes the selected output columns of one tuple.
+func (ex *exec) project(get getter) []any {
+	out := make([]any, len(ex.p.sel))
+	for i, c := range ex.p.sel {
+		out[i] = get(c)
+	}
+	return out
+}
+
+// joinGetter resolves r_-prefixed columns on the right row and
+// everything else on the left.
+func joinGetter(l, r *row) getter {
+	return func(col string) any {
+		if rest, ok := strings.CutPrefix(col, rightPrefix); ok {
+			return r.value(rest)
+		}
+		return l.value(col)
+	}
+}
+
+// onMatch reports whether the extra join-on columns (beyond object,
+// which matches by construction) agree.
+func onMatch(on []string, l, r *row) bool {
+	for _, c := range on {
+		if l.value(c) != r.value(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalPreds reports whether the tuple passes every predicate, in order.
+func evalPreds(preds []pred, get getter) bool {
+	for i := range preds {
+		if !preds[i].eval(get) {
+			return false
+		}
+	}
+	return true
+}
+
+// eval applies one compiled predicate to the current tuple.
+func (p *pred) eval(get getter) bool {
+	v := get(p.col)
+	if v == nil {
+		return false // an empty-group min/max in having
+	}
+	if p.colB != "" {
+		w := get(p.colB)
+		if w == nil {
+			return false
+		}
+		return cmpOrdOK(cmpVals(p.kind, v, w), p.op)
+	}
+	switch p.kind {
+	case kindStrings:
+		for _, s := range v.([]string) {
+			if s == p.str {
+				return true
+			}
+		}
+		return false
+	case kindBool:
+		b := v.(bool)
+		if p.op == wire.PredEq {
+			return b == p.b
+		}
+		return b != p.b
+	case kindString:
+		s := v.(string)
+		switch p.op {
+		case wire.PredIn:
+			for _, w := range p.strs {
+				if s == w {
+					return true
+				}
+			}
+			return false
+		case wire.PredPrefix:
+			return strings.HasPrefix(s, p.str)
+		default:
+			return cmpOrdOK(strings.Compare(s, p.str), p.op)
+		}
+	default: // kindInt, kindFloat
+		f, _ := toFloat(v)
+		if p.op == wire.PredIn {
+			for _, w := range p.nums {
+				if f == w {
+					return true
+				}
+			}
+			return false
+		}
+		return cmpOrdOK(cmpFloat(f, p.num), p.op)
+	}
+}
+
+// cmpOrdOK maps a three-way comparison onto an ordered operator.
+func cmpOrdOK(c int, op string) bool {
+	switch op {
+	case wire.PredEq:
+		return c == 0
+	case wire.PredNe:
+		return c != 0
+	case wire.PredLt:
+		return c < 0
+	case wire.PredLe:
+		return c <= 0
+	case wire.PredGt:
+		return c > 0
+	case wire.PredGe:
+		return c >= 0
+	}
+	return false
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// cmpVals three-way-compares two column values of one kind; nil (an
+// empty-group min/max) sorts before everything.
+func cmpVals(k kind, a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		}
+		return 1
+	}
+	switch k {
+	case kindString:
+		return strings.Compare(a.(string), b.(string))
+	case kindBool:
+		ab, bb := a.(bool), b.(bool)
+		switch {
+		case ab == bb:
+			return 0
+		case !ab:
+			return -1
+		}
+		return 1
+	default:
+		fa, _ := toFloat(a)
+		fb, _ := toFloat(b)
+		return cmpFloat(fa, fb)
+	}
+}
+
+// sortRows stable-sorts projected rows by the plan's order keys; ties
+// keep the deterministic scan (or group-key) order.
+func sortRows(rows [][]any, p *Plan) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, ok := range p.orderBy {
+			c := cmpVals(ok.kind, rows[i][ok.idx], rows[j][ok.idx])
+			if c == 0 {
+				continue
+			}
+			if ok.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// --- aggregation ---------------------------------------------------------
+
+// aggState is one aggregate's decomposable accumulator: (sum, n) covers
+// count/sum/avg/rate exactly, mm the running min or max.
+type aggState struct {
+	n    int64
+	sum  float64
+	mm   any
+	seen bool
+}
+
+// accum is one group's accumulators plus its group-key column values.
+type accum struct {
+	keyVals []any
+	aggs    []aggState
+}
+
+// Partial is one site's partial aggregation of an aggregate plan: the
+// unit a cluster scatters per shard and merges with Finalize. All
+// aggregate functions decompose, so merging partials is exact.
+type Partial struct {
+	groups   map[string]*accum
+	stats    wire.QueryStats
+	epoch    uint64
+	hasEpoch bool
+}
+
+// RunPartial scans the site and accumulates the plan's groups without
+// finalizing them. The plan must be Aggregated.
+func RunPartial(ctx context.Context, site Site, p *Plan) (*Partial, error) {
+	if !p.Aggregated() {
+		return nil, errors.New("query: RunPartial needs an aggregate plan")
+	}
+	ex := newExec(site, p)
+	part := &Partial{groups: map[string]*accum{}}
+	_, err := ex.scan(ctx, func(get getter) bool {
+		key, vals := groupKey(p, get)
+		a := part.groups[key]
+		if a == nil {
+			a = &accum{keyVals: vals, aggs: make([]aggState, len(p.aggs))}
+			part.groups[key] = a
+		}
+		accumulate(a, p, get)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	part.stats = ex.stats
+	part.epoch, part.hasEpoch = ex.epoch, ex.hasEpoch
+	return part, nil
+}
+
+// groupKey encodes the tuple's group-by values into a map key and
+// returns the values themselves. Kinds are fixed per column, so the
+// NUL-joined encoding is unambiguous.
+func groupKey(p *Plan, get getter) (string, []any) {
+	if len(p.groupBy) == 0 {
+		return "", nil
+	}
+	vals := make([]any, len(p.groupBy))
+	var b strings.Builder
+	for i, c := range p.groupBy {
+		v := get(c)
+		vals[i] = v
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		switch p.groupKinds[i] {
+		case kindString:
+			b.WriteString(v.(string))
+		case kindBool:
+			if v.(bool) {
+				b.WriteByte('t')
+			} else {
+				b.WriteByte('f')
+			}
+		default:
+			f, _ := toFloat(v)
+			b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		}
+	}
+	return b.String(), vals
+}
+
+// accumulate folds one tuple into its group.
+func accumulate(a *accum, p *Plan, get getter) {
+	for i := range p.aggs {
+		ap := &p.aggs[i]
+		st := &a.aggs[i]
+		switch ap.fn {
+		case wire.AggCount:
+			st.n++
+		case wire.AggSum, wire.AggAvg:
+			f := numInput(get(ap.of))
+			st.sum += f
+			st.n++
+		case wire.AggRate:
+			if get(ap.of).(bool) {
+				st.sum++
+			}
+			st.n++
+		case wire.AggMin:
+			v := get(ap.of)
+			if !st.seen || cmpVals(ap.inKind, v, st.mm) < 0 {
+				st.mm, st.seen = v, true
+			}
+		case wire.AggMax:
+			v := get(ap.of)
+			if !st.seen || cmpVals(ap.inKind, v, st.mm) > 0 {
+				st.mm, st.seen = v, true
+			}
+		}
+	}
+}
+
+// numInput widens an aggregate input value: booleans count as 0/1.
+func numInput(v any) float64 {
+	if b, ok := v.(bool); ok {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	f, _ := toFloat(v)
+	return f
+}
+
+// Finalize merges partial aggregations — per-shard scatter results, or
+// the single partial of an unsharded Run — applies having, orders the
+// groups deterministically (group-key ascending, then any explicit
+// order keys), and projects the output rows. The merged epoch is the
+// minimum over partials that consumed rows (zero when none did; the
+// caller substitutes its site's current epoch).
+func Finalize(partials []*Partial, p *Plan) (*Result, error) {
+	if !p.Aggregated() {
+		return nil, errors.New("query: Finalize needs an aggregate plan")
+	}
+	res := &Result{Columns: append([]string{}, p.sel...)}
+	merged := map[string]*accum{}
+	first := true
+	for _, part := range partials {
+		if part == nil {
+			continue
+		}
+		res.Stats.RowsScanned += part.stats.RowsScanned
+		res.Stats.KeyLookups += part.stats.KeyLookups
+		res.Stats.EarlyTerminated = res.Stats.EarlyTerminated || part.stats.EarlyTerminated
+		res.Stats.PredicatesReordered = part.stats.PredicatesReordered
+		if part.hasEpoch && (first || part.epoch < res.Epoch) {
+			res.Epoch, first = part.epoch, false
+		}
+		for key, a := range part.groups {
+			m := merged[key]
+			if m == nil {
+				m = &accum{keyVals: a.keyVals, aggs: make([]aggState, len(p.aggs))}
+				merged[key] = m
+			}
+			for i := range a.aggs {
+				mergeAgg(&p.aggs[i], &m.aggs[i], &a.aggs[i])
+			}
+		}
+	}
+	if len(p.groupBy) == 0 && len(merged) == 0 {
+		// A global aggregate over zero rows still answers one group
+		// (count 0), matching SQL and the brute-force oracle.
+		merged[""] = &accum{aggs: make([]aggState, len(p.aggs))}
+	}
+	res.Stats.Groups = len(merged)
+
+	groups := make([]*accum, 0, len(merged))
+	for _, a := range merged {
+		groups = append(groups, a)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		for c := range p.groupBy {
+			cmp := cmpVals(p.groupKinds[c], groups[i].keyVals[c], groups[j].keyVals[c])
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+
+	rows := [][]any{}
+	for _, a := range groups {
+		get := groupGetter(p, a)
+		if !evalPreds(p.having, get) {
+			continue
+		}
+		out := make([]any, len(p.sel))
+		for i, c := range p.sel {
+			out[i] = get(c)
+		}
+		rows = append(rows, out)
+	}
+	if len(p.orderBy) > 0 {
+		sortRows(rows, p)
+	}
+	if p.limit > 0 && len(rows) > p.limit {
+		rows = rows[:p.limit]
+	}
+	res.Stats.RowsEmitted = uint64(len(rows))
+	res.Rows = rows
+	return res, nil
+}
+
+// mergeAgg folds one partial aggregate state into the merged one.
+func mergeAgg(ap *aggPlan, dst, src *aggState) {
+	switch ap.fn {
+	case wire.AggMin:
+		if src.seen && (!dst.seen || cmpVals(ap.inKind, src.mm, dst.mm) < 0) {
+			dst.mm, dst.seen = src.mm, true
+		}
+	case wire.AggMax:
+		if src.seen && (!dst.seen || cmpVals(ap.inKind, src.mm, dst.mm) > 0) {
+			dst.mm, dst.seen = src.mm, true
+		}
+	default:
+		dst.n += src.n
+		dst.sum += src.sum
+	}
+}
+
+// groupGetter resolves a group's output columns: group-by values by
+// position, aggregate outputs finalized from their states.
+func groupGetter(p *Plan, a *accum) getter {
+	return func(col string) any {
+		for i, c := range p.groupBy {
+			if c == col {
+				return a.keyVals[i]
+			}
+		}
+		for i := range p.aggs {
+			ap := &p.aggs[i]
+			if ap.name != col {
+				continue
+			}
+			st := &a.aggs[i]
+			switch ap.fn {
+			case wire.AggCount:
+				return st.n
+			case wire.AggSum:
+				return st.sum
+			case wire.AggAvg, wire.AggRate:
+				if st.n == 0 {
+					return float64(0)
+				}
+				return st.sum / float64(st.n)
+			default: // min, max
+				if !st.seen {
+					return nil
+				}
+				return st.mm
+			}
+		}
+		return nil
+	}
+}

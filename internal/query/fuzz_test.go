@@ -1,0 +1,281 @@
+package query_test
+
+// FuzzQueryPlanParity: a seeded generator draws random valid query
+// patterns and requires three independent evaluations to agree exactly
+// — the greedy plan, the naive left-to-right plan, and the brute-force
+// oracle over the materialized relation. Any divergence is a planner or
+// executor bug by construction: greedy reordering, pushdown extraction,
+// and partial-aggregate merging must all be invisible in the answer.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"trustmap"
+	"trustmap/internal/query"
+	"trustmap/internal/tn"
+	"trustmap/internal/workload"
+	"trustmap/wire"
+)
+
+// fuzzSite lazily builds the shared fuzz fixture: a small power-law
+// community with a deterministic object set, materialized once.
+var fuzzSite struct {
+	once  sync.Once
+	st    *trustmap.Store
+	users []string
+	keys  []string
+	rows  []orow
+}
+
+func fuzzFixture(t testing.TB) (*trustmap.Store, []string, []string, []orow) {
+	fuzzSite.once.Do(func() {
+		domain := []tn.Value{"fish", "knot", "cow", "jar"}
+		src := workload.PowerLaw(rand.New(rand.NewSource(7)), 24, 2, 0.3, domain)
+		fuzzSite.st, fuzzSite.users = workloadStore(t, src, 8)
+		fuzzSite.keys = fuzzSite.st.Objects()
+		fuzzSite.rows = materialize(t, fuzzSite.st)
+	})
+	return fuzzSite.st, fuzzSite.users, fuzzSite.keys, fuzzSite.rows
+}
+
+// fuzzDomain is the operand pool for string predicates.
+var fuzzDomain = []string{"fish", "knot", "cow", "jar", ""}
+
+// randBasePred draws one valid predicate over the base columns.
+func randBasePred(rng *rand.Rand, users, keys []string) wire.Predicate {
+	ordOps := []string{wire.PredEq, wire.PredNe, wire.PredLt, wire.PredLe, wire.PredGt, wire.PredGe}
+	boolCols := []string{"has_certain", "has_belief", "agrees", "disagrees", "conflicted"}
+	switch rng.Intn(8) {
+	case 0: // object key, eq or in (the pushdown shapes)
+		if rng.Intn(2) == 0 {
+			return wire.Predicate{Col: "object", Op: wire.PredEq, Value: pick(rng, keys, "absent")}
+		}
+		return wire.Predicate{Col: "object", Op: wire.PredIn, Values: pickN(rng, keys, "absent")}
+	case 1: // user, eq or in
+		if rng.Intn(2) == 0 {
+			return wire.Predicate{Col: "user", Op: wire.PredEq, Value: pick(rng, users, "nobody")}
+		}
+		return wire.Predicate{Col: "user", Op: wire.PredIn, Values: pickN(rng, users, "nobody")}
+	case 2: // certain/belief ordered comparison or prefix
+		col := "certain"
+		if rng.Intn(2) == 0 {
+			col = "belief"
+		}
+		if rng.Intn(4) == 0 {
+			return wire.Predicate{Col: col, Op: wire.PredPrefix, Value: []string{"", "f", "k", "c"}[rng.Intn(4)]}
+		}
+		return wire.Predicate{Col: col, Op: ordOps[rng.Intn(len(ordOps))], Value: fuzzDomain[rng.Intn(len(fuzzDomain))]}
+	case 3: // certain in-list
+		return wire.Predicate{Col: "certain", Op: wire.PredIn, Values: pickN(rng, fuzzDomain, "")}
+	case 4: // boolean eq/ne, sometimes with the implicit-true operand
+		p := wire.Predicate{Col: boolCols[rng.Intn(len(boolCols))], Op: wire.PredEq}
+		if rng.Intn(2) == 0 {
+			p.Op = wire.PredNe
+		}
+		if rng.Intn(3) > 0 {
+			p.Value = rng.Intn(2) == 0
+		}
+		return p
+	case 5: // possible_count comparison or in-list
+		if rng.Intn(4) == 0 {
+			return wire.Predicate{Col: "possible_count", Op: wire.PredIn, Values: []any{rng.Intn(3), rng.Intn(5)}}
+		}
+		return wire.Predicate{Col: "possible_count", Op: ordOps[rng.Intn(len(ordOps))], Value: rng.Intn(5)}
+	case 6: // possible membership
+		return wire.Predicate{Col: "possible", Op: wire.PredContains, Value: fuzzDomain[rng.Intn(len(fuzzDomain)-1)]}
+	default: // cross-column comparison of like kinds
+		if rng.Intn(2) == 0 {
+			strCols := []string{"object", "user", "certain", "belief"}
+			a, b := rng.Intn(len(strCols)), rng.Intn(len(strCols))
+			return wire.Predicate{Col: strCols[a], Op: ordOps[rng.Intn(len(ordOps))], ColB: strCols[b]}
+		}
+		a, b := rng.Intn(len(boolCols)), rng.Intn(len(boolCols))
+		op := wire.PredEq
+		if rng.Intn(2) == 0 {
+			op = wire.PredNe
+		}
+		return wire.Predicate{Col: boolCols[a], Op: op, ColB: boolCols[b]}
+	}
+}
+
+func pick(rng *rand.Rand, pool []string, extra string) string {
+	if rng.Intn(6) == 0 {
+		return extra
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+func pickN(rng *rand.Rand, pool []string, extra string) []any {
+	n := 1 + rng.Intn(3)
+	out := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pick(rng, pool, extra))
+	}
+	return out
+}
+
+// prefixRight rewrites a base predicate to touch the join's right side.
+func prefixRight(rng *rand.Rand, p wire.Predicate) wire.Predicate {
+	if p.ColB != "" {
+		// Prefix one or both sides; each combination is valid.
+		if rng.Intn(2) == 0 {
+			p.Col = "r_" + p.Col
+		}
+		if rng.Intn(2) == 0 || (p.Col[:2] != "r_") {
+			p.ColB = "r_" + p.ColB
+		}
+		return p
+	}
+	p.Col = "r_" + p.Col
+	return p
+}
+
+// scalarCols lists the scalar row columns, with r_ twins when joined.
+func scalarCols(joined bool) []string {
+	base := []string{
+		"object", "user", "certain", "belief", "possible_count",
+		"has_certain", "has_belief", "agrees", "disagrees", "conflicted",
+	}
+	if !joined {
+		return base
+	}
+	out := append([]string{}, base...)
+	for _, c := range base {
+		out = append(out, "r_"+c)
+	}
+	return out
+}
+
+// randQuery draws one valid query pattern.
+func randQuery(rng *rand.Rand, users, keys []string) wire.Query {
+	var q wire.Query
+	joined := rng.Intn(5) == 0
+	if joined {
+		j := &wire.Join{On: []string{"object"}}
+		if rng.Intn(3) == 0 {
+			j.On = append(j.On, "certain")
+		}
+		for i := rng.Intn(2); i > 0; i-- {
+			j.Where = append(j.Where, randBasePred(rng, users, keys))
+		}
+		q.Join = j
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		p := randBasePred(rng, users, keys)
+		if joined && rng.Intn(3) == 0 {
+			p = prefixRight(rng, p)
+		}
+		q.Where = append(q.Where, p)
+	}
+
+	if rng.Intn(3) == 0 {
+		// Aggregate shape: group by 0-2 scalar columns, 1-3 aggregates
+		// with explicit unique names, optional having and order.
+		cols := scalarCols(joined)
+		seen := map[string]bool{}
+		for i := rng.Intn(3); i > 0; i-- {
+			c := cols[rng.Intn(len(cols))]
+			if !seen[c] {
+				seen[c] = true
+				q.GroupBy = append(q.GroupBy, c)
+			}
+		}
+		kinds := []wire.Aggregate{
+			{Fn: wire.AggCount},
+			{Fn: wire.AggSum, Of: "possible_count"},
+			{Fn: wire.AggAvg, Of: "possible_count"},
+			{Fn: wire.AggRate, Of: "agrees"},
+			{Fn: wire.AggRate, Of: "disagrees"},
+			{Fn: wire.AggMin, Of: "certain"},
+			{Fn: wire.AggMax, Of: "certain"},
+			{Fn: wire.AggMin, Of: "possible_count"},
+			{Fn: wire.AggMax, Of: "possible_count"},
+			{Fn: wire.AggSum, Of: "conflicted"},
+		}
+		n := 1 + rng.Intn(3)
+		names := []string{"a0", "a1", "a2"}
+		numeric := map[string]bool{}
+		for i := 0; i < n; i++ {
+			a := kinds[rng.Intn(len(kinds))]
+			a.As = names[i]
+			q.Aggs = append(q.Aggs, a)
+			numeric[a.As] = !(a.Fn == wire.AggMin || a.Fn == wire.AggMax) || a.Of == "possible_count"
+		}
+		if rng.Intn(3) == 0 {
+			ordOps := []string{wire.PredEq, wire.PredNe, wire.PredLt, wire.PredLe, wire.PredGt, wire.PredGe}
+			name := names[rng.Intn(n)]
+			h := wire.Predicate{Col: name, Op: ordOps[rng.Intn(len(ordOps))]}
+			if numeric[name] {
+				h.Value = rng.Intn(6)
+			} else {
+				h.Value = fuzzDomain[rng.Intn(len(fuzzDomain))]
+			}
+			q.Having = append(q.Having, h)
+		}
+		if rng.Intn(2) == 0 {
+			outs := append(append([]string{}, q.GroupBy...), names[:n]...)
+			q.OrderBy = append(q.OrderBy, wire.OrderKey{Col: outs[rng.Intn(len(outs))], Desc: rng.Intn(2) == 0})
+		}
+	} else if rng.Intn(2) == 0 {
+		// Explicit projection with optional order keys drawn from it.
+		cols := scalarCols(joined)
+		n := 1 + rng.Intn(4)
+		seen := map[string]bool{}
+		for i := 0; i < n; i++ {
+			c := cols[rng.Intn(len(cols))]
+			if !seen[c] {
+				seen[c] = true
+				q.Select = append(q.Select, c)
+			}
+		}
+		for i := rng.Intn(3); i > 0; i-- {
+			q.OrderBy = append(q.OrderBy, wire.OrderKey{Col: q.Select[rng.Intn(len(q.Select))], Desc: rng.Intn(2) == 0})
+		}
+	}
+	if rng.Intn(3) == 0 {
+		q.Limit = rng.Intn(12)
+	}
+	return q
+}
+
+func FuzzQueryPlanParity(f *testing.F) {
+	st, users, keys, rows := fuzzFixture(f)
+	for seed := int64(0); seed < 32; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		q := randQuery(rng, users, keys)
+		greedyPlan, err := query.Compile(q)
+		if err != nil {
+			t.Fatalf("generator drew an invalid query %+v: %v", q, err)
+		}
+		naivePlan, err := query.CompileNaive(q)
+		if err != nil {
+			t.Fatalf("naive rejected what greedy accepted %+v: %v", q, err)
+		}
+		ctx := context.Background()
+		greedy, err := query.Run(ctx, st, greedyPlan)
+		if err != nil {
+			t.Fatalf("Run(greedy): %v", err)
+		}
+		naive, err := query.Run(ctx, st, naivePlan)
+		if err != nil {
+			t.Fatalf("Run(naive): %v", err)
+		}
+		wantCols, wantRows := oracleRun(rows, q)
+		if !reflect.DeepEqual(greedy.Columns, wantCols) || !reflect.DeepEqual(naive.Columns, wantCols) {
+			t.Fatalf("columns diverge on %+v:\n greedy %v\n naive %v\n oracle %v", q, greedy.Columns, naive.Columns, wantCols)
+		}
+		if !rowsEqual(greedy.Rows, wantRows) {
+			t.Fatalf("greedy diverges from oracle on %+v:\n greedy: %v\n oracle: %v", q, greedy.Rows, wantRows)
+		}
+		if !rowsEqual(naive.Rows, wantRows) {
+			t.Fatalf("naive diverges from oracle on %+v:\n naive: %v\n oracle: %v", q, naive.Rows, wantRows)
+		}
+	})
+}

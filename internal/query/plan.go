@@ -1,0 +1,528 @@
+package query
+
+// Compilation: wire.Query -> Plan. All validation lives here (every
+// rejection wraps ErrBadQuery), as does the greedy predicate ordering —
+// the executor trusts the Plan completely.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trustmap/wire"
+)
+
+// pred is one compiled predicate: a pure comparison of one row (or
+// group) column against a literal operand, an operand set, or a second
+// column, pre-validated against the column's kind.
+type pred struct {
+	col  string
+	op   string
+	kind kind
+	str  string    // string operand (eq/ne/lt/../prefix/contains)
+	num  float64   // numeric operand
+	b    bool      // boolean operand
+	strs []string  // string in-list
+	nums []float64 // numeric in-list
+	colB string    // compare col against colB instead of a literal
+	orig int       // position in the written where-list (reorder stat)
+}
+
+// aggPlan is one compiled aggregate output.
+type aggPlan struct {
+	fn     string
+	of     string // input column; "" for count
+	name   string // output column name
+	inKind kind   // input column kind (count: unused)
+	kind   kind   // output kind
+}
+
+// orderPlan is one compiled sort key: an output column by its position
+// in the projection.
+type orderPlan struct {
+	col  string
+	desc bool
+	kind kind
+	idx  int // position in Plan.sel
+}
+
+// joinPlan is the compiled self-join clause.
+type joinPlan struct {
+	on    []string // extra equality columns beyond object
+	where []pred   // right-side filters (base column space)
+}
+
+// Plan is a compiled, validated query ready to Run. Build one with
+// Compile (greedy ordering and key/user pushdown) or CompileNaive
+// (predicates exactly as written, no pushdown — the parity and
+// benchmark reference). Plans are immutable and safe for concurrent
+// use, including concurrent RunPartial calls across shards.
+type Plan struct {
+	keys       []string // object key pushdown, sorted+deduped; nil = scan
+	hasKeys    bool
+	users      []string // user-loop restriction, sorted+deduped; nil = all
+	hasUsers   bool
+	filters    []pred // left/base row filters, in evaluation order
+	postJoin   []pred // filters referencing r_ columns (joined rows)
+	join       *joinPlan
+	groupBy    []string
+	groupKinds []kind // kinds of groupBy columns, aligned
+	aggs       []aggPlan
+	having     []pred
+	sel        []string
+	selKinds   []kind // kinds of selected output columns, aligned
+	orderBy    []orderPlan
+	limit      int
+	reordered  int
+}
+
+// Aggregated reports whether the plan is a (possibly grouped) aggregate
+// — the plans a cluster can scatter as per-shard partials (RunPartial)
+// and merge with Finalize.
+func (p *Plan) Aggregated() bool { return len(p.aggs) > 0 }
+
+// Reordered counts predicates the greedy planner evaluates ahead of a
+// predicate written before them; zero on naive plans.
+func (p *Plan) Reordered() int { return p.reordered }
+
+// Compile validates q and builds its greedy plan: object/user equality
+// pushed down, remaining filters ordered value-equality >> membership
+// >> residual >> cross-column (stable within a class).
+func Compile(q wire.Query) (*Plan, error) { return compile(q, false) }
+
+// CompileNaive validates q and builds the left-to-right reference plan:
+// no pushdown, no reordering — every predicate is an ordinary filter in
+// written order. Semantically identical to Compile's plan; it exists so
+// fuzzing and benchmarks can hold the greedy planner to the naive one.
+func CompileNaive(q wire.Query) (*Plan, error) { return compile(q, true) }
+
+func bad(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadQuery, fmt.Sprintf(format, args...))
+}
+
+func compile(q wire.Query, naive bool) (*Plan, error) {
+	p := &Plan{limit: q.Limit}
+	if q.Limit < 0 {
+		return nil, bad("limit %d is negative", q.Limit)
+	}
+
+	// Row space: the base catalog, plus r_ twins when the query joins.
+	rowKinds := baseKinds
+	if q.Join != nil {
+		rowKinds = make(map[string]kind, 2*len(baseKinds))
+		for c, k := range baseKinds {
+			rowKinds[c] = k
+			rowKinds[rightPrefix+c] = k
+		}
+	}
+
+	if q.Join != nil {
+		jp := &joinPlan{}
+		hasObject := false
+		seen := map[string]bool{}
+		for _, c := range q.Join.On {
+			k, ok := baseKinds[c]
+			if !ok || k == kindStrings {
+				return nil, bad("join on column %q is not a scalar relation column", c)
+			}
+			if seen[c] {
+				return nil, bad("join on column %q repeated", c)
+			}
+			seen[c] = true
+			if c == ColObject {
+				hasObject = true
+				continue
+			}
+			jp.on = append(jp.on, c)
+		}
+		if !hasObject {
+			return nil, bad("join on must include %q: joins pair users' views of the same object", ColObject)
+		}
+		for i, wp := range q.Join.Where {
+			cp, err := compilePred(wp, baseKinds, i)
+			if err != nil {
+				return nil, fmt.Errorf("join where[%d]: %w", i, err)
+			}
+			jp.where = append(jp.where, cp)
+		}
+		p.join = jp
+	}
+
+	// Partition the where-list: predicates touching r_ columns evaluate
+	// post-join; object/user equality extracts as pushdown (greedy only);
+	// the rest are base-row filters.
+	var keySets, userSets [][]string
+	var pushOrigs []int
+	for i, wp := range q.Where {
+		if strings.HasPrefix(wp.Col, rightPrefix) || strings.HasPrefix(wp.ColB, rightPrefix) {
+			if q.Join == nil {
+				return nil, bad("where[%d]: column %q needs a join clause", i, wp.Col)
+			}
+			cp, err := compilePred(wp, rowKinds, i)
+			if err != nil {
+				return nil, fmt.Errorf("where[%d]: %w", i, err)
+			}
+			p.postJoin = append(p.postJoin, cp)
+			continue
+		}
+		cp, err := compilePred(wp, baseKinds, i)
+		if err != nil {
+			return nil, fmt.Errorf("where[%d]: %w", i, err)
+		}
+		if !naive && cp.colB == "" && (cp.op == wire.PredEq || cp.op == wire.PredIn) {
+			switch cp.col {
+			case ColObject:
+				keySets = append(keySets, predStrings(cp))
+				pushOrigs = append(pushOrigs, i)
+				continue
+			case ColUser:
+				userSets = append(userSets, predStrings(cp))
+				pushOrigs = append(pushOrigs, i)
+				continue
+			}
+		}
+		p.filters = append(p.filters, cp)
+	}
+	if len(keySets) > 0 {
+		p.keys, p.hasKeys = intersectSorted(keySets), true
+	}
+	if len(userSets) > 0 {
+		p.users, p.hasUsers = intersectSorted(userSets), true
+	}
+	if !naive {
+		sort.SliceStable(p.filters, func(i, j int) bool {
+			return filterClass(p.filters[i]) < filterClass(p.filters[j])
+		})
+		// Evaluation order: pushdowns first, then the sorted filters.
+		evalOrigs := append([]int{}, pushOrigs...)
+		for _, f := range p.filters {
+			evalOrigs = append(evalOrigs, f.orig)
+		}
+		p.reordered = countReordered(evalOrigs)
+	}
+
+	// Grouping and aggregates.
+	if len(q.GroupBy) > 0 && len(q.Aggs) == 0 {
+		return nil, bad("group_by requires at least one aggregate")
+	}
+	outKinds := rowKinds
+	var outOrder []string
+	if len(q.Aggs) > 0 {
+		outKinds = make(map[string]kind, len(q.GroupBy)+len(q.Aggs))
+		for _, c := range q.GroupBy {
+			k, ok := rowKinds[c]
+			if !ok || k == kindStrings {
+				return nil, bad("group_by column %q is not a scalar relation column", c)
+			}
+			if _, dup := outKinds[c]; dup {
+				return nil, bad("group_by column %q repeated", c)
+			}
+			outKinds[c] = k
+			outOrder = append(outOrder, c)
+			p.groupBy = append(p.groupBy, c)
+			p.groupKinds = append(p.groupKinds, k)
+		}
+		for i, a := range q.Aggs {
+			ap, err := compileAgg(a, rowKinds)
+			if err != nil {
+				return nil, fmt.Errorf("aggs[%d]: %w", i, err)
+			}
+			if _, dup := outKinds[ap.name]; dup {
+				return nil, bad("aggs[%d]: output column %q repeated", i, ap.name)
+			}
+			outKinds[ap.name] = ap.kind
+			outOrder = append(outOrder, ap.name)
+			p.aggs = append(p.aggs, ap)
+		}
+	} else {
+		if q.Join == nil {
+			outOrder = baseOrder
+		} else {
+			outOrder = make([]string, 0, 2*len(baseOrder))
+			outOrder = append(outOrder, baseOrder...)
+			for _, c := range baseOrder {
+				outOrder = append(outOrder, rightPrefix+c)
+			}
+		}
+	}
+	for i, wp := range q.Having {
+		if len(q.Aggs) == 0 {
+			return nil, bad("having requires aggregates")
+		}
+		cp, err := compilePred(wp, outKinds, i)
+		if err != nil {
+			return nil, fmt.Errorf("having[%d]: %w", i, err)
+		}
+		p.having = append(p.having, cp)
+	}
+
+	// Projection: explicit, or the documented defaults.
+	sel := q.Select
+	if len(sel) == 0 {
+		switch {
+		case len(q.Aggs) > 0:
+			sel = outOrder
+		case q.Join != nil:
+			sel = []string{ColObject, ColUser, ColCertain, rightPrefix + ColUser, rightPrefix + ColCertain}
+		default:
+			sel = []string{ColObject, ColUser, ColCertain, ColBelief, ColPossibleCount}
+		}
+	}
+	selSet := map[string]kind{}
+	for _, c := range sel {
+		k, ok := outKinds[c]
+		if !ok {
+			return nil, bad("select column %q is not an output column", c)
+		}
+		p.sel = append(p.sel, c)
+		p.selKinds = append(p.selKinds, k)
+		selSet[c] = k
+	}
+
+	for i, ok := range q.OrderBy {
+		k, in := selSet[ok.Col]
+		if !in {
+			return nil, bad("order_by[%d]: column %q is not among the selected output columns", i, ok.Col)
+		}
+		if k == kindStrings {
+			return nil, bad("order_by[%d]: column %q is not scalar", i, ok.Col)
+		}
+		idx := 0
+		for j, c := range p.sel {
+			if c == ok.Col {
+				idx = j
+				break
+			}
+		}
+		p.orderBy = append(p.orderBy, orderPlan{col: ok.Col, desc: ok.Desc, kind: k, idx: idx})
+	}
+	return p, nil
+}
+
+// filterClass buckets a base-row filter for the greedy order: scalar
+// equality (0) before membership (1) before residual comparisons (2)
+// before cross-column comparisons (3).
+func filterClass(p pred) int {
+	switch {
+	case p.colB != "":
+		return 3
+	case p.op == wire.PredEq:
+		return 0
+	case p.op == wire.PredIn:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// countReordered counts predicates evaluated ahead of at least one
+// predicate written before them, given the written indices of the
+// evaluation order — the planner's visible deviation from written order.
+func countReordered(evalOrigs []int) int {
+	n := 0
+	for i, v := range evalOrigs {
+		for _, w := range evalOrigs[i+1:] {
+			if w < v {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// predStrings returns the string operand set of an eq/in predicate.
+func predStrings(p pred) []string {
+	if p.op == wire.PredEq {
+		return []string{p.str}
+	}
+	return p.strs
+}
+
+// intersectSorted intersects the operand sets and returns the result
+// sorted and deduplicated (possibly empty: a provably empty result).
+func intersectSorted(sets [][]string) []string {
+	counts := map[string]int{}
+	for _, set := range sets {
+		seen := map[string]bool{}
+		for _, s := range set {
+			if !seen[s] {
+				seen[s] = true
+				counts[s]++
+			}
+		}
+	}
+	out := []string{}
+	for s, c := range counts {
+		if c == len(sets) {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compilePred validates one wire predicate against a column space and
+// normalizes its operand.
+func compilePred(wp wire.Predicate, space map[string]kind, orig int) (pred, error) {
+	k, ok := space[wp.Col]
+	if !ok {
+		return pred{}, bad("unknown column %q", wp.Col)
+	}
+	p := pred{col: wp.Col, op: wp.Op, kind: k, orig: orig}
+
+	if wp.ColB != "" {
+		if wp.Value != nil || len(wp.Values) > 0 {
+			return pred{}, bad("col_b and a literal operand are mutually exclusive")
+		}
+		kb, ok := space[wp.ColB]
+		if !ok {
+			return pred{}, bad("unknown column %q", wp.ColB)
+		}
+		if kb != k || k == kindStrings {
+			return pred{}, bad("cannot compare column %q against column %q", wp.Col, wp.ColB)
+		}
+		if !ordOp(wp.Op) || (k == kindBool && wp.Op != wire.PredEq && wp.Op != wire.PredNe) {
+			return pred{}, bad("operator %q is not valid for a column comparison", wp.Op)
+		}
+		p.colB = wp.ColB
+		return p, nil
+	}
+
+	switch k {
+	case kindStrings:
+		if wp.Op != wire.PredContains {
+			return pred{}, bad("column %q only supports %q", wp.Col, wire.PredContains)
+		}
+		s, ok := wp.Value.(string)
+		if !ok {
+			return pred{}, bad("%q needs a string operand", wire.PredContains)
+		}
+		p.str = s
+	case kindBool:
+		if wp.Op != wire.PredEq && wp.Op != wire.PredNe {
+			return pred{}, bad("boolean column %q only supports eq/ne", wp.Col)
+		}
+		switch v := wp.Value.(type) {
+		case nil:
+			p.b = true // {"col":"agrees","op":"eq"} means agrees == true
+		case bool:
+			p.b = v
+		default:
+			return pred{}, bad("boolean column %q needs a boolean operand", wp.Col)
+		}
+	case kindString:
+		switch wp.Op {
+		case wire.PredIn:
+			for _, v := range wp.Values {
+				s, ok := v.(string)
+				if !ok {
+					return pred{}, bad("in-list for column %q needs string elements", wp.Col)
+				}
+				p.strs = append(p.strs, s)
+			}
+		case wire.PredEq, wire.PredNe, wire.PredLt, wire.PredLe, wire.PredGt, wire.PredGe, wire.PredPrefix:
+			s, ok := wp.Value.(string)
+			if !ok {
+				return pred{}, bad("column %q needs a string operand", wp.Col)
+			}
+			p.str = s
+		default:
+			return pred{}, bad("operator %q is not valid on string column %q", wp.Op, wp.Col)
+		}
+	case kindInt, kindFloat:
+		switch wp.Op {
+		case wire.PredIn:
+			for _, v := range wp.Values {
+				f, ok := toFloat(v)
+				if !ok {
+					return pred{}, bad("in-list for column %q needs numeric elements", wp.Col)
+				}
+				p.nums = append(p.nums, f)
+			}
+		case wire.PredEq, wire.PredNe, wire.PredLt, wire.PredLe, wire.PredGt, wire.PredGe:
+			f, ok := toFloat(wp.Value)
+			if !ok {
+				return pred{}, bad("column %q needs a numeric operand", wp.Col)
+			}
+			p.num = f
+		default:
+			return pred{}, bad("operator %q is not valid on numeric column %q", wp.Op, wp.Col)
+		}
+	}
+	return p, nil
+}
+
+// ordOp reports whether op is one of the six ordered comparisons.
+func ordOp(op string) bool {
+	switch op {
+	case wire.PredEq, wire.PredNe, wire.PredLt, wire.PredLe, wire.PredGt, wire.PredGe:
+		return true
+	}
+	return false
+}
+
+// compileAgg validates one aggregate against the row space.
+func compileAgg(a wire.Aggregate, space map[string]kind) (aggPlan, error) {
+	ap := aggPlan{fn: a.Fn, of: a.Of, name: a.As}
+	if ap.name == "" {
+		ap.name = a.Fn
+		if a.Of != "" {
+			ap.name = a.Fn + "_" + a.Of
+		}
+	}
+	if a.Fn == wire.AggCount {
+		if a.Of != "" {
+			return aggPlan{}, bad("count takes no input column")
+		}
+		ap.kind = kindInt
+		return ap, nil
+	}
+	k, ok := space[a.Of]
+	if !ok {
+		return aggPlan{}, bad("unknown aggregate input column %q", a.Of)
+	}
+	ap.inKind = k
+	switch a.Fn {
+	case wire.AggSum, wire.AggAvg:
+		if k != kindInt && k != kindBool {
+			return aggPlan{}, bad("%s needs a numeric or boolean input column, not %q", a.Fn, a.Of)
+		}
+		ap.kind = kindFloat
+	case wire.AggRate:
+		if k != kindBool {
+			return aggPlan{}, bad("rate needs a boolean input column, not %q", a.Of)
+		}
+		ap.kind = kindFloat
+	case wire.AggMin, wire.AggMax:
+		switch k {
+		case kindInt:
+			ap.kind = kindInt
+		case kindString:
+			ap.kind = kindString
+		default:
+			return aggPlan{}, bad("%s needs a numeric or string input column, not %q", a.Fn, a.Of)
+		}
+	default:
+		return aggPlan{}, bad("unknown aggregate function %q", a.Fn)
+	}
+	return ap, nil
+}
+
+// toFloat normalizes the numeric shapes JSON decoding and Go callers
+// produce.
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	}
+	return 0, false
+}

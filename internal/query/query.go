@@ -1,0 +1,207 @@
+// Package query is the streaming relational layer between resolution
+// and serving: filter / project / self-join / group-aggregate / order /
+// limit operators composed over the store's pinned-epoch resolution
+// stream, so callers can ask the paper's audit questions — objects
+// where k users disagree with their resolved value, per-user acceptance
+// rates, conflict hot-spots — without materializing the store.
+//
+// Queries arrive as a wire.Query pattern AST (wire schema 6) over one
+// relation, "resolutions": one row per (stored object, reporting user)
+// with the columns documented on wire.Query. Compile turns the AST into
+// a Plan with greedy predicate ordering (janus-datalog's "when greedy
+// beats optimal" discipline: selectivity is visible in the pattern
+// syntax, so no statistics are needed):
+//
+//   - object key equality/membership is extracted as a key pushdown —
+//     point resolutions instead of a scan, and provably-empty key sets
+//     terminate before touching the store;
+//   - user equality/membership restricts the per-object user loop;
+//   - remaining filters run value-equality first, then membership, then
+//     residual comparisons, then cross-column comparisons — stably, so
+//     equal-class predicates keep their written order.
+//
+// Run executes a Plan against a Site — one store, or a cluster router
+// whose Resolved stream is already a key-ordered merge at per-shard
+// pinned epochs. Aggregate plans also decompose: RunPartial produces a
+// per-shard partial aggregation (all aggregate functions are chosen to
+// merge exactly: count/sum/min/max directly, avg/rate as (sum, count)
+// pairs) and Finalize merges partials in deterministic group-key order,
+// which is how a cluster scatter-gathers a grouped query without
+// shipping rows.
+//
+// The belief column is read from the live explicit-belief table
+// (Site.Object) rather than the pinned snapshot: under concurrent
+// writes a row's belief may be one write fresher than its resolution,
+// the same per-shard-epoch consistency the rest of the read surface
+// offers.
+package query
+
+import (
+	"context"
+	"errors"
+	"iter"
+
+	"trustmap"
+)
+
+// ErrBadQuery wraps every compile-time rejection of a wire.Query —
+// unknown columns, operand/kind mismatches, invalid operators — so the
+// HTTP layer can map exactly these to 400 and keep runtime failures 5xx.
+var ErrBadQuery = errors.New("invalid query")
+
+// Site is the surface a Plan executes against: the pinned-epoch scan,
+// point resolution for key pushdowns, the explicit-belief table for the
+// belief column, and the user universe of the shared spine. It is
+// implemented by *trustmap.Store and by the cluster router (whose
+// Resolved is the key-ordered k-way merge over shards).
+type Site interface {
+	// Resolved streams every stored object's resolution in sorted key
+	// order at a pinned epoch (per shard, on a cluster).
+	Resolved(ctx context.Context) iter.Seq2[trustmap.ObjectRow, error]
+	// ResolveObject resolves one stored object; unknown keys answer an
+	// error wrapping trustmap.ErrUnknownObject.
+	ResolveObject(ctx context.Context, key string) (trustmap.ObjectRow, error)
+	// Object reads one stored object's explicit beliefs.
+	Object(key string) (map[string]string, bool)
+	// Users lists every user of the trust network.
+	Users() []string
+	// Epoch is the current published generation — the epoch reported
+	// when a query consumed no rows.
+	Epoch() uint64
+}
+
+// Columns of the resolutions relation. The catalog (baseKinds) is the
+// single source of truth the planner validates every AST column against.
+const (
+	// ColObject is the stored object's key.
+	ColObject = "object"
+	// ColUser is the reporting user.
+	ColUser = "user"
+	// ColCertain is the user's resolved value, "" when not certain.
+	ColCertain = "certain"
+	// ColBelief is the user's explicit stated belief, "" when none.
+	ColBelief = "belief"
+	// ColPossible is the user's possible-value set, sorted.
+	ColPossible = "possible"
+	// ColPossibleCount is len(possible).
+	ColPossibleCount = "possible_count"
+	// ColHasCertain reports certain != "".
+	ColHasCertain = "has_certain"
+	// ColHasBelief reports whether the user stated an explicit belief.
+	ColHasBelief = "has_belief"
+	// ColAgrees reports the user's stated belief survived resolution.
+	ColAgrees = "agrees"
+	// ColDisagrees reports the user's stated belief was overridden by a
+	// different certain value — the paper's rejected-update signal.
+	ColDisagrees = "disagrees"
+	// ColConflicted reports the user sees more than one possible value.
+	ColConflicted = "conflicted"
+)
+
+// kind is a column's value type; every predicate, aggregate, and order
+// key is validated against it at compile time.
+type kind int
+
+const (
+	kindString  kind = iota // string
+	kindInt                 // int
+	kindBool                // bool
+	kindFloat               // float64 (aggregate outputs only)
+	kindStrings             // []string (the possible column)
+)
+
+// baseKinds is the column catalog of the resolutions relation.
+var baseKinds = map[string]kind{
+	ColObject:        kindString,
+	ColUser:          kindString,
+	ColCertain:       kindString,
+	ColBelief:        kindString,
+	ColPossible:      kindStrings,
+	ColPossibleCount: kindInt,
+	ColHasCertain:    kindBool,
+	ColHasBelief:     kindBool,
+	ColAgrees:        kindBool,
+	ColDisagrees:     kindBool,
+	ColConflicted:    kindBool,
+}
+
+// baseOrder lists the catalog columns in presentation order (map
+// iteration is random; defaults and the r_ twin space must not be).
+var baseOrder = []string{
+	ColObject, ColUser, ColCertain, ColBelief, ColPossible,
+	ColPossibleCount, ColHasCertain, ColHasBelief, ColAgrees,
+	ColDisagrees, ColConflicted,
+}
+
+// rightPrefix marks right-side columns of a joined row: r_user is the
+// joined partner's user, r_certain their resolved value, and so on.
+const rightPrefix = "r_"
+
+// row is one tuple of the resolutions relation.
+type row struct {
+	object        string
+	user          string
+	certain       string
+	belief        string
+	possible      []string
+	possibleCount int
+	hasCertain    bool
+	hasBelief     bool
+	agrees        bool
+	disagrees     bool
+	conflicted    bool
+}
+
+// value reads one catalog column off the row.
+func (r *row) value(col string) any {
+	switch col {
+	case ColObject:
+		return r.object
+	case ColUser:
+		return r.user
+	case ColCertain:
+		return r.certain
+	case ColBelief:
+		return r.belief
+	case ColPossible:
+		return r.possible
+	case ColPossibleCount:
+		return r.possibleCount
+	case ColHasCertain:
+		return r.hasCertain
+	case ColHasBelief:
+		return r.hasBelief
+	case ColAgrees:
+		return r.agrees
+	case ColDisagrees:
+		return r.disagrees
+	case ColConflicted:
+		return r.conflicted
+	}
+	return nil
+}
+
+// makeRow builds the relation row for one (object, user) pair from the
+// pinned resolution and the object's explicit-belief table; ok is false
+// when the user is unknown to the network (no row exists).
+func makeRow(or trustmap.ObjectRow, beliefs map[string]string, user string) (row, bool) {
+	possible, certain, err := or.Lookup(user)
+	if err != nil {
+		return row{}, false
+	}
+	r := row{
+		object:        or.Object,
+		user:          user,
+		certain:       certain,
+		possible:      possible,
+		possibleCount: len(possible),
+		hasCertain:    certain != "",
+		conflicted:    len(possible) > 1,
+	}
+	if b, ok := beliefs[user]; ok {
+		r.belief, r.hasBelief = b, true
+	}
+	r.agrees = r.hasBelief && r.hasCertain && r.belief == r.certain
+	r.disagrees = r.hasBelief && r.hasCertain && r.belief != r.certain
+	return r, true
+}

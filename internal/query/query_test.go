@@ -1,0 +1,441 @@
+package query_test
+
+// Parity and behavior tests for the streaming query layer: every query
+// runs three ways — greedy plan, naive left-to-right plan, brute-force
+// oracle over the materialized relation — and all three must agree
+// exactly (columns, rows, order) on the paper's workload families.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"trustmap"
+	"trustmap/internal/query"
+	"trustmap/internal/tn"
+	"trustmap/internal/workload"
+	"trustmap/wire"
+)
+
+// facadeFromTN rebuilds a workload network through the public facade
+// (the unexported twin of the root package's test helper).
+func facadeFromTN(src *tn.Network) *trustmap.Network {
+	n := trustmap.New()
+	for x := 0; x < src.NumUsers(); x++ {
+		n.AddUser(src.Name(x))
+	}
+	for x := 0; x < src.NumUsers(); x++ {
+		for _, m := range src.In(x) {
+			n.AddTrust(src.Name(x), src.Name(m.Parent), m.Priority)
+		}
+	}
+	for x := 0; x < src.NumUsers(); x++ {
+		if src.HasExplicit(x) {
+			n.SetBelief(src.Name(x), string(src.Explicit(x)))
+		}
+	}
+	return n
+}
+
+// workloadStore builds a store over one workload network with a
+// deterministic object set, returning the store and its sorted users.
+func workloadStore(t testing.TB, src *tn.Network, objects int) (*trustmap.Store, []string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	var rootIDs []int
+	for x := 0; x < src.NumUsers(); x++ {
+		if src.HasExplicit(x) {
+			rootIDs = append(rootIDs, x)
+		}
+	}
+	objs := workload.BulkObjects(rng, rootIDs, objects)
+	named := make(map[string]map[string]string, len(objs))
+	for k, bs := range objs {
+		m := make(map[string]string, len(bs))
+		for id, v := range bs {
+			m[src.Name(id)] = string(v)
+		}
+		named[k] = m
+	}
+	roots := make([]string, len(rootIDs))
+	for i, id := range rootIDs {
+		roots[i] = src.Name(id)
+	}
+	st, err := facadeFromTN(src).NewStore(trustmap.WithWorkers(2), trustmap.WithExtraRoots(roots...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	keys := make([]string, 0, len(named))
+	for k := range named {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := st.PutObject(ctx, k, named[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	users := append([]string{}, st.Users()...)
+	sort.Strings(users)
+	return st, users
+}
+
+// parityWorkloads builds the three acceptance workloads.
+func parityWorkloads() map[string]*tn.Network {
+	domain := []tn.Value{"fish", "knot", "cow", "jar"}
+	ws := map[string]*tn.Network{
+		"PowerLaw":  workload.PowerLaw(rand.New(rand.NewSource(3)), 150, 3, 0.15, domain),
+		"NestedSCC": workload.NestedSCC(4),
+	}
+	fig19, _ := workload.Fig19()
+	ws["Fig19"] = fig19
+	return ws
+}
+
+// runThreeWays executes q greedy, naive, and brute-force, requiring
+// exact agreement, and returns the greedy result.
+func runThreeWays(t *testing.T, st *trustmap.Store, rows []orow, q wire.Query) *query.Result {
+	t.Helper()
+	ctx := context.Background()
+	greedyPlan, err := query.Compile(q)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	naivePlan, err := query.CompileNaive(q)
+	if err != nil {
+		t.Fatalf("CompileNaive: %v", err)
+	}
+	greedy, err := query.Run(ctx, st, greedyPlan)
+	if err != nil {
+		t.Fatalf("Run(greedy): %v", err)
+	}
+	naive, err := query.Run(ctx, st, naivePlan)
+	if err != nil {
+		t.Fatalf("Run(naive): %v", err)
+	}
+	wantCols, wantRows := oracleRun(rows, q)
+	if !reflect.DeepEqual(greedy.Columns, wantCols) {
+		t.Fatalf("greedy columns %v, oracle %v", greedy.Columns, wantCols)
+	}
+	if !reflect.DeepEqual(naive.Columns, wantCols) {
+		t.Fatalf("naive columns %v, oracle %v", naive.Columns, wantCols)
+	}
+	if !rowsEqual(greedy.Rows, wantRows) {
+		t.Fatalf("greedy rows diverge from oracle:\n greedy: %v\n oracle: %v", greedy.Rows, wantRows)
+	}
+	if !rowsEqual(naive.Rows, wantRows) {
+		t.Fatalf("naive rows diverge from oracle:\n naive: %v\n oracle: %v", naive.Rows, wantRows)
+	}
+	return greedy
+}
+
+// rowsEqual compares result rows, treating nil and empty as equal at
+// the slice level (zero matching rows).
+func rowsEqual(a, b [][]any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// parityQueries is the feature-covering query list, parameterized by a
+// workload's users and object keys.
+func parityQueries(users, keys []string) []wire.Query {
+	u0, uLast := users[0], users[len(users)-1]
+	k0 := keys[0]
+	return []wire.Query{
+		// Full scan, default projection.
+		{},
+		// Key pushdown: point lookup.
+		{Where: []wire.Predicate{{Col: "object", Op: wire.PredEq, Value: k0}}},
+		// Key intersection (in ∩ eq) plus a residual filter.
+		{Where: []wire.Predicate{
+			{Col: "object", Op: wire.PredIn, Values: []any{k0, keys[len(keys)-1], "absent"}},
+			{Col: "object", Op: wire.PredEq, Value: k0},
+			{Col: "has_certain", Op: wire.PredEq},
+		}},
+		// Pushed key that is not stored: zero rows, no scan.
+		{Where: []wire.Predicate{{Col: "object", Op: wire.PredEq, Value: "no-such-object"}}},
+		// User pushdown with a boolean filter.
+		{Where: []wire.Predicate{
+			{Col: "user", Op: wire.PredEq, Value: u0},
+			{Col: "conflicted", Op: wire.PredEq},
+		}},
+		// Greedy reorder bait: residual comparison written before an
+		// equality — plans differ, answers must not.
+		{Where: []wire.Predicate{
+			{Col: "possible_count", Op: wire.PredGe, Value: 1},
+			{Col: "certain", Op: wire.PredEq, Value: "fish"},
+			{Col: "user", Op: wire.PredIn, Values: []any{u0, uLast}},
+		}},
+		// Set membership and ne.
+		{Where: []wire.Predicate{
+			{Col: "certain", Op: wire.PredIn, Values: []any{"fish", "cow"}},
+			{Col: "user", Op: wire.PredNe, Value: u0},
+		}},
+		// Cross-column comparison: stated belief overridden.
+		{Where: []wire.Predicate{
+			{Col: "has_belief", Op: wire.PredEq},
+			{Col: "belief", Op: wire.PredNe, ColB: "certain"},
+		}},
+		// possible membership and key prefix.
+		{Where: []wire.Predicate{
+			{Col: "possible", Op: wire.PredContains, Value: "fish"},
+			{Col: "object", Op: wire.PredPrefix, Value: "obj"},
+		}},
+		// Grouped aggregate with having, explicit names.
+		{
+			Where:   []wire.Predicate{{Col: "disagrees", Op: wire.PredEq}},
+			GroupBy: []string{"object"},
+			Aggs: []wire.Aggregate{
+				{Fn: wire.AggCount, As: "dissenters"},
+				{Fn: wire.AggAvg, Of: "possible_count"},
+			},
+			Having: []wire.Predicate{{Col: "dissenters", Op: wire.PredGe, Value: 1}},
+		},
+		// Global aggregate, every function at once.
+		{Aggs: []wire.Aggregate{
+			{Fn: wire.AggCount},
+			{Fn: wire.AggSum, Of: "possible_count"},
+			{Fn: wire.AggMin, Of: "certain"},
+			{Fn: wire.AggMax, Of: "possible_count"},
+			{Fn: wire.AggRate, Of: "has_certain"},
+		}},
+		// Global aggregate over provably zero rows (empty key set).
+		{
+			Where: []wire.Predicate{
+				{Col: "object", Op: wire.PredEq, Value: k0},
+				{Col: "object", Op: wire.PredEq, Value: "different"},
+			},
+			Aggs: []wire.Aggregate{{Fn: wire.AggCount}, {Fn: wire.AggMin, Of: "certain"}},
+		},
+		// Per-user acceptance rate, ordered, limited.
+		{
+			GroupBy: []string{"user"},
+			Aggs:    []wire.Aggregate{{Fn: wire.AggRate, Of: "agrees", As: "acceptance"}},
+			OrderBy: []wire.OrderKey{{Col: "acceptance", Desc: true}, {Col: "user"}},
+			Limit:   5,
+		},
+		// Two-column grouping.
+		{
+			GroupBy: []string{"certain", "conflicted"},
+			Aggs:    []wire.Aggregate{{Fn: wire.AggCount}},
+		},
+		// Self-join: who disagrees with u0's resolved value, per object.
+		{
+			Where: []wire.Predicate{
+				{Col: "user", Op: wire.PredEq, Value: u0},
+				{Col: "has_certain", Op: wire.PredEq},
+				{Col: "r_certain", Op: wire.PredNe, ColB: "certain"},
+			},
+			Join: &wire.Join{
+				On:    []string{"object"},
+				Where: []wire.Predicate{{Col: "has_certain", Op: wire.PredEq}},
+			},
+		},
+		// Join on an extra column with explicit projection and order.
+		{
+			Join: &wire.Join{
+				On:    []string{"object", "certain"},
+				Where: []wire.Predicate{{Col: "user", Op: wire.PredNe, Value: u0}},
+			},
+			Where:   []wire.Predicate{{Col: "user", Op: wire.PredEq, Value: u0}},
+			Select:  []string{"object", "r_user", "certain"},
+			OrderBy: []wire.OrderKey{{Col: "r_user"}},
+			Limit:   20,
+		},
+		// Joined aggregate: per-object count of agreeing pairs.
+		{
+			Join:    &wire.Join{On: []string{"object", "certain"}},
+			Where:   []wire.Predicate{{Col: "has_certain", Op: wire.PredEq}},
+			GroupBy: []string{"object"},
+			Aggs:    []wire.Aggregate{{Fn: wire.AggCount, As: "pairs"}},
+		},
+		// Row order + limit (no early stop: order forces a full scan).
+		{
+			Where:   []wire.Predicate{{Col: "has_certain", Op: wire.PredEq}},
+			Select:  []string{"object", "user", "possible_count"},
+			OrderBy: []wire.OrderKey{{Col: "possible_count", Desc: true}, {Col: "object"}, {Col: "user"}},
+			Limit:   7,
+		},
+		// Limit without order: early termination, prefix of scan order.
+		{Limit: 9},
+	}
+}
+
+func TestQueryParityWorkloads(t *testing.T) {
+	for name, src := range parityWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			st, users := workloadStore(t, src, 25)
+			rows := materialize(t, st)
+			keys := st.Objects()
+			for i, q := range parityQueries(users, keys) {
+				t.Run(fmt.Sprintf("q%02d", i), func(t *testing.T) {
+					runThreeWays(t, st, rows, q)
+				})
+			}
+		})
+	}
+}
+
+// TestQueryPushdownStats checks the planner's visible work accounting:
+// point lookups instead of scans, provably-empty early termination, and
+// the reorder counter.
+func TestQueryPushdownStats(t *testing.T) {
+	fig19, _ := workload.Fig19()
+	st, users := workloadStore(t, fig19, 12)
+	keys := st.Objects()
+	ctx := context.Background()
+
+	t.Run("key lookup", func(t *testing.T) {
+		p, err := query.Compile(wire.Query{Where: []wire.Predicate{{Col: "object", Op: wire.PredEq, Value: keys[0]}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := query.Run(ctx, st, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.KeyLookups != 1 {
+			t.Fatalf("KeyLookups = %d, want 1", res.Stats.KeyLookups)
+		}
+		if res.Stats.RowsScanned != uint64(len(users)) {
+			t.Fatalf("RowsScanned = %d, want %d (one object's users)", res.Stats.RowsScanned, len(users))
+		}
+	})
+
+	t.Run("provably empty keys", func(t *testing.T) {
+		p, err := query.Compile(wire.Query{Where: []wire.Predicate{
+			{Col: "object", Op: wire.PredEq, Value: keys[0]},
+			{Col: "object", Op: wire.PredEq, Value: keys[1]},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := query.Run(ctx, st, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.EarlyTerminated || res.Stats.RowsScanned != 0 || res.Stats.KeyLookups != 0 {
+			t.Fatalf("want zero-work early termination, got %+v", res.Stats)
+		}
+		if res.Epoch != st.Epoch() {
+			t.Fatalf("empty query epoch %d, want current %d", res.Epoch, st.Epoch())
+		}
+	})
+
+	t.Run("provably empty users", func(t *testing.T) {
+		p, err := query.Compile(wire.Query{Where: []wire.Predicate{
+			{Col: "user", Op: wire.PredEq, Value: users[0]},
+			{Col: "user", Op: wire.PredIn, Values: []any{users[1]}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := query.Run(ctx, st, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.EarlyTerminated || res.Stats.RowsScanned != 0 {
+			t.Fatalf("want zero-work early termination, got %+v", res.Stats)
+		}
+	})
+
+	t.Run("reorder counter", func(t *testing.T) {
+		q := wire.Query{Where: []wire.Predicate{
+			{Col: "possible_count", Op: wire.PredGe, Value: 1},
+			{Col: "certain", Op: wire.PredEq, Value: "fish"},
+		}}
+		greedy, err := query.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Reordered() == 0 {
+			t.Fatal("greedy plan should count the equality moved ahead of the residual")
+		}
+		naive, err := query.CompileNaive(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if naive.Reordered() != 0 {
+			t.Fatalf("naive plan reordered %d predicates", naive.Reordered())
+		}
+	})
+
+	t.Run("limit early stop", func(t *testing.T) {
+		p, err := query.Compile(wire.Query{Limit: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := query.Run(ctx, st, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.EarlyTerminated {
+			t.Fatal("limit without order should stop the scan early")
+		}
+		if res.Stats.RowsEmitted != 3 {
+			t.Fatalf("RowsEmitted = %d, want 3", res.Stats.RowsEmitted)
+		}
+	})
+}
+
+// TestQueryValidation: every malformed pattern is rejected at compile
+// time with an error wrapping ErrBadQuery.
+func TestQueryValidation(t *testing.T) {
+	cases := map[string]wire.Query{
+		"unknown column":      {Where: []wire.Predicate{{Col: "nope", Op: wire.PredEq, Value: "x"}}},
+		"bool op":             {Where: []wire.Predicate{{Col: "agrees", Op: wire.PredLt, Value: true}}},
+		"bool operand":        {Where: []wire.Predicate{{Col: "agrees", Op: wire.PredEq, Value: "yes"}}},
+		"contains operand":    {Where: []wire.Predicate{{Col: "possible", Op: wire.PredContains, Value: 3}}},
+		"strings op":          {Where: []wire.Predicate{{Col: "possible", Op: wire.PredEq, Value: "x"}}},
+		"string in elements":  {Where: []wire.Predicate{{Col: "user", Op: wire.PredIn, Values: []any{"a", 2}}}},
+		"numeric operand":     {Where: []wire.Predicate{{Col: "possible_count", Op: wire.PredEq, Value: "two"}}},
+		"string op":           {Where: []wire.Predicate{{Col: "user", Op: wire.PredContains, Value: "x"}}},
+		"colB plus literal":   {Where: []wire.Predicate{{Col: "belief", Op: wire.PredEq, ColB: "certain", Value: "x"}}},
+		"colB kind mismatch":  {Where: []wire.Predicate{{Col: "belief", Op: wire.PredEq, ColB: "possible_count"}}},
+		"colB strings":        {Where: []wire.Predicate{{Col: "possible", Op: wire.PredEq, ColB: "possible"}}},
+		"colB bool op":        {Where: []wire.Predicate{{Col: "agrees", Op: wire.PredLt, ColB: "disagrees"}}},
+		"negative limit":      {Limit: -1},
+		"group without aggs":  {GroupBy: []string{"object"}},
+		"group strings col":   {GroupBy: []string{"possible"}, Aggs: []wire.Aggregate{{Fn: wire.AggCount}}},
+		"group dup":           {GroupBy: []string{"user", "user"}, Aggs: []wire.Aggregate{{Fn: wire.AggCount}}},
+		"agg unknown fn":      {Aggs: []wire.Aggregate{{Fn: "median", Of: "possible_count"}}},
+		"agg count with of":   {Aggs: []wire.Aggregate{{Fn: wire.AggCount, Of: "user"}}},
+		"agg sum of string":   {Aggs: []wire.Aggregate{{Fn: wire.AggSum, Of: "user"}}},
+		"agg rate of int":     {Aggs: []wire.Aggregate{{Fn: wire.AggRate, Of: "possible_count"}}},
+		"agg min of bool":     {Aggs: []wire.Aggregate{{Fn: wire.AggMin, Of: "agrees"}}},
+		"agg dup name":        {Aggs: []wire.Aggregate{{Fn: wire.AggCount, As: "n"}, {Fn: wire.AggCount, As: "n"}}},
+		"having without aggs": {Having: []wire.Predicate{{Col: "object", Op: wire.PredEq, Value: "x"}}},
+		"having unknown col":  {Aggs: []wire.Aggregate{{Fn: wire.AggCount}}, Having: []wire.Predicate{{Col: "user", Op: wire.PredEq, Value: "x"}}},
+		"select unknown":      {Select: []string{"nope"}},
+		"select non-output":   {Aggs: []wire.Aggregate{{Fn: wire.AggCount}}, Select: []string{"user"}},
+		"order not selected":  {OrderBy: []wire.OrderKey{{Col: "conflicted"}}, Select: []string{"object"}},
+		"order strings col":   {Select: []string{"possible"}, OrderBy: []wire.OrderKey{{Col: "possible"}}},
+		"join without object": {Join: &wire.Join{On: []string{"certain"}}},
+		"join on strings":     {Join: &wire.Join{On: []string{"object", "possible"}}},
+		"join on dup":         {Join: &wire.Join{On: []string{"object", "object"}}},
+		"join where r_":       {Join: &wire.Join{On: []string{"object"}, Where: []wire.Predicate{{Col: "r_user", Op: wire.PredEq, Value: "x"}}}},
+		"r_ without join":     {Where: []wire.Predicate{{Col: "r_user", Op: wire.PredEq, Value: "x"}}},
+	}
+	for name, q := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := query.Compile(q); !errors.Is(err, query.ErrBadQuery) {
+				t.Fatalf("Compile accepted %+v (err = %v), want ErrBadQuery", q, err)
+			}
+			if _, err := query.CompileNaive(q); !errors.Is(err, query.ErrBadQuery) {
+				t.Fatalf("CompileNaive accepted %+v (err = %v), want ErrBadQuery", q, err)
+			}
+		})
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"trustmap"
 	"trustmap/internal/engine"
+	"trustmap/internal/query"
 	"trustmap/wire"
 )
 
@@ -468,6 +469,67 @@ func (r *Router) Resolved(ctx context.Context) iter.Seq2[trustmap.ObjectRow, err
 			best.row, best.ok = row, ok
 		}
 	}
+}
+
+// Users lists the trust network's users. The spine — network, defaults,
+// root set — is identical on every shard (broadcasts keep it so), so
+// shard 0 answers for the cluster; with Resolved, ResolveObject, Object,
+// and Epoch this makes the Router a query.Site.
+func (r *Router) Users() []string { return r.shards[0].Users() }
+
+// Query compiles and executes one wire.Query across the cluster.
+// Aggregate plans scatter: every shard runs a partial aggregation over
+// its own objects at its own pinned epoch, concurrently, and the merge
+// is exact because every aggregate function decomposes (count/sum/min/
+// max directly, avg/rate as (sum, count) pairs) — no rows cross shards.
+// Row plans run over the Router's key-ordered merged Resolved stream
+// (the same per-shard-pinned merge discipline as ResolveAll); key
+// pushdowns route to owners via ResolveObject either way.
+func (r *Router) Query(ctx context.Context, q wire.Query) (*query.Result, error) {
+	plan, err := query.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Aggregated() || len(r.shards) == 1 {
+		res, err := query.Run(ctx, r, plan)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	r.scatterReads.Add(1)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		parts    = make([]*query.Partial, len(r.shards))
+		firstErr error
+	)
+	for i, st := range r.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			part, err := query.RunPartial(ctx, st, plan)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			parts[i] = part
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res, err := query.Finalize(parts, plan)
+	if err != nil {
+		return nil, err
+	}
+	if res.Epoch == 0 {
+		res.Epoch = r.Epoch() // no shard consumed a row
+	}
+	res.Stats.ShardPartials = len(parts)
+	return res, nil
 }
 
 // --- aggregate surfaces --------------------------------------------------

@@ -33,6 +33,7 @@ import (
 
 	"trustmap"
 	"trustmap/internal/engine"
+	"trustmap/internal/query"
 	"trustmap/wire"
 )
 
@@ -95,6 +96,13 @@ type Backend interface {
 	// BulkResolve answers an ad-hoc batch; a Router splits it by
 	// wire.ShardOwner and resolves the sub-batches concurrently.
 	BulkResolve(ctx context.Context, objects map[string]map[string]string) (BulkResult, error)
+
+	// Query compiles and executes one wire.Query pattern (POST
+	// /v1/query). A Router scatter-gathers aggregate plans as per-shard
+	// partial aggregations merged in group-key order, and runs row plans
+	// over its key-ordered merged stream; compile rejections wrap
+	// query.ErrBadQuery.
+	Query(ctx context.Context, q wire.Query) (*query.Result, error)
 
 	// Objects lists stored object keys, sorted — merged over shards.
 	Objects() []string
@@ -195,6 +203,17 @@ func (s *SingleStore) Resolve(ctx context.Context, beliefs map[string]string) (S
 // BulkResolve answers an ad-hoc object batch.
 func (s *SingleStore) BulkResolve(ctx context.Context, objects map[string]map[string]string) (BulkResult, error) {
 	return s.st.ResolveBatch(ctx, objects)
+}
+
+// Query compiles and executes one wire.Query against the store (the
+// store is itself a query.Site: pinned stream, point resolution, belief
+// table, user universe).
+func (s *SingleStore) Query(ctx context.Context, q wire.Query) (*query.Result, error) {
+	plan, err := query.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return query.Run(ctx, s.st, plan)
 }
 
 // Objects lists stored object keys, sorted.

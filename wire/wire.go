@@ -50,8 +50,10 @@ import "fmt"
 // added sharded clusters: Health.Shards, the cluster section of
 // /v1/stats (ClusterStats with per-shard epochs/LSNs and conserved op
 // counters), the register-roots op (Op.Users), and the ShardOwner
-// routing function clients use for shard-aware batching.
-const SchemaVersion = 5
+// routing function clients use for shard-aware batching. Version 6
+// added the query layer: the Query pattern AST and QueryResponse of
+// POST /v1/query, and the query section of /v1/stats (QueryTotals).
+const SchemaVersion = 6
 
 // TimeoutHeader is the request header a client sets to override the
 // server's default per-request deadline, in integer milliseconds. The
@@ -255,6 +257,175 @@ type ObjectResolutionResponse struct {
 	Users  map[string]UserResult `json:"users"`
 }
 
+// Predicate comparison operators accepted in Predicate.Op.
+const (
+	// PredEq keeps rows whose column equals the operand.
+	PredEq = "eq"
+	// PredNe keeps rows whose column differs from the operand.
+	PredNe = "ne"
+	// PredLt keeps rows whose column orders before the operand.
+	PredLt = "lt"
+	// PredLe keeps rows whose column orders before or equals the operand.
+	PredLe = "le"
+	// PredGt keeps rows whose column orders after the operand.
+	PredGt = "gt"
+	// PredGe keeps rows whose column orders after or equals the operand.
+	PredGe = "ge"
+	// PredIn keeps rows whose column equals any element of Values.
+	PredIn = "in"
+	// PredPrefix keeps rows whose string column starts with the operand.
+	PredPrefix = "prefix"
+	// PredContains keeps rows whose string-list column contains the
+	// operand (the only operator valid on the "possible" column).
+	PredContains = "contains"
+)
+
+// Aggregate functions accepted in Aggregate.Fn.
+const (
+	// AggCount counts the rows of the group (no input column).
+	AggCount = "count"
+	// AggSum sums a numeric (or boolean, as 0/1) column.
+	AggSum = "sum"
+	// AggAvg averages a numeric (or boolean, as 0/1) column. Decomposes
+	// as a (sum, count) pair, so cluster partials merge exactly.
+	AggAvg = "avg"
+	// AggMin takes the minimum of a numeric or string column.
+	AggMin = "min"
+	// AggMax takes the maximum of a numeric or string column.
+	AggMax = "max"
+	// AggRate is the fraction of rows whose boolean column is true —
+	// the paper's acceptance rate. Decomposes like AggAvg.
+	AggRate = "rate"
+)
+
+// Predicate is one comparison in a Query's where/having lists: Col Op
+// operand. The operand is Value (scalar: JSON string, bool, or number),
+// Values (for "in"), or ColB (compare against another column of the same
+// row — e.g. certain vs r_certain across a join). Exactly one of the
+// three operand forms may be set, except "eq"/"ne" on boolean columns
+// where an absent operand means true.
+type Predicate struct {
+	Col    string `json:"col"`
+	Op     string `json:"op"`
+	Value  any    `json:"value,omitempty"`
+	Values []any  `json:"values,omitempty"`
+	// ColB names a second column to compare against instead of a literal
+	// operand (scalar columns only).
+	ColB string `json:"col_b,omitempty"`
+}
+
+// Aggregate is one aggregate output of a grouped Query: Fn over input
+// column Of (omitted for count), emitted as output column As (defaulted
+// to "fn" or "fn_of").
+type Aggregate struct {
+	Fn string `json:"fn"`
+	Of string `json:"of,omitempty"`
+	As string `json:"as,omitempty"`
+}
+
+// OrderKey is one sort key of a Query's order_by list: an output column,
+// ascending unless Desc.
+type OrderKey struct {
+	Col  string `json:"col"`
+	Desc bool   `json:"desc,omitempty"`
+}
+
+// Join is a Query's optional self-join clause over the resolutions
+// relation: rows pair when every On column matches. On must include
+// "object" — joins are per-object (comparing users' views of the same
+// object), which keeps execution streaming over the key-ordered scan and
+// shard-local on a cluster. Where filters the right side before pairing;
+// right-side columns appear in the joined row under an "r_" prefix
+// (r_user, r_certain, ...).
+type Join struct {
+	On    []string    `json:"on"`
+	Where []Predicate `json:"where,omitempty"`
+}
+
+// Query is the POST /v1/query body (wire schema 6): a small pattern AST
+// over the "resolutions" relation — one row per (stored object,
+// reporting user) at a pinned epoch, with columns
+//
+//	object, user            row identity
+//	certain                 the user's resolved value ("" when not certain)
+//	possible                the user's possible values, sorted
+//	possible_count          len(possible)
+//	has_certain             certain != ""
+//	belief                  the user's explicit stated belief ("" when none)
+//	has_belief              whether the user stated a belief
+//	agrees                  has_belief && has_certain && belief == certain
+//	disagrees               has_belief && has_certain && belief != certain
+//	conflicted              possible_count > 1
+//
+// Where filters rows; Join optionally self-joins per object; GroupBy +
+// Aggs aggregate (Having filters groups); Select projects output
+// columns; OrderBy sorts; Limit caps the row count. The server's greedy
+// planner may evaluate predicates in any order — predicates must
+// therefore be pure column comparisons, which the AST enforces by
+// construction.
+type Query struct {
+	Where   []Predicate `json:"where,omitempty"`
+	Join    *Join       `json:"join,omitempty"`
+	GroupBy []string    `json:"group_by,omitempty"`
+	Aggs    []Aggregate `json:"aggs,omitempty"`
+	Having  []Predicate `json:"having,omitempty"`
+	Select  []string    `json:"select,omitempty"`
+	OrderBy []OrderKey  `json:"order_by,omitempty"`
+	Limit   int         `json:"limit,omitempty"`
+}
+
+// QueryStats describes how one query executed: the per-response section
+// of QueryResponse, and the per-request increments behind QueryTotals.
+type QueryStats struct {
+	// RowsScanned counts (object, user) rows generated from the pinned
+	// resolution stream before filtering.
+	RowsScanned uint64 `json:"rows_scanned"`
+	// RowsEmitted counts output rows before any response-size truncation.
+	RowsEmitted uint64 `json:"rows_emitted"`
+	// Groups counts distinct groups of a grouped query.
+	Groups int `json:"groups,omitempty"`
+	// KeyLookups counts objects answered by point resolution instead of a
+	// scan: the planner extracted an object key-equality pushdown.
+	KeyLookups int `json:"key_lookups,omitempty"`
+	// PredicatesReordered counts where-predicates the greedy planner
+	// hoisted ahead of a predicate written before them.
+	PredicatesReordered int `json:"predicates_reordered,omitempty"`
+	// EarlyTerminated reports that execution stopped before exhausting
+	// its input: an empty key pushdown, or a satisfied limit.
+	EarlyTerminated bool `json:"early_terminated,omitempty"`
+	// ShardPartials counts per-shard partial aggregations merged into the
+	// result on a cluster; zero on single stores and non-aggregate plans.
+	ShardPartials int `json:"shard_partials,omitempty"`
+}
+
+// QueryResponse answers POST /v1/query: the output columns, the rows in
+// deterministic order (explicit order_by, else object/user scan order,
+// else group-key order), and how the query ran. Values are JSON strings,
+// booleans, numbers, or string arrays, positionally matching Columns.
+type QueryResponse struct {
+	Epoch uint64 `json:"epoch"`
+	LSN   uint64 `json:"lsn,omitempty"`
+	// Columns names the output columns, in row order.
+	Columns []string `json:"columns"`
+	// Rows is the result set; each row is positionally aligned with
+	// Columns.
+	Rows [][]any `json:"rows"`
+	// Truncated reports that the server capped Rows at its batch limit;
+	// Stats.RowsEmitted still counts the full result.
+	Truncated bool       `json:"truncated,omitempty"`
+	Stats     QueryStats `json:"stats"`
+}
+
+// QueryTotals is the query section of /v1/stats: cumulative counters
+// over every /v1/query served since process start.
+type QueryTotals struct {
+	Queries             uint64 `json:"queries"`
+	RowsScanned         uint64 `json:"rows_scanned"`
+	RowsEmitted         uint64 `json:"rows_emitted"`
+	PredicatesReordered uint64 `json:"predicates_reordered"`
+	EarlyTerminations   uint64 `json:"early_terminations"`
+}
+
 // SessionStats mirrors the store's maintenance counters on the wire.
 type SessionStats struct {
 	Compiles           int    `json:"compiles"`
@@ -401,8 +572,8 @@ type ClusterStats struct {
 }
 
 // StatsResponse is the GET /v1/stats response: session, store, engine,
-// durability, admission, replication, and (sharded servers) cluster
-// counters of one pinned epoch — on a cluster, of one pinned epoch per
+// durability, admission, replication, query, and (sharded servers)
+// cluster counters of one pinned epoch — on a cluster, of one pinned epoch per
 // shard, with the top-level Epoch/LSN the minimum over shards.
 type StatsResponse struct {
 	Schema      int              `json:"schema,omitempty"`
@@ -414,6 +585,8 @@ type StatsResponse struct {
 	Durability  DurabilityStats  `json:"durability"`
 	Admission   AdmissionStats   `json:"admission"`
 	Replication ReplicationStats `json:"replication"`
+	// Query is the cumulative /v1/query activity (wire schema 6).
+	Query QueryTotals `json:"query"`
 	// Cluster is present only on sharded servers (wire schema 5).
 	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
